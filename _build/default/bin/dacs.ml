@@ -1,0 +1,228 @@
+(* dacs: command-line front end for the DACS policy engine.
+
+     dacs validate  POLICY.xml              check a policy document
+     dacs evaluate  POLICY.xml REQUEST.xml  decide one request
+     dacs conflicts POLICY.xml...           static conflict analysis
+     dacs demo                              run a built-in end-to-end scenario *)
+
+module Policy = Dacs_policy.Policy
+module Decision = Dacs_policy.Decision
+module Combine = Dacs_policy.Combine
+module Xacml = Dacs_policy.Xacml_xml
+module Validate = Dacs_policy.Validate
+open Dacs_core
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Ok s
+  with Sys_error e -> Error e
+
+let load_policy path =
+  match read_file path with
+  | Error e -> Error e
+  | Ok content -> Xacml.child_of_string content
+
+(* --- validate ---------------------------------------------------------- *)
+
+let validate_cmd path =
+  match load_policy path with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | Ok child -> (
+    (* Non-blocking lint: unreachable rules under first-applicable. *)
+    (match child with
+    | Policy.Inline_policy p ->
+      List.iter
+        (fun (by, dead) ->
+          Printf.printf "%s: warning: rule %s is unreachable (shadowed by %s)\n" path dead by)
+        (Validate.shadowed_rules p)
+    | Policy.Inline_set _ | Policy.Policy_ref _ -> ());
+    match Validate.check_child child with
+    | [] ->
+      Printf.printf "%s: OK (%s)\n" path (Policy.child_id child);
+      0
+    | problems ->
+      List.iter (fun p -> Printf.printf "%s: %s\n" path (Validate.problem_to_string p)) problems;
+      1)
+
+(* --- evaluate ------------------------------------------------------------ *)
+
+let evaluate_cmd policy_path request_path explain =
+  match (load_policy policy_path, Result.bind (read_file request_path) Xacml.request_of_string) with
+  | Error e, _ | _, Error e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | Ok child, Ok ctx ->
+    let result =
+      if explain then begin
+        let tree, result = Dacs_policy.Explain.explain ctx child in
+        print_string (Dacs_policy.Explain.to_string tree);
+        print_newline ();
+        result
+      end
+      else Policy.evaluate_child ctx child
+    in
+    Printf.printf "decision: %s\n" (Decision.decision_to_string result.Decision.decision);
+    (match result.Decision.decision with
+    | Decision.Indeterminate m -> Printf.printf "status:   %s\n" m
+    | _ -> ());
+    List.iter
+      (fun o -> Printf.printf "obligation: %s\n" (Format.asprintf "%a" Dacs_policy.Obligation.pp o))
+      result.Decision.obligations;
+    (match result.Decision.decision with Decision.Permit -> 0 | _ -> 1)
+
+(* --- conflicts ------------------------------------------------------------- *)
+
+let conflicts_cmd paths =
+  let children =
+    List.filter_map
+      (fun path ->
+        match load_policy path with
+        | Ok c -> Some c
+        | Error e ->
+          Printf.eprintf "warning: skipping %s: %s\n" path e;
+          None)
+      paths
+  in
+  if children = [] then begin
+    Printf.eprintf "error: no loadable policies\n";
+    2
+  end
+  else begin
+    let set = Policy.make_set ~id:"cli" children in
+    match Conflict.find_in_set set with
+    | [] ->
+      print_endline "no modality conflicts found";
+      0
+    | conflicts ->
+      List.iter
+        (fun c ->
+          Printf.printf "conflict%s: %s/%s (Permit) vs %s/%s (Deny) on %s\n"
+            (if c.Conflict.cross_authority then " [cross-authority]" else "")
+            c.Conflict.permit.Conflict.policy_id c.Conflict.permit.Conflict.rule_id
+            c.Conflict.deny.Conflict.policy_id c.Conflict.deny.Conflict.rule_id c.Conflict.witness;
+          List.iter
+            (fun a ->
+              Printf.printf "    %-26s -> %s\n" (Combine.name a)
+                (Decision.decision_to_string (Conflict.resolution a c)))
+            Combine.[ Deny_overrides; Permit_overrides; First_applicable ])
+        conflicts;
+      Printf.printf "%d conflict(s)\n" (List.length conflicts);
+      1
+  end
+
+(* --- rbac-compile ------------------------------------------------------------ *)
+
+let rbac_compile_cmd path identity =
+  match read_file path with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | Ok text -> (
+    match Dacs_rbac.Textual.parse text with
+    | Error e ->
+      Printf.eprintf "%s: %s\n" path e;
+      1
+    | Ok model ->
+      let policy =
+        if identity then Dacs_rbac.Compile.to_identity_policy model
+        else Dacs_rbac.Compile.to_policy model
+      in
+      print_string
+        (Dacs_xml.Xml.to_pretty_string (Xacml.policy_to_xml policy));
+      0)
+
+(* --- demo ------------------------------------------------------------------- *)
+
+let demo_cmd () =
+  let module Net = Dacs_net.Net in
+  let module Value = Dacs_policy.Value in
+  let net = Net.create () in
+  let services = Dacs_ws.Service.create (Dacs_net.Rpc.create net) in
+  let domain = Domain.create services ~name:"demo" () in
+  Domain.set_local_policy domain
+    (Policy.Inline_policy
+       (Policy.make ~id:"demo-policy" ~rule_combining:Combine.First_applicable
+          [
+            Dacs_policy.Rule.permit
+              ~target:
+                Dacs_policy.Target.(
+                  any |> subject_is "role" "admin" |> action_is "action-id" "read")
+              "admins-read";
+            Dacs_policy.Rule.deny "default-deny";
+          ]));
+  let pep = Domain.expose_resource domain ~resource:"demo-resource" ~content:"42" () in
+  Net.add_node net "cli";
+  let admin =
+    Client.create services ~node:"cli"
+      ~subject:[ ("subject-id", Value.String "admin1"); ("role", Value.String "admin") ]
+  in
+  let outcome = ref "" in
+  Client.request admin ~pep:(Pep.node pep) ~action:"read" (fun r ->
+      outcome :=
+        (match r with
+        | Ok (Wire.Granted { content; _ }) -> "GRANTED: " ^ content
+        | Ok (Wire.Denied reason) -> "DENIED: " ^ reason
+        | Error e -> "ERROR: " ^ Dacs_ws.Service.error_to_string e));
+  Net.run net;
+  Printf.printf "demo request as role=admin -> %s\n" !outcome;
+  let sent = Net.total_sent net in
+  Printf.printf "(%d messages, %d bytes over the simulated network)\n" sent.Net.count sent.Net.bytes;
+  0
+
+(* --- cmdliner wiring ------------------------------------------------------------ *)
+
+open Cmdliner
+
+let policy_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"POLICY" ~doc:"Policy XML document.")
+
+let request_arg =
+  Arg.(required & pos 1 (some file) None & info [] ~docv:"REQUEST" ~doc:"Request XML document.")
+
+let policies_arg =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"POLICY" ~doc:"Policy XML documents.")
+
+let validate_t =
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Statically validate a policy document")
+    Term.(const validate_cmd $ policy_arg)
+
+let explain_flag =
+  Arg.(value & flag & info [ "explain" ] ~doc:"Print the full evaluation trace before the decision.")
+
+let evaluate_t =
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"Evaluate a request against a policy")
+    Term.(const evaluate_cmd $ policy_arg $ request_arg $ explain_flag)
+
+let conflicts_t =
+  Cmd.v
+    (Cmd.info "conflicts" ~doc:"Find modality conflicts across policies")
+    Term.(const conflicts_cmd $ policies_arg)
+
+let identity_flag =
+  Arg.(value & flag & info [ "identity" ] ~doc:"Emit the identity-based (ACL) encoding instead of the role-based one.")
+
+let rbac_compile_t =
+  Cmd.v
+    (Cmd.info "rbac-compile" ~doc:"Compile a textual RBAC model into a policy document")
+    Term.(const rbac_compile_cmd $ policy_arg $ identity_flag)
+
+let demo_t =
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run a built-in end-to-end authorisation scenario")
+    Term.(const demo_cmd $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "dacs" ~version:"1.0.0"
+       ~doc:"Dependable access control for multi-domain computing environments")
+    [ validate_t; evaluate_t; conflicts_t; rbac_compile_t; demo_t ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/failover_demo.ml: Client Dacs_core Dacs_net Dacs_policy Dacs_ws List Pdp_service Pep Printf Wire

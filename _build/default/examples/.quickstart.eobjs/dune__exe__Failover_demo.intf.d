@@ -1,0 +1,1 @@
+examples/failover_demo.mli:

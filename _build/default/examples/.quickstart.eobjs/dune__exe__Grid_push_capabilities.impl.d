@@ -1,0 +1,1 @@
+examples/grid_push_capabilities.ml: Capability_service Client Dacs_core Dacs_crypto Dacs_net Dacs_policy Dacs_saml Dacs_ws Pdp_service Pep Printf Wire

@@ -1,0 +1,1 @@
+examples/grid_push_capabilities.mli:

@@ -1,0 +1,1 @@
+examples/healthcare_federation.ml: Audit Client Conflict Dacs_core Dacs_net Dacs_policy Dacs_rbac Dacs_ws Domain List Meta_policy Pep Printf Vo Wire

@@ -1,0 +1,1 @@
+examples/healthcare_federation.mli:

@@ -1,0 +1,1 @@
+examples/policy_administration.ml: Client Dacs_core Dacs_crypto Dacs_net Dacs_policy Dacs_ws Lifecycle List Option Pap Pdp_service Pep Printf Wire

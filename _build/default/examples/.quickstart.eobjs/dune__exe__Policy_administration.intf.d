@@ -1,0 +1,1 @@
+examples/policy_administration.mli:

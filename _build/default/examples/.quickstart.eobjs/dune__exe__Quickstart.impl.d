@@ -1,0 +1,1 @@
+examples/quickstart.ml: Audit Client Dacs_core Dacs_net Dacs_policy Dacs_ws Domain List Pep Printf Wire

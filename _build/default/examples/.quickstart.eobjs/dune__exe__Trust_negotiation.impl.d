@@ -1,0 +1,1 @@
+examples/trust_negotiation.ml: Dacs_core Dacs_crypto Dacs_net Dacs_policy Dacs_saml Dacs_ws List Negotiation Negotiation_service Option Pep Printf Result Wire

@@ -1,0 +1,1 @@
+examples/trust_negotiation.mli:

@@ -1,0 +1,1 @@
+examples/virtual_organisation.ml: Audit Client Dacs_core Dacs_net Dacs_policy Dacs_ws Domain List Pap Pep Printf Report Vo Wire

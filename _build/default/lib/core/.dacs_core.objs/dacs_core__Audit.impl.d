@@ -1,0 +1,1 @@
+lib/core/audit.ml: Dacs_policy List

@@ -1,0 +1,1 @@
+lib/core/audit.mli: Dacs_policy

@@ -1,0 +1,1 @@
+lib/core/capability_service.ml: Dacs_crypto Dacs_net Dacs_policy Dacs_saml Dacs_ws Hashtbl List Printf Wire

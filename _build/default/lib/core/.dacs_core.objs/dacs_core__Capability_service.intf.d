@@ -1,0 +1,1 @@
+lib/core/capability_service.mli: Dacs_crypto Dacs_net Dacs_policy Dacs_saml Dacs_ws

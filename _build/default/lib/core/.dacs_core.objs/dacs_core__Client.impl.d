@@ -1,0 +1,1 @@
+lib/core/client.ml: Dacs_net Dacs_policy Dacs_saml Dacs_ws Dacs_xml Hashtbl List Wire

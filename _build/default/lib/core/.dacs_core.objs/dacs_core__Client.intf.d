@@ -1,0 +1,1 @@
+lib/core/client.mli: Dacs_net Dacs_policy Dacs_ws Wire

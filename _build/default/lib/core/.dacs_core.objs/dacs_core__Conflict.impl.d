@@ -1,0 +1,1 @@
+lib/core/conflict.ml: Dacs_policy List Printf String

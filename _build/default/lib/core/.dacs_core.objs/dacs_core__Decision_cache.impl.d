@@ -1,0 +1,1 @@
+lib/core/decision_cache.ml: Dacs_crypto Dacs_policy Hashtbl List Printf Queue String

@@ -1,0 +1,1 @@
+lib/core/decision_cache.mli: Dacs_policy

@@ -1,0 +1,1 @@
+lib/core/delegation.ml: Dacs_policy List Printf String

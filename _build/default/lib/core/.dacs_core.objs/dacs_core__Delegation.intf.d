@@ -1,0 +1,1 @@
+lib/core/delegation.mli: Dacs_policy

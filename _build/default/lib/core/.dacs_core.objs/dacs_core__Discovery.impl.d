@@ -1,0 +1,1 @@
+lib/core/discovery.ml: Dacs_net Dacs_ws Dacs_xml Hashtbl List Option Pep

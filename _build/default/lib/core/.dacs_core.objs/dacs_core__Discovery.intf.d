@@ -1,0 +1,1 @@
+lib/core/discovery.mli: Dacs_net Dacs_ws Dacs_xml Pep

@@ -1,0 +1,1 @@
+lib/core/domain.ml: Audit Char Dacs_crypto Dacs_net Dacs_policy Dacs_rbac Dacs_ws Idp Int64 List Option Pap Pdp_service Pep Pip Printf String

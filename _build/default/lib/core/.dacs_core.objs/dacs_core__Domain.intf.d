@@ -1,0 +1,1 @@
+lib/core/domain.mli: Audit Dacs_crypto Dacs_net Dacs_policy Dacs_rbac Dacs_ws Decision_cache Idp Pap Pdp_service Pep Pip

@@ -1,0 +1,1 @@
+lib/core/idp.ml: Dacs_crypto Dacs_net Dacs_policy Dacs_saml Dacs_ws Dacs_xml Hashtbl Printf

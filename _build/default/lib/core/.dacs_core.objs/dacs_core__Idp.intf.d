@@ -1,0 +1,1 @@
+lib/core/idp.mli: Dacs_crypto Dacs_net Dacs_policy Dacs_saml Dacs_ws

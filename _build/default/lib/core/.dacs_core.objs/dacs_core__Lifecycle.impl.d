@@ -1,0 +1,1 @@
+lib/core/lifecycle.ml: Conflict Dacs_crypto Dacs_policy Dacs_xml Hashtbl List Option Pap Printf

@@ -1,0 +1,1 @@
+lib/core/lifecycle.mli: Conflict Dacs_crypto Dacs_policy Pap

@@ -1,0 +1,1 @@
+lib/core/meta_policy.ml: Audit Dacs_policy List Printf

@@ -1,0 +1,1 @@
+lib/core/meta_policy.mli: Audit Dacs_policy

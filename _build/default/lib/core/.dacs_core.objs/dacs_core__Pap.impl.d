@@ -1,0 +1,1 @@
+lib/core/pap.ml: Dacs_net Dacs_policy Dacs_ws Dacs_xml List Wire

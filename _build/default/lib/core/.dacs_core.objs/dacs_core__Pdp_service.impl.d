@@ -1,0 +1,1 @@
+lib/core/pdp_service.ml: Dacs_crypto Dacs_net Dacs_policy Dacs_ws Hashtbl List Option Wire

@@ -1,0 +1,1 @@
+lib/core/pep.ml: Audit Dacs_crypto Dacs_net Dacs_policy Dacs_saml Dacs_ws Dacs_xml Decision_cache List Pdp_service Printf Result String Wire

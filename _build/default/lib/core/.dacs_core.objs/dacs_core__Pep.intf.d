@@ -1,0 +1,1 @@
+lib/core/pep.mli: Audit Dacs_crypto Dacs_net Dacs_ws Decision_cache Pdp_service

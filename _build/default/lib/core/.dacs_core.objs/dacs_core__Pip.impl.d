@@ -1,0 +1,1 @@
+lib/core/pip.ml: Dacs_net Dacs_policy Dacs_ws Hashtbl Option Wire

@@ -1,0 +1,1 @@
+lib/core/report.ml: Audit Buffer Capability_service Dacs_policy Domain Idp List Pap Pdp_service Pep Pip Printf Vo

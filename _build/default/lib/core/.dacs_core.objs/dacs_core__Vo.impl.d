@@ -1,0 +1,1 @@
+lib/core/vo.ml: Audit Capability_service Client Dacs_crypto Dacs_net Dacs_policy Dacs_ws Domain Idp List Pap Printf

@@ -1,0 +1,1 @@
+lib/core/vo.mli: Audit Capability_service Client Dacs_crypto Dacs_policy Dacs_ws Domain Pap

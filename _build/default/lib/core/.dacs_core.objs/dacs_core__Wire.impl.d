@@ -1,0 +1,1 @@
+lib/core/wire.ml: Dacs_crypto Dacs_policy Dacs_xml List Option Printf Result

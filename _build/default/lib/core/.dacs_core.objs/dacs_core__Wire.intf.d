@@ -1,0 +1,1 @@
+lib/core/wire.mli: Dacs_crypto Dacs_policy Dacs_xml

@@ -1,0 +1,106 @@
+module Service = Dacs_ws.Service
+module Context = Dacs_policy.Context
+module Value = Dacs_policy.Value
+module Policy = Dacs_policy.Policy
+module Decision = Dacs_policy.Decision
+module Assertion = Dacs_saml.Assertion
+
+type format =
+  | Saml
+  | X509_attribute_cert
+
+type t = {
+  format : format;
+  services : Dacs_ws.Service.t;
+  node : Dacs_net.Net.node_id;
+  issuer : string;
+  keypair : Dacs_crypto.Rsa.keypair;
+  mutable root : Policy.child option;
+  validity : float;
+  revoked : (string, unit) Hashtbl.t;
+  mutable issued : int;
+  mutable revocation_checks : int;
+}
+
+let node t = t.node
+let format t = t.format
+let issuer t = t.issuer
+let public_key t = t.keypair.Dacs_crypto.Rsa.public
+
+let set_policy t root = t.root <- Some root
+
+let now t = Dacs_net.Net.now (Service.net t.services)
+
+let decide t ~subject ~resource ~action =
+  match t.root with
+  | None -> Decision.Indeterminate "capability service has no policy"
+  | Some root ->
+    let ctx =
+      Context.make ~subject
+        ~resource:[ ("resource-id", Value.String resource) ]
+        ~action:[ ("action-id", Value.String action) ]
+        ~environment:[ ("time", Value.Time (now t)) ]
+        ()
+    in
+    (Policy.evaluate_child ctx root).Decision.decision
+
+let issue t ~subject ~pairs =
+  t.issued <- t.issued + 1;
+  let subject_name =
+    match List.assoc_opt "subject-id" subject with
+    | Some v -> Value.to_string v
+    | None -> "anonymous"
+  in
+  let statements =
+    Assertion.Attribute_statement subject
+    :: List.map
+         (fun (resource, action) ->
+           Assertion.Authz_decision_statement
+             { resource; action; decision = decide t ~subject ~resource ~action })
+         pairs
+  in
+  let unsigned =
+    Assertion.make
+      ~id:(Printf.sprintf "cap-%s-%d" t.issuer t.issued)
+      ~issuer:t.issuer ~subject:subject_name ~issued_at:(now t) ~validity:t.validity statements
+  in
+  Assertion.sign t.keypair.Dacs_crypto.Rsa.private_ unsigned
+
+let revoke t ~assertion_id = Hashtbl.replace t.revoked assertion_id ()
+
+let is_revoked t ~assertion_id = Hashtbl.mem t.revoked assertion_id
+
+let issued_count t = t.issued
+let revocation_checks_served t = t.revocation_checks
+
+let create services ~node ~issuer ~keypair ?root ?(validity = 300.0) ?(format = Saml) () =
+  let t =
+    {
+      format;
+      services;
+      node;
+      issuer;
+      keypair;
+      root;
+      validity;
+      revoked = Hashtbl.create 16;
+      issued = 0;
+      revocation_checks = 0;
+    }
+  in
+  Service.serve services ~node ~service:"capability-request"
+    (fun ~caller:_ ~headers:_ body reply ->
+      match Wire.parse_capability_request body with
+      | Error e -> reply (Dacs_ws.Soap.fault_body { Dacs_ws.Soap.code = "soap:Sender"; reason = e })
+      | Ok (subject, pairs) ->
+        let assertion = issue t ~subject ~pairs in
+        reply
+          (match t.format with
+          | Saml -> Assertion.to_xml assertion
+          | X509_attribute_cert -> Dacs_saml.Attribute_cert.to_xml assertion));
+  Service.serve services ~node ~service:"revocation-check" (fun ~caller:_ ~headers:_ body reply ->
+      t.revocation_checks <- t.revocation_checks + 1;
+      match Wire.parse_revocation_check body with
+      | Error e -> reply (Dacs_ws.Soap.fault_body { Dacs_ws.Soap.code = "soap:Sender"; reason = e })
+      | Ok assertion_id -> reply (Wire.revocation_status ~revoked:(is_revoked t ~assertion_id)));
+  t

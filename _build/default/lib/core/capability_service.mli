@@ -1,0 +1,51 @@
+(** Capability service: the trusted authority of the push model (Fig. 2).
+
+    Clients pre-authenticate here and obtain signed SAML-style assertions
+    carrying authorisation-decision statements; PEPs later verify those
+    assertions locally.  Mirrors CAS/VOMS: the service pre-screens
+    against its own policies, while resource providers keep the final
+    say.  Also answers revocation checks. *)
+
+type format =
+  | Saml  (** CAS-style SAML assertion encoding *)
+  | X509_attribute_cert  (** VOMS-style attribute-certificate encoding *)
+
+type t
+
+val create :
+  Dacs_ws.Service.t ->
+  node:Dacs_net.Net.node_id ->
+  issuer:string ->
+  keypair:Dacs_crypto.Rsa.keypair ->
+  ?root:Dacs_policy.Policy.child ->
+  ?validity:float ->
+  ?format:format ->
+  unit ->
+  t
+(** Registers ["capability-request"] and ["revocation-check"].
+    [validity] (default 300 s) bounds issued assertions; [format]
+    (default {!Saml}) selects the wire encoding — the CAS-vs-VOMS
+    distinction of §2.2. *)
+
+val format : t -> format
+
+val node : t -> Dacs_net.Net.node_id
+val issuer : t -> string
+val public_key : t -> Dacs_crypto.Rsa.public_key
+
+val set_policy : t -> Dacs_policy.Policy.child -> unit
+
+val issue :
+  t ->
+  subject:(string * Dacs_policy.Value.t) list ->
+  pairs:(string * string) list ->
+  Dacs_saml.Assertion.t
+(** Local issuing path (the service handler uses it too): evaluates each
+    (resource, action) pair against the policy and signs an assertion
+    with one decision statement per pair. *)
+
+val revoke : t -> assertion_id:string -> unit
+val is_revoked : t -> assertion_id:string -> bool
+
+val issued_count : t -> int
+val revocation_checks_served : t -> int

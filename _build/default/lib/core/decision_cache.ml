@@ -1,0 +1,84 @@
+type entry = { result : Dacs_policy.Decision.result; expires : float }
+
+type stats = { hits : int; misses : int; expiries : int; evictions : int }
+
+type t = {
+  ttl : float;
+  max_entries : int;
+  table : (string, entry) Hashtbl.t;
+  order : string Queue.t;  (* insertion order; may contain superseded keys *)
+  mutable stats : stats;
+}
+
+let create ?(max_entries = 1024) ~ttl () =
+  if ttl < 0.0 then invalid_arg "Decision_cache.create: negative ttl";
+  {
+    ttl;
+    max_entries;
+    table = Hashtbl.create 64;
+    order = Queue.create ();
+    stats = { hits = 0; misses = 0; expiries = 0; evictions = 0 };
+  }
+
+let ttl t = t.ttl
+
+let get t ~now ~key =
+  match Hashtbl.find_opt t.table key with
+  | None ->
+    t.stats <- { t.stats with misses = t.stats.misses + 1 };
+    None
+  | Some e ->
+    if now < e.expires then begin
+      t.stats <- { t.stats with hits = t.stats.hits + 1 };
+      Some e.result
+    end
+    else begin
+      Hashtbl.remove t.table key;
+      t.stats <- { t.stats with expiries = t.stats.expiries + 1; misses = t.stats.misses + 1 };
+      None
+    end
+
+let evict_one t =
+  (* Pop queue entries until one still maps to a live table entry. *)
+  let rec go () =
+    match Queue.take_opt t.order with
+    | None -> ()
+    | Some key ->
+      if Hashtbl.mem t.table key then begin
+        Hashtbl.remove t.table key;
+        t.stats <- { t.stats with evictions = t.stats.evictions + 1 }
+      end
+      else go ()
+  in
+  go ()
+
+let put t ~now ~key result =
+  if not (Hashtbl.mem t.table key) && Hashtbl.length t.table >= t.max_entries then evict_one t;
+  Hashtbl.replace t.table key { result; expires = now +. t.ttl };
+  Queue.add key t.order
+
+let invalidate t ~key = Hashtbl.remove t.table key
+
+let invalidate_all t =
+  Hashtbl.reset t.table;
+  Queue.clear t.order
+
+let size t = Hashtbl.length t.table
+
+let stats t = t.stats
+
+let request_key ctx =
+  (* Environment attributes (notably the current time) are excluded: a
+     key that changes every request would never hit.  The price is that a
+     cached decision ignores environment-sensitive conditions for one TTL
+     — part of the staleness trade the experiments measure. *)
+  let module Context = Dacs_policy.Context in
+  let module Value = Dacs_policy.Value in
+  let section category =
+    List.concat_map
+      (fun (id, bag) ->
+        List.map (fun v -> Printf.sprintf "%s/%s=%s" (Context.category_name category) id (Value.describe v)) bag)
+      (Context.attributes ctx category)
+  in
+  let parts = section Context.Subject @ section Context.Resource @ section Context.Action in
+  Dacs_crypto.Sha256.hex_digest (String.concat "|" (List.sort compare parts))

@@ -1,0 +1,36 @@
+(** Decision cache for enforcement points (§3.2 communication
+    performance).
+
+    Caching authorisation decisions cuts PEP→PDP traffic at the price the
+    paper warns about: entries may outlive the policy that produced them,
+    yielding stale (false-positive or false-negative) decisions until the
+    TTL lapses.  The experiments measure both sides of that trade. *)
+
+type t
+
+val create : ?max_entries:int -> ttl:float -> unit -> t
+(** [max_entries] defaults to 1024; insertion past the limit evicts the
+    oldest entry. *)
+
+val ttl : t -> float
+
+val get : t -> now:float -> key:string -> Dacs_policy.Decision.result option
+(** [None] on miss or expiry (expired entries are dropped). *)
+
+val put : t -> now:float -> key:string -> Dacs_policy.Decision.result -> unit
+
+val invalidate : t -> key:string -> unit
+val invalidate_all : t -> unit
+(** What a PEP does when told the policy changed. *)
+
+val size : t -> int
+
+type stats = { hits : int; misses : int; expiries : int; evictions : int }
+
+val stats : t -> stats
+
+val request_key : Dacs_policy.Context.t -> string
+(** Canonical cache key over the subject, resource and action attributes.
+    Environment attributes (e.g. the request time) are deliberately
+    excluded — they change on every request, and a cached decision is
+    precisely one that skips re-evaluating them until the TTL lapses. *)

@@ -1,0 +1,125 @@
+module Xml = Dacs_xml.Xml
+module Service = Dacs_ws.Service
+module Engine = Dacs_net.Engine
+module Net = Dacs_net.Net
+
+type t = {
+  services : Service.t;
+  node : Net.node_id;
+  lease : float;
+  (* (kind, node) -> (expiry, registration order) *)
+  entries : (string * Net.node_id, float * int) Hashtbl.t;
+  mutable next_order : int;
+  mutable registrations : int;
+}
+
+let node t = t.node
+let lease t = t.lease
+
+let now t = Net.now (Service.net t.services)
+
+let lookup t ~kind =
+  let live =
+    Hashtbl.fold
+      (fun (k, n) (expiry, order) acc ->
+        if k = kind && expiry > now t then (order, n) :: acc else acc)
+      t.entries []
+  in
+  List.map snd (List.sort compare live)
+
+let registrations t = t.registrations
+
+let register_body ~kind ~node =
+  Xml.element "Register" ~attrs:[ ("Kind", kind); ("Node", node) ]
+
+let discover_body ~kind = Xml.element "Discover" ~attrs:[ ("Kind", kind) ]
+
+let endpoints_body nodes =
+  Xml.element "Endpoints"
+    ~children:(List.map (fun n -> Xml.element "Endpoint" ~attrs:[ ("Node", n) ]) nodes)
+
+let parse_endpoints body =
+  if Xml.local_name (Xml.tag body) <> "Endpoints" then Error "expected Endpoints"
+  else
+    Ok
+      (List.filter_map
+         (fun e -> Xml.attr e "Node")
+         (Xml.find_children body "Endpoint"))
+
+let create services ~node ?(lease = 10.0) () =
+  let t =
+    {
+      services;
+      node;
+      lease;
+      entries = Hashtbl.create 32;
+      next_order = 0;
+      registrations = 0;
+    }
+  in
+  Service.serve services ~node ~service:"register" (fun ~caller ~headers:_ body reply ->
+      match (Xml.attr body "Kind", Xml.attr body "Node") with
+      | Some kind, Some advertised ->
+        (* Only accept self-advertisements: the caller vouches for itself.
+           A node advertising someone else could keep a dead replica
+           alive in the registry. *)
+        if advertised <> caller then
+          reply
+            (Dacs_ws.Soap.fault_body
+               { Dacs_ws.Soap.code = "soap:Sender"; reason = "nodes may only advertise themselves" })
+        else begin
+          t.registrations <- t.registrations + 1;
+          let order =
+            match Hashtbl.find_opt t.entries (kind, advertised) with
+            | Some (_, order) -> order
+            | None ->
+              t.next_order <- t.next_order + 1;
+              t.next_order
+          in
+          Hashtbl.replace t.entries (kind, advertised) (now t +. t.lease, order);
+          reply (Xml.element "RegisterAck")
+        end
+      | _ ->
+        reply
+          (Dacs_ws.Soap.fault_body
+             { Dacs_ws.Soap.code = "soap:Sender"; reason = "Register needs Kind and Node" }));
+  Service.serve services ~node ~service:"discover" (fun ~caller:_ ~headers:_ body reply ->
+      match Xml.attr body "Kind" with
+      | Some kind -> reply (endpoints_body (lookup t ~kind))
+      | None ->
+        reply
+          (Dacs_ws.Soap.fault_body
+             { Dacs_ws.Soap.code = "soap:Sender"; reason = "Discover needs Kind" }));
+  t
+
+let advertise t ~services ~node ~kind () =
+  let engine = Net.engine (Service.net services) in
+  let period = t.lease /. 2.0 in
+  let rec renew () =
+    (* A crashed node's sends are dropped by the network, so the
+       advertisement naturally lapses; the loop keeps ticking and renews
+       again after recovery. *)
+    Service.call services ~src:node ~dst:t.node ~service:"register"
+      (register_body ~kind ~node)
+      (fun _ -> ());
+    Engine.schedule engine ~delay:period renew
+  in
+  renew ()
+
+let auto_rebind t ~pep ~kind ?period () =
+  let period = Option.value period ~default:t.lease in
+  let engine = Net.engine (Service.net t.services) in
+  let pep_node = Pep.node pep in
+  let rec refresh () =
+    Service.call t.services ~src:pep_node ~dst:t.node ~service:"discover"
+      (discover_body ~kind)
+      (fun response ->
+        (match response with
+        | Ok body -> (
+          match parse_endpoints body with
+          | Ok (_ :: _ as endpoints) -> Pep.set_pull_pdps pep endpoints
+          | Ok [] | Error _ -> () (* keep the last known list *))
+        | Error _ -> ());
+        Engine.schedule engine ~delay:period refresh)
+  in
+  refresh ()

@@ -1,0 +1,166 @@
+module Service = Dacs_ws.Service
+module Rsa = Dacs_crypto.Rsa
+module Cert = Dacs_crypto.Cert
+module Policy = Dacs_policy.Policy
+module Rule = Dacs_policy.Rule
+module Expr = Dacs_policy.Expr
+module Combine = Dacs_policy.Combine
+module Value = Dacs_policy.Value
+
+type t = {
+  name : string;
+  services : Service.t;
+  ca : Rsa.keypair;
+  ca_cert : Cert.t;
+  audit : Audit.t;
+  pap : Pap.t;
+  pip : Pip.t;
+  pdp : Pdp_service.t;
+  idp : Idp.t;
+  mutable local : Policy.child option;
+  mutable vo_policy : Policy.child option;
+  mutable peps : Pep.t list;
+}
+
+let name t = t.name
+let services t = t.services
+let ca_cert t = t.ca_cert
+let ca_key t = t.ca.Rsa.private_
+let audit t = t.audit
+let pap t = t.pap
+let pip t = t.pip
+let pdp t = t.pdp
+let idp t = t.idp
+
+let pap_node t = Pap.node t.pap
+let pdp_node t = Pdp_service.node t.pdp
+let pip_node t = Pip.node t.pip
+let idp_node t = Idp.node t.idp
+
+(* The stored root combines the domain's own policy with any syndicated
+   VO policy under deny-overrides: the VO can grant nothing the domain
+   forbids, and vice versa. *)
+let combined t =
+  match (t.local, t.vo_policy) with
+  | None, None -> None
+  | Some p, None | None, Some p -> Some p
+  | Some local, Some vo ->
+    Some
+      (Policy.Inline_set
+         (Policy.make_set
+            ~id:(t.name ^ "-combined")
+            ~policy_combining:Combine.Deny_overrides [ local; vo ]))
+
+let republish t =
+  match combined t with
+  | None -> ()
+  | Some root ->
+    Pap.publish t.pap root;
+    List.iter Pep.invalidate_cache t.peps
+
+let set_local_policy t child =
+  t.local <- Some child;
+  republish t
+
+let local_policy t = t.local
+
+let allow_policy_updates_from t nodes =
+  let admin =
+    Policy.Inline_policy
+      (Policy.make
+         ~id:(t.name ^ "-pap-admin")
+         ~issuer:t.name ~rule_combining:Combine.First_applicable
+         [
+           Rule.permit
+             ~condition:(Expr.one_of (Expr.subject_attr "subject-id") nodes)
+             "permit-admins";
+           Rule.deny "deny-others";
+         ])
+  in
+  Pap.set_admin_policy t.pap admin
+
+let register_user t ~user attrs =
+  Idp.register_user t.idp ~user attrs;
+  List.iter
+    (fun (id, v) ->
+      if id <> "subject-id" then Pip.add_subject_attribute t.pip ~subject:user ~id v)
+    attrs
+
+let set_rbac t model =
+  List.iter
+    (fun user ->
+      Idp.register_user t.idp ~user (Dacs_rbac.Compile.subject_for_user model user);
+      Pip.set_subject_attribute t.pip ~subject:user ~id:"role"
+        (List.map (fun r -> Value.String r) (Dacs_rbac.Rbac.authorized_roles model user)))
+    (Dacs_rbac.Rbac.users model);
+  set_local_policy t
+    (Policy.Inline_policy (Dacs_rbac.Compile.to_policy ~id:(t.name ^ "-rbac") model))
+
+let seed_of_name name =
+  (* Stable per-name seed so domains are reproducible without coordination. *)
+  let digest = Dacs_crypto.Sha256.digest name in
+  let v = ref 0L in
+  String.iteri
+    (fun i c -> if i < 8 then v := Int64.logor !v (Int64.shift_left (Int64.of_int (Char.code c)) (8 * i)))
+    digest;
+  !v
+
+let create services ~name ?seed () =
+  let seed = Option.value seed ~default:(seed_of_name name) in
+  let rng = Dacs_crypto.Rng.create seed in
+  let ca = Rsa.generate rng ~bits:512 in
+  let ca_cert =
+    Cert.self_signed ca ~subject:("cn=ca," ^ name) ~serial:1 ~not_before:0.0 ~not_after:1e12
+  in
+  let idp_keys = Rsa.generate rng ~bits:512 in
+  let net = Service.net services in
+  let node suffix =
+    let id = name ^ "." ^ suffix in
+    Dacs_net.Net.add_node net id;
+    id
+  in
+  let pap = Pap.create services ~node:(node "pap") ~name:(name ^ "-pap") () in
+  let pip = Pip.create services ~node:(node "pip") ~name:(name ^ "-pip") in
+  let pdp =
+    Pdp_service.create services ~node:(node "pdp") ~name:(name ^ "-pdp") ~pap:(Pap.node pap)
+      ~pips:[ Pip.node pip ] ()
+  in
+  let idp = Idp.create services ~node:(node "idp") ~issuer:("idp." ^ name) ~keypair:idp_keys () in
+  let t =
+    {
+      name;
+      services;
+      ca;
+      ca_cert;
+      audit = Audit.create ();
+      pap;
+      pip;
+      pdp;
+      idp;
+      local = None;
+      vo_policy = None;
+      peps = [];
+    }
+  in
+  (* Syndicated updates land as the VO component of the combined root. *)
+  Pap.set_update_transform t.pap (fun incoming ->
+      t.vo_policy <- Some incoming;
+      match combined t with Some c -> c | None -> incoming);
+  t
+
+let expose_resource t ~resource ?content ?cache ?pdps ?(call_timeout = 1.0) () =
+  let net = Service.net t.services in
+  let node = Printf.sprintf "%s.pep.%s" t.name resource in
+  Dacs_net.Net.add_node net node;
+  let pdps = Option.value pdps ~default:[ pdp_node t ] in
+  let pep =
+    Pep.create t.services ~node ~domain:t.name ~resource ?content ~audit:t.audit
+      ~encryption_key:(Dacs_crypto.Stream_cipher.derive_key (t.name ^ "/" ^ resource))
+      (Pep.Pull { pdps; cache; call_timeout })
+  in
+  t.peps <- pep :: t.peps;
+  pep
+
+let peps t = List.rev t.peps
+
+let find_pep t ~resource = List.find_opt (fun p -> Pep.resource p = resource) t.peps

@@ -1,0 +1,30 @@
+(** Identity Provider: issues signed attribute assertions for its domain's
+    users (§3.1 — subject credentials come from IdPs in separate
+    administrative domains). *)
+
+type t
+
+val create :
+  Dacs_ws.Service.t ->
+  node:Dacs_net.Net.node_id ->
+  issuer:string ->
+  keypair:Dacs_crypto.Rsa.keypair ->
+  ?validity:float ->
+  unit ->
+  t
+(** Registers ["attribute-assertion"]: body
+    [<AttributeAssertionRequest Subject="u"/>] → signed assertion with the
+    registered attributes. Unknown subjects earn a fault. *)
+
+val node : t -> Dacs_net.Net.node_id
+val issuer : t -> string
+val public_key : t -> Dacs_crypto.Rsa.public_key
+
+val register_user : t -> user:string -> (string * Dacs_policy.Value.t) list -> unit
+val remove_user : t -> user:string -> unit
+val knows : t -> user:string -> bool
+
+val issue : t -> user:string -> Dacs_saml.Assertion.t option
+(** Local issuing path; [None] for unknown users. *)
+
+val issued_count : t -> int

@@ -1,0 +1,167 @@
+module Xml = Dacs_xml.Xml
+module Service = Dacs_ws.Service
+module Assertion = Dacs_saml.Assertion
+module Value = Dacs_policy.Value
+module Decision = Dacs_policy.Decision
+
+type session = { mutable from_client : string list; mutable from_server : string list }
+
+type t = {
+  services : Service.t;
+  node : Dacs_net.Net.node_id;
+  issuer : string;
+  keypair : Dacs_crypto.Rsa.keypair;
+  credentials : Negotiation.credential list;
+  requirement_for : resource:string -> action:string -> Negotiation.requirement;
+  validity : float;
+  sessions : (Dacs_net.Net.node_id * string * string, session) Hashtbl.t;
+  mutable issued : int;
+}
+
+let node t = t.node
+let issuer t = t.issuer
+let public_key t = t.keypair.Dacs_crypto.Rsa.public
+let sessions t = Hashtbl.length t.sessions
+
+let now t = Dacs_net.Net.now (Service.net t.services)
+
+let credential_elements names =
+  List.map (fun n -> Xml.element "Credential" ~attrs:[ ("Name", n) ]) names
+
+let credential_names body =
+  List.filter_map (fun c -> Xml.attr c "Name") (Xml.find_children body "Credential")
+
+let issue_capability t ~subject ~subject_name ~resource ~action =
+  t.issued <- t.issued + 1;
+  let unsigned =
+    Assertion.make
+      ~id:(Printf.sprintf "tn-%s-%d" t.issuer t.issued)
+      ~issuer:t.issuer ~subject:subject_name ~issued_at:(now t) ~validity:t.validity
+      [
+        Assertion.Attribute_statement subject;
+        Assertion.Authz_decision_statement { resource; action; decision = Decision.Permit };
+      ]
+  in
+  Assertion.sign t.keypair.Dacs_crypto.Rsa.private_ unsigned
+
+let create services ~node ~issuer ~keypair ~credentials ~requirement_for ?(validity = 300.0) () =
+  let t =
+    {
+      services;
+      node;
+      issuer;
+      keypair;
+      credentials;
+      requirement_for;
+      validity;
+      sessions = Hashtbl.create 16;
+      issued = 0;
+    }
+  in
+  Service.serve services ~node ~service:"negotiate" (fun ~caller ~headers:_ body reply ->
+      match (Xml.attr body "Resource", Xml.attr body "Action") with
+      | Some resource, Some action ->
+        let key = (caller, resource, action) in
+        let session =
+          match Hashtbl.find_opt t.sessions key with
+          | Some s -> s
+          | None ->
+            let s = { from_client = []; from_server = [] } in
+            Hashtbl.add t.sessions key s;
+            s
+        in
+        (* Absorb the client's newly disclosed credentials. *)
+        List.iter
+          (fun name ->
+            if not (List.mem name session.from_client) then
+              session.from_client <- name :: session.from_client)
+          (credential_names body);
+        let requirement = t.requirement_for ~resource ~action in
+        if Negotiation.satisfied requirement session.from_client then begin
+          Hashtbl.remove t.sessions key;
+          let subject_name =
+            Option.value (Xml.attr body "Subject") ~default:caller
+          in
+          let subject = [ ("subject-id", Value.String subject_name) ] in
+          let assertion = issue_capability t ~subject ~subject_name ~resource ~action in
+          reply
+            (Xml.element "NegotiateResponse"
+               ~attrs:[ ("Status", "granted") ]
+               ~children:[ Assertion.to_xml assertion ])
+        end
+        else begin
+          (* Disclose whatever the client's credentials now unlock. *)
+          let party = { Negotiation.party_name = t.issuer; credentials = t.credentials } in
+          let unlocked =
+            List.filter_map
+              (fun (c : Negotiation.credential) ->
+                if List.mem c.Negotiation.name session.from_server then None
+                else if Negotiation.satisfied c.Negotiation.release session.from_client then
+                  Some c.Negotiation.name
+                else None)
+              party.Negotiation.credentials
+          in
+          session.from_server <- unlocked @ session.from_server;
+          reply
+            (Xml.element "NegotiateResponse"
+               ~attrs:[ ("Status", "continue") ]
+               ~children:(credential_elements unlocked))
+        end
+      | _ ->
+        reply
+          (Dacs_ws.Soap.fault_body
+             { Dacs_ws.Soap.code = "soap:Sender"; reason = "Negotiate needs Resource and Action" }))
+  ;
+  t
+
+type outcome = {
+  granted : Assertion.t option;
+  rounds : int;
+  messages : int;
+}
+
+let negotiate t ~services ~client_node ~credentials ~subject ~resource ~action
+    ?(max_rounds = 20) k =
+  let subject_name =
+    match List.assoc_opt "subject-id" subject with
+    | Some v -> Value.to_string v
+    | None -> client_node
+  in
+  let disclosed = ref [] and seen_from_server = ref [] in
+  let rec round n messages =
+    (* Disclose everything the server's prior disclosures unlock. *)
+    let unlocked =
+      List.filter_map
+        (fun (c : Negotiation.credential) ->
+          if List.mem c.Negotiation.name !disclosed then None
+          else if Negotiation.satisfied c.Negotiation.release !seen_from_server then
+            Some c.Negotiation.name
+          else None)
+        credentials
+    in
+    disclosed := unlocked @ !disclosed;
+    let body =
+      Xml.element "Negotiate"
+        ~attrs:[ ("Resource", resource); ("Action", action); ("Subject", subject_name) ]
+        ~children:(credential_elements unlocked)
+    in
+    Service.call services ~src:client_node ~dst:t.node ~service:"negotiate" body (fun response ->
+        let messages = messages + 2 in
+        match response with
+        | Error _ -> k { granted = None; rounds = n; messages }
+        | Ok reply_body -> (
+          match Xml.attr reply_body "Status" with
+          | Some "granted" -> (
+            match Option.map Assertion.of_xml (Xml.find_child reply_body "Assertion") with
+            | Some (Ok assertion) -> k { granted = Some assertion; rounds = n; messages }
+            | _ -> k { granted = None; rounds = n; messages })
+          | Some "continue" ->
+            let fresh = credential_names reply_body in
+            let progressed = unlocked <> [] || fresh <> [] in
+            seen_from_server := fresh @ !seen_from_server;
+            if (not progressed) || n >= max_rounds then
+              k { granted = None; rounds = n; messages }
+            else round (n + 1) messages
+          | _ -> k { granted = None; rounds = n; messages }))
+  in
+  round 1 0

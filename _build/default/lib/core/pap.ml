@@ -1,0 +1,158 @@
+module Xml = Dacs_xml.Xml
+module Engine = Dacs_net.Engine
+module Service = Dacs_ws.Service
+module Policy = Dacs_policy.Policy
+module Decision = Dacs_policy.Decision
+module Context = Dacs_policy.Context
+module Value = Dacs_policy.Value
+
+type t = {
+  services : Service.t;
+  node : Dacs_net.Net.node_id;
+  name : string;
+  mutable admin_policy : Policy.child option;
+  mutable root : Policy.child option;
+  mutable version : int;
+  mutable subscribers : Dacs_net.Net.node_id list;
+  mutable update_filter : Policy.child -> bool;
+  mutable update_transform : Policy.child -> Policy.child;
+  mutable queries_served : int;
+  mutable updates_accepted : int;
+  mutable updates_rejected : int;
+}
+
+let node t = t.node
+let name t = t.name
+let version t = t.version
+let current t = t.root
+let subscribers t = t.subscribers
+
+let set_admin_policy t p = t.admin_policy <- Some p
+let set_update_filter t f = t.update_filter <- f
+let set_update_transform t f = t.update_transform <- f
+
+let queries_served t = t.queries_served
+let updates_accepted t = t.updates_accepted
+let updates_rejected t = t.updates_rejected
+
+(* The admin policy decides whether [caller] may update this PAP. *)
+let admin_permits t ~caller =
+  match t.admin_policy with
+  | None -> false
+  | Some policy ->
+    let ctx =
+      Context.make
+        ~subject:[ ("subject-id", Value.String caller) ]
+        ~resource:[ ("resource-id", Value.String t.name) ]
+        ~action:[ ("action-id", Value.String "policy-update") ]
+        ()
+    in
+    Decision.is_permit (Policy.evaluate_child ctx policy)
+
+let push_to_subscribers t =
+  match t.root with
+  | None -> ()
+  | Some root ->
+    let body = Wire.policy_update ~version:t.version root in
+    List.iter
+      (fun child ->
+        Service.call t.services ~src:t.node ~dst:child ~service:"policy-update" body (fun _ -> ()))
+      t.subscribers
+
+let accept_update t child =
+  t.root <- Some child;
+  t.version <- t.version + 1;
+  t.updates_accepted <- t.updates_accepted + 1;
+  push_to_subscribers t
+
+let publish t child = accept_update t child
+
+let lookup t id =
+  match t.root with
+  | None -> None
+  | Some root ->
+    if Policy.child_id root = id then Some root
+    else begin
+      match root with
+      | Policy.Inline_set s ->
+        List.find_opt (fun c -> Policy.child_id c = id) s.Policy.children
+      | Policy.Inline_policy _ | Policy.Policy_ref _ -> None
+    end
+
+let create services ~node ~name ?admin_policy ?root () =
+  let t =
+    {
+      services;
+      node;
+      name;
+      admin_policy;
+      root;
+      version = (match root with None -> 0 | Some _ -> 1);
+      subscribers = [];
+      update_filter = (fun _ -> true);
+      update_transform = (fun c -> c);
+      queries_served = 0;
+      updates_accepted = 0;
+      updates_rejected = 0;
+    }
+  in
+  Service.serve services ~node ~service:"policy-query" (fun ~caller:_ ~headers:_ body reply ->
+      t.queries_served <- t.queries_served + 1;
+      match Wire.parse_policy_query body with
+      | Error e -> reply (Dacs_ws.Soap.fault_body { Dacs_ws.Soap.code = "soap:Sender"; reason = e })
+      | Ok (_scope, known_version) ->
+        if known_version >= t.version then reply (Wire.policy_response ~version:t.version None)
+        else reply (Wire.policy_response ~version:t.version t.root));
+  Service.serve services ~node ~service:"policy-update" (fun ~caller ~headers:_ body reply ->
+      match Wire.parse_policy_update body with
+      | Error e -> reply (Dacs_ws.Soap.fault_body { Dacs_ws.Soap.code = "soap:Sender"; reason = e })
+      | Ok (_remote_version, child) ->
+        (* A push from a syndicating parent we subscribed to is accepted
+           subject to the local filter; any other caller needs the admin
+           policy's blessing. *)
+        let allowed = admin_permits t ~caller in
+        if not allowed then begin
+          t.updates_rejected <- t.updates_rejected + 1;
+          reply
+            (Dacs_ws.Soap.fault_body
+               { Dacs_ws.Soap.code = "soap:Receiver"; reason = "policy update not authorised" })
+        end
+        else if not (t.update_filter child) then begin
+          t.updates_rejected <- t.updates_rejected + 1;
+          reply
+            (Dacs_ws.Soap.fault_body
+               { Dacs_ws.Soap.code = "soap:Receiver"; reason = "update rejected by local constraints" })
+        end
+        else begin
+          accept_update t (t.update_transform child);
+          reply (Xml.element "PolicyUpdateAck" ~attrs:[ ("Version", string_of_int t.version) ])
+        end);
+  Service.serve services ~node ~service:"subscribe" (fun ~caller ~headers:_ _body reply ->
+      if not (List.mem caller t.subscribers) then t.subscribers <- caller :: t.subscribers;
+      reply (Xml.element "SubscribeAck"));
+  t
+
+let subscribe_local t ~child =
+  if not (List.mem child t.subscribers) then t.subscribers <- child :: t.subscribers
+
+let enable_anti_entropy t ~parent ~period =
+  let engine = Dacs_net.Net.engine (Service.net t.services) in
+  (* Track the parent's version separately: local accepts bump our own
+     version counter, so comparing against [t.version] would loop. *)
+  let parent_version = ref 0 in
+  let rec poll () =
+    Service.call t.services ~src:t.node ~dst:parent ~service:"policy-query"
+      (Wire.policy_query ~scope:"" ~known_version:!parent_version)
+      (fun result ->
+        (match result with
+        | Ok body -> (
+          match Wire.parse_policy_response body with
+          | Ok (version, Some child) when version > !parent_version ->
+            parent_version := version;
+            if t.update_filter child then accept_update t (t.update_transform child)
+          | Ok (version, None) -> parent_version := max !parent_version version
+          | Ok _ | Error _ -> ())
+        | Error _ -> ());
+        Engine.schedule engine ~delay:period poll)
+  in
+  poll ()

@@ -1,0 +1,188 @@
+module Service = Dacs_ws.Service
+module Context = Dacs_policy.Context
+module Decision = Dacs_policy.Decision
+module Policy = Dacs_policy.Policy
+module Value = Dacs_policy.Value
+
+type policy_refresh =
+  | Never
+  | Every_query
+  | Ttl of float
+
+type stats = {
+  queries : int;
+  permits : int;
+  denies : int;
+  pip_fetches : int;
+  pap_fetches : int;
+  pap_refresh_hits : int;
+}
+
+let zero_stats =
+  { queries = 0; permits = 0; denies = 0; pip_fetches = 0; pap_fetches = 0; pap_refresh_hits = 0 }
+
+type t = {
+  services : Service.t;
+  node : Dacs_net.Net.node_id;
+  pap : Dacs_net.Net.node_id option;
+  refresh : policy_refresh;
+  pips : Dacs_net.Net.node_id list;
+  signer : (Dacs_crypto.Rsa.private_key * Dacs_crypto.Cert.t) option;
+  mutable root : Policy.child option;
+  mutable version : int;
+  mutable fetched_at : float;
+  mutable stats : stats;
+}
+
+let node t = t.node
+
+let now t = Dacs_net.Net.now (Service.net t.services)
+
+let install_policy t root =
+  t.root <- Some root;
+  t.fetched_at <- now t
+
+let policy_version t = t.version
+
+let stats t = t.stats
+let reset_stats t = t.stats <- zero_stats
+
+(* Resolve a policy reference against the locally cached tree: a direct
+   child of the cached root set. *)
+let local_ref_resolver t id =
+  match t.root with
+  | Some (Policy.Inline_set s) ->
+    List.find_opt (fun c -> Policy.child_id c = id) s.Policy.children
+  | Some _ | None -> None
+
+(* --- policy freshness -------------------------------------------------- *)
+
+let needs_refresh t =
+  match (t.pap, t.root, t.refresh) with
+  | None, _, _ -> false
+  | Some _, None, _ -> true
+  | Some _, Some _, Never -> false
+  | Some _, Some _, Every_query -> true
+  | Some _, Some _, Ttl ttl -> now t -. t.fetched_at >= ttl
+
+let ensure_policy t k =
+  if not (needs_refresh t) then k ()
+  else begin
+    match t.pap with
+    | None -> k ()
+    | Some pap ->
+      t.stats <- { t.stats with pap_fetches = t.stats.pap_fetches + 1 };
+      Service.call t.services ~src:t.node ~dst:pap ~service:"policy-query"
+        (Wire.policy_query ~scope:"" ~known_version:t.version)
+        (fun result ->
+          (match result with
+          | Ok body -> (
+            match Wire.parse_policy_response body with
+            | Ok (version, Some child) ->
+              t.root <- Some child;
+              t.version <- version;
+              t.fetched_at <- now t
+            | Ok (_, None) ->
+              t.stats <- { t.stats with pap_refresh_hits = t.stats.pap_refresh_hits + 1 };
+              t.fetched_at <- now t
+            | Error _ -> ())
+          | Error _ -> () (* keep whatever we have; staleness over unavailability *));
+          k ())
+  end
+
+(* --- attribute gathering -------------------------------------------------- *)
+
+(* One evaluation pass, recording the designator lookups that found
+   nothing.  [attempted] prevents refetching attributes a PIP already
+   said it does not have. *)
+let evaluate_pass t ctx attempted =
+  let misses = ref [] in
+  let resolve category id =
+    if not (Hashtbl.mem attempted (category, id)) then misses := (category, id) :: !misses;
+    None
+  in
+  let resolve_ref = local_ref_resolver t in
+  let result =
+    match t.root with
+    | None -> Decision.indeterminate "no policy installed"
+    | Some root -> Policy.evaluate_child ~resolve ~resolve_ref ctx root
+  in
+  (result, List.sort_uniq compare !misses)
+
+(* Fetch one attribute from the PIP list (first non-empty answer wins). *)
+let rec fetch_attribute t ~subject (category, id) pips k =
+  match pips with
+  | [] -> k []
+  | pip :: rest ->
+    t.stats <- { t.stats with pip_fetches = t.stats.pip_fetches + 1 };
+    Service.call t.services ~src:t.node ~dst:pip ~service:"attribute-query"
+      (Wire.attribute_query ~category ~attribute_id:id ~subject)
+      (fun result ->
+        match result with
+        | Ok body -> (
+          match Wire.parse_attribute_result body with
+          | Ok [] | Error _ -> fetch_attribute t ~subject (category, id) rest k
+          | Ok bag -> k bag)
+        | Error _ -> fetch_attribute t ~subject (category, id) rest k)
+
+let rec fetch_all t ~subject misses attempted ctx k =
+  match misses with
+  | [] -> k ctx
+  | ((category, id) as miss) :: rest ->
+    Hashtbl.replace attempted miss ();
+    fetch_attribute t ~subject miss t.pips (fun bag ->
+        let ctx = if bag = [] then ctx else Context.add_bag ctx category id bag in
+        fetch_all t ~subject rest attempted ctx k)
+
+let evaluate_local t ctx k =
+  ensure_policy t (fun () ->
+      let subject = Option.value (Context.subject_id ctx) ~default:"" in
+      let attempted = Hashtbl.create 8 in
+      (* The context-handler loop: evaluate, fetch what was missing,
+         re-evaluate; bounded to keep pathological policies finite. *)
+      let rec loop ctx rounds =
+        let result, misses = evaluate_pass t ctx attempted in
+        if misses = [] || t.pips = [] || rounds >= 4 then begin
+          let s = t.stats in
+          t.stats <-
+            {
+              s with
+              queries = s.queries + 1;
+              permits = (s.permits + if Decision.is_permit result then 1 else 0);
+              denies = (s.denies + if Decision.is_deny result then 1 else 0);
+            };
+          k result
+        end
+        else fetch_all t ~subject misses attempted ctx (fun ctx -> loop ctx (rounds + 1))
+      in
+      loop ctx 0)
+
+let create services ~node ~name:_ ?root ?pap ?refresh ?(pips = []) ?signer () =
+  let refresh =
+    match refresh with
+    | Some r -> r
+    | None -> (match pap with Some _ -> Every_query | None -> Never)
+  in
+  let t =
+    {
+      services;
+      node;
+      pap;
+      refresh;
+      pips;
+      signer;
+      root;
+      version = 0;
+      fetched_at = -.infinity;
+      stats = zero_stats;
+    }
+  in
+  Service.serve services ~node ~service:"authz-query" (fun ~caller:_ ~headers:_ body reply ->
+      match Wire.parse_authz_query body with
+      | Error e -> reply (Dacs_ws.Soap.fault_body { Dacs_ws.Soap.code = "soap:Sender"; reason = e })
+      | Ok ctx ->
+        evaluate_local t ctx (fun result ->
+            match t.signer with
+            | None -> reply (Wire.authz_response result)
+            | Some (key, cert) -> reply (Wire.signed_authz_response ~key ~cert result)));
+  t

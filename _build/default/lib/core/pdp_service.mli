@@ -1,0 +1,56 @@
+(** Networked Policy Decision Point.
+
+    Serves ["authz-query"] on its node: fetches/refreshes its policy from
+    a PAP (version-gated, TTL-cached), gathers missing attributes from
+    PIPs (the context-handler loop of Fig. 4), evaluates, and replies with
+    a decision plus obligations. *)
+
+type policy_refresh =
+  | Never  (** use the locally installed policy only *)
+  | Every_query  (** revalidate against the PAP before each decision *)
+  | Ttl of float  (** revalidate when the cached copy is older than this *)
+
+type t
+
+val create :
+  Dacs_ws.Service.t ->
+  node:Dacs_net.Net.node_id ->
+  name:string ->
+  ?root:Dacs_policy.Policy.child ->
+  ?pap:Dacs_net.Net.node_id ->
+  ?refresh:policy_refresh ->
+  ?pips:Dacs_net.Net.node_id list ->
+  ?signer:Dacs_crypto.Rsa.private_key * Dacs_crypto.Cert.t ->
+  unit ->
+  t
+(** [refresh] defaults to [Every_query] when a PAP is given, else
+    [Never].  With [signer], every decision response is signed and carries
+    the PDP's certificate (see {!Wire.signed_authz_response}) so PEPs can
+    authenticate their decision point (§3.2). *)
+
+val node : t -> Dacs_net.Net.node_id
+
+val install_policy : t -> Dacs_policy.Policy.child -> unit
+(** Local installation (also what a PAP fetch does internally). *)
+
+val policy_version : t -> int
+(** Last version seen from the PAP (0 when none). *)
+
+val evaluate_local :
+  t -> Dacs_policy.Context.t -> (Dacs_policy.Decision.result -> unit) -> unit
+(** The full decision pipeline without the inbound network hop (used by
+    agent-mode PEPs that embed their PDP). *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  queries : int;
+  permits : int;
+  denies : int;
+  pip_fetches : int;  (** attribute-query calls issued *)
+  pap_fetches : int;  (** policy-query calls issued *)
+  pap_refresh_hits : int;  (** PAP said "current" *)
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit

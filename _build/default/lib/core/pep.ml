@@ -1,0 +1,296 @@
+module Xml = Dacs_xml.Xml
+module Service = Dacs_ws.Service
+module Context = Dacs_policy.Context
+module Value = Dacs_policy.Value
+module Decision = Dacs_policy.Decision
+module Obligation = Dacs_policy.Obligation
+module Assertion = Dacs_saml.Assertion
+
+type mode =
+  | Pull of {
+      pdps : Dacs_net.Net.node_id list;
+      cache : Decision_cache.t option;
+      call_timeout : float;
+    }
+  | Push of {
+      trusted_issuer : string -> Dacs_crypto.Rsa.public_key option;
+      check_revocation : Dacs_net.Net.node_id option;
+      local_pdp : Pdp_service.t option;
+    }
+  | Agent of Pdp_service.t
+
+type stats = {
+  requests : int;
+  granted : int;
+  denied : int;
+  pdp_calls : int;
+  failovers : int;
+  cache_hits : int;
+  assertion_rejections : int;
+  revocation_checks : int;
+  obligations_fulfilled : int;
+}
+
+let zero_stats =
+  {
+    requests = 0;
+    granted = 0;
+    denied = 0;
+    pdp_calls = 0;
+    failovers = 0;
+    cache_hits = 0;
+    assertion_rejections = 0;
+    revocation_checks = 0;
+    obligations_fulfilled = 0;
+  }
+
+type t = {
+  services : Service.t;
+  node : Dacs_net.Net.node_id;
+  domain : string;
+  resource : string;
+  content : string;
+  audit : Audit.t;
+  encryption_key : string option;
+  mutable mode : mode;
+  mutable decision_trust : Dacs_crypto.Cert.Trust_store.t option;
+  mutable stats : stats;
+}
+
+let node t = t.node
+let resource t = t.resource
+let audit t = t.audit
+
+let stats t = t.stats
+let reset_stats t = t.stats <- zero_stats
+
+let now t = Dacs_net.Net.now (Service.net t.services)
+
+let invalidate_cache t =
+  match t.mode with
+  | Pull { cache = Some cache; _ } -> Decision_cache.invalidate_all cache
+  | Pull _ | Push _ | Agent _ -> ()
+
+let require_signed_decisions t trust = t.decision_trust <- Some trust
+
+let set_pull_pdps t pdps =
+  match t.mode with
+  | Pull p -> t.mode <- Pull { p with pdps }
+  | Push _ | Agent _ -> ()
+
+let pull_pdps t = match t.mode with Pull p -> p.pdps | Push _ | Agent _ -> []
+
+(* --- enforcement -------------------------------------------------------- *)
+
+let fulfil_obligations t (result : Decision.result) =
+  (* Returns the content (possibly encrypted) and whether encryption was
+     applied.  Unknown obligations are a PEP error in XACML; here they
+     deny (the PEP "must understand" its obligations, §2.3). *)
+  let rec go content encrypted fulfilled = function
+    | [] -> Ok (content, encrypted, fulfilled)
+    | (o : Obligation.t) :: rest -> (
+      match o.Obligation.id with
+      | "urn:dacs:obligation:audit" -> go content encrypted (fulfilled + 1) rest
+      | "urn:dacs:obligation:content-filter" -> (
+        (* Content-based access (§3.1): inspect the representation that
+           would be provisioned; refuse when the forbidden marker occurs. *)
+        match List.assoc_opt "forbidden" o.Obligation.parameters with
+        | Some (Value.String forbidden) ->
+          let contains hay needle =
+            let nh = String.length hay and nn = String.length needle in
+            let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+            nn = 0 || go 0
+          in
+          (* Always inspect the original representation, even if an
+             earlier obligation already encrypted the response. *)
+          if contains t.content forbidden then
+            Error (Printf.sprintf "content filter matched %S" forbidden)
+          else go content encrypted (fulfilled + 1) rest
+        | _ -> Error "content-filter obligation lacks its forbidden parameter")
+      | "urn:dacs:obligation:encrypt-response" -> (
+        match t.encryption_key with
+        | None -> Error "obligation to encrypt, but the PEP has no key"
+        | Some key ->
+          let rng = Dacs_crypto.Rng.create 7L in
+          let cipher = Dacs_crypto.Stream_cipher.encrypt rng ~key content in
+          go (Dacs_crypto.Encoding.base64_encode cipher) true (fulfilled + 1) rest)
+      | _ -> Error (Printf.sprintf "unknown obligation %s" o.Obligation.id))
+  in
+  go t.content false 0 result.Decision.obligations
+
+let enforce t ~subject ~action (result : Decision.result) reply =
+  let record decision =
+    Audit.record t.audit
+      { Audit.at = now t; domain = t.domain; subject; resource = t.resource; action; decision }
+  in
+  match result.Decision.decision with
+  | Decision.Permit -> (
+    match fulfil_obligations t result with
+    | Ok (content, encrypted, fulfilled) ->
+      record Decision.Permit;
+      t.stats <-
+        {
+          t.stats with
+          granted = t.stats.granted + 1;
+          obligations_fulfilled = t.stats.obligations_fulfilled + fulfilled;
+        };
+      reply (Wire.access_granted ~content ~encrypted ())
+    | Error reason ->
+      (* An unfulfillable obligation forbids granting access. *)
+      record Decision.Deny;
+      t.stats <- { t.stats with denied = t.stats.denied + 1 };
+      reply (Wire.access_denied ~reason))
+  | Decision.Deny ->
+    record Decision.Deny;
+    t.stats <- { t.stats with denied = t.stats.denied + 1 };
+    reply (Wire.access_denied ~reason:"denied by policy")
+  | Decision.Not_applicable ->
+    (* Deny-biased PEP: no applicable policy means no access. *)
+    record Decision.Deny;
+    t.stats <- { t.stats with denied = t.stats.denied + 1 };
+    reply (Wire.access_denied ~reason:"no applicable policy")
+  | Decision.Indeterminate m ->
+    record (Decision.Indeterminate m);
+    t.stats <- { t.stats with denied = t.stats.denied + 1 };
+    reply (Wire.access_denied ~reason:(Printf.sprintf "authorisation error: %s" m))
+
+(* --- pull mode ------------------------------------------------------------ *)
+
+let build_context t ~subject_attrs ~action =
+  Context.make ~subject:subject_attrs
+    ~resource:[ ("resource-id", Value.String t.resource) ]
+    ~action:[ ("action-id", Value.String action) ]
+    ~environment:[ ("time", Value.Time (now t)) ]
+    ()
+
+let pull_decide t ~pdps ~cache ~call_timeout ctx k =
+  let key = Decision_cache.request_key ctx in
+  let cached =
+    match cache with
+    | None -> None
+    | Some cache -> Decision_cache.get cache ~now:(now t) ~key
+  in
+  match cached with
+  | Some result ->
+    t.stats <- { t.stats with cache_hits = t.stats.cache_hits + 1 };
+    k result
+  | None ->
+    let rec try_pdps = function
+      | [] -> k (Decision.indeterminate "no decision point reachable")
+      | pdp :: rest ->
+        t.stats <- { t.stats with pdp_calls = t.stats.pdp_calls + 1 };
+        Service.call t.services ~src:t.node ~dst:pdp ~service:"authz-query"
+          ~timeout:call_timeout (Wire.authz_query ctx) (fun response ->
+            match response with
+            | Ok body -> (
+              let parsed =
+                match t.decision_trust with
+                | None -> Wire.parse_authz_response body
+                | Some trust ->
+                  (* Only authenticated decisions are enforceable. *)
+                  Result.map fst (Wire.verify_signed_authz_response ~trust ~now:(now t) body)
+              in
+              match parsed with
+              | Ok result ->
+                (match cache with
+                | Some cache -> Decision_cache.put cache ~now:(now t) ~key result
+                | None -> ());
+                k result
+              | Error e -> k (Decision.indeterminate ("unacceptable PDP response: " ^ e)))
+            | Error _ ->
+              (* Failover to the next replica (§ dependability). *)
+              if rest <> [] then t.stats <- { t.stats with failovers = t.stats.failovers + 1 };
+              try_pdps rest)
+    in
+    try_pdps pdps
+
+(* --- push mode --------------------------------------------------------------- *)
+
+let find_assertion headers =
+  (* Capabilities arrive either as SAML assertions (CAS style) or X.509
+     attribute certificates (VOMS style); both decode to the same logical
+     capability. *)
+  List.find_map
+    (fun h ->
+      match Xml.local_name (Xml.tag h) with
+      | "Assertion" -> (
+        match Assertion.of_xml h with Ok a -> Some a | Error _ -> None)
+      | name when name = Dacs_saml.Attribute_cert.element_name -> (
+        match Dacs_saml.Attribute_cert.of_xml h with Ok a -> Some a | Error _ -> None)
+      | _ -> None)
+    headers
+
+let push_decide t ~trusted_issuer ~check_revocation ~local_pdp ~headers ~action ctx k =
+  let deny_with reason =
+    t.stats <- { t.stats with assertion_rejections = t.stats.assertion_rejections + 1 };
+    k { Decision.decision = Decision.Indeterminate reason; obligations = [] }
+  in
+  match find_assertion headers with
+  | None -> deny_with "no capability assertion presented"
+  | Some assertion -> (
+    match Assertion.validate ~trusted_key:trusted_issuer ~now:(now t) assertion with
+    | Error failure -> deny_with (Assertion.failure_to_string failure)
+    | Ok () ->
+      if not (Assertion.permits assertion ~resource:t.resource ~action) then
+        deny_with "capability does not cover this access"
+      else begin
+        let continue_after_revocation () =
+          (* The resource provider may still impose its own restrictions
+             (the paper: the capability service only pre-screens). *)
+          match local_pdp with
+          | None -> k Decision.permit
+          | Some pdp -> Pdp_service.evaluate_local pdp ctx k
+        in
+        match check_revocation with
+        | None -> continue_after_revocation ()
+        | Some authority ->
+          t.stats <- { t.stats with revocation_checks = t.stats.revocation_checks + 1 };
+          Service.call t.services ~src:t.node ~dst:authority ~service:"revocation-check"
+            (Wire.revocation_check ~assertion_id:assertion.Assertion.id) (fun response ->
+              match response with
+              | Ok body -> (
+                match Wire.parse_revocation_status body with
+                | Ok true -> deny_with "capability has been revoked"
+                | Ok false -> continue_after_revocation ()
+                | Error e -> deny_with ("malformed revocation status: " ^ e))
+              | Error _ ->
+                (* Fail closed: cannot check revocation, do not honour. *)
+                deny_with "revocation authority unreachable")
+      end)
+
+(* --- service wiring --------------------------------------------------------------- *)
+
+let create services ~node ~domain ~resource ?(content = "resource-content") ?audit
+    ?encryption_key mode =
+  let t =
+    {
+      services;
+      node;
+      domain;
+      resource;
+      content;
+      audit = (match audit with Some a -> a | None -> Audit.create ());
+      encryption_key;
+      mode;
+      decision_trust = None;
+      stats = zero_stats;
+    }
+  in
+  Service.serve services ~node ~service:"access" (fun ~caller:_ ~headers body reply ->
+      t.stats <- { t.stats with requests = t.stats.requests + 1 };
+      match Wire.parse_access_request body with
+      | Error e -> reply (Dacs_ws.Soap.fault_body { Dacs_ws.Soap.code = "soap:Sender"; reason = e })
+      | Ok (subject_attrs, action) ->
+        let subject =
+          match List.assoc_opt "subject-id" subject_attrs with
+          | Some v -> Value.to_string v
+          | None -> "anonymous"
+        in
+        let ctx = build_context t ~subject_attrs ~action in
+        let finish result = enforce t ~subject ~action result reply in
+        (match t.mode with
+        | Pull { pdps; cache; call_timeout } -> pull_decide t ~pdps ~cache ~call_timeout ctx finish
+        | Push { trusted_issuer; check_revocation; local_pdp } ->
+          push_decide t ~trusted_issuer ~check_revocation ~local_pdp ~headers ~action ctx finish
+        | Agent pdp -> Pdp_service.evaluate_local pdp ctx finish));
+  t

@@ -1,0 +1,86 @@
+(** Policy Enforcement Point: the barrier around one exposed resource.
+
+    Supports the paper's three authorisation-decision query sequences
+    (§2.2):
+
+    - {b Pull} (policy-issuing, Fig. 3): the PEP turns each access request
+      into an authorisation query to its PDP (with decision caching and
+      ordered failover across PDP replicas — the dependability machinery).
+    - {b Push} (capability-issuing, Fig. 2): the request must carry a
+      signed capability assertion; the PEP verifies it locally, optionally
+      checks revocation with the issuer, and can still consult a local PDP
+      for the resource provider's final say.
+    - {b Agent}: an embedded PDP decides locally from syndicated policies
+      — no per-request network traffic at all.
+
+    Every decision is enforced together with its obligations: audit
+    obligations append to the domain audit log; encrypt-response
+    obligations return the content encrypted. *)
+
+type mode =
+  | Pull of {
+      pdps : Dacs_net.Net.node_id list;  (** failover order *)
+      cache : Decision_cache.t option;
+      call_timeout : float;
+    }
+  | Push of {
+      trusted_issuer : string -> Dacs_crypto.Rsa.public_key option;
+      check_revocation : Dacs_net.Net.node_id option;
+          (** capability service to ask before honouring an assertion *)
+      local_pdp : Pdp_service.t option;  (** resource provider's own check *)
+    }
+  | Agent of Pdp_service.t
+
+type t
+
+val create :
+  Dacs_ws.Service.t ->
+  node:Dacs_net.Net.node_id ->
+  domain:string ->
+  resource:string ->
+  ?content:string ->
+  ?audit:Audit.t ->
+  ?encryption_key:string ->
+  mode ->
+  t
+(** Registers the ["access"] service on [node].  [content] is what a
+    permitted requester receives; [encryption_key] (required for the
+    encrypt-response obligation) protects it when obliged to. *)
+
+val node : t -> Dacs_net.Net.node_id
+val resource : t -> string
+val audit : t -> Audit.t
+
+val invalidate_cache : t -> unit
+(** Called when the PEP learns its policy changed. *)
+
+val require_signed_decisions : t -> Dacs_crypto.Cert.Trust_store.t -> unit
+(** Pull mode only: from now on, accept only decision responses signed by
+    a PDP whose certificate chains to the given trust store (mutual
+    authentication of §3.2 — a forged or unsigned decision is treated as
+    Indeterminate and therefore denied). *)
+
+val set_pull_pdps : t -> Dacs_net.Net.node_id list -> unit
+(** Replace the failover list of a pull-mode PEP — how a discovery
+    service rebinds enforcement points to live decision points (§3.2
+    "Location of Policy Decision Points").  Ignored in other modes. *)
+
+val pull_pdps : t -> Dacs_net.Net.node_id list
+(** Current failover list ([[]] in push/agent modes). *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  requests : int;
+  granted : int;
+  denied : int;
+  pdp_calls : int;
+  failovers : int;  (** times a PDP endpoint was skipped after a failure *)
+  cache_hits : int;
+  assertion_rejections : int;
+  revocation_checks : int;
+  obligations_fulfilled : int;
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit

@@ -1,0 +1,43 @@
+module Service = Dacs_ws.Service
+module Context = Dacs_policy.Context
+module Value = Dacs_policy.Value
+
+type t = {
+  node : Dacs_net.Net.node_id;
+  subject_attrs : (string * string, Value.bag) Hashtbl.t;  (* (subject, id) *)
+  environment : (string, unit -> Value.bag) Hashtbl.t;
+  mutable lookups_served : int;
+}
+
+let node t = t.node
+
+let set_subject_attribute t ~subject ~id bag = Hashtbl.replace t.subject_attrs (subject, id) bag
+
+let add_subject_attribute t ~subject ~id v =
+  let prev = Option.value (Hashtbl.find_opt t.subject_attrs (subject, id)) ~default:[] in
+  Hashtbl.replace t.subject_attrs (subject, id) (prev @ [ v ])
+
+let remove_subject_attribute t ~subject ~id = Hashtbl.remove t.subject_attrs (subject, id)
+
+let set_environment t ~id f = Hashtbl.replace t.environment id f
+
+let lookup t ~category ~id ~subject =
+  match category with
+  | Context.Subject ->
+    Option.value (Hashtbl.find_opt t.subject_attrs (subject, id)) ~default:[]
+  | Context.Environment -> (
+    match Hashtbl.find_opt t.environment id with Some f -> f () | None -> [])
+  | Context.Resource | Context.Action -> []
+
+let create services ~node ~name:_ =
+  let t =
+    { node; subject_attrs = Hashtbl.create 64; environment = Hashtbl.create 8; lookups_served = 0 }
+  in
+  Service.serve services ~node ~service:"attribute-query" (fun ~caller:_ ~headers:_ body reply ->
+      t.lookups_served <- t.lookups_served + 1;
+      match Wire.parse_attribute_query body with
+      | Error e -> reply (Dacs_ws.Soap.fault_body { Dacs_ws.Soap.code = "soap:Sender"; reason = e })
+      | Ok (category, id, subject) -> reply (Wire.attribute_result (lookup t ~category ~id ~subject)));
+  t
+
+let lookups_served t = t.lookups_served

@@ -1,0 +1,49 @@
+module Decision = Dacs_policy.Decision
+
+let domain d =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "domain %s" (Domain.name d);
+  line "  PAP %-24s version %d, %d queries served, %d/%d updates accepted/rejected"
+    (Domain.pap_node d) (Pap.version (Domain.pap d))
+    (Pap.queries_served (Domain.pap d))
+    (Pap.updates_accepted (Domain.pap d))
+    (Pap.updates_rejected (Domain.pap d));
+  let s = Pdp_service.stats (Domain.pdp d) in
+  line "  PDP %-24s %d queries (%d permit / %d deny), %d PIP fetches, %d PAP fetches"
+    (Domain.pdp_node d) s.Pdp_service.queries s.Pdp_service.permits s.Pdp_service.denies
+    s.Pdp_service.pip_fetches s.Pdp_service.pap_fetches;
+  line "  PIP %-24s %d lookups served" (Domain.pip_node d) (Pip.lookups_served (Domain.pip d));
+  line "  IdP %-24s %d assertions issued" (Domain.idp_node d) (Idp.issued_count (Domain.idp d));
+  List.iter
+    (fun pep ->
+      let ps = Pep.stats pep in
+      line "  PEP %-24s %d requests: %d granted, %d denied (%d cache hits, %d failovers)"
+        (Pep.node pep) ps.Pep.requests ps.Pep.granted ps.Pep.denied ps.Pep.cache_hits
+        ps.Pep.failovers)
+    (Domain.peps d);
+  line "  audit: %d entries" (Audit.size (Domain.audit d));
+  Buffer.contents buf
+
+let vo v =
+  let buf = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "virtual organisation %s: %d domains" (Vo.name v) (List.length (Vo.domains v));
+  line "  VO PAP version %d (%d subscribers)"
+    (Pap.version (Vo.vo_pap v))
+    (List.length (Pap.subscribers (Vo.vo_pap v)));
+  line "  capability service: %d issued" (Capability_service.issued_count (Vo.capability_service v));
+  Buffer.add_char buf '\n';
+  List.iter (fun d -> Buffer.add_string buf (domain d)) (Vo.domains v);
+  (* Consolidated audit summary. *)
+  let merged = Vo.merged_audit v in
+  line "\nconsolidated audit (%d entries):" (Audit.size merged);
+  List.iter
+    (fun d ->
+      let per_domain = List.filter (fun e -> e.Audit.domain = Domain.name d) (Audit.entries merged) in
+      let permits = List.length (List.filter (fun e -> e.Audit.decision = Decision.Permit) per_domain) in
+      line "  %-16s %4d decisions (%d permits, %d others)" (Domain.name d)
+        (List.length per_domain) permits
+        (List.length per_domain - permits))
+    (Vo.domains v);
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Consolidated management view (§3.2).
+
+    The paper: "it is virtually impossible to obtain a consolidated view
+    of the safeguards and security controls that are deployed within the
+    entire enterprise ... security systems need a way of providing a
+    consolidated view of the access control policy that is enforced."
+
+    These functions gather the live state of every component — PAP
+    versions, PDP statistics, per-PEP enforcement counters, audit volumes
+    — into one human-readable report for a domain or a whole VO. *)
+
+val domain : Domain.t -> string
+val vo : Vo.t -> string
+(** The VO report includes every member domain plus the consolidated
+    audit summary (grants/denies per domain). *)

@@ -1,0 +1,39 @@
+(** Virtual Organisation: domains collaborating under shared trust and a
+    syndicated VO-wide policy (Fig. 1 + Fig. 5).
+
+    Forming a VO wires the cross-domain trust fabric (every domain's PEPs
+    can validate assertions from every member's IdP and the VO capability
+    service), stands up a VO-level PAP at the top of the syndication
+    hierarchy, and runs a VO capability service for push-model access. *)
+
+type t
+
+val form : Dacs_ws.Service.t -> name:string -> Domain.t list -> t
+(** Creates nodes [<name>.pap] and [<name>.cas], subscribes every member
+    PAP to the VO PAP, and authorises the VO PAP as a policy updater at
+    each member. *)
+
+val name : t -> string
+val domains : t -> Domain.t list
+val find_domain : t -> string -> Domain.t option
+
+val vo_pap : t -> Pap.t
+val capability_service : t -> Capability_service.t
+
+val publish_policy : t -> Dacs_policy.Policy.child -> unit
+(** Publish at the VO PAP; syndication pushes it to every member, where it
+    is combined with the member's local policy.  Also installs it as the
+    capability service's decision basis. *)
+
+val issuer_key : t -> string -> Dacs_crypto.Rsa.public_key option
+(** Trust lookup across the VO: IdP issuers of every member plus the VO
+    capability service. *)
+
+val merged_audit : t -> Audit.t
+(** Consolidated, time-ordered audit view across all member domains
+    (§3.2 management). *)
+
+val client_for :
+  t -> domain:Domain.t -> user:string -> (string * Dacs_policy.Value.t) list -> Client.t
+(** Create a client node [<domain>.client.<user>] with the given subject
+    attributes and register the user in its home domain. *)

@@ -1,0 +1,262 @@
+module Xml = Dacs_xml.Xml
+module Value = Dacs_policy.Value
+module Context = Dacs_policy.Context
+
+let ( let* ) = Result.bind
+
+let attr_or_error node name =
+  match Xml.attr node name with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "<%s> is missing attribute %s" (Xml.tag node) name)
+
+let expect_tag node name =
+  if Xml.local_name (Xml.tag node) = name then Ok ()
+  else Error (Printf.sprintf "expected <%s>, got <%s>" name (Xml.tag node))
+
+(* Shared encoding of attribute (name, value) lists. *)
+let attr_elements attrs =
+  List.map
+    (fun (name, v) ->
+      Xml.element "Attribute"
+        ~attrs:[ ("Name", name); ("DataType", Value.type_name (Value.type_of v)) ]
+        ~children:[ Xml.text (Value.to_string v) ])
+    attrs
+
+let parse_attr_elements nodes =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | node :: rest ->
+      let* name = attr_or_error node "Name" in
+      let* dt_name = attr_or_error node "DataType" in
+      (match Value.data_type_of_name dt_name with
+      | None -> Error (Printf.sprintf "unknown data type %s" dt_name)
+      | Some dt ->
+        let* v = Value.of_string dt (Xml.text_content node) in
+        go ((name, v) :: acc) rest)
+  in
+  go [] nodes
+
+(* --- access requests --------------------------------------------------- *)
+
+let access_request ~subject ~action =
+  Xml.element "AccessRequest" ~attrs:[ ("Action", action) ] ~children:(attr_elements subject)
+
+let parse_access_request node =
+  let* () = expect_tag node "AccessRequest" in
+  let* action = attr_or_error node "Action" in
+  let* subject = parse_attr_elements (Xml.find_children node "Attribute") in
+  Ok (subject, action)
+
+(* --- authz query/response ------------------------------------------------ *)
+
+let authz_query ctx = Xml.element "AuthzQuery" ~children:[ Context.to_xml ctx ]
+
+let parse_authz_query node =
+  let* () = expect_tag node "AuthzQuery" in
+  match Xml.find_child node "Request" with
+  | None -> Error "AuthzQuery has no Request"
+  | Some r -> Context.of_xml r
+
+let authz_response result = Xml.element "AuthzResponse" ~children:[ Dacs_policy.Xacml_xml.result_to_xml result ]
+
+let parse_authz_response node =
+  let* () = expect_tag node "AuthzResponse" in
+  match Xml.find_child node "Response" with
+  | None -> Error "AuthzResponse has no Response"
+  | Some r -> Dacs_policy.Xacml_xml.result_of_xml r
+
+let signed_authz_response ~key ~cert result =
+  let module Cert = Dacs_crypto.Cert in
+  let response = authz_response result in
+  let signature = Dacs_crypto.Rsa.sign key (Xml.canonical_string response) in
+  Xml.element "SignedAuthzResponse"
+    ~children:
+      [
+        response;
+        Cert.to_xml cert;
+        Xml.element "SignatureValue"
+          ~children:[ Xml.text (Dacs_crypto.Encoding.base64_encode signature) ];
+      ]
+
+let trusted_cert ~trust ~now cert =
+  let module Cert = Dacs_crypto.Cert in
+  if Cert.Trust_store.mem trust cert then Cert.valid_at cert now
+  else begin
+    match
+      List.find_opt
+        (fun r -> r.Cert.subject = cert.Cert.issuer)
+        (Cert.Trust_store.roots trust)
+    with
+    | None -> false
+    | Some root -> Cert.Trust_store.verify_chain trust ~now [ cert; root ] = Ok ()
+  end
+
+let verify_signed_authz_response ~trust ~now node =
+  let module Cert = Dacs_crypto.Cert in
+  let* () = expect_tag node "SignedAuthzResponse" in
+  match
+    ( Xml.find_child node "AuthzResponse",
+      Option.bind (Xml.find_child node "Certificate") Cert.of_xml,
+      Xml.find_child node "SignatureValue" )
+  with
+  | Some response, Some cert, Some sig_node ->
+    let signature =
+      try Some (Dacs_crypto.Encoding.base64_decode (Xml.text_content sig_node))
+      with Invalid_argument _ -> None
+    in
+    (match signature with
+    | None -> Error "signature is not valid base64"
+    | Some signature ->
+      if not (trusted_cert ~trust ~now cert) then
+        Error (Printf.sprintf "decision signer %s is not trusted" cert.Cert.subject)
+      else if
+        not
+          (Dacs_crypto.Rsa.verify cert.Cert.public_key (Xml.canonical_string response) ~signature)
+      then Error "decision signature does not verify"
+      else
+        let* result = parse_authz_response response in
+        Ok (result, cert))
+  | _ -> Error "SignedAuthzResponse lacks response, certificate or signature"
+
+(* --- attribute query ------------------------------------------------------- *)
+
+let attribute_query ~category ~attribute_id ~subject =
+  Xml.element "AttributeQuery"
+    ~attrs:
+      [
+        ("Category", Context.category_name category);
+        ("AttributeId", attribute_id);
+        ("Subject", subject);
+      ]
+
+let parse_attribute_query node =
+  let* () = expect_tag node "AttributeQuery" in
+  let* category_s = attr_or_error node "Category" in
+  let* attribute_id = attr_or_error node "AttributeId" in
+  let* subject = attr_or_error node "Subject" in
+  match Context.category_of_name category_s with
+  | None -> Error (Printf.sprintf "unknown category %s" category_s)
+  | Some category -> Ok (category, attribute_id, subject)
+
+let attribute_result bag =
+  Xml.element "AttributeResult" ~children:(attr_elements (List.map (fun v -> ("value", v)) bag))
+
+let parse_attribute_result node =
+  let* () = expect_tag node "AttributeResult" in
+  let* pairs = parse_attr_elements (Xml.find_children node "Attribute") in
+  Ok (List.map snd pairs)
+
+(* --- policy distribution ------------------------------------------------------ *)
+
+let policy_query ~scope ~known_version =
+  Xml.element "PolicyQuery" ~attrs:[ ("Scope", scope); ("KnownVersion", string_of_int known_version) ]
+
+let parse_policy_query node =
+  let* () = expect_tag node "PolicyQuery" in
+  let* scope = attr_or_error node "Scope" in
+  let* version_s = attr_or_error node "KnownVersion" in
+  match int_of_string_opt version_s with
+  | Some v -> Ok (scope, v)
+  | None -> Error "KnownVersion is not an integer"
+
+let policy_response ~version child =
+  Xml.element "PolicyResponse"
+    ~attrs:[ ("Version", string_of_int version) ]
+    ~children:(match child with None -> [] | Some c -> [ Dacs_policy.Xacml_xml.child_to_xml c ])
+
+let parse_policy_response node =
+  let* () = expect_tag node "PolicyResponse" in
+  let* version_s = attr_or_error node "Version" in
+  match int_of_string_opt version_s with
+  | None -> Error "Version is not an integer"
+  | Some version -> (
+    match List.filter Xml.is_element (Xml.children node) with
+    | [] -> Ok (version, None)
+    | [ c ] ->
+      let* child = Dacs_policy.Xacml_xml.child_of_xml c in
+      Ok (version, Some child)
+    | _ -> Error "PolicyResponse must carry at most one policy")
+
+let policy_update ~version child =
+  Xml.element "PolicyUpdate"
+    ~attrs:[ ("Version", string_of_int version) ]
+    ~children:[ Dacs_policy.Xacml_xml.child_to_xml child ]
+
+let parse_policy_update node =
+  let* () = expect_tag node "PolicyUpdate" in
+  let* version_s = attr_or_error node "Version" in
+  match int_of_string_opt version_s with
+  | None -> Error "Version is not an integer"
+  | Some version -> (
+    match List.filter Xml.is_element (Xml.children node) with
+    | [ c ] ->
+      let* child = Dacs_policy.Xacml_xml.child_of_xml c in
+      Ok (version, child)
+    | _ -> Error "PolicyUpdate must carry exactly one policy")
+
+(* --- capabilities ----------------------------------------------------------------- *)
+
+let capability_request ~subject ~pairs =
+  Xml.element "CapabilityRequest"
+    ~children:
+      (attr_elements subject
+      @ List.map
+          (fun (resource, action) ->
+            Xml.element "Want" ~attrs:[ ("Resource", resource); ("Action", action) ])
+          pairs)
+
+let parse_capability_request node =
+  let* () = expect_tag node "CapabilityRequest" in
+  let* subject = parse_attr_elements (Xml.find_children node "Attribute") in
+  let rec wants acc = function
+    | [] -> Ok (List.rev acc)
+    | w :: rest ->
+      let* resource = attr_or_error w "Resource" in
+      let* action = attr_or_error w "Action" in
+      wants ((resource, action) :: acc) rest
+  in
+  let* pairs = wants [] (Xml.find_children node "Want") in
+  Ok (subject, pairs)
+
+let revocation_check ~assertion_id =
+  Xml.element "RevocationCheck" ~attrs:[ ("AssertionId", assertion_id) ]
+
+let parse_revocation_check node =
+  let* () = expect_tag node "RevocationCheck" in
+  attr_or_error node "AssertionId"
+
+let revocation_status ~revoked =
+  Xml.element "RevocationStatus" ~attrs:[ ("Revoked", string_of_bool revoked) ]
+
+let parse_revocation_status node =
+  let* () = expect_tag node "RevocationStatus" in
+  let* s = attr_or_error node "Revoked" in
+  match bool_of_string_opt s with
+  | Some b -> Ok b
+  | None -> Error "Revoked is not a boolean"
+
+(* --- access outcomes ------------------------------------------------------------------ *)
+
+let access_granted ?(content = "") ?(encrypted = false) () =
+  Xml.element "AccessGranted"
+    ~attrs:[ ("Encrypted", string_of_bool encrypted) ]
+    ~children:(if content = "" then [] else [ Xml.text content ])
+
+let access_denied ~reason = Xml.element "AccessDenied" ~attrs:[ ("Reason", reason) ]
+
+type access_outcome =
+  | Granted of { content : string; encrypted : bool }
+  | Denied of string
+
+let parse_access_outcome node =
+  match Xml.local_name (Xml.tag node) with
+  | "AccessGranted" ->
+    Ok
+      (Granted
+         {
+           content = Xml.text_content node;
+           encrypted = Xml.attr node "Encrypted" = Some "true";
+         })
+  | "AccessDenied" ->
+    Ok (Denied (Option.value (Xml.attr node "Reason") ~default:""))
+  | other -> Error (Printf.sprintf "unexpected access outcome <%s>" other)

@@ -1,0 +1,93 @@
+(** Wire vocabulary of the authorisation protocol.
+
+    The XML bodies exchanged between components: access requests,
+    authorisation decision queries/responses, attribute queries, policy
+    fetches/updates, capability requests and revocation checks.  One
+    module so every component agrees on syntax — the interoperability
+    requirement of §3.2. *)
+
+module Xml = Dacs_xml.Xml
+
+(** {1 Access requests (client → PEP)} *)
+
+val access_request : subject:(string * Dacs_policy.Value.t) list -> action:string -> Xml.t
+(** The client names itself and the action; the PEP fills in the resource
+    it guards and the environment. *)
+
+val parse_access_request : Xml.t -> ((string * Dacs_policy.Value.t) list * string, string) result
+
+(** {1 Authorisation decision queries (PEP → PDP)} *)
+
+val authz_query : Dacs_policy.Context.t -> Xml.t
+val parse_authz_query : Xml.t -> (Dacs_policy.Context.t, string) result
+
+val authz_response : Dacs_policy.Decision.result -> Xml.t
+val parse_authz_response : Xml.t -> (Dacs_policy.Decision.result, string) result
+
+val signed_authz_response :
+  key:Dacs_crypto.Rsa.private_key ->
+  cert:Dacs_crypto.Cert.t ->
+  Dacs_policy.Decision.result ->
+  Xml.t
+(** Decision response carrying the PDP's certificate and a signature over
+    the canonical response — §3.2: "enforcement points need to be sure
+    that the authorisation decision response comes from their trusted
+    decision point". *)
+
+val verify_signed_authz_response :
+  trust:Dacs_crypto.Cert.Trust_store.t ->
+  now:float ->
+  Xml.t ->
+  (Dacs_policy.Decision.result * Dacs_crypto.Cert.t, string) result
+(** Accepts only a well-signed response whose certificate is trusted
+    (directly or via a one-level chain to a stored root) and valid at
+    [now]; returns the decision and the signer. *)
+
+(** {1 Attribute queries (PDP → PIP)} *)
+
+val attribute_query :
+  category:Dacs_policy.Context.category -> attribute_id:string -> subject:string -> Xml.t
+
+val parse_attribute_query :
+  Xml.t -> (Dacs_policy.Context.category * string * string, string) result
+
+val attribute_result : Dacs_policy.Value.bag -> Xml.t
+val parse_attribute_result : Xml.t -> (Dacs_policy.Value.bag, string) result
+
+(** {1 Policy distribution (PDP/PAP, PAP/PAP syndication)} *)
+
+val policy_query : scope:string -> known_version:int -> Xml.t
+val parse_policy_query : Xml.t -> (string * int, string) result
+
+val policy_response : version:int -> Dacs_policy.Policy.child option -> Xml.t
+(** [None] means "your version is current". *)
+
+val parse_policy_response : Xml.t -> (int * Dacs_policy.Policy.child option, string) result
+
+val policy_update : version:int -> Dacs_policy.Policy.child -> Xml.t
+val parse_policy_update : Xml.t -> (int * Dacs_policy.Policy.child, string) result
+
+(** {1 Capabilities (client → capability service, push model)} *)
+
+val capability_request :
+  subject:(string * Dacs_policy.Value.t) list -> pairs:(string * string) list -> Xml.t
+(** [pairs] are (resource, action) the client wants capabilities for. *)
+
+val parse_capability_request :
+  Xml.t -> ((string * Dacs_policy.Value.t) list * (string * string) list, string) result
+
+val revocation_check : assertion_id:string -> Xml.t
+val parse_revocation_check : Xml.t -> (string, string) result
+val revocation_status : revoked:bool -> Xml.t
+val parse_revocation_status : Xml.t -> (bool, string) result
+
+(** {1 Access responses (PEP → client)} *)
+
+val access_granted : ?content:string -> ?encrypted:bool -> unit -> Xml.t
+val access_denied : reason:string -> Xml.t
+
+type access_outcome =
+  | Granted of { content : string; encrypted : bool }
+  | Denied of string
+
+val parse_access_outcome : Xml.t -> (access_outcome, string) result

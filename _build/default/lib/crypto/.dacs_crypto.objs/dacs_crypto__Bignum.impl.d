@@ -1,0 +1,1 @@
+lib/crypto/bignum.ml: Array Char Encoding Format Printf Rng Stdlib String

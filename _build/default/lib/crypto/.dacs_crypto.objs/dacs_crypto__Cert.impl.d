@@ -1,0 +1,1 @@
+lib/crypto/cert.ml: Dacs_xml Encoding Printf Rsa Set Sha256 String

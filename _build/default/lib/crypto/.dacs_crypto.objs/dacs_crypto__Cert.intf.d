@@ -1,0 +1,1 @@
+lib/crypto/cert.mli: Dacs_xml Rsa

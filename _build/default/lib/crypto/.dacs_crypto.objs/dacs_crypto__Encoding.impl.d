@@ -1,0 +1,1 @@
+lib/crypto/encoding.ml: Buffer Bytes Char String

@@ -1,0 +1,1 @@
+lib/crypto/hmac.ml: Char Encoding Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/prime.ml: Array Bignum Fun List

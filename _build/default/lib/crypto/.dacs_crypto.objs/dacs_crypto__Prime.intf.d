@@ -1,0 +1,1 @@
+lib/crypto/prime.mli: Bignum Rng

@@ -1,0 +1,1 @@
+lib/crypto/rng.ml: Array Char Int64 List String

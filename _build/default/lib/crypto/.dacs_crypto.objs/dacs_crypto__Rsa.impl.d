@@ -1,0 +1,1 @@
+lib/crypto/rsa.ml: Bignum Char Dacs_xml Prime Rng Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/rsa.mli: Bignum Dacs_xml Rng

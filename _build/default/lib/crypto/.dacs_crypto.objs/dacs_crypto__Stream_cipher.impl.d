@@ -1,0 +1,1 @@
+lib/crypto/stream_cipher.ml: Buffer Char Hmac Rng Sha256 String

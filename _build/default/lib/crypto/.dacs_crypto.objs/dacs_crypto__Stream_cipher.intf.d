@@ -1,0 +1,1 @@
+lib/crypto/stream_cipher.mli: Rng

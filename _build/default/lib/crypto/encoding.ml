@@ -1,0 +1,97 @@
+let hex_chars = "0123456789abcdef"
+
+let hex_encode s =
+  let n = String.length s in
+  let out = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let b = Char.code s.[i] in
+    Bytes.set out (2 * i) hex_chars.[b lsr 4];
+    Bytes.set out ((2 * i) + 1) hex_chars.[b land 0xF]
+  done;
+  Bytes.to_string out
+
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Encoding.hex_decode: non-hex character"
+
+let hex_decode s =
+  let n = String.length s in
+  if n mod 2 <> 0 then invalid_arg "Encoding.hex_decode: odd length";
+  String.init (n / 2) (fun i ->
+      Char.chr ((hex_digit s.[2 * i] lsl 4) lor hex_digit s.[(2 * i) + 1]))
+
+let b64_alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let base64_encode s =
+  let n = String.length s in
+  let buf = Buffer.create (((n + 2) / 3) * 4) in
+  let emit b0 b1 b2 count =
+    let triple = (b0 lsl 16) lor (b1 lsl 8) lor b2 in
+    Buffer.add_char buf b64_alphabet.[(triple lsr 18) land 0x3F];
+    Buffer.add_char buf b64_alphabet.[(triple lsr 12) land 0x3F];
+    if count > 1 then Buffer.add_char buf b64_alphabet.[(triple lsr 6) land 0x3F]
+    else Buffer.add_char buf '=';
+    if count > 2 then Buffer.add_char buf b64_alphabet.[triple land 0x3F]
+    else Buffer.add_char buf '='
+  in
+  let i = ref 0 in
+  while !i + 3 <= n do
+    emit (Char.code s.[!i]) (Char.code s.[!i + 1]) (Char.code s.[!i + 2]) 3;
+    i := !i + 3
+  done;
+  (match n - !i with
+  | 1 -> emit (Char.code s.[!i]) 0 0 1
+  | 2 -> emit (Char.code s.[!i]) (Char.code s.[!i + 1]) 0 2
+  | _ -> ());
+  Buffer.contents buf
+
+let b64_value c =
+  match c with
+  | 'A' .. 'Z' -> Char.code c - Char.code 'A'
+  | 'a' .. 'z' -> Char.code c - Char.code 'a' + 26
+  | '0' .. '9' -> Char.code c - Char.code '0' + 52
+  | '+' -> 62
+  | '/' -> 63
+  | _ -> invalid_arg "Encoding.base64_decode: bad character"
+
+let base64_decode s =
+  let cleaned = Buffer.create (String.length s) in
+  String.iter
+    (fun c -> match c with ' ' | '\t' | '\n' | '\r' -> () | c -> Buffer.add_char cleaned c)
+    s;
+  let s = Buffer.contents cleaned in
+  let n = String.length s in
+  if n mod 4 <> 0 then invalid_arg "Encoding.base64_decode: length not a multiple of 4";
+  if n = 0 then ""
+  else begin
+    let out = Buffer.create (n / 4 * 3) in
+    let i = ref 0 in
+    while !i < n do
+      let c0 = s.[!i] and c1 = s.[!i + 1] and c2 = s.[!i + 2] and c3 = s.[!i + 3] in
+      if c0 = '=' || c1 = '=' then invalid_arg "Encoding.base64_decode: misplaced padding";
+      let v0 = b64_value c0 and v1 = b64_value c1 in
+      if c2 = '=' then begin
+        if c3 <> '=' || !i + 4 <> n then invalid_arg "Encoding.base64_decode: misplaced padding";
+        Buffer.add_char out (Char.chr ((v0 lsl 2) lor (v1 lsr 4)))
+      end
+      else begin
+        let v2 = b64_value c2 in
+        if c3 = '=' then begin
+          if !i + 4 <> n then invalid_arg "Encoding.base64_decode: misplaced padding";
+          Buffer.add_char out (Char.chr ((v0 lsl 2) lor (v1 lsr 4)));
+          Buffer.add_char out (Char.chr (((v1 land 0xF) lsl 4) lor (v2 lsr 2)))
+        end
+        else begin
+          let v3 = b64_value c3 in
+          Buffer.add_char out (Char.chr ((v0 lsl 2) lor (v1 lsr 4)));
+          Buffer.add_char out (Char.chr (((v1 land 0xF) lsl 4) lor (v2 lsr 2)));
+          Buffer.add_char out (Char.chr (((v2 land 0x3) lsl 6) lor v3))
+        end
+      end;
+      i := !i + 4
+    done;
+    Buffer.contents out
+  end

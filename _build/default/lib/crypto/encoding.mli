@@ -1,0 +1,15 @@
+(** Hex and Base64 codecs for digests, signatures and key material. *)
+
+val hex_encode : string -> string
+(** Lowercase hexadecimal rendering of a byte string. *)
+
+val hex_decode : string -> string
+(** Inverse of {!hex_encode}; accepts upper and lower case.
+    @raise Invalid_argument on odd length or non-hex characters. *)
+
+val base64_encode : string -> string
+(** Standard alphabet with ['='] padding (RFC 4648). *)
+
+val base64_decode : string -> string
+(** Inverse of {!base64_encode}; ignores ASCII whitespace.
+    @raise Invalid_argument on malformed input. *)

@@ -1,0 +1,22 @@
+let block_size = 64
+
+let sha256 ~key msg =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let pad c =
+    String.init block_size (fun i ->
+        let k = if i < String.length key then Char.code key.[i] else 0 in
+        Char.chr (k lxor c))
+  in
+  let ipad = pad 0x36 and opad = pad 0x5C in
+  Sha256.digest (opad ^ Sha256.digest (ipad ^ msg))
+
+let sha256_hex ~key msg = Encoding.hex_encode (sha256 ~key msg)
+
+let verify ~key msg ~tag =
+  let expected = sha256 ~key msg in
+  if String.length expected <> String.length tag then false
+  else begin
+    let diff = ref 0 in
+    String.iteri (fun i c -> diff := !diff lor (Char.code c lxor Char.code tag.[i])) expected;
+    !diff = 0
+  end

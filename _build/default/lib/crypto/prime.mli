@@ -1,0 +1,13 @@
+(** Probabilistic primality testing and random prime generation. *)
+
+val is_probably_prime : ?rounds:int -> Rng.t -> Bignum.t -> bool
+(** Trial division by small primes followed by [rounds] Miller–Rabin
+    witnesses (default 20).  Composites pass with probability at most
+    4{^-rounds}. *)
+
+val generate : Rng.t -> bits:int -> Bignum.t
+(** A random probable prime with exactly [bits] bits (top bit set).
+    [bits] must be at least 8. *)
+
+val small_primes : int list
+(** The primes below 1000, used for sieving. *)

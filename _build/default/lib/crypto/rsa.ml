@@ -1,0 +1,127 @@
+type public_key = { n : Bignum.t; e : Bignum.t }
+
+type private_key = {
+  pub : public_key;
+  d : Bignum.t;
+  p : Bignum.t;
+  q : Bignum.t;
+}
+
+type keypair = { public : public_key; private_ : private_key }
+
+let e_value = Bignum.of_int 65537
+
+let generate rng ~bits =
+  if bits < 64 then invalid_arg "Rsa.generate: need at least 64 bits";
+  let half = bits / 2 in
+  let rec gen_prime () =
+    let p = Prime.generate rng ~bits:half in
+    (* e must be invertible modulo p-1. *)
+    if Bignum.equal (Bignum.gcd (Bignum.pred p) e_value) Bignum.one then p else gen_prime ()
+  in
+  let rec gen_pair () =
+    let p = gen_prime () in
+    let q = gen_prime () in
+    if Bignum.equal p q then gen_pair ()
+    else begin
+      let n = Bignum.mul p q in
+      if Bignum.num_bits n <> bits then gen_pair ()
+      else begin
+        let phi = Bignum.mul (Bignum.pred p) (Bignum.pred q) in
+        match Bignum.modinv e_value phi with
+        | None -> gen_pair ()
+        | Some d ->
+          let pub = { n; e = e_value } in
+          { public = pub; private_ = { pub; d; p; q } }
+      end
+    end
+  in
+  gen_pair ()
+
+let key_bytes pub = (Bignum.num_bits pub.n + 7) / 8
+
+(* --- signatures ----------------------------------------------------- *)
+
+(* EMSA-PKCS1-v1_5 style block: 0x00 0x01 FF..FF 0x00 digest *)
+let emsa_encode pub msg =
+  let k = key_bytes pub in
+  let digest = Sha256.digest msg in
+  let pad_len = k - String.length digest - 3 in
+  if pad_len < 1 then invalid_arg "Rsa: key too small for a SHA-256 signature";
+  "\x00\x01" ^ String.make pad_len '\xFF' ^ "\x00" ^ digest
+
+let sign key msg =
+  let block = emsa_encode key.pub msg in
+  let m = Bignum.of_bytes_be block in
+  let s = Bignum.modpow m key.d key.pub.n in
+  Bignum.to_bytes_be_padded s (key_bytes key.pub)
+
+let verify pub msg ~signature =
+  String.length signature = key_bytes pub
+  &&
+  let s = Bignum.of_bytes_be signature in
+  if Bignum.compare s pub.n >= 0 then false
+  else begin
+    let m = Bignum.modpow s pub.e pub.n in
+    let expected = Bignum.of_bytes_be (emsa_encode pub msg) in
+    Bignum.equal m expected
+  end
+
+(* --- encryption ------------------------------------------------------ *)
+
+let max_plaintext pub = key_bytes pub - 11
+
+let encrypt rng pub msg =
+  let k = key_bytes pub in
+  let ml = String.length msg in
+  if ml > k - 11 then invalid_arg "Rsa.encrypt: message too long";
+  let pad_len = k - ml - 3 in
+  let padding =
+    String.init pad_len (fun _ ->
+        (* Non-zero random padding bytes. *)
+        Char.chr (1 + Rng.int rng 255))
+  in
+  let block = "\x00\x02" ^ padding ^ "\x00" ^ msg in
+  let m = Bignum.of_bytes_be block in
+  let c = Bignum.modpow m pub.e pub.n in
+  Bignum.to_bytes_be_padded c k
+
+let decrypt key cipher =
+  let k = key_bytes key.pub in
+  if String.length cipher <> k then None
+  else begin
+    let c = Bignum.of_bytes_be cipher in
+    if Bignum.compare c key.pub.n >= 0 then None
+    else begin
+      let m = Bignum.modpow c key.d key.pub.n in
+      let block = Bignum.to_bytes_be_padded m k in
+      if String.length block < 11 || block.[0] <> '\x00' || block.[1] <> '\x02' then None
+      else begin
+        match String.index_from_opt block 2 '\x00' with
+        | None -> None
+        | Some sep when sep < 10 -> None (* at least 8 padding bytes *)
+        | Some sep -> Some (String.sub block (sep + 1) (String.length block - sep - 1))
+      end
+    end
+  end
+
+(* --- serialisation ---------------------------------------------------- *)
+
+module Xml = Dacs_xml.Xml
+
+let public_to_xml pub =
+  Xml.element "RSAPublicKey"
+    ~children:
+      [
+        Xml.element "Modulus" ~children:[ Xml.text (Bignum.to_hex pub.n) ];
+        Xml.element "Exponent" ~children:[ Xml.text (Bignum.to_hex pub.e) ];
+      ]
+
+let public_of_xml node =
+  match (Xml.find_child node "Modulus", Xml.find_child node "Exponent") with
+  | Some m, Some e -> (
+    try Some { n = Bignum.of_hex (Xml.text_content m); e = Bignum.of_hex (Xml.text_content e) }
+    with Invalid_argument _ -> None)
+  | _ -> None
+
+let fingerprint pub = Sha256.hex_digest (Xml.canonical_string (public_to_xml pub))

@@ -1,0 +1,50 @@
+(** RSA signatures and encryption over {!Bignum}.
+
+    Real textbook-RSA with PKCS#1-style padding, at simulator-scale key
+    sizes (256–1024 bits).  DESIGN.md records the substitution: the paper's
+    deployments assume a production PKI; here the algorithms are real but
+    the key sizes are chosen for fast deterministic test runs, which
+    preserves the behaviour that matters to the paper — signature/
+    verification cost asymmetry and signed-message size overhead. *)
+
+type public_key = { n : Bignum.t; e : Bignum.t }
+
+type private_key = {
+  pub : public_key;
+  d : Bignum.t;
+  p : Bignum.t;
+  q : Bignum.t;
+}
+
+type keypair = { public : public_key; private_ : private_key }
+
+val generate : Rng.t -> bits:int -> keypair
+(** Fresh keypair with an [n] of exactly [bits] bits and [e = 65537].
+    [bits] must be at least 64. *)
+
+val key_bytes : public_key -> int
+(** Width in bytes of signatures and ciphertext blocks for this key. *)
+
+(** {1 Signatures (SHA-256, PKCS#1 v1.5-style padding)} *)
+
+val sign : private_key -> string -> string
+(** [sign key msg] is the raw signature (of {!key_bytes} length). *)
+
+val verify : public_key -> string -> signature:string -> bool
+
+(** {1 Block encryption (PKCS#1 v1.5-style random padding)} *)
+
+val encrypt : Rng.t -> public_key -> string -> string
+(** @raise Invalid_argument when the plaintext exceeds [key_bytes - 11]. *)
+
+val decrypt : private_key -> string -> string option
+(** [None] on padding failure. *)
+
+val max_plaintext : public_key -> int
+
+(** {1 Key serialisation} *)
+
+val public_to_xml : public_key -> Dacs_xml.Xml.t
+val public_of_xml : Dacs_xml.Xml.t -> public_key option
+val fingerprint : public_key -> string
+(** Hex SHA-256 of the canonical public key encoding. *)

@@ -1,0 +1,1 @@
+lib/policy/combine.ml: Decision List Option Printf String Target

@@ -1,0 +1,1 @@
+lib/policy/combine.mli: Decision Target

@@ -1,0 +1,1 @@
+lib/policy/context.ml: Dacs_xml Format List Map Option Printf Value

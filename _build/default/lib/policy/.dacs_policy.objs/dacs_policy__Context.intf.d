@@ -1,0 +1,1 @@
+lib/policy/context.mli: Dacs_xml Format Value

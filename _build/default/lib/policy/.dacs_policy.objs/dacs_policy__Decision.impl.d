@@ -1,0 +1,1 @@
+lib/policy/decision.ml: Format Obligation

@@ -1,0 +1,1 @@
+lib/policy/decision.mli: Format Obligation

@@ -1,0 +1,1 @@
+lib/policy/explain.ml: Buffer Combine Decision Expr Format List Option Policy Printf Rule String Target

@@ -1,0 +1,1 @@
+lib/policy/explain.mli: Context Decision Expr Policy

@@ -1,0 +1,1 @@
+lib/policy/expr.ml: Context Format Hashtbl List Option Printf Re Result String Value

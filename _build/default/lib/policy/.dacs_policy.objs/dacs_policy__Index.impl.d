@@ -1,0 +1,1 @@
+lib/policy/index.ml: Combine Context Decision Hashtbl List Option Policy Printf Rule Target Value

@@ -1,0 +1,1 @@
+lib/policy/index.mli: Context Decision Expr Policy

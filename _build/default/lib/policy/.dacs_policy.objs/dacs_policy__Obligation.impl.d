@@ -1,0 +1,1 @@
+lib/policy/obligation.ml: Format List Printf String Value

@@ -1,0 +1,1 @@
+lib/policy/obligation.mli: Format Value

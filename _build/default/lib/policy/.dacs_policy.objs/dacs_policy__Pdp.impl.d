@@ -1,0 +1,1 @@
+lib/policy/pdp.ml: Context Decision Option Policy Value

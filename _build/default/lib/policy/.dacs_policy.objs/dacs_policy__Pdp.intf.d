@@ -1,0 +1,1 @@
+lib/policy/pdp.mli: Context Decision Policy Value

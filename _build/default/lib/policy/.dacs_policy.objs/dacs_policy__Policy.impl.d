@@ -1,0 +1,1 @@
+lib/policy/policy.ml: Combine Decision Expr Format List Obligation Printf Rule Target

@@ -1,0 +1,1 @@
+lib/policy/policy.mli: Combine Context Decision Expr Format Obligation Rule Target

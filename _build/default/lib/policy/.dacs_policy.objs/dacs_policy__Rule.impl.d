@@ -1,0 +1,1 @@
+lib/policy/rule.ml: Decision Expr Format Printf Target

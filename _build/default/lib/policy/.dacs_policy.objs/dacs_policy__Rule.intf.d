@@ -1,0 +1,1 @@
+lib/policy/rule.mli: Context Decision Expr Format Target

@@ -1,0 +1,1 @@
+lib/policy/target.ml: Context Expr Format Option Printf Value

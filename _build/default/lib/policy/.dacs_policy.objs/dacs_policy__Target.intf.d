@@ -1,0 +1,1 @@
+lib/policy/target.mli: Context Expr Format Value

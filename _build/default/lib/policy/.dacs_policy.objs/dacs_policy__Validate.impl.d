@@ -1,0 +1,1 @@
+lib/policy/validate.ml: Combine Expr Hashtbl List Policy Printf Rule Target

@@ -1,0 +1,1 @@
+lib/policy/validate.mli: Policy

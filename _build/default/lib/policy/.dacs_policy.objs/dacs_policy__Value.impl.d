@@ -1,0 +1,1 @@
+lib/policy/value.ml: Format List Printf

@@ -1,0 +1,1 @@
+lib/policy/xacml_xml.ml: Combine Context Dacs_xml Decision Expr List Obligation Option Policy Printf Result Rule Target Value

@@ -1,0 +1,1 @@
+lib/policy/xacml_xml.mli: Context Dacs_xml Decision Expr Obligation Policy Rule Target

@@ -1,0 +1,134 @@
+type algorithm =
+  | Deny_overrides
+  | Permit_overrides
+  | First_applicable
+  | Only_one_applicable
+  | Ordered_deny_overrides
+  | Ordered_permit_overrides
+
+let name = function
+  | Deny_overrides -> "deny-overrides"
+  | Permit_overrides -> "permit-overrides"
+  | First_applicable -> "first-applicable"
+  | Only_one_applicable -> "only-one-applicable"
+  | Ordered_deny_overrides -> "ordered-deny-overrides"
+  | Ordered_permit_overrides -> "ordered-permit-overrides"
+
+let of_name = function
+  | "deny-overrides" -> Some Deny_overrides
+  | "permit-overrides" -> Some Permit_overrides
+  | "first-applicable" -> Some First_applicable
+  | "only-one-applicable" -> Some Only_one_applicable
+  | "ordered-deny-overrides" -> Some Ordered_deny_overrides
+  | "ordered-permit-overrides" -> Some Ordered_permit_overrides
+  | _ -> None
+
+let all =
+  [
+    Deny_overrides;
+    Permit_overrides;
+    First_applicable;
+    Only_one_applicable;
+    Ordered_deny_overrides;
+    Ordered_permit_overrides;
+  ]
+
+type child = {
+  label : string;
+  applicability : unit -> Target.outcome;
+  evaluate : unit -> Decision.result;
+}
+
+(* Obligations propagate from children whose decision equals the final
+   combined decision. *)
+let collect decision results =
+  List.concat_map
+    (fun (r : Decision.result) ->
+      if Decision.equal_decision r.Decision.decision decision then r.Decision.obligations else [])
+    results
+
+let deny_overrides children =
+  (* Short-circuit on the first Deny; an Indeterminate is a potential
+     Deny and therefore also decides immediately. *)
+  let rec go permits evaluated = function
+    | [] ->
+      if permits <> [] then
+        { Decision.decision = Decision.Permit; obligations = collect Decision.Permit evaluated }
+      else Decision.not_applicable
+    | c :: rest -> (
+      let r = c.evaluate () in
+      let evaluated = r :: evaluated in
+      match r.Decision.decision with
+      | Decision.Deny -> { r with Decision.obligations = collect Decision.Deny evaluated }
+      | Decision.Indeterminate e ->
+        Decision.indeterminate (Printf.sprintf "%s: %s (treated as potential deny)" c.label e)
+      | Decision.Permit -> go (r :: permits) evaluated rest
+      | Decision.Not_applicable -> go permits evaluated rest)
+  in
+  go [] [] children
+
+let permit_overrides children =
+  let rec go indeterminate denies evaluated = function
+    | [] -> (
+      match (indeterminate, denies) with
+      | Some e, _ -> Decision.indeterminate e
+      | None, _ :: _ ->
+        { Decision.decision = Decision.Deny; obligations = collect Decision.Deny evaluated }
+      | None, [] -> Decision.not_applicable)
+    | c :: rest -> (
+      let r = c.evaluate () in
+      let evaluated = r :: evaluated in
+      match r.Decision.decision with
+      | Decision.Permit -> { r with Decision.obligations = collect Decision.Permit evaluated }
+      | Decision.Indeterminate e ->
+        let e = Printf.sprintf "%s: %s" c.label e in
+        go (Some (Option.value indeterminate ~default:e)) denies evaluated rest
+      | Decision.Deny -> go indeterminate (r :: denies) evaluated rest
+      | Decision.Not_applicable -> go indeterminate denies evaluated rest)
+  in
+  go None [] [] children
+
+let first_applicable children =
+  let rec go = function
+    | [] -> Decision.not_applicable
+    | c :: rest -> (
+      let r = c.evaluate () in
+      match r.Decision.decision with
+      | Decision.Permit | Decision.Deny -> r
+      | Decision.Indeterminate e -> Decision.indeterminate (Printf.sprintf "%s: %s" c.label e)
+      | Decision.Not_applicable -> go rest)
+  in
+  go children
+
+let only_one_applicable children =
+  let rec scan applicable = function
+    | [] -> (
+      match applicable with
+      | [] -> Decision.not_applicable
+      | [ c ] -> c.evaluate ()
+      | cs ->
+        Decision.indeterminate
+          (Printf.sprintf "more than one applicable policy: %s"
+             (String.concat ", " (List.rev_map (fun c -> c.label) cs))))
+    | c :: rest -> (
+      match c.applicability () with
+      | Target.Match ->
+        (* Two applicable children already decide the outcome. *)
+        if applicable <> [] then
+          Decision.indeterminate
+            (Printf.sprintf "more than one applicable policy: %s, %s"
+               (String.concat ", " (List.rev_map (fun c -> c.label) applicable))
+               c.label)
+        else scan (c :: applicable) rest
+      | Target.No_match -> scan applicable rest
+      | Target.Indeterminate_match e ->
+        Decision.indeterminate (Printf.sprintf "%s target: %s" c.label e))
+  in
+  scan [] children
+
+let combine algorithm children =
+  match algorithm with
+  | Deny_overrides | Ordered_deny_overrides -> deny_overrides children
+  | Permit_overrides | Ordered_permit_overrides -> permit_overrides children
+  | First_applicable -> first_applicable children
+  | Only_one_applicable -> only_one_applicable children

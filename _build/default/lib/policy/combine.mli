@@ -1,0 +1,40 @@
+(** Rule- and policy-combining algorithms.
+
+    The conflict-resolution machinery the paper leans on (§3.1): when
+    several rules or policies apply to one request with contradicting
+    outcomes, the combining algorithm decides.  The six standard XACML
+    algorithms are provided. *)
+
+type algorithm =
+  | Deny_overrides
+  | Permit_overrides
+  | First_applicable
+  | Only_one_applicable  (** policy combining only *)
+  | Ordered_deny_overrides
+  | Ordered_permit_overrides
+
+val name : algorithm -> string
+val of_name : string -> algorithm option
+val all : algorithm list
+
+type child = {
+  label : string;  (** rule or policy id, for error messages *)
+  applicability : unit -> Target.outcome;
+      (** target-only check, used by [Only_one_applicable] *)
+  evaluate : unit -> Decision.result;
+}
+
+val combine : algorithm -> child list -> Decision.result
+(** Children are evaluated lazily, in order, with short-circuiting where
+    the algorithm allows it.  Obligations of children whose decision
+    matches the combined decision are propagated upward.
+
+    Semantics (XACML 2.0):
+    - deny-overrides: any Deny wins; an Indeterminate is treated as a
+      potential Deny; otherwise any Permit wins.
+    - permit-overrides: any Permit wins; otherwise Indeterminate
+      propagates; otherwise any Deny wins.
+    - first-applicable: the first child that is not NotApplicable decides.
+    - only-one-applicable: more than one applicable child is an error.
+    - ordered-* : identical to the unordered forms here, since children
+      are always evaluated in document order. *)

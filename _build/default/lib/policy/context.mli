@@ -1,0 +1,53 @@
+(** Request context: the attributes describing one access request.
+
+    The XACML request context carries four attribute categories — subject,
+    resource, action and environment — each a set of named attribute bags
+    (Fig. 4 of the paper). *)
+
+type category = Subject | Resource | Action | Environment
+
+val category_name : category -> string
+val category_of_name : string -> category option
+val all_categories : category list
+
+type t
+
+val empty : t
+
+val add : t -> category -> string -> Value.t -> t
+(** Append one value to the bag of attribute [id] in [category]. *)
+
+val add_bag : t -> category -> string -> Value.bag -> t
+
+val bag : t -> category -> string -> Value.bag
+(** The (possibly empty) bag bound to the attribute. *)
+
+val attributes : t -> category -> (string * Value.bag) list
+(** All attributes of a category, sorted by id. *)
+
+val merge : t -> t -> t
+(** Union of attribute bags (right side appended). *)
+
+(** {1 Convenience constructors} *)
+
+val make :
+  ?subject:(string * Value.t) list ->
+  ?resource:(string * Value.t) list ->
+  ?action:(string * Value.t) list ->
+  ?environment:(string * Value.t) list ->
+  unit ->
+  t
+
+val subject_id : t -> string option
+(** The conventional ["subject-id"] attribute, when present. *)
+
+val resource_id : t -> string option
+val action_id : t -> string option
+
+(** {1 XML encoding} *)
+
+val to_xml : t -> Dacs_xml.Xml.t
+val of_xml : Dacs_xml.Xml.t -> (t, string) result
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

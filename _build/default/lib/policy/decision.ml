@@ -1,0 +1,60 @@
+type t =
+  | Permit
+  | Deny
+  | Not_applicable
+  | Indeterminate of string
+
+type result = {
+  decision : t;
+  obligations : Obligation.t list;
+}
+
+let permit = { decision = Permit; obligations = [] }
+let deny = { decision = Deny; obligations = [] }
+let not_applicable = { decision = Not_applicable; obligations = [] }
+let indeterminate message = { decision = Indeterminate message; obligations = [] }
+
+let with_obligations r obligations =
+  let effect =
+    match r.decision with
+    | Permit -> Some Obligation.Permit
+    | Deny -> Some Obligation.Deny
+    | Not_applicable | Indeterminate _ -> None
+  in
+  match effect with
+  | None -> r
+  | Some effect -> { r with obligations = r.obligations @ Obligation.applicable obligations effect }
+
+let is_permit r = r.decision = Permit
+let is_deny r = r.decision = Deny
+
+let decision_to_string = function
+  | Permit -> "Permit"
+  | Deny -> "Deny"
+  | Not_applicable -> "NotApplicable"
+  | Indeterminate _ -> "Indeterminate"
+
+let decision_of_string = function
+  | "Permit" -> Some Permit
+  | "Deny" -> Some Deny
+  | "NotApplicable" -> Some Not_applicable
+  | "Indeterminate" -> Some (Indeterminate "")
+  | _ -> None
+
+let equal_decision a b =
+  match (a, b) with
+  | Permit, Permit | Deny, Deny | Not_applicable, Not_applicable -> true
+  | Indeterminate _, Indeterminate _ -> true
+  | (Permit | Deny | Not_applicable | Indeterminate _), _ -> false
+
+let pp fmt r =
+  Format.fprintf fmt "%s" (decision_to_string r.decision);
+  (match r.decision with
+  | Indeterminate m when m <> "" -> Format.fprintf fmt "(%s)" m
+  | _ -> ());
+  match r.obligations with
+  | [] -> ()
+  | obs ->
+    Format.fprintf fmt " with %a"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ", ") Obligation.pp)
+      obs

@@ -1,0 +1,116 @@
+(* The index is a sound pre-filter: a rule is bucketed under resource-id
+   value v only if *every* clause of its resource section requires
+   resource-id = v' for some listed v'.  Such a rule cannot match a
+   request whose resource-id differs from all its values, so skipping it
+   is safe.  Everything else goes to the fallback bucket.  Document order
+   is preserved when merging buckets, so combining semantics are exact. *)
+
+type indexed_rule = { position : int; rule : Rule.t }
+
+type t = {
+  policy : Policy.t;
+  by_resource : (string, indexed_rule list) Hashtbl.t;  (* newest first *)
+  fallback : indexed_rule list;  (* document order *)
+  total : int;
+}
+
+(* The resource-id values a clause accepts, when it pins resource-id by
+   string equality; None when the clause leaves resource-id free. *)
+let clause_resource_values clause =
+  let values =
+    List.filter_map
+      (fun m ->
+        if m.Target.attribute_id = "resource-id" && m.Target.fn = "string-equal" then
+          match m.Target.value with
+          | Value.String s -> Some s
+          | _ -> None
+        else None)
+      clause
+  in
+  match values with [] -> None | vs -> Some vs
+
+(* All resource-id values a rule can apply to, or None when unconstrained. *)
+let rule_resource_values (rule : Rule.t) =
+  match rule.Rule.target.Target.resources with
+  | [] -> None
+  | clauses ->
+    let per_clause = List.map clause_resource_values clauses in
+    if List.exists (fun v -> v = None) per_clause then None
+    else Some (List.concat_map (fun v -> Option.value v ~default:[]) per_clause)
+
+let build policy =
+  let by_resource = Hashtbl.create 256 in
+  let fallback = ref [] in
+  List.iteri
+    (fun position rule ->
+      let ir = { position; rule } in
+      match rule_resource_values rule with
+      | None -> fallback := ir :: !fallback
+      | Some values ->
+        List.iter
+          (fun v ->
+            let prev = Option.value (Hashtbl.find_opt by_resource v) ~default:[] in
+            Hashtbl.replace by_resource v (ir :: prev))
+          (List.sort_uniq compare values))
+    policy.Policy.rules;
+  {
+    policy;
+    by_resource;
+    fallback = List.rev !fallback;
+    total = List.length policy.Policy.rules;
+  }
+
+let request_resource_ids ctx =
+  List.filter_map
+    (function Value.String s | Value.Uri s -> Some s | _ -> None)
+    (Context.bag ctx Context.Resource "resource-id")
+
+let candidates t ctx =
+  match request_resource_ids ctx with
+  | [] ->
+    (* No resource-id in the request (or it may be supplied by a resolver
+       later): the pre-filter cannot prune soundly. *)
+    List.mapi (fun position rule -> { position; rule }) t.policy.Policy.rules
+  | ids ->
+    let bucketed =
+      List.concat_map
+        (fun id -> Option.value (Hashtbl.find_opt t.by_resource id) ~default:[])
+        ids
+    in
+    let merged = bucketed @ t.fallback in
+    (* Dedup (a rule can hit via several ids) and restore document order. *)
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun ir ->
+        if Hashtbl.mem seen ir.position then false
+        else begin
+          Hashtbl.add seen ir.position ();
+          true
+        end)
+      (List.sort (fun a b -> compare a.position b.position) merged)
+
+let candidate_count t ctx = List.length (candidates t ctx)
+
+let rule_count t = t.total
+
+let bucket_count t = Hashtbl.length t.by_resource
+
+let evaluate ?resolve ctx t =
+  let policy = t.policy in
+  match Target.evaluate ?resolve ctx policy.Policy.target with
+  | Target.No_match -> Decision.not_applicable
+  | Target.Indeterminate_match e ->
+    Decision.indeterminate (Printf.sprintf "policy %s target: %s" policy.Policy.id e)
+  | Target.Match ->
+    let children =
+      List.map
+        (fun ir ->
+          {
+            Combine.label = "rule " ^ ir.rule.Rule.id;
+            applicability = (fun () -> Target.evaluate ?resolve ctx ir.rule.Rule.target);
+            evaluate = (fun () -> Rule.evaluate ?resolve ctx ir.rule);
+          })
+        (candidates t ctx)
+    in
+    let result = Combine.combine policy.Policy.rule_combining children in
+    Decision.with_obligations result policy.Policy.obligations

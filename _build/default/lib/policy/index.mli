@@ -1,0 +1,27 @@
+(** Target index: sub-linear policy evaluation for large rule sets.
+
+    Large multi-domain policy stores (§3.1 — "scale to large user and
+    resource bases") make a linear rule scan the PDP bottleneck.  This
+    index buckets a policy's rules by the [resource-id]/[action-id]
+    string-equality constraints in their targets, so evaluation touches
+    only the rules that could possibly apply, preserving document order
+    and therefore exactly the combining-algorithm semantics.
+
+    Rules whose targets do not constrain resource/action by string
+    equality land in a fallback bucket that is always scanned. *)
+
+type t
+
+val build : Policy.t -> t
+(** Index one policy's rules. *)
+
+val evaluate : ?resolve:Expr.resolver -> Context.t -> t -> Decision.result
+(** Same result as {!Policy.evaluate} on the underlying policy, for any
+    request. *)
+
+val candidate_count : t -> Context.t -> int
+(** How many rules evaluation would consider for this request (the
+    selectivity measure reported by the index experiment). *)
+
+val rule_count : t -> int
+val bucket_count : t -> int

@@ -1,0 +1,34 @@
+(** Obligations: actions a PEP must perform when enforcing a decision.
+
+    Obligations attach to policies and policy sets; a decision carries up
+    the obligations whose [fulfill_on] effect matches the final decision
+    (§2.3 of the paper — e.g. "encrypt the resource before provisioning",
+    "write an audit record"). *)
+
+type effect = Permit | Deny
+
+type t = {
+  id : string;  (** e.g. ["urn:dacs:obligation:audit"] *)
+  fulfill_on : effect;
+  parameters : (string * Value.t) list;
+}
+
+val make : ?parameters:(string * Value.t) list -> fulfill_on:effect -> string -> t
+
+val applicable : t list -> effect -> t list
+(** Obligations to hand to the PEP for a decision with the given effect. *)
+
+val audit : t
+(** Stock audit obligation ([fulfill_on = Permit]). *)
+
+val encrypt_response : strength:int -> t
+(** Stock content-protection obligation, parameterised by key strength. *)
+
+val content_filter : forbidden:string -> t
+(** Content-based access control (§3.1): the PEP must inspect the
+    resource representation before provisioning it and refuse if it
+    contains the forbidden marker — the paper's example of obligations
+    standing in for content checks that cannot be decided statically. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+type stats = {
+  evaluations : int;
+  permits : int;
+  denies : int;
+  not_applicables : int;
+  indeterminates : int;
+  pip_lookups : int;
+}
+
+let zero_stats =
+  { evaluations = 0; permits = 0; denies = 0; not_applicables = 0; indeterminates = 0; pip_lookups = 0 }
+
+type t = {
+  mutable root : Policy.child;
+  pip : (Context.category -> string -> Value.bag option) option;
+  resolve_ref : Policy.ref_resolver option;
+  mutable stats : stats;
+}
+
+let create ?pip ?resolve_ref root = { root; pip; resolve_ref; stats = zero_stats }
+
+let root t = t.root
+let set_root t root = t.root <- root
+
+let evaluate t ctx =
+  let resolve =
+    Option.map
+      (fun pip category id ->
+        t.stats <- { t.stats with pip_lookups = t.stats.pip_lookups + 1 };
+        pip category id)
+      t.pip
+  in
+  let result = Policy.evaluate_child ?resolve ?resolve_ref:t.resolve_ref ctx t.root in
+  let s = t.stats in
+  t.stats <-
+    (match result.Decision.decision with
+    | Decision.Permit -> { s with evaluations = s.evaluations + 1; permits = s.permits + 1 }
+    | Decision.Deny -> { s with evaluations = s.evaluations + 1; denies = s.denies + 1 }
+    | Decision.Not_applicable ->
+      { s with evaluations = s.evaluations + 1; not_applicables = s.not_applicables + 1 }
+    | Decision.Indeterminate _ ->
+      { s with evaluations = s.evaluations + 1; indeterminates = s.indeterminates + 1 });
+  result
+
+let stats t = t.stats
+let reset_stats t = t.stats <- zero_stats

@@ -1,0 +1,32 @@
+(** Policy Decision Point: the evaluation engine of Fig. 4.
+
+    Wraps a root policy (set) with a PIP attribute resolver and a policy
+    reference resolver, and counts evaluation traffic for the experiment
+    harness. *)
+
+type stats = {
+  evaluations : int;
+  permits : int;
+  denies : int;
+  not_applicables : int;
+  indeterminates : int;
+  pip_lookups : int;  (** resolver consultations for missing attributes *)
+}
+
+type t
+
+val create :
+  ?pip:(Context.category -> string -> Value.bag option) ->
+  ?resolve_ref:Policy.ref_resolver ->
+  Policy.child ->
+  t
+(** A PDP answering from a single root policy/policy set. *)
+
+val root : t -> Policy.child
+val set_root : t -> Policy.child -> unit
+(** Swap the policy tree (e.g. after a PAP update). *)
+
+val evaluate : t -> Context.t -> Decision.result
+
+val stats : t -> stats
+val reset_stats : t -> unit

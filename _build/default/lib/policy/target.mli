@@ -1,0 +1,58 @@
+(** Policy targets: the applicability test of rules, policies and
+    policy sets.
+
+    A target has four sections (subjects, resources, actions,
+    environments).  Each section is a disjunction of clauses; each clause
+    is a conjunction of matches; an empty section matches anything — the
+    XACML 2.0 structure. *)
+
+type match_ = {
+  fn : string;  (** a binary boolean function from the expression registry *)
+  value : Value.t;  (** the literal, passed as the function's first argument *)
+  category : Context.category;
+  attribute_id : string;
+}
+
+type clause = match_ list
+(** Conjunction. *)
+
+type section = clause list
+(** Disjunction; [[]] matches everything. *)
+
+type t = {
+  subjects : section;
+  resources : section;
+  actions : section;
+  environments : section;
+}
+
+val any : t
+(** Matches every request. *)
+
+val make :
+  ?subjects:section -> ?resources:section -> ?actions:section -> ?environments:section -> unit -> t
+
+(** {1 Simple builders} *)
+
+val match_string : Context.category -> string -> string -> match_
+(** [match_string cat attr v] — string-equal on one attribute. *)
+
+val subject_is : string -> string -> t -> t
+(** [subject_is attr v t] adds a one-clause subject requirement. *)
+
+val resource_is : string -> string -> t -> t
+val action_is : string -> string -> t -> t
+
+val for_action : string -> t
+(** Target matching requests whose ["action-id"] equals the given name. *)
+
+val for_resource : string -> t
+val for_subject_role : string -> t
+
+type outcome = Match | No_match | Indeterminate_match of string
+
+val evaluate : ?resolve:Expr.resolver -> Context.t -> t -> outcome
+(** XACML semantics: a match function error makes the section
+    indeterminate rather than a mismatch. *)
+
+val pp : Format.formatter -> t -> unit

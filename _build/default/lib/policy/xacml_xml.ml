@@ -1,0 +1,401 @@
+module Xml = Dacs_xml.Xml
+
+let ( let* ) = Result.bind
+
+let rec collect_results f = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = collect_results f rest in
+    Ok (y :: ys)
+
+let attr_or_error node name =
+  match Xml.attr node name with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "<%s> is missing attribute %s" (Xml.tag node) name)
+
+let value_of ~data_type ~text =
+  match Value.data_type_of_name data_type with
+  | None -> Error (Printf.sprintf "unknown data type %s" data_type)
+  | Some dt -> Value.of_string dt text
+
+(* --- expressions ------------------------------------------------------- *)
+
+let rec expr_to_xml = function
+  | Expr.Const v ->
+    Xml.element "AttributeValue"
+      ~attrs:[ ("DataType", Value.type_name (Value.type_of v)) ]
+      ~children:[ Xml.text (Value.to_string v) ]
+  | Expr.Designator d ->
+    Xml.element "AttributeDesignator"
+      ~attrs:
+        [
+          ("Category", Context.category_name d.Expr.category);
+          ("AttributeId", d.Expr.attribute_id);
+          ("MustBePresent", string_of_bool d.Expr.must_be_present);
+        ]
+  | Expr.Function_ref f -> Xml.element "Function" ~attrs:[ ("FunctionId", f) ]
+  | Expr.Variable_ref v -> Xml.element "VariableReference" ~attrs:[ ("VariableId", v) ]
+  | Expr.Apply (name, args) ->
+    Xml.element "Apply" ~attrs:[ ("FunctionId", name) ] ~children:(List.map expr_to_xml args)
+
+let rec expr_of_xml node =
+  match Xml.local_name (Xml.tag node) with
+  | "AttributeValue" ->
+    let* data_type = attr_or_error node "DataType" in
+    let* v = value_of ~data_type ~text:(Xml.text_content node) in
+    Ok (Expr.Const v)
+  | "AttributeDesignator" ->
+    let* category_name = attr_or_error node "Category" in
+    let* attribute_id = attr_or_error node "AttributeId" in
+    let must_be_present = Xml.attr node "MustBePresent" = Some "true" in
+    (match Context.category_of_name category_name with
+    | None -> Error (Printf.sprintf "unknown category %s" category_name)
+    | Some category -> Ok (Expr.Designator { Expr.category; attribute_id; must_be_present }))
+  | "Function" ->
+    let* f = attr_or_error node "FunctionId" in
+    Ok (Expr.Function_ref f)
+  | "VariableReference" ->
+    let* v = attr_or_error node "VariableId" in
+    Ok (Expr.Variable_ref v)
+  | "Apply" ->
+    let* name = attr_or_error node "FunctionId" in
+    let children = List.filter Xml.is_element (Xml.children node) in
+    let* args = collect_results expr_of_xml children in
+    Ok (Expr.Apply (name, args))
+  | other -> Error (Printf.sprintf "unexpected expression element <%s>" other)
+
+(* --- targets ------------------------------------------------------------- *)
+
+let section_names =
+  [
+    (Context.Subject, ("Subjects", "Subject", "SubjectMatch"));
+    (Context.Resource, ("Resources", "Resource", "ResourceMatch"));
+    (Context.Action, ("Actions", "Action", "ActionMatch"));
+    (Context.Environment, ("Environments", "Environment", "EnvironmentMatch"));
+  ]
+
+let match_to_xml m =
+  let _, _, match_name = List.assoc m.Target.category section_names in
+  Xml.element match_name
+    ~attrs:
+      [
+        ("MatchId", m.Target.fn);
+        ("AttributeId", m.Target.attribute_id);
+        ("DataType", Value.type_name (Value.type_of m.Target.value));
+      ]
+    ~children:[ Xml.text (Value.to_string m.Target.value) ]
+
+let section_to_xml category section =
+  let plural, singular, _ = List.assoc category section_names in
+  match section with
+  | [] -> None
+  | clauses ->
+    Some
+      (Xml.element plural
+         ~children:
+           (List.map
+              (fun clause -> Xml.element singular ~children:(List.map match_to_xml clause))
+              clauses))
+
+let target_to_xml t =
+  let sections =
+    List.filter_map
+      (fun (category, picker) -> section_to_xml category (picker t))
+      [
+        (Context.Subject, fun t -> t.Target.subjects);
+        (Context.Resource, fun t -> t.Target.resources);
+        (Context.Action, fun t -> t.Target.actions);
+        (Context.Environment, fun t -> t.Target.environments);
+      ]
+  in
+  Xml.element "Target" ~children:sections
+
+let match_of_xml category node =
+  let* fn = attr_or_error node "MatchId" in
+  let* attribute_id = attr_or_error node "AttributeId" in
+  let* data_type = attr_or_error node "DataType" in
+  let* value = value_of ~data_type ~text:(Xml.text_content node) in
+  Ok { Target.fn; value; category; attribute_id }
+
+let section_of_xml category target_node =
+  let plural, singular, _ = List.assoc category section_names in
+  match Xml.find_child target_node plural with
+  | None -> Ok []
+  | Some section_node ->
+    collect_results
+      (fun clause_node ->
+        collect_results (match_of_xml category) (List.filter Xml.is_element (Xml.children clause_node)))
+      (Xml.find_children section_node singular)
+
+let target_of_xml node =
+  if Xml.local_name (Xml.tag node) <> "Target" then
+    Error (Printf.sprintf "expected <Target>, got <%s>" (Xml.tag node))
+  else begin
+    let* subjects = section_of_xml Context.Subject node in
+    let* resources = section_of_xml Context.Resource node in
+    let* actions = section_of_xml Context.Action node in
+    let* environments = section_of_xml Context.Environment node in
+    Ok { Target.subjects; resources; actions; environments }
+  end
+
+let target_child node =
+  match Xml.find_child node "Target" with
+  | None -> Ok Target.any
+  | Some t -> target_of_xml t
+
+(* --- obligations ---------------------------------------------------------- *)
+
+let effect_to_string = function Obligation.Permit -> "Permit" | Obligation.Deny -> "Deny"
+
+let effect_of_string = function
+  | "Permit" -> Ok Obligation.Permit
+  | "Deny" -> Ok Obligation.Deny
+  | other -> Error (Printf.sprintf "unknown effect %s" other)
+
+let obligation_to_xml o =
+  Xml.element "Obligation"
+    ~attrs:[ ("ObligationId", o.Obligation.id); ("FulfillOn", effect_to_string o.Obligation.fulfill_on) ]
+    ~children:
+      (List.map
+         (fun (k, v) ->
+           Xml.element "AttributeAssignment"
+             ~attrs:[ ("AttributeId", k); ("DataType", Value.type_name (Value.type_of v)) ]
+             ~children:[ Xml.text (Value.to_string v) ])
+         o.Obligation.parameters)
+
+let obligation_of_xml node =
+  let* id = attr_or_error node "ObligationId" in
+  let* fulfill_on_s = attr_or_error node "FulfillOn" in
+  let* fulfill_on = effect_of_string fulfill_on_s in
+  let* parameters =
+    collect_results
+      (fun a ->
+        let* k = attr_or_error a "AttributeId" in
+        let* data_type = attr_or_error a "DataType" in
+        let* v = value_of ~data_type ~text:(Xml.text_content a) in
+        Ok (k, v))
+      (Xml.find_children node "AttributeAssignment")
+  in
+  Ok { Obligation.id; fulfill_on; parameters }
+
+let obligations_to_xml = function
+  | [] -> None
+  | obligations -> Some (Xml.element "Obligations" ~children:(List.map obligation_to_xml obligations))
+
+let obligations_child node =
+  match Xml.find_child node "Obligations" with
+  | None -> Ok []
+  | Some obs -> collect_results obligation_of_xml (Xml.find_children obs "Obligation")
+
+(* --- rules ------------------------------------------------------------------ *)
+
+let rule_to_xml (r : Rule.t) =
+  let effect = match r.Rule.effect with Rule.Permit -> "Permit" | Rule.Deny -> "Deny" in
+  let children =
+    (if r.Rule.description = "" then []
+     else [ Xml.element "Description" ~children:[ Xml.text r.Rule.description ] ])
+    @ (if r.Rule.target = Target.any then [] else [ target_to_xml r.Rule.target ])
+    @
+    match r.Rule.condition with
+    | None -> []
+    | Some c -> [ Xml.element "Condition" ~children:[ expr_to_xml c ] ]
+  in
+  Xml.element "Rule" ~attrs:[ ("RuleId", r.Rule.id); ("Effect", effect) ] ~children
+
+let rule_of_xml node =
+  let* id = attr_or_error node "RuleId" in
+  let* effect_s = attr_or_error node "Effect" in
+  let* effect =
+    match effect_s with
+    | "Permit" -> Ok Rule.Permit
+    | "Deny" -> Ok Rule.Deny
+    | other -> Error (Printf.sprintf "unknown effect %s" other)
+  in
+  let description =
+    Option.value (Option.map Xml.text_content (Xml.find_child node "Description")) ~default:""
+  in
+  let* target = target_child node in
+  let* condition =
+    match Xml.find_child node "Condition" with
+    | None -> Ok None
+    | Some c -> (
+      match List.filter Xml.is_element (Xml.children c) with
+      | [ e ] ->
+        let* expr = expr_of_xml e in
+        Ok (Some expr)
+      | _ -> Error "Condition must contain exactly one expression")
+  in
+  Ok { Rule.id; description; effect; target; condition }
+
+(* --- policies ---------------------------------------------------------------- *)
+
+let combining_of node attr_name =
+  let* s = attr_or_error node attr_name in
+  match Combine.of_name s with
+  | Some a -> Ok a
+  | None -> Error (Printf.sprintf "unknown combining algorithm %s" s)
+
+let policy_to_xml (p : Policy.t) =
+  let children =
+    (if p.Policy.description = "" then []
+     else [ Xml.element "Description" ~children:[ Xml.text p.Policy.description ] ])
+    @ (if p.Policy.target = Target.any then [] else [ target_to_xml p.Policy.target ])
+    @ List.map
+        (fun (name, e) ->
+          Xml.element "VariableDefinition" ~attrs:[ ("VariableId", name) ]
+            ~children:[ expr_to_xml e ])
+        p.Policy.variables
+    @ List.map rule_to_xml p.Policy.rules
+    @ Option.to_list (obligations_to_xml p.Policy.obligations)
+  in
+  Xml.element "Policy"
+    ~attrs:
+      ([
+         ("PolicyId", p.Policy.id);
+         ("Version", string_of_int p.Policy.version);
+         ("RuleCombiningAlgId", Combine.name p.Policy.rule_combining);
+       ]
+      @ if p.Policy.issuer = "" then [] else [ ("Issuer", p.Policy.issuer) ])
+    ~children
+
+let policy_of_xml node =
+  let* id = attr_or_error node "PolicyId" in
+  let version =
+    Option.value (Option.bind (Xml.attr node "Version") int_of_string_opt) ~default:1
+  in
+  let issuer = Option.value (Xml.attr node "Issuer") ~default:"" in
+  let* rule_combining = combining_of node "RuleCombiningAlgId" in
+  let description =
+    Option.value (Option.map Xml.text_content (Xml.find_child node "Description")) ~default:""
+  in
+  let* target = target_child node in
+  let* variables =
+    collect_results
+      (fun v ->
+        let* name = attr_or_error v "VariableId" in
+        match List.filter Xml.is_element (Xml.children v) with
+        | [ e ] ->
+          let* expr = expr_of_xml e in
+          Ok (name, expr)
+        | _ -> Error "VariableDefinition must contain exactly one expression")
+      (Xml.find_children node "VariableDefinition")
+  in
+  let* rules = collect_results rule_of_xml (Xml.find_children node "Rule") in
+  let* obligations = obligations_child node in
+  Ok
+    { Policy.id; version; description; issuer; target; variables; rules; rule_combining; obligations }
+
+let rec set_to_xml (s : Policy.set) =
+  let children =
+    (if s.Policy.set_description = "" then []
+     else [ Xml.element "Description" ~children:[ Xml.text s.Policy.set_description ] ])
+    @ (if s.Policy.set_target = Target.any then [] else [ target_to_xml s.Policy.set_target ])
+    @ List.map child_to_xml s.Policy.children
+    @ Option.to_list (obligations_to_xml s.Policy.set_obligations)
+  in
+  Xml.element "PolicySet"
+    ~attrs:
+      [
+        ("PolicySetId", s.Policy.set_id);
+        ("Version", string_of_int s.Policy.set_version);
+        ("PolicyCombiningAlgId", Combine.name s.Policy.policy_combining);
+      ]
+    ~children
+
+and child_to_xml = function
+  | Policy.Inline_policy p -> policy_to_xml p
+  | Policy.Inline_set s -> set_to_xml s
+  | Policy.Policy_ref id -> Xml.element "PolicyIdReference" ~children:[ Xml.text id ]
+
+let rec set_of_xml node =
+  let* set_id = attr_or_error node "PolicySetId" in
+  let set_version =
+    Option.value (Option.bind (Xml.attr node "Version") int_of_string_opt) ~default:1
+  in
+  let* policy_combining = combining_of node "PolicyCombiningAlgId" in
+  let set_description =
+    Option.value (Option.map Xml.text_content (Xml.find_child node "Description")) ~default:""
+  in
+  let* set_target = target_child node in
+  let child_nodes =
+    List.filter
+      (fun n ->
+        match Xml.local_name (Xml.tag n) with
+        | "Policy" | "PolicySet" | "PolicyIdReference" -> true
+        | _ -> false)
+      (List.filter Xml.is_element (Xml.children node))
+  in
+  let* children = collect_results child_of_xml child_nodes in
+  let* set_obligations = obligations_child node in
+  Ok
+    {
+      Policy.set_id;
+      set_version;
+      set_description;
+      set_target;
+      children;
+      policy_combining;
+      set_obligations;
+    }
+
+and child_of_xml node =
+  match Xml.local_name (Xml.tag node) with
+  | "Policy" ->
+    let* p = policy_of_xml node in
+    Ok (Policy.Inline_policy p)
+  | "PolicySet" ->
+    let* s = set_of_xml node in
+    Ok (Policy.Inline_set s)
+  | "PolicyIdReference" -> Ok (Policy.Policy_ref (Xml.text_content node))
+  | other -> Error (Printf.sprintf "expected a policy element, got <%s>" other)
+
+(* --- decisions ------------------------------------------------------------------ *)
+
+let result_to_xml (r : Decision.result) =
+  let status =
+    match r.Decision.decision with
+    | Decision.Indeterminate m ->
+      [ Xml.element "Status" ~children:[ Xml.text m ] ]
+    | Decision.Permit | Decision.Deny | Decision.Not_applicable -> []
+  in
+  Xml.element "Response"
+    ~children:
+      [
+        Xml.element "Result"
+          ~children:
+            ([ Xml.element "Decision" ~children:[ Xml.text (Decision.decision_to_string r.Decision.decision) ] ]
+            @ status
+            @ Option.to_list (obligations_to_xml r.Decision.obligations));
+      ]
+
+let result_of_xml node =
+  match Xml.find_child node "Result" with
+  | None -> Error "Response has no Result"
+  | Some result_node -> (
+    match Xml.find_child result_node "Decision" with
+    | None -> Error "Result has no Decision"
+    | Some d -> (
+      let* obligations = obligations_child result_node in
+      match Decision.decision_of_string (Xml.text_content d) with
+      | Some (Decision.Indeterminate _) ->
+        let message =
+          Option.value (Option.map Xml.text_content (Xml.find_child result_node "Status")) ~default:""
+        in
+        Ok { Decision.decision = Decision.Indeterminate message; obligations }
+      | Some decision -> Ok { Decision.decision; obligations }
+      | None -> Error (Printf.sprintf "unknown decision %s" (Xml.text_content d))))
+
+(* --- string round-trips ------------------------------------------------------------ *)
+
+let parse_then f s =
+  match Xml.of_string_opt s with
+  | None -> Error "malformed XML"
+  | Some node -> f node
+
+let child_to_string c = Xml.to_string (child_to_xml c)
+let child_of_string = parse_then child_of_xml
+let result_to_string r = Xml.to_string (result_to_xml r)
+let result_of_string = parse_then result_of_xml
+let request_to_string ctx = Xml.to_string (Context.to_xml ctx)
+let request_of_string = parse_then Context.of_xml

@@ -1,0 +1,1 @@
+lib/rbac/compile.ml: Combine Dacs_policy Expr List Policy Printf Rbac Rule Target Value

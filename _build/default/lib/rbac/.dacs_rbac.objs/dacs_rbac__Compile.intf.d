@@ -1,0 +1,1 @@
+lib/rbac/compile.mli: Dacs_policy Rbac

@@ -1,0 +1,1 @@
+lib/rbac/rbac.ml: Format List Map Option Printf Set String

@@ -1,0 +1,1 @@
+lib/rbac/rbac.mli: Format

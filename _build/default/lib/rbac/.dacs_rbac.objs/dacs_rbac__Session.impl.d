@@ -1,0 +1,1 @@
+lib/rbac/session.ml: List Printf Rbac Set String

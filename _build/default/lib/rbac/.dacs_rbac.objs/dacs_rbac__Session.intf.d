@@ -1,0 +1,1 @@
+lib/rbac/session.mli: Rbac

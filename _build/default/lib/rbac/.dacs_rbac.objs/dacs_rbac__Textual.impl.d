@@ -1,0 +1,1 @@
+lib/rbac/textual.ml: Buffer List Printf Rbac Result String

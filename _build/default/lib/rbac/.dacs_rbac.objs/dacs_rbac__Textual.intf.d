@@ -1,0 +1,1 @@
+lib/rbac/textual.mli: Rbac

@@ -1,0 +1,67 @@
+let ( let* ) = Result.bind
+
+let parse_line model line_no line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let words =
+    String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "")
+  in
+  let fail msg = Error (Printf.sprintf "line %d: %s" line_no msg) in
+  let lift = function Ok m -> Ok m | Error e -> fail e in
+  match words with
+  | [] -> Ok model
+  | [ "role"; name ] -> Ok (Rbac.add_role model name)
+  | [ "inherit"; senior; junior ] -> lift (Rbac.add_inheritance model ~senior ~junior)
+  | [ "grant"; role; action; resource ] ->
+    lift (Rbac.grant_permission model role { Rbac.action; resource })
+  | [ "user"; user; role ] -> lift (Rbac.assign_user model user role)
+  | "ssd" :: name :: cardinality :: roles when roles <> [] -> (
+    match int_of_string_opt cardinality with
+    | Some cardinality -> lift (Rbac.add_ssd model ~name ~roles ~cardinality)
+    | None -> fail "ssd cardinality is not an integer")
+  | "dsd" :: name :: cardinality :: roles when roles <> [] -> (
+    match int_of_string_opt cardinality with
+    | Some cardinality -> lift (Rbac.add_dsd model ~name ~roles ~cardinality)
+    | None -> fail "dsd cardinality is not an integer")
+  | directive :: _ -> fail (Printf.sprintf "unknown or malformed directive %S" directive)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go model line_no = function
+    | [] -> Ok model
+    | line :: rest ->
+      let* model = parse_line model line_no line in
+      go model (line_no + 1) rest
+  in
+  go Rbac.empty 1 lines
+
+let to_string model =
+  let buf = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  List.iter (fun r -> line "role %s" r) (Rbac.roles model);
+  List.iter
+    (fun senior ->
+      List.iter (fun junior -> line "inherit %s %s" senior junior) (Rbac.direct_juniors model senior))
+    (Rbac.roles model);
+  List.iter
+    (fun role ->
+      List.iter
+        (fun (p : Rbac.permission) -> line "grant %s %s %s" role p.Rbac.action p.Rbac.resource)
+        (List.sort compare (Rbac.direct_permissions model role)))
+    (Rbac.roles model);
+  List.iter
+    (fun user ->
+      List.iter (fun role -> line "user %s %s" user role) (Rbac.assigned_roles model user))
+    (Rbac.users model);
+  List.iter
+    (fun (name, roles, cardinality) ->
+      line "ssd %s %d %s" name cardinality (String.concat " " roles))
+    (Rbac.ssd_constraints model);
+  List.iter
+    (fun (name, roles, cardinality) ->
+      line "dsd %s %d %s" name cardinality (String.concat " " roles))
+    (Rbac.dsd_constraints model);
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** Line-oriented textual format for RBAC models.
+
+    Administrators author RBAC state as plain text; the CLI compiles it to
+    policy XML.  One directive per line, [#] comments:
+
+    {v
+      role doctor
+      role nurse
+      inherit doctor nurse        # doctor inherits nurse's permissions
+      grant nurse read vitals
+      user alice doctor
+      ssd care-vs-billing 2 doctor billing
+      dsd no-dual-hats 2 doctor auditor
+    v} *)
+
+val parse : string -> (Rbac.t, string) result
+(** Parse a whole document.  Errors carry the line number. *)
+
+val to_string : Rbac.t -> string
+(** Serialise a model back to the textual form.  [parse (to_string m)]
+    reconstructs an equivalent model. *)

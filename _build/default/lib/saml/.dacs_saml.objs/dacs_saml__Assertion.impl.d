@@ -1,0 +1,1 @@
+lib/saml/assertion.ml: Dacs_crypto Dacs_policy Dacs_xml List Option Printf Result

@@ -1,0 +1,1 @@
+lib/saml/assertion.mli: Dacs_crypto Dacs_policy Dacs_xml

@@ -1,0 +1,1 @@
+lib/saml/attribute_cert.ml: Assertion Dacs_crypto Dacs_policy Dacs_xml List Option Printf Result

@@ -1,0 +1,1 @@
+lib/saml/attribute_cert.mli: Assertion Dacs_xml

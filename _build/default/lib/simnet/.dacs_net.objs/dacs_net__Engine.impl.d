@@ -1,0 +1,1 @@
+lib/simnet/engine.ml: Array Dacs_crypto

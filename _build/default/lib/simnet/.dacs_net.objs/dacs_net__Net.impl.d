@@ -1,0 +1,1 @@
+lib/simnet/net.ml: Dacs_crypto Engine Hashtbl List Option Printf String

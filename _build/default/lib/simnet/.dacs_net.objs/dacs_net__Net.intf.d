@@ -1,0 +1,1 @@
+lib/simnet/net.mli: Engine

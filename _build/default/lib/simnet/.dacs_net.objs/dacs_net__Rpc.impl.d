@@ -1,0 +1,1 @@
+lib/simnet/rpc.ml: Engine Hashtbl Net Option Printf String

@@ -1,0 +1,1 @@
+lib/simnet/rpc.mli: Net

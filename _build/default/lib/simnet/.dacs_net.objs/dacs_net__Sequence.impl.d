@@ -1,0 +1,1 @@
+lib/simnet/sequence.ml: Buffer Bytes List Net Option Printf String

@@ -1,0 +1,101 @@
+type event = { time : float; seq : int; action : unit -> unit }
+
+(* Binary min-heap ordered by (time, seq). *)
+module Heap = struct
+  type t = { mutable data : event array; mutable size : int }
+
+  let dummy = { time = 0.0; seq = 0; action = ignore }
+
+  let create () = { data = Array.make 64 dummy; size = 0 }
+
+  let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+  let push h e =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (2 * h.size) dummy in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    h.data.(!i) <- e;
+    (* Sift up. *)
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if lt h.data.(!i) h.data.(parent) then begin
+        let tmp = h.data.(parent) in
+        h.data.(parent) <- h.data.(!i);
+        h.data.(!i) <- tmp;
+        i := parent
+      end
+      else continue := false
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      h.data.(0) <- h.data.(h.size);
+      h.data.(h.size) <- dummy;
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && lt h.data.(l) h.data.(!smallest) then smallest := l;
+        if r < h.size && lt h.data.(r) h.data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.data.(!smallest) in
+          h.data.(!smallest) <- h.data.(!i);
+          h.data.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+
+  let peek h = if h.size = 0 then None else Some h.data.(0)
+end
+
+type t = { mutable clock : float; mutable next_seq : int; heap : Heap.t; rng : Dacs_crypto.Rng.t }
+
+let create ?(seed = 1L) () =
+  { clock = 0.0; next_seq = 0; heap = Heap.create (); rng = Dacs_crypto.Rng.create seed }
+
+let now t = t.clock
+let rng t = t.rng
+
+let schedule_at t ~at action =
+  if at < t.clock then invalid_arg "Engine.schedule_at: time is in the past";
+  let e = { time = at; seq = t.next_seq; action } in
+  t.next_seq <- t.next_seq + 1;
+  Heap.push t.heap e
+
+let schedule t ~delay action =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~at:(t.clock +. delay) action
+
+let step t =
+  match Heap.pop t.heap with
+  | None -> false
+  | Some e ->
+    t.clock <- e.time;
+    e.action ();
+    true
+
+let run ?until t =
+  let continue = ref true in
+  while !continue do
+    match (Heap.peek t.heap, until) with
+    | None, _ -> continue := false
+    | Some e, Some limit when e.time > limit ->
+      t.clock <- limit;
+      continue := false
+    | Some _, _ -> ignore (step t)
+  done
+
+let pending t = t.heap.Heap.size

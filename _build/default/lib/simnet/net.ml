@@ -1,0 +1,157 @@
+type node_id = string
+
+type message = {
+  src : node_id;
+  dst : node_id;
+  category : string;
+  payload : string;
+  sent_at : float;
+}
+
+type node_state = {
+  mutable handler : message -> unit;
+  mutable crashed : bool;
+}
+
+type stat = { count : int; bytes : int }
+
+type trace_entry = { t_src : node_id; t_dst : node_id; t_category : string; t_time : float }
+
+type t = {
+  engine : Engine.t;
+  nodes : (node_id, node_state) Hashtbl.t;
+  latencies : (node_id * node_id, float) Hashtbl.t;
+  mutable default_latency : float;
+  mutable bytes_per_second : float option;
+  mutable drop_rate : float;
+  mutable partitions : (node_id list * node_id list) list;
+  sent : (string, stat) Hashtbl.t;
+  delivered : (string, stat) Hashtbl.t;
+  mutable dropped : int;
+  mutable tracing : bool;
+  mutable trace_rev : trace_entry list;
+}
+
+let create ?seed () =
+  {
+    engine = Engine.create ?seed ();
+    nodes = Hashtbl.create 64;
+    latencies = Hashtbl.create 64;
+    default_latency = 0.005;
+    bytes_per_second = None;
+    drop_rate = 0.0;
+    partitions = [];
+    sent = Hashtbl.create 16;
+    delivered = Hashtbl.create 16;
+    dropped = 0;
+    tracing = false;
+    trace_rev = [];
+  }
+
+let engine t = t.engine
+let now t = Engine.now t.engine
+
+let add_node t id =
+  if not (Hashtbl.mem t.nodes id) then
+    Hashtbl.add t.nodes id { handler = ignore; crashed = false }
+
+let has_node t id = Hashtbl.mem t.nodes id
+
+let nodes t = Hashtbl.fold (fun id _ acc -> id :: acc) t.nodes [] |> List.sort compare
+
+let node_exn t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Net: unknown node %s" id)
+
+let set_handler t id handler = (node_exn t id).handler <- handler
+
+let set_default_latency t l = t.default_latency <- l
+
+let pair_key a b = if a <= b then (a, b) else (b, a)
+
+let set_latency t a b l = Hashtbl.replace t.latencies (pair_key a b) l
+
+let latency t a b =
+  match Hashtbl.find_opt t.latencies (pair_key a b) with
+  | Some l -> l
+  | None -> t.default_latency
+
+let set_bytes_per_second t rate = t.bytes_per_second <- rate
+
+let set_drop_rate t rate =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Net.set_drop_rate";
+  t.drop_rate <- rate
+
+let crash t id = (node_exn t id).crashed <- true
+let recover t id = (node_exn t id).crashed <- false
+let is_crashed t id = (node_exn t id).crashed
+
+let partition t group_a group_b = t.partitions <- (group_a, group_b) :: t.partitions
+
+let heal t = t.partitions <- []
+
+let partitioned t a b =
+  List.exists
+    (fun (ga, gb) -> (List.mem a ga && List.mem b gb) || (List.mem a gb && List.mem b ga))
+    t.partitions
+
+let bump table category size =
+  let prev = Option.value (Hashtbl.find_opt table category) ~default:{ count = 0; bytes = 0 } in
+  Hashtbl.replace table category { count = prev.count + 1; bytes = prev.bytes + size }
+
+let send t ~src ~dst ~category payload =
+  let src_node = node_exn t src in
+  ignore (node_exn t dst);
+  let size = String.length payload in
+  if src_node.crashed then ()
+  else begin
+    bump t.sent category size;
+    let lost =
+      partitioned t src dst
+      || (t.drop_rate > 0.0 && Dacs_crypto.Rng.float (Engine.rng t.engine) 1.0 < t.drop_rate)
+    in
+    if lost then t.dropped <- t.dropped + 1
+    else begin
+      let delay =
+        latency t src dst
+        +. (match t.bytes_per_second with None -> 0.0 | Some rate -> float_of_int size /. rate)
+      in
+      let msg = { src; dst; category; payload; sent_at = now t } in
+      Engine.schedule t.engine ~delay (fun () ->
+          let dst_node = node_exn t dst in
+          if dst_node.crashed then t.dropped <- t.dropped + 1
+          else begin
+            bump t.delivered category size;
+            if t.tracing then
+              t.trace_rev <-
+                { t_src = src; t_dst = dst; t_category = category; t_time = now t } :: t.trace_rev;
+            dst_node.handler msg
+          end)
+    end
+  end
+
+let sorted_stats table =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] |> List.sort compare
+
+let stats_by_category t = sorted_stats t.sent
+let delivered_by_category t = sorted_stats t.delivered
+
+let total table =
+  Hashtbl.fold (fun _ s acc -> { count = acc.count + s.count; bytes = acc.bytes + s.bytes })
+    table { count = 0; bytes = 0 }
+
+let total_sent t = total t.sent
+let total_delivered t = total t.delivered
+let dropped_count t = t.dropped
+
+let reset_stats t =
+  Hashtbl.reset t.sent;
+  Hashtbl.reset t.delivered;
+  t.dropped <- 0
+
+let set_tracing t on = t.tracing <- on
+let trace t = List.rev t.trace_rev
+let clear_trace t = t.trace_rev <- []
+
+let run ?until t = Engine.run ?until t.engine

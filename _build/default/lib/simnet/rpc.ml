@@ -1,0 +1,113 @@
+type error =
+  | Timeout
+  | No_such_service of string
+
+let error_to_string = function
+  | Timeout -> "timeout"
+  | No_such_service s -> Printf.sprintf "no such service: %s" s
+
+type pending = { k : (string, error) result -> unit }
+
+type t = {
+  net : Net.t;
+  services : (Net.node_id * string, caller:Net.node_id -> string -> (string -> unit) -> unit) Hashtbl.t;
+  pending : (int, pending) Hashtbl.t;
+  mutable next_id : int;
+}
+
+(* Wire format: kind '|' id '|' service '|' body.  The few header bytes
+   model transport framing; the body carries the real (XML) payload whose
+   size dominates. *)
+
+let encode_request id service body = Printf.sprintf "Q|%d|%s|%s" id service body
+let encode_reply id body = Printf.sprintf "A|%d||%s" id body
+let encode_error id msg = Printf.sprintf "E|%d||%s" id msg
+
+type frame =
+  | Request of int * string * string
+  | Reply of int * string
+  | Error_frame of int * string
+
+let decode payload =
+  match String.index_opt payload '|' with
+  | None -> None
+  | Some first -> (
+    let kind = String.sub payload 0 first in
+    match String.index_from_opt payload (first + 1) '|' with
+    | None -> None
+    | Some second -> (
+      let id = int_of_string_opt (String.sub payload (first + 1) (second - first - 1)) in
+      match (id, String.index_from_opt payload (second + 1) '|') with
+      | Some id, Some third ->
+        let service = String.sub payload (second + 1) (third - second - 1) in
+        let body = String.sub payload (third + 1) (String.length payload - third - 1) in
+        (match kind with
+        | "Q" -> Some (Request (id, service, body))
+        | "A" -> Some (Reply (id, body))
+        | "E" -> Some (Error_frame (id, body))
+        | _ -> None)
+      | _ -> None))
+  [@@warning "-4"]
+
+let handle_message t (msg : Net.message) =
+  match decode msg.Net.payload with
+  | None -> ()
+  | Some (Request (id, service, body)) -> (
+    match Hashtbl.find_opt t.services (msg.Net.dst, service) with
+    | None ->
+      Net.send t.net ~src:msg.Net.dst ~dst:msg.Net.src ~category:"rpc-error"
+        (encode_error id ("no-such-service:" ^ service))
+    | Some handler ->
+      let reply body =
+        Net.send t.net ~src:msg.Net.dst ~dst:msg.Net.src ~category:(msg.Net.category ^ "-reply")
+          (encode_reply id body)
+      in
+      handler ~caller:msg.Net.src body reply)
+  | Some (Reply (id, body)) -> (
+    match Hashtbl.find_opt t.pending id with
+    | None -> () (* reply after timeout: drop *)
+    | Some p ->
+      Hashtbl.remove t.pending id;
+      p.k (Ok body))
+  | Some (Error_frame (id, msg_body)) -> (
+    match Hashtbl.find_opt t.pending id with
+    | None -> ()
+    | Some p ->
+      Hashtbl.remove t.pending id;
+      let err =
+        match String.index_opt msg_body ':' with
+        | Some i when String.sub msg_body 0 i = "no-such-service" ->
+          No_such_service (String.sub msg_body (i + 1) (String.length msg_body - i - 1))
+        | _ -> Timeout
+      in
+      p.k (Error err))
+
+let create net =
+  let t = { net; services = Hashtbl.create 64; pending = Hashtbl.create 64; next_id = 0 } in
+  t
+
+let net t = t.net
+
+let ensure_dispatch t node =
+  Net.add_node t.net node;
+  Net.set_handler t.net node (handle_message t)
+
+let serve t ~node ~service handler =
+  ensure_dispatch t node;
+  Hashtbl.replace t.services (node, service) handler
+
+let call t ~src ~dst ~service ?(timeout = 1.0) ?category body k =
+  ensure_dispatch t src;
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  Hashtbl.replace t.pending id { k };
+  let category = Option.value category ~default:service in
+  Net.send t.net ~src ~dst ~category (encode_request id service body);
+  Engine.schedule (Net.engine t.net) ~delay:timeout (fun () ->
+      match Hashtbl.find_opt t.pending id with
+      | None -> ()
+      | Some p ->
+        Hashtbl.remove t.pending id;
+        p.k (Error Timeout))
+
+let calls_in_flight t = Hashtbl.length t.pending

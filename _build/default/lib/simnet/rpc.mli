@@ -1,0 +1,45 @@
+(** Request/response layer over {!Net} with correlation ids and timeouts.
+
+    Components register named services on nodes; callers issue asynchronous
+    calls and receive either the reply payload or a timeout.  This is the
+    substrate the SOAP layer (and hence every PEP/PDP/PAP/PIP exchange)
+    rides on; timeouts are what make PDP failover observable. *)
+
+type t
+
+type error =
+  | Timeout
+  | No_such_service of string
+
+val error_to_string : error -> string
+
+val create : Net.t -> t
+val net : t -> Net.t
+
+val serve :
+  t ->
+  node:Net.node_id ->
+  service:string ->
+  (caller:Net.node_id -> string -> (string -> unit) -> unit) ->
+  unit
+(** [serve t ~node ~service handler] registers a service.  The handler
+    receives the request payload and a [reply] continuation it must call
+    exactly once (possibly later, after its own nested calls complete). *)
+
+val call :
+  t ->
+  src:Net.node_id ->
+  dst:Net.node_id ->
+  service:string ->
+  ?timeout:float ->
+  ?category:string ->
+  string ->
+  ((string, error) result -> unit) ->
+  unit
+(** Asynchronous call.  The continuation fires with [Ok reply], or with
+    [Error Timeout] after [timeout] seconds (default 1.0) if no reply
+    arrived — whether because of loss, crash, partition or a missing
+    service.  [category] labels traffic for accounting (defaults to
+    [service]). *)
+
+val calls_in_flight : t -> int

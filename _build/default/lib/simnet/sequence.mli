@@ -1,0 +1,20 @@
+(** ASCII sequence diagrams from network traces.
+
+    Turns a {!Net.trace} into the message-sequence-chart view the paper's
+    figures use — handy for examples and for eyeballing protocol runs:
+
+    {v
+      client     pep        pdp
+        |---------|          |   access            t=0.000
+        |         |----------|   authz-query       t=0.005
+        |         |<---------|   authz-query-reply t=0.010
+        |<--------|          |   access-reply      t=0.015
+    v} *)
+
+val render : ?participants:Net.node_id list -> Net.trace_entry list -> string
+(** Render delivered messages in order.  [participants] fixes the column
+    order (defaults to first-appearance order); nodes not listed are
+    appended. *)
+
+val participants_of : Net.trace_entry list -> Net.node_id list
+(** Nodes in first-appearance order. *)

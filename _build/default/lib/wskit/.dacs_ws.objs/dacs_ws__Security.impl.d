@@ -1,0 +1,1 @@
+lib/wskit/security.ml: Dacs_crypto Dacs_xml List Option Printf Soap

@@ -1,0 +1,1 @@
+lib/wskit/security.mli: Dacs_crypto Soap

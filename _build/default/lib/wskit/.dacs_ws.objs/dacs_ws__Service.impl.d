@@ -1,0 +1,1 @@
+lib/wskit/service.ml: Dacs_net Dacs_xml Option Printf Soap

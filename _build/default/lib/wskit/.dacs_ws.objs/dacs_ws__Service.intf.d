@@ -1,0 +1,1 @@
+lib/wskit/service.mli: Dacs_net Dacs_xml Soap

@@ -1,0 +1,1 @@
+lib/wskit/soap.ml: Dacs_xml List Option

@@ -1,0 +1,1 @@
+lib/wskit/soap.mli: Dacs_xml

@@ -1,0 +1,1 @@
+lib/wskit/wsdl.ml: Dacs_net Dacs_xml Hashtbl List Printf Result Service Soap

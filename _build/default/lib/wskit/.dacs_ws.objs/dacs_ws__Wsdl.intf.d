@@ -1,0 +1,1 @@
+lib/wskit/wsdl.mli: Dacs_net Dacs_xml Service

@@ -1,0 +1,30 @@
+(** SOAP 1.2-style envelopes.
+
+    Every exchange between access-control components travels as one of
+    these (the paper's Web-Service substrate), so envelope bytes are what
+    the §3.2 message-size experiments measure. *)
+
+type envelope = {
+  headers : Dacs_xml.Xml.t list;
+  body : Dacs_xml.Xml.t;  (** the single body element *)
+}
+
+val envelope : ?headers:Dacs_xml.Xml.t list -> Dacs_xml.Xml.t -> Dacs_xml.Xml.t
+(** Wrap a body element into [<Envelope><Header>…</Header><Body>…</Body>]. *)
+
+val to_string : envelope -> string
+
+val parse : string -> (envelope, string) result
+(** Parse and shape-check an envelope. *)
+
+val of_xml : Dacs_xml.Xml.t -> (envelope, string) result
+
+(** {1 Faults} *)
+
+type fault = { code : string; reason : string }
+
+val fault_body : fault -> Dacs_xml.Xml.t
+(** A [<Fault>] body element. *)
+
+val fault_of_body : Dacs_xml.Xml.t -> fault option
+(** [Some f] when the body element is a fault. *)

@@ -1,0 +1,1 @@
+lib/xmlkit/xml.ml: Buffer Char List Printf String

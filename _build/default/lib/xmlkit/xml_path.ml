@@ -1,0 +1,75 @@
+exception Bad_path of string
+
+type pred =
+  | No_pred
+  | Attr_eq of string * string
+  | Index of int
+
+type step = { name : string; pred : pred }
+
+let parse_step s =
+  if s = "" then raise (Bad_path "empty path step");
+  match String.index_opt s '[' with
+  | None -> { name = s; pred = No_pred }
+  | Some i ->
+    let name = String.sub s 0 i in
+    if name = "" then raise (Bad_path ("missing name in step: " ^ s));
+    let n = String.length s in
+    if s.[n - 1] <> ']' then raise (Bad_path ("unterminated predicate in step: " ^ s));
+    let body = String.sub s (i + 1) (n - i - 2) in
+    if body = "" then raise (Bad_path ("empty predicate in step: " ^ s));
+    if body.[0] = '@' then begin
+      match String.index_opt body '=' with
+      | None -> raise (Bad_path ("attribute predicate needs '=': " ^ s))
+      | Some j ->
+        let attr = String.sub body 1 (j - 1) in
+        let value = String.sub body (j + 1) (String.length body - j - 1) in
+        (* Allow optional quotes around the value. *)
+        let value =
+          let n = String.length value in
+          if n >= 2 && ((value.[0] = '\'' && value.[n - 1] = '\'') || (value.[0] = '"' && value.[n - 1] = '"'))
+          then String.sub value 1 (n - 2)
+          else value
+        in
+        { name; pred = Attr_eq (attr, value) }
+    end
+    else
+      match int_of_string_opt body with
+      | Some i when i >= 1 -> { name; pred = Index i }
+      | _ -> raise (Bad_path ("bad index predicate in step: " ^ s))
+
+let parse_path path =
+  if path = "" then raise (Bad_path "empty path");
+  String.split_on_char '/' path |> List.map parse_step
+
+let step_matches step node =
+  match node with
+  | Xml.Text _ -> false
+  | Xml.Element e -> (step.name = "*" || Xml.local_name e.tag = step.name)
+
+let apply_pred step nodes =
+  match step.pred with
+  | No_pred -> nodes
+  | Attr_eq (a, v) -> List.filter (fun n -> Xml.attr n a = Some v) nodes
+  | Index i -> (match List.nth_opt nodes (i - 1) with Some n -> [ n ] | None -> [])
+
+let select node path =
+  let steps = parse_path path in
+  let apply_step nodes step =
+    List.concat_map
+      (fun n ->
+        let kids = Xml.children n in
+        let matching = List.filter (step_matches step) kids in
+        apply_pred step matching)
+      nodes
+  in
+  List.fold_left apply_step [ node ] steps
+
+let select_one node path = match select node path with [] -> None | n :: _ -> Some n
+
+let select_text node path = Option.map Xml.text_content (select_one node path)
+
+let select_attr node path name =
+  match select_one node path with None -> None | Some n -> Xml.attr n name
+
+let exists node path = select node path <> []

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Bignum Bytes Cert Char Dacs_crypto Encoding Fun Hmac Lazy List Prime Printf QCheck QCheck_alcotest Rng Rsa Sha256 Stream_cipher String

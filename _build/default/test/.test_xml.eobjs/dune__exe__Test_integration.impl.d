@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Audit Capability_service Client Dacs_core Dacs_crypto Dacs_net Dacs_policy Dacs_rbac Dacs_ws Dacs_xml Decision_cache Domain List Pap Pdp_service Pep Printf Vo Wire

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Conflict Dacs_core Dacs_crypto Dacs_net Dacs_policy Dacs_saml Decision_cache Delegation Gen Hashtbl Lazy List Negotiation Printf QCheck QCheck_alcotest Test

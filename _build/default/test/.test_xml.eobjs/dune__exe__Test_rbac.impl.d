@@ -1,0 +1,1 @@
+test/test_rbac.ml: Alcotest Compile Dacs_policy Dacs_rbac Format List Printf QCheck QCheck_alcotest Rbac Result Session String Textual

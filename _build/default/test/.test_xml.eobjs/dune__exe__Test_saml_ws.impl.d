@@ -1,0 +1,1 @@
+test/test_saml_ws.ml: Alcotest Assertion Cert Dacs_crypto Dacs_net Dacs_policy Dacs_saml Dacs_ws Dacs_xml Lazy List Result Rng Rsa Security Service Soap Stream_cipher String Wsdl

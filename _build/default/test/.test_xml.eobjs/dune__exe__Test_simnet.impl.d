@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Dacs_crypto Dacs_net Engine List Net Rpc Sequence String

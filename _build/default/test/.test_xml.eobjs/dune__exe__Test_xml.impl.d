@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Dacs_xml Format List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1256 @@
+(* Tests for dacs_core components: wire formats, audit, decision cache,
+   PAP, PIP, PDP service, capability service, IdP, PEP modes, client,
+   delegation, negotiation, conflict analysis, meta-policies. *)
+
+module Xml = Dacs_xml.Xml
+module Value = Dacs_policy.Value
+module Context = Dacs_policy.Context
+module Decision = Dacs_policy.Decision
+module Policy = Dacs_policy.Policy
+module Rule = Dacs_policy.Rule
+module Expr = Dacs_policy.Expr
+module Target = Dacs_policy.Target
+module Combine = Dacs_policy.Combine
+module Obligation = Dacs_policy.Obligation
+module Net = Dacs_net.Net
+module Service = Dacs_ws.Service
+open Dacs_core
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+let string_ = Alcotest.string
+
+let fresh () =
+  let net = Net.create () in
+  let services = Service.create (Dacs_net.Rpc.create net) in
+  (net, services)
+
+let add_node net id =
+  Net.add_node net id;
+  id
+
+(* A simple policy permitting doctors to read the given resource. *)
+let doctor_policy ?(id = "p") resource =
+  Policy.Inline_policy
+    (Policy.make ~id ~issuer:"domain-a" ~rule_combining:Combine.First_applicable
+       [
+         Rule.permit
+           ~target:
+             Target.(
+               any |> subject_is "role" "doctor" |> resource_is "resource-id" resource
+               |> action_is "action-id" "read")
+           "permit-doctor-read";
+         Rule.deny "default-deny";
+       ])
+
+let doctor_subject user = [ ("subject-id", Value.String user); ("role", Value.String "doctor") ]
+
+(* --- wire ------------------------------------------------------------- *)
+
+let test_wire_access_request () =
+  let body = Wire.access_request ~subject:(doctor_subject "alice") ~action:"read" in
+  match Wire.parse_access_request body with
+  | Ok (subject, action) ->
+    check string_ "action" "read" action;
+    check int_ "attrs" 2 (List.length subject);
+    check bool_ "subject-id" true (List.assoc_opt "subject-id" subject = Some (Value.String "alice"))
+  | Error e -> Alcotest.fail e
+
+let test_wire_authz_roundtrip () =
+  let ctx = Context.make ~subject:(doctor_subject "alice") () in
+  (match Wire.parse_authz_query (Wire.authz_query ctx) with
+  | Ok ctx' -> check bool_ "ctx" true (Context.equal ctx ctx')
+  | Error e -> Alcotest.fail e);
+  let result = Decision.with_obligations Decision.permit [ Obligation.audit ] in
+  match Wire.parse_authz_response (Wire.authz_response result) with
+  | Ok r ->
+    check bool_ "decision" true (Decision.is_permit r);
+    check int_ "obligations" 1 (List.length r.Decision.obligations)
+  | Error e -> Alcotest.fail e
+
+let test_wire_attribute_roundtrip () =
+  let q = Wire.attribute_query ~category:Context.Subject ~attribute_id:"role" ~subject:"alice" in
+  (match Wire.parse_attribute_query q with
+  | Ok (c, id, s) ->
+    check bool_ "category" true (c = Context.Subject);
+    check string_ "id" "role" id;
+    check string_ "subject" "alice" s
+  | Error e -> Alcotest.fail e);
+  match Wire.parse_attribute_result (Wire.attribute_result [ Value.String "doctor"; Value.Int 3 ]) with
+  | Ok bag -> check int_ "bag" 2 (List.length bag)
+  | Error e -> Alcotest.fail e
+
+let test_wire_policy_roundtrip () =
+  let child = doctor_policy "r1" in
+  (match Wire.parse_policy_response (Wire.policy_response ~version:7 (Some child)) with
+  | Ok (7, Some c) -> check string_ "id" "p" (Policy.child_id c)
+  | Ok _ -> Alcotest.fail "wrong shape"
+  | Error e -> Alcotest.fail e);
+  (match Wire.parse_policy_response (Wire.policy_response ~version:7 None) with
+  | Ok (7, None) -> ()
+  | _ -> Alcotest.fail "expected current marker");
+  match Wire.parse_policy_update (Wire.policy_update ~version:3 child) with
+  | Ok (3, c) -> check string_ "id" "p" (Policy.child_id c)
+  | _ -> Alcotest.fail "update roundtrip failed"
+
+let test_wire_capability_roundtrip () =
+  let body =
+    Wire.capability_request ~subject:(doctor_subject "alice")
+      ~pairs:[ ("r1", "read"); ("r2", "write") ]
+  in
+  match Wire.parse_capability_request body with
+  | Ok (subject, pairs) ->
+    check int_ "subject" 2 (List.length subject);
+    check int_ "pairs" 2 (List.length pairs);
+    check bool_ "pair content" true (List.mem ("r2", "write") pairs)
+  | Error e -> Alcotest.fail e
+
+let test_wire_outcomes () =
+  (match Wire.parse_access_outcome (Wire.access_granted ~content:"data" ()) with
+  | Ok (Wire.Granted { content; encrypted }) ->
+    check string_ "content" "data" content;
+    check bool_ "plain" false encrypted
+  | _ -> Alcotest.fail "expected granted");
+  match Wire.parse_access_outcome (Wire.access_denied ~reason:"nope") with
+  | Ok (Wire.Denied reason) -> check string_ "reason" "nope" reason
+  | _ -> Alcotest.fail "expected denied"
+
+(* --- audit -------------------------------------------------------------- *)
+
+let entry ?(at = 0.0) ?(domain = "d") subject resource decision =
+  { Audit.at; domain; subject; resource; action = "read"; decision }
+
+let test_audit_basics () =
+  let log = Audit.create () in
+  Audit.record log (entry ~at:1.0 "alice" "r1" Decision.Permit);
+  Audit.record log (entry ~at:2.0 "alice" "r2" Decision.Deny);
+  Audit.record log (entry ~at:3.0 "bob" "r1" Decision.Permit);
+  check int_ "size" 3 (Audit.size log);
+  check (Alcotest.list string_) "permitted" [ "r1" ] (Audit.permitted_resources log ~subject:"alice");
+  check int_ "by subject" 2 (List.length (Audit.by_subject log "alice"));
+  check int_ "find denies" 1 (List.length (Audit.find log ~decision:Decision.Deny ()));
+  check int_ "find resource" 2 (List.length (Audit.find log ~resource:"r1" ()));
+  Audit.clear log;
+  check int_ "cleared" 0 (Audit.size log)
+
+let test_audit_merge_ordering () =
+  let a = Audit.create () and b = Audit.create () in
+  Audit.record a (entry ~at:5.0 ~domain:"a" "u" "r1" Decision.Permit);
+  Audit.record a (entry ~at:1.0 ~domain:"a" "u" "r2" Decision.Permit);
+  Audit.record b (entry ~at:3.0 ~domain:"b" "u" "r3" Decision.Permit);
+  let merged = Audit.merge [ a; b ] in
+  check (Alcotest.list (Alcotest.float 0.001)) "time ordered" [ 1.0; 3.0; 5.0 ]
+    (List.map (fun e -> e.Audit.at) (Audit.entries merged))
+
+(* --- decision cache -------------------------------------------------------- *)
+
+let test_cache_hit_miss_expiry () =
+  let c = Decision_cache.create ~ttl:10.0 () in
+  check bool_ "miss" true (Decision_cache.get c ~now:0.0 ~key:"k" = None);
+  Decision_cache.put c ~now:0.0 ~key:"k" Decision.permit;
+  (match Decision_cache.get c ~now:5.0 ~key:"k" with
+  | Some r -> check bool_ "hit" true (Decision.is_permit r)
+  | None -> Alcotest.fail "expected hit");
+  check bool_ "expired" true (Decision_cache.get c ~now:10.1 ~key:"k" = None);
+  let s = Decision_cache.stats c in
+  check int_ "hits" 1 s.Decision_cache.hits;
+  check int_ "misses" 2 s.Decision_cache.misses;
+  check int_ "expiries" 1 s.Decision_cache.expiries
+
+let test_cache_eviction () =
+  let c = Decision_cache.create ~max_entries:2 ~ttl:100.0 () in
+  Decision_cache.put c ~now:0.0 ~key:"a" Decision.permit;
+  Decision_cache.put c ~now:1.0 ~key:"b" Decision.permit;
+  Decision_cache.put c ~now:2.0 ~key:"c" Decision.permit;
+  check int_ "bounded" 2 (Decision_cache.size c);
+  (* The oldest key was evicted. *)
+  check bool_ "a gone" true (Decision_cache.get c ~now:3.0 ~key:"a" = None);
+  check bool_ "c present" true (Decision_cache.get c ~now:3.0 ~key:"c" <> None);
+  check int_ "evictions" 1 (Decision_cache.stats c).Decision_cache.evictions
+
+let test_cache_invalidation () =
+  let c = Decision_cache.create ~ttl:100.0 () in
+  Decision_cache.put c ~now:0.0 ~key:"a" Decision.permit;
+  Decision_cache.put c ~now:0.0 ~key:"b" Decision.deny;
+  Decision_cache.invalidate c ~key:"a";
+  check bool_ "a gone" true (Decision_cache.get c ~now:1.0 ~key:"a" = None);
+  check bool_ "b stays" true (Decision_cache.get c ~now:1.0 ~key:"b" <> None);
+  Decision_cache.invalidate_all c;
+  check int_ "flushed" 0 (Decision_cache.size c)
+
+let test_cache_key_stability () =
+  let ctx1 = Context.make ~subject:(doctor_subject "alice") ~action:[ ("action-id", Value.String "read") ] () in
+  let ctx2 = Context.make ~action:[ ("action-id", Value.String "read") ] ~subject:(doctor_subject "alice") () in
+  check string_ "same key" (Decision_cache.request_key ctx1) (Decision_cache.request_key ctx2);
+  let ctx3 = Context.make ~subject:(doctor_subject "bob") () in
+  check bool_ "different key" true (Decision_cache.request_key ctx1 <> Decision_cache.request_key ctx3)
+
+(* --- pap ------------------------------------------------------------------- *)
+
+let test_pap_query_versions () =
+  let net, services = fresh () in
+  let pap_node = add_node net "pap" in
+  let client = add_node net "pdp" in
+  let pap = Pap.create services ~node:pap_node ~name:"pap" ~root:(doctor_policy "r") () in
+  check int_ "initial version" 1 (Pap.version pap);
+  let got = ref None in
+  Service.call services ~src:client ~dst:pap_node ~service:"policy-query"
+    (Wire.policy_query ~scope:"" ~known_version:0)
+    (fun r -> got := Some r);
+  Net.run net;
+  (match !got with
+  | Some (Ok body) -> (
+    match Wire.parse_policy_response body with
+    | Ok (1, Some _) -> ()
+    | _ -> Alcotest.fail "expected full policy")
+  | _ -> Alcotest.fail "no reply");
+  (* Known version up to date: small None reply. *)
+  Service.call services ~src:client ~dst:pap_node ~service:"policy-query"
+    (Wire.policy_query ~scope:"" ~known_version:1)
+    (fun r -> got := Some r);
+  Net.run net;
+  match !got with
+  | Some (Ok body) -> (
+    match Wire.parse_policy_response body with
+    | Ok (1, None) -> check int_ "queries served" 2 (Pap.queries_served pap)
+    | _ -> Alcotest.fail "expected current marker")
+  | _ -> Alcotest.fail "no reply"
+
+let admin_policy_for nodes =
+  Policy.Inline_policy
+    (Policy.make ~id:"admin" ~rule_combining:Combine.First_applicable
+       [
+         Rule.permit ~condition:(Expr.one_of (Expr.subject_attr "subject-id") nodes) "allow";
+         Rule.deny "deny";
+       ])
+
+let test_pap_remote_update_access_control () =
+  let net, services = fresh () in
+  let pap_node = add_node net "pap" in
+  let admin = add_node net "admin" in
+  let rogue = add_node net "rogue" in
+  let pap =
+    Pap.create services ~node:pap_node ~name:"pap" ~admin_policy:(admin_policy_for [ "admin" ])
+      ~root:(doctor_policy "r") ()
+  in
+  let send_update src k =
+    Service.call services ~src ~dst:pap_node ~service:"policy-update"
+      (Wire.policy_update ~version:9 (doctor_policy ~id:"p2" "r2"))
+      k
+  in
+  let outcome = ref None in
+  send_update admin (fun r -> outcome := Some r);
+  Net.run net;
+  check bool_ "admin accepted" true (match !outcome with Some (Ok _) -> true | _ -> false);
+  check int_ "version bumped" 2 (Pap.version pap);
+  check int_ "accepted count" 1 (Pap.updates_accepted pap);
+  send_update rogue (fun r -> outcome := Some r);
+  Net.run net;
+  (match !outcome with
+  | Some (Error (Service.Fault f)) -> check string_ "refusal" "policy update not authorised" f.Dacs_ws.Soap.reason
+  | _ -> Alcotest.fail "expected a fault");
+  check int_ "rejected count" 1 (Pap.updates_rejected pap);
+  check int_ "version unchanged" 2 (Pap.version pap)
+
+let test_pap_syndication_cascade () =
+  (* Fig. 5: global PAP -> two regional PAPs -> one leaf PAP. *)
+  let net, services = fresh () in
+  let global = Pap.create services ~node:(add_node net "g") ~name:"g" () in
+  let make_child name parent =
+    let pap =
+      Pap.create services ~node:(add_node net name) ~name
+        ~admin_policy:(admin_policy_for [ Pap.node parent ])
+        ()
+    in
+    Pap.subscribe_local parent ~child:(Pap.node pap);
+    pap
+  in
+  let region_a = make_child "ra" global in
+  let region_b = make_child "rb" global in
+  let leaf = make_child "leaf" region_a in
+  Pap.publish global (doctor_policy "r");
+  Net.run net;
+  check bool_ "region a updated" true (Pap.current region_a <> None);
+  check bool_ "region b updated" true (Pap.current region_b <> None);
+  check bool_ "leaf updated through the hierarchy" true (Pap.current leaf <> None)
+
+let test_pap_update_filter_blocks () =
+  let net, services = fresh () in
+  let parent = Pap.create services ~node:(add_node net "parent") ~name:"parent" () in
+  let child =
+    Pap.create services ~node:(add_node net "child") ~name:"child"
+      ~admin_policy:(admin_policy_for [ "parent" ])
+      ()
+  in
+  Pap.subscribe_local parent ~child:"child";
+  (* The child only accepts policies whose id starts with "approved". *)
+  Pap.set_update_filter child (fun c -> String.length (Policy.child_id c) >= 8 && String.sub (Policy.child_id c) 0 8 = "approved");
+  Pap.publish parent (doctor_policy ~id:"rogue-policy" "r");
+  Net.run net;
+  check bool_ "filtered out" true (Pap.current child = None);
+  Pap.publish parent (doctor_policy ~id:"approved-1" "r");
+  Net.run net;
+  check bool_ "accepted" true (Pap.current child <> None)
+
+let test_pap_lookup () =
+  let _net, services = fresh () in
+  let net2 = Service.net services in
+  let pap =
+    Pap.create services ~node:(add_node net2 "pap") ~name:"pap"
+      ~root:
+        (Policy.Inline_set
+           (Policy.make_set ~id:"root" [ doctor_policy ~id:"child-a" "r1"; doctor_policy ~id:"child-b" "r2" ]))
+      ()
+  in
+  check bool_ "root" true (Pap.lookup pap "root" <> None);
+  check bool_ "child" true (Pap.lookup pap "child-a" <> None);
+  check bool_ "missing" true (Pap.lookup pap "nope" = None)
+
+(* --- pip ------------------------------------------------------------------------ *)
+
+let test_pip_lookup_service () =
+  let net, services = fresh () in
+  let pip_node = add_node net "pip" in
+  let caller = add_node net "pdp" in
+  let pip = Pip.create services ~node:pip_node ~name:"pip" in
+  Pip.set_subject_attribute pip ~subject:"alice" ~id:"role" [ Value.String "doctor" ];
+  Pip.set_environment pip ~id:"load" (fun () -> [ Value.Int 42 ]);
+  let got = ref None in
+  Service.call services ~src:caller ~dst:pip_node ~service:"attribute-query"
+    (Wire.attribute_query ~category:Context.Subject ~attribute_id:"role" ~subject:"alice")
+    (fun r -> got := Some r);
+  Net.run net;
+  (match !got with
+  | Some (Ok body) -> (
+    match Wire.parse_attribute_result body with
+    | Ok [ Value.String "doctor" ] -> ()
+    | _ -> Alcotest.fail "wrong attribute value")
+  | _ -> Alcotest.fail "no reply");
+  check int_ "served" 1 (Pip.lookups_served pip);
+  (* Environment + unknown lookups. *)
+  check bool_ "environment" true
+    (Pip.lookup pip ~category:Context.Environment ~id:"load" ~subject:"" = [ Value.Int 42 ]);
+  check bool_ "unknown empty" true (Pip.lookup pip ~category:Context.Subject ~id:"x" ~subject:"bob" = []);
+  (* Revocation. *)
+  Pip.remove_subject_attribute pip ~subject:"alice" ~id:"role";
+  check bool_ "revoked" true (Pip.lookup pip ~category:Context.Subject ~id:"role" ~subject:"alice" = [])
+
+(* --- pdp service ------------------------------------------------------------------- *)
+
+let role_condition_policy resource =
+  (* Requires the subject's role attribute, which only the PIP knows. *)
+  Policy.Inline_policy
+    (Policy.make ~id:"p" ~rule_combining:Combine.First_applicable
+       [
+         Rule.permit
+           ~target:Target.(any |> resource_is "resource-id" resource)
+           ~condition:(Expr.Apply ("string-is-in", [ Expr.str "doctor"; Expr.subject_attr "role" ]))
+           "permit";
+         Rule.deny "deny";
+       ])
+
+let authz_call services ~src ~dst ctx k =
+  Service.call services ~src ~dst ~service:"authz-query" (Wire.authz_query ctx) (fun r ->
+      match r with
+      | Ok body -> k (Wire.parse_authz_response body)
+      | Error e -> k (Error (Service.error_to_string e)))
+
+let test_pdp_service_basic () =
+  let net, services = fresh () in
+  let pdp_node = add_node net "pdp" in
+  let pep = add_node net "pep" in
+  let _pdp =
+    Pdp_service.create services ~node:pdp_node ~name:"pdp" ~root:(doctor_policy "r") ()
+  in
+  let ctx =
+    Context.make ~subject:(doctor_subject "alice")
+      ~resource:[ ("resource-id", Value.String "r") ]
+      ~action:[ ("action-id", Value.String "read") ]
+      ()
+  in
+  let got = ref None in
+  authz_call services ~src:pep ~dst:pdp_node ctx (fun r -> got := Some r);
+  Net.run net;
+  match !got with
+  | Some (Ok r) -> check bool_ "permit" true (Decision.is_permit r)
+  | _ -> Alcotest.fail "no decision"
+
+let test_pdp_service_pip_fetch () =
+  let net, services = fresh () in
+  let pdp_node = add_node net "pdp" in
+  let pip_node = add_node net "pip" in
+  let pep = add_node net "pep" in
+  let pip = Pip.create services ~node:pip_node ~name:"pip" in
+  Pip.set_subject_attribute pip ~subject:"alice" ~id:"role" [ Value.String "doctor" ];
+  let pdp =
+    Pdp_service.create services ~node:pdp_node ~name:"pdp" ~root:(role_condition_policy "r")
+      ~pips:[ pip_node ] ()
+  in
+  (* The request context has no role attribute: the PDP must fetch it. *)
+  let ctx =
+    Context.make
+      ~subject:[ ("subject-id", Value.String "alice") ]
+      ~resource:[ ("resource-id", Value.String "r") ]
+      ~action:[ ("action-id", Value.String "read") ]
+      ()
+  in
+  let got = ref None in
+  authz_call services ~src:pep ~dst:pdp_node ctx (fun r -> got := Some r);
+  Net.run net;
+  (match !got with
+  | Some (Ok r) -> check bool_ "permit via PIP" true (Decision.is_permit r)
+  | _ -> Alcotest.fail "no decision");
+  check bool_ "pip fetches counted" true ((Pdp_service.stats pdp).Pdp_service.pip_fetches > 0);
+  (* Unknown subject: PIP has nothing, decision falls through to deny. *)
+  let ctx2 =
+    Context.make
+      ~subject:[ ("subject-id", Value.String "mallory") ]
+      ~resource:[ ("resource-id", Value.String "r") ]
+      ()
+  in
+  let got2 = ref None in
+  authz_call services ~src:pep ~dst:pdp_node ctx2 (fun r -> got2 := Some r);
+  Net.run net;
+  match !got2 with
+  | Some (Ok r) -> check bool_ "deny" true (Decision.is_deny r)
+  | _ -> Alcotest.fail "no decision"
+
+let test_pdp_service_policy_fetch_and_ttl () =
+  let net, services = fresh () in
+  let pap_node = add_node net "pap" in
+  let pdp_node = add_node net "pdp" in
+  let pep = add_node net "pep" in
+  let _pap = Pap.create services ~node:pap_node ~name:"pap" ~root:(doctor_policy "r") () in
+  let pdp =
+    Pdp_service.create services ~node:pdp_node ~name:"pdp" ~pap:pap_node
+      ~refresh:(Pdp_service.Ttl 10.0) ()
+  in
+  let ctx =
+    Context.make ~subject:(doctor_subject "alice")
+      ~resource:[ ("resource-id", Value.String "r") ]
+      ~action:[ ("action-id", Value.String "read") ]
+      ()
+  in
+  let decide k = authz_call services ~src:pep ~dst:pdp_node ctx k in
+  let got = ref None in
+  decide (fun r -> got := Some r);
+  Net.run net;
+  (match !got with
+  | Some (Ok r) -> check bool_ "permit after fetch" true (Decision.is_permit r)
+  | _ -> Alcotest.fail "no decision");
+  check int_ "one pap fetch" 1 (Pdp_service.stats pdp).Pdp_service.pap_fetches;
+  check int_ "version" 1 (Pdp_service.policy_version pdp);
+  (* Within the TTL no new fetch happens. *)
+  decide (fun r -> got := Some r);
+  Net.run net;
+  check int_ "still one fetch" 1 (Pdp_service.stats pdp).Pdp_service.pap_fetches;
+  (* After the TTL the PDP revalidates; the PAP answers "current". *)
+  Dacs_net.Engine.schedule (Net.engine net) ~delay:11.0 (fun () -> decide (fun r -> got := Some r));
+  Net.run net;
+  check int_ "revalidated" 2 (Pdp_service.stats pdp).Pdp_service.pap_fetches;
+  check int_ "current marker" 1 (Pdp_service.stats pdp).Pdp_service.pap_refresh_hits
+
+let test_pdp_service_no_policy () =
+  let net, services = fresh () in
+  let pdp_node = add_node net "pdp" in
+  let pep = add_node net "pep" in
+  let _pdp = Pdp_service.create services ~node:pdp_node ~name:"pdp" () in
+  let got = ref None in
+  authz_call services ~src:pep ~dst:pdp_node (Context.make ()) (fun r -> got := Some r);
+  Net.run net;
+  match !got with
+  | Some (Ok { Decision.decision = Decision.Indeterminate _; _ }) -> ()
+  | _ -> Alcotest.fail "expected indeterminate"
+
+(* --- capability service / idp -------------------------------------------------------- *)
+
+let test_capability_issue_and_verify () =
+  let _net, services = fresh () in
+  let net = Service.net services in
+  let keys = Dacs_crypto.Rsa.generate (Dacs_crypto.Rng.create 7L) ~bits:512 in
+  let cas =
+    Capability_service.create services ~node:(add_node net "cas") ~issuer:"cas" ~keypair:keys
+      ~root:(doctor_policy "r") ()
+  in
+  let a = Capability_service.issue cas ~subject:(doctor_subject "alice") ~pairs:[ ("r", "read"); ("r", "write") ] in
+  check bool_ "signed ok" true (Dacs_saml.Assertion.verify (Capability_service.public_key cas) a);
+  check bool_ "read permitted" true (Dacs_saml.Assertion.permits a ~resource:"r" ~action:"read");
+  check bool_ "write denied" false (Dacs_saml.Assertion.permits a ~resource:"r" ~action:"write");
+  check int_ "issued" 1 (Capability_service.issued_count cas)
+
+let test_capability_revocation () =
+  let _net, services = fresh () in
+  let net = Service.net services in
+  let keys = Dacs_crypto.Rsa.generate (Dacs_crypto.Rng.create 8L) ~bits:512 in
+  let cas =
+    Capability_service.create services ~node:(add_node net "cas") ~issuer:"cas" ~keypair:keys
+      ~root:(doctor_policy "r") ()
+  in
+  let a = Capability_service.issue cas ~subject:(doctor_subject "alice") ~pairs:[ ("r", "read") ] in
+  check bool_ "not revoked" false (Capability_service.is_revoked cas ~assertion_id:a.Dacs_saml.Assertion.id);
+  Capability_service.revoke cas ~assertion_id:a.Dacs_saml.Assertion.id;
+  check bool_ "revoked" true (Capability_service.is_revoked cas ~assertion_id:a.Dacs_saml.Assertion.id)
+
+let test_idp () =
+  let net, services = fresh () in
+  let keys = Dacs_crypto.Rsa.generate (Dacs_crypto.Rng.create 9L) ~bits:512 in
+  let idp = Idp.create services ~node:(add_node net "idp") ~issuer:"idp.a" ~keypair:keys () in
+  Idp.register_user idp ~user:"alice" (doctor_subject "alice");
+  check bool_ "knows" true (Idp.knows idp ~user:"alice");
+  (match Idp.issue idp ~user:"alice" with
+  | Some a ->
+    check bool_ "verifies" true (Dacs_saml.Assertion.verify (Idp.public_key idp) a);
+    check int_ "attrs" 2 (List.length (Dacs_saml.Assertion.attributes a))
+  | None -> Alcotest.fail "expected an assertion");
+  check bool_ "unknown" true (Idp.issue idp ~user:"bob" = None);
+  (* Network path. *)
+  let caller = add_node net "c" in
+  let got = ref None in
+  Service.call services ~src:caller ~dst:"idp" ~service:"attribute-assertion"
+    (Xml.element "AttributeAssertionRequest" ~attrs:[ ("Subject", "alice") ])
+    (fun r -> got := Some r);
+  Net.run net;
+  match !got with
+  | Some (Ok body) -> check bool_ "assertion over wire" true (Result.is_ok (Dacs_saml.Assertion.of_xml body))
+  | _ -> Alcotest.fail "no reply"
+
+(* --- pep: pull mode ---------------------------------------------------------------------- *)
+
+let pull_setup ?cache ?(pdps = 1) () =
+  let net, services = fresh () in
+  let pdp_nodes =
+    List.init pdps (fun i ->
+        let node = add_node net (Printf.sprintf "pdp%d" i) in
+        ignore (Pdp_service.create services ~node ~name:node ~root:(doctor_policy "r") ());
+        node)
+  in
+  let pep_node = add_node net "pep" in
+  let pep =
+    Pep.create services ~node:pep_node ~domain:"a" ~resource:"r" ~content:"the-content"
+      (Pep.Pull { pdps = pdp_nodes; cache; call_timeout = 0.5 })
+  in
+  let client = Client.create services ~node:(add_node net "client") ~subject:(doctor_subject "alice") in
+  (net, services, pep, client, pdp_nodes)
+
+let test_pep_pull_grant_and_deny () =
+  let net, _services, pep, client, _ = pull_setup () in
+  let got = ref None in
+  Client.request client ~pep:"pep" ~action:"read" (fun r -> got := Some r);
+  Net.run net;
+  (match !got with
+  | Some (Ok (Wire.Granted { content; _ })) -> check string_ "content" "the-content" content
+  | _ -> Alcotest.fail "expected grant");
+  (* Write denied. *)
+  Client.request client ~pep:"pep" ~action:"write" (fun r -> got := Some r);
+  Net.run net;
+  (match !got with
+  | Some (Ok (Wire.Denied _)) -> ()
+  | _ -> Alcotest.fail "expected deny");
+  let s = Pep.stats pep in
+  check int_ "requests" 2 s.Pep.requests;
+  check int_ "granted" 1 s.Pep.granted;
+  check int_ "denied" 1 s.Pep.denied;
+  check int_ "pdp calls" 2 s.Pep.pdp_calls;
+  (* Audit trail. *)
+  check int_ "audit entries" 2 (Audit.size (Pep.audit pep))
+
+let test_pep_pull_cache () =
+  let cache = Decision_cache.create ~ttl:60.0 () in
+  let net, _services, pep, client, _ = pull_setup ~cache () in
+  let run_request () =
+    let got = ref None in
+    Client.request client ~pep:"pep" ~action:"read" (fun r -> got := Some r);
+    Net.run net;
+    match !got with
+    | Some (Ok (Wire.Granted _)) -> ()
+    | _ -> Alcotest.fail "expected grant"
+  in
+  run_request ();
+  run_request ();
+  run_request ();
+  let s = Pep.stats pep in
+  check int_ "single PDP call" 1 s.Pep.pdp_calls;
+  check int_ "two cache hits" 2 s.Pep.cache_hits
+
+let test_pep_pull_failover () =
+  let net, _services, pep, client, pdp_nodes = pull_setup ~pdps:3 () in
+  (* Crash the first two PDPs: the request must still succeed. *)
+  Net.crash net (List.nth pdp_nodes 0);
+  Net.crash net (List.nth pdp_nodes 1);
+  let got = ref None in
+  Client.request client ~pep:"pep" ~action:"read" ~timeout:10.0 (fun r -> got := Some r);
+  Net.run net;
+  (match !got with
+  | Some (Ok (Wire.Granted _)) -> ()
+  | other ->
+    Alcotest.failf "expected grant, got %s"
+      (match other with
+      | Some (Ok (Wire.Denied r)) -> "denied: " ^ r
+      | Some (Ok (Wire.Granted _)) -> "granted"
+      | Some (Error e) -> Service.error_to_string e
+      | None -> "nothing"));
+  check int_ "two failovers" 2 (Pep.stats pep).Pep.failovers;
+  check int_ "three attempts" 3 (Pep.stats pep).Pep.pdp_calls
+
+let test_pep_pull_all_pdps_down () =
+  let net, _services, pep, client, pdp_nodes = pull_setup ~pdps:2 () in
+  List.iter (Net.crash net) pdp_nodes;
+  let got = ref None in
+  Client.request client ~pep:"pep" ~action:"read" ~timeout:10.0 (fun r -> got := Some r);
+  Net.run net;
+  (match !got with
+  | Some (Ok (Wire.Denied reason)) ->
+    check bool_ "fails closed with reason" true
+      (String.length reason > 0)
+  | _ -> Alcotest.fail "expected deny (fail closed)");
+  check int_ "denied" 1 (Pep.stats pep).Pep.denied
+
+let test_pep_obligations_encrypt () =
+  (* A policy that obliges the PEP to encrypt the response. *)
+  let net, services = fresh () in
+  let pdp_node = add_node net "pdp" in
+  let policy =
+    Policy.Inline_policy
+      (Policy.make ~id:"p" ~rule_combining:Combine.First_applicable
+         ~obligations:[ Obligation.encrypt_response ~strength:128 ]
+         [ Rule.permit "allow" ])
+  in
+  ignore (Pdp_service.create services ~node:pdp_node ~name:"pdp" ~root:policy ());
+  let pep_node = add_node net "pep" in
+  ignore
+    (Pep.create services ~node:pep_node ~domain:"a" ~resource:"r" ~content:"secret"
+       ~encryption_key:(Dacs_crypto.Stream_cipher.derive_key "k")
+       (Pep.Pull { pdps = [ pdp_node ]; cache = None; call_timeout = 0.5 }));
+  let client = Client.create services ~node:(add_node net "client") ~subject:(doctor_subject "alice") in
+  let got = ref None in
+  Client.request client ~pep:pep_node ~action:"read" (fun r -> got := Some r);
+  Net.run net;
+  match !got with
+  | Some (Ok (Wire.Granted { content; encrypted })) ->
+    check bool_ "encrypted" true encrypted;
+    check bool_ "content hidden" true (content <> "secret");
+    (* The client can decrypt with the shared key. *)
+    let cipher = Dacs_crypto.Encoding.base64_decode content in
+    check bool_ "decrypts" true
+      (Dacs_crypto.Stream_cipher.decrypt ~key:(Dacs_crypto.Stream_cipher.derive_key "k") cipher
+      = Some "secret")
+  | _ -> Alcotest.fail "expected encrypted grant"
+
+let test_pep_unknown_obligation_fails_closed () =
+  let net, services = fresh () in
+  let pdp_node = add_node net "pdp" in
+  let policy =
+    Policy.Inline_policy
+      (Policy.make ~id:"p"
+         ~obligations:[ Obligation.make ~fulfill_on:Obligation.Permit "urn:dacs:obligation:mystery" ]
+         [ Rule.permit "allow" ])
+  in
+  ignore (Pdp_service.create services ~node:pdp_node ~name:"pdp" ~root:policy ());
+  let pep_node = add_node net "pep" in
+  ignore
+    (Pep.create services ~node:pep_node ~domain:"a" ~resource:"r"
+       (Pep.Pull { pdps = [ pdp_node ]; cache = None; call_timeout = 0.5 }));
+  let client = Client.create services ~node:(add_node net "client") ~subject:(doctor_subject "alice") in
+  let got = ref None in
+  Client.request client ~pep:pep_node ~action:"read" (fun r -> got := Some r);
+  Net.run net;
+  match !got with
+  | Some (Ok (Wire.Denied _)) -> ()
+  | _ -> Alcotest.fail "a PEP that cannot fulfil an obligation must not grant"
+
+(* --- pep: push mode -------------------------------------------------------------------------- *)
+
+let push_setup ?(revocation = false) () =
+  let net, services = fresh () in
+  let keys = Dacs_crypto.Rsa.generate (Dacs_crypto.Rng.create 11L) ~bits:512 in
+  let cas =
+    Capability_service.create services ~node:(add_node net "cas") ~issuer:"cas" ~keypair:keys
+      ~root:(doctor_policy "r") ()
+  in
+  let pep_node = add_node net "pep" in
+  let trusted_issuer issuer = if issuer = "cas" then Some (Capability_service.public_key cas) else None in
+  let pep =
+    Pep.create services ~node:pep_node ~domain:"a" ~resource:"r" ~content:"pushed-content"
+      (Pep.Push
+         {
+           trusted_issuer;
+           check_revocation = (if revocation then Some "cas" else None);
+           local_pdp = None;
+         })
+  in
+  let client = Client.create services ~node:(add_node net "client") ~subject:(doctor_subject "alice") in
+  (net, services, cas, pep, client)
+
+let test_pep_push_happy_path () =
+  let net, _services, _cas, pep, client = push_setup () in
+  let got = ref None in
+  Client.request_with_capability client ~capability_service:"cas" ~pep:"pep" ~resource:"r"
+    ~action:"read" (fun r -> got := Some r);
+  Net.run net;
+  (match !got with
+  | Some (Ok (Wire.Granted { content; _ })) -> check string_ "content" "pushed-content" content
+  | _ -> Alcotest.fail "expected grant");
+  check int_ "one capability request" 1 (Client.capability_requests_made client);
+  (* Second access reuses the cached capability. *)
+  Client.request_with_capability client ~capability_service:"cas" ~pep:"pep" ~resource:"r"
+    ~action:"read" (fun r -> got := Some r);
+  Net.run net;
+  check int_ "capability reused" 1 (Client.capability_requests_made client);
+  check int_ "two grants" 2 (Pep.stats pep).Pep.granted
+
+let test_pep_push_without_assertion () =
+  let net, _services, _cas, pep, client = push_setup () in
+  let got = ref None in
+  (* A plain request without a capability header. *)
+  Client.request client ~pep:"pep" ~action:"read" (fun r -> got := Some r);
+  Net.run net;
+  (match !got with
+  | Some (Ok (Wire.Denied _)) -> ()
+  | _ -> Alcotest.fail "expected deny");
+  check int_ "rejection counted" 1 (Pep.stats pep).Pep.assertion_rejections
+
+let test_pep_push_capability_scope () =
+  let net, _services, _cas, _pep, client = push_setup () in
+  (* Capability is issued for read; only write is denied by the CAS's
+     policy, so the decision statement says Deny and the PEP refuses. *)
+  let got = ref None in
+  Client.request_with_capability client ~capability_service:"cas" ~pep:"pep" ~resource:"r"
+    ~action:"write" (fun r -> got := Some r);
+  Net.run net;
+  match !got with
+  | Some (Ok (Wire.Denied _)) -> ()
+  | _ -> Alcotest.fail "expected deny for uncovered action"
+
+let test_pep_push_revocation () =
+  let net, _services, cas, pep, client = push_setup ~revocation:true () in
+  let got = ref None in
+  Client.request_with_capability client ~capability_service:"cas" ~pep:"pep" ~resource:"r"
+    ~action:"read" (fun r -> got := Some r);
+  Net.run net;
+  (match !got with
+  | Some (Ok (Wire.Granted _)) -> ()
+  | _ -> Alcotest.fail "expected grant before revocation");
+  check int_ "revocation checked" 1 (Pep.stats pep).Pep.revocation_checks;
+  (* Revoke all issued assertions, then replay the cached capability. *)
+  for i = 1 to Capability_service.issued_count cas do
+    Capability_service.revoke cas ~assertion_id:(Printf.sprintf "cap-cas-%d" i)
+  done;
+  Client.request_with_capability client ~capability_service:"cas" ~pep:"pep" ~resource:"r"
+    ~action:"read" (fun r -> got := Some r);
+  Net.run net;
+  match !got with
+  | Some (Ok (Wire.Denied _)) -> ()
+  | _ -> Alcotest.fail "expected deny after revocation"
+
+let test_pep_push_local_final_say () =
+  (* The capability service permits, but the resource provider's local PDP
+     denies: the paper's "resource providers may impose their own
+     restrictions". *)
+  let net, services = fresh () in
+  let keys = Dacs_crypto.Rsa.generate (Dacs_crypto.Rng.create 12L) ~bits:512 in
+  let cas =
+    Capability_service.create services ~node:(add_node net "cas") ~issuer:"cas" ~keypair:keys
+      ~root:(doctor_policy "r") ()
+  in
+  let local_pdp_node = add_node net "local-pdp" in
+  let deny_all = Policy.Inline_policy (Policy.make ~id:"deny" [ Rule.deny "d" ]) in
+  let local_pdp = Pdp_service.create services ~node:local_pdp_node ~name:"local" ~root:deny_all () in
+  let pep_node = add_node net "pep" in
+  ignore
+    (Pep.create services ~node:pep_node ~domain:"a" ~resource:"r"
+       (Pep.Push
+          {
+            trusted_issuer =
+              (fun issuer -> if issuer = "cas" then Some (Capability_service.public_key cas) else None);
+            check_revocation = None;
+            local_pdp = Some local_pdp;
+          }));
+  let client = Client.create services ~node:(add_node net "client") ~subject:(doctor_subject "alice") in
+  let got = ref None in
+  Client.request_with_capability client ~capability_service:"cas" ~pep:pep_node ~resource:"r"
+    ~action:"read" (fun r -> got := Some r);
+  Net.run net;
+  match !got with
+  | Some (Ok (Wire.Denied _)) -> ()
+  | _ -> Alcotest.fail "local PDP must have the final say"
+
+let test_pep_agent_mode () =
+  let net, services = fresh () in
+  let pep_node = add_node net "pep" in
+  (* Agent mode: the PDP is embedded; no authz-query traffic at all. *)
+  let embedded =
+    Pdp_service.create services ~node:pep_node ~name:"embedded" ~root:(doctor_policy "r") ()
+  in
+  ignore
+    (Pep.create services ~node:pep_node ~domain:"a" ~resource:"r" ~content:"agent-content"
+       (Pep.Agent embedded));
+  let client = Client.create services ~node:(add_node net "client") ~subject:(doctor_subject "alice") in
+  let got = ref None in
+  Client.request client ~pep:pep_node ~action:"read" (fun r -> got := Some r);
+  Net.run net;
+  (match !got with
+  | Some (Ok (Wire.Granted { content; _ })) -> check string_ "content" "agent-content" content
+  | _ -> Alcotest.fail "expected grant");
+  (* No authz-query messages were sent. *)
+  check bool_ "no remote decision traffic" true
+    (List.assoc_opt "authz-query" (Net.stats_by_category net) = None)
+
+(* --- delegation --------------------------------------------------------------------------------- *)
+
+let test_delegation_chains () =
+  let d = Delegation.create ~roots:[ "root-a" ] in
+  check bool_ "root has authority" true (Delegation.authority_for d ~issuer:"root-a" ~resource:"x" ~now:0.0);
+  check bool_ "stranger lacks it" false (Delegation.authority_for d ~issuer:"b" ~resource:"x" ~now:0.0);
+  let g1 =
+    Delegation.grant d ~can_redelegate:true ~delegator:"root-a" ~delegate:"b" ~scope:"res/"
+      ~now:0.0 ~expires:100.0 ()
+  in
+  check bool_ "grant ok" true (Result.is_ok g1);
+  check bool_ "b authorised in scope" true
+    (Delegation.authority_for d ~issuer:"b" ~resource:"res/1" ~now:10.0);
+  check bool_ "b not outside scope" false
+    (Delegation.authority_for d ~issuer:"b" ~resource:"other" ~now:10.0);
+  check bool_ "b not after expiry" false
+    (Delegation.authority_for d ~issuer:"b" ~resource:"res/1" ~now:100.5);
+  (* Re-delegation b -> c. *)
+  let g2 =
+    Delegation.grant d ~delegator:"b" ~delegate:"c" ~scope:"res/sub/" ~now:10.0 ~expires:50.0 ()
+  in
+  check bool_ "redelegation ok" true (Result.is_ok g2);
+  check bool_ "c authorised" true (Delegation.authority_for d ~issuer:"c" ~resource:"res/sub/x" ~now:20.0);
+  (match Delegation.chain_for d ~issuer:"c" ~resource:"res/sub/x" ~now:20.0 with
+  | Some chain -> check int_ "chain length" 2 (List.length chain)
+  | None -> Alcotest.fail "expected a chain");
+  (* c cannot re-delegate (grant was not redelegable). *)
+  check bool_ "c cannot delegate" true
+    (Result.is_error
+       (Delegation.grant d ~delegator:"c" ~delegate:"e" ~scope:"res/sub/" ~now:20.0 ~expires:50.0 ()))
+
+let test_delegation_revocation_cascades () =
+  let d = Delegation.create ~roots:[ "root" ] in
+  let g1 =
+    match
+      Delegation.grant d ~can_redelegate:true ~delegator:"root" ~delegate:"b" ~scope:"" ~now:0.0
+        ~expires:100.0 ()
+    with
+    | Ok g -> g
+    | Error e -> Alcotest.fail e
+  in
+  ignore (Delegation.grant d ~delegator:"b" ~delegate:"c" ~scope:"" ~now:0.0 ~expires:100.0 ());
+  check bool_ "c authorised" true (Delegation.authority_for d ~issuer:"c" ~resource:"x" ~now:1.0);
+  check bool_ "revoked" true (Delegation.revoke d ~grant_id:g1.Delegation.id);
+  (* Revoking the first link severs the whole chain. *)
+  check bool_ "b cut" false (Delegation.authority_for d ~issuer:"b" ~resource:"x" ~now:1.0);
+  check bool_ "c cut too" false (Delegation.authority_for d ~issuer:"c" ~resource:"x" ~now:1.0);
+  check bool_ "unknown revoke" false (Delegation.revoke d ~grant_id:"nope")
+
+let test_delegation_filters_policies () =
+  let d = Delegation.create ~roots:[ "domain-a" ] in
+  ignore (Delegation.grant d ~delegator:"domain-a" ~delegate:"domain-b" ~scope:"shared/" ~now:0.0 ~expires:100.0 ());
+  let policy issuer resource id =
+    Policy.Inline_policy
+      (Policy.make ~id ~issuer ~target:Target.(any |> resource_is "resource-id" resource) [ Rule.permit "r" ])
+  in
+  let set =
+    Policy.make_set ~id:"s"
+      [
+        policy "domain-a" "anything" "own";
+        policy "domain-b" "shared/doc" "delegated-ok";
+        policy "domain-b" "private/doc" "overreach";
+        policy "domain-c" "shared/doc" "stranger";
+      ]
+  in
+  let filtered, dropped = Delegation.filter_authorized d ~now:1.0 set in
+  check int_ "kept" 2 (List.length filtered.Policy.children);
+  check (Alcotest.list string_) "dropped" [ "overreach"; "stranger" ] (List.sort compare dropped)
+
+(* --- negotiation ----------------------------------------------------------------------------------- *)
+
+let test_negotiation_immediate () =
+  (* Freely released credential satisfies the target in one round. *)
+  let client = { Negotiation.party_name = "c"; credentials = [ Negotiation.unprotected "id-card" ] } in
+  let server = { Negotiation.party_name = "s"; credentials = [] } in
+  let outcome = Negotiation.negotiate ~client ~server ~target:[ [ "id-card" ] ] () in
+  check bool_ "success" true outcome.Negotiation.success;
+  check int_ "one round" 1 outcome.Negotiation.rounds
+
+let test_negotiation_iterative () =
+  (* Client releases its clearance only after seeing the server's
+     accreditation, which the server releases only after the client's
+     membership card: three escalating exchanges. *)
+  let client =
+    {
+      Negotiation.party_name = "c";
+      credentials =
+        [
+          Negotiation.unprotected "membership";
+          Negotiation.protected_by "clearance" [ "accreditation" ];
+        ];
+    }
+  in
+  let server =
+    {
+      Negotiation.party_name = "s";
+      credentials = [ Negotiation.protected_by "accreditation" [ "membership" ] ];
+    }
+  in
+  let outcome = Negotiation.negotiate ~client ~server ~target:[ [ "clearance" ] ] () in
+  check bool_ "success" true outcome.Negotiation.success;
+  check bool_ "multiple rounds" true (outcome.Negotiation.rounds >= 2);
+  check (Alcotest.list string_) "client disclosed" [ "membership"; "clearance" ]
+    outcome.Negotiation.disclosed_by_client;
+  check (Alcotest.list string_) "server disclosed" [ "accreditation" ]
+    outcome.Negotiation.disclosed_by_server
+
+let test_negotiation_deadlock () =
+  (* Mutual suspicion: each waits for the other. *)
+  let client =
+    { Negotiation.party_name = "c"; credentials = [ Negotiation.protected_by "a" [ "b" ] ] }
+  in
+  let server =
+    { Negotiation.party_name = "s"; credentials = [ Negotiation.protected_by "b" [ "a" ] ] }
+  in
+  let outcome = Negotiation.negotiate ~client ~server ~target:[ [ "a" ] ] () in
+  check bool_ "failure" false outcome.Negotiation.success;
+  check bool_ "terminates quickly" true (outcome.Negotiation.rounds <= 2)
+
+let test_negotiation_alternatives () =
+  (* The target accepts either of two credentials. *)
+  let client = { Negotiation.party_name = "c"; credentials = [ Negotiation.unprotected "visa" ] } in
+  let server = { Negotiation.party_name = "s"; credentials = [] } in
+  let outcome = Negotiation.negotiate ~client ~server ~target:[ [ "passport" ]; [ "visa" ] ] () in
+  check bool_ "alternative satisfied" true outcome.Negotiation.success;
+  check bool_ "unsatisfiable" false
+    (Negotiation.negotiate ~client ~server ~target:[] ()).Negotiation.success
+
+(* --- conflict analysis ------------------------------------------------------------------------------- *)
+
+let permit_rule subject_role resource =
+  Rule.permit
+    ~target:Target.(any |> subject_is "role" subject_role |> resource_is "resource-id" resource)
+    ("permit-" ^ subject_role ^ "-" ^ resource)
+
+let deny_rule subject_role resource =
+  Rule.deny
+    ~target:Target.(any |> subject_is "role" subject_role |> resource_is "resource-id" resource)
+    ("deny-" ^ subject_role ^ "-" ^ resource)
+
+let test_conflict_detection () =
+  let pa = Policy.make ~id:"pa" ~issuer:"domain-a" [ permit_rule "doctor" "charts" ] in
+  let pb = Policy.make ~id:"pb" ~issuer:"domain-b" [ deny_rule "doctor" "charts" ] in
+  let conflicts = Conflict.find_between pa pb in
+  check int_ "one conflict" 1 (List.length conflicts);
+  let c = List.hd conflicts in
+  check bool_ "cross policy" true c.Conflict.cross_policy;
+  check bool_ "cross authority" true c.Conflict.cross_authority;
+  check bool_ "permit first (document order)" true c.Conflict.permit_first;
+  check string_ "permit side" "pa" c.Conflict.permit.Conflict.policy_id;
+  check bool_ "witness mentions the role" true
+    (let w = c.Conflict.witness in
+     let rec contains i = i + 6 <= String.length w && (String.sub w i 6 = "doctor" || contains (i + 1)) in
+     contains 0)
+
+let test_conflict_no_false_positive () =
+  (* Different roles / different resources cannot both apply. *)
+  let pa = Policy.make ~id:"pa" [ permit_rule "doctor" "charts" ] in
+  let pb = Policy.make ~id:"pb" [ deny_rule "nurse" "charts" ] in
+  check int_ "different roles" 0 (List.length (Conflict.find_between pa pb));
+  let pc = Policy.make ~id:"pc" [ deny_rule "doctor" "labs" ] in
+  check int_ "different resources" 0 (List.length (Conflict.find_between pa pc));
+  (* Same effect never conflicts. *)
+  let pd = Policy.make ~id:"pd" [ permit_rule "doctor" "charts" ] in
+  check int_ "same effect" 0 (List.length (Conflict.find_between pa pd))
+
+let test_conflict_wildcard_overlaps () =
+  (* A deny-all rule conflicts with any permit. *)
+  let pa = Policy.make ~id:"pa" [ permit_rule "doctor" "charts" ] in
+  let pb = Policy.make ~id:"pb" [ Rule.deny "deny-all" ] in
+  check int_ "wildcard overlap" 1 (List.length (Conflict.find_between pa pb))
+
+let test_conflict_in_set () =
+  let set =
+    Policy.make_set ~id:"s"
+      [
+        Policy.Inline_policy (Policy.make ~id:"pa" ~issuer:"a" [ permit_rule "doctor" "charts" ]);
+        Policy.Inline_set
+          (Policy.make_set ~id:"inner"
+             [ Policy.Inline_policy (Policy.make ~id:"pb" ~issuer:"b" [ deny_rule "doctor" "charts" ]) ]);
+      ]
+  in
+  check int_ "found through nesting" 1 (List.length (Conflict.find_in_set set))
+
+let test_conflict_resolutions () =
+  let pa = Policy.make ~id:"pa" [ permit_rule "doctor" "charts" ] in
+  let pb = Policy.make ~id:"pb" [ deny_rule "doctor" "charts" ] in
+  let c = List.hd (Conflict.find_between pa pb) in
+  check bool_ "deny-overrides" true (Conflict.resolution Combine.Deny_overrides c = Decision.Deny);
+  check bool_ "permit-overrides" true (Conflict.resolution Combine.Permit_overrides c = Decision.Permit);
+  check bool_ "first-applicable follows order" true
+    (Conflict.resolution Combine.First_applicable c = Decision.Permit);
+  check bool_ "only-one errors" true
+    (match Conflict.resolution Combine.Only_one_applicable c with
+    | Decision.Indeterminate _ -> true
+    | _ -> false)
+
+(* --- meta policies -------------------------------------------------------------------------------------- *)
+
+let test_chinese_wall () =
+  let history = Audit.create () in
+  let wall =
+    Meta_policy.Chinese_wall
+      [
+        {
+          Meta_policy.class_name = "banks";
+          datasets = [ ("bank-a", [ "a-books"; "a-forecast" ]); ("bank-b", [ "b-books" ]) ];
+        };
+      ]
+  in
+  let check_access resource =
+    Meta_policy.check wall ~history ~subject:"analyst" ~resource
+  in
+  (* First touch is free. *)
+  check bool_ "first access ok" true (check_access "a-books" = Ok ());
+  Audit.record history (entry "analyst" "a-books" Decision.Permit);
+  (* Same dataset fine; competitor dataset walled off. *)
+  check bool_ "same dataset ok" true (check_access "a-forecast" = Ok ());
+  check bool_ "competitor blocked" true (Result.is_error (check_access "b-books"));
+  (* Unrelated resource unaffected. *)
+  check bool_ "outside classes ok" true (check_access "weather" = Ok ());
+  (* A different subject is unaffected. *)
+  check bool_ "other subject ok" true
+    (Meta_policy.check wall ~history ~subject:"other" ~resource:"b-books" = Ok ())
+
+let test_dynamic_resource_sod () =
+  let history = Audit.create () in
+  let sod =
+    Meta_policy.Dynamic_resource_sod
+      { name = "no-both"; resources = [ "submit"; "approve" ]; limit = 2 }
+  in
+  check bool_ "first ok" true (Meta_policy.check sod ~history ~subject:"u" ~resource:"submit" = Ok ());
+  Audit.record history (entry "u" "submit" Decision.Permit);
+  check bool_ "second blocked" true
+    (Result.is_error (Meta_policy.check sod ~history ~subject:"u" ~resource:"approve"));
+  check bool_ "same resource again ok" true
+    (Meta_policy.check sod ~history ~subject:"u" ~resource:"submit" = Ok ())
+
+let test_meta_guard () =
+  let history = Audit.create () in
+  Audit.record history (entry "u" "submit" Decision.Permit);
+  let sod =
+    Meta_policy.Dynamic_resource_sod { name = "c"; resources = [ "submit"; "approve" ]; limit = 2 }
+  in
+  let guarded =
+    Meta_policy.guard [ sod ] ~history ~subject:"u" ~resource:"approve" Decision.permit
+  in
+  check bool_ "permit downgraded" true (Decision.is_deny guarded);
+  (* Deny passes through untouched. *)
+  let denied = Meta_policy.guard [ sod ] ~history ~subject:"u" ~resource:"approve" Decision.deny in
+  check bool_ "deny unchanged" true (Decision.is_deny denied);
+  (* Unrelated resource untouched. *)
+  let ok = Meta_policy.guard [ sod ] ~history ~subject:"u" ~resource:"other" Decision.permit in
+  check bool_ "permit kept" true (Decision.is_permit ok)
+
+
+(* --- remaining edges ------------------------------------------------------------ *)
+
+let test_client_drop_capabilities () =
+  let net, services = fresh () in
+  let keys = Dacs_crypto.Rsa.generate (Dacs_crypto.Rng.create 13L) ~bits:512 in
+  Net.add_node net "cas";
+  let cas =
+    Capability_service.create services ~node:"cas" ~issuer:"cas" ~keypair:keys
+      ~root:(doctor_policy "r") ()
+  in
+  Net.add_node net "pep";
+  ignore
+    (Pep.create services ~node:"pep" ~domain:"d" ~resource:"r"
+       (Pep.Push
+          {
+            trusted_issuer =
+              (fun i -> if i = "cas" then Some (Capability_service.public_key cas) else None);
+            check_revocation = None;
+            local_pdp = None;
+          }));
+  Net.add_node net "client";
+  let client = Client.create services ~node:"client" ~subject:(doctor_subject "alice") in
+  let go () =
+    Client.request_with_capability client ~capability_service:"cas" ~pep:"pep" ~resource:"r"
+      ~action:"read" (fun _ -> ());
+    Net.run net
+  in
+  go ();
+  go ();
+  check int_ "cached" 1 (Client.capability_requests_made client);
+  Client.drop_capabilities client;
+  go ();
+  check int_ "re-issued after drop" 2 (Client.capability_requests_made client)
+
+let test_capability_expiry_forces_reissue () =
+  let net, services = fresh () in
+  let keys = Dacs_crypto.Rsa.generate (Dacs_crypto.Rng.create 14L) ~bits:512 in
+  Net.add_node net "cas";
+  let cas =
+    Capability_service.create services ~node:"cas" ~issuer:"cas" ~keypair:keys
+      ~root:(doctor_policy "r") ~validity:5.0 ()
+  in
+  Net.add_node net "pep";
+  ignore
+    (Pep.create services ~node:"pep" ~domain:"d" ~resource:"r"
+       (Pep.Push
+          {
+            trusted_issuer =
+              (fun i -> if i = "cas" then Some (Capability_service.public_key cas) else None);
+            check_revocation = None;
+            local_pdp = None;
+          }));
+  Net.add_node net "client";
+  let client = Client.create services ~node:"client" ~subject:(doctor_subject "alice") in
+  let outcomes = ref [] in
+  let request_at t =
+    Dacs_net.Engine.schedule (Net.engine net) ~delay:t (fun () ->
+        Client.request_with_capability client ~capability_service:"cas" ~pep:"pep" ~resource:"r"
+          ~action:"read" (fun r -> outcomes := r :: !outcomes))
+  in
+  request_at 0.5;
+  request_at 1.0;  (* reuse *)
+  request_at 10.0; (* expired: must re-issue and still succeed *)
+  Net.run net;
+  check int_ "three grants" 3
+    (List.length (List.filter (function Ok (Wire.Granted _) -> true | _ -> false) !outcomes));
+  check int_ "two issuances" 2 (Client.capability_requests_made client)
+
+let test_pep_mode_getters () =
+  let net, services = fresh () in
+  Net.add_node net "pep";
+  Net.add_node net "pdp";
+  let pull =
+    Pep.create services ~node:"pep" ~domain:"d" ~resource:"r"
+      (Pep.Pull { pdps = [ "pdp" ]; cache = None; call_timeout = 1.0 })
+  in
+  check (Alcotest.list string_) "pull list" [ "pdp" ] (Pep.pull_pdps pull);
+  Pep.set_pull_pdps pull [ "a"; "b" ];
+  check (Alcotest.list string_) "updated" [ "a"; "b" ] (Pep.pull_pdps pull);
+  Net.add_node net "pep2";
+  let embedded = Pdp_service.create services ~node:"pep2" ~name:"e" ~root:(doctor_policy "r") () in
+  let agent = Pep.create services ~node:"pep2" ~domain:"d" ~resource:"r" (Pep.Agent embedded) in
+  check (Alcotest.list string_) "agent has none" [] (Pep.pull_pdps agent);
+  (* set_pull_pdps on a non-pull PEP is a no-op, not an error. *)
+  Pep.set_pull_pdps agent [ "x" ];
+  check (Alcotest.list string_) "still none" [] (Pep.pull_pdps agent)
+
+let test_lifecycle_drafts_listing () =
+  let net, services = fresh () in
+  Net.add_node net "pap";
+  let pap = Pap.create services ~node:"pap" ~name:"p" () in
+  let lc =
+    Lifecycle.create ~pap ~approvers:[] ~now:(fun () -> Net.now net) ()
+  in
+  let d1 = Lifecycle.submit lc ~author:"a" (doctor_policy "r1") in
+  let d2 = Lifecycle.submit lc ~author:"b" (doctor_policy ~id:"p2" "r2") in
+  check int_ "two drafts" 2 (List.length (Lifecycle.drafts lc));
+  check bool_ "both draft state" true
+    (List.for_all (fun (_, st) -> st = Lifecycle.Draft) (Lifecycle.drafts lc));
+  check bool_ "unknown draft" true (Lifecycle.state_of lc ~draft:"nope" = None);
+  check bool_ "review unknown" true (Result.is_error (Lifecycle.review lc ~draft:"nope" ()));
+  ignore (d1, d2)
+
+let () =
+  Alcotest.run "dacs_core"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "access request" `Quick test_wire_access_request;
+          Alcotest.test_case "authz roundtrip" `Quick test_wire_authz_roundtrip;
+          Alcotest.test_case "attribute roundtrip" `Quick test_wire_attribute_roundtrip;
+          Alcotest.test_case "policy roundtrip" `Quick test_wire_policy_roundtrip;
+          Alcotest.test_case "capability roundtrip" `Quick test_wire_capability_roundtrip;
+          Alcotest.test_case "outcomes" `Quick test_wire_outcomes;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "basics" `Quick test_audit_basics;
+          Alcotest.test_case "merge ordering" `Quick test_audit_merge_ordering;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss/expiry" `Quick test_cache_hit_miss_expiry;
+          Alcotest.test_case "eviction" `Quick test_cache_eviction;
+          Alcotest.test_case "invalidation" `Quick test_cache_invalidation;
+          Alcotest.test_case "key stability" `Quick test_cache_key_stability;
+        ] );
+      ( "pap",
+        [
+          Alcotest.test_case "query versions" `Quick test_pap_query_versions;
+          Alcotest.test_case "remote update access control" `Quick test_pap_remote_update_access_control;
+          Alcotest.test_case "syndication cascade" `Quick test_pap_syndication_cascade;
+          Alcotest.test_case "update filter" `Quick test_pap_update_filter_blocks;
+          Alcotest.test_case "lookup" `Quick test_pap_lookup;
+        ] );
+      ("pip", [ Alcotest.test_case "lookups" `Quick test_pip_lookup_service ]);
+      ( "pdp-service",
+        [
+          Alcotest.test_case "basic decision" `Quick test_pdp_service_basic;
+          Alcotest.test_case "PIP attribute fetch" `Quick test_pdp_service_pip_fetch;
+          Alcotest.test_case "policy fetch and TTL" `Quick test_pdp_service_policy_fetch_and_ttl;
+          Alcotest.test_case "no policy" `Quick test_pdp_service_no_policy;
+        ] );
+      ( "capability",
+        [
+          Alcotest.test_case "issue and verify" `Quick test_capability_issue_and_verify;
+          Alcotest.test_case "revocation" `Quick test_capability_revocation;
+          Alcotest.test_case "idp" `Quick test_idp;
+        ] );
+      ( "pep-pull",
+        [
+          Alcotest.test_case "grant and deny" `Quick test_pep_pull_grant_and_deny;
+          Alcotest.test_case "decision cache" `Quick test_pep_pull_cache;
+          Alcotest.test_case "failover" `Quick test_pep_pull_failover;
+          Alcotest.test_case "all PDPs down fails closed" `Quick test_pep_pull_all_pdps_down;
+          Alcotest.test_case "encrypt obligation" `Quick test_pep_obligations_encrypt;
+          Alcotest.test_case "unknown obligation fails closed" `Quick test_pep_unknown_obligation_fails_closed;
+        ] );
+      ( "pep-push",
+        [
+          Alcotest.test_case "happy path with reuse" `Quick test_pep_push_happy_path;
+          Alcotest.test_case "no assertion denied" `Quick test_pep_push_without_assertion;
+          Alcotest.test_case "capability scope" `Quick test_pep_push_capability_scope;
+          Alcotest.test_case "revocation" `Quick test_pep_push_revocation;
+          Alcotest.test_case "local PDP final say" `Quick test_pep_push_local_final_say;
+          Alcotest.test_case "agent mode" `Quick test_pep_agent_mode;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "drop capabilities" `Quick test_client_drop_capabilities;
+          Alcotest.test_case "capability expiry re-issues" `Quick test_capability_expiry_forces_reissue;
+          Alcotest.test_case "PEP mode getters" `Quick test_pep_mode_getters;
+          Alcotest.test_case "lifecycle drafts listing" `Quick test_lifecycle_drafts_listing;
+        ] );
+      ( "delegation",
+        [
+          Alcotest.test_case "chains" `Quick test_delegation_chains;
+          Alcotest.test_case "revocation cascades" `Quick test_delegation_revocation_cascades;
+          Alcotest.test_case "policy filtering" `Quick test_delegation_filters_policies;
+        ] );
+      ( "negotiation",
+        [
+          Alcotest.test_case "immediate" `Quick test_negotiation_immediate;
+          Alcotest.test_case "iterative" `Quick test_negotiation_iterative;
+          Alcotest.test_case "deadlock" `Quick test_negotiation_deadlock;
+          Alcotest.test_case "alternatives" `Quick test_negotiation_alternatives;
+        ] );
+      ( "conflict",
+        [
+          Alcotest.test_case "detection" `Quick test_conflict_detection;
+          Alcotest.test_case "no false positives" `Quick test_conflict_no_false_positive;
+          Alcotest.test_case "wildcard overlap" `Quick test_conflict_wildcard_overlaps;
+          Alcotest.test_case "nested sets" `Quick test_conflict_in_set;
+          Alcotest.test_case "resolutions" `Quick test_conflict_resolutions;
+        ] );
+      ( "meta-policy",
+        [
+          Alcotest.test_case "Chinese wall" `Quick test_chinese_wall;
+          Alcotest.test_case "dynamic resource SoD" `Quick test_dynamic_resource_sod;
+          Alcotest.test_case "guard" `Quick test_meta_guard;
+        ] );
+    ]

@@ -1,0 +1,621 @@
+(* Tests for dacs_crypto: RNG, encodings, SHA-256 vectors, HMAC vectors,
+   bignum arithmetic laws, primality, RSA, stream cipher, certificates. *)
+
+open Dacs_crypto
+
+let check = Alcotest.check
+let string_ = Alcotest.string
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+
+(* --- rng -------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    check bool_ "same stream" true (Rng.next_int64 a = Rng.next_int64 b)
+  done
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 7L in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 10 in
+    check bool_ "in range" true (v >= 0 && v < 10)
+  done
+
+let test_rng_int_covers_range () =
+  let rng = Rng.create 9L in
+  let seen = Array.make 8 false in
+  for _ = 1 to 500 do
+    seen.(Rng.int rng 8) <- true
+  done;
+  check bool_ "all values hit" true (Array.for_all Fun.id seen)
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 3L in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    check bool_ "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_bytes_length () =
+  let rng = Rng.create 1L in
+  check int_ "length" 17 (String.length (Rng.bytes rng 17))
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 5L in
+  let xs = List.init 20 Fun.id in
+  let ys = Rng.shuffle rng xs in
+  check (Alcotest.list int_) "same multiset" xs (List.sort compare ys)
+
+let test_rng_split_independent () =
+  let rng = Rng.create 11L in
+  let child = Rng.split rng in
+  (* The child must not simply mirror the parent. *)
+  let a = List.init 10 (fun _ -> Rng.next_int64 rng) in
+  let b = List.init 10 (fun _ -> Rng.next_int64 child) in
+  check bool_ "different streams" true (a <> b)
+
+(* --- encodings --------------------------------------------------------- *)
+
+let test_hex_roundtrip () =
+  check string_ "encode" "00ff10ab" (Encoding.hex_encode "\x00\xff\x10\xab");
+  check string_ "decode" "\x00\xff\x10\xab" (Encoding.hex_decode "00ff10ab");
+  check string_ "decode uppercase" "\x00\xff" (Encoding.hex_decode "00FF")
+
+let test_hex_errors () =
+  let bad s =
+    try
+      ignore (Encoding.hex_decode s);
+      Alcotest.fail "expected Invalid_argument"
+    with Invalid_argument _ -> ()
+  in
+  bad "0";
+  bad "zz"
+
+let test_base64_vectors () =
+  (* RFC 4648 test vectors. *)
+  List.iter
+    (fun (plain, enc) ->
+      check string_ ("encode " ^ plain) enc (Encoding.base64_encode plain);
+      check string_ ("decode " ^ enc) plain (Encoding.base64_decode enc))
+    [
+      ("", "");
+      ("f", "Zg==");
+      ("fo", "Zm8=");
+      ("foo", "Zm9v");
+      ("foob", "Zm9vYg==");
+      ("fooba", "Zm9vYmE=");
+      ("foobar", "Zm9vYmFy");
+    ]
+
+let test_base64_whitespace () =
+  check string_ "ignores newlines" "foobar" (Encoding.base64_decode "Zm9v\nYmFy")
+
+let test_base64_errors () =
+  let bad s =
+    try
+      ignore (Encoding.base64_decode s);
+      Alcotest.fail "expected Invalid_argument"
+    with Invalid_argument _ -> ()
+  in
+  bad "Zg=";
+  bad "Z===";
+  bad "!!!!"
+
+(* --- sha256 ------------------------------------------------------------- *)
+
+let test_sha256_vectors () =
+  List.iter
+    (fun (msg, hex) -> check string_ ("sha256 of " ^ String.escaped msg) hex (Sha256.hex_digest msg))
+    [
+      ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+      ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+      ( "The quick brown fox jumps over the lazy dog",
+        "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592" );
+      ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+    ]
+
+let test_sha256_million_a () =
+  (* FIPS long-message vector. *)
+  let ctx = Sha256.init () in
+  let chunk = String.make 1000 'a' in
+  for _ = 1 to 1000 do
+    Sha256.update ctx chunk
+  done;
+  check string_ "million a" "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Encoding.hex_encode (Sha256.finalize ctx))
+
+let test_sha256_incremental_matches_oneshot () =
+  let msg = String.init 300 (fun i -> Char.chr (i mod 256)) in
+  let ctx = Sha256.init () in
+  (* Deliberately awkward split points around the 64-byte block size. *)
+  Sha256.update ctx (String.sub msg 0 63);
+  Sha256.update ctx (String.sub msg 63 2);
+  Sha256.update ctx (String.sub msg 65 128);
+  Sha256.update ctx (String.sub msg 193 107);
+  check string_ "incremental" (Sha256.hex_digest msg) (Encoding.hex_encode (Sha256.finalize ctx))
+
+let test_sha256_block_boundaries () =
+  (* Lengths 55, 56, 63, 64, 65 hit all the padding branches. *)
+  List.iter
+    (fun n ->
+      let msg = String.make n 'x' in
+      let ctx = Sha256.init () in
+      String.iter (fun c -> Sha256.update ctx (String.make 1 c)) msg;
+      check string_
+        (Printf.sprintf "length %d" n)
+        (Sha256.hex_digest msg)
+        (Encoding.hex_encode (Sha256.finalize ctx)))
+    [ 0; 1; 55; 56; 57; 63; 64; 65; 127; 128; 129 ]
+
+(* --- hmac ----------------------------------------------------------------- *)
+
+let test_hmac_rfc4231 () =
+  (* RFC 4231 test cases 1, 2 and the long-key case 6. *)
+  check string_ "case 1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Hmac.sha256_hex ~key:(String.make 20 '\x0b') "Hi There");
+  check string_ "case 2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Hmac.sha256_hex ~key:"Jefe" "what do ya want for nothing?");
+  check string_ "case 6 (long key)"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Hmac.sha256_hex ~key:(String.make 131 '\xaa') "Test Using Larger Than Block-Size Key - Hash Key First")
+
+let test_hmac_verify () =
+  let key = "secret" and msg = "payload" in
+  let tag = Hmac.sha256 ~key msg in
+  check bool_ "accepts" true (Hmac.verify ~key msg ~tag);
+  check bool_ "rejects bad tag" false (Hmac.verify ~key msg ~tag:(String.make 32 '\x00'));
+  check bool_ "rejects short tag" false (Hmac.verify ~key msg ~tag:"short");
+  check bool_ "rejects wrong msg" false (Hmac.verify ~key "other" ~tag)
+
+(* --- bignum ------------------------------------------------------------------ *)
+
+let bn = Alcotest.testable Bignum.pp Bignum.equal
+
+let test_bignum_of_to_int () =
+  List.iter
+    (fun i ->
+      check (Alcotest.option int_) (string_of_int i) (Some i) (Bignum.to_int_opt (Bignum.of_int i)))
+    [ 0; 1; 2; 1000; 67108863; 67108864; max_int ]
+
+let test_bignum_decimal_roundtrip () =
+  List.iter
+    (fun s -> check string_ s s (Bignum.to_decimal (Bignum.of_decimal s)))
+    [ "0"; "1"; "10000000"; "123456789012345678901234567890"; "99999999999999999999" ]
+
+let test_bignum_hex_roundtrip () =
+  let v = Bignum.of_decimal "123456789012345678901234567890" in
+  check bn "hex roundtrip" v (Bignum.of_hex (Bignum.to_hex v))
+
+let test_bignum_bytes_roundtrip () =
+  let v = Bignum.of_decimal "987654321098765432109876543210" in
+  check bn "bytes roundtrip" v (Bignum.of_bytes_be (Bignum.to_bytes_be v));
+  check bn "leading zeros ok" v (Bignum.of_bytes_be ("\x00\x00" ^ Bignum.to_bytes_be v));
+  let padded = Bignum.to_bytes_be_padded v 20 in
+  check int_ "padded width" 20 (String.length padded);
+  check bn "padded roundtrip" v (Bignum.of_bytes_be padded)
+
+let test_bignum_known_arithmetic () =
+  let a = Bignum.of_decimal "123456789123456789123456789" in
+  let b = Bignum.of_decimal "987654321987654321" in
+  check string_ "add" "123456790111111111111111110" (Bignum.to_decimal (Bignum.add a b));
+  check string_ "sub" "123456788135802467135802468" (Bignum.to_decimal (Bignum.sub a b));
+  (* mul is checked by the divmod reconstruction identity. *)
+  let q, r = Bignum.divmod a b in
+  check bn "divmod reconstructs" a (Bignum.add (Bignum.mul q b) r);
+  check bool_ "remainder < divisor" true (Bignum.compare r b < 0)
+
+let test_bignum_shift () =
+  let v = Bignum.of_int 0b1011 in
+  check bn "shl" (Bignum.of_int 0b1011000) (Bignum.shift_left v 3);
+  check bn "shr" (Bignum.of_int 0b10) (Bignum.shift_right v 2);
+  check bn "shr to zero" Bignum.zero (Bignum.shift_right v 10);
+  let big = Bignum.of_decimal "123456789012345678901234567890" in
+  check bn "shl/shr inverse" big (Bignum.shift_right (Bignum.shift_left big 137) 137)
+
+let test_bignum_num_bits () =
+  check int_ "zero" 0 (Bignum.num_bits Bignum.zero);
+  check int_ "one" 1 (Bignum.num_bits Bignum.one);
+  check int_ "255" 8 (Bignum.num_bits (Bignum.of_int 255));
+  check int_ "256" 9 (Bignum.num_bits (Bignum.of_int 256));
+  check int_ "2^100" 101 (Bignum.num_bits (Bignum.shift_left Bignum.one 100))
+
+let test_bignum_sub_negative_raises () =
+  try
+    ignore (Bignum.sub Bignum.one Bignum.two);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_bignum_div_by_zero () =
+  try
+    ignore (Bignum.divmod Bignum.one Bignum.zero);
+    Alcotest.fail "expected Division_by_zero"
+  with Division_by_zero -> ()
+
+let test_bignum_modpow_known () =
+  (* 2^10 mod 1000 = 24; 3^100 mod 7: 3^6=1 (Fermat), 100 mod 6 = 4, 3^4=81, 81 mod 7 = 4. *)
+  check bn "2^10 mod 1000" (Bignum.of_int 24)
+    (Bignum.modpow Bignum.two (Bignum.of_int 10) (Bignum.of_int 1000));
+  check bn "3^100 mod 7" (Bignum.of_int 4)
+    (Bignum.modpow (Bignum.of_int 3) (Bignum.of_int 100) (Bignum.of_int 7));
+  check bn "x^0 = 1" Bignum.one (Bignum.modpow (Bignum.of_int 5) Bignum.zero (Bignum.of_int 7));
+  check bn "mod 1 = 0" Bignum.zero (Bignum.modpow (Bignum.of_int 5) (Bignum.of_int 3) Bignum.one)
+
+let test_bignum_gcd () =
+  check bn "gcd(12,18)" (Bignum.of_int 6) (Bignum.gcd (Bignum.of_int 12) (Bignum.of_int 18));
+  check bn "gcd(17,5)" Bignum.one (Bignum.gcd (Bignum.of_int 17) (Bignum.of_int 5));
+  check bn "gcd(0,x)" (Bignum.of_int 9) (Bignum.gcd Bignum.zero (Bignum.of_int 9))
+
+let test_bignum_modinv () =
+  (match Bignum.modinv (Bignum.of_int 3) (Bignum.of_int 11) with
+  | Some v -> check bn "3^-1 mod 11 = 4" (Bignum.of_int 4) v
+  | None -> Alcotest.fail "expected an inverse");
+  check bool_ "no inverse when not coprime" true (Bignum.modinv (Bignum.of_int 6) (Bignum.of_int 9) = None);
+  check bool_ "zero has no inverse" true (Bignum.modinv Bignum.zero (Bignum.of_int 9) = None)
+
+(* qcheck generators for bignums *)
+
+let gen_bignum =
+  QCheck.make
+    ~print:Bignum.to_decimal
+    QCheck.Gen.(
+      let digits = string_size ~gen:(map (fun i -> Char.chr (Char.code '0' + i)) (0 -- 9)) (1 -- 40) in
+      map Bignum.of_decimal digits)
+
+let prop_add_commutative =
+  QCheck.Test.make ~name:"add commutative" ~count:300 (QCheck.pair gen_bignum gen_bignum)
+    (fun (a, b) -> Bignum.equal (Bignum.add a b) (Bignum.add b a))
+
+let prop_add_sub_inverse =
+  QCheck.Test.make ~name:"(a+b)-b = a" ~count:300 (QCheck.pair gen_bignum gen_bignum) (fun (a, b) ->
+      Bignum.equal (Bignum.sub (Bignum.add a b) b) a)
+
+let prop_mul_commutative =
+  QCheck.Test.make ~name:"mul commutative" ~count:300 (QCheck.pair gen_bignum gen_bignum)
+    (fun (a, b) -> Bignum.equal (Bignum.mul a b) (Bignum.mul b a))
+
+let prop_mul_distributive =
+  QCheck.Test.make ~name:"a*(b+c) = a*b + a*c" ~count:200
+    (QCheck.triple gen_bignum gen_bignum gen_bignum) (fun (a, b, c) ->
+      Bignum.equal (Bignum.mul a (Bignum.add b c)) (Bignum.add (Bignum.mul a b) (Bignum.mul a c)))
+
+let prop_divmod_reconstruction =
+  QCheck.Test.make ~name:"a = q*b + r, r < b" ~count:500 (QCheck.pair gen_bignum gen_bignum)
+    (fun (a, b) ->
+      QCheck.assume (not (Bignum.is_zero b));
+      let q, r = Bignum.divmod a b in
+      Bignum.equal a (Bignum.add (Bignum.mul q b) r) && Bignum.compare r b < 0)
+
+let prop_bytes_roundtrip =
+  QCheck.Test.make ~name:"bytes roundtrip" ~count:300 gen_bignum (fun a ->
+      Bignum.equal a (Bignum.of_bytes_be (Bignum.to_bytes_be a)))
+
+let prop_decimal_roundtrip =
+  QCheck.Test.make ~name:"decimal roundtrip" ~count:300 gen_bignum (fun a ->
+      Bignum.equal a (Bignum.of_decimal (Bignum.to_decimal a)))
+
+let prop_modpow_mul =
+  (* a^(x+y) = a^x * a^y (mod m) *)
+  QCheck.Test.make ~name:"modpow addition law" ~count:100
+    (QCheck.triple gen_bignum (QCheck.pair QCheck.small_nat QCheck.small_nat) gen_bignum)
+    (fun (a, (x, y), m) ->
+      QCheck.assume (Bignum.compare m Bignum.one > 0);
+      let x = Bignum.of_int x and y = Bignum.of_int y in
+      let lhs = Bignum.modpow a (Bignum.add x y) m in
+      let rhs = Bignum.rem (Bignum.mul (Bignum.modpow a x m) (Bignum.modpow a y m)) m in
+      Bignum.equal lhs rhs)
+
+(* --- primes -------------------------------------------------------------- *)
+
+let test_small_primes_list () =
+  check bool_ "2 listed" true (List.mem 2 Prime.small_primes);
+  check bool_ "997 listed" true (List.mem 997 Prime.small_primes);
+  check bool_ "1000 not listed" false (List.mem 1000 Prime.small_primes);
+  check int_ "count below 1000" 168 (List.length Prime.small_primes)
+
+let test_primality_small () =
+  let rng = Rng.create 1L in
+  List.iter
+    (fun (n, expected) ->
+      check bool_ (string_of_int n) expected (Prime.is_probably_prime rng (Bignum.of_int n)))
+    [
+      (2, true); (3, true); (4, false); (17, true); (561, false) (* Carmichael *); (997, true);
+      (1009, true); (1001, false); (7919, true); (7917, false);
+    ]
+
+let test_primality_large_known () =
+  let rng = Rng.create 2L in
+  (* 2^89-1 is a Mersenne prime; 2^67-1 is famously composite. *)
+  let mersenne p = Bignum.pred (Bignum.shift_left Bignum.one p) in
+  check bool_ "2^89-1 prime" true (Prime.is_probably_prime rng (mersenne 89));
+  check bool_ "2^67-1 composite" false (Prime.is_probably_prime rng (mersenne 67))
+
+let test_prime_generation () =
+  let rng = Rng.create 3L in
+  let p = Prime.generate rng ~bits:64 in
+  check int_ "exact width" 64 (Bignum.num_bits p);
+  check bool_ "probably prime" true (Prime.is_probably_prime rng p);
+  check bool_ "odd" true (not (Bignum.is_even p))
+
+(* --- rsa --------------------------------------------------------------------- *)
+
+(* A single 256-bit keypair shared across tests keeps the suite fast while
+   exercising real multi-limb arithmetic. *)
+let test_keypair = lazy (Rsa.generate (Rng.create 2024L) ~bits:512)
+
+let test_rsa_keygen_shape () =
+  let kp = Lazy.force test_keypair in
+  check int_ "modulus width" 512 (Bignum.num_bits kp.Rsa.public.n);
+  check int_ "key bytes" 64 (Rsa.key_bytes kp.Rsa.public);
+  (* d*e = 1 mod (p-1)(q-1) *)
+  let phi = Bignum.mul (Bignum.pred kp.Rsa.private_.p) (Bignum.pred kp.Rsa.private_.q) in
+  check bn "d*e = 1 (mod phi)" Bignum.one
+    (Bignum.rem (Bignum.mul kp.Rsa.private_.d kp.Rsa.public.e) phi)
+
+let test_rsa_sign_verify () =
+  let kp = Lazy.force test_keypair in
+  let msg = "authorise: subject=alice action=read resource=wsA" in
+  let signature = Rsa.sign kp.Rsa.private_ msg in
+  check int_ "signature width" 64 (String.length signature);
+  check bool_ "verifies" true (Rsa.verify kp.Rsa.public msg ~signature);
+  check bool_ "rejects altered message" false (Rsa.verify kp.Rsa.public (msg ^ "!") ~signature);
+  let tampered = Bytes.of_string signature in
+  Bytes.set tampered 5 (Char.chr (Char.code (Bytes.get tampered 5) lxor 1));
+  check bool_ "rejects altered signature" false
+    (Rsa.verify kp.Rsa.public msg ~signature:(Bytes.to_string tampered));
+  check bool_ "rejects wrong length" false (Rsa.verify kp.Rsa.public msg ~signature:"short")
+
+let test_rsa_sign_wrong_key () =
+  let kp = Lazy.force test_keypair in
+  let other = Rsa.generate (Rng.create 99L) ~bits:512 in
+  let signature = Rsa.sign kp.Rsa.private_ "msg" in
+  check bool_ "other key rejects" false (Rsa.verify other.Rsa.public "msg" ~signature)
+
+let test_rsa_encrypt_decrypt () =
+  let kp = Lazy.force test_keypair in
+  let rng = Rng.create 5L in
+  let msg = "short secret" in
+  let cipher = Rsa.encrypt rng kp.Rsa.public msg in
+  check int_ "cipher width" 64 (String.length cipher);
+  check (Alcotest.option string_) "roundtrip" (Some msg) (Rsa.decrypt kp.Rsa.private_ cipher);
+  check bool_ "ciphertext differs from plaintext" true (cipher <> msg);
+  (* Same message encrypts differently thanks to random padding. *)
+  let cipher2 = Rsa.encrypt rng kp.Rsa.public msg in
+  check bool_ "probabilistic" true (cipher <> cipher2)
+
+let test_rsa_encrypt_too_long () =
+  let kp = Lazy.force test_keypair in
+  let rng = Rng.create 6L in
+  let too_long = String.make (Rsa.max_plaintext kp.Rsa.public + 1) 'x' in
+  try
+    ignore (Rsa.encrypt rng kp.Rsa.public too_long);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_rsa_decrypt_garbage () =
+  let kp = Lazy.force test_keypair in
+  check bool_ "wrong length" true (Rsa.decrypt kp.Rsa.private_ "garbage" = None);
+  check bool_ "random block" true (Rsa.decrypt kp.Rsa.private_ (String.make 64 '\x7f') = None)
+
+let test_rsa_public_xml_roundtrip () =
+  let kp = Lazy.force test_keypair in
+  match Rsa.public_of_xml (Rsa.public_to_xml kp.Rsa.public) with
+  | Some pub ->
+    check bool_ "n" true (Bignum.equal pub.Rsa.n kp.Rsa.public.n);
+    check bool_ "e" true (Bignum.equal pub.Rsa.e kp.Rsa.public.e);
+    check string_ "fingerprint stable" (Rsa.fingerprint kp.Rsa.public) (Rsa.fingerprint pub)
+  | None -> Alcotest.fail "expected key to parse back"
+
+(* --- stream cipher -------------------------------------------------------------- *)
+
+let test_stream_roundtrip () =
+  let rng = Rng.create 10L in
+  let key = Stream_cipher.derive_key "shared secret" in
+  let plain = "the body of a SOAP message with sensitive content" in
+  let cipher = Stream_cipher.encrypt rng ~key plain in
+  check int_ "expansion = nonce" (String.length plain + Stream_cipher.nonce_bytes) (String.length cipher);
+  check (Alcotest.option string_) "roundtrip" (Some plain) (Stream_cipher.decrypt ~key cipher)
+
+let test_stream_wrong_key () =
+  let rng = Rng.create 10L in
+  let key = Stream_cipher.derive_key "a" and key' = Stream_cipher.derive_key "b" in
+  let cipher = Stream_cipher.encrypt rng ~key "attack at dawn" in
+  (match Stream_cipher.decrypt ~key:key' cipher with
+  | Some other -> check bool_ "garbled" true (other <> "attack at dawn")
+  | None -> Alcotest.fail "stream decrypt never fails on well-sized input");
+  check bool_ "short input rejected" true (Stream_cipher.decrypt ~key "tiny" = None)
+
+let test_stream_distinct_nonces () =
+  let rng = Rng.create 11L in
+  let key = Stream_cipher.derive_key "k" in
+  let c1 = Stream_cipher.encrypt rng ~key "same" and c2 = Stream_cipher.encrypt rng ~key "same" in
+  check bool_ "distinct ciphertexts" true (c1 <> c2)
+
+let test_stream_empty () =
+  let rng = Rng.create 12L in
+  let key = Stream_cipher.derive_key "k" in
+  check (Alcotest.option string_) "empty ok" (Some "") (Stream_cipher.decrypt ~key (Stream_cipher.encrypt rng ~key ""))
+
+(* --- certificates ------------------------------------------------------------- *)
+
+let ca_kp = lazy (Rsa.generate (Rng.create 77L) ~bits:512)
+let leaf_kp = lazy (Rsa.generate (Rng.create 78L) ~bits:512)
+
+let make_ca () =
+  Cert.self_signed (Lazy.force ca_kp) ~subject:"cn=root-ca" ~serial:1 ~not_before:0.0
+    ~not_after:1000.0
+
+let test_cert_self_signed () =
+  let ca = make_ca () in
+  check string_ "issuer = subject" ca.Cert.subject ca.Cert.issuer;
+  check bool_ "self-verifies" true (Cert.verify_signature ca ~issuer_key:ca.Cert.public_key);
+  check bool_ "valid inside window" true (Cert.valid_at ca 500.0);
+  check bool_ "invalid after" false (Cert.valid_at ca 1001.0);
+  check bool_ "invalid before" false (Cert.valid_at ca (-1.0))
+
+let test_cert_issue_and_verify () =
+  let ca = make_ca () in
+  let leaf =
+    Cert.issue ~ca_key:(Lazy.force ca_kp).Rsa.private_ ~ca_cert:ca ~subject:"cn=pdp,o=domain-a"
+      ~public_key:(Lazy.force leaf_kp).Rsa.public ~serial:2 ~not_before:0.0 ~not_after:500.0
+  in
+  check string_ "issuer" "cn=root-ca" leaf.Cert.issuer;
+  check bool_ "signature by CA" true (Cert.verify_signature leaf ~issuer_key:ca.Cert.public_key);
+  check bool_ "not by own key" false (Cert.verify_signature leaf ~issuer_key:leaf.Cert.public_key)
+
+let test_cert_xml_roundtrip () =
+  let ca = make_ca () in
+  match Cert.of_xml (Cert.to_xml ca) with
+  | Some c ->
+    check string_ "subject" ca.Cert.subject c.Cert.subject;
+    check string_ "fingerprint" (Cert.fingerprint ca) (Cert.fingerprint c);
+    check bool_ "still verifies" true (Cert.verify_signature c ~issuer_key:c.Cert.public_key)
+  | None -> Alcotest.fail "expected certificate to parse back"
+
+let test_chain_verification () =
+  let ca = make_ca () in
+  let leaf =
+    Cert.issue ~ca_key:(Lazy.force ca_kp).Rsa.private_ ~ca_cert:ca ~subject:"cn=svc"
+      ~public_key:(Lazy.force leaf_kp).Rsa.public ~serial:3 ~not_before:0.0 ~not_after:500.0
+  in
+  let store = Cert.Trust_store.add Cert.Trust_store.empty ca in
+  let ok = Cert.Trust_store.verify_chain store ~now:100.0 in
+  check bool_ "good chain" true (ok [ leaf; ca ] = Ok ());
+  check bool_ "root alone" true (ok [ ca ] = Ok ());
+  check bool_ "empty chain" true (ok [] = Error Cert.Trust_store.Empty_chain);
+  (match Cert.Trust_store.verify_chain store ~now:600.0 [ leaf; ca ] with
+  | Error (Cert.Trust_store.Expired s) -> check string_ "expired leaf" "cn=svc" s
+  | _ -> Alcotest.fail "expected Expired");
+  (* Untrusted root. *)
+  let other_ca =
+    Cert.self_signed (Rsa.generate (Rng.create 80L) ~bits:512) ~subject:"cn=evil" ~serial:9
+      ~not_before:0.0 ~not_after:1000.0
+  in
+  (match Cert.Trust_store.verify_chain store ~now:100.0 [ other_ca ] with
+  | Error (Cert.Trust_store.Untrusted_root _) -> ()
+  | _ -> Alcotest.fail "expected Untrusted_root");
+  (* Broken chain: leaf claims a different issuer. *)
+  match Cert.Trust_store.verify_chain store ~now:100.0 [ leaf; other_ca ] with
+  | Error (Cert.Trust_store.Broken_chain _) -> ()
+  | _ -> Alcotest.fail "expected Broken_chain"
+
+let test_chain_tampered_signature () =
+  let ca = make_ca () in
+  let leaf =
+    Cert.issue ~ca_key:(Lazy.force ca_kp).Rsa.private_ ~ca_cert:ca ~subject:"cn=svc"
+      ~public_key:(Lazy.force leaf_kp).Rsa.public ~serial:4 ~not_before:0.0 ~not_after:500.0
+  in
+  let forged = { leaf with Cert.subject = "cn=admin" } in
+  let store = Cert.Trust_store.add Cert.Trust_store.empty ca in
+  match Cert.Trust_store.verify_chain store ~now:100.0 [ forged; ca ] with
+  | Error (Cert.Trust_store.Bad_signature _) -> ()
+  | _ -> Alcotest.fail "expected Bad_signature on a forged subject"
+
+let test_trust_store_dedup () =
+  let ca = make_ca () in
+  let store = Cert.Trust_store.add (Cert.Trust_store.add Cert.Trust_store.empty ca) ca in
+  check int_ "deduplicated" 1 (List.length (Cert.Trust_store.roots store));
+  check bool_ "membership" true (Cert.Trust_store.mem store ca)
+
+(* --- suites -------------------------------------------------------------------- *)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_add_commutative;
+      prop_add_sub_inverse;
+      prop_mul_commutative;
+      prop_mul_distributive;
+      prop_divmod_reconstruction;
+      prop_bytes_roundtrip;
+      prop_decimal_roundtrip;
+      prop_modpow_mul;
+    ]
+
+let () =
+  Alcotest.run "dacs_crypto"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int covers range" `Quick test_rng_int_covers_range;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "bytes length" `Quick test_rng_bytes_length;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        ] );
+      ( "encoding",
+        [
+          Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+          Alcotest.test_case "hex errors" `Quick test_hex_errors;
+          Alcotest.test_case "base64 RFC vectors" `Quick test_base64_vectors;
+          Alcotest.test_case "base64 whitespace" `Quick test_base64_whitespace;
+          Alcotest.test_case "base64 errors" `Quick test_base64_errors;
+        ] );
+      ( "sha256",
+        [
+          Alcotest.test_case "FIPS vectors" `Quick test_sha256_vectors;
+          Alcotest.test_case "million a" `Slow test_sha256_million_a;
+          Alcotest.test_case "incremental = one-shot" `Quick test_sha256_incremental_matches_oneshot;
+          Alcotest.test_case "block boundaries" `Quick test_sha256_block_boundaries;
+        ] );
+      ( "hmac",
+        [
+          Alcotest.test_case "RFC 4231 vectors" `Quick test_hmac_rfc4231;
+          Alcotest.test_case "verify" `Quick test_hmac_verify;
+        ] );
+      ( "bignum",
+        [
+          Alcotest.test_case "of_int/to_int" `Quick test_bignum_of_to_int;
+          Alcotest.test_case "decimal roundtrip" `Quick test_bignum_decimal_roundtrip;
+          Alcotest.test_case "hex roundtrip" `Quick test_bignum_hex_roundtrip;
+          Alcotest.test_case "bytes roundtrip" `Quick test_bignum_bytes_roundtrip;
+          Alcotest.test_case "known arithmetic" `Quick test_bignum_known_arithmetic;
+          Alcotest.test_case "shifts" `Quick test_bignum_shift;
+          Alcotest.test_case "num_bits" `Quick test_bignum_num_bits;
+          Alcotest.test_case "negative sub raises" `Quick test_bignum_sub_negative_raises;
+          Alcotest.test_case "div by zero raises" `Quick test_bignum_div_by_zero;
+          Alcotest.test_case "modpow known values" `Quick test_bignum_modpow_known;
+          Alcotest.test_case "gcd" `Quick test_bignum_gcd;
+          Alcotest.test_case "modinv" `Quick test_bignum_modinv;
+        ]
+        @ props );
+      ( "prime",
+        [
+          Alcotest.test_case "small prime list" `Quick test_small_primes_list;
+          Alcotest.test_case "small numbers" `Quick test_primality_small;
+          Alcotest.test_case "large known primes" `Quick test_primality_large_known;
+          Alcotest.test_case "generation" `Quick test_prime_generation;
+        ] );
+      ( "rsa",
+        [
+          Alcotest.test_case "keygen shape" `Quick test_rsa_keygen_shape;
+          Alcotest.test_case "sign/verify" `Quick test_rsa_sign_verify;
+          Alcotest.test_case "wrong key rejects" `Quick test_rsa_sign_wrong_key;
+          Alcotest.test_case "encrypt/decrypt" `Quick test_rsa_encrypt_decrypt;
+          Alcotest.test_case "encrypt too long" `Quick test_rsa_encrypt_too_long;
+          Alcotest.test_case "decrypt garbage" `Quick test_rsa_decrypt_garbage;
+          Alcotest.test_case "public key XML roundtrip" `Quick test_rsa_public_xml_roundtrip;
+        ] );
+      ( "stream_cipher",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_stream_roundtrip;
+          Alcotest.test_case "wrong key garbles" `Quick test_stream_wrong_key;
+          Alcotest.test_case "distinct nonces" `Quick test_stream_distinct_nonces;
+          Alcotest.test_case "empty message" `Quick test_stream_empty;
+        ] );
+      ( "cert",
+        [
+          Alcotest.test_case "self-signed" `Quick test_cert_self_signed;
+          Alcotest.test_case "issue and verify" `Quick test_cert_issue_and_verify;
+          Alcotest.test_case "XML roundtrip" `Quick test_cert_xml_roundtrip;
+          Alcotest.test_case "chain verification" `Quick test_chain_verification;
+          Alcotest.test_case "tampered certificate" `Quick test_chain_tampered_signature;
+          Alcotest.test_case "trust store dedup" `Quick test_trust_store_dedup;
+        ] );
+    ]

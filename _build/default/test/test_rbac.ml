@@ -1,0 +1,384 @@
+(* Tests for dacs_rbac: hierarchy, assignment, SoD, sessions, compilation. *)
+
+open Dacs_rbac
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+let string_list = Alcotest.(list string)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let expect_error = function
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error (_ : string) -> ()
+
+(* A small hospital model used across tests:
+   physician > doctor > clinician (seniority), pharmacist separate. *)
+let hospital () =
+  let m = Rbac.empty in
+  let m = List.fold_left Rbac.add_role m [ "clinician"; "doctor"; "physician"; "pharmacist"; "auditor" ] in
+  let m = ok (Rbac.add_inheritance m ~senior:"doctor" ~junior:"clinician") in
+  let m = ok (Rbac.add_inheritance m ~senior:"physician" ~junior:"doctor") in
+  let m = ok (Rbac.grant_permission m "clinician" { Rbac.action = "read"; resource = "charts" }) in
+  let m = ok (Rbac.grant_permission m "doctor" { Rbac.action = "write"; resource = "charts" }) in
+  let m = ok (Rbac.grant_permission m "physician" { Rbac.action = "sign"; resource = "orders" }) in
+  let m = ok (Rbac.grant_permission m "pharmacist" { Rbac.action = "dispense"; resource = "drugs" }) in
+  m
+
+let test_roles_basic () =
+  let m = hospital () in
+  check int_ "role count" 5 (List.length (Rbac.roles m));
+  check bool_ "has role" true (Rbac.has_role m "doctor");
+  check bool_ "idempotent add" true (List.length (Rbac.roles (Rbac.add_role m "doctor")) = 5)
+
+let test_hierarchy () =
+  let m = hospital () in
+  check string_list "physician juniors" [ "clinician"; "doctor" ] (List.sort compare (Rbac.juniors m "physician"));
+  check string_list "clinician seniors" [ "doctor"; "physician" ] (List.sort compare (Rbac.seniors m "clinician"));
+  check string_list "leaf juniors" [] (Rbac.juniors m "pharmacist")
+
+let test_hierarchy_errors () =
+  let m = hospital () in
+  expect_error (Rbac.add_inheritance m ~senior:"nope" ~junior:"doctor");
+  expect_error (Rbac.add_inheritance m ~senior:"doctor" ~junior:"doctor");
+  (* clinician -> physician would close a cycle *)
+  expect_error (Rbac.add_inheritance m ~senior:"clinician" ~junior:"physician")
+
+let test_assignment_and_permissions () =
+  let m = hospital () in
+  let m = ok (Rbac.assign_user m "alice" "physician") in
+  let m = ok (Rbac.assign_user m "bob" "clinician") in
+  check string_list "alice authorized" [ "clinician"; "doctor"; "physician" ]
+    (Rbac.authorized_roles m "alice");
+  check bool_ "alice inherits read" true (Rbac.check_access m "alice" ~action:"read" ~resource:"charts");
+  check bool_ "alice signs" true (Rbac.check_access m "alice" ~action:"sign" ~resource:"orders");
+  check bool_ "bob reads" true (Rbac.check_access m "bob" ~action:"read" ~resource:"charts");
+  check bool_ "bob cannot write" false (Rbac.check_access m "bob" ~action:"write" ~resource:"charts");
+  check int_ "alice permission count" 3 (List.length (Rbac.user_permissions m "alice"));
+  let m = Rbac.deassign_user m "alice" "physician" in
+  check bool_ "deassigned" false (Rbac.check_access m "alice" ~action:"sign" ~resource:"orders")
+
+let test_permission_revocation () =
+  let m = hospital () in
+  let m = ok (Rbac.assign_user m "bob" "clinician") in
+  let m = Rbac.revoke_permission m "clinician" { Rbac.action = "read"; resource = "charts" } in
+  check bool_ "revoked" false (Rbac.check_access m "bob" ~action:"read" ~resource:"charts")
+
+let test_ssd () =
+  let m = hospital () in
+  let m = ok (Rbac.add_ssd m ~name:"prescriber-dispenser" ~roles:[ "doctor"; "pharmacist" ] ~cardinality:2) in
+  let m = ok (Rbac.assign_user m "carol" "doctor") in
+  (* Direct conflict *)
+  expect_error (Rbac.assign_user m "carol" "pharmacist");
+  check bool_ "violation named" true (Rbac.ssd_violation m "carol" "pharmacist" = Some "prescriber-dispenser");
+  (* Inherited conflict: physician inherits doctor. *)
+  let m2 = ok (Rbac.assign_user m "dave" "pharmacist") in
+  expect_error (Rbac.assign_user m2 "dave" "physician");
+  (* Unrelated role fine. *)
+  ignore (ok (Rbac.assign_user m "carol" "auditor"))
+
+let test_ssd_retroactive () =
+  let m = hospital () in
+  let m = ok (Rbac.assign_user m "eve" "doctor") in
+  let m = ok (Rbac.assign_user m "eve" "pharmacist") in
+  (* Constraint creation must fail because eve already violates it. *)
+  expect_error (Rbac.add_ssd m ~name:"c" ~roles:[ "doctor"; "pharmacist" ] ~cardinality:2)
+
+let test_ssd_parameter_validation () =
+  let m = hospital () in
+  expect_error (Rbac.add_ssd m ~name:"c" ~roles:[ "doctor"; "pharmacist" ] ~cardinality:1);
+  expect_error (Rbac.add_ssd m ~name:"c" ~roles:[ "doctor" ] ~cardinality:2);
+  expect_error (Rbac.add_ssd m ~name:"c" ~roles:[ "doctor"; "ghost" ] ~cardinality:2)
+
+let test_unknown_role_errors () =
+  let m = hospital () in
+  expect_error (Rbac.assign_user m "x" "ghost");
+  expect_error (Rbac.grant_permission m "ghost" { Rbac.action = "a"; resource = "r" })
+
+(* --- sessions ---------------------------------------------------------- *)
+
+let test_session_activation () =
+  let m = hospital () in
+  let m = ok (Rbac.assign_user m "alice" "physician") in
+  let s = Session.create m "alice" in
+  check int_ "starts empty" 0 (List.length (Session.active_roles s));
+  check bool_ "no access yet" false (Session.check_access m s ~action:"read" ~resource:"charts");
+  let s = ok (Session.activate m s "doctor") in
+  check bool_ "doctor writes" true (Session.check_access m s ~action:"write" ~resource:"charts");
+  check bool_ "inherited read" true (Session.check_access m s ~action:"read" ~resource:"charts");
+  check bool_ "not activated sign" false (Session.check_access m s ~action:"sign" ~resource:"orders");
+  let s = Session.deactivate s "doctor" in
+  check bool_ "deactivated" false (Session.check_access m s ~action:"write" ~resource:"charts")
+
+let test_session_unauthorized () =
+  let m = hospital () in
+  let m = ok (Rbac.assign_user m "bob" "clinician") in
+  let s = Session.create m "bob" in
+  expect_error (Session.activate m s "doctor")
+
+let test_session_dsd () =
+  let m = hospital () in
+  let m = ok (Rbac.add_dsd m ~name:"no-dual-hats" ~roles:[ "doctor"; "auditor" ] ~cardinality:2) in
+  let m = ok (Rbac.assign_user m "alice" "doctor") in
+  let m = ok (Rbac.assign_user m "alice" "auditor") in
+  (* Static assignment of both is fine (DSD, not SSD)... *)
+  let s = Session.create m "alice" in
+  let s = ok (Session.activate m s "doctor") in
+  (* ...but activating both at once is not. *)
+  expect_error (Session.activate m s "auditor");
+  (* After deactivating doctor, auditor activates fine. *)
+  let s = Session.deactivate s "doctor" in
+  ignore (ok (Session.activate m s "auditor"))
+
+let test_session_dsd_inherited () =
+  let m = hospital () in
+  let m = ok (Rbac.add_dsd m ~name:"c" ~roles:[ "clinician"; "auditor" ] ~cardinality:2) in
+  let m = ok (Rbac.assign_user m "alice" "physician") in
+  let m = ok (Rbac.assign_user m "alice" "auditor") in
+  let s = Session.create m "alice" in
+  let s = ok (Session.activate m s "auditor") in
+  (* physician inherits clinician, so activating it trips the constraint. *)
+  expect_error (Session.activate m s "physician")
+
+(* --- compilation -------------------------------------------------------- *)
+
+let eval_as model user action resource policy =
+  let ctx =
+    Dacs_policy.Context.make
+      ~subject:(Compile.subject_for_user model user)
+      ~resource:[ ("resource-id", Dacs_policy.Value.String resource) ]
+      ~action:[ ("action-id", Dacs_policy.Value.String action) ]
+      ()
+  in
+  (Dacs_policy.Policy.evaluate ctx policy).Dacs_policy.Decision.decision
+
+let test_compile_role_based () =
+  let m = hospital () in
+  let m = ok (Rbac.assign_user m "alice" "physician") in
+  let m = ok (Rbac.assign_user m "bob" "clinician") in
+  let policy = Compile.to_policy m in
+  check bool_ "validates" true (Dacs_policy.Validate.check_policy policy = []);
+  check bool_ "alice writes" true (eval_as m "alice" "write" "charts" policy = Dacs_policy.Decision.Permit);
+  check bool_ "bob denied write" true (eval_as m "bob" "write" "charts" policy = Dacs_policy.Decision.Deny);
+  check bool_ "bob reads" true (eval_as m "bob" "read" "charts" policy = Dacs_policy.Decision.Permit);
+  check bool_ "unknown denied" true (eval_as m "mallory" "read" "charts" policy = Dacs_policy.Decision.Deny)
+
+let test_compile_identity_based () =
+  let m = hospital () in
+  let m = ok (Rbac.assign_user m "alice" "physician") in
+  let m = ok (Rbac.assign_user m "bob" "clinician") in
+  let policy = Compile.to_identity_policy m in
+  check bool_ "alice writes" true (eval_as m "alice" "write" "charts" policy = Dacs_policy.Decision.Permit);
+  check bool_ "bob denied write" true (eval_as m "bob" "write" "charts" policy = Dacs_policy.Decision.Deny);
+  check bool_ "agrees with model" true
+    (List.for_all
+       (fun (user, action, resource) ->
+         let model_says = Rbac.check_access m user ~action ~resource in
+         let policy_says = eval_as m user action resource policy = Dacs_policy.Decision.Permit in
+         model_says = policy_says)
+       [
+         ("alice", "read", "charts"); ("alice", "sign", "orders"); ("bob", "read", "charts");
+         ("bob", "sign", "orders"); ("mallory", "read", "charts");
+       ])
+
+let test_compile_scaling_shape () =
+  (* Identity-based policies grow with users; role-based stay fixed. *)
+  let base = hospital () in
+  let with_users n =
+    let rec go m i =
+      if i >= n then m else go (ok (Rbac.assign_user m (Printf.sprintf "u%d" i) "clinician")) (i + 1)
+    in
+    go base 0
+  in
+  let small = with_users 5 and large = with_users 50 in
+  check bool_ "role-based size constant" true
+    (Dacs_policy.Policy.rule_count (Compile.to_policy small)
+    = Dacs_policy.Policy.rule_count (Compile.to_policy large));
+  check bool_ "identity-based grows" true
+    (Dacs_policy.Policy.rule_count (Compile.to_identity_policy large)
+    > 5 * Dacs_policy.Policy.rule_count (Compile.to_identity_policy small) / 2)
+
+(* --- property tests -------------------------------------------------------- *)
+
+(* Generate random models and check model/compiled-policy agreement. *)
+let gen_model =
+  QCheck.Gen.(
+    let role_names = [ "r0"; "r1"; "r2"; "r3"; "r4" ] in
+    let user_names = [ "u0"; "u1"; "u2" ] in
+    let perm = map2 (fun a r -> { Rbac.action = Printf.sprintf "a%d" a; resource = Printf.sprintf "res%d" r }) (0 -- 2) (0 -- 2) in
+    let m0 = List.fold_left Rbac.add_role Rbac.empty role_names in
+    list_size (0 -- 6) (pair (oneofl role_names) (oneofl role_names)) >>= fun edges ->
+    list_size (0 -- 8) (pair (oneofl role_names) perm) >>= fun grants ->
+    list_size (0 -- 5) (pair (oneofl user_names) (oneofl role_names)) >>= fun assigns ->
+    let m =
+      List.fold_left
+        (fun m (senior, junior) ->
+          match Rbac.add_inheritance m ~senior ~junior with Ok m -> m | Error _ -> m)
+        m0 edges
+    in
+    let m =
+      List.fold_left
+        (fun m (role, p) -> match Rbac.grant_permission m role p with Ok m -> m | Error _ -> m)
+        m grants
+    in
+    let m =
+      List.fold_left
+        (fun m (u, r) -> match Rbac.assign_user m u r with Ok m -> m | Error _ -> m)
+        m assigns
+    in
+    return m)
+
+let arb_model = QCheck.make ~print:(fun m -> Format.asprintf "%a" Rbac.pp m) gen_model
+
+let prop_compiled_agrees =
+  QCheck.Test.make ~name:"compiled policy agrees with the model" ~count:100 arb_model (fun m ->
+      let policy = Compile.to_policy m in
+      List.for_all
+        (fun user ->
+          List.for_all
+            (fun a ->
+              List.for_all
+                (fun r ->
+                  let action = Printf.sprintf "a%d" a and resource = Printf.sprintf "res%d" r in
+                  let model_says = Rbac.check_access m user ~action ~resource in
+                  let policy_says =
+                    eval_as m user action resource policy = Dacs_policy.Decision.Permit
+                  in
+                  model_says = policy_says)
+                [ 0; 1; 2 ])
+            [ 0; 1; 2 ])
+        (Rbac.users m))
+
+let prop_hierarchy_acyclic =
+  QCheck.Test.make ~name:"no role is its own junior" ~count:100 arb_model (fun m ->
+      List.for_all (fun r -> not (List.mem r (Rbac.juniors m r))) (Rbac.roles m))
+
+let prop_seniors_juniors_dual =
+  QCheck.Test.make ~name:"seniors/juniors are dual" ~count:100 arb_model (fun m ->
+      List.for_all
+        (fun r -> List.for_all (fun j -> List.mem r (Rbac.seniors m j)) (Rbac.juniors m r))
+        (Rbac.roles m))
+
+
+(* --- textual format ----------------------------------------------------------- *)
+
+let sample_text =
+  "# hospital\n\
+   role nurse\n\
+   role doctor\n\
+   role billing\n\
+   inherit doctor nurse\n\
+   grant nurse read vitals\n\
+   grant doctor write charts\n\
+   user alice doctor   # chief\n\
+   user bob billing\n\
+   ssd care-vs-billing 2 doctor billing\n\
+   dsd no-dual 2 doctor billing\n"
+
+let test_textual_parse () =
+  match Textual.parse sample_text with
+  | Error e -> Alcotest.fail e
+  | Ok m ->
+    check int_ "roles" 3 (List.length (Rbac.roles m));
+    check bool_ "inheritance" true (List.mem "nurse" (Rbac.juniors m "doctor"));
+    check bool_ "alice inherits read" true (Rbac.check_access m "alice" ~action:"read" ~resource:"vitals");
+    check bool_ "ssd enforced" true (Result.is_error (Rbac.assign_user m "alice" "billing"));
+    check int_ "dsd stored" 1 (List.length (Rbac.dsd_constraints m))
+
+let test_textual_errors () =
+  let bad text expected_line =
+    match Textual.parse text with
+    | Ok _ -> Alcotest.fail "expected a parse error"
+    | Error e ->
+      check bool_ "line number in message" true
+        (let prefix = Printf.sprintf "line %d:" expected_line in
+         String.length e >= String.length prefix && String.sub e 0 (String.length prefix) = prefix)
+  in
+  bad "role a\nfrobnicate b\n" 2;
+  bad "inherit a b\n" 1;              (* unknown roles *)
+  bad "role a\nssd c x a\n" 2;       (* non-integer cardinality *)
+  bad "grant ghost read r\n" 1
+
+let test_textual_roundtrip () =
+  match Textual.parse sample_text with
+  | Error e -> Alcotest.fail e
+  | Ok m -> (
+    match Textual.parse (Textual.to_string m) with
+    | Error e -> Alcotest.fail e
+    | Ok m' ->
+      check (Alcotest.list string_list) "roles equal" [ Rbac.roles m ] [ Rbac.roles m' ];
+      check bool_ "permissions equal" true
+        (List.for_all
+           (fun r -> Rbac.role_permissions m r = Rbac.role_permissions m' r)
+           (Rbac.roles m));
+      check bool_ "assignments equal" true
+        (List.for_all (fun u -> Rbac.assigned_roles m u = Rbac.assigned_roles m' u) (Rbac.users m));
+      check bool_ "constraints preserved" true
+        (Rbac.ssd_constraints m = Rbac.ssd_constraints m'
+        && Rbac.dsd_constraints m = Rbac.dsd_constraints m'))
+
+let prop_textual_roundtrip =
+  QCheck.Test.make ~name:"textual roundtrip preserves access decisions" ~count:100 arb_model
+    (fun m ->
+      match Textual.parse (Textual.to_string m) with
+      | Error _ -> false
+      | Ok m' ->
+        List.for_all
+          (fun user ->
+            List.for_all
+              (fun a ->
+                List.for_all
+                  (fun r ->
+                    let action = Printf.sprintf "a%d" a and resource = Printf.sprintf "res%d" r in
+                    Rbac.check_access m user ~action ~resource
+                    = Rbac.check_access m' user ~action ~resource)
+                  [ 0; 1; 2 ])
+              [ 0; 1; 2 ])
+          (Rbac.users m))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_compiled_agrees; prop_hierarchy_acyclic; prop_seniors_juniors_dual; prop_textual_roundtrip ]
+
+let () =
+  Alcotest.run "dacs_rbac"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "roles" `Quick test_roles_basic;
+          Alcotest.test_case "hierarchy" `Quick test_hierarchy;
+          Alcotest.test_case "hierarchy errors" `Quick test_hierarchy_errors;
+          Alcotest.test_case "assignment and permissions" `Quick test_assignment_and_permissions;
+          Alcotest.test_case "revocation" `Quick test_permission_revocation;
+          Alcotest.test_case "unknown roles" `Quick test_unknown_role_errors;
+        ] );
+      ( "sod",
+        [
+          Alcotest.test_case "static SoD" `Quick test_ssd;
+          Alcotest.test_case "retroactive SSD rejected" `Quick test_ssd_retroactive;
+          Alcotest.test_case "constraint validation" `Quick test_ssd_parameter_validation;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "activation" `Quick test_session_activation;
+          Alcotest.test_case "unauthorized role" `Quick test_session_unauthorized;
+          Alcotest.test_case "dynamic SoD" `Quick test_session_dsd;
+          Alcotest.test_case "DSD counts inherited roles" `Quick test_session_dsd_inherited;
+        ] );
+      ( "textual",
+        [
+          Alcotest.test_case "parse" `Quick test_textual_parse;
+          Alcotest.test_case "errors carry line numbers" `Quick test_textual_errors;
+          Alcotest.test_case "roundtrip" `Quick test_textual_roundtrip;
+        ] );
+      ( "compile",
+        [
+          Alcotest.test_case "role-based" `Quick test_compile_role_based;
+          Alcotest.test_case "identity-based" `Quick test_compile_identity_based;
+          Alcotest.test_case "scaling shape" `Quick test_compile_scaling_shape;
+        ]
+        @ props );
+    ]

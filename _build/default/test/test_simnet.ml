@@ -1,0 +1,410 @@
+(* Tests for dacs_net: engine ordering, link model, faults, stats, RPC. *)
+
+open Dacs_net
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+let string_ = Alcotest.string
+let float_ = Alcotest.float 1e-9
+
+(* --- engine -------------------------------------------------------------- *)
+
+let test_engine_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:3.0 (fun () -> log := "c" :: !log);
+  Engine.schedule e ~delay:1.0 (fun () -> log := "a" :: !log);
+  Engine.schedule e ~delay:2.0 (fun () -> log := "b" :: !log);
+  Engine.run e;
+  check (Alcotest.list string_) "timestamp order" [ "a"; "b"; "c" ] (List.rev !log);
+  check float_ "clock at last event" 3.0 (Engine.now e)
+
+let test_engine_fifo_ties () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule e ~delay:1.0 (fun () -> log := i :: !log)
+  done;
+  Engine.run e;
+  check (Alcotest.list int_) "ties in scheduling order" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:1.0 (fun () ->
+      log := "outer" :: !log;
+      Engine.schedule e ~delay:1.0 (fun () -> log := "inner" :: !log));
+  Engine.run e;
+  check (Alcotest.list string_) "nested" [ "outer"; "inner" ] (List.rev !log);
+  check float_ "time" 2.0 (Engine.now e)
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    Engine.schedule e ~delay:1.0 tick
+  in
+  Engine.schedule e ~delay:1.0 tick;
+  Engine.run ~until:5.5 e;
+  check int_ "five ticks" 5 !count;
+  check float_ "clock clamped" 5.5 (Engine.now e);
+  check bool_ "still pending" true (Engine.pending e > 0)
+
+let test_engine_step () =
+  let e = Engine.create () in
+  check bool_ "empty step" false (Engine.step e);
+  Engine.schedule e ~delay:1.0 ignore;
+  check bool_ "one step" true (Engine.step e);
+  check bool_ "drained" false (Engine.step e)
+
+let test_engine_negative_delay () =
+  let e = Engine.create () in
+  (try
+     Engine.schedule e ~delay:(-1.0) ignore;
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  Engine.schedule e ~delay:1.0 (fun () ->
+      try
+        Engine.schedule_at e ~at:0.5 ignore;
+        Alcotest.fail "expected Invalid_argument for past time"
+      with Invalid_argument _ -> ());
+  Engine.run e
+
+let test_engine_many_events_order () =
+  (* Heap stress: 1000 events with random-ish times must fire sorted. *)
+  let e = Engine.create () in
+  let rng = Dacs_crypto.Rng.create 99L in
+  let last = ref (-1.0) in
+  let monotone = ref true in
+  for _ = 1 to 1000 do
+    Engine.schedule e ~delay:(Dacs_crypto.Rng.float rng 100.0) (fun () ->
+        if Engine.now e < !last then monotone := false;
+        last := Engine.now e)
+  done;
+  Engine.run e;
+  check bool_ "monotone delivery" true !monotone
+
+(* --- net ------------------------------------------------------------------ *)
+
+let make_pair () =
+  let net = Net.create () in
+  Net.add_node net "a";
+  Net.add_node net "b";
+  net
+
+let test_net_delivery_latency () =
+  let net = make_pair () in
+  Net.set_latency net "a" "b" 0.25;
+  let got = ref None in
+  Net.set_handler net "b" (fun m -> got := Some (m.Net.payload, Net.now net));
+  Net.send net ~src:"a" ~dst:"b" ~category:"test" "hello";
+  Net.run net;
+  match !got with
+  | Some (payload, at) ->
+    check string_ "payload" "hello" payload;
+    check float_ "arrives after latency" 0.25 at
+  | None -> Alcotest.fail "message not delivered"
+
+let test_net_default_latency () =
+  let net = make_pair () in
+  Net.set_default_latency net 0.1;
+  check float_ "default" 0.1 (Net.latency net "a" "b");
+  Net.set_latency net "a" "b" 0.7;
+  check float_ "override" 0.7 (Net.latency net "b" "a") (* symmetric *)
+
+let test_net_bandwidth_model () =
+  let net = make_pair () in
+  Net.set_latency net "a" "b" 0.1;
+  Net.set_bytes_per_second net (Some 1000.0);
+  let at = ref 0.0 in
+  Net.set_handler net "b" (fun _ -> at := Net.now net);
+  Net.send net ~src:"a" ~dst:"b" ~category:"t" (String.make 100 'x');
+  Net.run net;
+  check float_ "latency + size/rate" 0.2 !at
+
+let test_net_crash_drops () =
+  let net = make_pair () in
+  let got = ref 0 in
+  Net.set_handler net "b" (fun _ -> incr got);
+  Net.crash net "b";
+  Net.send net ~src:"a" ~dst:"b" ~category:"t" "x";
+  Net.run net;
+  check int_ "crashed receiver drops" 0 !got;
+  check int_ "counted dropped" 1 (Net.dropped_count net);
+  Net.recover net "b";
+  Net.send net ~src:"a" ~dst:"b" ~category:"t" "x";
+  Net.run net;
+  check int_ "delivered after recover" 1 !got
+
+let test_net_crashed_sender_silent () =
+  let net = make_pair () in
+  let got = ref 0 in
+  Net.set_handler net "b" (fun _ -> incr got);
+  Net.crash net "a";
+  Net.send net ~src:"a" ~dst:"b" ~category:"t" "x";
+  Net.run net;
+  check int_ "no delivery" 0 !got;
+  check int_ "not even counted as sent" 0 (Net.total_sent net).Net.count
+
+let test_net_crash_in_flight () =
+  (* A message already in flight is lost if the receiver crashes before
+     delivery. *)
+  let net = make_pair () in
+  let got = ref 0 in
+  Net.set_handler net "b" (fun _ -> incr got);
+  Net.set_latency net "a" "b" 1.0;
+  Net.send net ~src:"a" ~dst:"b" ~category:"t" "x";
+  Engine.schedule (Net.engine net) ~delay:0.5 (fun () -> Net.crash net "b");
+  Net.run net;
+  check int_ "lost in flight" 0 !got
+
+let test_net_partition_and_heal () =
+  let net = make_pair () in
+  Net.add_node net "c";
+  let got = ref [] in
+  Net.set_handler net "b" (fun m -> got := m.Net.payload :: !got);
+  Net.partition net [ "a" ] [ "b" ];
+  Net.send net ~src:"a" ~dst:"b" ~category:"t" "blocked";
+  Net.run net;
+  check int_ "partitioned" 0 (List.length !got);
+  (* c can still reach b *)
+  Net.send net ~src:"c" ~dst:"b" ~category:"t" "ok";
+  Net.run net;
+  check (Alcotest.list string_) "third party unaffected" [ "ok" ] !got;
+  Net.heal net;
+  Net.send net ~src:"a" ~dst:"b" ~category:"t" "after-heal";
+  Net.run net;
+  check (Alcotest.list string_) "healed" [ "after-heal"; "ok" ] !got
+
+let test_net_drop_rate () =
+  let net = make_pair () in
+  let got = ref 0 in
+  Net.set_handler net "b" (fun _ -> incr got);
+  Net.set_drop_rate net 0.5;
+  for _ = 1 to 200 do
+    Net.send net ~src:"a" ~dst:"b" ~category:"t" "x"
+  done;
+  Net.run net;
+  (* With p=0.5 over 200 trials, 60..140 is a > 6-sigma window. *)
+  check bool_ "roughly half lost" true (!got > 60 && !got < 140);
+  check int_ "sent+dropped consistent" 200 (!got + Net.dropped_count net)
+
+let test_net_stats () =
+  let net = make_pair () in
+  Net.set_handler net "b" ignore;
+  Net.send net ~src:"a" ~dst:"b" ~category:"query" "12345";
+  Net.send net ~src:"a" ~dst:"b" ~category:"query" "678";
+  Net.send net ~src:"b" ~dst:"a" ~category:"reply" "ab";
+  Net.run net;
+  let stats = Net.stats_by_category net in
+  check int_ "two categories" 2 (List.length stats);
+  (match List.assoc_opt "query" stats with
+  | Some s ->
+    check int_ "query count" 2 s.Net.count;
+    check int_ "query bytes" 8 s.Net.bytes
+  | None -> Alcotest.fail "missing query stats");
+  check int_ "total sent" 3 (Net.total_sent net).Net.count;
+  check int_ "total delivered" 3 (Net.total_delivered net).Net.count;
+  Net.reset_stats net;
+  check int_ "reset" 0 (Net.total_sent net).Net.count
+
+let test_net_trace () =
+  let net = make_pair () in
+  Net.set_handler net "b" ignore;
+  Net.set_handler net "a" ignore;
+  Net.set_tracing net true;
+  Net.send net ~src:"a" ~dst:"b" ~category:"one" "x";
+  Net.run net;
+  Net.send net ~src:"b" ~dst:"a" ~category:"two" "y";
+  Net.run net;
+  let tr = Net.trace net in
+  check (Alcotest.list string_) "sequence" [ "one"; "two" ]
+    (List.map (fun e -> e.Net.t_category) tr);
+  Net.clear_trace net;
+  check int_ "cleared" 0 (List.length (Net.trace net))
+
+let test_net_unknown_node () =
+  let net = make_pair () in
+  try
+    Net.send net ~src:"a" ~dst:"nope" ~category:"t" "x";
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+(* --- rpc ---------------------------------------------------------------------- *)
+
+let make_rpc () =
+  let net = Net.create () in
+  Net.add_node net "client";
+  Net.add_node net "server";
+  (net, Rpc.create net)
+
+let test_rpc_roundtrip () =
+  let net, rpc = make_rpc () in
+  Rpc.serve rpc ~node:"server" ~service:"echo" (fun ~caller body reply ->
+      check string_ "caller" "client" caller;
+      reply ("echo:" ^ body));
+  let result = ref None in
+  Rpc.call rpc ~src:"client" ~dst:"server" ~service:"echo" "hi" (fun r -> result := Some r);
+  Net.run net;
+  check bool_ "ok reply" true (!result = Some (Ok "echo:hi"))
+
+let test_rpc_payload_with_separators () =
+  (* Bodies containing the frame separator must survive. *)
+  let net, rpc = make_rpc () in
+  Rpc.serve rpc ~node:"server" ~service:"echo" (fun ~caller:_ body reply -> reply body);
+  let result = ref None in
+  let nasty = "a|b||c|<xml attr=\"1|2\"/>" in
+  Rpc.call rpc ~src:"client" ~dst:"server" ~service:"echo" nasty (fun r -> result := Some r);
+  Net.run net;
+  check bool_ "separator-safe" true (!result = Some (Ok nasty))
+
+let test_rpc_timeout_on_crash () =
+  let net, rpc = make_rpc () in
+  Rpc.serve rpc ~node:"server" ~service:"echo" (fun ~caller:_ body reply -> reply body);
+  Net.crash net "server";
+  let result = ref None in
+  Rpc.call rpc ~src:"client" ~dst:"server" ~service:"echo" ~timeout:2.0 "hi" (fun r ->
+      result := Some r);
+  Net.run net;
+  check bool_ "timeout" true (!result = Some (Error Rpc.Timeout));
+  check int_ "no pending calls leak" 0 (Rpc.calls_in_flight rpc)
+
+let test_rpc_no_such_service () =
+  let net, rpc = make_rpc () in
+  (* The server node must dispatch rpc frames even with no services: a
+     service registration for another name sets up dispatch. *)
+  Rpc.serve rpc ~node:"server" ~service:"other" (fun ~caller:_ _ reply -> reply "x");
+  let result = ref None in
+  Rpc.call rpc ~src:"client" ~dst:"server" ~service:"missing" "hi" (fun r -> result := Some r);
+  Net.run net;
+  check bool_ "no such service" true (!result = Some (Error (Rpc.No_such_service "missing")))
+
+let test_rpc_late_reply_ignored () =
+  let net, rpc = make_rpc () in
+  (* Reply deferred beyond the timeout: the caller sees Timeout, the late
+     reply is dropped, and the continuation fires exactly once. *)
+  Rpc.serve rpc ~node:"server" ~service:"slow" (fun ~caller:_ body reply ->
+      Engine.schedule (Net.engine net) ~delay:5.0 (fun () -> reply body));
+  let fires = ref 0 in
+  let result = ref None in
+  Rpc.call rpc ~src:"client" ~dst:"server" ~service:"slow" ~timeout:1.0 "hi" (fun r ->
+      incr fires;
+      result := Some r);
+  Net.run net;
+  check int_ "exactly one continuation" 1 !fires;
+  check bool_ "timeout" true (!result = Some (Error Rpc.Timeout))
+
+let test_rpc_nested_call () =
+  (* A service that itself calls another service before replying —
+     the shape of a PDP consulting a PIP. *)
+  let net, rpc = make_rpc () in
+  Net.add_node net "pip";
+  Rpc.serve rpc ~node:"pip" ~service:"attributes" (fun ~caller:_ _ reply -> reply "role=doctor");
+  Rpc.serve rpc ~node:"server" ~service:"decide" (fun ~caller:_ body reply ->
+      Rpc.call rpc ~src:"server" ~dst:"pip" ~service:"attributes" "alice" (function
+        | Ok attrs -> reply (body ^ "+" ^ attrs)
+        | Error _ -> reply "error"));
+  let result = ref None in
+  Rpc.call rpc ~src:"client" ~dst:"server" ~service:"decide" "req" (fun r -> result := Some r);
+  Net.run net;
+  check bool_ "nested" true (!result = Some (Ok "req+role=doctor"))
+
+let test_rpc_concurrent_calls () =
+  let net, rpc = make_rpc () in
+  Rpc.serve rpc ~node:"server" ~service:"echo" (fun ~caller:_ body reply -> reply body);
+  let replies = ref [] in
+  for i = 1 to 10 do
+    Rpc.call rpc ~src:"client" ~dst:"server" ~service:"echo" (string_of_int i) (function
+      | Ok r -> replies := r :: !replies
+      | Error _ -> ())
+  done;
+  Net.run net;
+  check int_ "all replied" 10 (List.length !replies);
+  check (Alcotest.list string_) "correlated correctly"
+    (List.map string_of_int [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ])
+    (List.sort (fun a b -> compare (int_of_string a) (int_of_string b)) !replies)
+
+
+(* --- sequence rendering ---------------------------------------------------- *)
+
+let test_sequence_render () =
+  let net = make_pair () in
+  Net.set_handler net "b" ignore;
+  Net.set_handler net "a" ignore;
+  Net.set_tracing net true;
+  Net.send net ~src:"a" ~dst:"b" ~category:"ping" "x";
+  Net.run net;
+  Net.send net ~src:"b" ~dst:"a" ~category:"pong" "y";
+  Net.run net;
+  let out = Sequence.render (Net.trace net) in
+  let lines = String.split_on_char '\n' out in
+  check int_ "header + 2 messages + trailing" 4 (List.length lines);
+  let contains s sub =
+    let ns = String.length s and nn = String.length sub in
+    let rec go i = i + nn <= ns && (String.sub s i nn = sub || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  check bool_ "participants in header" true
+    (contains (List.nth lines 0) "a" && contains (List.nth lines 0) "b");
+  check bool_ "forward arrow" true (contains (List.nth lines 1) ">");
+  check bool_ "backward arrow" true (contains (List.nth lines 2) "<");
+  check bool_ "categories shown" true (contains out "ping" && contains out "pong")
+
+let test_sequence_participants () =
+  let net = make_pair () in
+  Net.add_node net "c";
+  List.iter (fun n -> Net.set_handler net n ignore) [ "a"; "b"; "c" ];
+  Net.set_tracing net true;
+  Net.send net ~src:"c" ~dst:"a" ~category:"t" "x";
+  Net.run net;
+  Net.send net ~src:"a" ~dst:"b" ~category:"t" "x";
+  Net.run net;
+  check (Alcotest.list string_) "first-appearance order" [ "c"; "a"; "b" ]
+    (Sequence.participants_of (Net.trace net));
+  check string_ "empty trace" "(no messages)\n" (Sequence.render [])
+
+let () =
+  Alcotest.run "dacs_net"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "event order" `Quick test_engine_order;
+          Alcotest.test_case "fifo ties" `Quick test_engine_fifo_ties;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "single step" `Quick test_engine_step;
+          Alcotest.test_case "negative delay" `Quick test_engine_negative_delay;
+          Alcotest.test_case "heap stress order" `Quick test_engine_many_events_order;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "delivery with latency" `Quick test_net_delivery_latency;
+          Alcotest.test_case "default/override latency" `Quick test_net_default_latency;
+          Alcotest.test_case "bandwidth model" `Quick test_net_bandwidth_model;
+          Alcotest.test_case "crash drops" `Quick test_net_crash_drops;
+          Alcotest.test_case "crashed sender silent" `Quick test_net_crashed_sender_silent;
+          Alcotest.test_case "crash while in flight" `Quick test_net_crash_in_flight;
+          Alcotest.test_case "partition and heal" `Quick test_net_partition_and_heal;
+          Alcotest.test_case "drop rate" `Quick test_net_drop_rate;
+          Alcotest.test_case "stats by category" `Quick test_net_stats;
+          Alcotest.test_case "trace" `Quick test_net_trace;
+          Alcotest.test_case "unknown node" `Quick test_net_unknown_node;
+        ] );
+      ( "sequence",
+        [
+          Alcotest.test_case "render" `Quick test_sequence_render;
+          Alcotest.test_case "participants" `Quick test_sequence_participants;
+        ] );
+      ( "rpc",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_rpc_roundtrip;
+          Alcotest.test_case "separator-safe payloads" `Quick test_rpc_payload_with_separators;
+          Alcotest.test_case "timeout on crash" `Quick test_rpc_timeout_on_crash;
+          Alcotest.test_case "no such service" `Quick test_rpc_no_such_service;
+          Alcotest.test_case "late reply ignored" `Quick test_rpc_late_reply_ignored;
+          Alcotest.test_case "nested call" `Quick test_rpc_nested_call;
+          Alcotest.test_case "concurrent calls" `Quick test_rpc_concurrent_calls;
+        ] );
+    ]
