@@ -911,6 +911,83 @@ let e13_index_ablation () =
     [ 10; 100; 1000; 10000 ]
 
 (* ==================================================================== *)
+(* E14 — ablation: resilience machinery under a chaos schedule          *)
+(* ==================================================================== *)
+
+let e14_resilience () =
+  header "E14  Ablation: retry/backoff + circuit breaker + stale cache under chaos"
+    "under loss, crash and latency faults, the resilience layers turn most \
+     degraded-window denials back into correct grants, without ever granting \
+     beyond the policy";
+  let module Faults = Dacs_net.Faults in
+  let module Rpc = Dacs_net.Rpc in
+  let duration = 60 in
+  let schedule =
+    [
+      Faults.Drop_burst { rate = 0.7; window = { Faults.from_ = 5.0; until_ = 20.0 } };
+      Faults.Crash_restart { node = "pdp0"; at = 10.0; restart = Some 30.0 };
+      Faults.Latency_spike
+        { a = "pep"; b = "pdp1"; latency = 1.5; window = { Faults.from_ = 15.0; until_ = 40.0 } };
+    ]
+  in
+  Printf.printf "(2 replicas; 1 req/s for %ds; schedule:\n" duration;
+  List.iter (fun s -> Printf.printf "   %s\n" (Faults.describe s)) schedule;
+  Printf.printf ")\n\n%-30s %8s %8s %9s %8s %8s %8s\n" "configuration" "granted" "denied"
+    "retries" "trips" "stale" "viols";
+  let run_config label ~retry ~breaker ~stale =
+    let net = Net.create ~seed:11L () in
+    let rpc = Rpc.create net in
+    let services = Service.create rpc in
+    let policy = doctor_read_policy "ws" in
+    List.iter (Net.add_node net) [ "pep"; "alice"; "mallory" ];
+    let replicas =
+      List.init 2 (fun i ->
+          let node = Printf.sprintf "pdp%d" i in
+          Net.add_node net node;
+          ignore (Pdp_service.create services ~node ~name:node ~root:policy ());
+          node)
+    in
+    let cache = Decision_cache.create ~ttl:2.0 () in
+    let pep =
+      Pep.create services ~node:"pep" ~domain:"d" ~resource:"ws" ~content:"x"
+        (Pep.Pull { pdps = replicas; cache = Some cache; call_timeout = 0.4 })
+    in
+    let retry_policy =
+      { Rpc.attempts = 3; base_delay = 0.2; multiplier = 2.0; max_delay = 1.0; jitter = 0.1 }
+    in
+    (* Retry on every lossy leg: client->PEP and PEP->PDP. *)
+    let client_retry = if retry then Some retry_policy else None in
+    if retry then Pep.set_retry_policy pep (Some retry_policy);
+    if breaker then Rpc.set_breaker rpc (Some { Rpc.failure_threshold = 4; cooldown = 3.0 });
+    if stale then Pep.set_stale_window pep 30.0;
+    Faults.apply net schedule;
+    let alice = Client.create services ~node:"alice" ~subject:(doctor_subject "alice") in
+    let mallory =
+      Client.create services ~node:"mallory"
+        ~subject:[ ("subject-id", Value.String "mallory"); ("role", Value.String "intern") ]
+    in
+    let granted = ref 0 and denied = ref 0 and violations = ref 0 in
+    for i = 1 to duration do
+      Engine.schedule (Net.engine net) ~delay:(float_of_int i) (fun () ->
+          Client.request alice ~pep:"pep" ~action:"read" ~timeout:10.0 ?retry:client_retry
+            (fun r ->
+              match r with
+              | Ok (Wire.Granted _) -> incr granted
+              | _ -> incr denied);
+          Client.request mallory ~pep:"pep" ~action:"read" ~timeout:10.0 ?retry:client_retry
+            (fun r -> match r with Ok (Wire.Granted _) -> incr violations | _ -> ()))
+    done;
+    Net.run ~until:(float_of_int duration +. 30.0) net;
+    let s = Pep.stats pep in
+    Printf.printf "%-30s %8d %8d %9d %8d %8d %8d\n" label !granted !denied s.Pep.retries
+      s.Pep.breaker_trips s.Pep.stale_serves !violations
+  in
+  run_config "failover only" ~retry:false ~breaker:false ~stale:false;
+  run_config "+ retry/backoff" ~retry:true ~breaker:false ~stale:false;
+  run_config "+ circuit breaker" ~retry:true ~breaker:true ~stale:false;
+  run_config "+ stale-cache degradation" ~retry:true ~breaker:true ~stale:true
+
+(* ==================================================================== *)
 (* Micro-benchmarks (Bechamel)                                          *)
 (* ==================================================================== *)
 
@@ -982,6 +1059,7 @@ let experiments =
     ("e11", e11_rbac_scale);
     ("e12", e12_discovery_ablation);
     ("e13", e13_index_ablation);
+    ("e14", e14_resilience);
     ("micro", micro);
   ]
 

@@ -175,6 +175,87 @@ let demo_cmd () =
   Printf.printf "(%d messages, %d bytes over the simulated network)\n" sent.Net.count sent.Net.bytes;
   0
 
+(* --- chaos ------------------------------------------------------------------- *)
+
+let chaos_cmd seed =
+  let module Net = Dacs_net.Net in
+  let module Engine = Dacs_net.Engine in
+  let module Rpc = Dacs_net.Rpc in
+  let module Faults = Dacs_net.Faults in
+  let module Value = Dacs_policy.Value in
+  let net = Net.create ~seed:(Int64.of_int seed) () in
+  let rpc = Rpc.create net in
+  let services = Dacs_ws.Service.create rpc in
+  List.iter (Net.add_node net) [ "pep"; "pdp0"; "pdp1"; "cli" ];
+  let policy =
+    Policy.Inline_policy
+      (Policy.make ~id:"chaos-policy" ~rule_combining:Combine.First_applicable
+         [
+           Dacs_policy.Rule.permit
+             ~target:
+               Dacs_policy.Target.(any |> subject_is "role" "admin" |> action_is "action-id" "read")
+             "admins-read";
+           Dacs_policy.Rule.deny "default-deny";
+         ])
+  in
+  List.iter
+    (fun node -> ignore (Pdp_service.create services ~node ~name:node ~root:policy ()))
+    [ "pdp0"; "pdp1" ];
+  let cache = Decision_cache.create ~ttl:2.0 () in
+  let pep =
+    Pep.create services ~node:"pep" ~domain:"demo" ~resource:"demo-resource" ~content:"42"
+      (Pep.Pull { pdps = [ "pdp0"; "pdp1" ]; cache = Some cache; call_timeout = 0.4 })
+  in
+  Pep.set_retry_policy pep (Some Rpc.default_retry);
+  Pep.set_stale_window pep 10.0;
+  Rpc.set_breaker rpc (Some Rpc.default_breaker);
+  let rng = Dacs_crypto.Rng.create (Int64.of_int (seed + 1)) in
+  let horizon = 8.0 in
+  let schedule = Faults.random_schedule ~rng ~nodes:[ "pep"; "pdp0"; "pdp1" ] ~horizon in
+  Printf.printf "fault schedule (seed %d):\n" seed;
+  List.iter (fun s -> Printf.printf "  %s\n" (Faults.describe s)) schedule;
+  Faults.apply net schedule;
+  let admin =
+    Client.create services ~node:"cli"
+      ~subject:[ ("subject-id", Value.String "admin1"); ("role", Value.String "admin") ]
+  in
+  let outcomes = ref [] in
+  List.iter
+    (fun at ->
+      Engine.schedule_at (Net.engine net) ~at (fun () ->
+          Client.request admin ~pep:"pep" ~action:"read" ~timeout:20.0 ~retry:Rpc.default_retry
+            (fun r -> outcomes := (at, Net.now net, r) :: !outcomes)))
+    [ 1.0; 3.0; 5.0; 7.0; horizon +. 2.0 ];
+  Net.run net;
+  Printf.printf "\nrequests (role=admin, read):\n";
+  List.iter
+    (fun (at, finished, r) ->
+      Printf.printf "  t=%5.1f  ->  %-30s (answered at %.2fs)\n" at
+        (match r with
+        | Ok (Wire.Granted { content; _ }) -> "GRANTED: " ^ content
+        | Ok (Wire.Denied reason) -> "DENIED: " ^ reason
+        | Error e -> "ERROR: " ^ Dacs_ws.Service.error_to_string e)
+        finished)
+    (List.sort compare !outcomes);
+  let s = Pep.stats pep in
+  Printf.printf
+    "\nPEP stats: %d requests, %d granted, %d denied; %d retries, %d breaker trips, %d shed, %d stale serves, %d failovers\n"
+    s.Pep.requests s.Pep.granted s.Pep.denied s.Pep.retries s.Pep.breaker_trips
+    s.Pep.breaker_rejections s.Pep.stale_serves s.Pep.failovers;
+  let last_granted =
+    match List.sort compare !outcomes with
+    | [] -> false
+    | l -> ( match List.nth l (List.length l - 1) with _, _, Ok (Wire.Granted _) -> true | _ -> false)
+  in
+  if last_granted then begin
+    Printf.printf "liveness: request after the schedule cleared was granted\n";
+    0
+  end
+  else begin
+    Printf.printf "liveness: FAILED - post-schedule request was not granted\n";
+    1
+  end
+
 (* --- cmdliner wiring ------------------------------------------------------------ *)
 
 open Cmdliner
@@ -219,10 +300,19 @@ let demo_t =
     (Cmd.info "demo" ~doc:"Run a built-in end-to-end authorisation scenario")
     Term.(const demo_cmd $ const ())
 
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Fault-schedule seed (deterministic).")
+
+let chaos_t =
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Replay the demo scenario under a random fault schedule with resilient enforcement")
+    Term.(const chaos_cmd $ seed_arg)
+
 let main =
   Cmd.group
     (Cmd.info "dacs" ~version:"1.0.0"
        ~doc:"Dependable access control for multi-domain computing environments")
-    [ validate_t; evaluate_t; conflicts_t; rbac_compile_t; demo_t ]
+    [ validate_t; evaluate_t; conflicts_t; rbac_compile_t; demo_t; chaos_t ]
 
 let () = exit (Cmd.eval' main)

@@ -22,9 +22,13 @@ val request :
   pep:Dacs_net.Net.node_id ->
   action:string ->
   ?timeout:float ->
+  ?retry:Dacs_net.Rpc.retry_policy ->
+  ?notify:(Dacs_net.Rpc.resilience_event -> unit) ->
   (( Wire.access_outcome, Dacs_ws.Service.error) result -> unit) ->
   unit
-(** Pull-model access: one call to the PEP. *)
+(** Pull-model access: one call to the PEP.  [retry] (default: single
+    attempt) re-sends through the RPC resilience layer when the link to
+    the PEP itself is lossy or partitioned. *)
 
 val request_with_capability :
   t ->
@@ -33,10 +37,13 @@ val request_with_capability :
   resource:string ->
   action:string ->
   ?timeout:float ->
+  ?retry:Dacs_net.Rpc.retry_policy ->
+  ?notify:(Dacs_net.Rpc.resilience_event -> unit) ->
   ((Wire.access_outcome, Dacs_ws.Service.error) result -> unit) ->
   unit
 (** Push-model access: obtain (or reuse a cached, still-valid) capability
-    for (resource, action), then call the PEP with the assertion attached. *)
+    for (resource, action), then call the PEP with the assertion attached.
+    [retry] applies to both the capability fetch and the PEP call. *)
 
 val drop_capabilities : t -> unit
 (** Forget cached capabilities (forces re-issuance). *)

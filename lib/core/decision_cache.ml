@@ -1,12 +1,15 @@
-type entry = { result : Dacs_policy.Decision.result; expires : float }
+type entry = { result : Dacs_policy.Decision.result; expires : float; stamp : int }
 
-type stats = { hits : int; misses : int; expiries : int; evictions : int }
+type stats = { hits : int; misses : int; expiries : int; evictions : int; stale_hits : int }
 
 type t = {
   ttl : float;
   max_entries : int;
   table : (string, entry) Hashtbl.t;
-  order : string Queue.t;  (* insertion order; may contain superseded keys *)
+  (* Insertion order as (key, stamp) pairs; re-inserting a key leaves its
+     older pairs behind as tombstones, skipped at eviction time. *)
+  order : (string * int) Queue.t;
+  mutable next_stamp : int;
   mutable stats : stats;
 }
 
@@ -17,45 +20,69 @@ let create ?(max_entries = 1024) ~ttl () =
     max_entries;
     table = Hashtbl.create 64;
     order = Queue.create ();
-    stats = { hits = 0; misses = 0; expiries = 0; evictions = 0 };
+    next_stamp = 0;
+    stats = { hits = 0; misses = 0; expiries = 0; evictions = 0; stale_hits = 0 };
   }
 
 let ttl t = t.ttl
 
-let get t ~now ~key =
+type lookup =
+  | Fresh of Dacs_policy.Decision.result
+  | Stale of { result : Dacs_policy.Decision.result; age : float }
+  | Absent
+
+let lookup t ~now ~max_stale ~key =
   match Hashtbl.find_opt t.table key with
   | None ->
     t.stats <- { t.stats with misses = t.stats.misses + 1 };
-    None
+    Absent
   | Some e ->
     if now < e.expires then begin
       t.stats <- { t.stats with hits = t.stats.hits + 1 };
-      Some e.result
+      Fresh e.result
     end
     else begin
-      Hashtbl.remove t.table key;
-      t.stats <- { t.stats with expiries = t.stats.expiries + 1; misses = t.stats.misses + 1 };
-      None
+      let age = now -. e.expires in
+      if age <= max_stale then begin
+        (* Kept for possible degraded serving; still a miss for the
+           caller's fresh-path accounting. *)
+        t.stats <- { t.stats with misses = t.stats.misses + 1; stale_hits = t.stats.stale_hits + 1 };
+        Stale { result = e.result; age }
+      end
+      else begin
+        Hashtbl.remove t.table key;
+        t.stats <- { t.stats with expiries = t.stats.expiries + 1; misses = t.stats.misses + 1 };
+        Absent
+      end
     end
 
+let get t ~now ~key =
+  match lookup t ~now ~max_stale:0.0 ~key with
+  | Fresh result -> Some result
+  | Stale _ | Absent -> None
+
 let evict_one t =
-  (* Pop queue entries until one still maps to a live table entry. *)
+  (* Pop queue pairs until one still names the live insertion of its key:
+     a (key, stamp) whose stamp is outdated means the key was re-inserted
+     later and must not be evicted on the strength of its old position. *)
   let rec go () =
     match Queue.take_opt t.order with
     | None -> ()
-    | Some key ->
-      if Hashtbl.mem t.table key then begin
+    | Some (key, stamp) -> (
+      match Hashtbl.find_opt t.table key with
+      | Some e when e.stamp = stamp ->
         Hashtbl.remove t.table key;
         t.stats <- { t.stats with evictions = t.stats.evictions + 1 }
-      end
-      else go ()
+      | Some _ | None -> go ())
   in
   go ()
 
 let put t ~now ~key result =
   if not (Hashtbl.mem t.table key) && Hashtbl.length t.table >= t.max_entries then evict_one t;
-  Hashtbl.replace t.table key { result; expires = now +. t.ttl };
-  Queue.add key t.order
+  let stamp = t.next_stamp in
+  t.next_stamp <- t.next_stamp + 1;
+  Hashtbl.replace t.table key { result; expires = now +. t.ttl; stamp };
+  Queue.add (key, stamp) t.order
 
 let invalidate t ~key = Hashtbl.remove t.table key
 

@@ -4,18 +4,38 @@
     Caching authorisation decisions cuts PEP→PDP traffic at the price the
     paper warns about: entries may outlive the policy that produced them,
     yielding stale (false-positive or false-negative) decisions until the
-    TTL lapses.  The experiments measure both sides of that trade. *)
+    TTL lapses.  The experiments measure both sides of that trade.
+
+    Beyond the TTL, an entry may linger for a bounded staleness window
+    (see {!lookup}): when every decision point is unreachable, a pull
+    PEP may choose degraded availability — serving the last known
+    decision — over denying everything, as long as the decision is not
+    older than [ttl + max_stale]. *)
 
 type t
 
 val create : ?max_entries:int -> ttl:float -> unit -> t
 (** [max_entries] defaults to 1024; insertion past the limit evicts the
-    oldest entry. *)
+    entry whose latest insertion is oldest. *)
 
 val ttl : t -> float
 
 val get : t -> now:float -> key:string -> Dacs_policy.Decision.result option
 (** [None] on miss or expiry (expired entries are dropped). *)
+
+(** {1 Stale-tolerant lookup} *)
+
+type lookup =
+  | Fresh of Dacs_policy.Decision.result  (** within TTL *)
+  | Stale of { result : Dacs_policy.Decision.result; age : float }
+      (** expired by [age <= max_stale] seconds; the entry is retained *)
+  | Absent  (** never cached, or expired beyond the window (dropped) *)
+
+val lookup : t -> now:float -> max_stale:float -> key:string -> lookup
+(** Like {!get} but distinguishing a bounded-stale entry from a true
+    miss.  [get] is [lookup ~max_stale:0.0] collapsed to an option.
+    [Fresh] counts as a hit, [Stale] and [Absent] as misses; entries
+    expired beyond [max_stale] are removed and counted as expiries. *)
 
 val put : t -> now:float -> key:string -> Dacs_policy.Decision.result -> unit
 
@@ -25,7 +45,13 @@ val invalidate_all : t -> unit
 
 val size : t -> int
 
-type stats = { hits : int; misses : int; expiries : int; evictions : int }
+type stats = {
+  hits : int;
+  misses : int;
+  expiries : int;
+  evictions : int;
+  stale_hits : int;  (** lookups answered [Stale] *)
+}
 
 val stats : t -> stats
 

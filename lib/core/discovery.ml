@@ -92,26 +92,26 @@ let create services ~node ?(lease = 10.0) () =
              { Dacs_ws.Soap.code = "soap:Sender"; reason = "Discover needs Kind" }));
   t
 
-let advertise t ~services ~node ~kind () =
+let advertise t ~services ~node ~kind ?retry () =
   let engine = Net.engine (Service.net services) in
   let period = t.lease /. 2.0 in
   let rec renew () =
     (* A crashed node's sends are dropped by the network, so the
        advertisement naturally lapses; the loop keeps ticking and renews
        again after recovery. *)
-    Service.call services ~src:node ~dst:t.node ~service:"register"
+    Service.call_resilient services ~src:node ~dst:t.node ~service:"register" ?retry
       (register_body ~kind ~node)
       (fun _ -> ());
     Engine.schedule engine ~delay:period renew
   in
   renew ()
 
-let auto_rebind t ~pep ~kind ?period () =
+let auto_rebind t ~pep ~kind ?period ?retry () =
   let period = Option.value period ~default:t.lease in
   let engine = Net.engine (Service.net t.services) in
   let pep_node = Pep.node pep in
   let rec refresh () =
-    Service.call t.services ~src:pep_node ~dst:t.node ~service:"discover"
+    Service.call_resilient t.services ~src:pep_node ~dst:t.node ~service:"discover" ?retry
       (discover_body ~kind)
       (fun response ->
         (match response with

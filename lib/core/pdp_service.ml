@@ -28,6 +28,7 @@ type t = {
   refresh : policy_refresh;
   pips : Dacs_net.Net.node_id list;
   signer : (Dacs_crypto.Rsa.private_key * Dacs_crypto.Cert.t) option;
+  retry : Dacs_net.Rpc.retry_policy option;
   mutable root : Policy.child option;
   mutable version : int;
   mutable fetched_at : float;
@@ -72,7 +73,7 @@ let ensure_policy t k =
     | None -> k ()
     | Some pap ->
       t.stats <- { t.stats with pap_fetches = t.stats.pap_fetches + 1 };
-      Service.call t.services ~src:t.node ~dst:pap ~service:"policy-query"
+      Service.call_resilient t.services ~src:t.node ~dst:pap ?retry:t.retry ~service:"policy-query"
         (Wire.policy_query ~scope:"" ~known_version:t.version)
         (fun result ->
           (match result with
@@ -115,7 +116,7 @@ let rec fetch_attribute t ~subject (category, id) pips k =
   | [] -> k []
   | pip :: rest ->
     t.stats <- { t.stats with pip_fetches = t.stats.pip_fetches + 1 };
-    Service.call t.services ~src:t.node ~dst:pip ~service:"attribute-query"
+    Service.call_resilient t.services ~src:t.node ~dst:pip ?retry:t.retry ~service:"attribute-query"
       (Wire.attribute_query ~category ~attribute_id:id ~subject)
       (fun result ->
         match result with
@@ -157,7 +158,7 @@ let evaluate_local t ctx k =
       in
       loop ctx 0)
 
-let create services ~node ~name:_ ?root ?pap ?refresh ?(pips = []) ?signer () =
+let create services ~node ~name:_ ?root ?pap ?refresh ?(pips = []) ?signer ?retry () =
   let refresh =
     match refresh with
     | Some r -> r
@@ -171,6 +172,7 @@ let create services ~node ~name:_ ?root ?pap ?refresh ?(pips = []) ?signer () =
       refresh;
       pips;
       signer;
+      retry;
       root;
       version = 0;
       fetched_at = -.infinity;

@@ -21,12 +21,16 @@ val create :
   ?refresh:policy_refresh ->
   ?pips:Dacs_net.Net.node_id list ->
   ?signer:Dacs_crypto.Rsa.private_key * Dacs_crypto.Cert.t ->
+  ?retry:Dacs_net.Rpc.retry_policy ->
   unit ->
   t
 (** [refresh] defaults to [Every_query] when a PAP is given, else
     [Never].  With [signer], every decision response is signed and carries
     the PDP's certificate (see {!Wire.signed_authz_response}) so PEPs can
-    authenticate their decision point (§3.2). *)
+    authenticate their decision point (§3.2).  [retry] (default: single
+    attempt) hardens the PDP's own upstream calls — PAP policy fetches
+    and PIP attribute queries — with backoff through the RPC resilience
+    layer. *)
 
 val node : t -> Dacs_net.Net.node_id
 

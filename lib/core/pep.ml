@@ -25,7 +25,11 @@ type stats = {
   denied : int;
   pdp_calls : int;
   failovers : int;
+  retries : int;
+  breaker_trips : int;
+  breaker_rejections : int;
   cache_hits : int;
+  stale_serves : int;
   assertion_rejections : int;
   revocation_checks : int;
   obligations_fulfilled : int;
@@ -38,7 +42,11 @@ let zero_stats =
     denied = 0;
     pdp_calls = 0;
     failovers = 0;
+    retries = 0;
+    breaker_trips = 0;
+    breaker_rejections = 0;
     cache_hits = 0;
+    stale_serves = 0;
     assertion_rejections = 0;
     revocation_checks = 0;
     obligations_fulfilled = 0;
@@ -54,6 +62,8 @@ type t = {
   encryption_key : string option;
   mutable mode : mode;
   mutable decision_trust : Dacs_crypto.Cert.Trust_store.t option;
+  mutable retry : Dacs_net.Rpc.retry_policy option;
+  mutable stale_window : float;
   mutable stats : stats;
 }
 
@@ -72,6 +82,26 @@ let invalidate_cache t =
   | Pull _ | Push _ | Agent _ -> ()
 
 let require_signed_decisions t trust = t.decision_trust <- Some trust
+
+let set_retry_policy t retry = t.retry <- retry
+let retry_policy t = t.retry
+
+let set_stale_window t window =
+  if window < 0.0 then invalid_arg "Pep.set_stale_window: negative window";
+  t.stale_window <- window
+
+let stale_window t = t.stale_window
+
+(* Resilience events from the RPC layer, folded into this PEP's stats so
+   retry/breaker behaviour is observable per enforcement point. *)
+let count_resilience t = function
+  | Dacs_net.Rpc.Retrying _ -> t.stats <- { t.stats with retries = t.stats.retries + 1 }
+  | Dacs_net.Rpc.Breaker_opened _ ->
+    t.stats <- { t.stats with breaker_trips = t.stats.breaker_trips + 1 }
+  | Dacs_net.Rpc.Breaker_rejected _ ->
+    t.stats <- { t.stats with breaker_rejections = t.stats.breaker_rejections + 1 }
+  | Dacs_net.Rpc.Attempt_failed _ | Dacs_net.Rpc.Breaker_half_opened _
+  | Dacs_net.Rpc.Breaker_closed _ -> ()
 
 let set_pull_pdps t pdps =
   match t.mode with
@@ -165,22 +195,34 @@ let build_context t ~subject_attrs ~action =
 
 let pull_decide t ~pdps ~cache ~call_timeout ctx k =
   let key = Decision_cache.request_key ctx in
-  let cached =
+  let found =
     match cache with
-    | None -> None
-    | Some cache -> Decision_cache.get cache ~now:(now t) ~key
+    | None -> Decision_cache.Absent
+    | Some cache -> Decision_cache.lookup cache ~now:(now t) ~max_stale:t.stale_window ~key
   in
-  match cached with
-  | Some result ->
+  match found with
+  | Decision_cache.Fresh result ->
     t.stats <- { t.stats with cache_hits = t.stats.cache_hits + 1 };
     k result
-  | None ->
+  | Decision_cache.Stale _ | Decision_cache.Absent ->
+    (* Degraded availability (§ dependability): with every replica down, a
+       decision expired by at most [stale_window] seconds is still served
+       — the last answer the policy actually gave — in preference to
+       denying all access.  Beyond the bound we fail closed. *)
+    let degrade () =
+      match found with
+      | Decision_cache.Stale { result; _ } when t.stale_window > 0.0 ->
+        t.stats <- { t.stats with stale_serves = t.stats.stale_serves + 1 };
+        k result
+      | _ -> k (Decision.indeterminate "no decision point reachable")
+    in
     let rec try_pdps = function
-      | [] -> k (Decision.indeterminate "no decision point reachable")
+      | [] -> degrade ()
       | pdp :: rest ->
         t.stats <- { t.stats with pdp_calls = t.stats.pdp_calls + 1 };
-        Service.call t.services ~src:t.node ~dst:pdp ~service:"authz-query"
-          ~timeout:call_timeout (Wire.authz_query ctx) (fun response ->
+        Service.call_resilient t.services ~src:t.node ~dst:pdp ~service:"authz-query"
+          ~timeout:call_timeout ?retry:t.retry ~notify:(count_resilience t) (Wire.authz_query ctx)
+          (fun response ->
             match response with
             | Ok body -> (
               let parsed =
@@ -245,7 +287,8 @@ let push_decide t ~trusted_issuer ~check_revocation ~local_pdp ~headers ~action 
         | None -> continue_after_revocation ()
         | Some authority ->
           t.stats <- { t.stats with revocation_checks = t.stats.revocation_checks + 1 };
-          Service.call t.services ~src:t.node ~dst:authority ~service:"revocation-check"
+          Service.call_resilient t.services ~src:t.node ~dst:authority ~service:"revocation-check"
+            ?retry:t.retry ~notify:(count_resilience t)
             (Wire.revocation_check ~assertion_id:assertion.Assertion.id) (fun response ->
               match response with
               | Ok body -> (
@@ -273,6 +316,8 @@ let create services ~node ~domain ~resource ?(content = "resource-content") ?aud
       encryption_key;
       mode;
       decision_trust = None;
+      retry = None;
+      stale_window = 0.0;
       stats = zero_stats;
     }
   in

@@ -68,6 +68,29 @@ val set_pull_pdps : t -> Dacs_net.Net.node_id list -> unit
 val pull_pdps : t -> Dacs_net.Net.node_id list
 (** Current failover list ([[]] in push/agent modes). *)
 
+(** {1 Resilience}
+
+    Orthogonal to the mode: how hard this PEP fights to reach its
+    decision (and revocation) authorities, and how far it degrades when
+    it cannot.  Both default off, preserving one-shot ordered failover. *)
+
+val set_retry_policy : t -> Dacs_net.Rpc.retry_policy option -> unit
+(** Retry each PDP (pull) / revocation authority (push) call with
+    backoff before giving up on that replica.  [None] (the default)
+    restores single-attempt calls. *)
+
+val retry_policy : t -> Dacs_net.Rpc.retry_policy option
+
+val set_stale_window : t -> float -> unit
+(** Pull mode with a cache only: when every PDP replica is unreachable,
+    serve a cached decision expired by at most this many seconds instead
+    of denying (recorded in [stale_serves]).  The safety bound: a served
+    decision is never older than [cache ttl + window], and it is always
+    a decision the policy really issued.  [0.0] (the default) disables
+    degraded serving; negative windows raise [Invalid_argument]. *)
+
+val stale_window : t -> float
+
 (** {1 Statistics} *)
 
 type stats = {
@@ -76,7 +99,11 @@ type stats = {
   denied : int;
   pdp_calls : int;
   failovers : int;  (** times a PDP endpoint was skipped after a failure *)
+  retries : int;  (** resilient-call retry attempts issued *)
+  breaker_trips : int;  (** circuit-breaker opens observed on our calls *)
+  breaker_rejections : int;  (** calls shed without touching the network *)
   cache_hits : int;
+  stale_serves : int;  (** degraded answers served from expired cache *)
   assertion_rejections : int;
   revocation_checks : int;
   obligations_fulfilled : int;

@@ -20,7 +20,10 @@ let domain d =
       let ps = Pep.stats pep in
       line "  PEP %-24s %d requests: %d granted, %d denied (%d cache hits, %d failovers)"
         (Pep.node pep) ps.Pep.requests ps.Pep.granted ps.Pep.denied ps.Pep.cache_hits
-        ps.Pep.failovers)
+        ps.Pep.failovers;
+      if ps.Pep.retries + ps.Pep.breaker_trips + ps.Pep.stale_serves > 0 then
+        line "  %-28s resilience: %d retries, %d breaker trips (%d rejections), %d stale serves"
+          "" ps.Pep.retries ps.Pep.breaker_trips ps.Pep.breaker_rejections ps.Pep.stale_serves)
     (Domain.peps d);
   line "  audit: %d entries" (Audit.size (Domain.audit d));
   Buffer.contents buf

@@ -77,17 +77,29 @@ let latency t a b =
   | Some l -> l
   | None -> t.default_latency
 
+let latency_override t a b = Hashtbl.find_opt t.latencies (pair_key a b)
+
+let clear_latency t a b = Hashtbl.remove t.latencies (pair_key a b)
+
 let set_bytes_per_second t rate = t.bytes_per_second <- rate
 
 let set_drop_rate t rate =
   if rate < 0.0 || rate > 1.0 then invalid_arg "Net.set_drop_rate";
   t.drop_rate <- rate
 
+let drop_rate t = t.drop_rate
+
 let crash t id = (node_exn t id).crashed <- true
 let recover t id = (node_exn t id).crashed <- false
 let is_crashed t id = (node_exn t id).crashed
 
 let partition t group_a group_b = t.partitions <- (group_a, group_b) :: t.partitions
+
+let unpartition t group_a group_b =
+  t.partitions <-
+    List.filter
+      (fun (ga, gb) -> not ((ga = group_a && gb = group_b) || (ga = group_b && gb = group_a)))
+      t.partitions
 
 let heal t = t.partitions <- []
 

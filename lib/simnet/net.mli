@@ -44,12 +44,22 @@ val set_latency : t -> node_id -> node_id -> float -> unit
 
 val latency : t -> node_id -> node_id -> float
 
+val latency_override : t -> node_id -> node_id -> float option
+(** The per-pair override, if one is set ([latency] falls back to the
+    default).  Lets fault injectors save and restore link state. *)
+
+val clear_latency : t -> node_id -> node_id -> unit
+(** Remove a per-pair override; the pair reverts to the default latency. *)
+
 val set_bytes_per_second : t -> float option -> unit
 (** When set, delivery delay additionally includes [size / rate] —
     makes big signed envelopes measurably slower. *)
 
 val set_drop_rate : t -> float -> unit
 (** Probability in [0,1] that any message is silently lost. *)
+
+val drop_rate : t -> float
+(** Current loss probability. *)
 
 (** {1 Faults} *)
 
@@ -60,7 +70,13 @@ val recover : t -> node_id -> unit
 val is_crashed : t -> node_id -> bool
 
 val partition : t -> node_id list -> node_id list -> unit
-(** Messages between the two groups are dropped until {!heal}. *)
+(** Messages between the two groups are dropped until {!heal} (or a
+    matching {!unpartition}). *)
+
+val unpartition : t -> node_id list -> node_id list -> unit
+(** Remove the partition between exactly these two groups (in either
+    order), leaving any other partitions in place — what a flapping-link
+    fault needs that {!heal} cannot express. *)
 
 val heal : t -> unit
 (** Remove all partitions. *)

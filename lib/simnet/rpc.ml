@@ -1,10 +1,55 @@
 type error =
   | Timeout
   | No_such_service of string
+  | Circuit_open of Net.node_id
 
 let error_to_string = function
   | Timeout -> "timeout"
   | No_such_service s -> Printf.sprintf "no such service: %s" s
+  | Circuit_open n -> Printf.sprintf "circuit open towards %s" n
+
+(* --- resilience configuration ------------------------------------------- *)
+
+type retry_policy = {
+  attempts : int;
+  base_delay : float;
+  multiplier : float;
+  max_delay : float;
+  jitter : float;
+}
+
+let no_retry = { attempts = 1; base_delay = 0.0; multiplier = 1.0; max_delay = 0.0; jitter = 0.0 }
+
+let default_retry =
+  { attempts = 3; base_delay = 0.05; multiplier = 2.0; max_delay = 2.0; jitter = 0.2 }
+
+type breaker_config = { failure_threshold : int; cooldown : float }
+
+let default_breaker = { failure_threshold = 5; cooldown = 2.0 }
+
+type breaker_state = Closed | Open | Half_open
+
+let breaker_state_to_string = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type breaker = {
+  mutable b_state : breaker_state;
+  mutable consecutive_failures : int;
+  mutable opened_at : float;
+  mutable probe_in_flight : bool;
+}
+
+type resilience_event =
+  | Attempt_failed of { target : Net.node_id; attempt : int; error : error }
+  | Retrying of { target : Net.node_id; attempt : int; delay : float }
+  | Breaker_opened of Net.node_id
+  | Breaker_half_opened of Net.node_id
+  | Breaker_closed of Net.node_id
+  | Breaker_rejected of Net.node_id
+
+type resilience_stats = { retries : int; breaker_trips : int; breaker_rejections : int }
 
 type pending = { k : (string, error) result -> unit }
 
@@ -13,13 +58,56 @@ type t = {
   services : (Net.node_id * string, caller:Net.node_id -> string -> (string -> unit) -> unit) Hashtbl.t;
   pending : (int, pending) Hashtbl.t;
   mutable next_id : int;
+  mutable breaker_config : breaker_config option;
+  breakers : (Net.node_id, breaker) Hashtbl.t;
+  mutable retries_total : int;
+  mutable trips_total : int;
+  mutable rejections_total : int;
 }
 
 (* Wire format: kind '|' id '|' service '|' body.  The few header bytes
    model transport framing; the body carries the real (XML) payload whose
-   size dominates. *)
+   size dominates.  The body is the unframed remainder and may contain
+   anything; the service name is percent-escaped so that '|' (and '%')
+   in a service name cannot break the framing. *)
 
-let encode_request id service body = Printf.sprintf "Q|%d|%s|%s" id service body
+let escape_service s =
+  if String.contains s '|' || String.contains s '%' then begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (function
+        | '|' -> Buffer.add_string buf "%7C"
+        | '%' -> Buffer.add_string buf "%25"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+  else s
+
+let unescape_service s =
+  if not (String.contains s '%') then s
+  else begin
+    let n = String.length s in
+    let buf = Buffer.create n in
+    let i = ref 0 in
+    while !i < n do
+      if s.[!i] = '%' && !i + 2 < n && s.[!i + 1] = '7' && s.[!i + 2] = 'C' then begin
+        Buffer.add_char buf '|';
+        i := !i + 3
+      end
+      else if s.[!i] = '%' && !i + 2 < n && s.[!i + 1] = '2' && s.[!i + 2] = '5' then begin
+        Buffer.add_char buf '%';
+        i := !i + 3
+      end
+      else begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  end
+
+let encode_request id service body = Printf.sprintf "Q|%d|%s|%s" id (escape_service service) body
 let encode_reply id body = Printf.sprintf "A|%d||%s" id body
 let encode_error id msg = Printf.sprintf "E|%d||%s" id msg
 
@@ -39,7 +127,7 @@ let decode payload =
       let id = int_of_string_opt (String.sub payload (first + 1) (second - first - 1)) in
       match (id, String.index_from_opt payload (second + 1) '|') with
       | Some id, Some third ->
-        let service = String.sub payload (second + 1) (third - second - 1) in
+        let service = unescape_service (String.sub payload (second + 1) (third - second - 1)) in
         let body = String.sub payload (third + 1) (String.length payload - third - 1) in
         (match kind with
         | "Q" -> Some (Request (id, service, body))
@@ -83,7 +171,19 @@ let handle_message t (msg : Net.message) =
       p.k (Error err))
 
 let create net =
-  let t = { net; services = Hashtbl.create 64; pending = Hashtbl.create 64; next_id = 0 } in
+  let t =
+    {
+      net;
+      services = Hashtbl.create 64;
+      pending = Hashtbl.create 64;
+      next_id = 0;
+      breaker_config = None;
+      breakers = Hashtbl.create 16;
+      retries_total = 0;
+      trips_total = 0;
+      rejections_total = 0;
+    }
+  in
   t
 
 let net t = t.net
@@ -111,3 +211,142 @@ let call t ~src ~dst ~service ?(timeout = 1.0) ?category body k =
         p.k (Error Timeout))
 
 let calls_in_flight t = Hashtbl.length t.pending
+
+(* --- circuit breaker ------------------------------------------------------ *)
+
+let set_breaker t config = t.breaker_config <- config
+
+let breaker_for t dst =
+  match Hashtbl.find_opt t.breakers dst with
+  | Some b -> b
+  | None ->
+    let b =
+      { b_state = Closed; consecutive_failures = 0; opened_at = neg_infinity; probe_in_flight = false }
+    in
+    Hashtbl.add t.breakers dst b;
+    b
+
+let breaker_state t dst =
+  match (t.breaker_config, Hashtbl.find_opt t.breakers dst) with
+  | None, _ | _, None -> Closed
+  | Some cfg, Some b ->
+    (* An open breaker past its cooldown admits a probe on the next call;
+       report it as half-open so observers see the recoverable state. *)
+    (match b.b_state with
+    | Open when Net.now t.net >= b.opened_at +. cfg.cooldown -> Half_open
+    | s -> s)
+
+(* [true] when the attempt may be sent. *)
+let breaker_admit t ~notify dst =
+  match t.breaker_config with
+  | None -> true
+  | Some cfg -> (
+    let b = breaker_for t dst in
+    match b.b_state with
+    | Closed -> true
+    | Open ->
+      if Net.now t.net >= b.opened_at +. cfg.cooldown then begin
+        b.b_state <- Half_open;
+        b.probe_in_flight <- true;
+        notify (Breaker_half_opened dst);
+        true
+      end
+      else begin
+        t.rejections_total <- t.rejections_total + 1;
+        notify (Breaker_rejected dst);
+        false
+      end
+    | Half_open ->
+      if b.probe_in_flight then begin
+        t.rejections_total <- t.rejections_total + 1;
+        notify (Breaker_rejected dst);
+        false
+      end
+      else begin
+        b.probe_in_flight <- true;
+        true
+      end)
+
+let breaker_success t ~notify dst =
+  match t.breaker_config with
+  | None -> ()
+  | Some _ -> (
+    let b = breaker_for t dst in
+    match b.b_state with
+    | Half_open ->
+      b.b_state <- Closed;
+      b.probe_in_flight <- false;
+      b.consecutive_failures <- 0;
+      notify (Breaker_closed dst)
+    | Closed -> b.consecutive_failures <- 0
+    | Open -> () (* a straggler reply from before the trip; stay open until probed *))
+
+let breaker_failure t ~notify dst =
+  match t.breaker_config with
+  | None -> ()
+  | Some cfg -> (
+    let b = breaker_for t dst in
+    let trip () =
+      b.b_state <- Open;
+      b.probe_in_flight <- false;
+      b.opened_at <- Net.now t.net;
+      t.trips_total <- t.trips_total + 1;
+      notify (Breaker_opened dst)
+    in
+    match b.b_state with
+    | Half_open -> trip ()
+    | Closed ->
+      b.consecutive_failures <- b.consecutive_failures + 1;
+      if b.consecutive_failures >= cfg.failure_threshold then trip ()
+    | Open -> ())
+
+(* --- resilient calls ---------------------------------------------------------- *)
+
+let resilience_stats t =
+  { retries = t.retries_total; breaker_trips = t.trips_total; breaker_rejections = t.rejections_total }
+
+let backoff_delay t retry failures =
+  let d = ref retry.base_delay in
+  for _ = 2 to failures do
+    d := !d *. retry.multiplier
+  done;
+  let d = Float.min retry.max_delay !d in
+  if retry.jitter <= 0.0 then d
+  else begin
+    (* Deterministic jitter: drawn from the engine's seeded RNG, so a
+       rerun with the same seed backs off at exactly the same instants. *)
+    let u = Dacs_crypto.Rng.float (Engine.rng (Net.engine t.net)) 1.0 in
+    Float.max 0.0 (d *. (1.0 +. (retry.jitter *. ((2.0 *. u) -. 1.0))))
+  end
+
+let call_resilient t ~src ~dst ~service ?timeout ?category ?(retry = no_retry) ?(notify = ignore)
+    body k =
+  if retry.attempts < 1 then invalid_arg "Rpc.call_resilient: attempts must be >= 1";
+  let engine = Net.engine t.net in
+  let rec attempt n =
+    if not (breaker_admit t ~notify dst) then after_failure n (Circuit_open dst)
+    else
+      call t ~src ~dst ~service ?timeout ?category body (fun result ->
+          match result with
+          | Ok reply ->
+            breaker_success t ~notify dst;
+            k (Ok reply)
+          | Error Timeout ->
+            breaker_failure t ~notify dst;
+            after_failure n Timeout
+          | Error (No_such_service _ as e) ->
+            (* The target answered: not a health failure, and retrying the
+               same missing service cannot succeed. *)
+            k (Error e)
+          | Error (Circuit_open _ as e) -> after_failure n e)
+  and after_failure n err =
+    notify (Attempt_failed { target = dst; attempt = n; error = err });
+    if n >= retry.attempts then k (Error err)
+    else begin
+      let delay = backoff_delay t retry n in
+      t.retries_total <- t.retries_total + 1;
+      notify (Retrying { target = dst; attempt = n + 1; delay });
+      Engine.schedule engine ~delay (fun () -> attempt (n + 1))
+    end
+  in
+  attempt 1

@@ -1,15 +1,22 @@
-(** Request/response layer over {!Net} with correlation ids and timeouts.
+(** Request/response layer over {!Net} with correlation ids, timeouts and
+    a resilience layer (retry with exponential backoff and deterministic
+    jitter, per-target circuit breakers).
 
     Components register named services on nodes; callers issue asynchronous
-    calls and receive either the reply payload or a timeout.  This is the
+    calls and receive either the reply payload or an error.  This is the
     substrate the SOAP layer (and hence every PEP/PDP/PAP/PIP exchange)
-    rides on; timeouts are what make PDP failover observable. *)
+    rides on; timeouts are what make PDP failover observable, and the
+    resilience layer is what keeps authorisation flowing through the fault
+    schedules of {!Faults}. *)
 
 type t
 
 type error =
   | Timeout
   | No_such_service of string
+  | Circuit_open of Net.node_id
+      (** The per-target circuit breaker rejected the call without
+          touching the network. *)
 
 val error_to_string : error -> string
 
@@ -43,3 +50,103 @@ val call :
     [service]). *)
 
 val calls_in_flight : t -> int
+
+(** {1 Retry with backoff}
+
+    A retry policy bounds the total number of attempts; between attempts
+    the caller waits [base_delay * multiplier^(n-1)] capped at
+    [max_delay], multiplied by a jitter factor drawn uniformly from
+    [1 ± jitter] using the engine's seeded RNG — so backoff sequences are
+    deterministic for a given seed. *)
+
+type retry_policy = {
+  attempts : int;  (** total attempts including the first; >= 1 *)
+  base_delay : float;  (** wait after the first failure (seconds) *)
+  multiplier : float;  (** backoff growth per failure *)
+  max_delay : float;  (** backoff ceiling (seconds) *)
+  jitter : float;  (** fraction in [0,1]; 0 disables jitter *)
+}
+
+val no_retry : retry_policy
+(** Exactly one attempt — [call_resilient] then behaves like {!call}. *)
+
+val default_retry : retry_policy
+(** 3 attempts, 50 ms base, doubling, 2 s cap, 20% jitter. *)
+
+(** {1 Circuit breaker}
+
+    One breaker per target node, shared by all callers on this RPC bus.
+    [failure_threshold] consecutive timeouts trip it open; while open,
+    resilient calls to that target fail immediately with {!Circuit_open}
+    (shedding load from a struggling replica).  After [cooldown] seconds
+    the next call is admitted as a half-open probe: success closes the
+    breaker, failure re-opens it for another cooldown. *)
+
+type breaker_config = { failure_threshold : int; cooldown : float }
+
+val default_breaker : breaker_config
+(** 5 consecutive failures; 2 s cooldown. *)
+
+type breaker_state = Closed | Open | Half_open
+
+val breaker_state_to_string : breaker_state -> string
+
+val set_breaker : t -> breaker_config option -> unit
+(** Enable ([Some cfg]) or disable ([None], the default) circuit breaking
+    for resilient calls on this bus. *)
+
+val breaker_state : t -> Net.node_id -> breaker_state
+(** Current state towards a target ([Closed] when breaking is disabled or
+    the target has never failed).  An open breaker whose cooldown has
+    lapsed reports [Half_open]. *)
+
+(** {1 Resilient calls} *)
+
+type resilience_event =
+  | Attempt_failed of { target : Net.node_id; attempt : int; error : error }
+  | Retrying of { target : Net.node_id; attempt : int; delay : float }
+      (** [attempt] is the upcoming attempt number; [delay] the backoff. *)
+  | Breaker_opened of Net.node_id
+  | Breaker_half_opened of Net.node_id
+  | Breaker_closed of Net.node_id
+  | Breaker_rejected of Net.node_id
+
+type resilience_stats = { retries : int; breaker_trips : int; breaker_rejections : int }
+
+val resilience_stats : t -> resilience_stats
+(** Bus-wide counters across all resilient calls. *)
+
+val call_resilient :
+  t ->
+  src:Net.node_id ->
+  dst:Net.node_id ->
+  service:string ->
+  ?timeout:float ->
+  ?category:string ->
+  ?retry:retry_policy ->
+  ?notify:(resilience_event -> unit) ->
+  string ->
+  ((string, error) result -> unit) ->
+  unit
+(** Like {!call} but routed through the per-target circuit breaker (when
+    enabled) and retried per [retry] (default {!no_retry}).  Timeouts and
+    breaker rejections are retried with backoff; [No_such_service] is
+    returned immediately (the target is alive, retrying cannot help).
+    [notify] observes every retry and breaker transition — callers use it
+    to keep their own counters (e.g. {!section-stats} on a PEP). *)
+
+(** {1 Wire format}
+
+    Exposed for property testing: [decode] must invert every [encode_*]
+    for arbitrary ids, service names (including ['|'] and ['%']) and
+    bodies. *)
+
+type frame =
+  | Request of int * string * string  (** id, service, body *)
+  | Reply of int * string
+  | Error_frame of int * string
+
+val encode_request : int -> string -> string -> string
+val encode_reply : int -> string -> string
+val encode_error : int -> string -> string
+val decode : string -> frame option

@@ -43,3 +43,20 @@ val call :
   unit
 (** Send a body element, receive the response body element.  Faults and
     transport failures surface as [Error]. *)
+
+val call_resilient :
+  t ->
+  src:Dacs_net.Net.node_id ->
+  dst:Dacs_net.Net.node_id ->
+  service:string ->
+  ?timeout:float ->
+  ?retry:Dacs_net.Rpc.retry_policy ->
+  ?notify:(Dacs_net.Rpc.resilience_event -> unit) ->
+  ?headers:Dacs_xml.Xml.t list ->
+  Dacs_xml.Xml.t ->
+  ((Dacs_xml.Xml.t, error) result -> unit) ->
+  unit
+(** Like {!call}, but transport failures go through the RPC resilience
+    layer: retried per [retry] (default single attempt) and subject to
+    the bus's circuit breaker when one is enabled.  SOAP faults are
+    application answers, never retried. *)

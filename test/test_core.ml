@@ -169,6 +169,45 @@ let test_cache_eviction () =
   check bool_ "c present" true (Decision_cache.get c ~now:3.0 ~key:"c" <> None);
   check int_ "evictions" 1 (Decision_cache.stats c).Decision_cache.evictions
 
+let test_cache_refresh_not_evicted () =
+  (* Regression: re-putting a live key used to leave a stale queue entry
+     behind; the next capacity eviction then removed the *refreshed* key
+     instead of the oldest live one. *)
+  let c = Decision_cache.create ~max_entries:2 ~ttl:100.0 () in
+  Decision_cache.put c ~now:0.0 ~key:"a" Decision.permit;
+  Decision_cache.put c ~now:1.0 ~key:"b" Decision.permit;
+  Decision_cache.put c ~now:2.0 ~key:"a" Decision.deny;
+  (* refresh, still 2 entries *)
+  check int_ "refresh keeps size" 2 (Decision_cache.size c);
+  Decision_cache.put c ~now:3.0 ~key:"c" Decision.permit;
+  check int_ "bounded" 2 (Decision_cache.size c);
+  check bool_ "b (oldest live) evicted" true (Decision_cache.get c ~now:4.0 ~key:"b" = None);
+  (match Decision_cache.get c ~now:4.0 ~key:"a" with
+  | Some r -> check bool_ "refreshed entry survives with new value" true (Decision.is_deny r)
+  | None -> Alcotest.fail "refreshed key was evicted prematurely");
+  check bool_ "c present" true (Decision_cache.get c ~now:4.0 ~key:"c" <> None);
+  check int_ "one eviction" 1 (Decision_cache.stats c).Decision_cache.evictions
+
+let test_cache_stale_lookup () =
+  let c = Decision_cache.create ~ttl:10.0 () in
+  Decision_cache.put c ~now:0.0 ~key:"k" Decision.permit;
+  (match Decision_cache.lookup c ~now:5.0 ~max_stale:0.0 ~key:"k" with
+  | Decision_cache.Fresh r -> check bool_ "fresh hit" true (Decision.is_permit r)
+  | _ -> Alcotest.fail "expected Fresh");
+  (* Expired by 3 s, within a 5 s stale window: served as stale, retained. *)
+  (match Decision_cache.lookup c ~now:13.0 ~max_stale:5.0 ~key:"k" with
+  | Decision_cache.Stale { result; age } ->
+    check bool_ "stale value" true (Decision.is_permit result);
+    check (Alcotest.float 1e-9) "age past expiry" 3.0 age
+  | _ -> Alcotest.fail "expected Stale");
+  check int_ "stale serve counted" 1 (Decision_cache.stats c).Decision_cache.stale_hits;
+  check int_ "entry retained for future stale serves" 1 (Decision_cache.size c);
+  (* Beyond the bound the entry is gone for good. *)
+  check bool_ "absent past window" true
+    (Decision_cache.lookup c ~now:20.0 ~max_stale:4.0 ~key:"k" = Decision_cache.Absent);
+  check int_ "expiry counted" 1 (Decision_cache.stats c).Decision_cache.expiries;
+  check int_ "removed" 0 (Decision_cache.size c)
+
 let test_cache_invalidation () =
   let c = Decision_cache.create ~ttl:100.0 () in
   Decision_cache.put c ~now:0.0 ~key:"a" Decision.permit;
@@ -1176,6 +1215,9 @@ let () =
         [
           Alcotest.test_case "hit/miss/expiry" `Quick test_cache_hit_miss_expiry;
           Alcotest.test_case "eviction" `Quick test_cache_eviction;
+          Alcotest.test_case "refresh does not evict live key" `Quick
+            test_cache_refresh_not_evicted;
+          Alcotest.test_case "stale lookup window" `Quick test_cache_stale_lookup;
           Alcotest.test_case "invalidation" `Quick test_cache_invalidation;
           Alcotest.test_case "key stability" `Quick test_cache_key_stability;
         ] );

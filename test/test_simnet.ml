@@ -232,6 +232,31 @@ let test_net_unknown_node () =
     Alcotest.fail "expected Invalid_argument"
   with Invalid_argument _ -> ()
 
+let test_net_unpartition_selective () =
+  (* unpartition removes exactly one group pair, leaving others alone —
+     heal would wipe both. *)
+  let net = make_pair () in
+  Net.add_node net "c";
+  let got = ref [] in
+  List.iter (fun n -> Net.set_handler net n (fun m -> got := m.Net.payload :: !got)) [ "b"; "c" ];
+  Net.partition net [ "a" ] [ "b" ];
+  Net.partition net [ "a" ] [ "c" ];
+  Net.unpartition net [ "b" ] [ "a" ] (* reversed order must also match *);
+  Net.send net ~src:"a" ~dst:"b" ~category:"t" "to-b";
+  Net.send net ~src:"a" ~dst:"c" ~category:"t" "to-c";
+  Net.run net;
+  check (Alcotest.list string_) "b reachable, c still cut" [ "to-b" ] (List.rev !got)
+
+let test_net_latency_override_roundtrip () =
+  let net = make_pair () in
+  Net.set_default_latency net 0.01;
+  check bool_ "no override initially" true (Net.latency_override net "a" "b" = None);
+  Net.set_latency net "a" "b" 0.9;
+  check bool_ "override visible symmetrically" true (Net.latency_override net "b" "a" = Some 0.9);
+  Net.clear_latency net "a" "b";
+  check bool_ "cleared" true (Net.latency_override net "a" "b" = None);
+  check float_ "back to default" 0.01 (Net.latency net "a" "b")
+
 (* --- rpc ---------------------------------------------------------------------- *)
 
 let make_rpc () =
@@ -327,6 +352,144 @@ let test_rpc_concurrent_calls () =
     (List.sort (fun a b -> compare (int_of_string a) (int_of_string b)) !replies)
 
 
+let test_rpc_service_name_with_separator () =
+  (* A service whose *name* contains the frame separator must round-trip:
+     historically "a|b" mis-framed and the call never matched the
+     registration. *)
+  let net, rpc = make_rpc () in
+  Rpc.serve rpc ~node:"server" ~service:"weird|name" (fun ~caller:_ body reply ->
+      reply ("got:" ^ body));
+  let result = ref None in
+  Rpc.call rpc ~src:"client" ~dst:"server" ~service:"weird|name" "x|y" (fun r -> result := Some r);
+  Net.run net;
+  check bool_ "pipe-named service answers" true (!result = Some (Ok "got:x|y"))
+
+(* --- rpc wire format (satellite: QCheck round-trip) ----------------------- *)
+
+let frame_roundtrip_tests =
+  let open QCheck in
+  (* Adversarial strings: plenty of '|', '%', empty chunks. *)
+  let nasty_string =
+    let gen =
+      Gen.(
+        map (String.concat "")
+          (list_size (int_bound 8) (oneofl [ "|"; "%"; "%7C"; "a"; "xml<>&"; ""; "Q|1|"; "%25" ])))
+    in
+    make gen ~print:Print.string
+  in
+  [
+    Test.make ~name:"rpc frame: request round-trips adversarial service/body" ~count:500
+      (triple small_nat nasty_string nasty_string) (fun (id, service, body) ->
+        Rpc.decode (Rpc.encode_request id service body) = Some (Rpc.Request (id, service, body)));
+    Test.make ~name:"rpc frame: reply and error round-trip" ~count:300
+      (pair small_nat nasty_string) (fun (id, body) ->
+        Rpc.decode (Rpc.encode_reply id body) = Some (Rpc.Reply (id, body))
+        && Rpc.decode (Rpc.encode_error id body) = Some (Rpc.Error_frame (id, body)));
+  ]
+
+(* --- rpc resilience -------------------------------------------------------- *)
+
+let test_rpc_retry_recovers () =
+  (* Server down for the first attempts, back before they run out. *)
+  let net, rpc = make_rpc () in
+  Rpc.serve rpc ~node:"server" ~service:"echo" (fun ~caller:_ body reply -> reply body);
+  Net.crash net "server";
+  Engine.schedule (Net.engine net) ~delay:1.5 (fun () -> Net.recover net "server");
+  let retry = { Rpc.attempts = 5; base_delay = 0.5; multiplier = 2.0; max_delay = 4.0; jitter = 0.0 } in
+  let events = ref [] in
+  let result = ref None in
+  Rpc.call_resilient rpc ~src:"client" ~dst:"server" ~service:"echo" ~timeout:0.4 ~retry
+    ~notify:(fun e -> events := e :: !events)
+    "hi"
+    (fun r -> result := Some r);
+  Net.run net;
+  check bool_ "eventually ok" true (!result = Some (Ok "hi"));
+  let retries = List.length (List.filter (function Rpc.Retrying _ -> true | _ -> false) !events) in
+  check bool_ "took at least one retry" true (retries >= 1);
+  check int_ "bus counted the retries" retries (Rpc.resilience_stats rpc).Rpc.retries
+
+let test_rpc_retry_exhausted () =
+  let net, rpc = make_rpc () in
+  Rpc.serve rpc ~node:"server" ~service:"echo" (fun ~caller:_ body reply -> reply body);
+  Net.crash net "server";
+  let retry = { Rpc.no_retry with attempts = 3; base_delay = 0.1 } in
+  let result = ref None in
+  Rpc.call_resilient rpc ~src:"client" ~dst:"server" ~service:"echo" ~timeout:0.2 ~retry "hi"
+    (fun r -> result := Some r);
+  Net.run net;
+  check bool_ "all attempts failed" true (!result = Some (Error Rpc.Timeout));
+  check int_ "two retries counted" 2 (Rpc.resilience_stats rpc).Rpc.retries
+
+let test_rpc_no_such_service_not_retried () =
+  let net, rpc = make_rpc () in
+  Rpc.serve rpc ~node:"server" ~service:"other" (fun ~caller:_ _ reply -> reply "x");
+  let result = ref None in
+  Rpc.call_resilient rpc ~src:"client" ~dst:"server" ~service:"missing"
+    ~retry:{ Rpc.no_retry with attempts = 4 } "hi" (fun r -> result := Some r);
+  Net.run net;
+  check bool_ "fails fast" true (!result = Some (Error (Rpc.No_such_service "missing")));
+  check int_ "no retries burned" 0 (Rpc.resilience_stats rpc).Rpc.retries
+
+let test_rpc_backoff_is_deterministic () =
+  (* Same seed => identical jittered backoff delays. *)
+  let delays_for seed =
+    let net = Net.create ~seed () in
+    Net.add_node net "client";
+    Net.add_node net "server";
+    let rpc = Rpc.create net in
+    Rpc.serve rpc ~node:"server" ~service:"echo" (fun ~caller:_ body reply -> reply body);
+    Net.crash net "server";
+    let retry =
+      { Rpc.attempts = 4; base_delay = 0.2; multiplier = 2.0; max_delay = 10.0; jitter = 0.5 }
+    in
+    let delays = ref [] in
+    Rpc.call_resilient rpc ~src:"client" ~dst:"server" ~service:"echo" ~timeout:0.1 ~retry
+      ~notify:(function Rpc.Retrying { delay; _ } -> delays := delay :: !delays | _ -> ())
+      "hi" ignore;
+    Net.run net;
+    List.rev !delays
+  in
+  let a = delays_for 42L and b = delays_for 42L and c = delays_for 43L in
+  check int_ "three backoffs" 3 (List.length a);
+  check bool_ "same seed, same jitter" true (a = b);
+  check bool_ "different seed, different jitter" true (a <> c)
+
+let test_rpc_breaker_lifecycle () =
+  let net, rpc = make_rpc () in
+  Rpc.set_breaker rpc (Some { Rpc.failure_threshold = 2; cooldown = 5.0 });
+  Rpc.serve rpc ~node:"server" ~service:"echo" (fun ~caller:_ body reply -> reply body);
+  Net.crash net "server";
+  let results = ref [] in
+  let call_at at =
+    Engine.schedule_at (Net.engine net) ~at (fun () ->
+        Rpc.call_resilient rpc ~src:"client" ~dst:"server" ~service:"echo" ~timeout:1.0 "x"
+          (fun r -> results := (Net.now net, r) :: !results))
+  in
+  call_at 0.1;
+  (* trips at failure 2 *)
+  call_at 2.0;
+  (* rejected while open (opened ~3.0, cooldown till ~8.0) *)
+  call_at 4.0;
+  (* half-open probe after cooldown; server still down -> reopens *)
+  call_at 9.0;
+  (* recover, then a successful probe closes it *)
+  Engine.schedule_at (Net.engine net) ~at:15.0 (fun () -> Net.recover net "server");
+  call_at 16.0;
+  Net.run net;
+  let outcomes = List.rev_map snd !results in
+  check
+    (Alcotest.list bool_)
+    "timeout, timeout(trip), rejected, probe-timeout, ok"
+    [ true; true; true; true; false ]
+    (List.map (function Error _ -> true | Ok _ -> false) outcomes);
+  check bool_ "breaker rejection seen" true
+    (List.exists (fun r -> r = Error (Rpc.Circuit_open "server")) outcomes);
+  check string_ "closed after success" "closed"
+    (Rpc.breaker_state_to_string (Rpc.breaker_state rpc "server"));
+  let s = Rpc.resilience_stats rpc in
+  check bool_ "trips counted" true (s.Rpc.breaker_trips >= 2);
+  check int_ "rejections counted" 1 s.Rpc.breaker_rejections
+
 (* --- sequence rendering ---------------------------------------------------- *)
 
 let test_sequence_render () =
@@ -391,6 +554,9 @@ let () =
           Alcotest.test_case "stats by category" `Quick test_net_stats;
           Alcotest.test_case "trace" `Quick test_net_trace;
           Alcotest.test_case "unknown node" `Quick test_net_unknown_node;
+          Alcotest.test_case "selective unpartition" `Quick test_net_unpartition_selective;
+          Alcotest.test_case "latency override save/restore" `Quick
+            test_net_latency_override_roundtrip;
         ] );
       ( "sequence",
         [
@@ -406,5 +572,18 @@ let () =
           Alcotest.test_case "late reply ignored" `Quick test_rpc_late_reply_ignored;
           Alcotest.test_case "nested call" `Quick test_rpc_nested_call;
           Alcotest.test_case "concurrent calls" `Quick test_rpc_concurrent_calls;
+          Alcotest.test_case "service name with separator" `Quick
+            test_rpc_service_name_with_separator;
+        ] );
+      ("rpc-frames", List.map QCheck_alcotest.to_alcotest frame_roundtrip_tests);
+      ( "rpc-resilience",
+        [
+          Alcotest.test_case "retry recovers after restart" `Quick test_rpc_retry_recovers;
+          Alcotest.test_case "retry exhausted" `Quick test_rpc_retry_exhausted;
+          Alcotest.test_case "no-such-service fails fast" `Quick
+            test_rpc_no_such_service_not_retried;
+          Alcotest.test_case "deterministic jittered backoff" `Quick
+            test_rpc_backoff_is_deterministic;
+          Alcotest.test_case "breaker open/half-open/close" `Quick test_rpc_breaker_lifecycle;
         ] );
     ]
