@@ -3,7 +3,10 @@
      dacs validate  POLICY.xml              check a policy document
      dacs evaluate  POLICY.xml REQUEST.xml  decide one request
      dacs conflicts POLICY.xml...           static conflict analysis
-     dacs demo                              run a built-in end-to-end scenario *)
+     dacs demo                              run a built-in end-to-end scenario
+     dacs chaos                             replay the demo under a fault schedule
+     dacs trace                             render the span tree of one pull-flow request
+     dacs metrics                           dump the metrics registry after one request *)
 
 module Policy = Dacs_policy.Policy
 module Decision = Dacs_policy.Decision
@@ -25,6 +28,19 @@ let load_policy path =
   match read_file path with
   | Error e -> Error e
   | Ok content -> Xacml.child_of_string content
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
 
 (* --- validate ---------------------------------------------------------- *)
 
@@ -175,9 +191,71 @@ let demo_cmd () =
   Printf.printf "(%d messages, %d bytes over the simulated network)\n" sent.Net.count sent.Net.bytes;
   0
 
+(* --- trace / metrics ------------------------------------------------------------ *)
+
+(* One pull-flow request (Fig. 3) through a full domain: the client sends
+   only its subject-id, so the PDP must fetch the role attribute from the
+   PIP, and (refreshing on every query) the policy from the PAP — giving
+   the trace its PEP -> PDP -> PIP/PAP shape. *)
+let observability_scenario ~seed ~tracing =
+  let module Net = Dacs_net.Net in
+  let module Rpc = Dacs_net.Rpc in
+  let module Value = Dacs_policy.Value in
+  let net = Net.create ~seed:(Int64.of_int seed) () in
+  let rpc = Rpc.create net in
+  let services = Dacs_ws.Service.create rpc in
+  if tracing then Rpc.set_tracing rpc true;
+  let domain = Domain.create services ~name:"demo" () in
+  Domain.set_local_policy domain
+    (Policy.Inline_policy
+       (Policy.make ~id:"demo-policy" ~rule_combining:Combine.First_applicable
+          [
+            Dacs_policy.Rule.permit
+              ~target:
+                Dacs_policy.Target.(
+                  any |> subject_is "role" "admin" |> action_is "action-id" "read")
+              "admins-read";
+            Dacs_policy.Rule.deny "default-deny";
+          ]));
+  let cache =
+    Decision_cache.create ~metrics:(Rpc.metrics rpc) ~owner:"demo-resource" ~ttl:2.0 ()
+  in
+  let pep = Domain.expose_resource domain ~resource:"demo-resource" ~content:"42" ~cache () in
+  Domain.register_user domain ~user:"admin1" [ ("role", Value.String "admin") ];
+  Net.add_node net "cli";
+  let client =
+    Client.create services ~node:"cli" ~subject:[ ("subject-id", Value.String "admin1") ]
+  in
+  let outcome = ref None in
+  Client.request client ~pep:(Pep.node pep) ~action:"read" (fun r -> outcome := Some r);
+  Net.run net;
+  (rpc, !outcome)
+
+let outcome_to_string = function
+  | None -> "NO ANSWER"
+  | Some (Ok (Wire.Granted { content; _ })) -> "GRANTED: " ^ content
+  | Some (Ok (Wire.Denied reason)) -> "DENIED: " ^ reason
+  | Some (Error e) -> "ERROR: " ^ Dacs_ws.Service.error_to_string e
+
+let trace_cmd seed =
+  let module Rpc = Dacs_net.Rpc in
+  let module Trace = Dacs_telemetry.Trace in
+  let rpc, outcome = observability_scenario ~seed ~tracing:true in
+  Printf.printf "one pull-flow request (seed %d) -> %s\n\n" seed (outcome_to_string outcome);
+  print_string (Trace.render_tree (Rpc.tracer rpc));
+  match outcome with Some (Ok (Wire.Granted _)) -> 0 | _ -> 1
+
+let metrics_cmd seed json =
+  let module Rpc = Dacs_net.Rpc in
+  let module Metrics = Dacs_telemetry.Metrics in
+  let rpc, outcome = observability_scenario ~seed ~tracing:false in
+  let m = Rpc.metrics rpc in
+  if json then print_endline (Metrics.render_json m) else print_string (Metrics.render m);
+  match outcome with Some (Ok (Wire.Granted _)) -> 0 | _ -> 1
+
 (* --- chaos ------------------------------------------------------------------- *)
 
-let chaos_cmd seed =
+let chaos_cmd seed json =
   let module Net = Dacs_net.Net in
   let module Engine = Dacs_net.Engine in
   let module Rpc = Dacs_net.Rpc in
@@ -212,8 +290,10 @@ let chaos_cmd seed =
   let rng = Dacs_crypto.Rng.create (Int64.of_int (seed + 1)) in
   let horizon = 8.0 in
   let schedule = Faults.random_schedule ~rng ~nodes:[ "pep"; "pdp0"; "pdp1" ] ~horizon in
-  Printf.printf "fault schedule (seed %d):\n" seed;
-  List.iter (fun s -> Printf.printf "  %s\n" (Faults.describe s)) schedule;
+  if not json then begin
+    Printf.printf "fault schedule (seed %d):\n" seed;
+    List.iter (fun s -> Printf.printf "  %s\n" (Faults.describe s)) schedule
+  end;
   Faults.apply net schedule;
   let admin =
     Client.create services ~node:"cli"
@@ -227,34 +307,51 @@ let chaos_cmd seed =
             (fun r -> outcomes := (at, Net.now net, r) :: !outcomes)))
     [ 1.0; 3.0; 5.0; 7.0; horizon +. 2.0 ];
   Net.run net;
-  Printf.printf "\nrequests (role=admin, read):\n";
-  List.iter
-    (fun (at, finished, r) ->
-      Printf.printf "  t=%5.1f  ->  %-30s (answered at %.2fs)\n" at
-        (match r with
-        | Ok (Wire.Granted { content; _ }) -> "GRANTED: " ^ content
-        | Ok (Wire.Denied reason) -> "DENIED: " ^ reason
-        | Error e -> "ERROR: " ^ Dacs_ws.Service.error_to_string e)
-        finished)
-    (List.sort compare !outcomes);
+  let sorted = List.sort compare !outcomes in
+  let describe_outcome r =
+    match r with
+    | Ok (Wire.Granted { content; _ }) -> "GRANTED: " ^ content
+    | Ok (Wire.Denied reason) -> "DENIED: " ^ reason
+    | Error e -> "ERROR: " ^ Dacs_ws.Service.error_to_string e
+  in
   let s = Pep.stats pep in
-  Printf.printf
-    "\nPEP stats: %d requests, %d granted, %d denied; %d retries, %d breaker trips, %d shed, %d stale serves, %d failovers\n"
-    s.Pep.requests s.Pep.granted s.Pep.denied s.Pep.retries s.Pep.breaker_trips
-    s.Pep.breaker_rejections s.Pep.stale_serves s.Pep.failovers;
   let last_granted =
-    match List.sort compare !outcomes with
+    match sorted with
     | [] -> false
     | l -> ( match List.nth l (List.length l - 1) with _, _, Ok (Wire.Granted _) -> true | _ -> false)
   in
-  if last_granted then begin
-    Printf.printf "liveness: request after the schedule cleared was granted\n";
-    0
+  if json then begin
+    let schedule_json =
+      String.concat ","
+        (List.map (fun sp -> Printf.sprintf "%S" (json_escape (Faults.describe sp))) schedule)
+    in
+    let requests_json =
+      String.concat ","
+        (List.map
+           (fun (at, finished, r) ->
+             Printf.sprintf "{\"at\":%g,\"answered_at\":%g,\"outcome\":%S}" at finished
+               (json_escape (describe_outcome r)))
+           sorted)
+    in
+    Printf.printf
+      "{\"seed\":%d,\"schedule\":[%s],\"requests\":[%s],\"pep\":{\"requests\":%d,\"granted\":%d,\"denied\":%d,\"retries\":%d,\"breaker_trips\":%d,\"breaker_rejections\":%d,\"stale_serves\":%d,\"failovers\":%d},\"liveness\":%b}\n"
+      seed schedule_json requests_json s.Pep.requests s.Pep.granted s.Pep.denied s.Pep.retries
+      s.Pep.breaker_trips s.Pep.breaker_rejections s.Pep.stale_serves s.Pep.failovers last_granted
   end
   else begin
-    Printf.printf "liveness: FAILED - post-schedule request was not granted\n";
-    1
-  end
+    Printf.printf "\nrequests (role=admin, read):\n";
+    List.iter
+      (fun (at, finished, r) ->
+        Printf.printf "  t=%5.1f  ->  %-30s (answered at %.2fs)\n" at (describe_outcome r) finished)
+      sorted;
+    Printf.printf
+      "\nPEP stats: %d requests, %d granted, %d denied; %d retries, %d breaker trips, %d shed, %d stale serves, %d failovers\n"
+      s.Pep.requests s.Pep.granted s.Pep.denied s.Pep.retries s.Pep.breaker_trips
+      s.Pep.breaker_rejections s.Pep.stale_serves s.Pep.failovers;
+    if last_granted then Printf.printf "liveness: request after the schedule cleared was granted\n"
+    else Printf.printf "liveness: FAILED - post-schedule request was not granted\n"
+  end;
+  if last_granted then 0 else 1
 
 (* --- cmdliner wiring ------------------------------------------------------------ *)
 
@@ -303,16 +400,38 @@ let demo_t =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Fault-schedule seed (deterministic).")
 
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")
+
 let chaos_t =
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Replay the demo scenario under a random fault schedule with resilient enforcement")
-    Term.(const chaos_cmd $ seed_arg)
+    Term.(const chaos_cmd $ seed_arg $ json_flag)
+
+let sim_seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed (deterministic).")
+
+let trace_t =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one pull-flow authorisation request with tracing on and render its span tree \
+          (PEP -> PDP -> PIP/PAP hops with virtual-time latencies)")
+    Term.(const trace_cmd $ sim_seed_arg)
+
+let metrics_t =
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run one pull-flow authorisation request and dump the metrics registry in Prometheus \
+          text exposition format")
+    Term.(const metrics_cmd $ sim_seed_arg $ json_flag)
 
 let main =
   Cmd.group
     (Cmd.info "dacs" ~version:"1.0.0"
        ~doc:"Dependable access control for multi-domain computing environments")
-    [ validate_t; evaluate_t; conflicts_t; rbac_compile_t; demo_t; chaos_t ]
+    [ validate_t; evaluate_t; conflicts_t; rbac_compile_t; demo_t; chaos_t; trace_t; metrics_t ]
 
 let () = exit (Cmd.eval' main)

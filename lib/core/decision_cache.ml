@@ -1,6 +1,18 @@
+module Metrics = Dacs_telemetry.Metrics
+
 type entry = { result : Dacs_policy.Decision.result; expires : float; stamp : int }
 
 type stats = { hits : int; misses : int; expiries : int; evictions : int; stale_hits : int }
+
+(* Optional mirror of the stats into a shared registry, one series set per
+   cache (labelled by owner). *)
+type mirror = {
+  m_hits : Metrics.counter;
+  m_misses : Metrics.counter;
+  m_expiries : Metrics.counter;
+  m_evictions : Metrics.counter;
+  m_stale_hits : Metrics.counter;
+}
 
 type t = {
   ttl : float;
@@ -9,20 +21,37 @@ type t = {
   (* Insertion order as (key, stamp) pairs; re-inserting a key leaves its
      older pairs behind as tombstones, skipped at eviction time. *)
   order : (string * int) Queue.t;
+  mirror : mirror option;
   mutable next_stamp : int;
   mutable stats : stats;
 }
 
-let create ?(max_entries = 1024) ~ttl () =
+let create ?metrics ?(owner = "default") ?(max_entries = 1024) ~ttl () =
   if ttl < 0.0 then invalid_arg "Decision_cache.create: negative ttl";
+  let mirror =
+    Option.map
+      (fun m ->
+        let c ?help n = Metrics.counter m ?help ~labels:[ ("cache", owner) ] n in
+        {
+          m_hits = c "decision_cache_hits_total" ~help:"Fresh cache hits";
+          m_misses = c "decision_cache_misses_total" ~help:"Cache misses";
+          m_expiries = c "decision_cache_expiries_total" ~help:"Entries dropped past staleness";
+          m_evictions = c "decision_cache_evictions_total" ~help:"Capacity evictions";
+          m_stale_hits = c "decision_cache_stale_hits_total" ~help:"Lookups answered stale";
+        })
+      metrics
+  in
   {
     ttl;
     max_entries;
     table = Hashtbl.create 64;
     order = Queue.create ();
+    mirror;
     next_stamp = 0;
     stats = { hits = 0; misses = 0; expiries = 0; evictions = 0; stale_hits = 0 };
   }
+
+let bump t sel = match t.mirror with None -> () | Some m -> Metrics.inc (sel m)
 
 let ttl t = t.ttl
 
@@ -35,10 +64,12 @@ let lookup t ~now ~max_stale ~key =
   match Hashtbl.find_opt t.table key with
   | None ->
     t.stats <- { t.stats with misses = t.stats.misses + 1 };
+    bump t (fun m -> m.m_misses);
     Absent
   | Some e ->
     if now < e.expires then begin
       t.stats <- { t.stats with hits = t.stats.hits + 1 };
+      bump t (fun m -> m.m_hits);
       Fresh e.result
     end
     else begin
@@ -47,11 +78,15 @@ let lookup t ~now ~max_stale ~key =
         (* Kept for possible degraded serving; still a miss for the
            caller's fresh-path accounting. *)
         t.stats <- { t.stats with misses = t.stats.misses + 1; stale_hits = t.stats.stale_hits + 1 };
+        bump t (fun m -> m.m_misses);
+        bump t (fun m -> m.m_stale_hits);
         Stale { result = e.result; age }
       end
       else begin
         Hashtbl.remove t.table key;
         t.stats <- { t.stats with expiries = t.stats.expiries + 1; misses = t.stats.misses + 1 };
+        bump t (fun m -> m.m_expiries);
+        bump t (fun m -> m.m_misses);
         Absent
       end
     end
@@ -72,7 +107,8 @@ let evict_one t =
       match Hashtbl.find_opt t.table key with
       | Some e when e.stamp = stamp ->
         Hashtbl.remove t.table key;
-        t.stats <- { t.stats with evictions = t.stats.evictions + 1 }
+        t.stats <- { t.stats with evictions = t.stats.evictions + 1 };
+        bump t (fun m -> m.m_evictions)
       | Some _ | None -> go ())
   in
   go ()

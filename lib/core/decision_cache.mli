@@ -14,9 +14,12 @@
 
 type t
 
-val create : ?max_entries:int -> ttl:float -> unit -> t
+val create :
+  ?metrics:Dacs_telemetry.Metrics.t -> ?owner:string -> ?max_entries:int -> ttl:float -> unit -> t
 (** [max_entries] defaults to 1024; insertion past the limit evicts the
-    entry whose latest insertion is oldest. *)
+    entry whose latest insertion is oldest.  With [metrics], every stat
+    is mirrored into [decision_cache_*_total{cache=owner}] series
+    ([owner] defaults to ["default"]) in the given registry. *)
 
 val ttl : t -> float
 

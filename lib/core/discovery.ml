@@ -2,6 +2,7 @@ module Xml = Dacs_xml.Xml
 module Service = Dacs_ws.Service
 module Engine = Dacs_net.Engine
 module Net = Dacs_net.Net
+module Metrics = Dacs_telemetry.Metrics
 
 type t = {
   services : Service.t;
@@ -9,8 +10,9 @@ type t = {
   lease : float;
   (* (kind, node) -> (expiry, registration order) *)
   entries : (string * Net.node_id, float * int) Hashtbl.t;
+  c_registrations : Metrics.counter;
+  c_lookups : Metrics.counter;
   mutable next_order : int;
-  mutable registrations : int;
 }
 
 let node t = t.node
@@ -27,7 +29,8 @@ let lookup t ~kind =
   in
   List.map snd (List.sort compare live)
 
-let registrations t = t.registrations
+let registrations t = Metrics.counter_value t.c_registrations
+let lookups_served t = Metrics.counter_value t.c_lookups
 
 let register_body ~kind ~node =
   Xml.element "Register" ~attrs:[ ("Kind", kind); ("Node", node) ]
@@ -47,14 +50,17 @@ let parse_endpoints body =
          (Xml.find_children body "Endpoint"))
 
 let create services ~node ?(lease = 10.0) () =
+  let metrics = Service.metrics services in
+  let own ?help n = Metrics.counter metrics ?help ~labels:[ ("node", node) ] n in
   let t =
     {
       services;
       node;
       lease;
       entries = Hashtbl.create 32;
+      c_registrations = own "discovery_registrations_total" ~help:"Register calls served";
+      c_lookups = own "discovery_lookups_total" ~help:"Discover calls served";
       next_order = 0;
-      registrations = 0;
     }
   in
   Service.serve services ~node ~service:"register" (fun ~caller ~headers:_ body reply ->
@@ -68,7 +74,7 @@ let create services ~node ?(lease = 10.0) () =
             (Dacs_ws.Soap.fault_body
                { Dacs_ws.Soap.code = "soap:Sender"; reason = "nodes may only advertise themselves" })
         else begin
-          t.registrations <- t.registrations + 1;
+          Metrics.inc t.c_registrations;
           let order =
             match Hashtbl.find_opt t.entries (kind, advertised) with
             | Some (_, order) -> order
@@ -84,6 +90,7 @@ let create services ~node ?(lease = 10.0) () =
           (Dacs_ws.Soap.fault_body
              { Dacs_ws.Soap.code = "soap:Sender"; reason = "Register needs Kind and Node" }));
   Service.serve services ~node ~service:"discover" (fun ~caller:_ ~headers:_ body reply ->
+      Metrics.inc t.c_lookups;
       match Xml.attr body "Kind" with
       | Some kind -> reply (endpoints_body (lookup t ~kind))
       | None ->

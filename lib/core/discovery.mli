@@ -28,7 +28,11 @@ val lookup : t -> kind:string -> Dacs_net.Net.node_id list
     read; remote parties use the ["discover"] service). *)
 
 val registrations : t -> int
-(** Total register calls served. *)
+(** Total register calls served (a read of
+    [discovery_registrations_total{node}] in the bus registry). *)
+
+val lookups_served : t -> int
+(** Total discover calls served ([discovery_lookups_total{node}]). *)
 
 (** {1 Client-side helpers} *)
 

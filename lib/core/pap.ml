@@ -5,20 +5,21 @@ module Policy = Dacs_policy.Policy
 module Decision = Dacs_policy.Decision
 module Context = Dacs_policy.Context
 module Value = Dacs_policy.Value
+module Metrics = Dacs_telemetry.Metrics
 
 type t = {
   services : Service.t;
   node : Dacs_net.Net.node_id;
   name : string;
+  c_queries : Metrics.counter;
+  c_accepted : Metrics.counter;
+  c_rejected : Metrics.counter;
   mutable admin_policy : Policy.child option;
   mutable root : Policy.child option;
   mutable version : int;
   mutable subscribers : Dacs_net.Net.node_id list;
   mutable update_filter : Policy.child -> bool;
   mutable update_transform : Policy.child -> Policy.child;
-  mutable queries_served : int;
-  mutable updates_accepted : int;
-  mutable updates_rejected : int;
 }
 
 let node t = t.node
@@ -31,9 +32,9 @@ let set_admin_policy t p = t.admin_policy <- Some p
 let set_update_filter t f = t.update_filter <- f
 let set_update_transform t f = t.update_transform <- f
 
-let queries_served t = t.queries_served
-let updates_accepted t = t.updates_accepted
-let updates_rejected t = t.updates_rejected
+let queries_served t = Metrics.counter_value t.c_queries
+let updates_accepted t = Metrics.counter_value t.c_accepted
+let updates_rejected t = Metrics.counter_value t.c_rejected
 
 (* The admin policy decides whether [caller] may update this PAP. *)
 let admin_permits t ~caller =
@@ -62,7 +63,7 @@ let push_to_subscribers t =
 let accept_update t child =
   t.root <- Some child;
   t.version <- t.version + 1;
-  t.updates_accepted <- t.updates_accepted + 1;
+  Metrics.inc t.c_accepted;
   push_to_subscribers t
 
 let publish t child = accept_update t child
@@ -80,24 +81,26 @@ let lookup t id =
     end
 
 let create services ~node ~name ?admin_policy ?root () =
+  let metrics = Service.metrics services in
+  let own ?help n = Metrics.counter metrics ?help ~labels:[ ("node", node) ] n in
   let t =
     {
       services;
       node;
       name;
+      c_queries = own "pap_queries_total" ~help:"Policy queries served";
+      c_accepted = own "pap_updates_accepted_total" ~help:"Policy updates accepted";
+      c_rejected = own "pap_updates_rejected_total" ~help:"Policy updates rejected";
       admin_policy;
       root;
       version = (match root with None -> 0 | Some _ -> 1);
       subscribers = [];
       update_filter = (fun _ -> true);
       update_transform = (fun c -> c);
-      queries_served = 0;
-      updates_accepted = 0;
-      updates_rejected = 0;
     }
   in
   Service.serve services ~node ~service:"policy-query" (fun ~caller:_ ~headers:_ body reply ->
-      t.queries_served <- t.queries_served + 1;
+      Metrics.inc t.c_queries;
       match Wire.parse_policy_query body with
       | Error e -> reply (Dacs_ws.Soap.fault_body { Dacs_ws.Soap.code = "soap:Sender"; reason = e })
       | Ok (_scope, known_version) ->
@@ -112,13 +115,13 @@ let create services ~node ~name ?admin_policy ?root () =
            policy's blessing. *)
         let allowed = admin_permits t ~caller in
         if not allowed then begin
-          t.updates_rejected <- t.updates_rejected + 1;
+          Metrics.inc t.c_rejected;
           reply
             (Dacs_ws.Soap.fault_body
                { Dacs_ws.Soap.code = "soap:Receiver"; reason = "policy update not authorised" })
         end
         else if not (t.update_filter child) then begin
-          t.updates_rejected <- t.updates_rejected + 1;
+          Metrics.inc t.c_rejected;
           reply
             (Dacs_ws.Soap.fault_body
                { Dacs_ws.Soap.code = "soap:Receiver"; reason = "update rejected by local constraints" })

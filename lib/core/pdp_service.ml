@@ -3,6 +3,8 @@ module Context = Dacs_policy.Context
 module Decision = Dacs_policy.Decision
 module Policy = Dacs_policy.Policy
 module Value = Dacs_policy.Value
+module Metrics = Dacs_telemetry.Metrics
+module Trace = Dacs_telemetry.Trace
 
 type policy_refresh =
   | Never
@@ -18,8 +20,27 @@ type stats = {
   pap_refresh_hits : int;
 }
 
-let zero_stats =
-  { queries = 0; permits = 0; denies = 0; pip_fetches = 0; pap_fetches = 0; pap_refresh_hits = 0 }
+(* Like the PEP, all stats live in the bus-wide registry under this PDP's
+   node label; the old record is a thin read over them. *)
+type counters = {
+  c_queries : Metrics.counter;
+  c_permits : Metrics.counter;
+  c_denies : Metrics.counter;
+  c_pip_fetches : Metrics.counter;
+  c_pap_fetches : Metrics.counter;
+  c_pap_refresh_hits : Metrics.counter;
+}
+
+let make_counters metrics ~node =
+  let own ?help name = Metrics.counter metrics ?help ~labels:[ ("node", node) ] name in
+  {
+    c_queries = own "pdp_queries_total" ~help:"Authorisation queries evaluated";
+    c_permits = own "pdp_permits_total" ~help:"Queries decided Permit";
+    c_denies = own "pdp_denies_total" ~help:"Queries decided Deny";
+    c_pip_fetches = own "pdp_pip_fetches_total" ~help:"Attribute queries issued to PIPs";
+    c_pap_fetches = own "pdp_pap_fetches_total" ~help:"Policy queries issued to the PAP";
+    c_pap_refresh_hits = own "pdp_pap_refresh_hits_total" ~help:"PAP refreshes answered 'current'";
+  }
 
 type t = {
   services : Service.t;
@@ -29,13 +50,14 @@ type t = {
   pips : Dacs_net.Net.node_id list;
   signer : (Dacs_crypto.Rsa.private_key * Dacs_crypto.Cert.t) option;
   retry : Dacs_net.Rpc.retry_policy option;
+  counters : counters;
   mutable root : Policy.child option;
   mutable version : int;
   mutable fetched_at : float;
-  mutable stats : stats;
 }
 
 let node t = t.node
+let tracer t = Service.tracer t.services
 
 let now t = Dacs_net.Net.now (Service.net t.services)
 
@@ -45,8 +67,22 @@ let install_policy t root =
 
 let policy_version t = t.version
 
-let stats t = t.stats
-let reset_stats t = t.stats <- zero_stats
+let stats t =
+  let v = Metrics.counter_value in
+  let c = t.counters in
+  {
+    queries = v c.c_queries;
+    permits = v c.c_permits;
+    denies = v c.c_denies;
+    pip_fetches = v c.c_pip_fetches;
+    pap_fetches = v c.c_pap_fetches;
+    pap_refresh_hits = v c.c_pap_refresh_hits;
+  }
+
+let reset_stats t =
+  let c = t.counters in
+  List.iter Metrics.reset_counter
+    [ c.c_queries; c.c_permits; c.c_denies; c.c_pip_fetches; c.c_pap_fetches; c.c_pap_refresh_hits ]
 
 (* Resolve a policy reference against the locally cached tree: a direct
    child of the cached root set. *)
@@ -72,7 +108,7 @@ let ensure_policy t k =
     match t.pap with
     | None -> k ()
     | Some pap ->
-      t.stats <- { t.stats with pap_fetches = t.stats.pap_fetches + 1 };
+      Metrics.inc t.counters.c_pap_fetches;
       Service.call_resilient t.services ~src:t.node ~dst:pap ?retry:t.retry ~service:"policy-query"
         (Wire.policy_query ~scope:"" ~known_version:t.version)
         (fun result ->
@@ -84,7 +120,7 @@ let ensure_policy t k =
               t.version <- version;
               t.fetched_at <- now t
             | Ok (_, None) ->
-              t.stats <- { t.stats with pap_refresh_hits = t.stats.pap_refresh_hits + 1 };
+              Metrics.inc t.counters.c_pap_refresh_hits;
               t.fetched_at <- now t
             | Error _ -> ())
           | Error _ -> () (* keep whatever we have; staleness over unavailability *));
@@ -115,7 +151,7 @@ let rec fetch_attribute t ~subject (category, id) pips k =
   match pips with
   | [] -> k []
   | pip :: rest ->
-    t.stats <- { t.stats with pip_fetches = t.stats.pip_fetches + 1 };
+    Metrics.inc t.counters.c_pip_fetches;
     Service.call_resilient t.services ~src:t.node ~dst:pip ?retry:t.retry ~service:"attribute-query"
       (Wire.attribute_query ~category ~attribute_id:id ~subject)
       (fun result ->
@@ -136,6 +172,14 @@ let rec fetch_all t ~subject misses attempted ctx k =
         fetch_all t ~subject rest attempted ctx k)
 
 let evaluate_local t ctx k =
+  (* One span per evaluation, covering the PAP refresh and every PIP
+     round of the context-handler loop — all nested client spans parent
+     onto it through the ambient context. *)
+  let tr = tracer t in
+  let span = Trace.start_span tr "pdp:evaluate" in
+  Trace.annotate span "node" t.node;
+  let saved = Trace.current tr in
+  if Trace.enabled tr then Trace.set_current tr (Some (Trace.context span));
   ensure_policy t (fun () ->
       let subject = Option.value (Context.subject_id ctx) ~default:"" in
       let attempted = Hashtbl.create 8 in
@@ -144,19 +188,17 @@ let evaluate_local t ctx k =
       let rec loop ctx rounds =
         let result, misses = evaluate_pass t ctx attempted in
         if misses = [] || t.pips = [] || rounds >= 4 then begin
-          let s = t.stats in
-          t.stats <-
-            {
-              s with
-              queries = s.queries + 1;
-              permits = (s.permits + if Decision.is_permit result then 1 else 0);
-              denies = (s.denies + if Decision.is_deny result then 1 else 0);
-            };
+          Metrics.inc t.counters.c_queries;
+          if Decision.is_permit result then Metrics.inc t.counters.c_permits;
+          if Decision.is_deny result then Metrics.inc t.counters.c_denies;
+          Trace.annotate span "decision" (Decision.decision_to_string result.Decision.decision);
+          Trace.finish tr span;
           k result
         end
         else fetch_all t ~subject misses attempted ctx (fun ctx -> loop ctx (rounds + 1))
       in
-      loop ctx 0)
+      loop ctx 0);
+  Trace.set_current tr saved
 
 let create services ~node ~name:_ ?root ?pap ?refresh ?(pips = []) ?signer ?retry () =
   let refresh =
@@ -173,10 +215,10 @@ let create services ~node ~name:_ ?root ?pap ?refresh ?(pips = []) ?signer ?retr
       pips;
       signer;
       retry;
+      counters = make_counters (Service.metrics services) ~node;
       root;
       version = 0;
       fetched_at = -.infinity;
-      stats = zero_stats;
     }
   in
   Service.serve services ~node ~service:"authz-query" (fun ~caller:_ ~headers:_ body reply ->

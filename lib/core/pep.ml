@@ -5,6 +5,8 @@ module Value = Dacs_policy.Value
 module Decision = Dacs_policy.Decision
 module Obligation = Dacs_policy.Obligation
 module Assertion = Dacs_saml.Assertion
+module Metrics = Dacs_telemetry.Metrics
+module Trace = Dacs_telemetry.Trace
 
 type mode =
   | Pull of {
@@ -35,21 +37,43 @@ type stats = {
   obligations_fulfilled : int;
 }
 
-let zero_stats =
+(* Every stat lives in the bus-wide registry, labelled by this PEP's node
+   — the resilience trio on the very series the RPC layer increments
+   ([rpc_*_total{src=node}]), so one reset is consistent everywhere. *)
+type counters = {
+  c_requests : Metrics.counter;
+  c_granted : Metrics.counter;
+  c_denied : Metrics.counter;
+  c_pdp_calls : Metrics.counter;
+  c_failovers : Metrics.counter;
+  c_retries : Metrics.counter;
+  c_breaker_trips : Metrics.counter;
+  c_breaker_rejections : Metrics.counter;
+  c_cache_hits : Metrics.counter;
+  c_stale_serves : Metrics.counter;
+  c_assertion_rejections : Metrics.counter;
+  c_revocation_checks : Metrics.counter;
+  c_obligations_fulfilled : Metrics.counter;
+}
+
+let make_counters metrics ~node =
+  let own ?help name = Metrics.counter metrics ?help ~labels:[ ("node", node) ] name in
+  let rpc name = Metrics.counter metrics ~labels:[ ("src", node) ] name in
   {
-    requests = 0;
-    granted = 0;
-    denied = 0;
-    pdp_calls = 0;
-    failovers = 0;
-    retries = 0;
-    breaker_trips = 0;
-    breaker_rejections = 0;
-    cache_hits = 0;
-    stale_serves = 0;
-    assertion_rejections = 0;
-    revocation_checks = 0;
-    obligations_fulfilled = 0;
+    c_requests = own "pep_requests_total" ~help:"Access requests received by the PEP";
+    c_granted = own "pep_granted_total" ~help:"Requests answered with access granted";
+    c_denied = own "pep_denied_total" ~help:"Requests answered with access denied";
+    c_pdp_calls = own "pep_pdp_calls_total" ~help:"Authorisation queries issued to PDP replicas";
+    c_failovers = own "pep_failovers_total" ~help:"PDP replicas skipped after a failure";
+    c_retries = rpc "rpc_retries_total";
+    c_breaker_trips = rpc "rpc_breaker_trips_total";
+    c_breaker_rejections = rpc "rpc_breaker_rejections_total";
+    c_cache_hits = own "pep_cache_hits_total" ~help:"Decisions served fresh from cache";
+    c_stale_serves = own "pep_stale_serves_total" ~help:"Degraded answers served from expired cache";
+    c_assertion_rejections =
+      own "pep_assertion_rejections_total" ~help:"Capability assertions rejected";
+    c_revocation_checks = own "pep_revocation_checks_total" ~help:"Revocation-status queries issued";
+    c_obligations_fulfilled = own "pep_obligations_fulfilled_total" ~help:"Obligations fulfilled";
   }
 
 type t = {
@@ -60,19 +84,55 @@ type t = {
   content : string;
   audit : Audit.t;
   encryption_key : string option;
+  counters : counters;
   mutable mode : mode;
   mutable decision_trust : Dacs_crypto.Cert.Trust_store.t option;
   mutable retry : Dacs_net.Rpc.retry_policy option;
   mutable stale_window : float;
-  mutable stats : stats;
 }
 
 let node t = t.node
 let resource t = t.resource
 let audit t = t.audit
+let tracer t = Service.tracer t.services
 
-let stats t = t.stats
-let reset_stats t = t.stats <- zero_stats
+let stats t =
+  let v = Metrics.counter_value in
+  let c = t.counters in
+  {
+    requests = v c.c_requests;
+    granted = v c.c_granted;
+    denied = v c.c_denied;
+    pdp_calls = v c.c_pdp_calls;
+    failovers = v c.c_failovers;
+    retries = v c.c_retries;
+    breaker_trips = v c.c_breaker_trips;
+    breaker_rejections = v c.c_breaker_rejections;
+    cache_hits = v c.c_cache_hits;
+    stale_serves = v c.c_stale_serves;
+    assertion_rejections = v c.c_assertion_rejections;
+    revocation_checks = v c.c_revocation_checks;
+    obligations_fulfilled = v c.c_obligations_fulfilled;
+  }
+
+let reset_stats t =
+  let c = t.counters in
+  List.iter Metrics.reset_counter
+    [
+      c.c_requests;
+      c.c_granted;
+      c.c_denied;
+      c.c_pdp_calls;
+      c.c_failovers;
+      c.c_retries;
+      c.c_breaker_trips;
+      c.c_breaker_rejections;
+      c.c_cache_hits;
+      c.c_stale_serves;
+      c.c_assertion_rejections;
+      c.c_revocation_checks;
+      c.c_obligations_fulfilled;
+    ]
 
 let now t = Dacs_net.Net.now (Service.net t.services)
 
@@ -91,17 +151,6 @@ let set_stale_window t window =
   t.stale_window <- window
 
 let stale_window t = t.stale_window
-
-(* Resilience events from the RPC layer, folded into this PEP's stats so
-   retry/breaker behaviour is observable per enforcement point. *)
-let count_resilience t = function
-  | Dacs_net.Rpc.Retrying _ -> t.stats <- { t.stats with retries = t.stats.retries + 1 }
-  | Dacs_net.Rpc.Breaker_opened _ ->
-    t.stats <- { t.stats with breaker_trips = t.stats.breaker_trips + 1 }
-  | Dacs_net.Rpc.Breaker_rejected _ ->
-    t.stats <- { t.stats with breaker_rejections = t.stats.breaker_rejections + 1 }
-  | Dacs_net.Rpc.Attempt_failed _ | Dacs_net.Rpc.Breaker_half_opened _
-  | Dacs_net.Rpc.Breaker_closed _ -> ()
 
 let set_pull_pdps t pdps =
   match t.mode with
@@ -158,30 +207,26 @@ let enforce t ~subject ~action (result : Decision.result) reply =
     match fulfil_obligations t result with
     | Ok (content, encrypted, fulfilled) ->
       record Decision.Permit;
-      t.stats <-
-        {
-          t.stats with
-          granted = t.stats.granted + 1;
-          obligations_fulfilled = t.stats.obligations_fulfilled + fulfilled;
-        };
+      Metrics.inc t.counters.c_granted;
+      Metrics.inc ~by:fulfilled t.counters.c_obligations_fulfilled;
       reply (Wire.access_granted ~content ~encrypted ())
     | Error reason ->
       (* An unfulfillable obligation forbids granting access. *)
       record Decision.Deny;
-      t.stats <- { t.stats with denied = t.stats.denied + 1 };
+      Metrics.inc t.counters.c_denied;
       reply (Wire.access_denied ~reason))
   | Decision.Deny ->
     record Decision.Deny;
-    t.stats <- { t.stats with denied = t.stats.denied + 1 };
+    Metrics.inc t.counters.c_denied;
     reply (Wire.access_denied ~reason:"denied by policy")
   | Decision.Not_applicable ->
     (* Deny-biased PEP: no applicable policy means no access. *)
     record Decision.Deny;
-    t.stats <- { t.stats with denied = t.stats.denied + 1 };
+    Metrics.inc t.counters.c_denied;
     reply (Wire.access_denied ~reason:"no applicable policy")
   | Decision.Indeterminate m ->
     record (Decision.Indeterminate m);
-    t.stats <- { t.stats with denied = t.stats.denied + 1 };
+    Metrics.inc t.counters.c_denied;
     reply (Wire.access_denied ~reason:(Printf.sprintf "authorisation error: %s" m))
 
 (* --- pull mode ------------------------------------------------------------ *)
@@ -202,7 +247,8 @@ let pull_decide t ~pdps ~cache ~call_timeout ctx k =
   in
   match found with
   | Decision_cache.Fresh result ->
-    t.stats <- { t.stats with cache_hits = t.stats.cache_hits + 1 };
+    Metrics.inc t.counters.c_cache_hits;
+    Trace.record (tracer t) "pep:cache-hit";
     k result
   | Decision_cache.Stale _ | Decision_cache.Absent ->
     (* Degraded availability (§ dependability): with every replica down, a
@@ -212,16 +258,17 @@ let pull_decide t ~pdps ~cache ~call_timeout ctx k =
     let degrade () =
       match found with
       | Decision_cache.Stale { result; _ } when t.stale_window > 0.0 ->
-        t.stats <- { t.stats with stale_serves = t.stats.stale_serves + 1 };
+        Metrics.inc t.counters.c_stale_serves;
+        Trace.record (tracer t) "pep:stale-serve";
         k result
       | _ -> k (Decision.indeterminate "no decision point reachable")
     in
     let rec try_pdps = function
       | [] -> degrade ()
       | pdp :: rest ->
-        t.stats <- { t.stats with pdp_calls = t.stats.pdp_calls + 1 };
+        Metrics.inc t.counters.c_pdp_calls;
         Service.call_resilient t.services ~src:t.node ~dst:pdp ~service:"authz-query"
-          ~timeout:call_timeout ?retry:t.retry ~notify:(count_resilience t) (Wire.authz_query ctx)
+          ~timeout:call_timeout ?retry:t.retry (Wire.authz_query ctx)
           (fun response ->
             match response with
             | Ok body -> (
@@ -241,7 +288,10 @@ let pull_decide t ~pdps ~cache ~call_timeout ctx k =
               | Error e -> k (Decision.indeterminate ("unacceptable PDP response: " ^ e)))
             | Error _ ->
               (* Failover to the next replica (§ dependability). *)
-              if rest <> [] then t.stats <- { t.stats with failovers = t.stats.failovers + 1 };
+              if rest <> [] then begin
+                Metrics.inc t.counters.c_failovers;
+                Trace.record (tracer t) ("pep:failover from " ^ pdp)
+              end;
               try_pdps rest)
     in
     try_pdps pdps
@@ -264,7 +314,8 @@ let find_assertion headers =
 
 let push_decide t ~trusted_issuer ~check_revocation ~local_pdp ~headers ~action ctx k =
   let deny_with reason =
-    t.stats <- { t.stats with assertion_rejections = t.stats.assertion_rejections + 1 };
+    Metrics.inc t.counters.c_assertion_rejections;
+    Trace.record (tracer t) ("pep:assertion-rejected: " ^ reason);
     k { Decision.decision = Decision.Indeterminate reason; obligations = [] }
   in
   match find_assertion headers with
@@ -286,10 +337,10 @@ let push_decide t ~trusted_issuer ~check_revocation ~local_pdp ~headers ~action 
         match check_revocation with
         | None -> continue_after_revocation ()
         | Some authority ->
-          t.stats <- { t.stats with revocation_checks = t.stats.revocation_checks + 1 };
+          Metrics.inc t.counters.c_revocation_checks;
           Service.call_resilient t.services ~src:t.node ~dst:authority ~service:"revocation-check"
-            ?retry:t.retry ~notify:(count_resilience t)
-            (Wire.revocation_check ~assertion_id:assertion.Assertion.id) (fun response ->
+            ?retry:t.retry (Wire.revocation_check ~assertion_id:assertion.Assertion.id)
+            (fun response ->
               match response with
               | Ok body -> (
                 match Wire.parse_revocation_status body with
@@ -314,15 +365,15 @@ let create services ~node ~domain ~resource ?(content = "resource-content") ?aud
       content;
       audit = (match audit with Some a -> a | None -> Audit.create ());
       encryption_key;
+      counters = make_counters (Service.metrics services) ~node;
       mode;
       decision_trust = None;
       retry = None;
       stale_window = 0.0;
-      stats = zero_stats;
     }
   in
   Service.serve services ~node ~service:"access" (fun ~caller:_ ~headers body reply ->
-      t.stats <- { t.stats with requests = t.stats.requests + 1 };
+      Metrics.inc t.counters.c_requests;
       match Wire.parse_access_request body with
       | Error e -> reply (Dacs_ws.Soap.fault_body { Dacs_ws.Soap.code = "soap:Sender"; reason = e })
       | Ok (subject_attrs, action) ->
@@ -332,10 +383,26 @@ let create services ~node ~domain ~resource ?(content = "resource-content") ?aud
           | None -> "anonymous"
         in
         let ctx = build_context t ~subject_attrs ~action in
-        let finish result = enforce t ~subject ~action result reply in
+        (* One span per enforcement, a child of the RPC server span; the
+           decision machinery below it (PDP calls, cache events) hangs off
+           this span via the ambient context. *)
+        let tr = tracer t in
+        let span = Trace.start_span tr "pep:enforce" in
+        Trace.annotate span "node" t.node;
+        Trace.annotate span "subject" subject;
+        Trace.annotate span "action" action;
+        let finish result =
+          Trace.annotate span "decision" (Decision.decision_to_string result.Decision.decision);
+          enforce t ~subject ~action result (fun response ->
+              Trace.finish tr span;
+              reply response)
+        in
+        let saved = Trace.current tr in
+        if Trace.enabled tr then Trace.set_current tr (Some (Trace.context span));
         (match t.mode with
         | Pull { pdps; cache; call_timeout } -> pull_decide t ~pdps ~cache ~call_timeout ctx finish
         | Push { trusted_issuer; check_revocation; local_pdp } ->
           push_decide t ~trusted_issuer ~check_revocation ~local_pdp ~headers ~action ctx finish
-        | Agent pdp -> Pdp_service.evaluate_local pdp ctx finish));
+        | Agent pdp -> Pdp_service.evaluate_local pdp ctx finish);
+        Trace.set_current tr saved);
   t

@@ -110,4 +110,11 @@ type stats = {
 }
 
 val stats : t -> stats
+(** A thin read over the bus-wide metrics registry: every field is a
+    [pep_*_total{node}] counter, except the resilience trio which reads
+    the very [rpc_*_total{src=node}] series the RPC layer increments. *)
+
 val reset_stats : t -> unit
+(** Zeros this PEP's series in the shared registry — including the
+    resilience counters the RPC bus accumulates on this PEP's behalf, so
+    [stats] and {!Dacs_net.Rpc.resilience_stats} stay consistent. *)

@@ -1,12 +1,13 @@
 module Service = Dacs_ws.Service
 module Context = Dacs_policy.Context
 module Value = Dacs_policy.Value
+module Metrics = Dacs_telemetry.Metrics
 
 type t = {
   node : Dacs_net.Net.node_id;
   subject_attrs : (string * string, Value.bag) Hashtbl.t;  (* (subject, id) *)
   environment : (string, unit -> Value.bag) Hashtbl.t;
-  mutable lookups_served : int;
+  c_lookups : Metrics.counter;
 }
 
 let node t = t.node
@@ -31,13 +32,20 @@ let lookup t ~category ~id ~subject =
 
 let create services ~node ~name:_ =
   let t =
-    { node; subject_attrs = Hashtbl.create 64; environment = Hashtbl.create 8; lookups_served = 0 }
+    {
+      node;
+      subject_attrs = Hashtbl.create 64;
+      environment = Hashtbl.create 8;
+      c_lookups =
+        Metrics.counter (Service.metrics services) ~help:"Attribute lookups served"
+          ~labels:[ ("node", node) ] "pip_lookups_total";
+    }
   in
   Service.serve services ~node ~service:"attribute-query" (fun ~caller:_ ~headers:_ body reply ->
-      t.lookups_served <- t.lookups_served + 1;
+      Metrics.inc t.c_lookups;
       match Wire.parse_attribute_query body with
       | Error e -> reply (Dacs_ws.Soap.fault_body { Dacs_ws.Soap.code = "soap:Sender"; reason = e })
       | Ok (category, id, subject) -> reply (Wire.attribute_result (lookup t ~category ~id ~subject)));
   t
 
-let lookups_served t = t.lookups_served
+let lookups_served t = Metrics.counter_value t.c_lookups

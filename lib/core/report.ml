@@ -1,4 +1,25 @@
 module Decision = Dacs_policy.Decision
+module Metrics = Dacs_telemetry.Metrics
+module Trace = Dacs_telemetry.Trace
+
+let telemetry services =
+  let buf = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let m = Dacs_ws.Service.metrics services in
+  let tr = Dacs_ws.Service.tracer services in
+  line "telemetry:";
+  line "  registry: %d series" (Metrics.series_count m);
+  line "  rpc: %d calls, %d errors, %d retries, %d breaker trips (%d rejections)"
+    (Metrics.sum_counter m "rpc_calls_total")
+    (Metrics.sum_counter m "rpc_errors_total")
+    (Metrics.sum_counter m "rpc_retries_total")
+    (Metrics.sum_counter m "rpc_breaker_trips_total")
+    (Metrics.sum_counter m "rpc_breaker_rejections_total");
+  (if Trace.enabled tr then
+     line "  tracing: on, %d spans across %d traces" (Trace.span_count tr)
+       (List.length (Trace.trace_ids tr))
+   else line "  tracing: off");
+  Buffer.contents buf
 
 let domain d =
   let buf = Buffer.create 512 in
@@ -49,4 +70,6 @@ let vo v =
         (List.length per_domain) permits
         (List.length per_domain - permits))
     (Vo.domains v);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (telemetry (Vo.services v));
   Buffer.contents buf

@@ -11,5 +11,9 @@
 
 val domain : Domain.t -> string
 val vo : Vo.t -> string
-(** The VO report includes every member domain plus the consolidated
-    audit summary (grants/denies per domain). *)
+(** The VO report includes every member domain, the consolidated audit
+    summary (grants/denies per domain) and the telemetry section. *)
+
+val telemetry : Dacs_ws.Service.t -> string
+(** Bus-wide telemetry summary: registry series count, aggregate RPC and
+    resilience counters, and tracing volume when tracing is on. *)

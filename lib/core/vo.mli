@@ -14,6 +14,7 @@ val form : Dacs_ws.Service.t -> name:string -> Domain.t list -> t
     each member. *)
 
 val name : t -> string
+val services : t -> Dacs_ws.Service.t
 val domains : t -> Domain.t list
 val find_domain : t -> string -> Domain.t option
 

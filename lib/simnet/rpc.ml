@@ -1,3 +1,6 @@
+module Metrics = Dacs_telemetry.Metrics
+module Trace = Dacs_telemetry.Trace
+
 type error =
   | Timeout
   | No_such_service of string
@@ -60,10 +63,50 @@ type t = {
   mutable next_id : int;
   mutable breaker_config : breaker_config option;
   breakers : (Net.node_id, breaker) Hashtbl.t;
-  mutable retries_total : int;
-  mutable trips_total : int;
-  mutable rejections_total : int;
+  metrics : Metrics.t;
+  tracer : Trace.t;
 }
+
+(* Resilience counters are labelled by the calling node, so a component
+   resetting "its" series (e.g. Pep.reset_stats) and the bus-wide
+   resilience_stats sum stay consistent: there is only one cell. *)
+let retries_counter t src =
+  Metrics.counter t.metrics ~help:"Resilient-call retry attempts issued."
+    ~labels:[ ("src", src) ]
+    "rpc_retries_total"
+
+let trips_counter t src =
+  Metrics.counter t.metrics ~help:"Circuit-breaker opens observed."
+    ~labels:[ ("src", src) ]
+    "rpc_breaker_trips_total"
+
+let rejections_counter t src =
+  Metrics.counter t.metrics ~help:"Calls shed by an open breaker."
+    ~labels:[ ("src", src) ]
+    "rpc_breaker_rejections_total"
+
+let calls_counter t service =
+  Metrics.counter t.metrics ~help:"RPC calls issued."
+    ~labels:[ ("service", service) ]
+    "rpc_calls_total"
+
+let errors_counter t service =
+  Metrics.counter t.metrics ~help:"RPC calls that failed (timeout, missing service, shed)."
+    ~labels:[ ("service", service) ]
+    "rpc_errors_total"
+
+let served_counter t service =
+  Metrics.counter t.metrics ~help:"RPC requests dispatched to a handler."
+    ~labels:[ ("service", service) ]
+    "rpc_requests_served_total"
+
+let latency_histogram t service =
+  Metrics.histogram t.metrics ~help:"Round-trip latency of RPC calls (virtual seconds)."
+    ~labels:[ ("service", service) ]
+    "rpc_call_latency_seconds"
+
+let inflight_gauge t =
+  Metrics.gauge t.metrics ~help:"RPC calls awaiting a reply." "rpc_calls_in_flight"
 
 (* Wire format: kind '|' id '|' service '|' body.  The few header bytes
    model transport framing; the body carries the real (XML) payload whose
@@ -108,11 +151,18 @@ let unescape_service s =
   end
 
 let encode_request id service body = Printf.sprintf "Q|%d|%s|%s" id (escape_service service) body
+
+(* The trace context travels as one extra escaped header segment; replies
+   need none (the pending table already knows which span awaits them). *)
+let encode_traced_request id service ~trace body =
+  Printf.sprintf "T|%d|%s|%s|%s" id (escape_service service) (escape_service trace) body
+
 let encode_reply id body = Printf.sprintf "A|%d||%s" id body
 let encode_error id msg = Printf.sprintf "E|%d||%s" id msg
 
 type frame =
   | Request of int * string * string
+  | Traced_request of { id : int; service : string; trace : string; body : string }
   | Reply of int * string
   | Error_frame of int * string
 
@@ -131,26 +181,57 @@ let decode payload =
         let body = String.sub payload (third + 1) (String.length payload - third - 1) in
         (match kind with
         | "Q" -> Some (Request (id, service, body))
+        | "T" -> (
+          match String.index_from_opt payload (third + 1) '|' with
+          | None -> None
+          | Some fourth ->
+            let trace = unescape_service (String.sub payload (third + 1) (fourth - third - 1)) in
+            let body = String.sub payload (fourth + 1) (String.length payload - fourth - 1) in
+            Some (Traced_request { id; service; trace; body }))
         | "A" -> Some (Reply (id, body))
         | "E" -> Some (Error_frame (id, body))
         | _ -> None)
       | _ -> None))
   [@@warning "-4"]
 
+let dispatch_request t (msg : Net.message) id service trace body =
+  match Hashtbl.find_opt t.services (msg.Net.dst, service) with
+  | None ->
+    Net.send t.net ~src:msg.Net.dst ~dst:msg.Net.src ~category:"rpc-error"
+      (encode_error id ("no-such-service:" ^ service))
+  | Some handler ->
+    Metrics.inc (served_counter t service);
+    let span =
+      if Trace.enabled t.tracer then begin
+        let s =
+          match trace with
+          | Some ctx -> Trace.start_span t.tracer ~parent:ctx ("serve:" ^ service)
+          | None -> Trace.start_span t.tracer ("serve:" ^ service)
+        in
+        Trace.annotate s "node" msg.Net.dst;
+        Trace.annotate s "caller" msg.Net.src;
+        Some s
+      end
+      else None
+    in
+    let reply body =
+      (* The server span closes when the handler replies — possibly much
+         later than the handler returned, after its own nested calls. *)
+      Option.iter (fun s -> Trace.finish t.tracer s) span;
+      Net.send t.net ~src:msg.Net.dst ~dst:msg.Net.src ~category:(msg.Net.category ^ "-reply")
+        (encode_reply id body)
+    in
+    let saved = Trace.current t.tracer in
+    Option.iter (fun s -> Trace.set_current t.tracer (Some (Trace.context s))) span;
+    handler ~caller:msg.Net.src body reply;
+    Trace.set_current t.tracer saved
+
 let handle_message t (msg : Net.message) =
   match decode msg.Net.payload with
   | None -> ()
-  | Some (Request (id, service, body)) -> (
-    match Hashtbl.find_opt t.services (msg.Net.dst, service) with
-    | None ->
-      Net.send t.net ~src:msg.Net.dst ~dst:msg.Net.src ~category:"rpc-error"
-        (encode_error id ("no-such-service:" ^ service))
-    | Some handler ->
-      let reply body =
-        Net.send t.net ~src:msg.Net.dst ~dst:msg.Net.src ~category:(msg.Net.category ^ "-reply")
-          (encode_reply id body)
-      in
-      handler ~caller:msg.Net.src body reply)
+  | Some (Request (id, service, body)) -> dispatch_request t msg id service None body
+  | Some (Traced_request { id; service; trace; body }) ->
+    dispatch_request t msg id service (Trace.context_of_string trace) body
   | Some (Reply (id, body)) -> (
     match Hashtbl.find_opt t.pending id with
     | None -> () (* reply after timeout: drop *)
@@ -171,22 +252,23 @@ let handle_message t (msg : Net.message) =
       p.k (Error err))
 
 let create net =
-  let t =
-    {
-      net;
-      services = Hashtbl.create 64;
-      pending = Hashtbl.create 64;
-      next_id = 0;
-      breaker_config = None;
-      breakers = Hashtbl.create 16;
-      retries_total = 0;
-      trips_total = 0;
-      rejections_total = 0;
-    }
-  in
-  t
+  let now () = Net.now net in
+  let next_id () = Dacs_crypto.Rng.next_int64 (Engine.rng (Net.engine net)) in
+  {
+    net;
+    services = Hashtbl.create 64;
+    pending = Hashtbl.create 64;
+    next_id = 0;
+    breaker_config = None;
+    breakers = Hashtbl.create 16;
+    metrics = Metrics.create ~now ();
+    tracer = Trace.create ~now ~next_id ();
+  }
 
 let net t = t.net
+let metrics t = t.metrics
+let tracer t = t.tracer
+let set_tracing t on = Trace.set_enabled t.tracer on
 
 let ensure_dispatch t node =
   Net.add_node t.net node;
@@ -200,9 +282,47 @@ let call t ~src ~dst ~service ?(timeout = 1.0) ?category body k =
   ensure_dispatch t src;
   let id = t.next_id in
   t.next_id <- t.next_id + 1;
-  Hashtbl.replace t.pending id { k };
+  Metrics.inc (calls_counter t service);
+  let started = Net.now t.net in
+  (* One client span per call attempt, parented on the ambient context —
+     the span under which the caller's code is currently running.  Its
+     context rides inside the request frame, and the continuation runs
+     with the ambient context restored to the caller's, so nested calls
+     made from continuations still stitch into the same tree. *)
+  let initiating = Trace.current t.tracer in
+  let span =
+    if Trace.enabled t.tracer then begin
+      let s = Trace.start_span t.tracer ("rpc:" ^ service) in
+      Trace.annotate s "src" src;
+      Trace.annotate s "dst" dst;
+      Some s
+    end
+    else None
+  in
+  let finish result =
+    Metrics.observe (latency_histogram t service) (Net.now t.net -. started);
+    (match result with
+    | Ok _ -> ()
+    | Error e ->
+      Metrics.inc (errors_counter t service);
+      Option.iter (fun s -> Trace.set_status s (Trace.Span_error (error_to_string e))) span);
+    Option.iter (fun s -> Trace.finish t.tracer s) span;
+    Metrics.set_gauge (inflight_gauge t) (float_of_int (Hashtbl.length t.pending));
+    let saved = Trace.current t.tracer in
+    Trace.set_current t.tracer initiating;
+    k result;
+    Trace.set_current t.tracer saved
+  in
+  Hashtbl.replace t.pending id { k = finish };
+  Metrics.set_gauge (inflight_gauge t) (float_of_int (Hashtbl.length t.pending));
   let category = Option.value category ~default:service in
-  Net.send t.net ~src ~dst ~category (encode_request id service body);
+  let payload =
+    match span with
+    | Some s ->
+      encode_traced_request id service ~trace:(Trace.context_to_string (Trace.context s)) body
+    | None -> encode_request id service body
+  in
+  Net.send t.net ~src ~dst ~category payload;
   Engine.schedule (Net.engine t.net) ~delay:timeout (fun () ->
       match Hashtbl.find_opt t.pending id with
       | None -> ()
@@ -237,31 +357,30 @@ let breaker_state t dst =
     | s -> s)
 
 (* [true] when the attempt may be sent. *)
-let breaker_admit t ~notify dst =
+let breaker_admit t ~src ~notify dst =
   match t.breaker_config with
   | None -> true
   | Some cfg -> (
     let b = breaker_for t dst in
+    let reject () =
+      Metrics.inc (rejections_counter t src);
+      Trace.record t.tracer ("breaker-rejected " ^ dst);
+      notify (Breaker_rejected dst);
+      false
+    in
     match b.b_state with
     | Closed -> true
     | Open ->
       if Net.now t.net >= b.opened_at +. cfg.cooldown then begin
         b.b_state <- Half_open;
         b.probe_in_flight <- true;
+        Trace.record t.tracer ("breaker-half-open " ^ dst);
         notify (Breaker_half_opened dst);
         true
       end
-      else begin
-        t.rejections_total <- t.rejections_total + 1;
-        notify (Breaker_rejected dst);
-        false
-      end
+      else reject ()
     | Half_open ->
-      if b.probe_in_flight then begin
-        t.rejections_total <- t.rejections_total + 1;
-        notify (Breaker_rejected dst);
-        false
-      end
+      if b.probe_in_flight then reject ()
       else begin
         b.probe_in_flight <- true;
         true
@@ -277,11 +396,12 @@ let breaker_success t ~notify dst =
       b.b_state <- Closed;
       b.probe_in_flight <- false;
       b.consecutive_failures <- 0;
+      Trace.record t.tracer ("breaker-closed " ^ dst);
       notify (Breaker_closed dst)
     | Closed -> b.consecutive_failures <- 0
     | Open -> () (* a straggler reply from before the trip; stay open until probed *))
 
-let breaker_failure t ~notify dst =
+let breaker_failure t ~src ~notify dst =
   match t.breaker_config with
   | None -> ()
   | Some cfg -> (
@@ -290,7 +410,8 @@ let breaker_failure t ~notify dst =
       b.b_state <- Open;
       b.probe_in_flight <- false;
       b.opened_at <- Net.now t.net;
-      t.trips_total <- t.trips_total + 1;
+      Metrics.inc (trips_counter t src);
+      Trace.record t.tracer ("breaker-opened " ^ dst);
       notify (Breaker_opened dst)
     in
     match b.b_state with
@@ -303,7 +424,11 @@ let breaker_failure t ~notify dst =
 (* --- resilient calls ---------------------------------------------------------- *)
 
 let resilience_stats t =
-  { retries = t.retries_total; breaker_trips = t.trips_total; breaker_rejections = t.rejections_total }
+  {
+    retries = Metrics.sum_counter t.metrics "rpc_retries_total";
+    breaker_trips = Metrics.sum_counter t.metrics "rpc_breaker_trips_total";
+    breaker_rejections = Metrics.sum_counter t.metrics "rpc_breaker_rejections_total";
+  }
 
 let backoff_delay t retry failures =
   let d = ref retry.base_delay in
@@ -323,28 +448,37 @@ let call_resilient t ~src ~dst ~service ?timeout ?category ?(retry = no_retry) ?
     body k =
   if retry.attempts < 1 then invalid_arg "Rpc.call_resilient: attempts must be >= 1";
   let engine = Net.engine t.net in
+  (* Backoff waits run as fresh engine callbacks with no ambient trace
+     context; re-instate the initiator's so every attempt's span lands
+     under the same parent. *)
+  let initiating = Trace.current t.tracer in
   let rec attempt n =
-    if not (breaker_admit t ~notify dst) then after_failure n (Circuit_open dst)
-    else
-      call t ~src ~dst ~service ?timeout ?category body (fun result ->
-          match result with
-          | Ok reply ->
-            breaker_success t ~notify dst;
-            k (Ok reply)
-          | Error Timeout ->
-            breaker_failure t ~notify dst;
-            after_failure n Timeout
-          | Error (No_such_service _ as e) ->
-            (* The target answered: not a health failure, and retrying the
-               same missing service cannot succeed. *)
-            k (Error e)
-          | Error (Circuit_open _ as e) -> after_failure n e)
+    let saved = Trace.current t.tracer in
+    Trace.set_current t.tracer initiating;
+    (if not (breaker_admit t ~src ~notify dst) then after_failure n (Circuit_open dst)
+     else
+       call t ~src ~dst ~service ?timeout ?category body (fun result ->
+           match result with
+           | Ok reply ->
+             breaker_success t ~notify dst;
+             k (Ok reply)
+           | Error Timeout ->
+             breaker_failure t ~src ~notify dst;
+             after_failure n Timeout
+           | Error (No_such_service _ as e) ->
+             (* The target answered: not a health failure, and retrying the
+                same missing service cannot succeed. *)
+             k (Error e)
+           | Error (Circuit_open _ as e) -> after_failure n e));
+    Trace.set_current t.tracer saved
   and after_failure n err =
     notify (Attempt_failed { target = dst; attempt = n; error = err });
     if n >= retry.attempts then k (Error err)
     else begin
       let delay = backoff_delay t retry n in
-      t.retries_total <- t.retries_total + 1;
+      Metrics.inc (retries_counter t src);
+      Trace.record t.tracer
+        (Printf.sprintf "retry %d -> %s after %s" (n + 1) dst (error_to_string err));
       notify (Retrying { target = dst; attempt = n + 1; delay });
       Engine.schedule engine ~delay (fun () -> attempt (n + 1))
     end

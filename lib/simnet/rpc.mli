@@ -23,6 +23,26 @@ val error_to_string : error -> string
 val create : Net.t -> t
 val net : t -> Net.t
 
+(** {1 Telemetry}
+
+    Every bus carries a metrics registry (always on, clocked by the
+    network's virtual time) and a tracer (off by default).  The RPC layer
+    instruments itself: per-service call/error counters and latency
+    histograms, per-caller resilience counters, and — when tracing is
+    enabled — one client span per call attempt plus one server span per
+    dispatched request, stitched together by the trace context each
+    request frame carries. *)
+
+val metrics : t -> Dacs_telemetry.Metrics.t
+(** The shared registry.  Components living on this bus register their
+    own series here, which is what makes resets consistent everywhere. *)
+
+val tracer : t -> Dacs_telemetry.Trace.t
+
+val set_tracing : t -> bool -> unit
+(** Enable/disable span recording.  While disabled no RNG draws are made
+    for ids, so an untraced run's random sequence is unperturbed. *)
+
 val serve :
   t ->
   node:Net.node_id ->
@@ -114,7 +134,10 @@ type resilience_event =
 type resilience_stats = { retries : int; breaker_trips : int; breaker_rejections : int }
 
 val resilience_stats : t -> resilience_stats
-(** Bus-wide counters across all resilient calls. *)
+(** Bus-wide counters across all resilient calls — a thin read summing
+    the per-caller [rpc_retries_total]/[rpc_breaker_trips_total]/
+    [rpc_breaker_rejections_total{src}] series in {!metrics}, so a
+    component resetting its own series is immediately reflected here. *)
 
 val call_resilient :
   t ->
@@ -143,10 +166,15 @@ val call_resilient :
 
 type frame =
   | Request of int * string * string  (** id, service, body *)
+  | Traced_request of { id : int; service : string; trace : string; body : string }
+      (** A request carrying a trace context (see
+          {!Dacs_telemetry.Trace.context_to_string}) — what propagates a
+          span tree across PEP → PDP → PIP/PAP hops. *)
   | Reply of int * string
   | Error_frame of int * string
 
 val encode_request : int -> string -> string -> string
+val encode_traced_request : int -> string -> trace:string -> string -> string
 val encode_reply : int -> string -> string
 val encode_error : int -> string -> string
 val decode : string -> frame option

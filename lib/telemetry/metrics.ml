@@ -1,0 +1,259 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type histogram = {
+  bounds : float array;  (* strictly increasing upper bounds, no +Inf *)
+  counts : int array;  (* length = Array.length bounds + 1 (overflow) *)
+  mutable sum : float;
+  mutable count : int;
+}
+
+type instrument = I_counter of counter | I_gauge of gauge | I_histogram of histogram
+
+type kind = K_counter | K_gauge | K_histogram
+
+let kind_name = function
+  | K_counter -> "counter"
+  | K_gauge -> "gauge"
+  | K_histogram -> "histogram"
+
+type t = {
+  now : unit -> float;
+  series : (string * (string * string) list, instrument) Hashtbl.t;
+  meta : (string, kind * string) Hashtbl.t;  (* name -> kind, help *)
+}
+
+let create ?(now = fun () -> 0.0) () = { now; series = Hashtbl.create 64; meta = Hashtbl.create 32 }
+
+let now t = t.now ()
+
+let valid_name name =
+  name <> ""
+  && (match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       name
+
+let canonical_labels name labels =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) labels in
+  let rec dup = function
+    | (a, _) :: ((b, _) :: _ as rest) -> if a = b then Some a else dup rest
+    | _ -> None
+  in
+  (match dup sorted with
+  | Some k -> invalid_arg (Printf.sprintf "Metrics: duplicate label %S on %s" k name)
+  | None -> ());
+  sorted
+
+let register t ~name ~labels ~kind ~help ~make ~cast =
+  if not (valid_name name) then invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name);
+  let labels = canonical_labels name labels in
+  (match Hashtbl.find_opt t.meta name with
+  | Some (k, _) when k <> kind ->
+    invalid_arg
+      (Printf.sprintf "Metrics: %s already registered as a %s, not a %s" name (kind_name k)
+         (kind_name kind))
+  | Some _ -> ()
+  | None -> Hashtbl.replace t.meta name (kind, help));
+  match Hashtbl.find_opt t.series (name, labels) with
+  | Some i -> cast i
+  | None ->
+    let i = make () in
+    Hashtbl.replace t.series (name, labels) i;
+    cast i
+
+let counter t ?(help = "") ?(labels = []) name =
+  register t ~name ~labels ~kind:K_counter ~help
+    ~make:(fun () -> I_counter { c = 0 })
+    ~cast:(function I_counter c -> c | I_gauge _ | I_histogram _ -> assert false)
+
+let inc ?(by = 1) counter =
+  if by < 0 then invalid_arg "Metrics.inc: counters only go up";
+  counter.c <- counter.c + by
+
+let counter_value counter = counter.c
+
+let gauge t ?(help = "") ?(labels = []) name =
+  register t ~name ~labels ~kind:K_gauge ~help
+    ~make:(fun () -> I_gauge { g = 0.0 })
+    ~cast:(function I_gauge g -> g | I_counter _ | I_histogram _ -> assert false)
+
+let set_gauge gauge v = gauge.g <- v
+let add_gauge gauge v = gauge.g <- gauge.g +. v
+let gauge_value gauge = gauge.g
+
+let default_latency_buckets =
+  [ 0.001; 0.0025; 0.005; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0 ]
+
+let histogram t ?(help = "") ?(labels = []) ?(buckets = default_latency_buckets) name =
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | [ _ ] | [] -> true
+  in
+  if buckets = [] || not (increasing buckets) then
+    invalid_arg (Printf.sprintf "Metrics: buckets of %s must be strictly increasing" name);
+  register t ~name ~labels ~kind:K_histogram ~help
+    ~make:(fun () ->
+      let bounds = Array.of_list buckets in
+      I_histogram
+        { bounds; counts = Array.make (Array.length bounds + 1) 0; sum = 0.0; count = 0 })
+    ~cast:(function I_histogram h -> h | I_counter _ | I_gauge _ -> assert false)
+
+let observe h v =
+  let n = Array.length h.bounds in
+  let rec slot i = if i >= n then n else if v <= h.bounds.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.sum <- h.sum +. v;
+  h.count <- h.count + 1
+
+let histogram_count h = h.count
+let histogram_sum h = h.sum
+
+let bucket_counts h =
+  List.init
+    (Array.length h.counts)
+    (fun i ->
+      ((if i < Array.length h.bounds then h.bounds.(i) else infinity), h.counts.(i)))
+
+let reset_counter counter = counter.c <- 0
+let reset_gauge gauge = gauge.g <- 0.0
+
+let reset_histogram h =
+  Array.fill h.counts 0 (Array.length h.counts) 0;
+  h.sum <- 0.0;
+  h.count <- 0
+
+let reset t =
+  Hashtbl.iter
+    (fun _ i ->
+      match i with
+      | I_counter c -> reset_counter c
+      | I_gauge g -> reset_gauge g
+      | I_histogram h -> reset_histogram h)
+    t.series
+
+(* --- snapshot ----------------------------------------------------------- *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { buckets : (float * int) list; sum : float; count : int }
+
+type sample = { name : string; labels : (string * string) list; value : value }
+
+let snapshot t =
+  let all =
+    Hashtbl.fold
+      (fun (name, labels) i acc ->
+        let value =
+          match i with
+          | I_counter c -> Counter c.c
+          | I_gauge g -> Gauge g.g
+          | I_histogram h -> Histogram { buckets = bucket_counts h; sum = h.sum; count = h.count }
+        in
+        { name; labels; value } :: acc)
+      t.series []
+  in
+  List.sort (fun a b -> compare (a.name, a.labels) (b.name, b.labels)) all
+
+let sum_counter t name =
+  Hashtbl.fold
+    (fun (n, _) i acc -> match i with I_counter c when n = name -> acc + c.c | _ -> acc)
+    t.series 0
+
+let series_count t = Hashtbl.length t.series
+
+(* --- exposition --------------------------------------------------------- *)
+
+(* %.12g keeps exact small decimals (0.005 renders as "0.005") while
+   staying byte-stable for a given value. *)
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let label_str labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+    "{"
+    ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+    ^ "}"
+
+let render t =
+  let stamp = Printf.sprintf " %.0f" (t.now () *. 1000.0) in
+  let buf = Buffer.create 1024 in
+  let seen_header = Hashtbl.create 16 in
+  let header name =
+    if not (Hashtbl.mem seen_header name) then begin
+      Hashtbl.replace seen_header name ();
+      let kind, help = try Hashtbl.find t.meta name with Not_found -> (K_gauge, "") in
+      if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name (kind_name kind))
+    end
+  in
+  List.iter
+    (fun s ->
+      header s.name;
+      match s.value with
+      | Counter c ->
+        Buffer.add_string buf (Printf.sprintf "%s%s %d%s\n" s.name (label_str s.labels) c stamp)
+      | Gauge g ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %s%s\n" s.name (label_str s.labels) (float_str g) stamp)
+      | Histogram { buckets; sum; count } ->
+        let cumulative = ref 0 in
+        List.iter
+          (fun (le, n) ->
+            cumulative := !cumulative + n;
+            let le_str = if le = infinity then "+Inf" else float_str le in
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket%s %d%s\n" s.name
+                 (label_str (s.labels @ [ ("le", le_str) ]))
+                 !cumulative stamp))
+          buckets;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum%s %s%s\n" s.name (label_str s.labels) (float_str sum) stamp);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_count%s %d%s\n" s.name (label_str s.labels) count stamp))
+    (snapshot t);
+  Buffer.contents buf
+
+(* --- JSON --------------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_json t =
+  let labels_json labels =
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%S:%S" (json_escape k) (json_escape v)) labels)
+    ^ "}"
+  in
+  let sample_json s =
+    let common = Printf.sprintf "\"name\":%S,\"labels\":%s" (json_escape s.name) (labels_json s.labels) in
+    match s.value with
+    | Counter c -> Printf.sprintf "{%s,\"type\":\"counter\",\"value\":%d}" common c
+    | Gauge g -> Printf.sprintf "{%s,\"type\":\"gauge\",\"value\":%s}" common (float_str g)
+    | Histogram { buckets; sum; count } ->
+      Printf.sprintf "{%s,\"type\":\"histogram\",\"buckets\":[%s],\"sum\":%s,\"count\":%d}" common
+        (String.concat ","
+           (List.map
+              (fun (le, n) ->
+                Printf.sprintf "[%s,%d]" (if le = infinity then "\"+Inf\"" else float_str le) n)
+              buckets))
+        (float_str sum) count
+  in
+  Printf.sprintf "{\"at\":%s,\"metrics\":[%s]}" (float_str (t.now ()))
+    (String.concat "," (List.map sample_json (snapshot t)))

@@ -7,6 +7,8 @@ let create rpc = { rpc }
 
 let rpc t = t.rpc
 let net t = Rpc.net t.rpc
+let metrics t = Rpc.metrics t.rpc
+let tracer t = Rpc.tracer t.rpc
 
 type handler =
   caller:Dacs_net.Net.node_id ->

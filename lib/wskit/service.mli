@@ -11,6 +11,12 @@ val create : Dacs_net.Rpc.t -> t
 val rpc : t -> Dacs_net.Rpc.t
 val net : t -> Dacs_net.Net.t
 
+val metrics : t -> Dacs_telemetry.Metrics.t
+(** The underlying bus's shared metrics registry (see {!Dacs_net.Rpc.metrics}). *)
+
+val tracer : t -> Dacs_telemetry.Trace.t
+(** The underlying bus's tracer. *)
+
 type handler =
   caller:Dacs_net.Net.node_id ->
   headers:Dacs_xml.Xml.t list ->

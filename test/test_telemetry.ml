@@ -1,0 +1,258 @@
+(* Telemetry suite: the metrics registry (bucket semantics, label-set
+   identity, reset consistency with the RPC bus) and the tracing layer
+   (context propagation through RPC frames, the golden Fig. 3 span tree).
+
+   The golden-tree test is the paper's Fig. 3 pull flow made visible: one
+   client request produces exactly one trace whose spans are the PEP ->
+   PDP -> PIP/PAP hops, each with a non-zero virtual-time latency. *)
+
+module Metrics = Dacs_telemetry.Metrics
+module Trace = Dacs_telemetry.Trace
+module Net = Dacs_net.Net
+module Rpc = Dacs_net.Rpc
+module Service = Dacs_ws.Service
+module Value = Dacs_policy.Value
+module Policy = Dacs_policy.Policy
+module Rule = Dacs_policy.Rule
+module Target = Dacs_policy.Target
+module Combine = Dacs_policy.Combine
+open Dacs_core
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+let string_ = Alcotest.string
+
+(* --- histogram bucket boundaries -------------------------------------------- *)
+
+let test_histogram_buckets () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~buckets:[ 0.1; 0.5; 1.0 ] "lat_seconds" in
+  (* Prometheus [le] semantics: a value lands in the first bucket whose
+     upper bound is >= v, so an exact boundary stays in its own bucket. *)
+  List.iter (Metrics.observe h) [ 0.05; 0.1; 0.100001; 0.5; 1.0; 2.5 ];
+  (match Metrics.bucket_counts h with
+  | [ (b1, c1); (b2, c2); (b3, c3); (binf, cinf) ] ->
+    check (Alcotest.float 1e-9) "bound 1" 0.1 b1;
+    check int_ "le 0.1 (0.05 and the exact boundary)" 2 c1;
+    check (Alcotest.float 1e-9) "bound 2" 0.5 b2;
+    check int_ "0.1 < v <= 0.5" 2 c2;
+    check (Alcotest.float 1e-9) "bound 3" 1.0 b3;
+    check int_ "0.5 < v <= 1.0" 1 c3;
+    check bool_ "last bound is +Inf" true (binf = infinity);
+    check int_ "overflow" 1 cinf
+  | l -> Alcotest.failf "expected 4 buckets, got %d" (List.length l));
+  check int_ "count" 6 (Metrics.histogram_count h);
+  check bool_ "sum" true (abs_float (Metrics.histogram_sum h -. 4.250001) < 1e-9);
+  Metrics.reset_histogram h;
+  check int_ "count after reset" 0 (Metrics.histogram_count h);
+  check bool_ "buckets survive reset" true
+    (List.map fst (Metrics.bucket_counts h) = [ 0.1; 0.5; 1.0; infinity ])
+
+let test_histogram_validation () =
+  let m = Metrics.create () in
+  Alcotest.check_raises "non-increasing buckets"
+    (Invalid_argument "Metrics: buckets of bad_hist must be strictly increasing")
+    (fun () -> ignore (Metrics.histogram m ~buckets:[ 0.5; 0.5 ] "bad_hist"))
+
+(* --- label-set identity -------------------------------------------------- *)
+
+let test_label_identity () =
+  let m = Metrics.create () in
+  let a = Metrics.counter m ~labels:[ ("node", "pep"); ("kind", "pull") ] "requests_total" in
+  (* Same label set in a different order: the very same cell. *)
+  let b = Metrics.counter m ~labels:[ ("kind", "pull"); ("node", "pep") ] "requests_total" in
+  Metrics.inc a;
+  Metrics.inc b;
+  check int_ "one shared cell" 2 (Metrics.counter_value a);
+  (* A different label set is a different cell under the same name. *)
+  let c = Metrics.counter m ~labels:[ ("node", "pep2"); ("kind", "pull") ] "requests_total" in
+  check int_ "distinct cell" 0 (Metrics.counter_value c);
+  Metrics.inc c;
+  check int_ "sum across label sets" 3 (Metrics.sum_counter m "requests_total");
+  check int_ "series count" 2 (Metrics.series_count m);
+  (* One name, one instrument kind. *)
+  check bool_ "kind conflict raises" true
+    (try
+       ignore (Metrics.gauge m "requests_total");
+       false
+     with Invalid_argument _ -> true)
+
+let test_render_no_duplicate_names () =
+  let m = Metrics.create ~now:(fun () -> 1.5) () in
+  ignore (Metrics.counter m ~labels:[ ("node", "a") ] "x_total");
+  ignore (Metrics.counter m ~labels:[ ("node", "b") ] "x_total");
+  ignore (Metrics.gauge m "y");
+  let rendered = Metrics.render m in
+  let type_lines =
+    List.filter (fun l -> String.length l >= 6 && String.sub l 0 6 = "# TYPE")
+      (String.split_on_char '\n' rendered)
+  in
+  (* One TYPE header per metric name, even with several label sets. *)
+  check int_ "one TYPE header per name" 2 (List.length type_lines);
+  check int_ "no duplicate TYPE headers" 2
+    (List.length (List.sort_uniq compare type_lines))
+
+(* --- reset consistency across the bus (the satellite fix) ------------------- *)
+
+let deny_all_policy =
+  Policy.Inline_policy
+    (Policy.make ~id:"p" ~rule_combining:Combine.First_applicable [ Rule.deny "deny-all" ])
+
+let test_reset_consistency () =
+  let net = Net.create ~seed:5L () in
+  let rpc = Rpc.create net in
+  let services = Service.create rpc in
+  List.iter (Net.add_node net) [ "pep"; "pdp"; "cli" ];
+  ignore (Pdp_service.create services ~node:"pdp" ~name:"pdp" ~root:deny_all_policy ());
+  let pep =
+    Pep.create services ~node:"pep" ~domain:"d" ~resource:"r"
+      (Pep.Pull { pdps = [ "pdp" ]; cache = None; call_timeout = 0.2 })
+  in
+  Pep.set_retry_policy pep
+    (Some { Rpc.attempts = 3; base_delay = 0.05; multiplier = 2.0; max_delay = 1.0; jitter = 0.0 });
+  Net.crash net "pdp";
+  let client =
+    Client.create services ~node:"cli" ~subject:[ ("subject-id", Value.String "u") ]
+  in
+  Client.request client ~pep:"pep" ~action:"read" ~timeout:10.0 (fun _ -> ());
+  Net.run net;
+  (* The PEP's resilient call retried twice; both its own stats and the
+     bus-wide aggregate see the same underlying counters. *)
+  check int_ "pep saw retries" 2 (Pep.stats pep).Pep.retries;
+  check int_ "bus saw the same retries" 2 (Rpc.resilience_stats rpc).Rpc.retries;
+  Pep.reset_stats pep;
+  check int_ "pep reset" 0 (Pep.stats pep).Pep.retries;
+  (* Regression (PR 2 satellite): this used to stay at 2 because the bus
+     kept its own mutable total that Pep.reset_stats never touched. *)
+  check int_ "bus reset too" 0 (Rpc.resilience_stats rpc).Rpc.retries
+
+(* --- trace context through an RPC frame (QCheck) ----------------------------- *)
+
+let context_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"trace context survives the RPC frame"
+    QCheck.(
+      quad (map Int64.of_int int) (map Int64.of_int int) small_nat
+        (pair printable_string printable_string))
+    (fun (trace_id, span_id, id, (service, body)) ->
+      let ctx = { Trace.trace_id; span_id } in
+      let trace = Trace.context_to_string ctx in
+      match Rpc.decode (Rpc.encode_traced_request id service ~trace body) with
+      | Some (Rpc.Traced_request { id = id'; service = service'; trace = trace'; body = body' })
+        ->
+        id' = id && service' = service && body' = body
+        && Trace.context_of_string trace' = Some ctx
+      | _ -> false)
+
+(* --- golden span tree: the Fig. 3 pull flow --------------------------------- *)
+
+(* Mirror of the CLI's observability scenario (bin/dacs.ml): a full
+   domain (PEP, PDP, PAP, PIP) where the client presents only its
+   subject-id, forcing the PDP to fetch the role attribute from the PIP
+   and the policy from the PAP. *)
+let pull_flow_scenario ~seed =
+  let net = Net.create ~seed () in
+  let rpc = Rpc.create net in
+  let services = Service.create rpc in
+  Rpc.set_tracing rpc true;
+  let domain = Domain.create services ~name:"demo" () in
+  Domain.set_local_policy domain
+    (Policy.Inline_policy
+       (Policy.make ~id:"demo-policy" ~rule_combining:Combine.First_applicable
+          [
+            Rule.permit
+              ~target:
+                Target.(any |> subject_is "role" "admin" |> action_is "action-id" "read")
+              "admins-read";
+            Rule.deny "default-deny";
+          ]));
+  let cache =
+    Decision_cache.create ~metrics:(Rpc.metrics rpc) ~owner:"demo-resource" ~ttl:2.0 ()
+  in
+  let pep = Domain.expose_resource domain ~resource:"demo-resource" ~content:"42" ~cache () in
+  Domain.register_user domain ~user:"admin1" [ ("role", Value.String "admin") ];
+  Net.add_node net "cli";
+  let client =
+    Client.create services ~node:"cli" ~subject:[ ("subject-id", Value.String "admin1") ]
+  in
+  let outcome = ref None in
+  Client.request client ~pep:(Pep.node pep) ~action:"read" (fun r -> outcome := Some r);
+  Net.run net;
+  (rpc, !outcome)
+
+let golden_tree =
+  String.concat "\n"
+    [
+      "trace 63cbe1e459320dd7  (10 spans, 40.0ms)";
+      "`- rpc:access  [+0.0ms 40.0ms]  src=cli dst=demo.pep.demo-resource";
+      "   `- serve:access  [+5.0ms 30.0ms]  node=demo.pep.demo-resource caller=cli";
+      "      `- pep:enforce  [+5.0ms 30.0ms]  node=demo.pep.demo-resource subject=admin1 \
+       action=read decision=Permit";
+      "         `- rpc:authz-query  [+5.0ms 30.0ms]  src=demo.pep.demo-resource dst=demo.pdp";
+      "            `- serve:authz-query  [+10.0ms 20.0ms]  node=demo.pdp \
+       caller=demo.pep.demo-resource";
+      "               `- pdp:evaluate  [+10.0ms 20.0ms]  node=demo.pdp decision=Permit";
+      "                  |- rpc:policy-query  [+10.0ms 10.0ms]  src=demo.pdp dst=demo.pap";
+      "                  |  `- serve:policy-query  [+15.0ms 0.0ms]  node=demo.pap caller=demo.pdp";
+      "                  `- rpc:attribute-query  [+20.0ms 10.0ms]  src=demo.pdp dst=demo.pip";
+      "                     `- serve:attribute-query  [+25.0ms 0.0ms]  node=demo.pip \
+       caller=demo.pdp";
+      "";
+    ]
+
+let test_golden_pull_trace () =
+  let rpc, outcome = pull_flow_scenario ~seed:7L in
+  (match outcome with
+  | Some (Ok (Wire.Granted { content; _ })) -> check string_ "granted" "42" content
+  | _ -> Alcotest.fail "expected a granted pull request");
+  let tr = Rpc.tracer rpc in
+  check int_ "one trace" 1 (List.length (Trace.trace_ids tr));
+  check string_ "golden span tree" golden_tree (Trace.render_tree tr)
+
+let test_trace_determinism () =
+  let render seed =
+    let rpc, _ = pull_flow_scenario ~seed in
+    Trace.render_tree (Rpc.tracer rpc)
+  in
+  check string_ "same seed, byte-identical tree" (render 7L) (render 7L);
+  check bool_ "different seed, different ids" true (render 7L <> render 8L)
+
+let test_tracing_off_is_free () =
+  let net = Net.create ~seed:7L () in
+  let rpc = Rpc.create net in
+  let tr = Rpc.tracer rpc in
+  check bool_ "off by default" false (Trace.enabled tr);
+  (* While disabled, start_span mints no ids and records nothing, so the
+     engine's RNG stream is exactly what an untraced run sees. *)
+  let before = Dacs_crypto.Rng.next_int64 (Dacs_net.Engine.rng (Net.engine net)) in
+  let span = Trace.start_span tr "noop" in
+  Trace.annotate span "k" "v";
+  Trace.finish tr span;
+  check int_ "nothing recorded" 0 (Trace.span_count tr);
+  let net2 = Net.create ~seed:7L () in
+  let rng2 = Dacs_net.Engine.rng (Net.engine net2) in
+  check bool_ "rng stream unperturbed" true
+    (Dacs_crypto.Rng.next_int64 rng2 = before)
+
+(* --- suite ------------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "dacs_telemetry"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram bucket boundaries" `Quick test_histogram_buckets;
+          Alcotest.test_case "histogram validation" `Quick test_histogram_validation;
+          Alcotest.test_case "label-set identity" `Quick test_label_identity;
+          Alcotest.test_case "exposition has no duplicate headers" `Quick
+            test_render_no_duplicate_names;
+          Alcotest.test_case "reset is consistent across the bus" `Quick test_reset_consistency;
+        ] );
+      ( "tracing",
+        [
+          QCheck_alcotest.to_alcotest context_roundtrip;
+          Alcotest.test_case "golden Fig. 3 pull-flow span tree" `Quick test_golden_pull_trace;
+          Alcotest.test_case "trace output deterministic per seed" `Quick test_trace_determinism;
+          Alcotest.test_case "disabled tracing mints no ids" `Quick test_tracing_off_is_free;
+        ] );
+    ]
