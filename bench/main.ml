@@ -1034,6 +1034,119 @@ let e15_telemetry () =
   Printf.printf "%-38s %10.1f %9.2fx\n" "  tracing on (10-span tree)" on (on /. off)
 
 (* ==================================================================== *)
+(* E16 — sharded, batched PDP tier: shard count x batch size ablation   *)
+(* ==================================================================== *)
+
+let e16_sharded_tier () =
+  header "E16  Sharded, batched PDP tier (shard count x batch size ablation)"
+    "hash-partitioning the Fig. 3 flow across PDP replicas multiplies sustained \
+     throughput near-linearly in shards (>= 3x at 4 shards), and batching cuts \
+     per-request message cost without changing any decision";
+  let requests = 200 in
+  let service_time = 0.004 (* seconds of PDP evaluation capacity per query *) in
+  let policy = doctor_read_policy ~id:"vo-policy" ~issuer:"vo" "shared" in
+  (* One VO workload run: [requests] distinct users burst at the same
+     virtual instant against one enforcement point.  Throughput is
+     requests / virtual makespan, so it measures the architecture (queueing
+     at the decision points), not the host machine. *)
+  let run ~shards ~batch =
+    let net, services = fresh () in
+    let domain = Domain.create services ~name:"org" () in
+    let vo = Vo.form services ~name:"vo" [ domain ] in
+    Vo.publish_policy vo policy;
+    Net.run net;
+    Net.add_node net "vo.pep";
+    let tier_stats, pdp_nodes, pep =
+      if shards = 0 then begin
+        (* Single-PDP baseline: classic pull mode, same capacity model. *)
+        Net.add_node net "vo.pdp.single";
+        ignore
+          (Pdp_service.create services ~node:"vo.pdp.single" ~name:"single" ~root:policy
+             ~refresh:Pdp_service.Never ~service_time ());
+        ( (fun () -> None),
+          [ "vo.pdp.single" ],
+          Pep.create services ~node:"vo.pep" ~domain:"vo" ~resource:"shared" ~content:"x"
+            (Pep.Pull { pdps = [ "vo.pdp.single" ]; cache = None; call_timeout = 8.0 }) )
+      end
+      else begin
+        let tier, replicas =
+          Vo.pdp_tier vo ~node:"vo.pep" ~shards ~batch ~vnodes:128 ~service_time
+            ~refresh:Pdp_service.Never ~root:policy ()
+        in
+        ( (fun () -> Some (Pdp_tier.stats tier)),
+          List.map Pdp_service.node replicas,
+          Pep.create services ~node:"vo.pep" ~domain:"vo" ~resource:"shared" ~content:"x"
+            (Pep.Sharded { tier; cache = None }) )
+      end
+    in
+    let start = Net.now net +. 1.0 in
+    let granted = ref 0 and last_answer = ref start in
+    List.iter
+      (fun i ->
+        let node = Printf.sprintf "vo.cli.%d" i in
+        Net.add_node net node;
+        let client = Client.create services ~node ~subject:(doctor_subject (Printf.sprintf "u%d" i)) in
+        Engine.schedule_at (Net.engine net) ~at:start (fun () ->
+            Client.request client ~pep:(Pep.node pep) ~action:"read" ~timeout:30.0 (fun r ->
+                last_answer := Float.max !last_answer (Net.now net);
+                match r with Ok (Wire.Granted _) -> incr granted | _ -> ())))
+      (List.init requests (fun i -> i));
+    Net.reset_stats net;
+    Net.run net;
+    let sent = Net.total_sent net in
+    let makespan = !last_answer -. start in
+    let throughput = float_of_int requests /. makespan in
+    let evaluated node =
+      Dacs_telemetry.Metrics.counter_value
+        (Dacs_telemetry.Metrics.counter (Service.metrics services)
+           ~labels:[ ("node", node) ]
+           "pdp_queries_total")
+    in
+    ( !granted,
+      makespan,
+      throughput,
+      float_of_int sent.Net.count /. float_of_int requests,
+      tier_stats (),
+      List.map (fun n -> (n, evaluated n)) pdp_nodes )
+  in
+  let _, _, base_tput, _, _, _ = run ~shards:0 ~batch:1 in
+  Printf.printf "%-22s %8s %10s %10s %9s %9s %11s\n" "configuration" "granted" "makespan" "req/s"
+    "speedup" "msgs/req" "mean batch";
+  let failures = ref [] in
+  let row label (granted, makespan, tput, msgs, tier, _) =
+    let mean_batch =
+      match tier with
+      | Some s when s.Pdp_tier.batches > 0 ->
+        Printf.sprintf "%.1f" (float_of_int s.Pdp_tier.dispatched /. float_of_int s.Pdp_tier.batches)
+      | _ -> "-"
+    in
+    Printf.printf "%-22s %8d %9.3fs %10.0f %8.2fx %9.1f %11s\n" label granted makespan tput
+      (tput /. base_tput) msgs mean_batch;
+    if granted <> requests then
+      failures := Printf.sprintf "%s: only %d/%d granted" label granted requests :: !failures
+  in
+  row "single PDP (pull)" (run ~shards:0 ~batch:1);
+  List.iter (fun shards -> row (Printf.sprintf "%d shards, batch 8" shards) (run ~shards ~batch:8))
+    [ 1; 2; 4; 8 ];
+  List.iter (fun batch -> row (Printf.sprintf "4 shards, batch %d" batch) (run ~shards:4 ~batch))
+    [ 1; 4; 16 ];
+  (* The balanced workload the CI smoke test gates on: 4 shards, batch 8. *)
+  let _, _, tput4, _, _, per_shard = run ~shards:4 ~batch:8 in
+  Printf.printf "\nper-shard evaluations (4 shards, batch 8):\n";
+  List.iter (fun (node, n) -> Printf.printf "  %-14s %6d evaluations\n" node n) per_shard;
+  let speedup = tput4 /. base_tput in
+  if List.exists (fun (_, n) -> n = 0) per_shard then
+    failures := "a shard evaluated zero queries under the balanced workload" :: !failures;
+  if speedup < 3.0 then
+    failures := Printf.sprintf "4-shard speedup %.2fx below 3x" speedup :: !failures;
+  Printf.printf "\nE16 CHECK balanced-shards: %s\n"
+    (if List.exists (fun (_, n) -> n = 0) per_shard then "FAIL" else "PASS");
+  Printf.printf "E16 CHECK speedup>=3x at 4 shards: %s (%.2fx)\n"
+    (if speedup < 3.0 then "FAIL" else "PASS")
+    speedup;
+  List.iter (fun f -> Printf.printf "E16 FAILURE: %s\n" f) !failures
+
+(* ==================================================================== *)
 (* Micro-benchmarks (Bechamel)                                          *)
 (* ==================================================================== *)
 
@@ -1107,6 +1220,7 @@ let experiments =
     ("e13", e13_index_ablation);
     ("e14", e14_resilience);
     ("e15", e15_telemetry);
+    ("e16", e16_sharded_tier);
     ("micro", micro);
   ]
 

@@ -353,6 +353,118 @@ let chaos_cmd seed json =
   end;
   if last_granted then 0 else 1
 
+(* --- tier -------------------------------------------------------------------- *)
+
+(* Stand up a sharded, batched PDP tier behind one enforcement point,
+   push a burst of distinct-user requests through it (so the requests
+   hash across the ring and coalesce into batches), then crash a shard
+   and push the same burst again to show failure remapping. *)
+let tier_cmd shards batch seed requests json =
+  let module Net = Dacs_net.Net in
+  let module Engine = Dacs_net.Engine in
+  let module Rpc = Dacs_net.Rpc in
+  let module Metrics = Dacs_telemetry.Metrics in
+  let module Value = Dacs_policy.Value in
+  if shards < 1 then begin
+    prerr_endline "tier: --shards must be >= 1";
+    exit 2
+  end;
+  if batch < 1 then begin
+    prerr_endline "tier: --batch must be >= 1";
+    exit 2
+  end;
+  let net = Net.create ~seed:(Int64.of_int seed) () in
+  let rpc = Rpc.create net in
+  let services = Dacs_ws.Service.create rpc in
+  let metrics = Rpc.metrics rpc in
+  let policy =
+    Policy.Inline_policy
+      (Policy.make ~id:"tier-policy" ~rule_combining:Combine.First_applicable
+         [
+           Dacs_policy.Rule.permit
+             ~target:
+               Dacs_policy.Target.(any |> subject_is "role" "admin" |> action_is "action-id" "read")
+             "admins-read";
+           Dacs_policy.Rule.deny "default-deny";
+         ])
+  in
+  let shard_nodes =
+    List.init shards (fun i ->
+        let node = Printf.sprintf "pdp.%d" i in
+        Net.add_node net node;
+        ignore (Pdp_service.create services ~node ~name:node ~root:policy ());
+        node)
+  in
+  Net.add_node net "pep";
+  let tier = Pdp_tier.create services ~node:"pep" ~shards:shard_nodes ~batch () in
+  let pep =
+    Pep.create services ~node:"pep" ~domain:"demo" ~resource:"demo-resource" ~content:"42"
+      (Pep.Sharded { tier; cache = None })
+  in
+  let granted = ref 0 and answered = ref 0 in
+  let burst at =
+    List.iter
+      (fun i ->
+        Engine.schedule_at (Net.engine net) ~at (fun () ->
+            let node = Printf.sprintf "cli.%d.%g" i at in
+            Net.add_node net node;
+            let user = Printf.sprintf "user%d" i in
+            let client =
+              Client.create services ~node
+                ~subject:[ ("subject-id", Value.String user); ("role", Value.String "admin") ]
+            in
+            Client.request client ~pep:(Pep.node pep) ~action:"read" ~timeout:10.0 (fun r ->
+                incr answered;
+                match r with Ok (Wire.Granted _) -> incr granted | _ -> ())))
+      (List.init requests (fun i -> i))
+  in
+  burst 0.5;
+  Engine.schedule_at (Net.engine net) ~at:2.0 (fun () -> Net.crash net (List.hd shard_nodes));
+  burst 3.0;
+  Net.run net;
+  let per_shard name shard =
+    Metrics.counter_value (Metrics.counter metrics ~labels:[ ("node", shard) ] name)
+  in
+  let dispatched shard =
+    Metrics.counter_value
+      (Metrics.counter metrics ~labels:[ ("node", "pep"); ("shard", shard) ]
+         "pdp_tier_dispatch_total")
+  in
+  let s = Pdp_tier.stats tier in
+  let total = 2 * requests in
+  if json then begin
+    let shard_json =
+      String.concat ","
+        (List.map
+           (fun shard ->
+             Printf.sprintf "{\"shard\":%S,\"dispatched\":%d,\"evaluated\":%d}" shard
+               (dispatched shard) (per_shard "pdp_queries_total" shard))
+           shard_nodes)
+    in
+    Printf.printf
+      "{\"seed\":%d,\"shards\":%d,\"batch\":%d,\"requests\":%d,\"answered\":%d,\"granted\":%d,\"shard_load\":[%s],\"tier\":{\"dispatched\":%d,\"batches\":%d,\"failovers\":%d,\"exhausted\":%d}}\n"
+      seed shards batch total !answered !granted shard_json s.Pdp_tier.dispatched
+      s.Pdp_tier.batches s.Pdp_tier.failovers s.Pdp_tier.exhausted
+  end
+  else begin
+    Printf.printf
+      "sharded PDP tier: %d shards, batch limit %d, %d requests (burst of %d before and after \
+       crashing %s)\n\n"
+      shards batch total requests (List.hd shard_nodes);
+    Printf.printf "%-10s %12s %12s\n" "shard" "dispatched" "evaluated";
+    List.iter
+      (fun shard ->
+        Printf.printf "%-10s %12d %12d%s\n" shard (dispatched shard)
+          (per_shard "pdp_queries_total" shard)
+          (if shard = List.hd shard_nodes then "   (crashed at t=2)" else ""))
+      shard_nodes;
+    Printf.printf
+      "\ntier: %d dispatched, %d batches, %d failovers after the crash, %d failed closed\n"
+      s.Pdp_tier.dispatched s.Pdp_tier.batches s.Pdp_tier.failovers s.Pdp_tier.exhausted;
+    Printf.printf "outcome: %d/%d answered, %d granted\n" !answered total !granted
+  end;
+  if !granted = total then 0 else 1
+
 (* --- cmdliner wiring ------------------------------------------------------------ *)
 
 open Cmdliner
@@ -428,10 +540,27 @@ let metrics_t =
           text exposition format")
     Term.(const metrics_cmd $ sim_seed_arg $ json_flag)
 
+let shards_arg =
+  Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N" ~doc:"Number of PDP replicas in the tier.")
+
+let batch_arg =
+  Arg.(value & opt int 8 & info [ "batch" ] ~docv:"K" ~doc:"Maximum queries coalesced per RPC frame.")
+
+let requests_arg =
+  Arg.(value & opt int 24 & info [ "requests" ] ~docv:"R" ~doc:"Requests per burst (two bursts are sent).")
+
+let tier_t =
+  Cmd.v
+    (Cmd.info "tier"
+       ~doc:
+         "Run a burst of authorisation requests through a sharded, batched PDP tier, crash a \
+          shard, and run the burst again — printing per-shard load and failover counts")
+    Term.(const tier_cmd $ shards_arg $ batch_arg $ sim_seed_arg $ requests_arg $ json_flag)
+
 let main =
   Cmd.group
     (Cmd.info "dacs" ~version:"1.0.0"
        ~doc:"Dependable access control for multi-domain computing environments")
-    [ validate_t; evaluate_t; conflicts_t; rbac_compile_t; demo_t; chaos_t; trace_t; metrics_t ]
+    [ validate_t; evaluate_t; conflicts_t; rbac_compile_t; demo_t; chaos_t; trace_t; metrics_t; tier_t ]
 
 let () = exit (Cmd.eval' main)

@@ -1,4 +1,5 @@
 module Service = Dacs_ws.Service
+module Engine = Dacs_net.Engine
 module Context = Dacs_policy.Context
 module Decision = Dacs_policy.Decision
 module Policy = Dacs_policy.Policy
@@ -51,6 +52,8 @@ type t = {
   signer : (Dacs_crypto.Rsa.private_key * Dacs_crypto.Cert.t) option;
   retry : Dacs_net.Rpc.retry_policy option;
   counters : counters;
+  service_time : float;
+  mutable busy_until : float;
   mutable root : Policy.child option;
   mutable version : int;
   mutable fetched_at : float;
@@ -200,7 +203,33 @@ let evaluate_local t ctx k =
       loop ctx 0);
   Trace.set_current tr saved
 
-let create services ~node ~name:_ ?root ?pap ?refresh ?(pips = []) ?signer ?retry () =
+(* Capacity model: with a positive [service_time] each evaluation occupies
+   the PDP for that long in virtual time, queueing FIFO behind whatever is
+   already in progress — which is what makes a single decision point a
+   measurable bottleneck and a sharded tier a measurable win (E16).  The
+   default of 0 keeps the historical instantaneous-evaluation behaviour
+   with no extra engine events, so seeded runs stay byte-identical. *)
+let when_capacity_free t f =
+  if t.service_time <= 0.0 then f ()
+  else begin
+    let now = now t in
+    let start = Float.max now t.busy_until in
+    let finish = start +. t.service_time in
+    t.busy_until <- finish;
+    let tr = tracer t in
+    let ambient = Trace.current tr in
+    Engine.schedule
+      (Dacs_net.Net.engine (Service.net t.services))
+      ~delay:(finish -. now)
+      (fun () ->
+        let saved = Trace.current tr in
+        Trace.set_current tr ambient;
+        f ();
+        Trace.set_current tr saved)
+  end
+
+let create services ~node ~name:_ ?root ?pap ?refresh ?(pips = []) ?signer ?retry
+    ?(service_time = 0.0) () =
   let refresh =
     match refresh with
     | Some r -> r
@@ -216,6 +245,8 @@ let create services ~node ~name:_ ?root ?pap ?refresh ?(pips = []) ?signer ?retr
       signer;
       retry;
       counters = make_counters (Service.metrics services) ~node;
+      service_time;
+      busy_until = 0.0;
       root;
       version = 0;
       fetched_at = -.infinity;
@@ -225,8 +256,9 @@ let create services ~node ~name:_ ?root ?pap ?refresh ?(pips = []) ?signer ?retr
       match Wire.parse_authz_query body with
       | Error e -> reply (Dacs_ws.Soap.fault_body { Dacs_ws.Soap.code = "soap:Sender"; reason = e })
       | Ok ctx ->
-        evaluate_local t ctx (fun result ->
-            match t.signer with
-            | None -> reply (Wire.authz_response result)
-            | Some (key, cert) -> reply (Wire.signed_authz_response ~key ~cert result)));
+        when_capacity_free t (fun () ->
+            evaluate_local t ctx (fun result ->
+                match t.signer with
+                | None -> reply (Wire.authz_response result)
+                | Some (key, cert) -> reply (Wire.signed_authz_response ~key ~cert result))));
   t

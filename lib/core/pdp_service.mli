@@ -22,6 +22,7 @@ val create :
   ?pips:Dacs_net.Net.node_id list ->
   ?signer:Dacs_crypto.Rsa.private_key * Dacs_crypto.Cert.t ->
   ?retry:Dacs_net.Rpc.retry_policy ->
+  ?service_time:float ->
   unit ->
   t
 (** [refresh] defaults to [Every_query] when a PAP is given, else
@@ -30,7 +31,11 @@ val create :
     authenticate their decision point (§3.2).  [retry] (default: single
     attempt) hardens the PDP's own upstream calls — PAP policy fetches
     and PIP attribute queries — with backoff through the RPC resilience
-    layer. *)
+    layer.  [service_time] (seconds of virtual time, default 0) models
+    evaluation capacity: each query occupies the PDP for that long and
+    queues FIFO behind in-progress work, which is what makes single-PDP
+    saturation — and the sharded tier's speedup — measurable (E16).  0
+    preserves the historical instantaneous behaviour exactly. *)
 
 val node : t -> Dacs_net.Net.node_id
 

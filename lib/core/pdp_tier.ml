@@ -1,0 +1,254 @@
+module Service = Dacs_ws.Service
+module Engine = Dacs_net.Engine
+module Xml = Dacs_xml.Xml
+module Context = Dacs_policy.Context
+module Decision = Dacs_policy.Decision
+module Metrics = Dacs_telemetry.Metrics
+module Trace = Dacs_telemetry.Trace
+module Sha256 = Dacs_crypto.Sha256
+
+type stats = {
+  dispatched : int;
+  batches : int;
+  failovers : int;
+  rebalances : int;
+  exhausted : int;
+}
+
+(* One queued authorisation query: its routing key survives re-routing,
+   and [excluded] accumulates the shards that already failed it so a
+   remap never bounces back to a dead replica. *)
+type item = {
+  key : string;
+  body : Xml.t;
+  deliver : (Decision.result, string) result -> unit;
+  excluded : Dacs_net.Net.node_id list;
+}
+
+type shard_state = {
+  mutable queue : item list;  (** newest first *)
+  mutable queued : int;
+  mutable flush_pending : bool;
+}
+
+type t = {
+  services : Service.t;
+  node : Dacs_net.Net.node_id;
+  batch : int;
+  linger : float;
+  vnodes : int;
+  call_timeout : float;
+  retry : Dacs_net.Rpc.retry_policy option;
+  verify : t -> Xml.t -> (Decision.result, string) result;
+  c_batches : Dacs_net.Net.node_id -> Metrics.counter;
+  c_dispatch : Dacs_net.Net.node_id -> Metrics.counter;
+  c_failovers : Metrics.counter;
+  c_rebalances : Metrics.counter;
+  c_exhausted : Metrics.counter;
+  h_batch_size : Metrics.histogram;
+  mutable shards : Dacs_net.Net.node_id list;
+  mutable ring : (string * Dacs_net.Net.node_id) array;  (** sorted by point *)
+  states : (Dacs_net.Net.node_id, shard_state) Hashtbl.t;
+}
+
+let node t = t.node
+let shards t = t.shards
+let batch_limit t = t.batch
+let tracer t = Service.tracer t.services
+
+(* --- consistent hashing ------------------------------------------------- *)
+
+(* Each shard owns [vnodes] points on a hash ring; a key routes to the
+   shard owning the first point at or after the key's own hash.  Removing
+   a shard only remaps keys that hashed to its points — every other
+   key keeps its shard, which is what keeps decision caches and policy
+   working sets warm across membership changes (§3.1 scale). *)
+let build_ring ~vnodes shards =
+  let points =
+    List.concat_map
+      (fun shard ->
+        List.init vnodes (fun v ->
+            (Sha256.hex_digest (Printf.sprintf "%s#%d" shard v), shard)))
+      shards
+  in
+  let arr = Array.of_list points in
+  Array.sort compare arr;
+  arr
+
+(* First ring point at or after [point], wrapping; skip shards in
+   [excluded].  [None] when every live shard is excluded. *)
+let successor t ~excluded point =
+  let n = Array.length t.ring in
+  if n = 0 then None
+  else begin
+    (* Binary search for the first index with point >= key hash. *)
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fst t.ring.(mid) < point then lo := mid + 1 else hi := mid
+    done;
+    let start = if !lo = n then 0 else !lo in
+    let rec probe step =
+      if step >= n then None
+      else
+        let _, shard = t.ring.((start + step) mod n) in
+        if List.mem shard excluded then probe (step + 1) else Some shard
+    in
+    (* Probing every point visits every shard (each owns >= 1 point). *)
+    probe 0
+  end
+
+let shard_for t key = successor t ~excluded:[] (Sha256.hex_digest key)
+
+let set_shards t shards =
+  if shards <> t.shards then begin
+    t.shards <- shards;
+    t.ring <- build_ring ~vnodes:t.vnodes shards;
+    Metrics.inc t.c_rebalances;
+    Trace.record (tracer t)
+      (Printf.sprintf "tier:rebalance to %d shards" (List.length shards))
+  end
+
+(* --- batching and dispatch ---------------------------------------------- *)
+
+let state_of t shard =
+  match Hashtbl.find_opt t.states shard with
+  | Some s -> s
+  | None ->
+    let s = { queue = []; queued = 0; flush_pending = false } in
+    Hashtbl.replace t.states shard s;
+    s
+
+let fail_closed t item reason =
+  Metrics.inc t.c_exhausted;
+  item.deliver (Error reason)
+
+let rec enqueue t shard item =
+  let s = state_of t shard in
+  s.queue <- item :: s.queue;
+  s.queued <- s.queued + 1;
+  Metrics.inc (t.c_dispatch shard);
+  if s.queued >= t.batch then flush t shard
+  else if not s.flush_pending then begin
+    (* Even a 0-second linger coalesces: the flush runs after the current
+       event cascade, so every query issued at this virtual instant rides
+       the same frame. *)
+    s.flush_pending <- true;
+    Engine.schedule
+      (Dacs_net.Net.engine (Service.net t.services))
+      ~delay:t.linger
+      (fun () -> flush t shard)
+  end
+
+and flush t shard =
+  let s = state_of t shard in
+  s.flush_pending <- false;
+  if s.queued > 0 then begin
+    let items = List.rev s.queue in
+    s.queue <- [];
+    s.queued <- 0;
+    let n = List.length items in
+    Metrics.inc (t.c_batches shard);
+    Metrics.observe t.h_batch_size (float_of_int n);
+    Service.call_batch_resilient t.services ~src:t.node ~dst:shard ~service:"authz-query"
+      ~timeout:t.call_timeout ?retry:t.retry
+      (List.map (fun i -> i.body) items)
+      (fun result ->
+        match result with
+        | Ok parts ->
+          List.iter2
+            (fun item part ->
+              match part with
+              | Ok body -> (
+                match t.verify t body with
+                | Ok decision -> item.deliver (Ok decision)
+                | Error e ->
+                  item.deliver (Ok (Decision.indeterminate ("unacceptable PDP response: " ^ e))))
+              | Error e ->
+                (* The shard answered: an application-level fault, not a
+                   health failure — no remap. *)
+                item.deliver
+                  (Ok (Decision.indeterminate ("PDP fault: " ^ Service.error_to_string e))))
+            items parts
+        | Error _ ->
+          (* The whole frame failed: the shard is unreachable (or its
+             breaker is open).  Re-route every query to the ring successor
+             of its own key — replica loss only remaps its own keys. *)
+          Trace.record (tracer t) ("tier:failover from " ^ shard);
+          List.iter
+            (fun item ->
+              let excluded = shard :: item.excluded in
+              match successor t ~excluded (Sha256.hex_digest item.key) with
+              | Some next ->
+                Metrics.inc t.c_failovers;
+                enqueue t next { item with excluded }
+              | None -> fail_closed t item "pdp tier exhausted: no shard reachable")
+            items)
+  end
+
+let decide t ctx deliver =
+  let key = Decision_cache.request_key ctx in
+  match shard_for t key with
+  | None ->
+    Metrics.inc t.c_exhausted;
+    deliver (Error "pdp tier is empty")
+  | Some shard -> enqueue t shard { key; body = Wire.authz_query ctx; deliver; excluded = [] }
+
+(* --- construction ------------------------------------------------------- *)
+
+let default_verify _t body = Wire.parse_authz_response body
+
+let create services ~node ~shards:initial ?(batch = 8) ?(linger = 0.0) ?(vnodes = 16)
+    ?(call_timeout = 1.0) ?retry ?verify () =
+  if batch < 1 then invalid_arg "Pdp_tier.create: batch must be >= 1";
+  if vnodes < 1 then invalid_arg "Pdp_tier.create: vnodes must be >= 1";
+  if linger < 0.0 then invalid_arg "Pdp_tier.create: negative linger";
+  let metrics = Service.metrics services in
+  let own ?help name = Metrics.counter metrics ?help ~labels:[ ("node", node) ] name in
+  let per_shard ?help name shard =
+    Metrics.counter metrics ?help ~labels:[ ("node", node); ("shard", shard) ] name
+  in
+  {
+    services;
+    node;
+    batch;
+    linger;
+    vnodes;
+    call_timeout;
+    retry;
+    verify = (match verify with Some f -> fun _t body -> f body | None -> default_verify);
+    c_batches =
+      per_shard "pdp_tier_batches_total" ~help:"Batched frames flushed to this shard";
+    c_dispatch =
+      per_shard "pdp_tier_dispatch_total" ~help:"Authorisation queries routed to this shard";
+    c_failovers = own "pdp_tier_failovers_total" ~help:"Queries re-routed after a shard failure";
+    c_rebalances = own "pdp_tier_rebalance_total" ~help:"Ring rebuilds from membership changes";
+    c_exhausted =
+      own "pdp_tier_exhausted_total" ~help:"Queries failed closed with every shard excluded";
+    h_batch_size =
+      Metrics.histogram metrics ~help:"Queries per flushed tier batch"
+        ~buckets:[ 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0 ]
+        ~labels:[ ("node", node) ] "pdp_tier_batch_size";
+    shards = initial;
+    ring = build_ring ~vnodes initial;
+    states = Hashtbl.create 8;
+  }
+
+let stats t =
+  let metrics = Service.metrics t.services in
+  let sum name =
+    (* Sum over this tier's shard-labelled series only. *)
+    List.fold_left
+      (fun acc shard ->
+        acc
+        + Metrics.counter_value
+            (Metrics.counter metrics ~labels:[ ("node", t.node); ("shard", shard) ] name))
+      0 t.shards
+  in
+  {
+    dispatched = sum "pdp_tier_dispatch_total";
+    batches = sum "pdp_tier_batches_total";
+    failovers = Metrics.counter_value t.c_failovers;
+    rebalances = Metrics.counter_value t.c_rebalances;
+    exhausted = Metrics.counter_value t.c_exhausted;
+  }

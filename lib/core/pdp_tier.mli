@@ -1,0 +1,91 @@
+(** Sharded PDP tier: a client-side dispatcher that spreads authorisation
+    load across a set of {!Pdp_service} replicas (§3.1 scale, §3.2
+    communication performance).
+
+    Requests are hash-partitioned by their decision-cache key
+    ({!Decision_cache.request_key}) on a consistent-hash ring with
+    virtual nodes, so each replica sees a stable slice of the request
+    space — its policy working set and any downstream caches stay warm —
+    and losing a replica only remaps the keys that replica owned.
+
+    Queries headed for the same shard are coalesced into a single batched
+    RPC frame (up to [batch] queries per round-trip, flushed after
+    [linger] seconds of virtual time; even a 0-second linger merges all
+    queries issued at the same virtual instant).  A batch is one
+    fault/retry unit: a transport failure fails the whole frame, after
+    which each query is individually re-routed to the ring successor of
+    its own key, excluding every shard that already failed it.  When no
+    shard remains the query fails closed with an [Indeterminate]
+    decision.
+
+    The tier registers its telemetry in the bus-wide registry:
+    [pdp_tier_dispatch_total{node,shard}] and
+    [pdp_tier_batches_total{node,shard}] per shard, the
+    [pdp_tier_batch_size{node}] histogram, and tier-level
+    [pdp_tier_failovers_total], [pdp_tier_rebalance_total] and
+    [pdp_tier_exhausted_total{node}] counters. *)
+
+type t
+
+val create :
+  Dacs_ws.Service.t ->
+  node:Dacs_net.Net.node_id ->
+  shards:Dacs_net.Net.node_id list ->
+  ?batch:int ->
+  ?linger:float ->
+  ?vnodes:int ->
+  ?call_timeout:float ->
+  ?retry:Dacs_net.Rpc.retry_policy ->
+  ?verify:(Dacs_xml.Xml.t -> (Dacs_policy.Decision.result, string) result) ->
+  unit ->
+  t
+(** Dispatcher issuing calls from [node].  [batch] (default 8) is the
+    maximum queries per frame; [linger] (default 0) how long a partial
+    batch waits before flushing; [vnodes] (default 16) ring points per
+    shard; [call_timeout] (default 1 s) and [retry] are handed to the
+    underlying batched call.  [verify] decodes each per-query response
+    body (default {!Wire.parse_authz_response}; pass a
+    {!Wire.verify_signed_authz_response} wrapper to require signed
+    decisions). *)
+
+val node : t -> Dacs_net.Net.node_id
+val shards : t -> Dacs_net.Net.node_id list
+val batch_limit : t -> int
+
+val set_shards : t -> Dacs_net.Net.node_id list -> unit
+(** Replace the shard set, rebuilding the ring (a no-op when unchanged;
+    otherwise counted in [pdp_tier_rebalance_total]).  Only future
+    routing is affected: already-queued batches still go to their shard
+    and fail over normally if it is gone.  This is what discovery-driven
+    rebinding calls. *)
+
+val shard_for : t -> string -> Dacs_net.Net.node_id option
+(** Ring lookup for a raw key (exposed for tests); [None] iff the tier
+    has no shards. *)
+
+val decide :
+  t ->
+  Dacs_policy.Context.t ->
+  ((Dacs_policy.Decision.result, string) result -> unit) ->
+  unit
+(** Route one authorisation query through the tier.  The continuation
+    fires exactly once: [Ok] with the shard's answer (which may itself be
+    an [Indeterminate] decision — e.g. a malformed response or a SOAP
+    fault), or [Error reason] when the tier could not obtain a decision
+    at all (no shard reachable, or the tier is empty).  Callers decide
+    how to degrade — a PEP falls back to bounded-stale cache, then fails
+    closed. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  dispatched : int;  (** queries routed (including re-routes) *)
+  batches : int;  (** frames flushed *)
+  failovers : int;  (** queries re-routed after a shard failure *)
+  rebalances : int;  (** ring rebuilds *)
+  exhausted : int;  (** queries failed closed *)
+}
+
+val stats : t -> stats
+(** A thin read over the tier's registry series.  Per-shard sums cover
+    the {e current} shard set. *)

@@ -14,6 +14,7 @@ type mode =
       cache : Decision_cache.t option;
       call_timeout : float;
     }
+  | Sharded of { tier : Pdp_tier.t; cache : Decision_cache.t option }
   | Push of {
       trusted_issuer : string -> Dacs_crypto.Rsa.public_key option;
       check_revocation : Dacs_net.Net.node_id option;
@@ -138,8 +139,9 @@ let now t = Dacs_net.Net.now (Service.net t.services)
 
 let invalidate_cache t =
   match t.mode with
-  | Pull { cache = Some cache; _ } -> Decision_cache.invalidate_all cache
-  | Pull _ | Push _ | Agent _ -> ()
+  | Pull { cache = Some cache; _ } | Sharded { cache = Some cache; _ } ->
+    Decision_cache.invalidate_all cache
+  | Pull _ | Sharded _ | Push _ | Agent _ -> ()
 
 let require_signed_decisions t trust = t.decision_trust <- Some trust
 
@@ -155,9 +157,17 @@ let stale_window t = t.stale_window
 let set_pull_pdps t pdps =
   match t.mode with
   | Pull p -> t.mode <- Pull { p with pdps }
+  | Sharded { tier; _ } ->
+    (* Discovery-driven rebinding reshapes the ring: lapsed shards drop
+       out, new replicas join, and only their keys remap. *)
+    Pdp_tier.set_shards tier pdps
   | Push _ | Agent _ -> ()
 
-let pull_pdps t = match t.mode with Pull p -> p.pdps | Push _ | Agent _ -> []
+let pull_pdps t =
+  match t.mode with
+  | Pull p -> p.pdps
+  | Sharded { tier; _ } -> Pdp_tier.shards tier
+  | Push _ | Agent _ -> []
 
 (* --- enforcement -------------------------------------------------------- *)
 
@@ -296,6 +306,40 @@ let pull_decide t ~pdps ~cache ~call_timeout ctx k =
     in
     try_pdps pdps
 
+(* --- sharded mode --------------------------------------------------------- *)
+
+let tier_decide t ~tier ~cache ctx k =
+  let key = Decision_cache.request_key ctx in
+  let found =
+    match cache with
+    | None -> Decision_cache.Absent
+    | Some cache -> Decision_cache.lookup cache ~now:(now t) ~max_stale:t.stale_window ~key
+  in
+  match found with
+  | Decision_cache.Fresh result ->
+    Metrics.inc t.counters.c_cache_hits;
+    Trace.record (tracer t) "pep:cache-hit";
+    k result
+  | Decision_cache.Stale _ | Decision_cache.Absent ->
+    Metrics.inc t.counters.c_pdp_calls;
+    Pdp_tier.decide tier ctx (fun outcome ->
+        match outcome with
+        | Ok result ->
+          (match cache with
+          | Some cache -> Decision_cache.put cache ~now:(now t) ~key result
+          | None -> ());
+          k result
+        | Error reason -> (
+          (* Same degradation ladder as pull mode, per shard: the tier
+             already exhausted its replicas, so serve a bounded-stale
+             decision if we hold one, else fail closed. *)
+          match found with
+          | Decision_cache.Stale { result; _ } when t.stale_window > 0.0 ->
+            Metrics.inc t.counters.c_stale_serves;
+            Trace.record (tracer t) "pep:stale-serve";
+            k result
+          | _ -> k (Decision.indeterminate reason)))
+
 (* --- push mode --------------------------------------------------------------- *)
 
 let find_assertion headers =
@@ -401,6 +445,7 @@ let create services ~node ~domain ~resource ?(content = "resource-content") ?aud
         if Trace.enabled tr then Trace.set_current tr (Some (Trace.context span));
         (match t.mode with
         | Pull { pdps; cache; call_timeout } -> pull_decide t ~pdps ~cache ~call_timeout ctx finish
+        | Sharded { tier; cache } -> tier_decide t ~tier ~cache ctx finish
         | Push { trusted_issuer; check_revocation; local_pdp } ->
           push_decide t ~trusted_issuer ~check_revocation ~local_pdp ~headers ~action ctx finish
         | Agent pdp -> Pdp_service.evaluate_local pdp ctx finish);

@@ -6,6 +6,9 @@
     - {b Pull} (policy-issuing, Fig. 3): the PEP turns each access request
       into an authorisation query to its PDP (with decision caching and
       ordered failover across PDP replicas — the dependability machinery).
+    - {b Sharded}: pull semantics over a {!Pdp_tier} — queries are
+      hash-partitioned and batched across PDP replicas, with the same
+      caching, stale-degradation and fail-closed behaviour per shard.
     - {b Push} (capability-issuing, Fig. 2): the request must carry a
       signed capability assertion; the PEP verifies it locally, optionally
       checks revocation with the issuer, and can still consult a local PDP
@@ -23,6 +26,10 @@ type mode =
       cache : Decision_cache.t option;
       call_timeout : float;
     }
+  | Sharded of { tier : Pdp_tier.t; cache : Decision_cache.t option }
+      (** Enforcement fans out through a sharded, batched PDP tier; the
+          cache and {!set_stale_window} degradation apply exactly as in
+          pull mode. *)
   | Push of {
       trusted_issuer : string -> Dacs_crypto.Rsa.public_key option;
       check_revocation : Dacs_net.Net.node_id option;
@@ -63,10 +70,13 @@ val require_signed_decisions : t -> Dacs_crypto.Cert.Trust_store.t -> unit
 val set_pull_pdps : t -> Dacs_net.Net.node_id list -> unit
 (** Replace the failover list of a pull-mode PEP — how a discovery
     service rebinds enforcement points to live decision points (§3.2
-    "Location of Policy Decision Points").  Ignored in other modes. *)
+    "Location of Policy Decision Points").  In sharded mode this replaces
+    the tier's shard set (rebuilding the ring), so discovery-driven
+    rebinding works unchanged.  Ignored in push/agent modes. *)
 
 val pull_pdps : t -> Dacs_net.Net.node_id list
-(** Current failover list ([[]] in push/agent modes). *)
+(** Current failover list — the tier's shard set in sharded mode, [[]]
+    in push/agent modes. *)
 
 (** {1 Resilience}
 

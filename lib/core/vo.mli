@@ -34,6 +34,25 @@ val merged_audit : t -> Audit.t
 (** Consolidated, time-ordered audit view across all member domains
     (§3.2 management). *)
 
+val pdp_tier :
+  t ->
+  node:Dacs_net.Net.node_id ->
+  shards:int ->
+  ?batch:int ->
+  ?linger:float ->
+  ?vnodes:int ->
+  ?service_time:float ->
+  ?refresh:Pdp_service.policy_refresh ->
+  ?root:Dacs_policy.Policy.child ->
+  unit ->
+  Pdp_tier.t * Pdp_service.t list
+(** Stand up [shards] PDP replicas ([<name>.pdp.0] …) bound to the VO
+    PAP and a {!Pdp_tier} dispatching to them from [node] (typically the
+    enforcement point's node).  [batch]/[linger]/[vnodes] configure the
+    tier, [service_time]/[refresh]/[root] each replica (see
+    {!Pdp_service.create}).  Returns the tier and the replicas so callers
+    can install policies or crash individual shards. *)
+
 val client_for :
   t -> domain:Domain.t -> user:string -> (string * Dacs_policy.Value.t) list -> Client.t
 (** Create a client node [<domain>.client.<user>] with the given subject

@@ -40,12 +40,13 @@ type child = {
 }
 
 (* Obligations propagate from children whose decision equals the final
-   combined decision. *)
+   combined decision, in document order.  Every caller accumulates
+   [evaluated] newest-first, hence the reversal here. *)
 let collect decision results =
   List.concat_map
     (fun (r : Decision.result) ->
       if Decision.equal_decision r.Decision.decision decision then r.Decision.obligations else [])
-    results
+    (List.rev results)
 
 let deny_overrides children =
   (* Short-circuit on the first Deny; an Indeterminate is a potential

@@ -108,6 +108,18 @@ let latency_histogram t service =
 let inflight_gauge t =
   Metrics.gauge t.metrics ~help:"RPC calls awaiting a reply." "rpc_calls_in_flight"
 
+let batches_counter t service =
+  Metrics.counter t.metrics ~help:"Batched RPC round-trips issued."
+    ~labels:[ ("service", service) ]
+    "rpc_batches_total"
+
+let batch_size_buckets = [ 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0 ]
+
+let batch_size_histogram t service =
+  Metrics.histogram t.metrics ~help:"Queries coalesced per batched round-trip."
+    ~labels:[ ("service", service) ]
+    ~buckets:batch_size_buckets "rpc_batch_size"
+
 (* Wire format: kind '|' id '|' service '|' body.  The few header bytes
    model transport framing; the body carries the real (XML) payload whose
    size dominates.  The body is the unframed remainder and may contain
@@ -150,6 +162,35 @@ let unescape_service s =
     Buffer.contents buf
   end
 
+(* Batch bodies: length-prefixed parts ("<len>:<bytes>..."), so parts may
+   contain anything — including '|' and further frames. *)
+
+let encode_parts parts =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (string_of_int (String.length p));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf p)
+    parts;
+  Buffer.contents buf
+
+let decode_parts s =
+  let n = String.length s in
+  let rec go acc i =
+    if i = n then Some (List.rev acc)
+    else
+      match String.index_from_opt s i ':' with
+      | None -> None
+      | Some colon -> (
+        match int_of_string_opt (String.sub s i (colon - i)) with
+        | None -> None
+        | Some len ->
+          if len < 0 || colon + 1 + len > n then None
+          else go (String.sub s (colon + 1) len :: acc) (colon + 1 + len))
+  in
+  go [] 0
+
 let encode_request id service body = Printf.sprintf "Q|%d|%s|%s" id (escape_service service) body
 
 (* The trace context travels as one extra escaped header segment; replies
@@ -160,9 +201,18 @@ let encode_traced_request id service ~trace body =
 let encode_reply id body = Printf.sprintf "A|%d||%s" id body
 let encode_error id msg = Printf.sprintf "E|%d||%s" id msg
 
+let encode_batch_request id service parts =
+  Printf.sprintf "B|%d|%s|%s" id (escape_service service) (encode_parts parts)
+
+let encode_traced_batch_request id service ~trace parts =
+  Printf.sprintf "BT|%d|%s|%s|%s" id (escape_service service) (escape_service trace)
+    (encode_parts parts)
+
 type frame =
   | Request of int * string * string
   | Traced_request of { id : int; service : string; trace : string; body : string }
+  | Batch_request of int * string * string list
+  | Traced_batch_request of { id : int; service : string; trace : string; parts : string list }
   | Reply of int * string
   | Error_frame of int * string
 
@@ -179,15 +229,24 @@ let decode payload =
       | Some id, Some third ->
         let service = unescape_service (String.sub payload (second + 1) (third - second - 1)) in
         let body = String.sub payload (third + 1) (String.length payload - third - 1) in
-        (match kind with
-        | "Q" -> Some (Request (id, service, body))
-        | "T" -> (
+        let traced k =
           match String.index_from_opt payload (third + 1) '|' with
           | None -> None
           | Some fourth ->
             let trace = unescape_service (String.sub payload (third + 1) (fourth - third - 1)) in
             let body = String.sub payload (fourth + 1) (String.length payload - fourth - 1) in
-            Some (Traced_request { id; service; trace; body }))
+            k trace body
+        in
+        (match kind with
+        | "Q" -> Some (Request (id, service, body))
+        | "T" -> traced (fun trace body -> Some (Traced_request { id; service; trace; body }))
+        | "B" ->
+          Option.map (fun parts -> Batch_request (id, service, parts)) (decode_parts body)
+        | "BT" ->
+          traced (fun trace body ->
+              Option.map
+                (fun parts -> Traced_batch_request { id; service; trace; parts })
+                (decode_parts body))
         | "A" -> Some (Reply (id, body))
         | "E" -> Some (Error_frame (id, body))
         | _ -> None)
@@ -226,12 +285,56 @@ let dispatch_request t (msg : Net.message) id service trace body =
     handler ~caller:msg.Net.src body reply;
     Trace.set_current t.tracer saved
 
+(* A batch dispatches each part to the ordinary per-request handler and
+   replies once, when the last part's (possibly asynchronous) reply has
+   arrived — one round-trip, one fault envelope for the whole batch. *)
+let dispatch_batch t (msg : Net.message) id service trace parts =
+  match Hashtbl.find_opt t.services (msg.Net.dst, service) with
+  | None ->
+    Net.send t.net ~src:msg.Net.dst ~dst:msg.Net.src ~category:"rpc-error"
+      (encode_error id ("no-such-service:" ^ service))
+  | Some handler ->
+    let n = List.length parts in
+    Metrics.inc ~by:n (served_counter t service);
+    let span =
+      if Trace.enabled t.tracer then begin
+        let s =
+          match trace with
+          | Some ctx -> Trace.start_span t.tracer ~parent:ctx ("serve-batch:" ^ service)
+          | None -> Trace.start_span t.tracer ("serve-batch:" ^ service)
+        in
+        Trace.annotate s "node" msg.Net.dst;
+        Trace.annotate s "caller" msg.Net.src;
+        Trace.annotate s "batch" (string_of_int n);
+        Some s
+      end
+      else None
+    in
+    let replies = Array.make n "" in
+    let outstanding = ref n in
+    let reply_part i body =
+      replies.(i) <- body;
+      decr outstanding;
+      if !outstanding = 0 then begin
+        Option.iter (fun s -> Trace.finish t.tracer s) span;
+        Net.send t.net ~src:msg.Net.dst ~dst:msg.Net.src ~category:(msg.Net.category ^ "-reply")
+          (encode_reply id (encode_parts (Array.to_list replies)))
+      end
+    in
+    let saved = Trace.current t.tracer in
+    Option.iter (fun s -> Trace.set_current t.tracer (Some (Trace.context s))) span;
+    List.iteri (fun i part -> handler ~caller:msg.Net.src part (reply_part i)) parts;
+    Trace.set_current t.tracer saved
+
 let handle_message t (msg : Net.message) =
   match decode msg.Net.payload with
   | None -> ()
   | Some (Request (id, service, body)) -> dispatch_request t msg id service None body
   | Some (Traced_request { id; service; trace; body }) ->
     dispatch_request t msg id service (Trace.context_of_string trace) body
+  | Some (Batch_request (id, service, parts)) -> dispatch_batch t msg id service None parts
+  | Some (Traced_batch_request { id; service; trace; parts }) ->
+    dispatch_batch t msg id service (Trace.context_of_string trace) parts
   | Some (Reply (id, body)) -> (
     match Hashtbl.find_opt t.pending id with
     | None -> () (* reply after timeout: drop *)
@@ -278,11 +381,14 @@ let serve t ~node ~service handler =
   ensure_dispatch t node;
   Hashtbl.replace t.services (node, service) handler
 
-let call t ~src ~dst ~service ?(timeout = 1.0) ?category body k =
+(* Shared correlation machinery of single and batched calls: id
+   allocation, one client span per attempt, the pending-table entry and
+   its timeout timer.  [payload] builds the request frame, given the id
+   and the optional trace context to carry. *)
+let issue t ~src ~dst ~service ?(timeout = 1.0) ?category ~span_label ~annotate_span ~payload k =
   ensure_dispatch t src;
   let id = t.next_id in
   t.next_id <- t.next_id + 1;
-  Metrics.inc (calls_counter t service);
   let started = Net.now t.net in
   (* One client span per call attempt, parented on the ambient context —
      the span under which the caller's code is currently running.  Its
@@ -292,9 +398,10 @@ let call t ~src ~dst ~service ?(timeout = 1.0) ?category body k =
   let initiating = Trace.current t.tracer in
   let span =
     if Trace.enabled t.tracer then begin
-      let s = Trace.start_span t.tracer ("rpc:" ^ service) in
+      let s = Trace.start_span t.tracer (span_label ^ service) in
       Trace.annotate s "src" src;
       Trace.annotate s "dst" dst;
+      annotate_span s;
       Some s
     end
     else None
@@ -316,19 +423,46 @@ let call t ~src ~dst ~service ?(timeout = 1.0) ?category body k =
   Hashtbl.replace t.pending id { k = finish };
   Metrics.set_gauge (inflight_gauge t) (float_of_int (Hashtbl.length t.pending));
   let category = Option.value category ~default:service in
-  let payload =
-    match span with
-    | Some s ->
-      encode_traced_request id service ~trace:(Trace.context_to_string (Trace.context s)) body
-    | None -> encode_request id service body
-  in
-  Net.send t.net ~src ~dst ~category payload;
+  let trace = Option.map (fun s -> Trace.context_to_string (Trace.context s)) span in
+  Net.send t.net ~src ~dst ~category (payload id trace);
   Engine.schedule (Net.engine t.net) ~delay:timeout (fun () ->
       match Hashtbl.find_opt t.pending id with
       | None -> ()
       | Some p ->
         Hashtbl.remove t.pending id;
         p.k (Error Timeout))
+
+let call t ~src ~dst ~service ?timeout ?category body k =
+  Metrics.inc (calls_counter t service);
+  issue t ~src ~dst ~service ?timeout ?category ~span_label:"rpc:" ~annotate_span:ignore
+    ~payload:(fun id trace ->
+      match trace with
+      | Some trace -> encode_traced_request id service ~trace body
+      | None -> encode_request id service body)
+    k
+
+let call_batch t ~src ~dst ~service ?timeout ?category bodies k =
+  let n = List.length bodies in
+  if n = 0 then invalid_arg "Rpc.call_batch: empty batch";
+  Metrics.inc (calls_counter t service);
+  Metrics.inc (batches_counter t service);
+  Metrics.observe (batch_size_histogram t service) (float_of_int n);
+  issue t ~src ~dst ~service ?timeout ?category ~span_label:"rpc-batch:"
+    ~annotate_span:(fun s -> Trace.annotate s "batch" (string_of_int n))
+    ~payload:(fun id trace ->
+      match trace with
+      | Some trace -> encode_traced_batch_request id service ~trace bodies
+      | None -> encode_batch_request id service bodies)
+    (fun result ->
+      match result with
+      | Error e -> k (Error e)
+      | Ok reply -> (
+        match decode_parts reply with
+        | Some parts when List.length parts = n -> k (Ok parts)
+        | Some _ | None ->
+          (* A peer that answers with the wrong arity is indistinguishable
+             from a lost reply to the caller: fail the whole envelope. *)
+          k (Error Timeout)))
 
 let calls_in_flight t = Hashtbl.length t.pending
 
@@ -444,8 +578,12 @@ let backoff_delay t retry failures =
     Float.max 0.0 (d *. (1.0 +. (retry.jitter *. ((2.0 *. u) -. 1.0))))
   end
 
-let call_resilient t ~src ~dst ~service ?timeout ?category ?(retry = no_retry) ?(notify = ignore)
-    body k =
+(* The shared retry/breaker envelope: [issue] performs one attempt and
+   hands its result to the continuation it is given.  Batched calls reuse
+   the exact same envelope, which is what makes a batch "one fault/retry
+   unit" — the whole frame succeeds or the whole frame backs off. *)
+let resilient_loop (type a) t ~src ~dst ~retry ~notify ~(issue : ((a, error) result -> unit) -> unit)
+    (k : (a, error) result -> unit) =
   if retry.attempts < 1 then invalid_arg "Rpc.call_resilient: attempts must be >= 1";
   let engine = Net.engine t.net in
   (* Backoff waits run as fresh engine callbacks with no ambient trace
@@ -457,7 +595,7 @@ let call_resilient t ~src ~dst ~service ?timeout ?category ?(retry = no_retry) ?
     Trace.set_current t.tracer initiating;
     (if not (breaker_admit t ~src ~notify dst) then after_failure n (Circuit_open dst)
      else
-       call t ~src ~dst ~service ?timeout ?category body (fun result ->
+       issue (fun result ->
            match result with
            | Ok reply ->
              breaker_success t ~notify dst;
@@ -484,3 +622,15 @@ let call_resilient t ~src ~dst ~service ?timeout ?category ?(retry = no_retry) ?
     end
   in
   attempt 1
+
+let call_resilient t ~src ~dst ~service ?timeout ?category ?(retry = no_retry) ?(notify = ignore)
+    body k =
+  resilient_loop t ~src ~dst ~retry ~notify
+    ~issue:(fun k -> call t ~src ~dst ~service ?timeout ?category body k)
+    k
+
+let call_batch_resilient t ~src ~dst ~service ?timeout ?category ?(retry = no_retry)
+    ?(notify = ignore) bodies k =
+  resilient_loop t ~src ~dst ~retry ~notify
+    ~issue:(fun k -> call_batch t ~src ~dst ~service ?timeout ?category bodies k)
+    k

@@ -69,6 +69,24 @@ val call :
     service.  [category] labels traffic for accounting (defaults to
     [service]). *)
 
+val call_batch :
+  t ->
+  src:Net.node_id ->
+  dst:Net.node_id ->
+  service:string ->
+  ?timeout:float ->
+  ?category:string ->
+  string list ->
+  ((string list, error) result -> unit) ->
+  unit
+(** Coalesce several queries to the same service into one round-trip.
+    The server dispatches each part to the registered handler and gathers
+    the replies into a single frame, preserving order; the continuation
+    receives exactly one reply per query.  The whole batch shares one
+    correlation id, one timeout and (under {!call_batch_resilient}) one
+    retry/breaker envelope — partial results are never delivered.
+    Raises [Invalid_argument] on an empty batch. *)
+
 val calls_in_flight : t -> int
 
 (** {1 Retry with backoff}
@@ -158,6 +176,22 @@ val call_resilient :
     [notify] observes every retry and breaker transition — callers use it
     to keep their own counters (e.g. {!section-stats} on a PEP). *)
 
+val call_batch_resilient :
+  t ->
+  src:Net.node_id ->
+  dst:Net.node_id ->
+  service:string ->
+  ?timeout:float ->
+  ?category:string ->
+  ?retry:retry_policy ->
+  ?notify:(resilience_event -> unit) ->
+  string list ->
+  ((string list, error) result -> unit) ->
+  unit
+(** {!call_batch} wrapped in the same retry/breaker envelope as
+    {!call_resilient}: the batch is one fault unit — a timeout retries
+    the whole frame, and results are all-or-nothing. *)
+
 (** {1 Wire format}
 
     Exposed for property testing: [decode] must invert every [encode_*]
@@ -170,6 +204,8 @@ type frame =
       (** A request carrying a trace context (see
           {!Dacs_telemetry.Trace.context_to_string}) — what propagates a
           span tree across PEP → PDP → PIP/PAP hops. *)
+  | Batch_request of int * string * string list  (** id, service, parts *)
+  | Traced_batch_request of { id : int; service : string; trace : string; parts : string list }
   | Reply of int * string
   | Error_frame of int * string
 
@@ -177,4 +213,13 @@ val encode_request : int -> string -> string -> string
 val encode_traced_request : int -> string -> trace:string -> string -> string
 val encode_reply : int -> string -> string
 val encode_error : int -> string -> string
+val encode_batch_request : int -> string -> string list -> string
+val encode_traced_batch_request : int -> string -> trace:string -> string list -> string
 val decode : string -> frame option
+
+val encode_parts : string list -> string
+(** Length-prefixed concatenation ([<len>:<bytes>...]) — how batch frames
+    carry arbitrary bodies (including ['|']) and how a batch reply packs
+    one answer per query. *)
+
+val decode_parts : string -> string list option

@@ -54,3 +54,20 @@ let call t ~src ~dst ~service ?timeout ?headers body k =
 let call_resilient t ~src ~dst ~service ?timeout ?retry ?notify ?headers body k =
   let payload = Soap.to_string { Soap.headers = Option.value headers ~default:[]; body } in
   Rpc.call_resilient t.rpc ~src ~dst ~service ?timeout ?retry ?notify payload (decode_response k)
+
+let decode_one response =
+  match Soap.parse response with
+  | Error e -> Error (Malformed e)
+  | Ok envelope -> (
+    match Soap.fault_of_body envelope.Soap.body with
+    | Some f -> Error (Fault f)
+    | None -> Ok envelope.Soap.body)
+
+let call_batch_resilient t ~src ~dst ~service ?timeout ?retry ?notify ?headers bodies k =
+  let headers = Option.value headers ~default:[] in
+  let payloads = List.map (fun body -> Soap.to_string { Soap.headers = headers; body }) bodies in
+  Rpc.call_batch_resilient t.rpc ~src ~dst ~service ?timeout ?retry ?notify payloads
+    (fun result ->
+      match result with
+      | Error e -> k (Error (Transport e))
+      | Ok replies -> k (Ok (List.map decode_one replies)))

@@ -66,3 +66,22 @@ val call_resilient :
     layer: retried per [retry] (default single attempt) and subject to
     the bus's circuit breaker when one is enabled.  SOAP faults are
     application answers, never retried. *)
+
+val call_batch_resilient :
+  t ->
+  src:Dacs_net.Net.node_id ->
+  dst:Dacs_net.Net.node_id ->
+  service:string ->
+  ?timeout:float ->
+  ?retry:Dacs_net.Rpc.retry_policy ->
+  ?notify:(Dacs_net.Rpc.resilience_event -> unit) ->
+  ?headers:Dacs_xml.Xml.t list ->
+  Dacs_xml.Xml.t list ->
+  (((Dacs_xml.Xml.t, error) result list, error) result -> unit) ->
+  unit
+(** Several request bodies coalesced into one {!Dacs_net.Rpc.call_batch}
+    round-trip with a single retry/breaker envelope.  On transport
+    success the continuation receives one decoded result per request (a
+    part may individually be a [Fault] or [Malformed]); on transport
+    failure the whole batch fails with [Error (Transport _)] — there are
+    no partial deliveries.  [headers] apply to every part. *)

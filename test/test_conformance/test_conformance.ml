@@ -1,0 +1,221 @@
+(* Golden conformance corpus for the combining algorithms.
+
+   Each case pins the implemented semantics of one edge interaction —
+   empty sets, all-NotApplicable children, Indeterminate propagation,
+   obligation merge order — as a (policy, request, expected) triple.
+
+   Note on Indeterminate: XACML 3.0 refines Indeterminate into
+   Indeterminate{D}, {P} and {DP} and lets e.g. deny-overrides turn
+   Indeterminate{D} + Deny into Deny.  This engine carries a single
+   Indeterminate (with the error message), i.e. it conservatively treats
+   every evaluation error as a potential decision of either effect.  The
+   cases below pin that coarsening explicitly wherever the two semantics
+   diverge, so any future refinement has to revisit them deliberately. *)
+
+module Policy = Dacs_policy.Policy
+module Rule = Dacs_policy.Rule
+module Target = Dacs_policy.Target
+module Expr = Dacs_policy.Expr
+module Combine = Dacs_policy.Combine
+module Context = Dacs_policy.Context
+module Decision = Dacs_policy.Decision
+module Obligation = Dacs_policy.Obligation
+module Value = Dacs_policy.Value
+
+let ctx =
+  Context.make
+    ~subject:[ ("subject-id", Value.String "alice"); ("role", Value.String "user") ]
+    ~resource:[ ("resource-id", Value.String "doc") ]
+    ~action:[ ("action-id", Value.String "read") ]
+    ()
+
+(* Building blocks: one rule per behaviour, wrapped one-per-policy so a
+   child policy's decision is exactly its rule's. *)
+let permit_rule id = Rule.permit id
+let deny_rule id = Rule.deny id
+
+let na_rule id = Rule.permit ~target:Target.(any |> subject_is "role" "nobody") id
+
+let indet_rule id =
+  (* A condition over a designator that must be present but is not: the
+     canonical missing-attribute evaluation error. *)
+  Rule.permit ~condition:(Expr.one_of (Expr.subject_attr ~must_be_present:true "clearance") [ "x" ]) id
+
+let policy_of ?obligations id rule =
+  Policy.Inline_policy (Policy.make ?obligations ~id ~rule_combining:Combine.First_applicable [ rule ])
+
+(* NotApplicable by *policy target* — what only-one-applicable's
+   applicability test inspects (a child whose target matches but whose
+   rules all fall through is still "applicable" to that algorithm). *)
+let na_policy id =
+  Policy.Inline_policy
+    (Policy.make ~id ~target:Target.(any |> subject_is "role" "nobody") [ Rule.permit "r" ])
+
+let set alg ?obligations children =
+  Policy.make_set ~id:"set" ~policy_combining:alg ?obligations children
+
+let eval_set s = Policy.evaluate_set ctx s
+
+let decision = Alcotest.testable Decision.pp (fun a b ->
+    Decision.equal_decision a.Decision.decision b.Decision.decision
+    && List.length a.Decision.obligations = List.length b.Decision.obligations
+    && List.for_all2 Obligation.equal a.Decision.obligations b.Decision.obligations)
+
+let check name expected actual () = Alcotest.check decision name expected actual
+
+let indet = Decision.indeterminate "any message"
+
+let ob id = Obligation.make ~fulfill_on:Obligation.Permit ("urn:test:" ^ id)
+let ob_deny id = Obligation.make ~fulfill_on:Obligation.Deny ("urn:test:" ^ id)
+
+let with_obs decision obs = { decision with Decision.obligations = obs }
+
+let all_algorithms =
+  [
+    ("deny-overrides", Combine.Deny_overrides);
+    ("permit-overrides", Combine.Permit_overrides);
+    ("first-applicable", Combine.First_applicable);
+    ("only-one-applicable", Combine.Only_one_applicable);
+    ("ordered-deny-overrides", Combine.Ordered_deny_overrides);
+    ("ordered-permit-overrides", Combine.Ordered_permit_overrides);
+  ]
+
+(* --- empty and all-NotApplicable sets ---------------------------------- *)
+
+let empty_set_cases =
+  List.map
+    (fun (name, alg) ->
+      Alcotest.test_case (name ^ ": empty policy set -> NotApplicable") `Quick
+        (check "empty set" Decision.not_applicable (eval_set (set alg []))))
+    all_algorithms
+
+let all_na_cases =
+  List.map
+    (fun (name, alg) ->
+      Alcotest.test_case (name ^ ": all children NotApplicable -> NotApplicable") `Quick
+        (check "all NA" Decision.not_applicable
+           (eval_set (set alg [ na_policy "na1"; na_policy "na2" ]))))
+    all_algorithms
+
+(* --- Indeterminate interactions ---------------------------------------- *)
+
+let indeterminate_cases =
+  [
+    (* deny-overrides: an Indeterminate is a potential Deny and decides
+       immediately — even when an actual Deny follows.  (XACML 3.0
+       deny-overrides would refine Indeterminate{D} + Deny to Deny; the
+       single-Indeterminate coarsening reports the error instead.) *)
+    Alcotest.test_case "deny-overrides: Permit + Indeterminate -> Indeterminate" `Quick
+      (check "potential deny" indet
+         (eval_set
+            (set Combine.Deny_overrides
+               [ policy_of "p" (permit_rule "r1"); policy_of "i" (indet_rule "r2") ])));
+    Alcotest.test_case "deny-overrides: Indeterminate short-circuits before a later Deny" `Quick
+      (check "coarsened Indeterminate{D}+D" indet
+         (eval_set
+            (set Combine.Deny_overrides
+               [ policy_of "i" (indet_rule "r1"); policy_of "d" (deny_rule "r2") ])));
+    Alcotest.test_case "deny-overrides: Deny wins over earlier Permit" `Quick
+      (check "deny wins" Decision.deny
+         (eval_set
+            (set Combine.Deny_overrides
+               [ policy_of "p" (permit_rule "r1"); policy_of "d" (deny_rule "r2") ])));
+    (* permit-overrides: a Permit still wins over an earlier error, but an
+       unresolved error outweighs Deny — the potential Permit cannot be
+       ruled out.  (Coarsening of XACML's Indeterminate{P} vs {DP}.) *)
+    Alcotest.test_case "permit-overrides: Indeterminate then Permit -> Permit" `Quick
+      (check "permit wins" Decision.permit
+         (eval_set
+            (set Combine.Permit_overrides
+               [ policy_of "i" (indet_rule "r1"); policy_of "p" (permit_rule "r2") ])));
+    Alcotest.test_case "permit-overrides: Deny + Indeterminate -> Indeterminate" `Quick
+      (check "potential permit" indet
+         (eval_set
+            (set Combine.Permit_overrides
+               [ policy_of "d" (deny_rule "r1"); policy_of "i" (indet_rule "r2") ])));
+    Alcotest.test_case "first-applicable: Indeterminate stops the scan" `Quick
+      (check "error propagates" indet
+         (eval_set
+            (set Combine.First_applicable
+               [ policy_of "i" (indet_rule "r1"); policy_of "p" (permit_rule "r2") ])));
+    Alcotest.test_case "first-applicable: NotApplicable children are skipped" `Quick
+      (check "first applicable decides" Decision.deny
+         (eval_set
+            (set Combine.First_applicable
+               [ policy_of "na" (na_rule "r1"); policy_of "d" (deny_rule "r2");
+                 policy_of "p" (permit_rule "r3") ])));
+    Alcotest.test_case "only-one-applicable: exactly one applicable -> its decision" `Quick
+      (check "sole applicable" Decision.permit
+         (eval_set
+            (set Combine.Only_one_applicable
+               [ na_policy "na"; policy_of "p" (permit_rule "r2") ])));
+    Alcotest.test_case "only-one-applicable: two applicable -> Indeterminate" `Quick
+      (check "ambiguous" indet
+         (eval_set
+            (set Combine.Only_one_applicable
+               [ policy_of "p1" (permit_rule "r1"); policy_of "p2" (permit_rule "r2") ])));
+    (* Applicability means *target* applicability: children whose targets
+       match are "applicable" even if every rule inside falls through. *)
+    Alcotest.test_case "only-one-applicable: applicability is target match, not rule outcome" `Quick
+      (check "two matching targets" indet
+         (eval_set
+            (set Combine.Only_one_applicable
+               [ policy_of "na1" (na_rule "r1"); policy_of "na2" (na_rule "r2") ])));
+  ]
+
+(* --- obligation merge order -------------------------------------------- *)
+
+let obligation_cases =
+  [
+    (* deny-overrides evaluates every non-deciding child: both permits
+       contribute, in document order, then the set's own obligations. *)
+    Alcotest.test_case "obligations merge in document order (children then set)" `Quick
+      (check "document order"
+         (with_obs Decision.permit [ ob "a"; ob "b"; ob "set" ])
+         (eval_set
+            (set Combine.Deny_overrides
+               ~obligations:[ ob "set"; ob_deny "set-d" ]
+               [
+                 policy_of ~obligations:[ ob "a" ] "pa" (permit_rule "r1");
+                 policy_of ~obligations:[ ob "b" ] "pb" (permit_rule "r2");
+               ])));
+    (* A deciding Deny collects only deny-matching obligations. *)
+    Alcotest.test_case "deny collects only the denying child's obligations" `Quick
+      (check "deny obligations"
+         (with_obs Decision.deny [ ob_deny "d"; ob_deny "set-d" ])
+         (eval_set
+            (set Combine.Deny_overrides
+               ~obligations:[ ob "set"; ob_deny "set-d" ]
+               [
+                 policy_of ~obligations:[ ob "a" ] "pa" (permit_rule "r1");
+                 policy_of ~obligations:[ ob_deny "d" ] "pd" (deny_rule "r2");
+               ])));
+    (* permit-overrides short-circuits on the first Permit: later permits
+       never evaluate, so only the deciding child's obligations attach. *)
+    Alcotest.test_case "permit-overrides short-circuit keeps only the deciding permit's obligations"
+      `Quick
+      (check "short-circuit"
+         (with_obs Decision.permit [ ob "a" ])
+         (eval_set
+            (set Combine.Permit_overrides
+               [
+                 policy_of ~obligations:[ ob "a" ] "pa" (permit_rule "r1");
+                 policy_of ~obligations:[ ob "b" ] "pb" (permit_rule "r2");
+               ])));
+    (* Obligations on the losing effect never leak into the decision. *)
+    Alcotest.test_case "obligations filter by effect" `Quick
+      (check "effect filter"
+         (with_obs Decision.permit [ ob "a" ])
+         (eval_set
+            (set Combine.Deny_overrides
+               [ policy_of ~obligations:[ ob "a"; ob_deny "never" ] "pa" (permit_rule "r1") ])));
+  ]
+
+let () =
+  Alcotest.run "dacs_conformance"
+    [
+      ("empty-sets", empty_set_cases);
+      ("all-not-applicable", all_na_cases);
+      ("indeterminate", indeterminate_cases);
+      ("obligations", obligation_cases);
+    ]

@@ -1,0 +1,200 @@
+(* Differential-testing oracle for evaluator equivalence.
+
+   Three evaluation paths now coexist: the reference tree walk
+   (Policy.evaluate), the target-indexed evaluator (Index.evaluate), and
+   the sharded PDP tier (Pdp_tier routing to Pdp_service replicas over
+   the simulated network).  This oracle generates random policies and
+   request contexts from seeded, shrinkable QCheck arbitraries and
+   asserts all three return identical decisions — including obligations
+   and Indeterminate propagation — for every combining algorithm,
+   >= 1000 cases each.
+
+   Policies are generated as integer-coded specs (built from int_bound /
+   small lists), so QCheck's built-in shrinkers produce a minimal
+   counterexample policy+request on failure. *)
+
+module Policy = Dacs_policy.Policy
+module Rule = Dacs_policy.Rule
+module Target = Dacs_policy.Target
+module Expr = Dacs_policy.Expr
+module Combine = Dacs_policy.Combine
+module Context = Dacs_policy.Context
+module Decision = Dacs_policy.Decision
+module Obligation = Dacs_policy.Obligation
+module Value = Dacs_policy.Value
+module Index = Dacs_policy.Index
+module Net = Dacs_net.Net
+module Service = Dacs_ws.Service
+open Dacs_core
+
+(* --- spec encoding ------------------------------------------------------ *)
+
+(* Small closed vocabularies keep collision probability high: targets
+   that sometimes match, conditions that sometimes error. *)
+let roles = [| "doctor"; "nurse"; "admin" |]
+let resources = [| "chart"; "lab"; "note" |]
+let actions = [| "read"; "write" |]
+
+type rule_spec = {
+  effect_code : int;  (* 0 permit, 1 deny *)
+  target_code : int;  (* 0 any; 1.. resource_is; then action_is; then subject_is *)
+  condition_code : int;  (* 0 none; 1.. one_of role; last: missing-attr error *)
+  obligation_code : int;  (* 0 none; 1 permit obligation; 2 deny obligation *)
+}
+
+let rule_of_spec i s =
+  let effect = if s.effect_code = 0 then Rule.Permit else Rule.Deny in
+  let target =
+    match s.target_code with
+    | 0 -> Target.any
+    | c when c <= Array.length resources ->
+      Target.(any |> resource_is "resource-id" resources.(c - 1))
+    | c when c <= Array.length resources + Array.length actions ->
+      Target.(any |> action_is "action-id" actions.(c - 1 - Array.length resources))
+    | c -> Target.(any |> subject_is "role" roles.((c - 1 - Array.length resources - Array.length actions) mod Array.length roles))
+  in
+  let condition =
+    match s.condition_code with
+    | 0 -> None
+    | c when c <= Array.length roles -> Some (Expr.one_of (Expr.subject_attr "role") [ roles.(c - 1) ])
+    | _ ->
+      (* The Indeterminate generator: a designator that must be present
+         but never is. *)
+      Some (Expr.one_of (Expr.subject_attr ~must_be_present:true "clearance") [ "secret" ])
+  in
+  Rule.make ~target ?condition effect (Printf.sprintf "r%d" i)
+
+let target_code_max = Array.length resources + Array.length actions + Array.length roles
+let condition_code_max = Array.length roles + 1
+
+let obligations_of_spec i code =
+  match code with
+  | 0 -> []
+  | 1 -> [ Obligation.make ~fulfill_on:Obligation.Permit (Printf.sprintf "urn:test:p%d" i) ]
+  | _ -> [ Obligation.make ~fulfill_on:Obligation.Deny (Printf.sprintf "urn:test:d%d" i) ]
+
+(* A policy is a list of rule specs plus its own obligations; rules keep
+   per-rule obligations out (the engine attaches obligations at policy
+   level), so the obligation spec rides on the policy. *)
+let policy_of_spec alg (rule_specs, obligation_code) =
+  let rules = List.mapi rule_of_spec rule_specs in
+  let obligations =
+    obligations_of_spec 0 (if obligation_code = 0 then 0 else 1)
+    @ obligations_of_spec 1 (if obligation_code = 0 then 0 else 2)
+  in
+  Policy.make ~id:"oracle-policy" ~rule_combining:alg ~obligations rules
+
+type ctx_spec = { role_code : int; resource_code : int; action_code : int }
+
+let ctx_of_spec s =
+  let subject =
+    ("subject-id", Value.String "alice")
+    ::
+    (* role_code 0 omits the attribute entirely (absence paths). *)
+    (if s.role_code = 0 then [] else [ ("role", Value.String roles.((s.role_code - 1) mod Array.length roles)) ])
+  in
+  Context.make ~subject
+    ~resource:[ ("resource-id", Value.String resources.(s.resource_code mod Array.length resources)) ]
+    ~action:[ ("action-id", Value.String actions.(s.action_code mod Array.length actions)) ]
+    ()
+
+let arb_case =
+  let open QCheck in
+  let arb_rule =
+    map
+      ~rev:(fun s -> (s.effect_code, s.target_code, s.condition_code, s.obligation_code))
+      (fun (e, t, c, o) -> { effect_code = e; target_code = t; condition_code = c; obligation_code = o })
+      (quad (int_bound 1) (int_bound target_code_max) (int_bound condition_code_max) (int_bound 2))
+  in
+  let arb_ctx =
+    map
+      ~rev:(fun s -> (s.role_code, s.resource_code, s.action_code))
+      (fun (r, rs, a) -> { role_code = r; resource_code = rs; action_code = a })
+      (triple (int_bound (Array.length roles)) (int_bound 2) (int_bound 1))
+  in
+  pair (pair (list_of_size (Gen.int_bound 6) arb_rule) (int_bound 1)) arb_ctx
+
+let result_equal (a : Decision.result) (b : Decision.result) =
+  Decision.equal_decision a.Decision.decision b.Decision.decision
+  && List.length a.Decision.obligations = List.length b.Decision.obligations
+  && List.for_all2 Obligation.equal a.Decision.obligations b.Decision.obligations
+
+let show_result (r : Decision.result) =
+  Printf.sprintf "%s [%s]"
+    (Decision.decision_to_string r.Decision.decision)
+    (String.concat "; " (List.map (fun o -> o.Obligation.id) r.Decision.obligations))
+
+(* --- oracle 1: reference vs target index ------------------------------- *)
+
+let index_oracle (name, alg) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "index == reference (%s)" name)
+    ~count:1000 arb_case
+    (fun (pspec, cspec) ->
+      let policy = policy_of_spec alg pspec in
+      let ctx = ctx_of_spec cspec in
+      let reference = Policy.evaluate ctx policy in
+      let indexed = Index.evaluate ctx (Index.build policy) in
+      if result_equal reference indexed then true
+      else
+        QCheck.Test.fail_reportf "reference %s <> indexed %s" (show_result reference)
+          (show_result indexed))
+
+(* --- oracle 2: reference vs sharded tier ------------------------------- *)
+
+(* One tier evaluation on a fresh simulated network: three replicas
+   serving the generated policy, one batched query routed by the ring.
+   The tier must agree with the in-process reference evaluation — wire
+   encoding, batching and shard routing may not change any decision. *)
+let tier_evaluate policy ctx =
+  let net = Net.create ~seed:11L () in
+  let services = Service.create (Dacs_net.Rpc.create net) in
+  let shards =
+    List.init 3 (fun i ->
+        let node = Printf.sprintf "pdp%d" i in
+        Net.add_node net node;
+        ignore
+          (Pdp_service.create services ~node ~name:node
+             ~root:(Policy.Inline_policy policy) ());
+        node)
+  in
+  Net.add_node net "dispatch";
+  let tier = Pdp_tier.create services ~node:"dispatch" ~shards () in
+  let answer = ref None in
+  Pdp_tier.decide tier ctx (fun r -> answer := Some r);
+  Net.run net;
+  !answer
+
+let tier_oracle (name, alg) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "sharded tier == reference (%s)" name)
+    ~count:1000 arb_case
+    (fun (pspec, cspec) ->
+      let policy = policy_of_spec alg pspec in
+      let ctx = ctx_of_spec cspec in
+      let reference = Policy.evaluate ctx policy in
+      match tier_evaluate policy ctx with
+      | None -> QCheck.Test.fail_reportf "tier never answered"
+      | Some (Error e) -> QCheck.Test.fail_reportf "tier failed closed: %s" e
+      | Some (Ok tiered) ->
+        if result_equal reference tiered then true
+        else
+          QCheck.Test.fail_reportf "reference %s <> tier %s" (show_result reference)
+            (show_result tiered))
+
+let algorithms =
+  [
+    ("deny-overrides", Combine.Deny_overrides);
+    ("permit-overrides", Combine.Permit_overrides);
+    ("first-applicable", Combine.First_applicable);
+    ("only-one-applicable", Combine.Only_one_applicable);
+    ("ordered-deny-overrides", Combine.Ordered_deny_overrides);
+    ("ordered-permit-overrides", Combine.Ordered_permit_overrides);
+  ]
+
+let () =
+  Alcotest.run "dacs_oracle"
+    [
+      ("index-differential", List.map (fun a -> QCheck_alcotest.to_alcotest (index_oracle a)) algorithms);
+      ("tier-differential", List.map (fun a -> QCheck_alcotest.to_alcotest (tier_oracle a)) algorithms);
+    ]
