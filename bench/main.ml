@@ -1147,6 +1147,195 @@ let e16_sharded_tier () =
   List.iter (fun f -> Printf.printf "E16 FAILURE: %s\n" f) !failures
 
 (* ==================================================================== *)
+(* E17 — hierarchical caching + batched attribute resolution ablation   *)
+(* ==================================================================== *)
+
+let e17_cache_hierarchy () =
+  header "E17  Hierarchical caching + batched attribute resolution (ablation)"
+    "stacking the cache hierarchy — per-PEP L1, domain-shared L2, PDP attribute \
+     cache with one-round-trip batched PIP fetches, single-flight coalescing — \
+     cuts warm-path message cost to the bare request/response pair (< 2.2 \
+     msgs/req) and attribute RPCs per decision by >= 2x, without changing any \
+     decision";
+  let users = 12 in
+  let actions = [ "read"; "write"; "audit" ] in
+  (* Deny-overrides over independent permit conditions: one decision
+     needs all three subject attributes, none carried by the client. *)
+  let policy =
+    Policy.Inline_policy
+      (Policy.make ~id:"attr-heavy" ~issuer:"d" ~rule_combining:Combine.Deny_overrides
+         [
+           Rule.permit ~condition:(Expr.one_of (Expr.subject_attr "role") [ "doctor" ]) "by-role";
+           Rule.permit
+             ~condition:(Expr.one_of (Expr.subject_attr "clearance") [ "secret" ])
+             "by-clearance";
+           Rule.permit
+             ~condition:(Expr.one_of (Expr.subject_attr "department") [ "cardio" ])
+             "by-department";
+         ])
+  in
+  (* One run: two PEP replicas guard the same resource.  Cold phase —
+     every (user, action) hits replica 0 twice at the same instant (the
+     coalescing opportunity), then once at replica 1 (the L2
+     opportunity).  Warm phase — every pair revisits both replicas.
+     Decisions must all be Permit; messages and attribute frames are
+     counted per phase. *)
+  let run ~l2 ~attr_batch ~coalesce =
+    let net, services = fresh () in
+    let add id =
+      Net.add_node net id;
+      id
+    in
+    let pip = Pip.create services ~node:(add "pip") ~name:"pip" in
+    let pdp =
+      Pdp_service.create services ~node:(add "pdp") ~name:"pdp" ~root:policy ~pips:[ "pip" ]
+        ?attr_cache_ttl:(if attr_batch then Some 3600.0 else None)
+        ()
+    in
+    let l2_cache =
+      if l2 then Some (Cache_hierarchy.L2.create services ~node:(add "l2") ~ttl:3600.0 ()) else None
+    in
+    let peps =
+      List.init 2 (fun i ->
+          let pep =
+            Pep.create services ~node:(add (Printf.sprintf "pep%d" i)) ~domain:"d" ~resource:"r"
+              ~content:"x"
+              (Pep.Pull
+                 {
+                   pdps = [ "pdp" ];
+                   cache = Some (Decision_cache.create ~ttl:3600.0 ());
+                   call_timeout = 5.0;
+                 })
+          in
+          Option.iter (fun c -> Pep.set_l2 pep (Some (Cache_hierarchy.L2.node c))) l2_cache;
+          Pep.set_coalescing pep coalesce;
+          pep)
+    in
+    let pep0 = List.nth peps 0 and pep1 = List.nth peps 1 in
+    let clients =
+      List.init users (fun i ->
+          let user = Printf.sprintf "u%d" i in
+          List.iter
+            (fun (id, v) -> Pip.add_subject_attribute pip ~subject:user ~id (Value.String v))
+            [ ("role", "doctor"); ("clearance", "secret"); ("department", "cardio") ];
+          Client.create services
+            ~node:(add ("cli." ^ user))
+            ~subject:[ ("subject-id", Value.String user) ])
+    in
+    let granted = ref 0 and total = ref 0 and lats = ref [] in
+    let issue client pep action ~at =
+      incr total;
+      Engine.schedule_at (Net.engine net) ~at (fun () ->
+          let t0 = Net.now net in
+          Client.request client ~pep:(Pep.node pep) ~action ~timeout:5.0 (fun r ->
+              lats := (Net.now net -. t0) :: !lats;
+              match r with Ok (Wire.Granted _) -> incr granted | _ -> ()))
+    in
+    (* Cold phase: spread (user, action) slots one virtual second apart
+       so the PDP attribute cache can fill between a user's actions. *)
+    Net.reset_stats net;
+    let slot = ref (Net.now net +. 1.0) in
+    List.iteri
+      (fun _ client ->
+        List.iter
+          (fun action ->
+            issue client pep0 action ~at:!slot;
+            issue client pep0 action ~at:!slot;
+            (* concurrent duplicate *)
+            slot := !slot +. 1.0)
+          actions)
+      clients;
+    let replica_phase = !slot +. 6.0 in
+    List.iteri
+      (fun i client ->
+        List.iteri
+          (fun ai action ->
+            issue client pep1 action
+              ~at:(replica_phase +. float_of_int ((i * List.length actions) + ai)))
+          actions)
+      clients;
+    Net.run net;
+    let cold_requests = !total in
+    let cold_sent = (Net.total_sent net).Net.count in
+    (* Warm phase: every pair revisits both replicas; all answers must
+       come from L1. *)
+    Net.reset_stats net;
+    let warm_at = Net.now net +. 1.0 in
+    List.iter
+      (fun client ->
+        List.iter
+          (fun action ->
+            issue client pep0 action ~at:warm_at;
+            issue client pep1 action ~at:warm_at)
+          actions)
+      clients;
+    Net.run net;
+    let warm_requests = !total - cold_requests in
+    let warm_sent = (Net.total_sent net).Net.count in
+    let stats = List.map Pep.stats peps in
+    let sum f = List.fold_left (fun acc s -> acc + f s) 0 stats in
+    let sorted = List.sort compare !lats in
+    let pct p =
+      match sorted with
+      | [] -> 0.0
+      | _ ->
+        let n = List.length sorted in
+        List.nth sorted (min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+    in
+    ( !granted,
+      !total,
+      float_of_int cold_sent /. float_of_int cold_requests,
+      float_of_int warm_sent /. float_of_int warm_requests,
+      (Pdp_service.stats pdp).Pdp_service.pip_fetches,
+      sum (fun s -> s.Pep.l2_hits),
+      sum (fun s -> s.Pep.coalesced),
+      1000.0 *. pct 0.50,
+      1000.0 *. pct 0.99 )
+  in
+  let configs =
+    [
+      ("l1 only", false, false, false);
+      ("l1+l2", true, false, false);
+      ("l1+l2+attr-batch", true, true, false);
+      ("full (+coalescing)", true, true, true);
+    ]
+  in
+  Printf.printf "%-20s %9s %9s %9s %11s %8s %10s %9s %9s\n" "configuration" "granted" "cold m/r"
+    "warm m/r" "attr frames" "l2 hits" "coalesced" "p50 (ms)" "p99 (ms)";
+  let failures = ref [] in
+  let results =
+    List.map
+      (fun (label, l2, attr_batch, coalesce) ->
+        let ((granted, total, cold_mpr, warm_mpr, frames, l2_hits, coalesced, p50, p99) as r) =
+          run ~l2 ~attr_batch ~coalesce
+        in
+        Printf.printf "%-20s %4d/%-4d %9.2f %9.2f %11d %8d %10d %9.2f %9.2f\n" label granted total
+          cold_mpr warm_mpr frames l2_hits coalesced p50 p99;
+        if granted <> total then
+          failures := Printf.sprintf "%s: only %d/%d granted" label granted total :: !failures;
+        (label, r))
+      configs
+  in
+  let frames_of label =
+    let _, (_, _, _, _, frames, _, _, _, _) = (label, List.assoc label results) in
+    frames
+  in
+  let _, _, _, full_warm, _, _, _, _, _ = List.assoc "full (+coalescing)" results in
+  let legacy = frames_of "l1+l2" and batched = frames_of "l1+l2+attr-batch" in
+  let reduction = float_of_int legacy /. float_of_int (max 1 batched) in
+  if full_warm >= 2.2 then
+    failures := Printf.sprintf "warm msgs/req %.2f not < 2.2" full_warm :: !failures;
+  if reduction < 2.0 then
+    failures := Printf.sprintf "attribute-frame reduction %.2fx below 2x" reduction :: !failures;
+  Printf.printf "\nE17 CHECK warm msgs/req < 2.2 (full config): %s (%.2f)\n"
+    (if full_warm < 2.2 then "PASS" else "FAIL")
+    full_warm;
+  Printf.printf "E17 CHECK attr RPCs/decision reduced >= 2x by batching: %s (%.2fx, %d -> %d frames)\n"
+    (if reduction >= 2.0 then "PASS" else "FAIL")
+    reduction legacy batched;
+  List.iter (fun f -> Printf.printf "E17 FAILURE: %s\n" f) !failures
+
+(* ==================================================================== *)
 (* Micro-benchmarks (Bechamel)                                          *)
 (* ==================================================================== *)
 
@@ -1221,6 +1410,7 @@ let experiments =
     ("e14", e14_resilience);
     ("e15", e15_telemetry);
     ("e16", e16_sharded_tier);
+    ("e17", e17_cache_hierarchy);
     ("micro", micro);
   ]
 

@@ -465,6 +465,133 @@ let tier_cmd shards batch seed requests json =
   end;
   if !granted = total then 0 else 1
 
+(* --- cache ------------------------------------------------------------------- *)
+
+(* Walk one workload down the full decision-cache ladder: cold requests
+   that fill the caches (with the PDP batching its PIP fetches), a
+   replica pass answered by the shared L2, a warm pass answered by L1,
+   a concurrent duplicate pass absorbed by single-flight coalescing —
+   then an invalidation round that empties every level. *)
+let cache_cmd seed json =
+  let module Net = Dacs_net.Net in
+  let module Engine = Dacs_net.Engine in
+  let module Rpc = Dacs_net.Rpc in
+  let module Value = Dacs_policy.Value in
+  let module Expr = Dacs_policy.Expr in
+  let module Rule = Dacs_policy.Rule in
+  let net = Net.create ~seed:(Int64.of_int seed) () in
+  let services = Dacs_ws.Service.create (Rpc.create net) in
+  let add id =
+    Net.add_node net id;
+    id
+  in
+  let policy =
+    Policy.Inline_policy
+      (Policy.make ~id:"attr-heavy" ~rule_combining:Combine.Deny_overrides
+         [
+           Rule.permit ~condition:(Expr.one_of (Expr.subject_attr "role") [ "doctor" ]) "by-role";
+           Rule.permit
+             ~condition:(Expr.one_of (Expr.subject_attr "clearance") [ "secret" ])
+             "by-clearance";
+         ])
+  in
+  let pip = Pip.create services ~node:(add "pip") ~name:"pip" in
+  let pdp =
+    Pdp_service.create services ~node:(add "pdp") ~name:"pdp" ~root:policy ~pips:[ "pip" ]
+      ~attr_cache_ttl:3600.0 ()
+  in
+  let l2 = Cache_hierarchy.L2.create services ~node:(add "l2") ~ttl:3600.0 () in
+  let peps =
+    List.init 2 (fun i ->
+        let pep =
+          Pep.create services
+            ~node:(add (Printf.sprintf "pep%d" i))
+            ~domain:"demo" ~resource:"demo-resource" ~content:"42"
+            (Pep.Pull
+               {
+                 pdps = [ "pdp" ];
+                 cache = Some (Decision_cache.create ~ttl:3600.0 ());
+                 call_timeout = 5.0;
+               })
+        in
+        Pep.set_l2 pep (Some (Cache_hierarchy.L2.node l2));
+        pep)
+  in
+  Cache_hierarchy.L2.set_on_invalidate l2 (fun key ->
+      List.iter
+        (fun pep ->
+          match key with
+          | None -> Pep.invalidate_cache pep
+          | Some key -> Pep.invalidate_key pep ~key)
+        peps);
+  let pep0 = List.nth peps 0 and pep1 = List.nth peps 1 in
+  let users = 4 in
+  let clients =
+    List.init users (fun i ->
+        let user = Printf.sprintf "user%d" i in
+        List.iter
+          (fun (id, v) -> Pip.add_subject_attribute pip ~subject:user ~id (Value.String v))
+          [ ("role", "doctor"); ("clearance", "secret") ];
+        Client.create services
+          ~node:(add ("cli." ^ user))
+          ~subject:[ ("subject-id", Value.String user) ])
+  in
+  let granted = ref 0 and total = ref 0 in
+  let issue client pep ~at =
+    incr total;
+    Engine.schedule_at (Net.engine net) ~at (fun () ->
+        Client.request client ~pep:(Pep.node pep) ~action:"read" ~timeout:5.0 (fun r ->
+            match r with Ok (Wire.Granted _) -> incr granted | _ -> ()))
+  in
+  let phase f =
+    let t0 = Net.now net +. 1.0 in
+    List.iteri (fun i client -> f client (t0 +. float_of_int i)) clients;
+    Net.run net
+  in
+  (* cold at replica 0, with a same-instant duplicate for the coalescer *)
+  phase (fun c at ->
+      issue c pep0 ~at;
+      issue c pep0 ~at);
+  (* replica pass: pep1 answers from the shared L2 *)
+  phase (fun c at -> issue c pep1 ~at);
+  (* warm pass: both replicas answer from L1 *)
+  Net.reset_stats net;
+  let warm_start = !total in
+  phase (fun c at ->
+      issue c pep0 ~at;
+      issue c pep1 ~at);
+  let warm_requests = !total - warm_start in
+  let warm_mpr = float_of_int (Net.total_sent net).Net.count /. float_of_int warm_requests in
+  (* revocation-style invalidation round empties every level *)
+  Cache_hierarchy.L2.invalidate_all l2;
+  Net.run net;
+  let l2_size = Cache_hierarchy.L2.size l2 in
+  let stat f = List.fold_left (fun acc pep -> acc + f (Pep.stats pep)) 0 peps in
+  let l1_hits = stat (fun s -> s.Pep.cache_hits) in
+  let l2_hits = stat (fun s -> s.Pep.l2_hits) in
+  let coalesced = stat (fun s -> s.Pep.coalesced) in
+  let attr_frames = (Pdp_service.stats pdp).Pdp_service.pip_fetches in
+  let attr_served = Pip.lookups_served pip in
+  if json then
+    Printf.printf
+      "{\"seed\":%d,\"requests\":%d,\"granted\":%d,\"warm_msgs_per_req\":%.2f,\"attr_frames\":%d,\"attrs_served\":%d,\"l1_hits\":%d,\"l2_hits\":%d,\"coalesced\":%d,\"l2_size_after_invalidation\":%d}\n"
+      seed !total !granted warm_mpr attr_frames attr_served l1_hits l2_hits coalesced l2_size
+  else begin
+    Printf.printf
+      "cache hierarchy: %d users, 2 PEP replicas over one shared L2, attribute-caching PDP\n\n"
+      users;
+    Printf.printf "%-44s %8d\n" "requests granted" !granted;
+    Printf.printf "%-44s %8d\n" "requests issued" !total;
+    Printf.printf "%-44s %8.2f\n" "warm-path messages per request" warm_mpr;
+    Printf.printf "%-44s %8d\n" "attribute fetch frames (batched)" attr_frames;
+    Printf.printf "%-44s %8d\n" "attributes served by the PIP" attr_served;
+    Printf.printf "%-44s %8d\n" "L1 hits" l1_hits;
+    Printf.printf "%-44s %8d\n" "shared L2 hits" l2_hits;
+    Printf.printf "%-44s %8d\n" "coalesced (single-flight)" coalesced;
+    Printf.printf "%-44s %8d\n" "L2 entries after invalidation round" l2_size
+  end;
+  if !granted = !total && warm_mpr < 2.2 && l2_size = 0 then 0 else 1
+
 (* --- cmdliner wiring ------------------------------------------------------------ *)
 
 open Cmdliner
@@ -557,10 +684,30 @@ let tier_t =
           shard, and run the burst again — printing per-shard load and failover counts")
     Term.(const tier_cmd $ shards_arg $ batch_arg $ sim_seed_arg $ requests_arg $ json_flag)
 
+let cache_t =
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:
+         "Walk one workload down the decision-cache ladder (L1, shared L2, PDP attribute cache \
+          with batched PIP fetches, single-flight coalescing), then run an invalidation round \
+          and report per-level hit counts")
+    Term.(const cache_cmd $ sim_seed_arg $ json_flag)
+
 let main =
   Cmd.group
     (Cmd.info "dacs" ~version:"1.0.0"
        ~doc:"Dependable access control for multi-domain computing environments")
-    [ validate_t; evaluate_t; conflicts_t; rbac_compile_t; demo_t; chaos_t; trace_t; metrics_t; tier_t ]
+    [
+      validate_t;
+      evaluate_t;
+      conflicts_t;
+      rbac_compile_t;
+      demo_t;
+      chaos_t;
+      trace_t;
+      metrics_t;
+      tier_t;
+      cache_t;
+    ]
 
 let () = exit (Cmd.eval' main)

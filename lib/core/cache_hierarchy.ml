@@ -1,0 +1,284 @@
+module Service = Dacs_ws.Service
+module Engine = Dacs_net.Engine
+module Context = Dacs_policy.Context
+module Decision = Dacs_policy.Decision
+module Value = Dacs_policy.Value
+module Metrics = Dacs_telemetry.Metrics
+module Trace = Dacs_telemetry.Trace
+
+(* ===================================================================== *)
+(* PDP-side attribute cache                                              *)
+(* ===================================================================== *)
+
+module Attr_cache = struct
+  type entry = { bag : Value.bag; expires : float }
+
+  type t = {
+    ttl : float;
+    table : (string * string * string, entry) Hashtbl.t;  (* category, id, subject *)
+    c_hits : Metrics.counter;
+    c_misses : Metrics.counter;
+    c_invalidations : Metrics.counter;
+  }
+
+  let create metrics ~node ~ttl =
+    if ttl <= 0.0 then invalid_arg "Attr_cache.create: ttl must be positive";
+    let own ?help name = Metrics.counter metrics ?help ~labels:[ ("node", node) ] name in
+    {
+      ttl;
+      table = Hashtbl.create 64;
+      c_hits = own "pdp_attr_cache_hits_total" ~help:"Attribute bags served from the PDP cache";
+      c_misses = own "pdp_attr_cache_misses_total" ~help:"Attribute-cache lookups that missed";
+      c_invalidations =
+        own "pdp_attr_cache_invalidations_total"
+          ~help:"Cached attribute bags dropped on PIP invalidation";
+    }
+
+  let key category id subject = (Context.category_name category, id, subject)
+
+  let find t ~now ~category ~id ~subject =
+    match Hashtbl.find_opt t.table (key category id subject) with
+    | Some e when now < e.expires ->
+      Metrics.inc t.c_hits;
+      Some e.bag
+    | Some _ ->
+      Hashtbl.remove t.table (key category id subject);
+      Metrics.inc t.c_misses;
+      None
+    | None ->
+      Metrics.inc t.c_misses;
+      None
+
+  let store t ~now ~category ~id ~subject bag =
+    Hashtbl.replace t.table (key category id subject) { bag; expires = now +. t.ttl }
+
+  let invalidate_subject t ~subject ~id =
+    let k = key Context.Subject id subject in
+    if Hashtbl.mem t.table k then begin
+      Hashtbl.remove t.table k;
+      Metrics.inc t.c_invalidations
+    end
+
+  let clear t = Hashtbl.reset t.table
+  let size t = Hashtbl.length t.table
+  let hits t = Metrics.counter_value t.c_hits
+  let misses t = Metrics.counter_value t.c_misses
+end
+
+(* ===================================================================== *)
+(* Single-flight coalescing                                              *)
+(* ===================================================================== *)
+
+module Single_flight = struct
+  type 'a t = {
+    inflight : (string, ('a -> unit) list ref) Hashtbl.t;
+    c_coalesced : Metrics.counter;
+  }
+
+  type 'a join =
+    | Leader of ('a -> unit)
+    | Coalesced
+
+  let create metrics ~node =
+    {
+      inflight = Hashtbl.create 16;
+      c_coalesced =
+        Metrics.counter metrics ~labels:[ ("node", node) ]
+          ~help:"Identical in-flight queries folded onto one upstream call" "coalesced_total";
+    }
+
+  let join t ~key k =
+    match Hashtbl.find_opt t.inflight key with
+    | Some waiters ->
+      waiters := k :: !waiters;
+      Metrics.inc t.c_coalesced;
+      Coalesced
+    | None ->
+      let waiters = ref [] in
+      Hashtbl.replace t.inflight key waiters;
+      Leader
+        (fun result ->
+          (* Unregister before delivering: a continuation issuing the same
+             query again must start a new flight, not join a finished one. *)
+          Hashtbl.remove t.inflight key;
+          k result;
+          List.iter (fun w -> w result) (List.rev !waiters))
+
+  let inflight t = Hashtbl.length t.inflight
+  let coalesced t = Metrics.counter_value t.c_coalesced
+  let counter t = t.c_coalesced
+end
+
+(* ===================================================================== *)
+(* Domain-level shared L2 decision cache                                 *)
+(* ===================================================================== *)
+
+module L2 = struct
+  type t = {
+    services : Service.t;
+    node : Dacs_net.Net.node_id;
+    cache : Decision_cache.t;
+    mutable children : Dacs_net.Net.node_id list;
+    mutable epoch : int;  (** full purges applied here *)
+    mutable parent_epoch : int;  (** parent's epoch as last pushed/polled *)
+    mutable on_invalidate : string option -> unit;
+    c_lookups : Metrics.counter;
+    c_hits : Metrics.counter;
+    c_puts : Metrics.counter;
+    c_invalidations : Metrics.counter;
+    h_latency : Metrics.histogram;
+  }
+
+  type stats = { lookups : int; hits : int; puts : int; invalidations : int; size : int; epoch : int }
+
+  let node t = t.node
+  let epoch (t : t) = t.epoch
+  let size t = Decision_cache.size t.cache
+  let set_on_invalidate t f = t.on_invalidate <- f
+  let now t = Dacs_net.Net.now (Service.net t.services)
+  let tracer t = Service.tracer t.services
+
+  let stats t =
+    {
+      lookups = Metrics.counter_value t.c_lookups;
+      hits = Metrics.counter_value t.c_hits;
+      puts = Metrics.counter_value t.c_puts;
+      invalidations = Metrics.counter_value t.c_invalidations;
+      size = Decision_cache.size t.cache;
+      epoch = t.epoch;
+    }
+
+  let subscribe t ~child =
+    if not (List.mem child t.children) then t.children <- child :: t.children
+
+  (* Fan an invalidation down the syndication hierarchy (Fig. 5 in
+     reverse: purges flow parent -> child, the same edges policy updates
+     flow).  Each child ack is a sample of the invalidation latency —
+     how long a revoked grant can still be served from that child. *)
+  let fan_out t key =
+    let started = now t in
+    List.iter
+      (fun child ->
+        Service.call t.services ~src:t.node ~dst:child ~service:"cache-invalidate"
+          (Wire.cache_invalidate ~epoch:t.epoch key)
+          (fun reply ->
+            match reply with
+            | Ok _ -> Metrics.observe t.h_latency (now t -. started)
+            | Error _ -> ()))
+      t.children
+
+  let apply_invalidation t key =
+    (match key with
+    | None ->
+      Decision_cache.invalidate_all t.cache;
+      t.epoch <- t.epoch + 1
+    | Some k -> Decision_cache.invalidate t.cache ~key:k);
+    Metrics.inc t.c_invalidations;
+    t.on_invalidate key;
+    fan_out t key
+
+  let invalidate_all t =
+    Trace.record (tracer t) ("l2:invalidate-all " ^ t.node);
+    apply_invalidation t None
+
+  let invalidate t ~key = apply_invalidation t (Some key)
+
+  (* Anti-entropy backstop: poll the parent's epoch; any full purge we
+     missed (down at push time, partitioned, ...) is applied within one
+     round, so a revocation bounds every descendant's staleness by the
+     polling period. *)
+  let enable_anti_entropy t ~parent ~period =
+    if period <= 0.0 then invalid_arg "L2.enable_anti_entropy: period must be positive";
+    let engine = Dacs_net.Net.engine (Service.net t.services) in
+    let rec poll () =
+      Service.call t.services ~src:t.node ~dst:parent ~service:"cache-sync"
+        (Wire.cache_sync ~known_epoch:t.parent_epoch)
+        (fun reply ->
+          (match reply with
+          | Ok body -> (
+            match Wire.parse_cache_epoch body with
+            | Ok epoch when epoch > t.parent_epoch ->
+              t.parent_epoch <- epoch;
+              apply_invalidation t None
+            | Ok _ | Error _ -> ())
+          | Error _ -> ());
+          Engine.schedule engine ~delay:period poll)
+    in
+    poll ()
+
+  let create services ~node ?metrics ?(max_entries = 4096) ~ttl () =
+    let registry = match metrics with Some m -> m | None -> Service.metrics services in
+    let own ?help name = Metrics.counter registry ?help ~labels:[ ("node", node) ] name in
+    let t =
+      {
+        services;
+        node;
+        cache = Decision_cache.create ~metrics:registry ~owner:node ~max_entries ~ttl ();
+        children = [];
+        epoch = 0;
+        parent_epoch = 0;
+        on_invalidate = (fun _ -> ());
+        c_lookups = own "l2_lookups_total" ~help:"Shared-cache lookups served";
+        c_hits = own "l2_hits_total" ~help:"Shared-cache lookups answered with a fresh decision";
+        c_puts = own "l2_puts_total" ~help:"Decisions stored into the shared cache";
+        c_invalidations = own "l2_invalidations_total" ~help:"Invalidation rounds applied";
+        h_latency =
+          Metrics.histogram registry
+            ~help:"Virtual seconds from an invalidation to each child's ack"
+            ~buckets:[ 0.001; 0.005; 0.01; 0.05; 0.1; 0.5; 1.0; 5.0 ]
+            ~labels:[ ("node", node) ] "l2_invalidation_latency_seconds";
+      }
+    in
+    let fault reason = Dacs_ws.Soap.fault_body { Dacs_ws.Soap.code = "soap:Sender"; reason } in
+    Service.serve services ~node ~service:"cache-lookup" (fun ~caller:_ ~headers:_ body reply ->
+        Metrics.inc t.c_lookups;
+        match Wire.parse_cache_lookup body with
+        | Error e -> reply (fault e)
+        | Ok key ->
+          let answer = Decision_cache.get t.cache ~now:(now t) ~key in
+          if answer <> None then Metrics.inc t.c_hits;
+          reply (Wire.cache_answer answer));
+    Service.serve services ~node ~service:"cache-put" (fun ~caller:_ ~headers:_ body reply ->
+        match Wire.parse_cache_put body with
+        | Error e -> reply (fault e)
+        | Ok (key, result) ->
+          Metrics.inc t.c_puts;
+          Decision_cache.put t.cache ~now:(now t) ~key result;
+          reply (Dacs_xml.Xml.element "CachePutAck"));
+    Service.serve services ~node ~service:"cache-invalidate" (fun ~caller:_ ~headers:_ body reply ->
+        match Wire.parse_cache_invalidate body with
+        | Error e -> reply (fault e)
+        | Ok (sender_epoch, key) ->
+          if key = None then t.parent_epoch <- max t.parent_epoch sender_epoch;
+          apply_invalidation t key;
+          reply (Wire.cache_epoch ~epoch:t.epoch));
+    Service.serve services ~node ~service:"cache-sync" (fun ~caller:_ ~headers:_ body reply ->
+        match Wire.parse_cache_sync body with
+        | Error e -> reply (fault e)
+        | Ok _known -> reply (Wire.cache_epoch ~epoch:t.epoch));
+    t
+
+  (* --- client side (what a PEP calls) ---------------------------------- *)
+
+  let remote_lookup services ~src ~l2 ?(timeout = 1.0) ~key k =
+    Service.call services ~src ~dst:l2 ~service:"cache-lookup" ~timeout (Wire.cache_lookup ~key)
+      (fun reply ->
+        match reply with
+        | Ok body -> (
+          match Wire.parse_cache_answer body with
+          | Ok answer -> k answer
+          | Error _ -> k None)
+        | Error _ ->
+          (* An unreachable shared cache is a miss, never a failure: the
+             caller continues down the ladder to the live tier. *)
+          k None)
+
+  let remote_put services ~src ~l2 ~key result =
+    Service.call services ~src ~dst:l2 ~service:"cache-put" (Wire.cache_put ~key result)
+      (fun _ -> ())
+
+  let remote_invalidate services ~src ~l2 ?key ?(k = fun () -> ()) () =
+    Service.call services ~src ~dst:l2 ~service:"cache-invalidate"
+      (Wire.cache_invalidate ~epoch:0 key)
+      (fun _ -> k ())
+end

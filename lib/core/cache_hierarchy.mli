@@ -1,0 +1,166 @@
+(** Multi-level caching for the decision path (§3.2 communication
+    performance).
+
+    Three mechanisms, composable and individually optional, that cut the
+    per-decision message count without changing any decision:
+
+    - {!Attr_cache}: a PDP-side TTL cache of attribute bags, filled by
+      batched PIP round trips and invalidated explicitly when a PIP
+      drops a subject attribute.
+    - {!Single_flight}: concurrent identical in-flight queries (same
+      {!Decision_cache.request_key}) share one upstream call instead of
+      stampeding the decision tier.
+    - {!L2}: a domain-level shared decision cache service, consulted by
+      PEPs between their private L1 and the PDP tier; revocation-driven
+      invalidations fan out along the syndication hierarchy (push) with
+      an anti-entropy poll as the backstop, so a revoked grant is purged
+      from every member within one round.
+
+    The stale-degradation ladder composes unchanged:
+    L1 fresh -> L2 fresh -> live tier -> bounded-stale L1 -> fail closed. *)
+
+(** {1 PDP-side attribute cache} *)
+
+module Attr_cache : sig
+  type t
+
+  val create : Dacs_telemetry.Metrics.t -> node:string -> ttl:float -> t
+  (** Mirrors hits/misses/invalidations into
+      [pdp_attr_cache_*_total{node}].  Raises [Invalid_argument] on a
+      non-positive TTL. *)
+
+  val find :
+    t ->
+    now:float ->
+    category:Dacs_policy.Context.category ->
+    id:string ->
+    subject:string ->
+    Dacs_policy.Value.bag option
+  (** [Some bag] within the TTL (the bag may be empty: negative entries
+      suppress refetching attributes no PIP has); [None] on miss or
+      expiry (the expired entry is dropped). *)
+
+  val store :
+    t ->
+    now:float ->
+    category:Dacs_policy.Context.category ->
+    id:string ->
+    subject:string ->
+    Dacs_policy.Value.bag ->
+    unit
+
+  val invalidate_subject : t -> subject:string -> id:string -> unit
+  (** What a PIP's [attribute-invalidate] push triggers: drop the cached
+      subject-category bag for (subject, id). *)
+
+  val clear : t -> unit
+  val size : t -> int
+  val hits : t -> int
+  val misses : t -> int
+end
+
+(** {1 Single-flight coalescing} *)
+
+module Single_flight : sig
+  type 'a t
+
+  type 'a join =
+    | Leader of ('a -> unit)
+        (** proceed upstream; call the returned continuation with the
+            result to deliver to yourself and every coalesced waiter *)
+    | Coalesced  (** an identical query is in flight; your continuation
+                     fires when the leader's result arrives *)
+
+  val create : Dacs_telemetry.Metrics.t -> node:string -> 'a t
+  (** Coalesced joins count into [coalesced_total{node}]. *)
+
+  val join : 'a t -> key:string -> ('a -> unit) -> 'a join
+
+  val inflight : 'a t -> int
+  val coalesced : 'a t -> int
+
+  val counter : 'a t -> Dacs_telemetry.Metrics.counter
+  (** The [coalesced_total] cell, for owners folding it into their own
+      stats/reset machinery. *)
+end
+
+(** {1 Domain-level shared L2 decision cache} *)
+
+module L2 : sig
+  type t
+
+  val create :
+    Dacs_ws.Service.t ->
+    node:Dacs_net.Net.node_id ->
+    ?metrics:Dacs_telemetry.Metrics.t ->
+    ?max_entries:int ->
+    ttl:float ->
+    unit ->
+    t
+  (** Registers [cache-lookup], [cache-put], [cache-invalidate] and
+      [cache-sync] on [node].  Storage is a {!Decision_cache} (owner =
+      node), so the usual [decision_cache_*{cache}] series apply on top
+      of the [l2_*_total{node}] counters and the
+      [l2_invalidation_latency_seconds{node}] histogram. *)
+
+  val node : t -> Dacs_net.Net.node_id
+
+  val subscribe : t -> child:Dacs_net.Net.node_id -> unit
+  (** Wire a child L2 under this one: full purges and keyed drops fan
+      out to every subscribed child (and recursively to theirs). *)
+
+  val enable_anti_entropy : t -> parent:Dacs_net.Net.node_id -> period:float -> unit
+  (** Poll the parent's invalidation epoch every [period] seconds and
+      apply any full purge the push missed — the one-round staleness
+      bound for revocations. *)
+
+  val set_on_invalidate : t -> (string option -> unit) -> unit
+  (** Local hook run on every applied invalidation ([None] = full
+      purge); domains use it to purge their PEPs' L1 caches in the same
+      round. *)
+
+  val invalidate_all : t -> unit
+  (** Revocation entry point: purge here, bump the epoch, fan out. *)
+
+  val invalidate : t -> key:string -> unit
+
+  val epoch : t -> int
+  val size : t -> int
+
+  type stats = { lookups : int; hits : int; puts : int; invalidations : int; size : int; epoch : int }
+
+  val stats : t -> stats
+
+  (** {2 Client side (PEP helpers)} *)
+
+  val remote_lookup :
+    Dacs_ws.Service.t ->
+    src:Dacs_net.Net.node_id ->
+    l2:Dacs_net.Net.node_id ->
+    ?timeout:float ->
+    key:string ->
+    (Dacs_policy.Decision.result option -> unit) ->
+    unit
+  (** Transport failures and malformed answers are reported as misses:
+      the shared cache can never make a decision path fail. *)
+
+  val remote_put :
+    Dacs_ws.Service.t ->
+    src:Dacs_net.Net.node_id ->
+    l2:Dacs_net.Net.node_id ->
+    key:string ->
+    Dacs_policy.Decision.result ->
+    unit
+  (** Fire-and-forget. *)
+
+  val remote_invalidate :
+    Dacs_ws.Service.t ->
+    src:Dacs_net.Net.node_id ->
+    l2:Dacs_net.Net.node_id ->
+    ?key:string ->
+    ?k:(unit -> unit) ->
+    unit ->
+    unit
+  (** Trigger an invalidation round from outside the hierarchy (e.g. a
+      capability authority on revocation); [k] fires on the ack. *)
+end

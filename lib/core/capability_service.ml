@@ -4,6 +4,7 @@ module Value = Dacs_policy.Value
 module Policy = Dacs_policy.Policy
 module Decision = Dacs_policy.Decision
 module Assertion = Dacs_saml.Assertion
+module Metrics = Dacs_telemetry.Metrics
 
 type format =
   | Saml
@@ -18,8 +19,10 @@ type t = {
   mutable root : Policy.child option;
   validity : float;
   revoked : (string, unit) Hashtbl.t;
-  mutable issued : int;
-  mutable revocation_checks : int;
+  (* Stats live in the bus-wide registry like every other component's;
+     the issued counter doubles as the assertion id sequence. *)
+  c_issued : Metrics.counter;
+  c_revocation_checks : Metrics.counter;
 }
 
 let node t = t.node
@@ -45,7 +48,7 @@ let decide t ~subject ~resource ~action =
     (Policy.evaluate_child ctx root).Decision.decision
 
 let issue t ~subject ~pairs =
-  t.issued <- t.issued + 1;
+  Metrics.inc t.c_issued;
   let subject_name =
     match List.assoc_opt "subject-id" subject with
     | Some v -> Value.to_string v
@@ -61,7 +64,7 @@ let issue t ~subject ~pairs =
   in
   let unsigned =
     Assertion.make
-      ~id:(Printf.sprintf "cap-%s-%d" t.issuer t.issued)
+      ~id:(Printf.sprintf "cap-%s-%d" t.issuer (Metrics.counter_value t.c_issued))
       ~issuer:t.issuer ~subject:subject_name ~issued_at:(now t) ~validity:t.validity statements
   in
   Assertion.sign t.keypair.Dacs_crypto.Rsa.private_ unsigned
@@ -70,8 +73,8 @@ let revoke t ~assertion_id = Hashtbl.replace t.revoked assertion_id ()
 
 let is_revoked t ~assertion_id = Hashtbl.mem t.revoked assertion_id
 
-let issued_count t = t.issued
-let revocation_checks_served t = t.revocation_checks
+let issued_count t = Metrics.counter_value t.c_issued
+let revocation_checks_served t = Metrics.counter_value t.c_revocation_checks
 
 let create services ~node ~issuer ~keypair ?root ?(validity = 300.0) ?(format = Saml) () =
   let t =
@@ -84,8 +87,12 @@ let create services ~node ~issuer ~keypair ?root ?(validity = 300.0) ?(format = 
       root;
       validity;
       revoked = Hashtbl.create 16;
-      issued = 0;
-      revocation_checks = 0;
+      c_issued =
+        Metrics.counter (Service.metrics services) ~labels:[ ("node", node) ]
+          ~help:"Capability assertions issued" "cas_issued_total";
+      c_revocation_checks =
+        Metrics.counter (Service.metrics services) ~labels:[ ("node", node) ]
+          ~help:"Revocation-status queries served" "cas_revocation_checks_total";
     }
   in
   Service.serve services ~node ~service:"capability-request"
@@ -99,7 +106,7 @@ let create services ~node ~issuer ~keypair ?root ?(validity = 300.0) ?(format = 
           | Saml -> Assertion.to_xml assertion
           | X509_attribute_cert -> Dacs_saml.Attribute_cert.to_xml assertion));
   Service.serve services ~node ~service:"revocation-check" (fun ~caller:_ ~headers:_ body reply ->
-      t.revocation_checks <- t.revocation_checks + 1;
+      Metrics.inc t.c_revocation_checks;
       match Wire.parse_revocation_check body with
       | Error e -> reply (Dacs_ws.Soap.fault_body { Dacs_ws.Soap.code = "soap:Sender"; reason = e })
       | Ok assertion_id -> reply (Wire.revocation_status ~revoked:(is_revoked t ~assertion_id)));

@@ -48,4 +48,8 @@ val revoke : t -> assertion_id:string -> unit
 val is_revoked : t -> assertion_id:string -> bool
 
 val issued_count : t -> int
+(** Reads the registry's [cas_issued_total{node}] counter (which also
+    numbers the assertion ids). *)
+
 val revocation_checks_served : t -> int
+(** Reads the registry's [cas_revocation_checks_total{node}] counter. *)

@@ -114,11 +114,21 @@ let evict_one t =
   go ()
 
 let put t ~now ~key result =
-  if not (Hashtbl.mem t.table key) && Hashtbl.length t.table >= t.max_entries then evict_one t;
-  let stamp = t.next_stamp in
-  t.next_stamp <- t.next_stamp + 1;
-  Hashtbl.replace t.table key { result; expires = now +. t.ttl; stamp };
-  Queue.add (key, stamp) t.order
+  match result.Dacs_policy.Decision.decision with
+  | Dacs_policy.Decision.Indeterminate _ ->
+    (* Never cache errors: an Indeterminate is a statement about the
+       authorisation machinery at one instant, not about the policy, and
+       caching one would keep failing requests after the fault clears. *)
+    ()
+  | Dacs_policy.Decision.Permit | Dacs_policy.Decision.Deny | Dacs_policy.Decision.Not_applicable ->
+    (* Negative caching: Deny and NotApplicable are cached under the same
+       TTL as Permit — a hot mistaken request is as worth absorbing as a
+       hot granted one, and invalidation rounds purge all three alike. *)
+    if not (Hashtbl.mem t.table key) && Hashtbl.length t.table >= t.max_entries then evict_one t;
+    let stamp = t.next_stamp in
+    t.next_stamp <- t.next_stamp + 1;
+    Hashtbl.replace t.table key { result; expires = now +. t.ttl; stamp };
+    Queue.add (key, stamp) t.order
 
 let invalidate t ~key = Hashtbl.remove t.table key
 

@@ -41,6 +41,11 @@ val lookup : t -> now:float -> max_stale:float -> key:string -> lookup
     expired beyond [max_stale] are removed and counted as expiries. *)
 
 val put : t -> now:float -> key:string -> Dacs_policy.Decision.result -> unit
+(** Permit, Deny and NotApplicable are all cached under the same TTL —
+    negative caching: absorbing a hot denied request saves the same
+    round trips as a hot granted one.  Indeterminate results are never
+    stored: they describe a machinery fault at one instant, and caching
+    one would keep failing requests after the fault clears. *)
 
 val invalidate : t -> key:string -> unit
 val invalidate_all : t -> unit

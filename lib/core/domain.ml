@@ -20,6 +20,7 @@ type t = {
   mutable local : Policy.child option;
   mutable vo_policy : Policy.child option;
   mutable peps : Pep.t list;
+  mutable l2 : Cache_hierarchy.L2.t option;
 }
 
 let name t = t.name
@@ -56,7 +57,10 @@ let republish t =
   | None -> ()
   | Some root ->
     Pap.publish t.pap root;
-    List.iter Pep.invalidate_cache t.peps
+    List.iter Pep.invalidate_cache t.peps;
+    (* Decisions in the shared cache were made under the old policy; the
+       purge fans out to any subscribed child caches too. *)
+    Option.iter Cache_hierarchy.L2.invalidate_all t.l2
 
 let set_local_policy t child =
   t.local <- Some child;
@@ -105,7 +109,27 @@ let seed_of_name name =
     digest;
   !v
 
-let create services ~name ?seed () =
+let l2 t = t.l2
+
+let attach_l2 t ?max_entries ~ttl () =
+  match t.l2 with
+  | Some l2 -> l2
+  | None ->
+    let net = Service.net t.services in
+    let node = t.name ^ ".l2" in
+    Dacs_net.Net.add_node net node;
+    let l2 = Cache_hierarchy.L2.create t.services ~node ?max_entries ~ttl () in
+    (* Every invalidation round that reaches the domain cache also purges
+       the PEPs' private L1s, so no cache level outlives a revocation. *)
+    Cache_hierarchy.L2.set_on_invalidate l2 (fun key ->
+        match key with
+        | None -> List.iter Pep.invalidate_cache t.peps
+        | Some key -> List.iter (fun pep -> Pep.invalidate_key pep ~key) t.peps);
+    List.iter (fun pep -> Pep.set_l2 pep (Some node)) t.peps;
+    t.l2 <- Some l2;
+    l2
+
+let create services ~name ?seed ?attr_cache_ttl () =
   let seed = Option.value seed ~default:(seed_of_name name) in
   let rng = Dacs_crypto.Rng.create seed in
   let ca = Rsa.generate rng ~bits:512 in
@@ -123,7 +147,7 @@ let create services ~name ?seed () =
   let pip = Pip.create services ~node:(node "pip") ~name:(name ^ "-pip") in
   let pdp =
     Pdp_service.create services ~node:(node "pdp") ~name:(name ^ "-pdp") ~pap:(Pap.node pap)
-      ~pips:[ Pip.node pip ] ()
+      ~pips:[ Pip.node pip ] ?attr_cache_ttl ()
   in
   let idp = Idp.create services ~node:(node "idp") ~issuer:("idp." ^ name) ~keypair:idp_keys () in
   let t =
@@ -140,6 +164,7 @@ let create services ~name ?seed () =
       local = None;
       vo_policy = None;
       peps = [];
+      l2 = None;
     }
   in
   (* Syndicated updates land as the VO component of the combined root. *)
@@ -158,6 +183,7 @@ let expose_resource t ~resource ?content ?cache ?pdps ?(call_timeout = 1.0) () =
       ~encryption_key:(Dacs_crypto.Stream_cipher.derive_key (t.name ^ "/" ^ resource))
       (Pep.Pull { pdps; cache; call_timeout })
   in
+  Option.iter (fun l2 -> Pep.set_l2 pep (Some (Cache_hierarchy.L2.node l2))) t.l2;
   t.peps <- pep :: t.peps;
   pep
 

@@ -7,9 +7,11 @@
 
 type t
 
-val create : Dacs_ws.Service.t -> name:string -> ?seed:int64 -> unit -> t
+val create : Dacs_ws.Service.t -> name:string -> ?seed:int64 -> ?attr_cache_ttl:float -> unit -> t
 (** Creates the component nodes and services.  Keys are generated
-    deterministically from [seed] (default: derived from the name). *)
+    deterministically from [seed] (default: derived from the name).
+    [attr_cache_ttl] enables the domain PDP's attribute cache with
+    batched PIP resolution (see {!Pdp_service.create}). *)
 
 val name : t -> string
 val services : t -> Dacs_ws.Service.t
@@ -48,6 +50,18 @@ val allow_policy_updates_from : t -> Dacs_net.Net.node_id list -> unit
 (** Regenerate the PAP's admin policy to permit remote [policy-update]
     calls from the given nodes (the PAP is guarded by the same policy
     machinery as any resource). *)
+
+(** {1 Hierarchical caching} *)
+
+val attach_l2 : t -> ?max_entries:int -> ttl:float -> unit -> Cache_hierarchy.L2.t
+(** Stand up the domain's shared decision cache on node [<domain>.l2]:
+    every PEP of the domain (current and future) consults it between its
+    private L1 and the decision tier, and every invalidation round that
+    reaches it also purges the PEPs' L1s (full or by key), so no cache
+    level outlives a revocation.  Idempotent: a second call returns the
+    existing cache. *)
+
+val l2 : t -> Cache_hierarchy.L2.t option
 
 (** {1 Users and resources} *)
 

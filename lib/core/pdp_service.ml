@@ -53,6 +53,9 @@ type t = {
   retry : Dacs_net.Rpc.retry_policy option;
   counters : counters;
   service_time : float;
+  attr_cache : Cache_hierarchy.Attr_cache.t option;
+  attr_batch : bool;
+  h_attr_batch : Metrics.histogram;
   mutable busy_until : float;
   mutable root : Policy.child option;
   mutable version : int;
@@ -60,6 +63,7 @@ type t = {
 }
 
 let node t = t.node
+let attr_cache t = t.attr_cache
 let tracer t = Service.tracer t.services
 
 let now t = Dacs_net.Net.now (Service.net t.services)
@@ -132,14 +136,31 @@ let ensure_policy t k =
 
 (* --- attribute gathering -------------------------------------------------- *)
 
+let store_attr t ~subject (category, id) bag =
+  match t.attr_cache with
+  | None -> ()
+  | Some ac -> Cache_hierarchy.Attr_cache.store ac ~now:(now t) ~category ~id ~subject bag
+
 (* One evaluation pass, recording the designator lookups that found
-   nothing.  [attempted] prevents refetching attributes a PIP already
-   said it does not have. *)
-let evaluate_pass t ctx attempted =
+   nothing.  The attribute cache answers first — including negatively: a
+   cached empty bag means no PIP had the attribute recently, so it is
+   neither resolved nor refetched.  [attempted] prevents refetching
+   attributes a PIP already said it does not have within this
+   evaluation. *)
+let evaluate_pass t ~subject ctx attempted =
   let misses = ref [] in
   let resolve category id =
-    if not (Hashtbl.mem attempted (category, id)) then misses := (category, id) :: !misses;
-    None
+    let cached =
+      match t.attr_cache with
+      | None -> None
+      | Some ac -> Cache_hierarchy.Attr_cache.find ac ~now:(now t) ~category ~id ~subject
+    in
+    match cached with
+    | Some [] -> None
+    | Some bag -> Some bag
+    | None ->
+      if not (Hashtbl.mem attempted (category, id)) then misses := (category, id) :: !misses;
+      None
   in
   let resolve_ref = local_ref_resolver t in
   let result =
@@ -149,7 +170,9 @@ let evaluate_pass t ctx attempted =
   in
   (result, List.sort_uniq compare !misses)
 
-(* Fetch one attribute from the PIP list (first non-empty answer wins). *)
+(* Legacy sequential fetch: one RPC per (attribute, PIP) attempt, first
+   non-empty answer wins.  Kept behind [attr_batch = false] so the e17
+   ablation can price the batching alone. *)
 let rec fetch_attribute t ~subject (category, id) pips k =
   match pips with
   | [] -> k []
@@ -165,14 +188,72 @@ let rec fetch_attribute t ~subject (category, id) pips k =
           | Ok bag -> k bag)
         | Error _ -> fetch_attribute t ~subject (category, id) rest k)
 
-let rec fetch_all t ~subject misses attempted ctx k =
+let rec fetch_sequential t ~subject misses ctx k =
   match misses with
   | [] -> k ctx
   | ((category, id) as miss) :: rest ->
-    Hashtbl.replace attempted miss ();
     fetch_attribute t ~subject miss t.pips (fun bag ->
+        store_attr t ~subject miss bag;
         let ctx = if bag = [] then ctx else Context.add_bag ctx category id bag in
-        fetch_all t ~subject rest attempted ctx k)
+        fetch_sequential t ~subject rest ctx k)
+
+(* Batched fetch: every outstanding miss rides one multi-part frame to
+   the PIP — one correlation id, one timeout, one retry/breaker envelope
+   for the whole attribute round (the B/BT envelope of the tier).  Only
+   attributes the first PIP answered empty (or a failed frame) move on
+   to the next PIP, preserving the first-non-empty-wins semantics of the
+   sequential path. *)
+let fetch_batched t ~subject misses ctx k =
+  let rec go misses ctx pips =
+    match (misses, pips) with
+    | [], _ -> k ctx
+    | misses, [] ->
+      (* No PIP holds these: negative-cache the absence so the next
+         decision skips the round trip entirely. *)
+      List.iter (fun miss -> store_attr t ~subject miss []) misses;
+      k ctx
+    | misses, pip :: rest ->
+      let handle parts =
+        let ctx, unresolved =
+          List.fold_left2
+            (fun (ctx, unresolved) ((category, id) as miss) part ->
+              match part with
+              | Ok body -> (
+                match Wire.parse_attribute_result body with
+                | Ok [] | Error _ -> (ctx, miss :: unresolved)
+                | Ok bag ->
+                  store_attr t ~subject miss bag;
+                  (Context.add_bag ctx category id bag, unresolved))
+              | Error _ -> (ctx, miss :: unresolved))
+            (ctx, []) misses parts
+        in
+        go (List.rev unresolved) ctx rest
+      in
+      Metrics.inc t.counters.c_pip_fetches;
+      Metrics.observe t.h_attr_batch (float_of_int (List.length misses));
+      let bodies =
+        List.map
+          (fun (category, id) -> Wire.attribute_query ~category ~attribute_id:id ~subject)
+          misses
+      in
+      (match bodies with
+      | [ single ] ->
+        (* A batch of one needs no envelope. *)
+        Service.call_resilient t.services ~src:t.node ~dst:pip ?retry:t.retry
+          ~service:"attribute-query" single (fun result -> handle [ result ])
+      | _ ->
+        Service.call_batch_resilient t.services ~src:t.node ~dst:pip ?retry:t.retry
+          ~service:"attribute-query" bodies (fun result ->
+            match result with
+            | Ok parts -> handle parts
+            | Error e -> handle (List.map (fun _ -> Error e) misses)))
+  in
+  go misses ctx t.pips
+
+let fetch_all t ~subject misses attempted ctx k =
+  List.iter (fun miss -> Hashtbl.replace attempted miss ()) misses;
+  if t.attr_batch then fetch_batched t ~subject misses ctx k
+  else fetch_sequential t ~subject misses ctx k
 
 let evaluate_local t ctx k =
   (* One span per evaluation, covering the PAP refresh and every PIP
@@ -189,7 +270,7 @@ let evaluate_local t ctx k =
       (* The context-handler loop: evaluate, fetch what was missing,
          re-evaluate; bounded to keep pathological policies finite. *)
       let rec loop ctx rounds =
-        let result, misses = evaluate_pass t ctx attempted in
+        let result, misses = evaluate_pass t ~subject ctx attempted in
         if misses = [] || t.pips = [] || rounds >= 4 then begin
           Metrics.inc t.counters.c_queries;
           if Decision.is_permit result then Metrics.inc t.counters.c_permits;
@@ -229,11 +310,15 @@ let when_capacity_free t f =
   end
 
 let create services ~node ~name:_ ?root ?pap ?refresh ?(pips = []) ?signer ?retry
-    ?(service_time = 0.0) () =
+    ?(service_time = 0.0) ?attr_cache_ttl ?(attr_batch = true) () =
   let refresh =
     match refresh with
     | Some r -> r
     | None -> (match pap with Some _ -> Every_query | None -> Never)
+  in
+  let metrics = Service.metrics services in
+  let attr_cache =
+    Option.map (fun ttl -> Cache_hierarchy.Attr_cache.create metrics ~node ~ttl) attr_cache_ttl
   in
   let t =
     {
@@ -244,14 +329,39 @@ let create services ~node ~name:_ ?root ?pap ?refresh ?(pips = []) ?signer ?retr
       pips;
       signer;
       retry;
-      counters = make_counters (Service.metrics services) ~node;
+      counters = make_counters metrics ~node;
       service_time;
+      attr_cache;
+      attr_batch;
+      h_attr_batch =
+        Metrics.histogram metrics ~help:"Missing attributes fetched per PIP round trip"
+          ~buckets:[ 1.0; 2.0; 4.0; 8.0; 16.0 ]
+          ~labels:[ ("node", node) ] "pdp_attr_batch_size";
       busy_until = 0.0;
       root;
       version = 0;
       fetched_at = -.infinity;
     }
   in
+  (match attr_cache with
+  | None -> ()
+  | Some ac ->
+    (* Explicit invalidation path: the PIP pushes when an attribute is
+       removed, so revocation never waits out the cache TTL. *)
+    Service.serve services ~node ~service:"attribute-invalidate"
+      (fun ~caller:_ ~headers:_ body reply ->
+        match Wire.parse_attribute_invalidate body with
+        | Error e ->
+          reply (Dacs_ws.Soap.fault_body { Dacs_ws.Soap.code = "soap:Sender"; reason = e })
+        | Ok (subject, id) ->
+          Cache_hierarchy.Attr_cache.invalidate_subject ac ~subject ~id;
+          reply (Dacs_xml.Xml.element "InvalidateAck"));
+    List.iter
+      (fun pip ->
+        Service.call services ~src:node ~dst:pip ~service:"attribute-subscribe"
+          (Wire.attribute_subscribe ())
+          (fun _ -> ()))
+      pips);
   Service.serve services ~node ~service:"authz-query" (fun ~caller:_ ~headers:_ body reply ->
       match Wire.parse_authz_query body with
       | Error e -> reply (Dacs_ws.Soap.fault_body { Dacs_ws.Soap.code = "soap:Sender"; reason = e })

@@ -23,6 +23,8 @@ val create :
   ?signer:Dacs_crypto.Rsa.private_key * Dacs_crypto.Cert.t ->
   ?retry:Dacs_net.Rpc.retry_policy ->
   ?service_time:float ->
+  ?attr_cache_ttl:float ->
+  ?attr_batch:bool ->
   unit ->
   t
 (** [refresh] defaults to [Every_query] when a PAP is given, else
@@ -35,9 +37,23 @@ val create :
     evaluation capacity: each query occupies the PDP for that long and
     queues FIFO behind in-progress work, which is what makes single-PDP
     saturation — and the sharded tier's speedup — measurable (E16).  0
-    preserves the historical instantaneous behaviour exactly. *)
+    preserves the historical instantaneous behaviour exactly.
+
+    [attr_cache_ttl] (default: no cache) enables a PDP-side attribute
+    cache: fetched bags (including empty ones — negative entries) are
+    reused across decisions for that long, the PDP subscribes to its
+    PIPs for explicit invalidation pushes ([remove_subject_attribute]
+    purges subscribed caches immediately), and serves
+    ["attribute-invalidate"].  [attr_batch] (default true) resolves all
+    attributes missing from a context-handler round in one multi-part
+    frame per PIP — the B/BT batch envelope — instead of one RPC per
+    attribute; [false] restores the sequential shape (the e17 ablation
+    baseline). *)
 
 val node : t -> Dacs_net.Net.node_id
+
+val attr_cache : t -> Cache_hierarchy.Attr_cache.t option
+(** The attribute cache, when [attr_cache_ttl] was given. *)
 
 val install_policy : t -> Dacs_policy.Policy.child -> unit
 (** Local installation (also what a PAP fetch does internally). *)
@@ -56,7 +72,8 @@ type stats = {
   queries : int;
   permits : int;
   denies : int;
-  pip_fetches : int;  (** attribute-query calls issued *)
+  pip_fetches : int;  (** attribute-query RPC frames issued (a batched
+                          multi-attribute round trip counts once) *)
   pap_fetches : int;  (** policy-query calls issued *)
   pap_refresh_hits : int;  (** PAP said "current" *)
 }

@@ -32,6 +32,8 @@ type stats = {
   breaker_trips : int;
   breaker_rejections : int;
   cache_hits : int;
+  l2_hits : int;
+  coalesced : int;
   stale_serves : int;
   assertion_rejections : int;
   revocation_checks : int;
@@ -51,6 +53,7 @@ type counters = {
   c_breaker_trips : Metrics.counter;
   c_breaker_rejections : Metrics.counter;
   c_cache_hits : Metrics.counter;
+  c_l2_hits : Metrics.counter;
   c_stale_serves : Metrics.counter;
   c_assertion_rejections : Metrics.counter;
   c_revocation_checks : Metrics.counter;
@@ -70,6 +73,7 @@ let make_counters metrics ~node =
     c_breaker_trips = rpc "rpc_breaker_trips_total";
     c_breaker_rejections = rpc "rpc_breaker_rejections_total";
     c_cache_hits = own "pep_cache_hits_total" ~help:"Decisions served fresh from cache";
+    c_l2_hits = own "pep_l2_hits_total" ~help:"Decisions served fresh from the shared L2 cache";
     c_stale_serves = own "pep_stale_serves_total" ~help:"Degraded answers served from expired cache";
     c_assertion_rejections =
       own "pep_assertion_rejections_total" ~help:"Capability assertions rejected";
@@ -86,10 +90,13 @@ type t = {
   audit : Audit.t;
   encryption_key : string option;
   counters : counters;
+  sf : Decision.result Cache_hierarchy.Single_flight.t;
   mutable mode : mode;
   mutable decision_trust : Dacs_crypto.Cert.Trust_store.t option;
   mutable retry : Dacs_net.Rpc.retry_policy option;
   mutable stale_window : float;
+  mutable l2 : Dacs_net.Net.node_id option;
+  mutable coalesce : bool;
 }
 
 let node t = t.node
@@ -110,6 +117,8 @@ let stats t =
     breaker_trips = v c.c_breaker_trips;
     breaker_rejections = v c.c_breaker_rejections;
     cache_hits = v c.c_cache_hits;
+    l2_hits = v c.c_l2_hits;
+    coalesced = Cache_hierarchy.Single_flight.coalesced t.sf;
     stale_serves = v c.c_stale_serves;
     assertion_rejections = v c.c_assertion_rejections;
     revocation_checks = v c.c_revocation_checks;
@@ -129,6 +138,8 @@ let reset_stats t =
       c.c_breaker_trips;
       c.c_breaker_rejections;
       c.c_cache_hits;
+      c.c_l2_hits;
+      Cache_hierarchy.Single_flight.counter t.sf;
       c.c_stale_serves;
       c.c_assertion_rejections;
       c.c_revocation_checks;
@@ -142,6 +153,18 @@ let invalidate_cache t =
   | Pull { cache = Some cache; _ } | Sharded { cache = Some cache; _ } ->
     Decision_cache.invalidate_all cache
   | Pull _ | Sharded _ | Push _ | Agent _ -> ()
+
+let invalidate_key t ~key =
+  match t.mode with
+  | Pull { cache = Some cache; _ } | Sharded { cache = Some cache; _ } ->
+    Decision_cache.invalidate cache ~key
+  | Pull _ | Sharded _ | Push _ | Agent _ -> ()
+
+let set_l2 t l2 = t.l2 <- l2
+let l2 t = t.l2
+
+let set_coalescing t on = t.coalesce <- on
+let coalescing t = t.coalesce
 
 let require_signed_decisions t trust = t.decision_trust <- Some trust
 
@@ -248,97 +271,138 @@ let build_context t ~subject_attrs ~action =
     ~environment:[ ("time", Value.Time (now t)) ]
     ()
 
+(* Ladder plumbing shared by pull and sharded modes: L1 fresh -> L2 fresh
+   -> live tier -> bounded-stale L1 -> fail closed.  Identical concurrent
+   queries (same request key) are coalesced onto one descent. *)
+
+let l1_put t cache ~key result =
+  match cache with
+  | Some cache -> Decision_cache.put cache ~now:(now t) ~key result
+  | None -> ()
+
+let l2_put t ~key result =
+  match t.l2 with
+  | Some l2 -> Cache_hierarchy.L2.remote_put t.services ~src:t.node ~l2 ~key result
+  | None -> ()
+
+(* Consult the domain's shared cache between an L1 miss and the live
+   tier.  A hit also warms L1, so the replica that asked converges to
+   answering locally.  An unreachable or malformed L2 is a miss. *)
+let consult_l2 t cache ~key ~miss k =
+  match t.l2 with
+  | None -> miss ()
+  | Some l2 ->
+    Cache_hierarchy.L2.remote_lookup t.services ~src:t.node ~l2 ~key (fun answer ->
+        match answer with
+        | Some result ->
+          Metrics.inc t.counters.c_l2_hits;
+          Trace.record (tracer t) "pep:l2-hit";
+          l1_put t cache ~key result;
+          k result
+        | None -> miss ())
+
+let join_flight t ~key k =
+  if t.coalesce then Cache_hierarchy.Single_flight.join t.sf ~key k
+  else Cache_hierarchy.Single_flight.Leader k
+
 let pull_decide t ~pdps ~cache ~call_timeout ctx k =
   let key = Decision_cache.request_key ctx in
-  let found =
-    match cache with
-    | None -> Decision_cache.Absent
-    | Some cache -> Decision_cache.lookup cache ~now:(now t) ~max_stale:t.stale_window ~key
-  in
-  match found with
-  | Decision_cache.Fresh result ->
-    Metrics.inc t.counters.c_cache_hits;
-    Trace.record (tracer t) "pep:cache-hit";
-    k result
-  | Decision_cache.Stale _ | Decision_cache.Absent ->
-    (* Degraded availability (§ dependability): with every replica down, a
-       decision expired by at most [stale_window] seconds is still served
-       — the last answer the policy actually gave — in preference to
-       denying all access.  Beyond the bound we fail closed. *)
-    let degrade () =
-      match found with
-      | Decision_cache.Stale { result; _ } when t.stale_window > 0.0 ->
-        Metrics.inc t.counters.c_stale_serves;
-        Trace.record (tracer t) "pep:stale-serve";
-        k result
-      | _ -> k (Decision.indeterminate "no decision point reachable")
+  match join_flight t ~key k with
+  | Cache_hierarchy.Single_flight.Coalesced -> Trace.record (tracer t) "pep:coalesced"
+  | Cache_hierarchy.Single_flight.Leader k -> (
+    let found =
+      match cache with
+      | None -> Decision_cache.Absent
+      | Some cache -> Decision_cache.lookup cache ~now:(now t) ~max_stale:t.stale_window ~key
     in
-    let rec try_pdps = function
-      | [] -> degrade ()
-      | pdp :: rest ->
-        Metrics.inc t.counters.c_pdp_calls;
-        Service.call_resilient t.services ~src:t.node ~dst:pdp ~service:"authz-query"
-          ~timeout:call_timeout ?retry:t.retry (Wire.authz_query ctx)
-          (fun response ->
-            match response with
-            | Ok body -> (
-              let parsed =
-                match t.decision_trust with
-                | None -> Wire.parse_authz_response body
-                | Some trust ->
-                  (* Only authenticated decisions are enforceable. *)
-                  Result.map fst (Wire.verify_signed_authz_response ~trust ~now:(now t) body)
-              in
-              match parsed with
-              | Ok result ->
-                (match cache with
-                | Some cache -> Decision_cache.put cache ~now:(now t) ~key result
-                | None -> ());
-                k result
-              | Error e -> k (Decision.indeterminate ("unacceptable PDP response: " ^ e)))
-            | Error _ ->
-              (* Failover to the next replica (§ dependability). *)
-              if rest <> [] then begin
-                Metrics.inc t.counters.c_failovers;
-                Trace.record (tracer t) ("pep:failover from " ^ pdp)
-              end;
-              try_pdps rest)
-    in
-    try_pdps pdps
+    match found with
+    | Decision_cache.Fresh result ->
+      Metrics.inc t.counters.c_cache_hits;
+      Trace.record (tracer t) "pep:cache-hit";
+      k result
+    | Decision_cache.Stale _ | Decision_cache.Absent ->
+      (* Degraded availability (§ dependability): with every replica down, a
+         decision expired by at most [stale_window] seconds is still served
+         — the last answer the policy actually gave — in preference to
+         denying all access.  Beyond the bound we fail closed. *)
+      let degrade () =
+        match found with
+        | Decision_cache.Stale { result; _ } when t.stale_window > 0.0 ->
+          Metrics.inc t.counters.c_stale_serves;
+          Trace.record (tracer t) "pep:stale-serve";
+          k result
+        | _ -> k (Decision.indeterminate "no decision point reachable")
+      in
+      let rec try_pdps = function
+        | [] -> degrade ()
+        | pdp :: rest ->
+          Metrics.inc t.counters.c_pdp_calls;
+          Service.call_resilient t.services ~src:t.node ~dst:pdp ~service:"authz-query"
+            ~timeout:call_timeout ?retry:t.retry (Wire.authz_query ctx)
+            (fun response ->
+              match response with
+              | Ok body -> (
+                let parsed =
+                  match t.decision_trust with
+                  | None -> Wire.parse_authz_response body
+                  | Some trust ->
+                    (* Only authenticated decisions are enforceable. *)
+                    Result.map fst (Wire.verify_signed_authz_response ~trust ~now:(now t) body)
+                in
+                match parsed with
+                | Ok result ->
+                  l1_put t cache ~key result;
+                  l2_put t ~key result;
+                  k result
+                | Error e -> k (Decision.indeterminate ("unacceptable PDP response: " ^ e)))
+              | Error _ ->
+                (* Failover to the next replica (§ dependability). *)
+                if rest <> [] then begin
+                  Metrics.inc t.counters.c_failovers;
+                  Trace.record (tracer t) ("pep:failover from " ^ pdp)
+                end;
+                try_pdps rest)
+      in
+      consult_l2 t cache ~key ~miss:(fun () -> try_pdps pdps) k)
 
 (* --- sharded mode --------------------------------------------------------- *)
 
 let tier_decide t ~tier ~cache ctx k =
   let key = Decision_cache.request_key ctx in
-  let found =
-    match cache with
-    | None -> Decision_cache.Absent
-    | Some cache -> Decision_cache.lookup cache ~now:(now t) ~max_stale:t.stale_window ~key
-  in
-  match found with
-  | Decision_cache.Fresh result ->
-    Metrics.inc t.counters.c_cache_hits;
-    Trace.record (tracer t) "pep:cache-hit";
-    k result
-  | Decision_cache.Stale _ | Decision_cache.Absent ->
-    Metrics.inc t.counters.c_pdp_calls;
-    Pdp_tier.decide tier ctx (fun outcome ->
-        match outcome with
-        | Ok result ->
-          (match cache with
-          | Some cache -> Decision_cache.put cache ~now:(now t) ~key result
-          | None -> ());
-          k result
-        | Error reason -> (
-          (* Same degradation ladder as pull mode, per shard: the tier
-             already exhausted its replicas, so serve a bounded-stale
-             decision if we hold one, else fail closed. *)
-          match found with
-          | Decision_cache.Stale { result; _ } when t.stale_window > 0.0 ->
-            Metrics.inc t.counters.c_stale_serves;
-            Trace.record (tracer t) "pep:stale-serve";
-            k result
-          | _ -> k (Decision.indeterminate reason)))
+  match join_flight t ~key k with
+  | Cache_hierarchy.Single_flight.Coalesced -> Trace.record (tracer t) "pep:coalesced"
+  | Cache_hierarchy.Single_flight.Leader k -> (
+    let found =
+      match cache with
+      | None -> Decision_cache.Absent
+      | Some cache -> Decision_cache.lookup cache ~now:(now t) ~max_stale:t.stale_window ~key
+    in
+    match found with
+    | Decision_cache.Fresh result ->
+      Metrics.inc t.counters.c_cache_hits;
+      Trace.record (tracer t) "pep:cache-hit";
+      k result
+    | Decision_cache.Stale _ | Decision_cache.Absent ->
+      let live () =
+        Metrics.inc t.counters.c_pdp_calls;
+        Pdp_tier.decide tier ctx (fun outcome ->
+            match outcome with
+            | Ok result ->
+              l1_put t cache ~key result;
+              l2_put t ~key result;
+              k result
+            | Error reason -> (
+              (* Same degradation ladder as pull mode, per shard: the tier
+                 already exhausted its replicas, so serve a bounded-stale
+                 decision if we hold one, else fail closed. *)
+              match found with
+              | Decision_cache.Stale { result; _ } when t.stale_window > 0.0 ->
+                Metrics.inc t.counters.c_stale_serves;
+                Trace.record (tracer t) "pep:stale-serve";
+                k result
+              | _ -> k (Decision.indeterminate reason)))
+      in
+      consult_l2 t cache ~key ~miss:live k)
 
 (* --- push mode --------------------------------------------------------------- *)
 
@@ -396,6 +460,20 @@ let push_decide t ~trusted_issuer ~check_revocation ~local_pdp ~headers ~action 
                 deny_with "revocation authority unreachable")
       end)
 
+(* --- deciding without the wire ----------------------------------------------- *)
+
+(* The full decision ladder for a context, minus the inbound access RPC
+   and enforcement — what the differential oracle drives to prove that no
+   cache level (L1, L2, attribute cache, coalescing) can change a
+   decision.  Push mode decides from presented capabilities, which only
+   exist on the wire, so it is out of scope here. *)
+let decide t ctx k =
+  match t.mode with
+  | Pull { pdps; cache; call_timeout } -> pull_decide t ~pdps ~cache ~call_timeout ctx k
+  | Sharded { tier; cache } -> tier_decide t ~tier ~cache ctx k
+  | Agent pdp -> Pdp_service.evaluate_local pdp ctx k
+  | Push _ -> k (Decision.indeterminate "push-mode PEP decides from presented capabilities")
+
 (* --- service wiring --------------------------------------------------------------- *)
 
 let create services ~node ~domain ~resource ?(content = "resource-content") ?audit
@@ -410,10 +488,13 @@ let create services ~node ~domain ~resource ?(content = "resource-content") ?aud
       audit = (match audit with Some a -> a | None -> Audit.create ());
       encryption_key;
       counters = make_counters (Service.metrics services) ~node;
+      sf = Cache_hierarchy.Single_flight.create (Service.metrics services) ~node;
       mode;
       decision_trust = None;
       retry = None;
       stale_window = 0.0;
+      l2 = None;
+      coalesce = true;
     }
   in
   Service.serve services ~node ~service:"access" (fun ~caller:_ ~headers body reply ->
@@ -444,10 +525,8 @@ let create services ~node ~domain ~resource ?(content = "resource-content") ?aud
         let saved = Trace.current tr in
         if Trace.enabled tr then Trace.set_current tr (Some (Trace.context span));
         (match t.mode with
-        | Pull { pdps; cache; call_timeout } -> pull_decide t ~pdps ~cache ~call_timeout ctx finish
-        | Sharded { tier; cache } -> tier_decide t ~tier ~cache ctx finish
         | Push { trusted_issuer; check_revocation; local_pdp } ->
           push_decide t ~trusted_issuer ~check_revocation ~local_pdp ~headers ~action ctx finish
-        | Agent pdp -> Pdp_service.evaluate_local pdp ctx finish);
+        | Pull _ | Sharded _ | Agent _ -> decide t ctx finish);
         Trace.set_current tr saved);
   t

@@ -61,6 +61,36 @@ val audit : t -> Audit.t
 val invalidate_cache : t -> unit
 (** Called when the PEP learns its policy changed. *)
 
+val invalidate_key : t -> key:string -> unit
+(** Drop one L1 entry by request key — what a keyed L2 invalidation round
+    applies at the leaves of the hierarchy. *)
+
+val decide : t -> Dacs_policy.Context.t -> (Dacs_policy.Decision.result -> unit) -> unit
+(** The decision ladder for a context without the inbound access RPC or
+    enforcement: L1 fresh -> L2 fresh -> live tier -> bounded-stale L1 ->
+    fail closed, with identical concurrent queries coalesced.  This is
+    what the differential oracle drives to prove that no cache level can
+    change a decision.  In push mode (capabilities live on the wire)
+    answers Indeterminate. *)
+
+(** {1 Hierarchical caching} *)
+
+val set_l2 : t -> Dacs_net.Net.node_id option -> unit
+(** Attach (or detach) the domain's shared {!Cache_hierarchy.L2} service:
+    pull and sharded modes consult it between an L1 miss and the live
+    tier, warm L1 from its hits, and publish live decisions back to it.
+    An unreachable L2 degrades to a miss, never a failure. *)
+
+val l2 : t -> Dacs_net.Net.node_id option
+
+val set_coalescing : t -> bool -> unit
+(** Single-flight coalescing (default on): concurrent identical queries —
+    same {!Decision_cache.request_key} — share one descent of the ladder
+    instead of stampeding the decision tier.  [false] restores the
+    one-descent-per-request shape (the e17 ablation baseline). *)
+
+val coalescing : t -> bool
+
 val require_signed_decisions : t -> Dacs_crypto.Cert.Trust_store.t -> unit
 (** Pull mode only: from now on, accept only decision responses signed by
     a PDP whose certificate chains to the given trust store (mutual
@@ -113,6 +143,8 @@ type stats = {
   breaker_trips : int;  (** circuit-breaker opens observed on our calls *)
   breaker_rejections : int;  (** calls shed without touching the network *)
   cache_hits : int;
+  l2_hits : int;  (** decisions served fresh from the shared L2 cache *)
+  coalesced : int;  (** queries folded onto an identical in-flight one *)
   stale_serves : int;  (** degraded answers served from expired cache *)
   assertion_rejections : int;
   revocation_checks : int;

@@ -4,13 +4,18 @@ module Value = Dacs_policy.Value
 module Metrics = Dacs_telemetry.Metrics
 
 type t = {
+  services : Service.t;
   node : Dacs_net.Net.node_id;
   subject_attrs : (string * string, Value.bag) Hashtbl.t;  (* (subject, id) *)
   environment : (string, unit -> Value.bag) Hashtbl.t;
+  mutable subscribers : Dacs_net.Net.node_id list;  (* PDP attribute caches *)
   c_lookups : Metrics.counter;
+  c_invalidations : Metrics.counter;
 }
 
 let node t = t.node
+
+let subscribers t = t.subscribers
 
 let set_subject_attribute t ~subject ~id bag = Hashtbl.replace t.subject_attrs (subject, id) bag
 
@@ -18,7 +23,17 @@ let add_subject_attribute t ~subject ~id v =
   let prev = Option.value (Hashtbl.find_opt t.subject_attrs (subject, id)) ~default:[] in
   Hashtbl.replace t.subject_attrs (subject, id) (prev @ [ v ])
 
-let remove_subject_attribute t ~subject ~id = Hashtbl.remove t.subject_attrs (subject, id)
+let remove_subject_attribute t ~subject ~id =
+  Hashtbl.remove t.subject_attrs (subject, id);
+  (* Revocation is the one mutation that must not wait out a TTL: push an
+     explicit invalidation to every subscribed attribute cache. *)
+  List.iter
+    (fun dst ->
+      Metrics.inc t.c_invalidations;
+      Service.call t.services ~src:t.node ~dst ~service:"attribute-invalidate"
+        (Wire.attribute_invalidate ~subject ~attribute_id:id)
+        (fun _ -> ()))
+    t.subscribers
 
 let set_environment t ~id f = Hashtbl.replace t.environment id f
 
@@ -33,19 +48,35 @@ let lookup t ~category ~id ~subject =
 let create services ~node ~name:_ =
   let t =
     {
+      services;
       node;
       subject_attrs = Hashtbl.create 64;
       environment = Hashtbl.create 8;
+      subscribers = [];
       c_lookups =
         Metrics.counter (Service.metrics services) ~help:"Attribute lookups served"
           ~labels:[ ("node", node) ] "pip_lookups_total";
+      c_invalidations =
+        Metrics.counter (Service.metrics services)
+          ~help:"Attribute invalidations pushed to subscribed caches"
+          ~labels:[ ("node", node) ] "pip_invalidations_sent_total";
     }
   in
+  (* Batched attribute queries arrive as multi-part B/BT frames whose
+     parts are ordinary AttributeQuery bodies: the RPC layer dispatches
+     each part here, so one handler serves both shapes. *)
   Service.serve services ~node ~service:"attribute-query" (fun ~caller:_ ~headers:_ body reply ->
       Metrics.inc t.c_lookups;
       match Wire.parse_attribute_query body with
       | Error e -> reply (Dacs_ws.Soap.fault_body { Dacs_ws.Soap.code = "soap:Sender"; reason = e })
       | Ok (category, id, subject) -> reply (Wire.attribute_result (lookup t ~category ~id ~subject)));
+  Service.serve services ~node ~service:"attribute-subscribe"
+    (fun ~caller ~headers:_ body reply ->
+      match Wire.parse_attribute_subscribe body with
+      | Error e -> reply (Dacs_ws.Soap.fault_body { Dacs_ws.Soap.code = "soap:Sender"; reason = e })
+      | Ok () ->
+        if not (List.mem caller t.subscribers) then t.subscribers <- caller :: t.subscribers;
+        reply (Dacs_xml.Xml.element "SubscribeAck"));
   t
 
 let lookups_served t = Metrics.counter_value t.c_lookups

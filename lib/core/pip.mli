@@ -7,9 +7,15 @@
 type t
 
 val create : Dacs_ws.Service.t -> node:Dacs_net.Net.node_id -> name:string -> t
-(** Registers the ["attribute-query"] service. *)
+(** Registers the ["attribute-query"] service (single queries and the
+    parts of batched B/BT frames dispatch to the same handler) and
+    ["attribute-subscribe"], through which PDP attribute caches register
+    for invalidation pushes. *)
 
 val node : t -> Dacs_net.Net.node_id
+
+val subscribers : t -> Dacs_net.Net.node_id list
+(** Nodes subscribed for attribute-invalidation pushes. *)
 
 val set_subject_attribute : t -> subject:string -> id:string -> Dacs_policy.Value.bag -> unit
 (** Replace the bag for (subject, attribute id). *)
@@ -17,7 +23,9 @@ val set_subject_attribute : t -> subject:string -> id:string -> Dacs_policy.Valu
 val add_subject_attribute : t -> subject:string -> id:string -> Dacs_policy.Value.t -> unit
 
 val remove_subject_attribute : t -> subject:string -> id:string -> unit
-(** Revocation: subsequent queries return an empty bag. *)
+(** Revocation: subsequent queries return an empty bag, and every
+    subscribed PDP attribute cache is pushed an explicit invalidation so
+    the drop does not wait out a cache TTL. *)
 
 val set_environment : t -> id:string -> (unit -> Dacs_policy.Value.bag) -> unit
 (** Computed environment attribute, e.g. the current simulation time. *)

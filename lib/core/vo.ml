@@ -8,6 +8,7 @@ type t = {
   domains : Domain.t list;
   vo_pap : Pap.t;
   cas : Capability_service.t;
+  mutable l2_root : Cache_hierarchy.L2.t option;
 }
 
 let name t = t.name
@@ -35,7 +36,7 @@ let form services ~name domains =
       Pap.subscribe_local vo_pap ~child:(Domain.pap_node domain);
       Domain.allow_policy_updates_from domain [ Pap.node vo_pap ])
     domains;
-  { name; services; domains; vo_pap; cas }
+  { name; services; domains; vo_pap; cas; l2_root = None }
 
 let publish_policy t child =
   Capability_service.set_policy t.cas child;
@@ -68,6 +69,37 @@ let pdp_tier t ~node ~shards ?batch ?linger ?vnodes ?service_time ?refresh ?root
       ?vnodes ()
   in
   (tier, replicas)
+
+(* The caching mirror of policy syndication (Fig. 5): a VO-root cache
+   node with every domain's shared L2 subscribed under it.  Invalidations
+   push root -> domain -> PEP L1 along the same edges policy updates
+   flow, and each domain polls the root's epoch as the anti-entropy
+   backstop, so a revocation purges every member within one round even if
+   a push was lost. *)
+let cache_hierarchy t ?max_entries ~ttl ?(anti_entropy_period = 5.0) () =
+  match t.l2_root with
+  | Some root -> root
+  | None ->
+    let net = Service.net t.services in
+    let node = t.name ^ ".l2" in
+    Dacs_net.Net.add_node net node;
+    let root = Cache_hierarchy.L2.create t.services ~node ?max_entries ~ttl () in
+    List.iter
+      (fun domain ->
+        let l2 = Domain.attach_l2 domain ?max_entries ~ttl () in
+        Cache_hierarchy.L2.subscribe root ~child:(Cache_hierarchy.L2.node l2);
+        Cache_hierarchy.L2.enable_anti_entropy l2 ~parent:node ~period:anti_entropy_period)
+      t.domains;
+    t.l2_root <- Some root;
+    root
+
+let l2_root t = t.l2_root
+
+let revoke_capability t ~assertion_id =
+  Capability_service.revoke t.cas ~assertion_id;
+  (* Decisions influenced by the revoked grant may sit in any cache
+     level; one invalidation round from the root purges them all. *)
+  Option.iter Cache_hierarchy.L2.invalidate_all t.l2_root
 
 let client_for t ~domain ~user subject =
   let net = Service.net t.services in

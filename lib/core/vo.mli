@@ -53,6 +53,27 @@ val pdp_tier :
     {!Pdp_service.create}).  Returns the tier and the replicas so callers
     can install policies or crash individual shards. *)
 
+(** {1 Hierarchical caching} *)
+
+val cache_hierarchy :
+  t -> ?max_entries:int -> ttl:float -> ?anti_entropy_period:float -> unit -> Cache_hierarchy.L2.t
+(** The caching mirror of policy syndication (Fig. 5): stands up a
+    VO-root cache node [<name>.l2], attaches every member domain's
+    shared L2 (creating them as needed, see {!Domain.attach_l2}) as its
+    children, and enables each domain's anti-entropy poll against the
+    root every [anti_entropy_period] (default 5) virtual seconds.
+    Invalidations push root → domain → PEP L1 along the same edges
+    policy updates flow; the poll bounds a lost push's staleness by one
+    period.  Idempotent. *)
+
+val l2_root : t -> Cache_hierarchy.L2.t option
+
+val revoke_capability : t -> assertion_id:string -> unit
+(** Revoke at the capability service {e and} run one invalidation round
+    from the cache-hierarchy root (when one exists), so no cache level in
+    any member domain keeps serving decisions influenced by the revoked
+    grant. *)
+
 val client_for :
   t -> domain:Domain.t -> user:string -> (string * Dacs_policy.Value.t) list -> Client.t
 (** Create a client node [<domain>.client.<user>] with the given subject

@@ -146,6 +146,88 @@ let parse_attribute_result node =
   let* pairs = parse_attr_elements (Xml.find_children node "Attribute") in
   Ok (List.map snd pairs)
 
+let attribute_subscribe () = Xml.element "AttributeSubscribe"
+
+let parse_attribute_subscribe node = expect_tag node "AttributeSubscribe"
+
+let attribute_invalidate ~subject ~attribute_id =
+  Xml.element "AttributeInvalidate" ~attrs:[ ("Subject", subject); ("AttributeId", attribute_id) ]
+
+let parse_attribute_invalidate node =
+  let* () = expect_tag node "AttributeInvalidate" in
+  let* subject = attr_or_error node "Subject" in
+  let* attribute_id = attr_or_error node "AttributeId" in
+  Ok (subject, attribute_id)
+
+(* --- shared decision cache (PEP <-> L2, L2 <-> L2) ------------------------- *)
+
+let cache_lookup ~key = Xml.element "CacheLookup" ~attrs:[ ("Key", key) ]
+
+let parse_cache_lookup node =
+  let* () = expect_tag node "CacheLookup" in
+  attr_or_error node "Key"
+
+let cache_answer result =
+  match result with
+  | None -> Xml.element "CacheMiss"
+  | Some r -> Xml.element "CacheHit" ~children:[ Dacs_policy.Xacml_xml.result_to_xml r ]
+
+let parse_cache_answer node =
+  match Xml.local_name (Xml.tag node) with
+  | "CacheMiss" -> Ok None
+  | "CacheHit" -> (
+    match Xml.find_child node "Response" with
+    | None -> Error "CacheHit has no Response"
+    | Some r ->
+      let* result = Dacs_policy.Xacml_xml.result_of_xml r in
+      Ok (Some result))
+  | other -> Error (Printf.sprintf "unexpected cache answer <%s>" other)
+
+let cache_put ~key result =
+  Xml.element "CachePut" ~attrs:[ ("Key", key) ]
+    ~children:[ Dacs_policy.Xacml_xml.result_to_xml result ]
+
+let parse_cache_put node =
+  let* () = expect_tag node "CachePut" in
+  let* key = attr_or_error node "Key" in
+  match Xml.find_child node "Response" with
+  | None -> Error "CachePut has no Response"
+  | Some r ->
+    let* result = Dacs_policy.Xacml_xml.result_of_xml r in
+    Ok (key, result)
+
+let cache_invalidate ~epoch key =
+  Xml.element "CacheInvalidate"
+    ~attrs:
+      (("Epoch", string_of_int epoch)
+      :: (match key with None -> [] | Some k -> [ ("Key", k) ]))
+
+let parse_cache_invalidate node =
+  let* () = expect_tag node "CacheInvalidate" in
+  let* epoch_s = attr_or_error node "Epoch" in
+  match int_of_string_opt epoch_s with
+  | None -> Error "Epoch is not an integer"
+  | Some epoch -> Ok (epoch, Xml.attr node "Key")
+
+let cache_sync ~known_epoch =
+  Xml.element "CacheSync" ~attrs:[ ("KnownEpoch", string_of_int known_epoch) ]
+
+let parse_cache_sync node =
+  let* () = expect_tag node "CacheSync" in
+  let* s = attr_or_error node "KnownEpoch" in
+  match int_of_string_opt s with
+  | Some e -> Ok e
+  | None -> Error "KnownEpoch is not an integer"
+
+let cache_epoch ~epoch = Xml.element "CacheEpoch" ~attrs:[ ("Epoch", string_of_int epoch) ]
+
+let parse_cache_epoch node =
+  let* () = expect_tag node "CacheEpoch" in
+  let* s = attr_or_error node "Epoch" in
+  match int_of_string_opt s with
+  | Some e -> Ok e
+  | None -> Error "Epoch is not an integer"
+
 (* --- policy distribution ------------------------------------------------------ *)
 
 let policy_query ~scope ~known_version =

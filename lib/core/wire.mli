@@ -54,6 +54,48 @@ val parse_attribute_query :
 val attribute_result : Dacs_policy.Value.bag -> Xml.t
 val parse_attribute_result : Xml.t -> (Dacs_policy.Value.bag, string) result
 
+val attribute_subscribe : unit -> Xml.t
+(** PDP -> PIP: register the caller for attribute-invalidation pushes.
+    Batched attribute queries need no frame of their own: a multi-part
+    B/BT envelope whose parts are ordinary {!attribute_query} bodies is
+    one attribute-resolution round trip. *)
+
+val parse_attribute_subscribe : Xml.t -> (unit, string) result
+
+val attribute_invalidate : subject:string -> attribute_id:string -> Xml.t
+(** PIP -> subscribed PDPs: [remove_subject_attribute] happened — drop
+    any cached bag for this (subject, attribute). *)
+
+val parse_attribute_invalidate : Xml.t -> (string * string, string) result
+
+(** {1 Shared decision cache (PEP <-> L2, L2 <-> L2 syndication)} *)
+
+val cache_lookup : key:string -> Xml.t
+val parse_cache_lookup : Xml.t -> (string, string) result
+
+val cache_answer : Dacs_policy.Decision.result option -> Xml.t
+(** [None] encodes a miss, [Some r] a fresh hit carrying the decision. *)
+
+val parse_cache_answer : Xml.t -> (Dacs_policy.Decision.result option, string) result
+
+val cache_put : key:string -> Dacs_policy.Decision.result -> Xml.t
+val parse_cache_put : Xml.t -> (string * Dacs_policy.Decision.result, string) result
+
+val cache_invalidate : epoch:int -> string option -> Xml.t
+(** Full purge when the key is [None], single-entry drop otherwise.
+    [epoch] is the sender's invalidation-round counter after applying the
+    purge, letting receivers deduplicate against anti-entropy polls. *)
+
+val parse_cache_invalidate : Xml.t -> (int * string option, string) result
+
+val cache_sync : known_epoch:int -> Xml.t
+(** Anti-entropy poll: "my view of your invalidation epoch is N". *)
+
+val parse_cache_sync : Xml.t -> (int, string) result
+
+val cache_epoch : epoch:int -> Xml.t
+val parse_cache_epoch : Xml.t -> (int, string) result
+
 (** {1 Policy distribution (PDP/PAP, PAP/PAP syndication)} *)
 
 val policy_query : scope:string -> known_version:int -> Xml.t

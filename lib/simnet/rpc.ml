@@ -113,6 +113,11 @@ let batches_counter t service =
     ~labels:[ ("service", service) ]
     "rpc_batches_total"
 
+let batch_parts_counter t service =
+  Metrics.counter t.metrics ~help:"Individual queries carried inside batched round-trips."
+    ~labels:[ ("service", service) ]
+    "rpc_batch_parts_total"
+
 let batch_size_buckets = [ 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0 ]
 
 let batch_size_histogram t service =
@@ -446,6 +451,7 @@ let call_batch t ~src ~dst ~service ?timeout ?category bodies k =
   if n = 0 then invalid_arg "Rpc.call_batch: empty batch";
   Metrics.inc (calls_counter t service);
   Metrics.inc (batches_counter t service);
+  Metrics.inc ~by:n (batch_parts_counter t service);
   Metrics.observe (batch_size_histogram t service) (float_of_int n);
   issue t ~src ~dst ~service ?timeout ?category ~span_label:"rpc-batch:"
     ~annotate_span:(fun s -> Trace.annotate s "batch" (string_of_int n))

@@ -1,0 +1,534 @@
+(* Hierarchical caching and batched attribute resolution (E17).
+
+   Covers the three mechanisms of Cache_hierarchy — the PDP attribute
+   cache with batched PIP round trips, single-flight coalescing at the
+   PEP, and the domain-level shared L2 decision cache with
+   revocation-driven invalidation along the syndication hierarchy — plus
+   the Decision_cache negative-caching rules, ending with the
+   whole-hierarchy revocation property: once an invalidation round
+   completes, no cache level serves a grant the policy no longer gives. *)
+
+module Value = Dacs_policy.Value
+module Policy = Dacs_policy.Policy
+module Rule = Dacs_policy.Rule
+module Target = Dacs_policy.Target
+module Expr = Dacs_policy.Expr
+module Combine = Dacs_policy.Combine
+module Decision = Dacs_policy.Decision
+module Engine = Dacs_net.Engine
+module Net = Dacs_net.Net
+module Rpc = Dacs_net.Rpc
+module Metrics = Dacs_telemetry.Metrics
+module Service = Dacs_ws.Service
+open Dacs_core
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+  m > 0 && go 0
+
+(* --- fixtures ---------------------------------------------------------- *)
+
+(* Deny-overrides over independent permit rules: every rule's condition
+   is evaluated on every pass, so one decision needs all three subject
+   attributes — the attribute-heavy shape the batch resolver is for. *)
+let attr_policy =
+  Policy.Inline_policy
+    (Policy.make ~id:"attr-heavy" ~issuer:"d" ~rule_combining:Combine.Deny_overrides
+       [
+         Rule.permit ~condition:(Expr.one_of (Expr.subject_attr "role") [ "doctor" ]) "by-role";
+         Rule.permit
+           ~condition:(Expr.one_of (Expr.subject_attr "clearance") [ "secret" ])
+           "by-clearance";
+         Rule.permit
+           ~condition:(Expr.one_of (Expr.subject_attr "department") [ "cardio" ])
+           "by-department";
+       ])
+
+(* Single-attribute policy for the L2 / coalescing tests: the subject
+   carries its role inline, so no PIP traffic muddies the counts. *)
+let doctor_policy =
+  Policy.Inline_policy
+    (Policy.make ~id:"doctor" ~issuer:"d" ~rule_combining:Combine.First_applicable
+       [
+         Rule.permit
+           ~target:Target.(any |> subject_is "role" "doctor" |> action_is "action-id" "read")
+           "permit-doctor-read";
+         Rule.deny "default-deny";
+       ])
+
+type fx = {
+  net : Net.t;
+  services : Service.t;
+  pip : Pip.t;
+  pdp : Pdp_service.t;
+  pep : Pep.t;
+  alice : Client.t;
+}
+
+let setup ?(attr_batch = true) ?(attr_cache = true) ?cache () =
+  let net = Net.create ~seed:3L () in
+  let services = Service.create (Rpc.create net) in
+  let add id =
+    Net.add_node net id;
+    id
+  in
+  let pip = Pip.create services ~node:(add "pip") ~name:"pip" in
+  List.iter
+    (fun (id, v) -> Pip.add_subject_attribute pip ~subject:"alice" ~id v)
+    [
+      ("role", Value.String "doctor");
+      ("clearance", Value.String "secret");
+      ("department", Value.String "cardio");
+    ];
+  let pdp =
+    Pdp_service.create services ~node:(add "pdp") ~name:"pdp" ~root:attr_policy ~pips:[ "pip" ]
+      ?attr_cache_ttl:(if attr_cache then Some 60.0 else None)
+      ~attr_batch ()
+  in
+  let pep =
+    Pep.create services ~node:(add "pep") ~domain:"d" ~resource:"r" ~content:"c"
+      (Pep.Pull { pdps = [ "pdp" ]; cache; call_timeout = 5.0 })
+  in
+  let alice =
+    Client.create services ~node:(add "alice") ~subject:[ ("subject-id", Value.String "alice") ]
+  in
+  { net; services; pip; pdp; pep; alice }
+
+let request fx ?(client = fx.alice) ?(action = "read") ~at outcome =
+  Engine.schedule_at (Net.engine fx.net) ~at (fun () ->
+      Client.request client ~pep:"pep" ~action ~timeout:5.0 (fun r -> outcome := Some r))
+
+let granted o = match !o with Some (Ok (Wire.Granted _)) -> true | _ -> false
+let denied o = match !o with Some (Ok (Wire.Denied _)) -> true | _ -> false
+
+(* --- batched attribute resolution -------------------------------------- *)
+
+let test_batched_single_round_trip () =
+  let fx = setup () in
+  let o1 = ref None in
+  request fx ~at:1.0 o1;
+  Net.run fx.net;
+  check bool_ "granted" true (granted o1);
+  check int_ "three attributes resolved in one frame" 1
+    (Pdp_service.stats fx.pdp).Pdp_service.pip_fetches;
+  check int_ "the PIP served all three" 3 (Pip.lookups_served fx.pip);
+  check int_ "PDP subscribed for invalidations" 1 (List.length (Pip.subscribers fx.pip));
+  (* Second decision: the attribute cache is warm, no PIP traffic at all. *)
+  let o2 = ref None in
+  request fx ~at:10.0 o2;
+  Net.run fx.net;
+  check bool_ "granted again" true (granted o2);
+  check int_ "no refetch" 1 (Pdp_service.stats fx.pdp).Pdp_service.pip_fetches;
+  match Pdp_service.attr_cache fx.pdp with
+  | None -> Alcotest.fail "attribute cache expected"
+  | Some c ->
+    check int_ "three bags cached" 3 (Cache_hierarchy.Attr_cache.size c);
+    check bool_ "cache hits recorded" true (Cache_hierarchy.Attr_cache.hits c >= 3)
+
+let test_sequential_ablation () =
+  let fx = setup ~attr_batch:false () in
+  let o1 = ref None in
+  request fx ~at:1.0 o1;
+  Net.run fx.net;
+  check bool_ "granted" true (granted o1);
+  check int_ "one RPC per missing attribute" 3 (Pdp_service.stats fx.pdp).Pdp_service.pip_fetches;
+  check int_ "the PIP served the same three" 3 (Pip.lookups_served fx.pip)
+
+let test_legacy_no_attr_cache () =
+  let fx = setup ~attr_cache:false () in
+  let o1 = ref None and o2 = ref None in
+  request fx ~at:1.0 o1;
+  Net.run fx.net;
+  request fx ~at:10.0 o2;
+  Net.run fx.net;
+  check bool_ "granted" true (granted o1 && granted o2);
+  (* Without the cache every decision resolves afresh (still batched). *)
+  check int_ "one frame per decision" 2 (Pdp_service.stats fx.pdp).Pdp_service.pip_fetches;
+  check int_ "six attribute serves" 6 (Pip.lookups_served fx.pip)
+
+let test_attribute_invalidation_push () =
+  let fx = setup () in
+  let o1 = ref None in
+  request fx ~at:1.0 o1;
+  Net.run fx.net;
+  check bool_ "granted" true (granted o1);
+  (* Dropping one attribute pushes a targeted invalidation: only that
+     attribute is refetched, and the decision still permits through the
+     remaining rules. *)
+  Pip.remove_subject_attribute fx.pip ~subject:"alice" ~id:"role";
+  Net.run fx.net;
+  let o2 = ref None in
+  request fx ~at:10.0 o2;
+  Net.run fx.net;
+  check bool_ "still granted via clearance/department" true (granted o2);
+  check int_ "one extra frame" 2 (Pdp_service.stats fx.pdp).Pdp_service.pip_fetches;
+  check int_ "only the dropped attribute refetched" 4 (Pip.lookups_served fx.pip);
+  (* Dropping the rest flips the decision on the very next request: no
+     TTL wait, the pushes purge the cached bags immediately. *)
+  Pip.remove_subject_attribute fx.pip ~subject:"alice" ~id:"clearance";
+  Pip.remove_subject_attribute fx.pip ~subject:"alice" ~id:"department";
+  Net.run fx.net;
+  let o3 = ref None in
+  request fx ~at:20.0 o3;
+  Net.run fx.net;
+  check bool_ "denied once every grant-carrying attribute is revoked" true (denied o3)
+
+let test_negative_attribute_cache () =
+  let fx = setup () in
+  let bob =
+    Client.create fx.services ~node:"bob" ~subject:[ ("subject-id", Value.String "bob") ]
+  in
+  Net.add_node fx.net "bob";
+  let o1 = ref None and o2 = ref None in
+  request fx ~client:bob ~at:1.0 o1;
+  Net.run fx.net;
+  request fx ~client:bob ~at:10.0 o2;
+  Net.run fx.net;
+  check bool_ "denied both times" true (denied o1 && denied o2);
+  (* The empty bags are cached too: a subject with no attributes costs
+     one PIP round trip, not one per decision. *)
+  check int_ "one frame total" 1 (Pdp_service.stats fx.pdp).Pdp_service.pip_fetches
+
+(* --- single-flight coalescing ------------------------------------------ *)
+
+let test_coalescing () =
+  let fx = setup () in
+  let o1 = ref None and o2 = ref None in
+  request fx ~at:1.0 o1;
+  request fx ~at:1.0 o2;
+  Net.run fx.net;
+  check bool_ "both granted" true (granted o1 && granted o2);
+  let s = Pep.stats fx.pep in
+  check int_ "two requests" 2 s.Pep.requests;
+  check int_ "one descent of the ladder" 1 s.Pep.pdp_calls;
+  check int_ "the second was coalesced" 1 s.Pep.coalesced
+
+let test_coalescing_distinct_keys () =
+  let fx = setup () in
+  let o1 = ref None and o2 = ref None in
+  request fx ~at:1.0 ~action:"read" o1;
+  request fx ~at:1.0 ~action:"write" o2;
+  Net.run fx.net;
+  let s = Pep.stats fx.pep in
+  check int_ "different requests never coalesce" 0 s.Pep.coalesced;
+  check int_ "two PDP calls" 2 s.Pep.pdp_calls
+
+let test_coalescing_off () =
+  let fx = setup () in
+  Pep.set_coalescing fx.pep false;
+  let o1 = ref None and o2 = ref None in
+  request fx ~at:1.0 o1;
+  request fx ~at:1.0 o2;
+  Net.run fx.net;
+  check bool_ "both granted" true (granted o1 && granted o2);
+  let s = Pep.stats fx.pep in
+  check int_ "no coalescing" 0 s.Pep.coalesced;
+  check int_ "two PDP calls" 2 s.Pep.pdp_calls
+
+(* --- decision-cache negative caching ----------------------------------- *)
+
+let test_negative_caching_rules () =
+  let c = Decision_cache.create ~ttl:60.0 () in
+  Decision_cache.put c ~now:0.0 ~key:"k1" (Decision.indeterminate "pdp unreachable");
+  check int_ "Indeterminate is never cached" 0 (Decision_cache.size c);
+  Decision_cache.put c ~now:0.0 ~key:"k1" { Decision.decision = Decision.Deny; obligations = [] };
+  Decision_cache.put c ~now:0.0 ~key:"k2" Decision.not_applicable;
+  Decision_cache.put c ~now:0.0 ~key:"k3" Decision.permit;
+  check int_ "Deny / NotApplicable / Permit all cache" 3 (Decision_cache.size c);
+  check bool_ "deny served back" true (Decision_cache.get c ~now:30.0 ~key:"k1" <> None);
+  check bool_ "expired past the shared TTL" true (Decision_cache.get c ~now:61.0 ~key:"k1" = None)
+
+(* --- shared L2 decision cache ------------------------------------------ *)
+
+type l2fx = {
+  net : Net.t;
+  services : Service.t;
+  l2 : Cache_hierarchy.L2.t;
+  pep1 : Pep.t;
+  pep2 : Pep.t;
+  alice : Client.t;
+}
+
+let setup_l2 () =
+  let net = Net.create ~seed:9L () in
+  let services = Service.create (Rpc.create net) in
+  let add id =
+    Net.add_node net id;
+    id
+  in
+  ignore
+    (Pdp_service.create services ~node:(add "pdp") ~name:"pdp" ~root:doctor_policy ());
+  let l2 = Cache_hierarchy.L2.create services ~node:(add "l2") ~ttl:60.0 () in
+  let mk node =
+    Pep.create services ~node:(add node) ~domain:"d" ~resource:"r" ~content:"c"
+      (Pep.Pull
+         {
+           pdps = [ "pdp" ];
+           cache = Some (Decision_cache.create ~ttl:60.0 ());
+           call_timeout = 5.0;
+         })
+  in
+  let pep1 = mk "pep1" and pep2 = mk "pep2" in
+  Pep.set_l2 pep1 (Some "l2");
+  Pep.set_l2 pep2 (Some "l2");
+  let alice =
+    Client.create services ~node:(add "alice")
+      ~subject:[ ("subject-id", Value.String "alice"); ("role", Value.String "doctor") ]
+  in
+  { net; services; l2; pep1; pep2; alice }
+
+let l2_request fx ~pep ~at outcome =
+  Engine.schedule_at (Net.engine fx.net) ~at (fun () ->
+      Client.request fx.alice ~pep ~action:"read" ~timeout:5.0 (fun r -> outcome := Some r))
+
+let test_l2_shared_between_peps () =
+  let fx = setup_l2 () in
+  let o1 = ref None in
+  l2_request fx ~pep:"pep1" ~at:1.0 o1;
+  Net.run fx.net;
+  check bool_ "granted live" true (granted o1);
+  check int_ "the decision was published to L2" 1 (Cache_hierarchy.L2.size fx.l2);
+  (* A replica that never saw this request answers from the shared
+     cache — and warms its own L1 doing so. *)
+  let o2 = ref None in
+  l2_request fx ~pep:"pep2" ~at:10.0 o2;
+  Net.run fx.net;
+  check bool_ "granted from L2" true (granted o2);
+  let s2 = Pep.stats fx.pep2 in
+  check int_ "L2 hit" 1 s2.Pep.l2_hits;
+  check int_ "no PDP call" 0 s2.Pep.pdp_calls;
+  let o3 = ref None in
+  l2_request fx ~pep:"pep2" ~at:20.0 o3;
+  Net.run fx.net;
+  check int_ "L1 warmed by the L2 hit" 1 (Pep.stats fx.pep2).Pep.cache_hits;
+  let st = Cache_hierarchy.L2.stats fx.l2 in
+  check int_ "one L2 lookup hit" 1 st.Cache_hierarchy.L2.hits
+
+let test_l2_unreachable_degrades_to_miss () =
+  let fx = setup_l2 () in
+  Net.add_node fx.net "ghost";
+  Pep.set_l2 fx.pep1 (Some "ghost");
+  let o1 = ref None in
+  l2_request fx ~pep:"pep1" ~at:1.0 o1;
+  Net.run fx.net;
+  check bool_ "an unreachable L2 never fails a decision" true (granted o1);
+  let s = Pep.stats fx.pep1 in
+  check int_ "treated as a miss" 0 s.Pep.l2_hits;
+  check int_ "live path taken" 1 s.Pep.pdp_calls
+
+let test_deny_never_outlives_invalidation () =
+  let fx = setup_l2 () in
+  (* The revocation hook a domain installs: L2 rounds purge PEP L1s. *)
+  Cache_hierarchy.L2.set_on_invalidate fx.l2 (fun key ->
+      match key with
+      | None -> List.iter Pep.invalidate_cache [ fx.pep1; fx.pep2 ]
+      | Some key -> List.iter (fun p -> Pep.invalidate_key p ~key) [ fx.pep1; fx.pep2 ]);
+  let mallory =
+    Client.create fx.services ~node:"mallory"
+      ~subject:[ ("subject-id", Value.String "mallory"); ("role", Value.String "intern") ]
+  in
+  Net.add_node fx.net "mallory";
+  let ask at outcome =
+    Engine.schedule_at (Net.engine fx.net) ~at (fun () ->
+        Client.request mallory ~pep:"pep1" ~action:"read" ~timeout:5.0 (fun r ->
+            outcome := Some r))
+  in
+  let o1 = ref None and o2 = ref None and o3 = ref None in
+  ask 1.0 o1;
+  Net.run fx.net;
+  ask 10.0 o2;
+  Net.run fx.net;
+  check bool_ "denied both times" true (denied o1 && denied o2);
+  let s = Pep.stats fx.pep1 in
+  check int_ "the deny was served from L1" 1 s.Pep.cache_hits;
+  check int_ "one live call so far" 1 s.Pep.pdp_calls;
+  (* One invalidation round: the cached deny is gone from every level —
+     negative entries obey revocation exactly like grants. *)
+  Cache_hierarchy.L2.invalidate_all fx.l2;
+  Net.run fx.net;
+  check int_ "L2 purged" 0 (Cache_hierarchy.L2.size fx.l2);
+  ask 20.0 o3;
+  Net.run fx.net;
+  check bool_ "still denied, freshly decided" true (denied o3);
+  let s = Pep.stats fx.pep1 in
+  check int_ "no stale cache answered" 1 s.Pep.cache_hits;
+  check int_ "the third request went live" 2 s.Pep.pdp_calls
+
+(* --- invalidation fan-out and anti-entropy ------------------------------ *)
+
+let test_invalidation_fanout () =
+  let net = Net.create ~seed:13L () in
+  let services = Service.create (Rpc.create net) in
+  let add id =
+    Net.add_node net id;
+    id
+  in
+  let root = Cache_hierarchy.L2.create services ~node:(add "root") ~ttl:60.0 () in
+  let l2a = Cache_hierarchy.L2.create services ~node:(add "l2a") ~ttl:60.0 () in
+  let l2b = Cache_hierarchy.L2.create services ~node:(add "l2b") ~ttl:60.0 () in
+  Cache_hierarchy.L2.subscribe root ~child:"l2a";
+  Cache_hierarchy.L2.subscribe root ~child:"l2b";
+  let seeder = add "seeder" in
+  Engine.schedule_at (Net.engine net) ~at:0.5 (fun () ->
+      List.iter
+        (fun l2 ->
+          Cache_hierarchy.L2.remote_put services ~src:seeder ~l2 ~key:"k1" Decision.permit;
+          Cache_hierarchy.L2.remote_put services ~src:seeder ~l2 ~key:"k2" Decision.permit)
+        [ "l2a"; "l2b" ]);
+  Net.run net;
+  check int_ "children seeded" 4
+    (Cache_hierarchy.L2.size l2a + Cache_hierarchy.L2.size l2b);
+  (* Keyed drop: only k1 disappears, epochs untouched. *)
+  Cache_hierarchy.L2.invalidate root ~key:"k1";
+  Net.run net;
+  check int_ "keyed drop reached both children" 2
+    (Cache_hierarchy.L2.size l2a + Cache_hierarchy.L2.size l2b);
+  check int_ "keyed drops do not bump epochs" 0 (Cache_hierarchy.L2.epoch l2a);
+  (* Full purge: everything gone, epochs advance, latency observed. *)
+  Cache_hierarchy.L2.invalidate_all root;
+  Net.run net;
+  check int_ "full purge reached both children" 0
+    (Cache_hierarchy.L2.size l2a + Cache_hierarchy.L2.size l2b);
+  check int_ "child epoch advanced" 1 (Cache_hierarchy.L2.epoch l2a);
+  check int_ "root epoch advanced" 1 (Cache_hierarchy.L2.epoch root);
+  let dump = Metrics.render (Service.metrics services) in
+  check bool_ "invalidation latency histogram populated" true
+    (contains dump "l2_invalidation_latency_seconds")
+
+let test_anti_entropy_backstop () =
+  let net = Net.create ~seed:17L () in
+  let services = Service.create (Rpc.create net) in
+  let add id =
+    Net.add_node net id;
+    id
+  in
+  let root = Cache_hierarchy.L2.create services ~node:(add "root") ~ttl:60.0 () in
+  (* The child is NOT subscribed: the push is "lost".  Only the
+     anti-entropy poll can tell it about the purge. *)
+  let child = Cache_hierarchy.L2.create services ~node:(add "child") ~ttl:60.0 () in
+  Cache_hierarchy.L2.enable_anti_entropy child ~parent:"root" ~period:2.0;
+  let seeder = add "seeder" in
+  Engine.schedule_at (Net.engine net) ~at:0.5 (fun () ->
+      Cache_hierarchy.L2.remote_put services ~src:seeder ~l2:"child" ~key:"k" Decision.permit);
+  Engine.schedule_at (Net.engine net) ~at:1.0 (fun () ->
+      Cache_hierarchy.L2.invalidate_all root);
+  Engine.run (Net.engine net) ~until:10.0;
+  check int_ "the poll applied the missed purge" 0 (Cache_hierarchy.L2.size child);
+  check bool_ "child epoch caught up" true (Cache_hierarchy.L2.epoch child >= 1)
+
+(* --- the whole hierarchy under revocation ------------------------------- *)
+
+let test_vo_revocation_round () =
+  let net = Net.create ~seed:21L () in
+  let services = Service.create (Rpc.create net) in
+  let da = Domain.create services ~name:"hospital" ~attr_cache_ttl:60.0 () in
+  let db = Domain.create services ~name:"lab" ~attr_cache_ttl:60.0 () in
+  let vo = Vo.form services ~name:"vo" [ da; db ] in
+  Vo.publish_policy vo doctor_policy;
+  Net.run net;
+  Domain.register_user da ~user:"alice"
+    [ ("subject-id", Value.String "alice"); ("role", Value.String "doctor") ];
+  let pep =
+    Domain.expose_resource da ~resource:"chart" ~cache:(Decision_cache.create ~ttl:60.0 ()) ()
+  in
+  ignore (Vo.cache_hierarchy vo ~ttl:60.0 ());
+  Net.add_node net "alice.pc";
+  (* The client presents only its identity; the role lives at the PIP. *)
+  let alice =
+    Client.create services ~node:"alice.pc" ~subject:[ ("subject-id", Value.String "alice") ]
+  in
+  (* Syndication already advanced the virtual clock; schedule relative. *)
+  let t0 = Net.now net in
+  let ask at outcome =
+    Engine.schedule_at (Net.engine net) ~at:(t0 +. at) (fun () ->
+        Client.request alice ~pep:(Pep.node pep) ~action:"read" ~timeout:5.0 (fun r ->
+            outcome := Some r))
+  in
+  let o1 = ref None and o2 = ref None and o3 = ref None in
+  ask 1.0 o1;
+  ask 10.0 o2;
+  Engine.run (Net.engine net) ~until:(t0 +. 19.0);
+  check bool_ "granted live, then from cache" true (granted o1 && granted o2);
+  check bool_ "second answer came from a cache level" true
+    (let s = Pep.stats pep in
+     s.Pep.cache_hits + s.Pep.l2_hits >= 1);
+  (* Revoke at t=10: the PIP drops the role (pushing an attribute
+     invalidation to the PDP cache) and the capability revocation runs
+     one decision-cache invalidation round from the VO root. *)
+  Engine.schedule_at (Net.engine net) ~at:(t0 +. 20.0) (fun () ->
+      Pip.remove_subject_attribute (Domain.pip da) ~subject:"alice" ~id:"role";
+      Vo.revoke_capability vo ~assertion_id:"cap-1");
+  (* Sample L2 occupancy after the invalidation round settles but before
+     the next request re-populates the caches (with its deny). *)
+  let l2_sizes_after_round = ref [] in
+  Engine.schedule_at (Net.engine net) ~at:(t0 +. 25.0) (fun () ->
+      l2_sizes_after_round :=
+        List.map
+          (fun d ->
+            match Domain.l2 d with
+            | None -> Alcotest.fail "domain should have an L2"
+            | Some l2 -> Cache_hierarchy.L2.size l2)
+          (Vo.domains vo));
+  ask 30.0 o3;
+  Engine.run (Net.engine net) ~until:(t0 +. 50.0);
+  check bool_ "no cache level still serves the grant" true (denied o3);
+  let s = Pep.stats pep in
+  check int_ "exactly the two pre-revocation grants" 2 s.Pep.granted;
+  (* L2s across the whole VO were purged by the round. *)
+  List.iter
+    (fun size -> check bool_ "member L2 emptied" true (size = 0))
+    !l2_sizes_after_round
+
+let () =
+  Alcotest.run "dacs_cache"
+    [
+      ( "attr-batching",
+        [
+          Alcotest.test_case "all misses resolved in one PIP round trip" `Quick
+            test_batched_single_round_trip;
+          Alcotest.test_case "sequential ablation costs one RPC per attribute" `Quick
+            test_sequential_ablation;
+          Alcotest.test_case "without the cache every decision refetches" `Quick
+            test_legacy_no_attr_cache;
+          Alcotest.test_case "PIP pushes purge exactly the dropped attribute" `Quick
+            test_attribute_invalidation_push;
+          Alcotest.test_case "empty bags are negative-cached" `Quick test_negative_attribute_cache;
+        ] );
+      ( "single-flight",
+        [
+          Alcotest.test_case "identical concurrent queries share one descent" `Quick
+            test_coalescing;
+          Alcotest.test_case "distinct queries never coalesce" `Quick
+            test_coalescing_distinct_keys;
+          Alcotest.test_case "ablation switch restores per-request descents" `Quick
+            test_coalescing_off;
+        ] );
+      ( "negative-caching",
+        [
+          Alcotest.test_case "deny and not-applicable cache; indeterminate never" `Quick
+            test_negative_caching_rules;
+          Alcotest.test_case "cached denies never outlive an invalidation round" `Quick
+            test_deny_never_outlives_invalidation;
+        ] );
+      ( "l2",
+        [
+          Alcotest.test_case "replicas share decisions through the domain L2" `Quick
+            test_l2_shared_between_peps;
+          Alcotest.test_case "an unreachable L2 degrades to a miss" `Quick
+            test_l2_unreachable_degrades_to_miss;
+          Alcotest.test_case "invalidations fan out along the hierarchy" `Quick
+            test_invalidation_fanout;
+          Alcotest.test_case "anti-entropy applies a lost purge within one round" `Quick
+            test_anti_entropy_backstop;
+        ] );
+      ( "revocation",
+        [
+          Alcotest.test_case "after one round no cache level serves the grant" `Quick
+            test_vo_revocation_round;
+        ] );
+    ]

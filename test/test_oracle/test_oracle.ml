@@ -182,6 +182,96 @@ let tier_oracle (name, alg) =
           QCheck.Test.fail_reportf "reference %s <> tier %s" (show_result reference)
             (show_result tiered))
 
+(* --- oracle 3: reference vs the full caching ladder -------------------- *)
+
+(* One request replayed through every stage of the PEP's decision ladder
+   (E17): a cold descent that fills the caches, a warm-L1 hit, an
+   L2-only hit (L1 purged), a live re-evaluation that exercises the
+   PDP's warmed attribute cache (both decision caches purged), and a
+   coalesced pair (leader + single-flight waiter).  The client context
+   deliberately withholds the role attribute so the PDP must resolve it
+   from a PIP via the batched fetcher — the reference evaluation sees
+   the same attributes inline.  No stage may change the decision or the
+   obligations. *)
+let cached_ladder_evaluate policy cspec =
+  let net = Net.create ~seed:23L () in
+  let services = Service.create (Dacs_net.Rpc.create net) in
+  let add id =
+    Net.add_node net id;
+    id
+  in
+  let pip = Pip.create services ~node:(add "pip") ~name:"pip" in
+  if cspec.role_code <> 0 then
+    Pip.add_subject_attribute pip ~subject:"alice" ~id:"role"
+      (Value.String roles.((cspec.role_code - 1) mod Array.length roles));
+  ignore
+    (Pdp_service.create services ~node:(add "pdp") ~name:"pdp"
+       ~root:(Policy.Inline_policy policy) ~pips:[ "pip" ] ~attr_cache_ttl:600.0 ());
+  let l2 = Cache_hierarchy.L2.create services ~node:(add "l2") ~ttl:600.0 () in
+  let cache = Decision_cache.create ~ttl:600.0 () in
+  let pep =
+    Pep.create services ~node:(add "pep") ~domain:"d" ~resource:"r" ~content:"c"
+      (Pep.Pull { pdps = [ "pdp" ]; cache = Some cache; call_timeout = 5.0 })
+  in
+  Pep.set_l2 pep (Some (Cache_hierarchy.L2.node l2));
+  (* Lean context: role withheld, resolved at the PIP on the cached path. *)
+  let ctx =
+    Context.make
+      ~subject:[ ("subject-id", Value.String "alice") ]
+      ~resource:
+        [ ("resource-id", Value.String resources.(cspec.resource_code mod Array.length resources)) ]
+      ~action:[ ("action-id", Value.String actions.(cspec.action_code mod Array.length actions)) ]
+      ()
+  in
+  let decide () =
+    let answer = ref None in
+    Pep.decide pep ctx (fun r -> answer := Some r);
+    Net.run net;
+    !answer
+  in
+  let purge_decision_caches () =
+    Cache_hierarchy.L2.invalidate_all l2;
+    Pep.invalidate_cache pep;
+    Net.run net
+  in
+  let cold = decide () in
+  let warm_l1 = decide () in
+  Pep.invalidate_cache pep;
+  let l2_only = decide () in
+  purge_decision_caches ();
+  let attr_cached = decide () in
+  purge_decision_caches ();
+  let leader = ref None and waiter = ref None in
+  Pep.decide pep ctx (fun r -> leader := Some r);
+  Pep.decide pep ctx (fun r -> waiter := Some r);
+  Net.run net;
+  [
+    ("cold", cold);
+    ("warm-l1", warm_l1);
+    ("l2-only", l2_only);
+    ("attr-cache", attr_cached);
+    ("coalesced-leader", !leader);
+    ("coalesced-waiter", !waiter);
+  ]
+
+let cached_oracle (name, alg) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "caching ladder == reference (%s)" name)
+    ~count:300 arb_case
+    (fun (pspec, cspec) ->
+      let policy = policy_of_spec alg pspec in
+      let reference = Policy.evaluate (ctx_of_spec cspec) policy in
+      List.for_all
+        (fun (stage, answer) ->
+          match answer with
+          | None -> QCheck.Test.fail_reportf "stage %s never answered" stage
+          | Some cached ->
+            if result_equal reference cached then true
+            else
+              QCheck.Test.fail_reportf "stage %s: reference %s <> cached %s" stage
+                (show_result reference) (show_result cached))
+        (cached_ladder_evaluate policy cspec))
+
 let algorithms =
   [
     ("deny-overrides", Combine.Deny_overrides);
@@ -197,4 +287,6 @@ let () =
     [
       ("index-differential", List.map (fun a -> QCheck_alcotest.to_alcotest (index_oracle a)) algorithms);
       ("tier-differential", List.map (fun a -> QCheck_alcotest.to_alcotest (tier_oracle a)) algorithms);
+      ( "cached-ladder-differential",
+        List.map (fun a -> QCheck_alcotest.to_alcotest (cached_oracle a)) algorithms );
     ]
