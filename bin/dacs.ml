@@ -463,7 +463,12 @@ let tier_cmd shards batch seed requests json =
       s.Pdp_tier.dispatched s.Pdp_tier.batches s.Pdp_tier.failovers s.Pdp_tier.exhausted;
     Printf.printf "outcome: %d/%d answered, %d granted\n" !answered total !granted
   end;
-  if !granted = total then 0 else 1
+  let ok = !granted = total in
+  if not json then
+    Printf.printf "\nTIER CHECK all-requests-granted: %s (%d/%d)\n"
+      (if ok then "PASS" else "FAIL")
+      !granted total;
+  if ok then 0 else 1
 
 (* --- cache ------------------------------------------------------------------- *)
 
@@ -590,7 +595,87 @@ let cache_cmd seed json =
     Printf.printf "%-44s %8d\n" "coalesced (single-flight)" coalesced;
     Printf.printf "%-44s %8d\n" "L2 entries after invalidation round" l2_size
   end;
-  if !granted = !total && warm_mpr < 2.2 && l2_size = 0 then 0 else 1
+  let checks =
+    [
+      ("all-requests-granted", !granted = !total, Printf.sprintf "%d/%d" !granted !total);
+      ("warm-path-msgs-per-req", warm_mpr < 2.2, Printf.sprintf "%.2f < 2.2" warm_mpr);
+      ("invalidation-empties-l2", l2_size = 0, Printf.sprintf "size %d" l2_size);
+    ]
+  in
+  if not json then begin
+    print_newline ();
+    List.iter
+      (fun (name, ok, detail) ->
+        Printf.printf "CACHE CHECK %s: %s (%s)\n" name (if ok then "PASS" else "FAIL") detail)
+      checks
+  end;
+  if List.for_all (fun (_, ok, _) -> ok) checks then 0 else 1
+
+(* --- load -------------------------------------------------------------------- *)
+
+(* Drive the deterministic workload engine from the command line: the
+   same scenario (same seed) always prints a byte-identical report, so
+   two invocations can be compared with cmp(1) — the determinism gate CI
+   relies on.  Exits non-zero when a LOAD CHECK fails. *)
+let load_cmd seed rate clients think duration peps shards users domains zipf cache_ttl service_time
+    batch max_inflight queue pdp_max_inflight json =
+  let module W = Dacs_workload.Workload in
+  let arrivals =
+    if clients > 0 then W.Closed_loop { clients; think_time = think } else W.Open_loop { rate }
+  in
+  let scenario =
+    {
+      W.seed;
+      domains;
+      peps;
+      shards;
+      users;
+      zipf;
+      arrivals;
+      duration;
+      cache_ttl;
+      service_time;
+      batch;
+      admission =
+        (if max_inflight > 0 then Some { Pep.max_inflight; max_queue = queue } else None);
+      pdp_max_inflight = (if pdp_max_inflight > 0 then Some pdp_max_inflight else None);
+    }
+  in
+  match W.run scenario with
+  | exception Invalid_argument m ->
+    prerr_endline ("load: " ^ m);
+    2
+  | report ->
+    let checks =
+      [
+        ( "conservation",
+          W.conservation_ok report,
+          Printf.sprintf "completed %d of offered %d; %d+%d+%d+%d accounted" report.W.completed
+            report.W.offered report.W.granted report.W.denied report.W.errors report.W.shed );
+        ("answered", report.W.completed > 0, Printf.sprintf "%d completions" report.W.completed);
+      ]
+    in
+    if json then print_endline (W.render_json report)
+    else begin
+      (match arrivals with
+      | W.Open_loop { rate } ->
+        Printf.printf
+          "workload (seed %d): open-loop %.0f req/s for %.1f s, %d PEPs x %d shards, %d users, \
+           zipf %.2f, cache ttl %.1f\n\n"
+          seed rate duration peps shards users zipf cache_ttl
+      | W.Closed_loop { clients; think_time } ->
+        Printf.printf
+          "workload (seed %d): closed-loop %d clients (think %.3f s) for %.1f s, %d PEPs x %d \
+           shards, %d users, zipf %.2f, cache ttl %.1f\n\n"
+          seed clients think_time duration peps shards users zipf cache_ttl);
+      print_string (W.render report);
+      print_newline ();
+      List.iter
+        (fun (name, ok, detail) ->
+          Printf.printf "LOAD CHECK %s: %s (%s)\n" name (if ok then "PASS" else "FAIL") detail)
+        checks
+    end;
+    if List.for_all (fun (_, ok, _) -> ok) checks then 0 else 1
 
 (* --- cmdliner wiring ------------------------------------------------------------ *)
 
@@ -693,6 +778,90 @@ let cache_t =
           and report per-level hit counts")
     Term.(const cache_cmd $ sim_seed_arg $ json_flag)
 
+let rate_arg =
+  Arg.(
+    value
+    & opt float 200.0
+    & info [ "rate" ] ~docv:"R" ~doc:"Open-loop Poisson arrival rate (requests per virtual second).")
+
+let clients_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "clients" ] ~docv:"N"
+        ~doc:"Switch to closed-loop arrivals with N looping clients (0 = open loop).")
+
+let think_arg =
+  Arg.(
+    value
+    & opt float 0.01
+    & info [ "think" ] ~docv:"S" ~doc:"Closed-loop think time between a reply and the next request.")
+
+let duration_arg =
+  Arg.(
+    value
+    & opt float 5.0
+    & info [ "duration" ] ~docv:"S" ~doc:"Virtual seconds during which traffic is offered.")
+
+let peps_arg =
+  Arg.(value & opt int 4 & info [ "peps" ] ~docv:"N" ~doc:"Enforcement points (one resource each).")
+
+let users_arg =
+  Arg.(value & opt int 200 & info [ "users" ] ~docv:"N" ~doc:"Subject population size.")
+
+let domains_arg =
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Domains the PEPs are spread across.")
+
+let zipf_arg =
+  Arg.(
+    value
+    & opt float 1.1
+    & info [ "zipf" ] ~docv:"S" ~doc:"Zipf skew for user and resource popularity (0 = uniform).")
+
+let cache_ttl_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "cache-ttl" ] ~docv:"S" ~doc:"L1 decision-cache TTL in seconds (0 disables caching).")
+
+let service_time_arg =
+  Arg.(
+    value
+    & opt float 0.004
+    & info [ "service-time" ] ~docv:"S" ~doc:"Virtual seconds each PDP evaluation occupies a shard.")
+
+let max_inflight_arg =
+  Arg.(
+    value
+    & opt int 32
+    & info [ "max-inflight" ] ~docv:"N"
+        ~doc:"PEP admission bound: concurrent decision descents (0 = unbounded).")
+
+let queue_arg =
+  Arg.(
+    value
+    & opt int 32
+    & info [ "queue" ] ~docv:"N" ~doc:"PEP admission queue depth behind the in-flight bound.")
+
+let pdp_inflight_arg =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "pdp-max-inflight" ] ~docv:"N"
+        ~doc:"Per-shard max-inflight bound on the PDP FIFO (0 = unbounded).")
+
+let load_t =
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Drive the deterministic workload engine: Zipf-skewed traffic against a sharded, \
+          admission-controlled serving path on the virtual clock.  Same seed, byte-identical \
+          report.  Exits non-zero when a LOAD CHECK fails")
+    Term.(
+      const load_cmd $ sim_seed_arg $ rate_arg $ clients_arg $ think_arg $ duration_arg $ peps_arg
+      $ shards_arg $ users_arg $ domains_arg $ zipf_arg $ cache_ttl_arg $ service_time_arg
+      $ batch_arg $ max_inflight_arg $ queue_arg $ pdp_inflight_arg $ json_flag)
+
 let main =
   Cmd.group
     (Cmd.info "dacs" ~version:"1.0.0"
@@ -708,6 +877,7 @@ let main =
       metrics_t;
       tier_t;
       cache_t;
+      load_t;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -19,6 +19,7 @@ type stats = {
   pip_fetches : int;
   pap_fetches : int;
   pap_refresh_hits : int;
+  overloads : int;
 }
 
 (* Like the PEP, all stats live in the bus-wide registry under this PDP's
@@ -30,6 +31,7 @@ type counters = {
   c_pip_fetches : Metrics.counter;
   c_pap_fetches : Metrics.counter;
   c_pap_refresh_hits : Metrics.counter;
+  c_overloads : Metrics.counter;
 }
 
 let make_counters metrics ~node =
@@ -41,6 +43,7 @@ let make_counters metrics ~node =
     c_pip_fetches = own "pdp_pip_fetches_total" ~help:"Attribute queries issued to PIPs";
     c_pap_fetches = own "pdp_pap_fetches_total" ~help:"Policy queries issued to the PAP";
     c_pap_refresh_hits = own "pdp_pap_refresh_hits_total" ~help:"PAP refreshes answered 'current'";
+    c_overloads = own "pdp_overload_total" ~help:"Queries rejected by the max-inflight bound";
   }
 
 type t = {
@@ -53,10 +56,12 @@ type t = {
   retry : Dacs_net.Rpc.retry_policy option;
   counters : counters;
   service_time : float;
+  max_inflight : int option;
   attr_cache : Cache_hierarchy.Attr_cache.t option;
   attr_batch : bool;
   h_attr_batch : Metrics.histogram;
   mutable busy_until : float;
+  mutable inflight : int;
   mutable root : Policy.child option;
   mutable version : int;
   mutable fetched_at : float;
@@ -84,12 +89,21 @@ let stats t =
     pip_fetches = v c.c_pip_fetches;
     pap_fetches = v c.c_pap_fetches;
     pap_refresh_hits = v c.c_pap_refresh_hits;
+    overloads = v c.c_overloads;
   }
 
 let reset_stats t =
   let c = t.counters in
   List.iter Metrics.reset_counter
-    [ c.c_queries; c.c_permits; c.c_denies; c.c_pip_fetches; c.c_pap_fetches; c.c_pap_refresh_hits ]
+    [
+      c.c_queries;
+      c.c_permits;
+      c.c_denies;
+      c.c_pip_fetches;
+      c.c_pap_fetches;
+      c.c_pap_refresh_hits;
+      c.c_overloads;
+    ]
 
 (* Resolve a policy reference against the locally cached tree: a direct
    child of the cached root set. *)
@@ -309,8 +323,19 @@ let when_capacity_free t f =
         Trace.set_current tr saved)
   end
 
+(* The max-inflight bound on top of the FIFO capacity model: [inflight]
+   counts queries accepted off the wire but not yet answered — the FIFO
+   backlog plus whatever is mid-evaluation (PIP rounds included).  Past
+   the bound the query is rejected {e now}, with an Indeterminate the
+   requester can only treat as a deny: a saturated decision point sheds
+   load instead of growing an unbounded queue of doomed work. *)
+let overloaded t =
+  match t.max_inflight with Some m -> t.inflight >= m | None -> false
+
+let overload_reason = "pdp overloaded"
+
 let create services ~node ~name:_ ?root ?pap ?refresh ?(pips = []) ?signer ?retry
-    ?(service_time = 0.0) ?attr_cache_ttl ?(attr_batch = true) () =
+    ?(service_time = 0.0) ?max_inflight ?attr_cache_ttl ?(attr_batch = true) () =
   let refresh =
     match refresh with
     | Some r -> r
@@ -331,6 +356,7 @@ let create services ~node ~name:_ ?root ?pap ?refresh ?(pips = []) ?signer ?retr
       retry;
       counters = make_counters metrics ~node;
       service_time;
+      max_inflight;
       attr_cache;
       attr_batch;
       h_attr_batch =
@@ -338,6 +364,7 @@ let create services ~node ~name:_ ?root ?pap ?refresh ?(pips = []) ?signer ?retr
           ~buckets:[ 1.0; 2.0; 4.0; 8.0; 16.0 ]
           ~labels:[ ("node", node) ] "pdp_attr_batch_size";
       busy_until = 0.0;
+      inflight = 0;
       root;
       version = 0;
       fetched_at = -.infinity;
@@ -366,9 +393,17 @@ let create services ~node ~name:_ ?root ?pap ?refresh ?(pips = []) ?signer ?retr
       match Wire.parse_authz_query body with
       | Error e -> reply (Dacs_ws.Soap.fault_body { Dacs_ws.Soap.code = "soap:Sender"; reason = e })
       | Ok ctx ->
-        when_capacity_free t (fun () ->
-            evaluate_local t ctx (fun result ->
-                match t.signer with
-                | None -> reply (Wire.authz_response result)
-                | Some (key, cert) -> reply (Wire.signed_authz_response ~key ~cert result))));
+        if overloaded t then begin
+          Metrics.inc t.counters.c_overloads;
+          reply (Wire.authz_response (Decision.indeterminate overload_reason))
+        end
+        else begin
+          t.inflight <- t.inflight + 1;
+          when_capacity_free t (fun () ->
+              evaluate_local t ctx (fun result ->
+                  t.inflight <- t.inflight - 1;
+                  match t.signer with
+                  | None -> reply (Wire.authz_response result)
+                  | Some (key, cert) -> reply (Wire.signed_authz_response ~key ~cert result)))
+        end);
   t

@@ -23,6 +23,7 @@ val create :
   ?signer:Dacs_crypto.Rsa.private_key * Dacs_crypto.Cert.t ->
   ?retry:Dacs_net.Rpc.retry_policy ->
   ?service_time:float ->
+  ?max_inflight:int ->
   ?attr_cache_ttl:float ->
   ?attr_batch:bool ->
   unit ->
@@ -38,6 +39,13 @@ val create :
     queues FIFO behind in-progress work, which is what makes single-PDP
     saturation — and the sharded tier's speedup — measurable (E16).  0
     preserves the historical instantaneous behaviour exactly.
+
+    [max_inflight] (default: unbounded) caps that FIFO: at most this many
+    queries accepted off the wire but not yet answered.  A query arriving
+    past the bound is rejected immediately with an Indeterminate
+    ("pdp overloaded") response and counted in [pdp_overload_total{node}]
+    — the shard sheds load instead of queueing doomed work, which is what
+    keeps admitted-request latency bounded under saturation (E18).
 
     [attr_cache_ttl] (default: no cache) enables a PDP-side attribute
     cache: fetched bags (including empty ones — negative entries) are
@@ -76,6 +84,7 @@ type stats = {
                           multi-attribute round trip counts once) *)
   pap_fetches : int;  (** policy-query calls issued *)
   pap_refresh_hits : int;  (** PAP said "current" *)
+  overloads : int;  (** queries rejected by the max-inflight bound *)
 }
 
 val stats : t -> stats

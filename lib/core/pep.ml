@@ -22,6 +22,8 @@ type mode =
     }
   | Agent of Pdp_service.t
 
+type admission = { max_inflight : int; max_queue : int }
+
 type stats = {
   requests : int;
   granted : int;
@@ -35,6 +37,7 @@ type stats = {
   l2_hits : int;
   coalesced : int;
   stale_serves : int;
+  shed : int;
   assertion_rejections : int;
   revocation_checks : int;
   obligations_fulfilled : int;
@@ -55,6 +58,7 @@ type counters = {
   c_cache_hits : Metrics.counter;
   c_l2_hits : Metrics.counter;
   c_stale_serves : Metrics.counter;
+  c_shed : Metrics.counter;
   c_assertion_rejections : Metrics.counter;
   c_revocation_checks : Metrics.counter;
   c_obligations_fulfilled : Metrics.counter;
@@ -75,6 +79,7 @@ let make_counters metrics ~node =
     c_cache_hits = own "pep_cache_hits_total" ~help:"Decisions served fresh from cache";
     c_l2_hits = own "pep_l2_hits_total" ~help:"Decisions served fresh from the shared L2 cache";
     c_stale_serves = own "pep_stale_serves_total" ~help:"Degraded answers served from expired cache";
+    c_shed = own "pep_shed_total" ~help:"Requests shed by the bounded admission queue";
     c_assertion_rejections =
       own "pep_assertion_rejections_total" ~help:"Capability assertions rejected";
     c_revocation_checks = own "pep_revocation_checks_total" ~help:"Revocation-status queries issued";
@@ -97,6 +102,9 @@ type t = {
   mutable stale_window : float;
   mutable l2 : Dacs_net.Net.node_id option;
   mutable coalesce : bool;
+  mutable admission : admission option;
+  mutable inflight : int;
+  waiting : (unit -> unit) Queue.t;
 }
 
 let node t = t.node
@@ -120,6 +128,7 @@ let stats t =
     l2_hits = v c.c_l2_hits;
     coalesced = Cache_hierarchy.Single_flight.coalesced t.sf;
     stale_serves = v c.c_stale_serves;
+    shed = v c.c_shed;
     assertion_rejections = v c.c_assertion_rejections;
     revocation_checks = v c.c_revocation_checks;
     obligations_fulfilled = v c.c_obligations_fulfilled;
@@ -141,6 +150,7 @@ let reset_stats t =
       c.c_l2_hits;
       Cache_hierarchy.Single_flight.counter t.sf;
       c.c_stale_serves;
+      c.c_shed;
       c.c_assertion_rejections;
       c.c_revocation_checks;
       c.c_obligations_fulfilled;
@@ -165,6 +175,30 @@ let l2 t = t.l2
 
 let set_coalescing t on = t.coalesce <- on
 let coalescing t = t.coalesce
+
+let shed_reason = "overload: admission queue full"
+
+let set_admission t a =
+  (match a with
+  | Some { max_inflight; max_queue } when max_inflight <= 0 || max_queue < 0 ->
+    invalid_arg "Pep.set_admission: max_inflight must be positive and max_queue non-negative"
+  | _ -> ());
+  t.admission <- a;
+  (* Removing the bound admits everything that was waiting.  Each job
+     still releases its slot when it completes, so take one first. *)
+  if a = None then begin
+    let drained = Queue.fold (fun acc job -> job :: acc) [] t.waiting in
+    Queue.clear t.waiting;
+    List.iter
+      (fun job ->
+        t.inflight <- t.inflight + 1;
+        job ())
+      (List.rev drained)
+  end
+
+let admission t = t.admission
+let admission_inflight t = t.inflight
+let admission_queue_length t = Queue.length t.waiting
 
 let require_signed_decisions t trust = t.decision_trust <- Some trust
 
@@ -467,12 +501,47 @@ let push_decide t ~trusted_issuer ~check_revocation ~local_pdp ~headers ~action 
    cache level (L1, L2, attribute cache, coalescing) can change a
    decision.  Push mode decides from presented capabilities, which only
    exist on the wire, so it is out of scope here. *)
-let decide t ctx k =
+let decide_admitted t ctx k =
   match t.mode with
   | Pull { pdps; cache; call_timeout } -> pull_decide t ~pdps ~cache ~call_timeout ctx k
   | Sharded { tier; cache } -> tier_decide t ~tier ~cache ctx k
   | Agent pdp -> Pdp_service.evaluate_local pdp ctx k
   | Push _ -> k (Decision.indeterminate "push-mode PEP decides from presented capabilities")
+
+(* A finished descent frees its slot; the oldest waiter (if any) takes it
+   immediately — the admission queue drains in arrival order. *)
+let release_slot t =
+  t.inflight <- t.inflight - 1;
+  match t.admission with
+  | Some a when t.inflight < a.max_inflight -> (
+    match Queue.take_opt t.waiting with
+    | Some job ->
+      t.inflight <- t.inflight + 1;
+      job ()
+    | None -> ())
+  | Some _ | None -> ()
+
+(* Bounded admission (overload protection): at most [max_inflight]
+   concurrent ladder descents, at most [max_queue] requests parked behind
+   them.  Anything beyond that is shed immediately — it fails closed with
+   an Indeterminate (the enforcement layer denies it) rather than growing
+   an unbounded backlog, so the latency of *admitted* requests stays
+   bounded by the queue it can actually wait in. *)
+let decide t ctx k =
+  match t.admission with
+  | None -> decide_admitted t ctx k
+  | Some a ->
+    let run () = decide_admitted t ctx (fun result -> release_slot t; k result) in
+    if t.inflight < a.max_inflight then begin
+      t.inflight <- t.inflight + 1;
+      run ()
+    end
+    else if Queue.length t.waiting < a.max_queue then Queue.add run t.waiting
+    else begin
+      Metrics.inc t.counters.c_shed;
+      Trace.record (tracer t) "pep:shed";
+      k (Decision.indeterminate shed_reason)
+    end
 
 (* --- service wiring --------------------------------------------------------------- *)
 
@@ -495,6 +564,9 @@ let create services ~node ~domain ~resource ?(content = "resource-content") ?aud
       stale_window = 0.0;
       l2 = None;
       coalesce = true;
+      admission = None;
+      inflight = 0;
+      waiting = Queue.create ();
     }
   in
   Service.serve services ~node ~service:"access" (fun ~caller:_ ~headers body reply ->

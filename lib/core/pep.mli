@@ -108,6 +108,29 @@ val pull_pdps : t -> Dacs_net.Net.node_id list
 (** Current failover list — the tier's shard set in sharded mode, [[]]
     in push/agent modes. *)
 
+(** {1 Overload protection} *)
+
+type admission = { max_inflight : int; max_queue : int }
+(** At most [max_inflight] concurrent decision-ladder descents; at most
+    [max_queue] further requests parked behind them in arrival order. *)
+
+val set_admission : t -> admission option -> unit
+(** Bound the admission queue (default: unbounded).  A request arriving
+    with the queue full is {e shed}: it fails closed immediately with an
+    Indeterminate carrying {!shed_reason} (the enforcement layer denies
+    it) and increments [pep_shed_total{node}] — bounded backlog means the
+    latency of admitted requests stays bounded too.  [None] removes the
+    bound and admits everything currently waiting.  [max_inflight] must
+    be positive and [max_queue] non-negative, else [Invalid_argument]. *)
+
+val admission : t -> admission option
+val admission_inflight : t -> int
+val admission_queue_length : t -> int
+
+val shed_reason : string
+(** The Indeterminate message carried by shed requests, so load drivers
+    can tell shedding apart from other authorisation errors. *)
+
 (** {1 Resilience}
 
     Orthogonal to the mode: how hard this PEP fights to reach its
@@ -146,6 +169,7 @@ type stats = {
   l2_hits : int;  (** decisions served fresh from the shared L2 cache *)
   coalesced : int;  (** queries folded onto an identical in-flight one *)
   stale_serves : int;  (** degraded answers served from expired cache *)
+  shed : int;  (** requests refused by the bounded admission queue *)
   assertion_rejections : int;
   revocation_checks : int;
   obligations_fulfilled : int;

@@ -42,6 +42,7 @@ val pdp_tier :
   ?linger:float ->
   ?vnodes:int ->
   ?service_time:float ->
+  ?max_inflight:int ->
   ?refresh:Pdp_service.policy_refresh ->
   ?root:Dacs_policy.Policy.child ->
   unit ->
@@ -49,8 +50,8 @@ val pdp_tier :
 (** Stand up [shards] PDP replicas ([<name>.pdp.0] …) bound to the VO
     PAP and a {!Pdp_tier} dispatching to them from [node] (typically the
     enforcement point's node).  [batch]/[linger]/[vnodes] configure the
-    tier, [service_time]/[refresh]/[root] each replica (see
-    {!Pdp_service.create}).  Returns the tier and the replicas so callers
+    tier, [service_time]/[max_inflight]/[refresh]/[root]
+    each replica (see {!Pdp_service.create}).  Returns the tier and the replicas so callers
     can install policies or crash individual shards. *)
 
 (** {1 Hierarchical caching} *)

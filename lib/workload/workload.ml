@@ -1,0 +1,309 @@
+module Net = Dacs_net.Net
+module Engine = Dacs_net.Engine
+module Rng = Dacs_crypto.Rng
+module Service = Dacs_ws.Service
+module Metrics = Dacs_telemetry.Metrics
+module Context = Dacs_policy.Context
+module Value = Dacs_policy.Value
+module Decision = Dacs_policy.Decision
+module Policy = Dacs_policy.Policy
+module Rule = Dacs_policy.Rule
+module Target = Dacs_policy.Target
+open Dacs_core
+
+type arrivals =
+  | Open_loop of { rate : float }
+  | Closed_loop of { clients : int; think_time : float }
+
+type scenario = {
+  seed : int;
+  domains : int;
+  peps : int;
+  shards : int;
+  users : int;
+  zipf : float;
+  arrivals : arrivals;
+  duration : float;
+  cache_ttl : float;
+  service_time : float;
+  batch : int;
+  admission : Pep.admission option;
+  pdp_max_inflight : int option;
+}
+
+let default =
+  {
+    seed = 42;
+    domains = 1;
+    peps = 4;
+    shards = 2;
+    users = 200;
+    zipf = 1.1;
+    arrivals = Open_loop { rate = 200.0 };
+    duration = 5.0;
+    cache_ttl = 0.0;
+    service_time = 0.004;
+    batch = 8;
+    admission = Some { Pep.max_inflight = 32; max_queue = 32 };
+    pdp_max_inflight = Some 64;
+  }
+
+(* Powers of two from 0.5 ms to ~4 min: wide enough that a saturated
+   FIFO's queueing delay still lands in a finite bucket. *)
+let latency_buckets = List.init 20 (fun i -> 0.0005 *. (2.0 ** float_of_int i))
+
+type percentiles = { p50 : float; p95 : float; p99 : float; max : float }
+
+type report = {
+  offered : int;
+  completed : int;
+  granted : int;
+  denied : int;
+  errors : int;
+  shed : int;
+  pdp_overloads : int;
+  throughput : float;
+  latency : percentiles;
+  mean_latency : float;
+  makespan : float;
+  messages : int;
+}
+
+let validate s =
+  let bad fmt = Printf.ksprintf invalid_arg ("Workload.run: " ^^ fmt) in
+  if s.domains < 1 then bad "domains must be >= 1";
+  if s.peps < 1 then bad "peps must be >= 1";
+  if s.shards < 1 then bad "shards must be >= 1";
+  if s.users < 1 then bad "users must be >= 1";
+  if s.zipf < 0.0 then bad "zipf skew must be non-negative";
+  if s.duration <= 0.0 then bad "duration must be positive";
+  if s.batch < 1 then bad "batch must be >= 1";
+  match s.arrivals with
+  | Open_loop { rate } -> if rate <= 0.0 then bad "open-loop rate must be positive"
+  | Closed_loop { clients; think_time } ->
+    if clients < 1 then bad "closed-loop clients must be >= 1";
+    if think_time < 0.0 then bad "think_time must be non-negative"
+
+(* --- population sampling ------------------------------------------------ *)
+
+(* Zipf(skew) over [0, n): weight 1/(i+1)^skew, inverted by binary search
+   over the cumulative weights.  skew 0 degenerates to uniform. *)
+let zipf_sampler rng ~n ~skew =
+  if skew <= 0.0 then fun () -> Rng.int rng n
+  else begin
+    let cum = Array.make n 0.0 in
+    let total = ref 0.0 in
+    for i = 0 to n - 1 do
+      total := !total +. (1.0 /. (float_of_int (i + 1) ** skew));
+      cum.(i) <- !total
+    done;
+    let total = !total in
+    fun () ->
+      let u = Rng.float rng total in
+      let lo = ref 0 and hi = ref (n - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if cum.(mid) > u then hi := mid else lo := mid + 1
+      done;
+      !lo
+  end
+
+let roles = [| "doctor"; "nurse"; "admin" |]
+let actions = [| "read"; "write" |]
+let role_of u = roles.(u mod Array.length roles)
+
+(* The serving policy: doctors do anything, nurses read, everyone else is
+   denied — a deterministic grant/deny mix over the population. *)
+let serving_policy =
+  Policy.make ~id:"workload-policy" ~rule_combining:Dacs_policy.Combine.First_applicable
+    [
+      Rule.make ~target:Target.(any |> subject_is "role" "doctor") Rule.Permit "doctors";
+      Rule.make
+        ~target:Target.(any |> subject_is "role" "nurse" |> action_is "action-id" "read")
+        Rule.Permit "nurses-read";
+      Rule.make Rule.Deny "default-deny";
+    ]
+
+(* --- percentile extraction ---------------------------------------------- *)
+
+(* Prometheus-style: the quantile is the upper bound of the first bucket
+   whose cumulative count reaches q * total; observations in the overflow
+   bucket report the exact maximum. *)
+let quantile buckets ~total ~max_seen q =
+  if total = 0 then 0.0
+  else begin
+    let target = int_of_float (ceil (q *. float_of_int total)) in
+    let target = if target < 1 then 1 else target in
+    let rec go cum = function
+      | [] -> max_seen
+      | (bound, count) :: rest ->
+        let cum = cum + count in
+        if cum >= target then (if bound = infinity then max_seen else Float.min bound max_seen)
+        else go cum rest
+    in
+    go 0 buckets
+  end
+
+(* --- the engine --------------------------------------------------------- *)
+
+let run s =
+  validate s;
+  let net = Net.create ~seed:(Int64.of_int s.seed) () in
+  let engine = Net.engine net in
+  let services = Service.create (Dacs_net.Rpc.create net) in
+  let metrics = Service.metrics services in
+  let rng = Rng.create (Int64.of_int (s.seed + 0x5eed)) in
+  (* Decision tier: [shards] replicas sharing the FIFO capacity model. *)
+  let shard_nodes =
+    List.init s.shards (fun i ->
+        let node = Printf.sprintf "pdp.%d" i in
+        Net.add_node net node;
+        ignore
+          (Pdp_service.create services ~node ~name:node ~root:(Policy.Inline_policy serving_policy)
+             ~service_time:s.service_time ?max_inflight:s.pdp_max_inflight ());
+        node)
+  in
+  (* Enforcement points: one resource each, spread across the domains,
+     each dispatching through its own tier client over the same shards. *)
+  let peps =
+    Array.init s.peps (fun i ->
+        let node = Printf.sprintf "dom%d.pep%d" (i mod s.domains) i in
+        Net.add_node net node;
+        let tier = Pdp_tier.create services ~node ~shards:shard_nodes ~batch:s.batch () in
+        let cache =
+          if s.cache_ttl > 0.0 then
+            Some (Decision_cache.create ~metrics ~owner:node ~ttl:s.cache_ttl ())
+          else None
+        in
+        let pep =
+          Pep.create services ~node ~domain:(Printf.sprintf "dom%d" (i mod s.domains))
+            ~resource:(Printf.sprintf "res%d" i)
+            (Pep.Sharded { tier; cache })
+        in
+        Pep.set_admission pep s.admission;
+        pep)
+  in
+  (* Instruments: the telemetry registry is the single source of truth the
+     report reads back, all off the virtual clock. *)
+  let h_latency =
+    Metrics.histogram metrics ~help:"Decision latency of admitted requests" ~buckets:latency_buckets
+      "workload_latency_seconds"
+  in
+  let c_offered = Metrics.counter metrics ~help:"Requests issued by the generator" "workload_offered_total" in
+  let c_completed = Metrics.counter metrics ~help:"Continuations fired" "workload_completed_total" in
+  let c_granted = Metrics.counter metrics ~help:"Permit answers" "workload_granted_total" in
+  let c_denied = Metrics.counter metrics ~help:"Deny/NotApplicable answers" "workload_denied_total" in
+  let c_errors =
+    Metrics.counter metrics ~help:"Indeterminate answers other than shedding" "workload_error_total"
+  in
+  let max_latency = ref 0.0 in
+  let last_completion = ref 0.0 in
+  let sample_user = zipf_sampler rng ~n:s.users ~skew:s.zipf in
+  let sample_pep = zipf_sampler rng ~n:s.peps ~skew:s.zipf in
+  let issue on_done =
+    let u = sample_user () in
+    let p = sample_pep () in
+    let a = actions.(Rng.int rng (Array.length actions)) in
+    let pep = peps.(p) in
+    let ctx =
+      Context.make
+        ~subject:
+          [ ("subject-id", Value.String (Printf.sprintf "user%d" u)); ("role", Value.String (role_of u)) ]
+        ~resource:[ ("resource-id", Value.String (Pep.resource pep)) ]
+        ~action:[ ("action-id", Value.String a) ]
+        ()
+    in
+    let t0 = Net.now net in
+    Metrics.inc c_offered;
+    Pep.decide pep ctx (fun result ->
+        Metrics.inc c_completed;
+        last_completion := Net.now net;
+        let shed =
+          match result.Decision.decision with
+          | Decision.Permit ->
+            Metrics.inc c_granted;
+            false
+          | Decision.Deny | Decision.Not_applicable ->
+            Metrics.inc c_denied;
+            false
+          | Decision.Indeterminate m when m = Pep.shed_reason -> true
+          | Decision.Indeterminate _ ->
+            Metrics.inc c_errors;
+            false
+        in
+        if not shed then begin
+          let dt = Net.now net -. t0 in
+          Metrics.observe h_latency dt;
+          if dt > !max_latency then max_latency := dt
+        end;
+        on_done ())
+  in
+  (match s.arrivals with
+  | Open_loop { rate } ->
+    (* The whole Poisson arrival process is drawn up front, in time
+       order, so generator draws never interleave with completion-side
+       sampling. *)
+    let rec arrivals_from at =
+      if at <= s.duration then begin
+        Engine.schedule_at engine ~at (fun () -> issue (fun () -> ()));
+        arrivals_from (at +. (-.log (1.0 -. Rng.float rng 1.0) /. rate))
+      end
+    in
+    arrivals_from (-.log (1.0 -. Rng.float rng 1.0) /. rate)
+  | Closed_loop { clients; think_time } ->
+    for c = 0 to clients - 1 do
+      let rec loop () =
+        if Net.now net <= s.duration then
+          issue (fun () -> Engine.schedule engine ~delay:think_time loop)
+      in
+      Engine.schedule_at engine ~at:(float_of_int (c + 1) *. 0.001) loop
+    done);
+  Net.run net;
+  (* Collect: counters and the histogram are read back from the registry;
+     shed/overload totals come from the serving-side series the PEPs and
+     shards incremented. *)
+  let offered = Metrics.counter_value c_offered in
+  let completed = Metrics.counter_value c_completed in
+  let shed = Metrics.sum_counter metrics "pep_shed_total" in
+  let answered = completed - shed in
+  let total = Metrics.histogram_count h_latency in
+  let buckets = Metrics.bucket_counts h_latency in
+  let q = quantile buckets ~total ~max_seen:!max_latency in
+  let makespan = !last_completion in
+  {
+    offered;
+    completed;
+    granted = Metrics.counter_value c_granted;
+    denied = Metrics.counter_value c_denied;
+    errors = Metrics.counter_value c_errors;
+    shed;
+    pdp_overloads = Metrics.sum_counter metrics "pdp_overload_total";
+    throughput = (if makespan > 0.0 then float_of_int answered /. makespan else 0.0);
+    latency = { p50 = q 0.50; p95 = q 0.95; p99 = q 0.99; max = !max_latency };
+    mean_latency =
+      (if total > 0 then Metrics.histogram_sum h_latency /. float_of_int total else 0.0);
+    makespan;
+    messages = (Net.total_sent net).Net.count;
+  }
+
+let conservation_ok r =
+  r.completed = r.offered && r.granted + r.denied + r.errors + r.shed = r.completed
+
+let render r =
+  String.concat "\n"
+    [
+      Printf.sprintf "offered %d  completed %d  shed %d  pdp-overloads %d" r.offered r.completed
+        r.shed r.pdp_overloads;
+      Printf.sprintf "granted %d  denied %d  errors %d" r.granted r.denied r.errors;
+      Printf.sprintf "throughput %.2f req/s over %.6f s makespan  (%d messages)" r.throughput
+        r.makespan r.messages;
+      Printf.sprintf "latency p50 %.6f  p95 %.6f  p99 %.6f  max %.6f  mean %.6f" r.latency.p50
+        r.latency.p95 r.latency.p99 r.latency.max r.mean_latency;
+      "";
+    ]
+
+let render_json r =
+  Printf.sprintf
+    "{\"offered\":%d,\"completed\":%d,\"shed\":%d,\"pdp_overloads\":%d,\"granted\":%d,\"denied\":%d,\"errors\":%d,\"throughput\":%.2f,\"makespan\":%.6f,\"messages\":%d,\"latency\":{\"p50\":%.6f,\"p95\":%.6f,\"p99\":%.6f,\"max\":%.6f,\"mean\":%.6f}}"
+    r.offered r.completed r.shed r.pdp_overloads r.granted r.denied r.errors r.throughput r.makespan
+    r.messages r.latency.p50 r.latency.p95 r.latency.p99 r.latency.max r.mean_latency

@@ -1,0 +1,85 @@
+(** Deterministic VO-scale workload engine (the load side of §3's
+    communication-performance challenge).
+
+    Builds a synthetic virtual organisation on the simulated network —
+    PDP shards behind per-PEP tiers, optional L1 decision caches, bounded
+    admission queues — and drives {!Dacs_core.Pep.decide} with generated
+    traffic: a Zipf-skewed population of users hitting Zipf-skewed
+    enforcement points, arriving either open-loop (Poisson, a fixed
+    offered rate that does not slow down when the system does — the
+    regime where overload protection matters) or closed-loop (a fixed
+    client population with think time).
+
+    Everything is deterministic: arrivals, population sampling and the
+    virtual clock all derive from the scenario seed, so the same scenario
+    renders a byte-identical report every run — load tests are replayable
+    evidence, not weather. *)
+
+type arrivals =
+  | Open_loop of { rate : float }
+      (** Poisson arrivals at [rate] requests per virtual second;
+          exponential inter-arrival times off the seeded RNG. *)
+  | Closed_loop of { clients : int; think_time : float }
+      (** [clients] loops, each issuing its next request [think_time]
+          virtual seconds after its previous answer. *)
+
+type scenario = {
+  seed : int;
+  domains : int;  (** domains the PEPs are spread across (naming only) *)
+  peps : int;  (** enforcement points, each guarding one resource *)
+  shards : int;  (** PDP replicas behind every PEP's tier *)
+  users : int;  (** subject population; roles assigned round-robin *)
+  zipf : float;  (** skew for user and resource popularity; 0 = uniform *)
+  arrivals : arrivals;
+  duration : float;  (** virtual seconds during which traffic is offered *)
+  cache_ttl : float;  (** L1 decision-cache TTL; <= 0 disables the cache *)
+  service_time : float;  (** per-query PDP occupancy (the FIFO model) *)
+  batch : int;  (** tier batch limit *)
+  admission : Dacs_core.Pep.admission option;  (** per-PEP bound *)
+  pdp_max_inflight : int option;  (** per-shard bound *)
+}
+
+val default : scenario
+(** 1 domain, 4 PEPs, 2 shards, 200 users, zipf 1.1, open-loop 200 req/s
+    for 5 s, cache off, 4 ms service time, admission (32, 32), per-shard
+    bound 64, seed 42. *)
+
+val latency_buckets : float list
+(** Log-spaced (powers of two from 0.5 ms) upper bounds used for the
+    [workload_latency_seconds] histogram. *)
+
+type percentiles = { p50 : float; p95 : float; p99 : float; max : float }
+(** p50/p95/p99 are bucket upper bounds (Prometheus-style estimates from
+    the log-bucketed histogram); [max] is exact. *)
+
+type report = {
+  offered : int;  (** requests issued *)
+  completed : int;  (** continuations fired (includes shed) *)
+  granted : int;
+  denied : int;
+  errors : int;  (** Indeterminate answers other than shedding *)
+  shed : int;  (** refused by PEP admission queues, [pep_shed_total] *)
+  pdp_overloads : int;  (** shard-level rejections, [pdp_overload_total] *)
+  throughput : float;  (** admitted answers per second of makespan *)
+  latency : percentiles;  (** over admitted (non-shed) requests *)
+  mean_latency : float;
+  makespan : float;  (** virtual time of the last completion *)
+  messages : int;  (** network messages sent end-to-end *)
+}
+
+val run : scenario -> report
+(** Stand the scenario up on a fresh seeded network, offer the traffic,
+    run the simulation to quiescence and collect the report.  Raises
+    [Invalid_argument] on nonsensical scenarios (no users, no shards,
+    non-positive duration or rate...). *)
+
+val conservation_ok : report -> bool
+(** Every offered request was answered exactly once and every answer is
+    accounted for: [completed = offered] and
+    [granted + denied + errors + shed = completed]. *)
+
+val render : report -> string
+(** Fixed-format text report — byte-identical across runs of the same
+    scenario (the determinism contract [dacs load] and E18 gate on). *)
+
+val render_json : report -> string

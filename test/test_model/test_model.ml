@@ -1,0 +1,329 @@
+(* Stateful model-based testing of the cache hierarchy.
+
+   The system under test is the full serving stack: a sharded PEP (L1
+   decision cache + single-flight) over two PDP shards (each with a
+   PIP-fed attribute cache) and a domain L2 decision cache.  A reference
+   model is a flat pair (current policy, subject -> role): evaluating
+   the model is one in-process Policy.evaluate with the role inlined.
+
+   QCheck generates random interleavings of the operations that mutate
+   shared state — decisions, policy publishes (with their invalidation
+   round), spurious invalidations, attribute revocations and grants, and
+   shard crash/recovery — and the property asserts that every decision
+   the stack returns equals the model's answer at that instant.  Caches,
+   coalescing, batching, failover and invalidation propagation must all
+   be decision-invariant: no stale decision may outlive the invalidation
+   round that should have killed it.
+
+   The one relaxation: while BOTH shards are crashed an answer may also
+   be Indeterminate (the stack fails closed rather than inventing an
+   answer).  A decision issued concurrently with a publish may match the
+   model before or after the publish — either order is a correct
+   linearisation — but nothing else.
+
+   Operations are int-coded triples so QCheck shrinks a failing
+   interleaving to a minimal one. *)
+
+module Policy = Dacs_policy.Policy
+module Rule = Dacs_policy.Rule
+module Expr = Dacs_policy.Expr
+module Target = Dacs_policy.Target
+module Combine = Dacs_policy.Combine
+module Context = Dacs_policy.Context
+module Decision = Dacs_policy.Decision
+module Value = Dacs_policy.Value
+module Net = Dacs_net.Net
+module Service = Dacs_ws.Service
+open Dacs_core
+
+let roles = [| "doctor"; "nurse"; "admin" |]
+let actions = [| "read"; "write" |]
+let users = 4
+let user_name u = Printf.sprintf "user%d" (u mod users)
+
+(* A small closed policy family: index k permits role k outright and
+   role k+1 for reads, then denies.  First_applicable keeps evaluation
+   order-sensitive (cache staleness shows up as a flipped decision, not
+   just a different message). *)
+let policy_family k =
+  let k = abs k mod 4 in
+  let role i = roles.(i mod Array.length roles) in
+  Policy.make ~id:(Printf.sprintf "model-p%d" k) ~rule_combining:Combine.First_applicable
+    [
+      Rule.permit ~condition:(Expr.one_of (Expr.subject_attr "role") [ role k ]) "full-access";
+      Rule.permit
+        ~target:Target.(any |> action_is "action-id" "read")
+        ~condition:(Expr.one_of (Expr.subject_attr "role") [ role (k + 1) ])
+        "read-only";
+      Rule.deny "default-deny";
+    ]
+
+(* --- the reference model ------------------------------------------------ *)
+
+type model = {
+  mutable policy : int;
+  role_of : string option array;  (* per user; None = revoked *)
+  crashed : bool array;  (* per shard *)
+}
+
+let model_ctx m u action =
+  let subject =
+    ("subject-id", Value.String (user_name u))
+    :: (match m.role_of.(u mod users) with None -> [] | Some r -> [ ("role", Value.String r) ])
+  in
+  Context.make ~subject
+    ~resource:[ ("resource-id", Value.String "chart") ]
+    ~action:[ ("action-id", Value.String actions.(action mod Array.length actions)) ]
+    ()
+
+let model_decision m u action = (Policy.evaluate (model_ctx m u action) (policy_family m.policy)).Decision.decision
+
+(* --- the system under test --------------------------------------------- *)
+
+type sut = {
+  net : Net.t;
+  pep : Pep.t;
+  shards : Pdp_service.t array;
+  l2 : Cache_hierarchy.L2.t;
+  pip : Pip.t;
+}
+
+let shard_node i = Printf.sprintf "pdp%d" i
+
+let make_sut () =
+  let net = Net.create ~seed:31L () in
+  let services = Service.create (Dacs_net.Rpc.create net) in
+  let add id =
+    Net.add_node net id;
+    id
+  in
+  let pip = Pip.create services ~node:(add "pip") ~name:"pip" in
+  for u = 0 to users - 1 do
+    Pip.add_subject_attribute pip ~subject:(user_name u) ~id:"role"
+      (Value.String roles.(u mod Array.length roles))
+  done;
+  let shards =
+    Array.init 2 (fun i ->
+        Pdp_service.create services ~node:(add (shard_node i)) ~name:(shard_node i)
+          ~root:(Policy.Inline_policy (policy_family 0))
+          ~pips:[ "pip" ] ~attr_cache_ttl:600.0 ())
+  in
+  let l2 = Cache_hierarchy.L2.create services ~node:(add "l2") ~ttl:600.0 () in
+  let tier =
+    Pdp_tier.create services ~node:(add "pep") ~shards:[ shard_node 0; shard_node 1 ] ()
+  in
+  let pep =
+    Pep.create services ~node:"pep" ~domain:"d" ~resource:"chart"
+      (Pep.Sharded { tier; cache = Some (Decision_cache.create ~ttl:600.0 ()) })
+  in
+  Pep.set_l2 pep (Some (Cache_hierarchy.L2.node l2));
+  (* Deliver the shards' attribute-subscribe handshakes. *)
+  Net.run net;
+  { net; pep; shards; l2; pip }
+
+(* The invalidation round a publish or attribute change triggers: purge
+   the shared L2 and every PEP L1, then let the pushes propagate. *)
+let invalidation_round sut =
+  Cache_hierarchy.L2.invalidate_all sut.l2;
+  Pep.invalidate_cache sut.pep;
+  Net.run sut.net
+
+(* The request the PEP actually sees withholds the role — the shard must
+   resolve it at the PIP (through its attribute cache), which is exactly
+   the path revocation staleness would poison. *)
+let sut_ctx u action =
+  Context.make
+    ~subject:[ ("subject-id", Value.String (user_name u)) ]
+    ~resource:[ ("resource-id", Value.String "chart") ]
+    ~action:[ ("action-id", Value.String actions.(action mod Array.length actions)) ]
+    ()
+
+let show = Decision.decision_to_string
+
+(* --- operations --------------------------------------------------------- *)
+
+type op =
+  | Decide of int * int
+  | Decide_pair of int * int  (* two identical queries: the coalescing path *)
+  | Publish of int
+  | Spurious_invalidate
+  | Revoke of int
+  | Grant of int * int
+  | Crash of int
+  | Recover of int
+  | Decide_during_publish of int * int * int
+
+let op_of_code (code, u, x) =
+  match code mod 9 with
+  | 0 -> Decide (u, x)
+  | 1 -> Decide_pair (u, x)
+  | 2 -> Publish x
+  | 3 -> Spurious_invalidate
+  | 4 -> Revoke u
+  | 5 -> Grant (u, x)
+  | 6 -> Crash (x mod 2)
+  | 7 -> Recover (x mod 2)
+  | _ -> Decide_during_publish (u, x, u + x)
+
+let show_op = function
+  | Decide (u, a) -> Printf.sprintf "decide(%s,%s)" (user_name u) actions.(a mod 2)
+  | Decide_pair (u, a) -> Printf.sprintf "decide-pair(%s,%s)" (user_name u) actions.(a mod 2)
+  | Publish p -> Printf.sprintf "publish(p%d)" (abs p mod 4)
+  | Spurious_invalidate -> "invalidate"
+  | Revoke u -> Printf.sprintf "revoke(%s)" (user_name u)
+  | Grant (u, r) -> Printf.sprintf "grant(%s,%s)" (user_name u) roles.(r mod 3)
+  | Crash i -> Printf.sprintf "crash(pdp%d)" i
+  | Recover i -> Printf.sprintf "recover(pdp%d)" i
+  | Decide_during_publish (u, a, p) ->
+    Printf.sprintf "decide(%s,%s)||publish(p%d)" (user_name u) actions.(a mod 2) (abs p mod 4)
+
+(* --- execution ---------------------------------------------------------- *)
+
+let publish sut m p =
+  let p = abs p mod 4 in
+  Array.iter (fun shard -> Pdp_service.install_policy shard (Policy.Inline_policy (policy_family p))) sut.shards;
+  m.policy <- p;
+  invalidation_round sut
+
+let clear_attr_cache shard =
+  match Pdp_service.attr_cache shard with
+  | Some ac -> Cache_hierarchy.Attr_cache.clear ac
+  | None -> ()
+
+let check_decision m trace ~stage u a answer =
+  let expected = model_decision m u a in
+  let fail_closed_ok = m.crashed.(0) && m.crashed.(1) in
+  match answer with
+  | None -> QCheck.Test.fail_reportf "[%s] %s: no answer\ntrace: %s" stage (user_name u) trace
+  | Some r -> (
+    match r.Decision.decision with
+    | d when Decision.equal_decision d expected -> ()
+    | Decision.Indeterminate _ when fail_closed_ok -> ()
+    | d ->
+      QCheck.Test.fail_reportf "[%s] %s/%s: got %s, model says %s (policy p%d, role %s)\ntrace: %s"
+        stage (user_name u)
+        actions.(a mod Array.length actions)
+        (show d) (show expected) m.policy
+        (match m.role_of.(u mod users) with None -> "-" | Some r -> r)
+        trace)
+
+let run_op sut m trace op =
+  match op with
+  | Decide (u, a) ->
+    let answer = ref None in
+    Pep.decide sut.pep (sut_ctx u a) (fun r -> answer := Some r);
+    Net.run sut.net;
+    check_decision m trace ~stage:"decide" u a !answer
+  | Decide_pair (u, a) ->
+    let first = ref None and second = ref None in
+    Pep.decide sut.pep (sut_ctx u a) (fun r -> first := Some r);
+    Pep.decide sut.pep (sut_ctx u a) (fun r -> second := Some r);
+    Net.run sut.net;
+    check_decision m trace ~stage:"pair-leader" u a !first;
+    check_decision m trace ~stage:"pair-waiter" u a !second
+  | Publish p -> publish sut m p
+  | Spurious_invalidate -> invalidation_round sut
+  | Revoke u ->
+    Pip.remove_subject_attribute sut.pip ~subject:(user_name u) ~id:"role";
+    m.role_of.(u mod users) <- None;
+    invalidation_round sut
+  | Grant (u, r) ->
+    let role = roles.(r mod Array.length roles) in
+    (* remove first so subscribed attribute caches are push-purged; the
+       new value is then picked up on the next miss. *)
+    Pip.remove_subject_attribute sut.pip ~subject:(user_name u) ~id:"role";
+    Pip.add_subject_attribute sut.pip ~subject:(user_name u) ~id:"role" (Value.String role);
+    m.role_of.(u mod users) <- Some role;
+    invalidation_round sut
+  | Crash i ->
+    if not m.crashed.(i) then begin
+      Net.crash sut.net (shard_node i);
+      m.crashed.(i) <- true
+    end
+  | Recover i ->
+    if m.crashed.(i) then begin
+      Net.recover sut.net (shard_node i);
+      (* The shard was deaf while down: any attribute-invalidate push it
+         missed is gone for good, so a rejoining shard flushes its
+         attribute cache (the lost-push repair). *)
+      clear_attr_cache sut.shards.(i);
+      m.crashed.(i) <- false
+    end
+  | Decide_during_publish (u, a, p) ->
+    (* The decision is in flight while the publish + invalidation round
+       land: it may observe the old policy or the new one, nothing else. *)
+    let before = model_decision m u a in
+    let answer = ref None in
+    Pep.decide sut.pep (sut_ctx u a) (fun r -> answer := Some r);
+    publish sut m p;
+    Net.run sut.net;
+    let after = model_decision m u a in
+    let fail_closed_ok = m.crashed.(0) && m.crashed.(1) in
+    (match !answer with
+    | None -> QCheck.Test.fail_reportf "[during-publish] no answer\ntrace: %s" trace
+    | Some r -> (
+      match r.Decision.decision with
+      | d when Decision.equal_decision d before || Decision.equal_decision d after -> ()
+      | Decision.Indeterminate _ when fail_closed_ok -> ()
+      | d ->
+        QCheck.Test.fail_reportf
+          "[during-publish] %s: got %s, model allows %s (old) or %s (new)\ntrace: %s" (user_name u)
+          (show d) (show before) (show after) trace))
+
+let run_case ops =
+  let sut = make_sut () in
+  let m = { policy = 0; role_of = Array.init users (fun u -> Some roles.(u mod 3)); crashed = [| false; false |] } in
+  let trace = String.concat "; " (List.map show_op ops) in
+  List.iter (run_op sut m trace) ops;
+  (* Convergence sweep: recover everything, run one invalidation round,
+     then every (user, action) must agree with the model strictly. *)
+  for i = 0 to 1 do
+    run_op sut m trace (Recover i)
+  done;
+  invalidation_round sut;
+  for u = 0 to users - 1 do
+    for a = 0 to Array.length actions - 1 do
+      let answer = ref None in
+      Pep.decide sut.pep (sut_ctx u a) (fun r -> answer := Some r);
+      Net.run sut.net;
+      check_decision m trace ~stage:"convergence" u a !answer
+    done
+  done;
+  true
+
+let arb_ops =
+  let open QCheck in
+  list_of_size (Gen.int_bound 14)
+    (triple (int_bound 8) (int_bound (users - 1)) (int_bound 5))
+
+let model_test =
+  QCheck.Test.make ~name:"cache hierarchy == flat model under random interleavings" ~count:150
+    arb_ops
+    (fun coded -> run_case (List.map op_of_code coded))
+
+(* A few directed interleavings for the regressions we most care about,
+   immune to generator drift. *)
+let directed name ops = Alcotest.test_case name `Quick (fun () -> ignore (run_case ops))
+
+let () =
+  Alcotest.run "dacs_model"
+    [
+      ( "model-based",
+        [
+          QCheck_alcotest.to_alcotest model_test;
+          directed "revocation kills cached grant"
+            [ Decide (0, 0); Revoke 0; Decide (0, 0) ];
+          directed "publish flips cached decision"
+            [ Decide (1, 0); Publish 1; Decide (1, 0); Publish 2; Decide (1, 0) ];
+          directed "grant after revoke"
+            [ Revoke 2; Decide (2, 0); Grant (2, 0); Decide (2, 0) ];
+          directed "crashed shard misses the push, repaired on rejoin"
+            [ Decide (0, 0); Crash 1; Revoke 0; Decide (0, 0); Recover 1; Decide (0, 0) ];
+          directed "both shards down fails closed"
+            [ Crash 0; Crash 1; Decide (3, 1); Recover 0; Decide (3, 1) ];
+          directed "coalesced pair across a publish"
+            [ Decide_pair (1, 0); Publish 3; Decide_pair (1, 0) ];
+          directed "decide racing a publish"
+            [ Decide (0, 1); Decide_during_publish (0, 1, 1); Decide (0, 1) ];
+        ] );
+    ]

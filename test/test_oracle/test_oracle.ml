@@ -146,16 +146,14 @@ let index_oracle (name, alg) =
    serving the generated policy, one batched query routed by the ring.
    The tier must agree with the in-process reference evaluation — wire
    encoding, batching and shard routing may not change any decision. *)
-let tier_evaluate policy ctx =
+let tier_evaluate root ctx =
   let net = Net.create ~seed:11L () in
   let services = Service.create (Dacs_net.Rpc.create net) in
   let shards =
     List.init 3 (fun i ->
         let node = Printf.sprintf "pdp%d" i in
         Net.add_node net node;
-        ignore
-          (Pdp_service.create services ~node ~name:node
-             ~root:(Policy.Inline_policy policy) ());
+        ignore (Pdp_service.create services ~node ~name:node ~root ());
         node)
   in
   Net.add_node net "dispatch";
@@ -173,7 +171,7 @@ let tier_oracle (name, alg) =
       let policy = policy_of_spec alg pspec in
       let ctx = ctx_of_spec cspec in
       let reference = Policy.evaluate ctx policy in
-      match tier_evaluate policy ctx with
+      match tier_evaluate (Policy.Inline_policy policy) ctx with
       | None -> QCheck.Test.fail_reportf "tier never answered"
       | Some (Error e) -> QCheck.Test.fail_reportf "tier failed closed: %s" e
       | Some (Ok tiered) ->
@@ -193,7 +191,7 @@ let tier_oracle (name, alg) =
    from a PIP via the batched fetcher — the reference evaluation sees
    the same attributes inline.  No stage may change the decision or the
    obligations. *)
-let cached_ladder_evaluate policy cspec =
+let cached_ladder_evaluate root cspec =
   let net = Net.create ~seed:23L () in
   let services = Service.create (Dacs_net.Rpc.create net) in
   let add id =
@@ -205,8 +203,8 @@ let cached_ladder_evaluate policy cspec =
     Pip.add_subject_attribute pip ~subject:"alice" ~id:"role"
       (Value.String roles.((cspec.role_code - 1) mod Array.length roles));
   ignore
-    (Pdp_service.create services ~node:(add "pdp") ~name:"pdp"
-       ~root:(Policy.Inline_policy policy) ~pips:[ "pip" ] ~attr_cache_ttl:600.0 ());
+    (Pdp_service.create services ~node:(add "pdp") ~name:"pdp" ~root ~pips:[ "pip" ]
+       ~attr_cache_ttl:600.0 ());
   let l2 = Cache_hierarchy.L2.create services ~node:(add "l2") ~ttl:600.0 () in
   let cache = Decision_cache.create ~ttl:600.0 () in
   let pep =
@@ -270,7 +268,7 @@ let cached_oracle (name, alg) =
             else
               QCheck.Test.fail_reportf "stage %s: reference %s <> cached %s" stage
                 (show_result reference) (show_result cached))
-        (cached_ladder_evaluate policy cspec))
+        (cached_ladder_evaluate (Policy.Inline_policy policy) cspec))
 
 let algorithms =
   [
@@ -282,6 +280,210 @@ let algorithms =
     ("ordered-permit-overrides", Combine.Ordered_permit_overrides);
   ]
 
+(* --- oracle 4: delegation-augmented policy sets ------------------------- *)
+
+(* A random delegation registry (grants between three issuers, some
+   revoked) filters a random policy set; the surviving set must evaluate
+   identically in-process, through the sharded tier, and through the
+   cached ladder.  This is the administrative path the earlier oracles
+   never touched: children dropped by [filter_authorized], possibly-empty
+   sets, and issuer-targeted children must not change under wire
+   encoding, sharding or caching. *)
+
+let issuers = [| "root"; "alpha"; "beta" |]
+
+type grant_spec = { from_code : int; to_code : int; scope_code : int; flag_code : int }
+type child_spec = { issuer_code : int; child_resource_code : int; child_effect_code : int }
+
+let scope_of_code c = if c = 0 then "" else resources.((c - 1) mod Array.length resources)
+
+let delegation_of_specs specs =
+  let deleg = Delegation.create ~roots:[ "root" ] in
+  let granted =
+    List.filter_map
+      (fun g ->
+        match
+          Delegation.grant deleg
+            ~can_redelegate:(g.flag_code land 1 = 1)
+            ~delegator:issuers.(g.from_code mod Array.length issuers)
+            ~delegate:issuers.(g.to_code mod Array.length issuers)
+            ~scope:(scope_of_code g.scope_code) ~now:0.0 ~expires:100.0 ()
+        with
+        | Ok recorded -> Some (recorded, g.flag_code land 2 = 2)
+        | Error _ -> None)
+      specs
+  in
+  List.iter
+    (fun ((recorded : Delegation.grant), revoked) ->
+      if revoked then ignore (Delegation.revoke deleg ~grant_id:recorded.Delegation.id))
+    granted;
+  deleg
+
+let child_of_spec i c =
+  let target =
+    if c.child_resource_code = 0 then Target.any
+    else Target.(any |> resource_is "resource-id" resources.((c.child_resource_code - 1) mod Array.length resources))
+  in
+  Policy.Inline_policy
+    (Policy.make
+       ~id:(Printf.sprintf "child%d" i)
+       ~issuer:issuers.(c.issuer_code mod Array.length issuers)
+       ~target
+       [ (if c.child_effect_code = 0 then Rule.permit "p" else Rule.deny "d") ])
+
+let arb_delegation_case =
+  let open QCheck in
+  let arb_grant =
+    map
+      ~rev:(fun g -> (g.from_code, g.to_code, g.scope_code, g.flag_code))
+      (fun (f, t, s, fl) -> { from_code = f; to_code = t; scope_code = s; flag_code = fl })
+      (quad (int_bound 2) (int_bound 2) (int_bound 3) (int_bound 3))
+  in
+  let arb_child =
+    map
+      ~rev:(fun c -> (c.issuer_code, c.child_resource_code, c.child_effect_code))
+      (fun (i, r, e) -> { issuer_code = i; child_resource_code = r; child_effect_code = e })
+      (triple (int_bound 2) (int_bound 3) (int_bound 1))
+  in
+  let arb_ctx =
+    map
+      ~rev:(fun s -> (s.role_code, s.resource_code, s.action_code))
+      (fun (r, rs, a) -> { role_code = r; resource_code = rs; action_code = a })
+      (triple (int_bound (Array.length roles)) (int_bound 2) (int_bound 1))
+  in
+  triple (list_of_size (Gen.int_bound 4) arb_grant) (list_of_size (Gen.int_bound 4) arb_child) arb_ctx
+
+let delegation_filtered_root alg (grant_specs, child_specs, _) =
+  let deleg = delegation_of_specs grant_specs in
+  let set =
+    Policy.make_set ~policy_combining:alg ~id:"deleg-set" (List.mapi child_of_spec child_specs)
+  in
+  let filtered, _dropped = Delegation.filter_authorized deleg ~now:1.0 set in
+  Policy.Inline_set filtered
+
+let delegation_tier_oracle (name, alg) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "delegation-filtered set: tier == reference (%s)" name)
+    ~count:300 arb_delegation_case
+    (fun case ->
+      let _, _, cspec = case in
+      let root = delegation_filtered_root alg case in
+      let ctx = ctx_of_spec cspec in
+      let reference = Policy.evaluate_child ctx root in
+      match tier_evaluate root ctx with
+      | None -> QCheck.Test.fail_reportf "tier never answered"
+      | Some (Error e) -> QCheck.Test.fail_reportf "tier failed closed: %s" e
+      | Some (Ok tiered) ->
+        if result_equal reference tiered then true
+        else
+          QCheck.Test.fail_reportf "reference %s <> tier %s" (show_result reference)
+            (show_result tiered))
+
+let delegation_cached_oracle (name, alg) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "delegation-filtered set: caching ladder == reference (%s)" name)
+    ~count:100 arb_delegation_case
+    (fun case ->
+      let _, _, cspec = case in
+      let root = delegation_filtered_root alg case in
+      let reference = Policy.evaluate_child (ctx_of_spec cspec) root in
+      List.for_all
+        (fun (stage, answer) ->
+          match answer with
+          | None -> QCheck.Test.fail_reportf "stage %s never answered" stage
+          | Some cached ->
+            if result_equal reference cached then true
+            else
+              QCheck.Test.fail_reportf "stage %s: reference %s <> cached %s" stage
+                (show_result reference) (show_result cached))
+        (cached_ladder_evaluate root cspec))
+
+(* --- oracle 5: negotiation-gated requests ------------------------------- *)
+
+(* Trust negotiation decides whether the requester's role credential is
+   released at all; the authorisation request then carries the role only
+   on success.  The oracle checks the composition end to end: the
+   negotiation outcome matches [satisfied] over what was disclosed, and
+   the resulting (gated) context evaluates identically in-process and
+   through the sharded tier. *)
+
+type nego_spec = { depth : int; broken : bool }
+
+let nego_parties spec =
+  let cred i = Printf.sprintf "client-cred%d" i in
+  let srv i = Printf.sprintf "server-cred%d" i in
+  let depth = spec.depth mod 4 in
+  let client_creds =
+    List.init (depth + 1) (fun i ->
+        if i = 0 then Negotiation.unprotected (cred 0)
+        else Negotiation.protected_by (cred i) [ srv (i - 1) ])
+  in
+  let server_creds =
+    List.init depth (fun i ->
+        (* A broken chain: the server's deepest credential demands a
+           client credential that does not exist. *)
+        if spec.broken && i = depth - 1 then Negotiation.protected_by (srv i) [ "no-such-cred" ]
+        else Negotiation.protected_by (srv i) [ cred i ])
+  in
+  let target =
+    if spec.broken && depth = 0 then [ [ "no-such-cred" ] ] else [ [ cred depth ] ]
+  in
+  ( { Negotiation.party_name = "client"; credentials = client_creds },
+    { Negotiation.party_name = "server"; credentials = server_creds },
+    target )
+
+let arb_negotiation_case =
+  let open QCheck in
+  let arb_rule =
+    map
+      ~rev:(fun s -> (s.effect_code, s.target_code, s.condition_code, s.obligation_code))
+      (fun (e, t, c, o) -> { effect_code = e; target_code = t; condition_code = c; obligation_code = o })
+      (quad (int_bound 1) (int_bound target_code_max) (int_bound condition_code_max) (int_bound 2))
+  in
+  let arb_nego =
+    map
+      ~rev:(fun s -> (s.depth, s.broken))
+      (fun (d, b) -> { depth = d; broken = b })
+      (pair (int_bound 3) bool)
+  in
+  triple arb_nego (pair (list_of_size (Gen.int_bound 6) arb_rule) (int_bound 1))
+    (triple (int_bound (Array.length roles)) (int_bound 2) (int_bound 1))
+
+let negotiation_oracle (name, alg) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "negotiation-gated request: tier == reference (%s)" name)
+    ~count:300 arb_negotiation_case
+    (fun (nspec, pspec, (role_code, resource_code, action_code)) ->
+      let client, server, target = nego_parties nspec in
+      let outcome = Negotiation.negotiate ~client ~server ~target () in
+      (* Internal consistency of the negotiation itself. *)
+      if outcome.Negotiation.success <> Negotiation.satisfied target outcome.Negotiation.disclosed_by_client
+      then QCheck.Test.fail_reportf "negotiation outcome disagrees with satisfied";
+      if nspec.broken && outcome.Negotiation.success then
+        QCheck.Test.fail_reportf "broken credential chain negotiated successfully";
+      if (not nspec.broken) && not outcome.Negotiation.success then
+        QCheck.Test.fail_reportf "intact chain of depth %d failed" (nspec.depth mod 4);
+      (* The gate: the role attribute reaches the authz request only when
+         negotiation released it. *)
+      let cspec =
+        {
+          role_code = (if outcome.Negotiation.success then 1 + (role_code mod Array.length roles) else 0);
+          resource_code;
+          action_code;
+        }
+      in
+      let policy = policy_of_spec alg pspec in
+      let ctx = ctx_of_spec cspec in
+      let reference = Policy.evaluate ctx policy in
+      match tier_evaluate (Policy.Inline_policy policy) ctx with
+      | None -> QCheck.Test.fail_reportf "tier never answered"
+      | Some (Error e) -> QCheck.Test.fail_reportf "tier failed closed: %s" e
+      | Some (Ok tiered) ->
+        if result_equal reference tiered then true
+        else
+          QCheck.Test.fail_reportf "reference %s <> tier %s" (show_result reference)
+            (show_result tiered))
+
 let () =
   Alcotest.run "dacs_oracle"
     [
@@ -289,4 +491,9 @@ let () =
       ("tier-differential", List.map (fun a -> QCheck_alcotest.to_alcotest (tier_oracle a)) algorithms);
       ( "cached-ladder-differential",
         List.map (fun a -> QCheck_alcotest.to_alcotest (cached_oracle a)) algorithms );
+      ( "delegation-differential",
+        List.map (fun a -> QCheck_alcotest.to_alcotest (delegation_tier_oracle a)) algorithms
+        @ List.map (fun a -> QCheck_alcotest.to_alcotest (delegation_cached_oracle a)) algorithms );
+      ( "negotiation-differential",
+        List.map (fun a -> QCheck_alcotest.to_alcotest (negotiation_oracle a)) algorithms );
     ]

@@ -385,7 +385,102 @@ let frame_roundtrip_tests =
       (pair small_nat nasty_string) (fun (id, body) ->
         Rpc.decode (Rpc.encode_reply id body) = Some (Rpc.Reply (id, body))
         && Rpc.decode (Rpc.encode_error id body) = Some (Rpc.Error_frame (id, body)));
+    (* Batch envelopes: the B/BT multi-part frames the tier and the
+       attribute fetcher ride on.  Empty part lists and parts that are
+       themselves empty strings are legal payloads. *)
+    Test.make ~name:"rpc frame: batch request round-trips (incl. empty parts)" ~count:500
+      (triple small_nat nasty_string (list_of_size (Gen.int_bound 6) nasty_string))
+      (fun (id, service, parts) ->
+        Rpc.decode (Rpc.encode_batch_request id service parts)
+        = Some (Rpc.Batch_request (id, service, parts)));
+    Test.make ~name:"rpc frame: traced batch request round-trips" ~count:500
+      (pair (triple small_nat nasty_string nasty_string) (list_of_size (Gen.int_bound 6) nasty_string))
+      (fun ((id, service, trace), parts) ->
+        Rpc.decode (Rpc.encode_traced_batch_request id service ~trace parts)
+        = Some (Rpc.Traced_batch_request { id; service; trace; parts }));
+    Test.make ~name:"rpc frame: parts codec round-trips" ~count:500
+      (list_of_size (Gen.int_bound 8) nasty_string) (fun parts ->
+        Rpc.decode_parts (Rpc.encode_parts parts) = Some parts);
   ]
+
+(* Negative-path fuzz: random byte mutations of valid frames must come
+   back as decode errors (None) or as some other well-formed frame —
+   never as an exception.  The mutations are drawn from the generated
+   ints, so a crashing mutation shrinks to a minimal one. *)
+let frame_fuzz_tests =
+  let open QCheck in
+  let mutate ops s =
+    List.fold_left
+      (fun s (kind, pos, byte) ->
+        let n = String.length s in
+        if n = 0 then String.make 1 (Char.chr (byte land 0xff))
+        else
+          let pos = pos mod (n + 1) in
+          let b = Bytes.of_string s in
+          match kind mod 3 with
+          | 0 ->
+            (* flip *)
+            let pos = pos mod n in
+            Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 + (byte land 0xfe))));
+            Bytes.to_string b
+          | 1 ->
+            (* insert *)
+            String.sub s 0 pos ^ String.make 1 (Char.chr (byte land 0xff)) ^ String.sub s pos (n - pos)
+          | _ ->
+            (* delete *)
+            if pos >= n then String.sub s 0 (n - 1)
+            else String.sub s 0 pos ^ String.sub s (pos + 1) (n - pos - 1))
+      s ops
+  in
+  let arb_mutations = list_of_size Gen.(int_range 1 6) (triple small_nat small_nat small_nat) in
+  let total_decode s =
+    match Rpc.decode s with
+    | Some _ | None -> (
+      match Rpc.decode_parts s with Some _ | None -> true)
+    | exception e -> Test.fail_reportf "decode raised %s on %S" (Printexc.to_string e) s
+  in
+  [
+    Test.make ~name:"rpc fuzz: mutated batch frames never raise" ~count:1000
+      (pair (triple small_nat small_string (list_of_size (Gen.int_bound 4) small_string)) arb_mutations)
+      (fun ((id, service, parts), ops) ->
+        total_decode (mutate ops (Rpc.encode_batch_request id service parts)));
+    Test.make ~name:"rpc fuzz: mutated traced batch frames never raise" ~count:1000
+      (pair (triple small_nat small_string (list_of_size (Gen.int_bound 4) small_string)) arb_mutations)
+      (fun ((id, service, parts), ops) ->
+        total_decode (mutate ops (Rpc.encode_traced_batch_request id service ~trace:"t|1" parts)));
+    Test.make ~name:"rpc fuzz: mutated request/reply frames never raise" ~count:1000
+      (pair (pair small_nat small_string) arb_mutations)
+      (fun ((id, body), ops) ->
+        total_decode (mutate ops (Rpc.encode_request id "svc" body))
+        && total_decode (mutate ops (Rpc.encode_reply id body)));
+    Test.make ~name:"rpc fuzz: arbitrary bytes never raise" ~count:1000
+      (string_gen Gen.char) total_decode;
+  ]
+
+(* Hand-picked malformed part encodings: every way a length prefix can
+   lie about the bytes that follow. *)
+let test_decode_parts_negative () =
+  let rejects label s =
+    check bool_ (Printf.sprintf "%s (%S) rejected" label s) true (Rpc.decode_parts s = None)
+  in
+  rejects "bare colon" ":";
+  rejects "length overruns buffer" "5:abc";
+  rejects "negative length" "-1:x";
+  rejects "length not a number" "abc:x";
+  rejects "missing colon" "5abc";
+  rejects "trailing garbage after last part" "1:a,";
+  rejects "second part truncated" "1:a,9:bc";
+  rejects "overflowing length prefix" "99999999999999999999:x";
+  (* Exactness at the boundary: a prefix consuming the rest is fine,
+     one byte more is not. *)
+  check bool_ "exact length accepted" true (Rpc.decode_parts "3:abc" = Some [ "abc" ]);
+  check bool_ "one past the end rejected" true (Rpc.decode_parts "4:abc" = None);
+  check bool_ "empty part round-trips" true (Rpc.decode_parts (Rpc.encode_parts [ "" ]) = Some [ "" ]);
+  check bool_ "empty list round-trips" true
+    (Rpc.decode_parts (Rpc.encode_parts []) = Some []);
+  check bool_ "batch of empty parts round-trips" true
+    (Rpc.decode (Rpc.encode_batch_request 7 "s" [ ""; "" ])
+    = Some (Rpc.Batch_request (7, "s", [ ""; "" ])))
 
 (* --- rpc resilience -------------------------------------------------------- *)
 
@@ -575,7 +670,10 @@ let () =
           Alcotest.test_case "service name with separator" `Quick
             test_rpc_service_name_with_separator;
         ] );
-      ("rpc-frames", List.map QCheck_alcotest.to_alcotest frame_roundtrip_tests);
+      ( "rpc-frames",
+        List.map QCheck_alcotest.to_alcotest (frame_roundtrip_tests @ frame_fuzz_tests)
+        @ [ Alcotest.test_case "malformed part encodings rejected" `Quick test_decode_parts_negative ]
+      );
       ( "rpc-resilience",
         [
           Alcotest.test_case "retry recovers after restart" `Quick test_rpc_retry_recovers;
