@@ -618,7 +618,7 @@ let cache_cmd seed json =
    two invocations can be compared with cmp(1) — the determinism gate CI
    relies on.  Exits non-zero when a LOAD CHECK fails. *)
 let load_cmd seed rate clients think duration peps shards users domains zipf cache_ttl service_time
-    batch max_inflight queue pdp_max_inflight json =
+    batch max_inflight queue pdp_max_inflight rule_cost compiled json =
   let module W = Dacs_workload.Workload in
   let arrivals =
     if clients > 0 then W.Closed_loop { clients; think_time = think } else W.Open_loop { rate }
@@ -639,6 +639,8 @@ let load_cmd seed rate clients think duration peps shards users domains zipf cac
       admission =
         (if max_inflight > 0 then Some { Pep.max_inflight; max_queue = queue } else None);
       pdp_max_inflight = (if pdp_max_inflight > 0 then Some pdp_max_inflight else None);
+      rule_cost;
+      compiled;
     }
   in
   match W.run scenario with
@@ -850,6 +852,25 @@ let pdp_inflight_arg =
     & info [ "pdp-max-inflight" ] ~docv:"N"
         ~doc:"Per-shard max-inflight bound on the PDP FIFO (0 = unbounded).")
 
+let rule_cost_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "rule-cost" ] ~docv:"S"
+        ~doc:
+          "Extra virtual seconds of shard occupancy per rule the evaluation scans (0 keeps the \
+           flat service-time model).")
+
+let compiled_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "compiled" ]
+        ~doc:
+          "Evaluate through the compiled (target-indexed) policy form instead of the interpreter; \
+           decisions are identical, shard occupancy scales with dispatched candidates instead of \
+           the whole rule list.")
+
 let load_t =
   Cmd.v
     (Cmd.info "load"
@@ -860,7 +881,8 @@ let load_t =
     Term.(
       const load_cmd $ sim_seed_arg $ rate_arg $ clients_arg $ think_arg $ duration_arg $ peps_arg
       $ shards_arg $ users_arg $ domains_arg $ zipf_arg $ cache_ttl_arg $ service_time_arg
-      $ batch_arg $ max_inflight_arg $ queue_arg $ pdp_inflight_arg $ json_flag)
+      $ batch_arg $ max_inflight_arg $ queue_arg $ pdp_inflight_arg $ rule_cost_arg
+      $ compiled_flag $ json_flag)
 
 let main =
   Cmd.group

@@ -2,6 +2,7 @@ module Xml = Dacs_xml.Xml
 module Engine = Dacs_net.Engine
 module Service = Dacs_ws.Service
 module Policy = Dacs_policy.Policy
+module Compiled = Dacs_policy.Compiled
 module Decision = Dacs_policy.Decision
 module Context = Dacs_policy.Context
 module Value = Dacs_policy.Value
@@ -16,6 +17,7 @@ type t = {
   c_rejected : Metrics.counter;
   mutable admin_policy : Policy.child option;
   mutable root : Policy.child option;
+  mutable compiled : Compiled.t option;  (* kept in step with [root] *)
   mutable version : int;
   mutable subscribers : Dacs_net.Net.node_id list;
   mutable update_filter : Policy.child -> bool;
@@ -26,6 +28,8 @@ let node t = t.node
 let name t = t.name
 let version t = t.version
 let current t = t.root
+let compiled t = t.compiled
+let compilation_epoch t = match t.compiled with None -> 0 | Some c -> Compiled.epoch c
 let subscribers t = t.subscribers
 
 let set_admin_policy t p = t.admin_policy <- Some p
@@ -62,6 +66,14 @@ let push_to_subscribers t =
 
 let accept_update t child =
   t.root <- Some child;
+  (* Incremental recompilation: unchanged leaf policies keep their
+     compiled form; the epoch moves only when the tree actually changed,
+     so PDPs can cheaply detect a semantic update. *)
+  t.compiled <-
+    Some
+      (match t.compiled with
+      | None -> Compiled.compile child
+      | Some prev -> Compiled.recompile prev child);
   t.version <- t.version + 1;
   Metrics.inc t.c_accepted;
   push_to_subscribers t
@@ -93,6 +105,7 @@ let create services ~node ~name ?admin_policy ?root () =
       c_rejected = own "pap_updates_rejected_total" ~help:"Policy updates rejected";
       admin_policy;
       root;
+      compiled = Option.map Compiled.compile root;
       version = (match root with None -> 0 | Some _ -> 1);
       subscribers = [];
       update_filter = (fun _ -> true);

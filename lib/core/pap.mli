@@ -31,6 +31,16 @@ val name : t -> string
 val version : t -> int
 val current : t -> Dacs_policy.Policy.child option
 
+val compiled : t -> Dacs_policy.Compiled.t option
+(** The compiled form of {!current}, maintained incrementally across
+    publishes: an accepted update recompiles only the leaf policies that
+    actually changed (see {!Dacs_policy.Compiled.recompile}). *)
+
+val compilation_epoch : t -> int
+(** Epoch of {!compiled}; 0 when no policy is stored.  Bumped by every
+    accepted update that changed the tree, preserved by no-op
+    publishes. *)
+
 val publish : t -> Dacs_policy.Policy.child -> unit
 (** Local administrative action: replace the policy, bump the version,
     push to subscribers. *)

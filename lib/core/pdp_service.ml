@@ -3,6 +3,7 @@ module Engine = Dacs_net.Engine
 module Context = Dacs_policy.Context
 module Decision = Dacs_policy.Decision
 module Policy = Dacs_policy.Policy
+module Compiled = Dacs_policy.Compiled
 module Value = Dacs_policy.Value
 module Metrics = Dacs_telemetry.Metrics
 module Trace = Dacs_telemetry.Trace
@@ -56,6 +57,7 @@ type t = {
   retry : Dacs_net.Rpc.retry_policy option;
   counters : counters;
   service_time : float;
+  rule_cost : float;
   max_inflight : int option;
   attr_cache : Cache_hierarchy.Attr_cache.t option;
   attr_batch : bool;
@@ -63,6 +65,8 @@ type t = {
   mutable busy_until : float;
   mutable inflight : int;
   mutable root : Policy.child option;
+  mutable compiled_root : Compiled.t option;  (* in step with [root] when [use_compiled] *)
+  mutable use_compiled : bool;
   mutable version : int;
   mutable fetched_at : float;
 }
@@ -73,9 +77,33 @@ let tracer t = Service.tracer t.services
 
 let now t = Dacs_net.Net.now (Service.net t.services)
 
+(* Keep the compiled form in step with the interpreted root whenever
+   compiled evaluation is on; recompilation is incremental, so policy
+   refreshes that only touch part of the tree stay cheap. *)
+let sync_compiled t =
+  if t.use_compiled then
+    t.compiled_root <-
+      (match t.root with
+      | None -> None
+      | Some root ->
+        Some
+          (match t.compiled_root with
+          | None -> Compiled.compile root
+          | Some prev -> Compiled.recompile prev root))
+
 let install_policy t root =
   t.root <- Some root;
+  sync_compiled t;
   t.fetched_at <- now t
+
+let set_compiled t on =
+  t.use_compiled <- on;
+  if on then sync_compiled t else t.compiled_root <- None
+
+let compiled_enabled t = t.use_compiled
+
+let compilation_epoch t =
+  match t.compiled_root with None -> 0 | Some c -> Compiled.epoch c
 
 let policy_version t = t.version
 
@@ -138,6 +166,7 @@ let ensure_policy t k =
             match Wire.parse_policy_response body with
             | Ok (version, Some child) ->
               t.root <- Some child;
+              sync_compiled t;
               t.version <- version;
               t.fetched_at <- now t
             | Ok (_, None) ->
@@ -180,7 +209,11 @@ let evaluate_pass t ~subject ctx attempted =
   let result =
     match t.root with
     | None -> Decision.indeterminate "no policy installed"
-    | Some root -> Policy.evaluate_child ~resolve ~resolve_ref ctx root
+    | Some root -> (
+      match t.compiled_root with
+      | Some c when t.use_compiled && Compiled.source c == root ->
+        Compiled.evaluate ~resolve ~resolve_ref ctx c
+      | _ -> Policy.evaluate_child ~resolve ~resolve_ref ctx root)
   in
   (result, List.sort_uniq compare !misses)
 
@@ -298,18 +331,41 @@ let evaluate_local t ctx k =
       loop ctx 0);
   Trace.set_current tr saved
 
+(* With a positive [rule_cost] the occupancy grows with the number of
+   rules evaluation actually scans: the whole tree when interpreting,
+   only the dispatched candidates when compiled — which is what lets the
+   e18 ablation show compiled evaluation as shard capacity, not just as
+   lower wall-clock per call. *)
+let scan_occupancy t ctx =
+  if t.rule_cost <= 0.0 then 0.0
+  else
+    let scanned =
+      match t.root with
+      | None -> 0
+      | Some root -> (
+        match t.compiled_root with
+        | Some c when t.use_compiled && Compiled.source c == root ->
+          Compiled.candidate_count c ctx
+        | _ -> (
+          match root with
+          | Policy.Inline_policy p -> Policy.rule_count p
+          | Policy.Inline_set s -> Policy.set_rule_count ~resolve_ref:(local_ref_resolver t) s
+          | Policy.Policy_ref _ -> 0))
+    in
+    t.rule_cost *. float_of_int scanned
+
 (* Capacity model: with a positive [service_time] each evaluation occupies
    the PDP for that long in virtual time, queueing FIFO behind whatever is
    already in progress — which is what makes a single decision point a
    measurable bottleneck and a sharded tier a measurable win (E16).  The
    default of 0 keeps the historical instantaneous-evaluation behaviour
    with no extra engine events, so seeded runs stay byte-identical. *)
-let when_capacity_free t f =
-  if t.service_time <= 0.0 then f ()
+let when_capacity_free t ~occupancy f =
+  if occupancy <= 0.0 then f ()
   else begin
     let now = now t in
     let start = Float.max now t.busy_until in
-    let finish = start +. t.service_time in
+    let finish = start +. occupancy in
     t.busy_until <- finish;
     let tr = tracer t in
     let ambient = Trace.current tr in
@@ -335,7 +391,8 @@ let overloaded t =
 let overload_reason = "pdp overloaded"
 
 let create services ~node ~name:_ ?root ?pap ?refresh ?(pips = []) ?signer ?retry
-    ?(service_time = 0.0) ?max_inflight ?attr_cache_ttl ?(attr_batch = true) () =
+    ?(service_time = 0.0) ?(rule_cost = 0.0) ?max_inflight ?attr_cache_ttl ?(attr_batch = true)
+    ?(compiled = false) () =
   let refresh =
     match refresh with
     | Some r -> r
@@ -356,6 +413,7 @@ let create services ~node ~name:_ ?root ?pap ?refresh ?(pips = []) ?signer ?retr
       retry;
       counters = make_counters metrics ~node;
       service_time;
+      rule_cost;
       max_inflight;
       attr_cache;
       attr_batch;
@@ -366,10 +424,13 @@ let create services ~node ~name:_ ?root ?pap ?refresh ?(pips = []) ?signer ?retr
       busy_until = 0.0;
       inflight = 0;
       root;
+      compiled_root = None;
+      use_compiled = compiled;
       version = 0;
       fetched_at = -.infinity;
     }
   in
+  sync_compiled t;
   (match attr_cache with
   | None -> ()
   | Some ac ->
@@ -399,7 +460,7 @@ let create services ~node ~name:_ ?root ?pap ?refresh ?(pips = []) ?signer ?retr
         end
         else begin
           t.inflight <- t.inflight + 1;
-          when_capacity_free t (fun () ->
+          when_capacity_free t ~occupancy:(t.service_time +. scan_occupancy t ctx) (fun () ->
               evaluate_local t ctx (fun result ->
                   t.inflight <- t.inflight - 1;
                   match t.signer with

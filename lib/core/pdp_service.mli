@@ -23,9 +23,11 @@ val create :
   ?signer:Dacs_crypto.Rsa.private_key * Dacs_crypto.Cert.t ->
   ?retry:Dacs_net.Rpc.retry_policy ->
   ?service_time:float ->
+  ?rule_cost:float ->
   ?max_inflight:int ->
   ?attr_cache_ttl:float ->
   ?attr_batch:bool ->
+  ?compiled:bool ->
   unit ->
   t
 (** [refresh] defaults to [Every_query] when a PAP is given, else
@@ -56,7 +58,15 @@ val create :
     attributes missing from a context-handler round in one multi-part
     frame per PIP — the B/BT batch envelope — instead of one RPC per
     attribute; [false] restores the sequential shape (the e17 ablation
-    baseline). *)
+    baseline).
+
+    [rule_cost] (seconds of virtual time per rule scanned, default 0)
+    extends the capacity model: each query additionally occupies the PDP
+    for [rule_cost] times the number of rules evaluation considers — the
+    whole tree when interpreting, only the dispatched candidates when
+    compiled — so compiled evaluation shows up as shard capacity in
+    saturation experiments.  [compiled] (default false) starts the PDP
+    with compiled evaluation on (see {!set_compiled}). *)
 
 val node : t -> Dacs_net.Net.node_id
 
@@ -68,6 +78,20 @@ val install_policy : t -> Dacs_policy.Policy.child -> unit
 
 val policy_version : t -> int
 (** Last version seen from the PAP (0 when none). *)
+
+val set_compiled : t -> bool -> unit
+(** Toggle compiled evaluation.  Turning it on compiles the currently
+    installed policy (and every subsequently installed or fetched one,
+    incrementally); turning it off drops the compiled form and reverts
+    to the interpreter.  Decisions are identical either way — the
+    equivalence is enforced by the differential oracle suite. *)
+
+val compiled_enabled : t -> bool
+
+val compilation_epoch : t -> int
+(** Epoch of the current compiled form (0 when compiled evaluation is
+    off or no policy is installed).  Bumped whenever an installed or
+    fetched policy actually changed the tree. *)
 
 val evaluate_local :
   t -> Dacs_policy.Context.t -> (Dacs_policy.Decision.result -> unit) -> unit

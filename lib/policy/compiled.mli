@@ -1,0 +1,79 @@
+(** Compiled policy evaluation: per-(resource, action) target-indexed
+    dispatch over a whole policy tree.
+
+    {!Policy.evaluate} walks every rule of every policy for every
+    request.  Compilation partitions each leaf policy's rules by the
+    [resource-id]/[action-id] string-equality pins in their targets —
+    rules pinned on both axes, on one, or on neither (the fallback
+    bucket) — and precomputes the variable-substituted form of every
+    rule condition.  Dispatch then unions the buckets the request's
+    resource-id/action-id select with the fallback bucket and restores
+    document order, so the combining algorithm sees exactly the rule
+    sequence the interpreter would, minus rules that provably cannot
+    match.
+
+    Soundness of pruning: a rule is indexed on an axis only when every
+    clause of that target section pins the axis attribute with
+    [string-equal] on a string literal, and pruning on an axis is
+    attempted only when the request carries a non-empty, all-string bag
+    for that attribute (a non-string value would make [string-equal]
+    error — Indeterminate — rather than mismatch, so such requests take
+    the full scan).  Under those two conditions a pruned rule's target
+    is guaranteed [No_match], hence the rule is NotApplicable and
+    contributes nothing to any combining algorithm.
+
+    The compiled form is a pure value: compiling never changes
+    decisions, obligations (and their document order), or Indeterminate
+    messages relative to {!Policy.evaluate_child}. *)
+
+type t
+
+val compile : Policy.child -> t
+(** Compile a policy tree from scratch.  The compilation epoch starts
+    at 1. *)
+
+val recompile : t -> Policy.child -> t
+(** Incremental recompilation against a previous compile: leaf policies
+    that are structurally unchanged reuse their compiled form.  If the
+    whole tree is unchanged the previous value is returned as-is and the
+    epoch is preserved; any structural change bumps the epoch by one
+    (epochs are monotonic). *)
+
+val epoch : t -> int
+(** Compilation epoch: 1 for a fresh {!compile}, incremented by every
+    {!recompile} that observed a change. *)
+
+val source : t -> Policy.child
+(** The policy tree this value was compiled from. *)
+
+val evaluate :
+  ?resolve:Expr.resolver -> ?resolve_ref:Policy.ref_resolver -> Context.t -> t -> Decision.result
+(** Same result as {!Policy.evaluate_child} on {!source}, for any
+    request, resolver and reference resolver. *)
+
+(** {1 Inspection} *)
+
+val rule_count : t -> int
+(** Total rules across all compiled leaves ([Policy_ref] children count
+    0 — they are resolved dynamically at evaluation time). *)
+
+val leaf_count : t -> int
+(** Inline leaf policies compiled. *)
+
+val bucket_count : t -> int
+(** Indexed buckets across all leaves (pair, resource-only and
+    action-only buckets). *)
+
+val reused_leaves : t -> int
+(** Leaves carried over unchanged by the {!recompile} that produced this
+    value; 0 after a fresh {!compile}. *)
+
+val candidate_count : t -> Context.t -> int
+(** Rules evaluation would consider for this request, summed over all
+    leaves (the selectivity measure for the compiled-vs-interpreted
+    ablation).  [Policy_ref] children are not counted. *)
+
+val pruned_rules : t -> Context.t -> Rule.t list
+(** The rules dispatch skips for this request (the complement of the
+    candidate set).  Every pruned rule's target is [No_match] for the
+    request — the property the equivalence suite checks directly. *)

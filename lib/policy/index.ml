@@ -5,13 +5,22 @@
    is safe.  Everything else goes to the fallback bucket.  Document order
    is preserved when merging buckets, so combining semantics are exact. *)
 
-type indexed_rule = { position : int; rule : Rule.t }
+type indexed_rule = {
+  position : int;
+  rule : Rule.t;  (* condition already substituted when [prep_error] is None *)
+  prep_error : string option;  (* unresolvable policy variable *)
+}
 
 type t = {
   policy : Policy.t;
   by_resource : (string, indexed_rule list) Hashtbl.t;  (* newest first *)
   fallback : indexed_rule list;  (* document order *)
+  all : indexed_rule list;  (* document order, for unprunable requests *)
   total : int;
+  guards : (Context.category * string) list;
+      (* attributes read by the subject sections of indexed rules — the
+         section the interpreter evaluates before resources, whose error
+         would short-circuit past the resource mismatch *)
 }
 
 (* The resource-id values a clause accepts, when it pins resource-id by
@@ -29,24 +38,63 @@ let clause_resource_values clause =
   in
   match values with [] -> None | vs -> Some vs
 
-(* All resource-id values a rule can apply to, or None when unconstrained. *)
+(* A match that cannot error against a non-empty all-string bag. *)
+let guardable_match m =
+  m.Target.fn = "string-equal"
+  && (match m.Target.value with Value.String _ -> true | _ -> false)
+
+(* The attributes a rule's subject section reads, or None when some
+   match could error — target sections evaluate subjects first, and an
+   error there makes the whole target Indeterminate before the resource
+   pin's mismatch is seen, so such a rule must not be pruned. *)
+let rule_guards (rule : Rule.t) =
+  let subjects = rule.Rule.target.Target.subjects in
+  if List.for_all (List.for_all guardable_match) subjects then
+    Some
+      (List.concat_map
+         (List.map (fun m -> (m.Target.category, m.Target.attribute_id)))
+         subjects)
+  else None
+
+(* All resource-id values a rule can apply to (with the guard attributes
+   its pruning depends on), or None when unconstrained or unguardable. *)
 let rule_resource_values (rule : Rule.t) =
   match rule.Rule.target.Target.resources with
   | [] -> None
-  | clauses ->
+  | clauses -> (
     let per_clause = List.map clause_resource_values clauses in
     if List.exists (fun v -> v = None) per_clause then None
-    else Some (List.concat_map (fun v -> Option.value v ~default:[]) per_clause)
+    else
+      match rule_guards rule with
+      | None -> None
+      | Some guards ->
+        Some (List.concat_map (fun v -> Option.value v ~default:[]) per_clause, guards))
+
+(* Substitute policy variables into the condition at build time, the
+   step {!Policy.evaluate} performs per evaluation; a broken reference
+   is remembered and surfaces as that rule's Indeterminate. *)
+let prepare policy position rule =
+  match rule.Rule.condition with
+  | None -> { position; rule; prep_error = None }
+  | Some condition -> (
+    let lookup name = List.assoc_opt name policy.Policy.variables in
+    match Expr.substitute lookup condition with
+    | Ok condition -> { position; rule = { rule with Rule.condition = Some condition }; prep_error = None }
+    | Error e -> { position; rule; prep_error = Some e })
 
 let build policy =
   let by_resource = Hashtbl.create 256 in
   let fallback = ref [] in
+  let all = ref [] in
+  let guards = ref [] in
   List.iteri
     (fun position rule ->
-      let ir = { position; rule } in
+      let ir = prepare policy position rule in
+      all := ir :: !all;
       match rule_resource_values rule with
       | None -> fallback := ir :: !fallback
-      | Some values ->
+      | Some (values, rule_guards) ->
+        guards := rule_guards @ !guards;
         List.iter
           (fun v ->
             let prev = Option.value (Hashtbl.find_opt by_resource v) ~default:[] in
@@ -57,20 +105,40 @@ let build policy =
     policy;
     by_resource;
     fallback = List.rev !fallback;
+    all = List.rev !all;
     total = List.length policy.Policy.rules;
+    guards = List.sort_uniq compare !guards;
   }
 
+(* Pruning is sound only against a non-empty, all-string resource-id
+   bag: [string-equal] errors on any other value type (including Uri),
+   so a pinned rule could then be Indeterminate rather than
+   NotApplicable under reference evaluation and must not be skipped. *)
 let request_resource_ids ctx =
-  List.filter_map
-    (function Value.String s | Value.Uri s -> Some s | _ -> None)
-    (Context.bag ctx Context.Resource "resource-id")
+  let bag = Context.bag ctx Context.Resource "resource-id" in
+  if List.exists (function Value.String _ -> false | _ -> true) bag then []
+  else List.filter_map (function Value.String s -> Some s | _ -> None) bag
+
+(* Guard attributes must also carry non-empty all-string bags: then the
+   subject sections of indexed rules resolve to Match or No_match and
+   the resource pin's mismatch decides the target. *)
+let guards_clean t ctx =
+  List.for_all
+    (fun (category, attr) ->
+      match Context.bag ctx category attr with
+      | [] -> false
+      | bag -> List.for_all (function Value.String _ -> true | _ -> false) bag)
+    t.guards
 
 let candidates t ctx =
+  if not (guards_clean t ctx) then t.all
+  else
   match request_resource_ids ctx with
   | [] ->
     (* No resource-id in the request (or it may be supplied by a resolver
-       later): the pre-filter cannot prune soundly. *)
-    List.mapi (fun position rule -> { position; rule }) t.policy.Policy.rules
+       later), or a non-string value in the bag: the pre-filter cannot
+       prune soundly. *)
+    t.all
   | ids ->
     let bucketed =
       List.concat_map
@@ -108,7 +176,12 @@ let evaluate ?resolve ctx t =
           {
             Combine.label = "rule " ^ ir.rule.Rule.id;
             applicability = (fun () -> Target.evaluate ?resolve ctx ir.rule.Rule.target);
-            evaluate = (fun () -> Rule.evaluate ?resolve ctx ir.rule);
+            evaluate =
+              (fun () ->
+                match ir.prep_error with
+                | None -> Rule.evaluate ?resolve ctx ir.rule
+                | Some e ->
+                  Decision.indeterminate (Printf.sprintf "rule %s: %s" ir.rule.Rule.id e));
           })
         (candidates t ctx)
     in

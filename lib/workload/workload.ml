@@ -29,6 +29,8 @@ type scenario = {
   batch : int;
   admission : Pep.admission option;
   pdp_max_inflight : int option;
+  rule_cost : float;
+  compiled : bool;
 }
 
 let default =
@@ -46,6 +48,8 @@ let default =
     batch = 8;
     admission = Some { Pep.max_inflight = 32; max_queue = 32 };
     pdp_max_inflight = Some 64;
+    rule_cost = 0.0;
+    compiled = false;
   }
 
 (* Powers of two from 0.5 ms to ~4 min: wide enough that a saturated
@@ -78,6 +82,7 @@ let validate s =
   if s.zipf < 0.0 then bad "zipf skew must be non-negative";
   if s.duration <= 0.0 then bad "duration must be positive";
   if s.batch < 1 then bad "batch must be >= 1";
+  if s.rule_cost < 0.0 then bad "rule_cost must be non-negative";
   match s.arrivals with
   | Open_loop { rate } -> if rate <= 0.0 then bad "open-loop rate must be positive"
   | Closed_loop { clients; think_time } ->
@@ -113,16 +118,36 @@ let actions = [| "read"; "write" |]
 let role_of u = roles.(u mod Array.length roles)
 
 (* The serving policy: doctors do anything, nurses read, everyone else is
-   denied — a deterministic grant/deny mix over the population. *)
-let serving_policy =
-  Policy.make ~id:"workload-policy" ~rule_combining:Dacs_policy.Combine.First_applicable
+   denied — a deterministic grant/deny mix over the population.  The
+   doctor/nurse rules are written out once per guarded resource (each
+   pinned to its resource-id, the nurse rule also to the read action), so
+   the policy grows with the deployment the way a real multi-resource
+   store does: decisions are identical to the three-rule form, but an
+   interpreter scans ~2 rules per resource while compiled dispatch jumps
+   straight to the guarded resource's pair — the compiled-vs-interpreted
+   ablation's lever. *)
+let serving_policy ~resources =
+  let per_resource i =
+    let res = Printf.sprintf "res%d" i in
     [
-      Rule.make ~target:Target.(any |> subject_is "role" "doctor") Rule.Permit "doctors";
       Rule.make
-        ~target:Target.(any |> subject_is "role" "nurse" |> action_is "action-id" "read")
-        Rule.Permit "nurses-read";
-      Rule.make Rule.Deny "default-deny";
+        ~target:Target.(any |> subject_is "role" "doctor" |> resource_is "resource-id" res)
+        Rule.Permit
+        (Printf.sprintf "doctors-%d" i);
+      Rule.make
+        ~target:
+          Target.(
+            any
+            |> subject_is "role" "nurse"
+            |> resource_is "resource-id" res
+            |> action_is "action-id" "read")
+        Rule.Permit
+        (Printf.sprintf "nurses-read-%d" i);
     ]
+  in
+  Policy.make ~id:"workload-policy" ~rule_combining:Dacs_policy.Combine.First_applicable
+    (List.concat_map per_resource (List.init resources Fun.id)
+    @ [ Rule.make Rule.Deny "default-deny" ])
 
 (* --- percentile extraction ---------------------------------------------- *)
 
@@ -159,8 +184,10 @@ let run s =
         let node = Printf.sprintf "pdp.%d" i in
         Net.add_node net node;
         ignore
-          (Pdp_service.create services ~node ~name:node ~root:(Policy.Inline_policy serving_policy)
-             ~service_time:s.service_time ?max_inflight:s.pdp_max_inflight ());
+          (Pdp_service.create services ~node ~name:node
+             ~root:(Policy.Inline_policy (serving_policy ~resources:s.peps))
+             ~service_time:s.service_time ~rule_cost:s.rule_cost ~compiled:s.compiled
+             ?max_inflight:s.pdp_max_inflight ());
         node)
   in
   (* Enforcement points: one resource each, spread across the domains,

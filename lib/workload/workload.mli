@@ -37,12 +37,23 @@ type scenario = {
   batch : int;  (** tier batch limit *)
   admission : Dacs_core.Pep.admission option;  (** per-PEP bound *)
   pdp_max_inflight : int option;  (** per-shard bound *)
+  rule_cost : float;
+      (** extra per-rule-scanned PDP occupancy (seconds); 0 keeps the
+          flat [service_time] model *)
+  compiled : bool;  (** evaluate shards through the compiled policy form *)
 }
 
 val default : scenario
 (** 1 domain, 4 PEPs, 2 shards, 200 users, zipf 1.1, open-loop 200 req/s
     for 5 s, cache off, 4 ms service time, admission (32, 32), per-shard
-    bound 64, seed 42. *)
+    bound 64, seed 42, no rule cost, interpreted evaluation.
+
+    The serving policy guards each PEP's resource with its own
+    doctor/nurse rule pair (all pinned by resource-id) over a final
+    default-deny, so an interpreter scans ~2 rules per PEP while
+    compiled dispatch considers only the requested resource's pair —
+    with a positive [rule_cost], the [compiled] toggle becomes a
+    capacity ablation. *)
 
 val latency_buckets : float list
 (** Log-spaced (powers of two from 0.5 ms) upper bounds used for the

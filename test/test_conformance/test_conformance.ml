@@ -3,6 +3,10 @@
    Each case pins the implemented semantics of one edge interaction —
    empty sets, all-NotApplicable children, Indeterminate propagation,
    obligation merge order — as a (policy, request, expected) triple.
+   The corpus is data, not test closures: every entry is evaluated twice,
+   through the interpreter (Policy.evaluate_set) and through the compiled
+   form (Compiled.compile + evaluate), and both passes must produce
+   byte-identical decisions and obligation order.
 
    Note on Indeterminate: XACML 3.0 refines Indeterminate into
    Indeterminate{D}, {P} and {DP} and lets e.g. deny-overrides turn
@@ -17,6 +21,7 @@ module Rule = Dacs_policy.Rule
 module Target = Dacs_policy.Target
 module Expr = Dacs_policy.Expr
 module Combine = Dacs_policy.Combine
+module Compiled = Dacs_policy.Compiled
 module Context = Dacs_policy.Context
 module Decision = Dacs_policy.Decision
 module Obligation = Dacs_policy.Obligation
@@ -54,14 +59,10 @@ let na_policy id =
 let set alg ?obligations children =
   Policy.make_set ~id:"set" ~policy_combining:alg ?obligations children
 
-let eval_set s = Policy.evaluate_set ctx s
-
 let decision = Alcotest.testable Decision.pp (fun a b ->
     Decision.equal_decision a.Decision.decision b.Decision.decision
     && List.length a.Decision.obligations = List.length b.Decision.obligations
     && List.for_all2 Obligation.equal a.Decision.obligations b.Decision.obligations)
-
-let check name expected actual () = Alcotest.check decision name expected actual
 
 let indet = Decision.indeterminate "any message"
 
@@ -80,142 +81,147 @@ let all_algorithms =
     ("ordered-permit-overrides", Combine.Ordered_permit_overrides);
   ]
 
+(* --- the corpus: (name, group, set, expected) entries ------------------- *)
+
+type entry = { name : string; group : string; s : Policy.set; expected : Decision.result }
+
+let entry group name s expected = { name; group; s; expected }
+
 (* --- empty and all-NotApplicable sets ---------------------------------- *)
 
-let empty_set_cases =
+let empty_set_entries =
   List.map
     (fun (name, alg) ->
-      Alcotest.test_case (name ^ ": empty policy set -> NotApplicable") `Quick
-        (check "empty set" Decision.not_applicable (eval_set (set alg []))))
+      entry "empty-sets" (name ^ ": empty policy set -> NotApplicable") (set alg [])
+        Decision.not_applicable)
     all_algorithms
 
-let all_na_cases =
+let all_na_entries =
   List.map
     (fun (name, alg) ->
-      Alcotest.test_case (name ^ ": all children NotApplicable -> NotApplicable") `Quick
-        (check "all NA" Decision.not_applicable
-           (eval_set (set alg [ na_policy "na1"; na_policy "na2" ]))))
+      entry "all-not-applicable" (name ^ ": all children NotApplicable -> NotApplicable")
+        (set alg [ na_policy "na1"; na_policy "na2" ])
+        Decision.not_applicable)
     all_algorithms
 
 (* --- Indeterminate interactions ---------------------------------------- *)
 
-let indeterminate_cases =
+let indeterminate_entries =
+  let e = entry "indeterminate" in
   [
     (* deny-overrides: an Indeterminate is a potential Deny and decides
        immediately — even when an actual Deny follows.  (XACML 3.0
        deny-overrides would refine Indeterminate{D} + Deny to Deny; the
        single-Indeterminate coarsening reports the error instead.) *)
-    Alcotest.test_case "deny-overrides: Permit + Indeterminate -> Indeterminate" `Quick
-      (check "potential deny" indet
-         (eval_set
-            (set Combine.Deny_overrides
-               [ policy_of "p" (permit_rule "r1"); policy_of "i" (indet_rule "r2") ])));
-    Alcotest.test_case "deny-overrides: Indeterminate short-circuits before a later Deny" `Quick
-      (check "coarsened Indeterminate{D}+D" indet
-         (eval_set
-            (set Combine.Deny_overrides
-               [ policy_of "i" (indet_rule "r1"); policy_of "d" (deny_rule "r2") ])));
-    Alcotest.test_case "deny-overrides: Deny wins over earlier Permit" `Quick
-      (check "deny wins" Decision.deny
-         (eval_set
-            (set Combine.Deny_overrides
-               [ policy_of "p" (permit_rule "r1"); policy_of "d" (deny_rule "r2") ])));
+    e "deny-overrides: Permit + Indeterminate -> Indeterminate"
+      (set Combine.Deny_overrides
+         [ policy_of "p" (permit_rule "r1"); policy_of "i" (indet_rule "r2") ])
+      indet;
+    e "deny-overrides: Indeterminate short-circuits before a later Deny"
+      (set Combine.Deny_overrides
+         [ policy_of "i" (indet_rule "r1"); policy_of "d" (deny_rule "r2") ])
+      indet;
+    e "deny-overrides: Deny wins over earlier Permit"
+      (set Combine.Deny_overrides
+         [ policy_of "p" (permit_rule "r1"); policy_of "d" (deny_rule "r2") ])
+      Decision.deny;
     (* permit-overrides: a Permit still wins over an earlier error, but an
        unresolved error outweighs Deny — the potential Permit cannot be
        ruled out.  (Coarsening of XACML's Indeterminate{P} vs {DP}.) *)
-    Alcotest.test_case "permit-overrides: Indeterminate then Permit -> Permit" `Quick
-      (check "permit wins" Decision.permit
-         (eval_set
-            (set Combine.Permit_overrides
-               [ policy_of "i" (indet_rule "r1"); policy_of "p" (permit_rule "r2") ])));
-    Alcotest.test_case "permit-overrides: Deny + Indeterminate -> Indeterminate" `Quick
-      (check "potential permit" indet
-         (eval_set
-            (set Combine.Permit_overrides
-               [ policy_of "d" (deny_rule "r1"); policy_of "i" (indet_rule "r2") ])));
-    Alcotest.test_case "first-applicable: Indeterminate stops the scan" `Quick
-      (check "error propagates" indet
-         (eval_set
-            (set Combine.First_applicable
-               [ policy_of "i" (indet_rule "r1"); policy_of "p" (permit_rule "r2") ])));
-    Alcotest.test_case "first-applicable: NotApplicable children are skipped" `Quick
-      (check "first applicable decides" Decision.deny
-         (eval_set
-            (set Combine.First_applicable
-               [ policy_of "na" (na_rule "r1"); policy_of "d" (deny_rule "r2");
-                 policy_of "p" (permit_rule "r3") ])));
-    Alcotest.test_case "only-one-applicable: exactly one applicable -> its decision" `Quick
-      (check "sole applicable" Decision.permit
-         (eval_set
-            (set Combine.Only_one_applicable
-               [ na_policy "na"; policy_of "p" (permit_rule "r2") ])));
-    Alcotest.test_case "only-one-applicable: two applicable -> Indeterminate" `Quick
-      (check "ambiguous" indet
-         (eval_set
-            (set Combine.Only_one_applicable
-               [ policy_of "p1" (permit_rule "r1"); policy_of "p2" (permit_rule "r2") ])));
+    e "permit-overrides: Indeterminate then Permit -> Permit"
+      (set Combine.Permit_overrides
+         [ policy_of "i" (indet_rule "r1"); policy_of "p" (permit_rule "r2") ])
+      Decision.permit;
+    e "permit-overrides: Deny + Indeterminate -> Indeterminate"
+      (set Combine.Permit_overrides
+         [ policy_of "d" (deny_rule "r1"); policy_of "i" (indet_rule "r2") ])
+      indet;
+    e "first-applicable: Indeterminate stops the scan"
+      (set Combine.First_applicable
+         [ policy_of "i" (indet_rule "r1"); policy_of "p" (permit_rule "r2") ])
+      indet;
+    e "first-applicable: NotApplicable children are skipped"
+      (set Combine.First_applicable
+         [ policy_of "na" (na_rule "r1"); policy_of "d" (deny_rule "r2");
+           policy_of "p" (permit_rule "r3") ])
+      Decision.deny;
+    e "only-one-applicable: exactly one applicable -> its decision"
+      (set Combine.Only_one_applicable [ na_policy "na"; policy_of "p" (permit_rule "r2") ])
+      Decision.permit;
+    e "only-one-applicable: two applicable -> Indeterminate"
+      (set Combine.Only_one_applicable
+         [ policy_of "p1" (permit_rule "r1"); policy_of "p2" (permit_rule "r2") ])
+      indet;
     (* Applicability means *target* applicability: children whose targets
        match are "applicable" even if every rule inside falls through. *)
-    Alcotest.test_case "only-one-applicable: applicability is target match, not rule outcome" `Quick
-      (check "two matching targets" indet
-         (eval_set
-            (set Combine.Only_one_applicable
-               [ policy_of "na1" (na_rule "r1"); policy_of "na2" (na_rule "r2") ])));
+    e "only-one-applicable: applicability is target match, not rule outcome"
+      (set Combine.Only_one_applicable
+         [ policy_of "na1" (na_rule "r1"); policy_of "na2" (na_rule "r2") ])
+      indet;
   ]
 
 (* --- obligation merge order -------------------------------------------- *)
 
-let obligation_cases =
+let obligation_entries =
+  let e = entry "obligations" in
   [
     (* deny-overrides evaluates every non-deciding child: both permits
        contribute, in document order, then the set's own obligations. *)
-    Alcotest.test_case "obligations merge in document order (children then set)" `Quick
-      (check "document order"
-         (with_obs Decision.permit [ ob "a"; ob "b"; ob "set" ])
-         (eval_set
-            (set Combine.Deny_overrides
-               ~obligations:[ ob "set"; ob_deny "set-d" ]
-               [
-                 policy_of ~obligations:[ ob "a" ] "pa" (permit_rule "r1");
-                 policy_of ~obligations:[ ob "b" ] "pb" (permit_rule "r2");
-               ])));
+    e "obligations merge in document order (children then set)"
+      (set Combine.Deny_overrides
+         ~obligations:[ ob "set"; ob_deny "set-d" ]
+         [
+           policy_of ~obligations:[ ob "a" ] "pa" (permit_rule "r1");
+           policy_of ~obligations:[ ob "b" ] "pb" (permit_rule "r2");
+         ])
+      (with_obs Decision.permit [ ob "a"; ob "b"; ob "set" ]);
     (* A deciding Deny collects only deny-matching obligations. *)
-    Alcotest.test_case "deny collects only the denying child's obligations" `Quick
-      (check "deny obligations"
-         (with_obs Decision.deny [ ob_deny "d"; ob_deny "set-d" ])
-         (eval_set
-            (set Combine.Deny_overrides
-               ~obligations:[ ob "set"; ob_deny "set-d" ]
-               [
-                 policy_of ~obligations:[ ob "a" ] "pa" (permit_rule "r1");
-                 policy_of ~obligations:[ ob_deny "d" ] "pd" (deny_rule "r2");
-               ])));
+    e "deny collects only the denying child's obligations"
+      (set Combine.Deny_overrides
+         ~obligations:[ ob "set"; ob_deny "set-d" ]
+         [
+           policy_of ~obligations:[ ob "a" ] "pa" (permit_rule "r1");
+           policy_of ~obligations:[ ob_deny "d" ] "pd" (deny_rule "r2");
+         ])
+      (with_obs Decision.deny [ ob_deny "d"; ob_deny "set-d" ]);
     (* permit-overrides short-circuits on the first Permit: later permits
        never evaluate, so only the deciding child's obligations attach. *)
-    Alcotest.test_case "permit-overrides short-circuit keeps only the deciding permit's obligations"
-      `Quick
-      (check "short-circuit"
-         (with_obs Decision.permit [ ob "a" ])
-         (eval_set
-            (set Combine.Permit_overrides
-               [
-                 policy_of ~obligations:[ ob "a" ] "pa" (permit_rule "r1");
-                 policy_of ~obligations:[ ob "b" ] "pb" (permit_rule "r2");
-               ])));
+    e "permit-overrides short-circuit keeps only the deciding permit's obligations"
+      (set Combine.Permit_overrides
+         [
+           policy_of ~obligations:[ ob "a" ] "pa" (permit_rule "r1");
+           policy_of ~obligations:[ ob "b" ] "pb" (permit_rule "r2");
+         ])
+      (with_obs Decision.permit [ ob "a" ]);
     (* Obligations on the losing effect never leak into the decision. *)
-    Alcotest.test_case "obligations filter by effect" `Quick
-      (check "effect filter"
-         (with_obs Decision.permit [ ob "a" ])
-         (eval_set
-            (set Combine.Deny_overrides
-               [ policy_of ~obligations:[ ob "a"; ob_deny "never" ] "pa" (permit_rule "r1") ])));
+    e "obligations filter by effect"
+      (set Combine.Deny_overrides
+         [ policy_of ~obligations:[ ob "a"; ob_deny "never" ] "pa" (permit_rule "r1") ])
+      (with_obs Decision.permit [ ob "a" ]);
   ]
 
+let corpus = empty_set_entries @ all_na_entries @ indeterminate_entries @ obligation_entries
+
+(* --- the two evaluator passes ------------------------------------------ *)
+
+let interpreted_case e =
+  Alcotest.test_case e.name `Quick (fun () ->
+      Alcotest.check decision e.name e.expected (Policy.evaluate_set ctx e.s))
+
+(* The compiled pass: same corpus, same expectations, byte-identical
+   obligation order — the golden cases double as the compiled evaluator's
+   conformance gate. *)
+let compiled_case e =
+  Alcotest.test_case e.name `Quick (fun () ->
+      Alcotest.check decision e.name e.expected
+        (Compiled.evaluate ctx (Compiled.compile (Policy.Inline_set e.s))))
+
+let groups = [ "empty-sets"; "all-not-applicable"; "indeterminate"; "obligations" ]
+
+let suite_of make tag =
+  List.map
+    (fun g -> (g ^ tag, List.filter_map (fun e -> if e.group = g then Some (make e) else None) corpus))
+    groups
+
 let () =
-  Alcotest.run "dacs_conformance"
-    [
-      ("empty-sets", empty_set_cases);
-      ("all-not-applicable", all_na_cases);
-      ("indeterminate", indeterminate_cases);
-      ("obligations", obligation_cases);
-    ]
+  Alcotest.run "dacs_conformance" (suite_of interpreted_case "" @ suite_of compiled_case "-compiled")

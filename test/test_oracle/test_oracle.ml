@@ -1,17 +1,20 @@
 (* Differential-testing oracle for evaluator equivalence.
 
-   Three evaluation paths now coexist: the reference tree walk
-   (Policy.evaluate), the target-indexed evaluator (Index.evaluate), and
-   the sharded PDP tier (Pdp_tier routing to Pdp_service replicas over
-   the simulated network).  This oracle generates random policies and
-   request contexts from seeded, shrinkable QCheck arbitraries and
-   asserts all three return identical decisions — including obligations
-   and Indeterminate propagation — for every combining algorithm,
-   >= 1000 cases each.
+   Five evaluation paths now coexist: the reference tree walk
+   (Policy.evaluate), the target-indexed evaluator (Index.evaluate), the
+   compiled form (Compiled.evaluate), the sharded PDP tier (Pdp_tier
+   routing to Pdp_service replicas over the simulated network — run with
+   compiled shards here, so the wire path exercises the compiled
+   evaluator too), and the full caching ladder.  This oracle generates
+   random policies and request contexts from seeded, shrinkable QCheck
+   arbitraries and asserts all paths return identical decisions —
+   including obligations and Indeterminate propagation — for every
+   combining algorithm, >= 1000 cases each.
 
    Policies are generated as integer-coded specs (built from int_bound /
    small lists), so QCheck's built-in shrinkers produce a minimal
-   counterexample policy+request on failure. *)
+   counterexample policy+request on failure.  Every failure message
+   names the combining algorithm and how to reproduce the seed. *)
 
 module Policy = Dacs_policy.Policy
 module Rule = Dacs_policy.Rule
@@ -23,6 +26,7 @@ module Decision = Dacs_policy.Decision
 module Obligation = Dacs_policy.Obligation
 module Value = Dacs_policy.Value
 module Index = Dacs_policy.Index
+module Compiled = Dacs_policy.Compiled
 module Net = Dacs_net.Net
 module Service = Dacs_ws.Service
 open Dacs_core
@@ -124,21 +128,35 @@ let show_result (r : Decision.result) =
     (Decision.decision_to_string r.Decision.decision)
     (String.concat "; " (List.map (fun o -> o.Obligation.id) r.Decision.obligations))
 
-(* --- oracle 1: reference vs target index ------------------------------- *)
+(* Counterexample context: the algorithm that diverged plus how to replay
+   the run — QCheck only prints the shrunk case, not which of the six
+   parameterised tests it came from. *)
+let seed_hint () =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> Printf.sprintf "QCHECK_SEED=%s" s
+  | None -> "rerun with QCHECK_SEED=<'qcheck random seed' printed above> to reproduce"
+
+let fail_diverged ~alg ~expected ~got expected_label got_label =
+  QCheck.Test.fail_reportf "[%s] %s %s <> %s %s (%s)" alg expected_label (show_result expected)
+    got_label (show_result got) (seed_hint ())
+
+(* --- oracle 1: reference vs target index vs compiled ------------------- *)
 
 let index_oracle (name, alg) =
   QCheck.Test.make
-    ~name:(Printf.sprintf "index == reference (%s)" name)
+    ~name:(Printf.sprintf "compiled/index == reference (%s)" name)
     ~count:1000 arb_case
     (fun (pspec, cspec) ->
       let policy = policy_of_spec alg pspec in
       let ctx = ctx_of_spec cspec in
       let reference = Policy.evaluate ctx policy in
       let indexed = Index.evaluate ctx (Index.build policy) in
-      if result_equal reference indexed then true
-      else
-        QCheck.Test.fail_reportf "reference %s <> indexed %s" (show_result reference)
-          (show_result indexed))
+      let compiled = Compiled.evaluate ctx (Compiled.compile (Policy.Inline_policy policy)) in
+      if not (result_equal reference indexed) then
+        fail_diverged ~alg:name ~expected:reference ~got:indexed "reference" "indexed"
+      else if not (result_equal reference compiled) then
+        fail_diverged ~alg:name ~expected:reference ~got:compiled "reference" "compiled"
+      else true)
 
 (* --- oracle 2: reference vs sharded tier ------------------------------- *)
 
@@ -146,14 +164,14 @@ let index_oracle (name, alg) =
    serving the generated policy, one batched query routed by the ring.
    The tier must agree with the in-process reference evaluation — wire
    encoding, batching and shard routing may not change any decision. *)
-let tier_evaluate root ctx =
+let tier_evaluate ?(compiled = false) root ctx =
   let net = Net.create ~seed:11L () in
   let services = Service.create (Dacs_net.Rpc.create net) in
   let shards =
     List.init 3 (fun i ->
         let node = Printf.sprintf "pdp%d" i in
         Net.add_node net node;
-        ignore (Pdp_service.create services ~node ~name:node ~root ());
+        ignore (Pdp_service.create services ~node ~name:node ~root ~compiled ());
         node)
   in
   Net.add_node net "dispatch";
@@ -165,20 +183,19 @@ let tier_evaluate root ctx =
 
 let tier_oracle (name, alg) =
   QCheck.Test.make
-    ~name:(Printf.sprintf "sharded tier == reference (%s)" name)
+    ~name:(Printf.sprintf "sharded tier (compiled) == reference (%s)" name)
     ~count:1000 arb_case
     (fun (pspec, cspec) ->
       let policy = policy_of_spec alg pspec in
       let ctx = ctx_of_spec cspec in
       let reference = Policy.evaluate ctx policy in
-      match tier_evaluate (Policy.Inline_policy policy) ctx with
-      | None -> QCheck.Test.fail_reportf "tier never answered"
-      | Some (Error e) -> QCheck.Test.fail_reportf "tier failed closed: %s" e
+      match tier_evaluate ~compiled:true (Policy.Inline_policy policy) ctx with
+      | None -> QCheck.Test.fail_reportf "[%s] tier never answered (%s)" name (seed_hint ())
+      | Some (Error e) ->
+        QCheck.Test.fail_reportf "[%s] tier failed closed: %s (%s)" name e (seed_hint ())
       | Some (Ok tiered) ->
         if result_equal reference tiered then true
-        else
-          QCheck.Test.fail_reportf "reference %s <> tier %s" (show_result reference)
-            (show_result tiered))
+        else fail_diverged ~alg:name ~expected:reference ~got:tiered "reference" "compiled tier")
 
 (* --- oracle 3: reference vs the full caching ladder -------------------- *)
 
@@ -258,17 +275,23 @@ let cached_oracle (name, alg) =
     ~count:300 arb_case
     (fun (pspec, cspec) ->
       let policy = policy_of_spec alg pspec in
-      let reference = Policy.evaluate (ctx_of_spec cspec) policy in
-      List.for_all
-        (fun (stage, answer) ->
-          match answer with
-          | None -> QCheck.Test.fail_reportf "stage %s never answered" stage
-          | Some cached ->
-            if result_equal reference cached then true
-            else
-              QCheck.Test.fail_reportf "stage %s: reference %s <> cached %s" stage
-                (show_result reference) (show_result cached))
-        (cached_ladder_evaluate (Policy.Inline_policy policy) cspec))
+      let ctx = ctx_of_spec cspec in
+      let reference = Policy.evaluate ctx policy in
+      let compiled = Compiled.evaluate ctx (Compiled.compile (Policy.Inline_policy policy)) in
+      if not (result_equal reference compiled) then
+        fail_diverged ~alg:name ~expected:reference ~got:compiled "reference" "compiled"
+      else
+        List.for_all
+          (fun (stage, answer) ->
+            match answer with
+            | None ->
+              QCheck.Test.fail_reportf "[%s] stage %s never answered (%s)" name stage (seed_hint ())
+            | Some cached ->
+              if result_equal reference cached then true
+              else
+                fail_diverged ~alg:name ~expected:reference ~got:cached "reference"
+                  (Printf.sprintf "cached stage %s" stage))
+          (cached_ladder_evaluate (Policy.Inline_policy policy) cspec))
 
 let algorithms =
   [
@@ -363,21 +386,27 @@ let delegation_filtered_root alg (grant_specs, child_specs, _) =
 
 let delegation_tier_oracle (name, alg) =
   QCheck.Test.make
-    ~name:(Printf.sprintf "delegation-filtered set: tier == reference (%s)" name)
+    ~name:(Printf.sprintf "delegation-filtered set: tier/compiled == reference (%s)" name)
     ~count:300 arb_delegation_case
     (fun case ->
       let _, _, cspec = case in
       let root = delegation_filtered_root alg case in
       let ctx = ctx_of_spec cspec in
       let reference = Policy.evaluate_child ctx root in
-      match tier_evaluate root ctx with
-      | None -> QCheck.Test.fail_reportf "tier never answered"
-      | Some (Error e) -> QCheck.Test.fail_reportf "tier failed closed: %s" e
-      | Some (Ok tiered) ->
-        if result_equal reference tiered then true
-        else
-          QCheck.Test.fail_reportf "reference %s <> tier %s" (show_result reference)
-            (show_result tiered))
+      (* Possibly-empty filtered sets are exactly the shape the compiled
+         set walker has to get right; the interpreted tier covers the
+         uncompiled wire path alongside. *)
+      let compiled = Compiled.evaluate ctx (Compiled.compile root) in
+      if not (result_equal reference compiled) then
+        fail_diverged ~alg:name ~expected:reference ~got:compiled "reference" "compiled"
+      else
+        match tier_evaluate root ctx with
+        | None -> QCheck.Test.fail_reportf "[%s] tier never answered (%s)" name (seed_hint ())
+        | Some (Error e) ->
+          QCheck.Test.fail_reportf "[%s] tier failed closed: %s (%s)" name e (seed_hint ())
+        | Some (Ok tiered) ->
+          if result_equal reference tiered then true
+          else fail_diverged ~alg:name ~expected:reference ~got:tiered "reference" "tier")
 
 let delegation_cached_oracle (name, alg) =
   QCheck.Test.make
@@ -390,12 +419,13 @@ let delegation_cached_oracle (name, alg) =
       List.for_all
         (fun (stage, answer) ->
           match answer with
-          | None -> QCheck.Test.fail_reportf "stage %s never answered" stage
+          | None ->
+            QCheck.Test.fail_reportf "[%s] stage %s never answered (%s)" name stage (seed_hint ())
           | Some cached ->
             if result_equal reference cached then true
             else
-              QCheck.Test.fail_reportf "stage %s: reference %s <> cached %s" stage
-                (show_result reference) (show_result cached))
+              fail_diverged ~alg:name ~expected:reference ~got:cached "reference"
+                (Printf.sprintf "cached stage %s" stage))
         (cached_ladder_evaluate root cspec))
 
 (* --- oracle 5: negotiation-gated requests ------------------------------- *)
@@ -451,7 +481,7 @@ let arb_negotiation_case =
 
 let negotiation_oracle (name, alg) =
   QCheck.Test.make
-    ~name:(Printf.sprintf "negotiation-gated request: tier == reference (%s)" name)
+    ~name:(Printf.sprintf "negotiation-gated request: tier/compiled == reference (%s)" name)
     ~count:300 arb_negotiation_case
     (fun (nspec, pspec, (role_code, resource_code, action_code)) ->
       let client, server, target = nego_parties nspec in
@@ -475,18 +505,58 @@ let negotiation_oracle (name, alg) =
       let policy = policy_of_spec alg pspec in
       let ctx = ctx_of_spec cspec in
       let reference = Policy.evaluate ctx policy in
-      match tier_evaluate (Policy.Inline_policy policy) ctx with
-      | None -> QCheck.Test.fail_reportf "tier never answered"
-      | Some (Error e) -> QCheck.Test.fail_reportf "tier failed closed: %s" e
-      | Some (Ok tiered) ->
-        if result_equal reference tiered then true
-        else
-          QCheck.Test.fail_reportf "reference %s <> tier %s" (show_result reference)
-            (show_result tiered))
+      let compiled = Compiled.evaluate ctx (Compiled.compile (Policy.Inline_policy policy)) in
+      if not (result_equal reference compiled) then
+        fail_diverged ~alg:name ~expected:reference ~got:compiled "reference" "compiled"
+      else
+        match tier_evaluate ~compiled:true (Policy.Inline_policy policy) ctx with
+        | None -> QCheck.Test.fail_reportf "[%s] tier never answered (%s)" name (seed_hint ())
+        | Some (Error e) ->
+          QCheck.Test.fail_reportf "[%s] tier failed closed: %s (%s)" name e (seed_hint ())
+        | Some (Ok tiered) ->
+          if result_equal reference tiered then true
+          else fail_diverged ~alg:name ~expected:reference ~got:tiered "reference" "compiled tier")
+
+(* --- directed regressions: empty rule lists ----------------------------- *)
+
+(* Every combining algorithm folded over zero children must agree across
+   all evaluators: NotApplicable, no obligations — even when the policy
+   itself carries obligations (they attach only to Permit/Deny).  The
+   generator reaches empty rule lists rarely enough that a divergence
+   here deserves a named, deterministic test per algorithm. *)
+let empty_rules_cases =
+  List.map
+    (fun (name, alg) ->
+      Alcotest.test_case (Printf.sprintf "empty rule list (%s)" name) `Quick (fun () ->
+          let policy = policy_of_spec alg ([], 1) in
+          let ctx = ctx_of_spec { role_code = 1; resource_code = 0; action_code = 0 } in
+          let reference = Policy.evaluate ctx policy in
+          Alcotest.(check bool)
+            "reference is NotApplicable"
+            true
+            (Decision.equal_decision reference.Decision.decision Decision.Not_applicable
+            && reference.Decision.obligations = []);
+          let indexed = Index.evaluate ctx (Index.build policy) in
+          let compiled = Compiled.evaluate ctx (Compiled.compile (Policy.Inline_policy policy)) in
+          Alcotest.(check bool)
+            (Printf.sprintf "[%s] indexed == reference" name)
+            true (result_equal reference indexed);
+          Alcotest.(check bool)
+            (Printf.sprintf "[%s] compiled == reference" name)
+            true (result_equal reference compiled);
+          match tier_evaluate ~compiled:true (Policy.Inline_policy policy) ctx with
+          | Some (Ok tiered) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "[%s] tier == reference" name)
+              true (result_equal reference tiered)
+          | Some (Error e) -> Alcotest.failf "[%s] tier failed closed: %s" name e
+          | None -> Alcotest.failf "[%s] tier never answered" name))
+    algorithms
 
 let () =
   Alcotest.run "dacs_oracle"
     [
+      ("empty-rules-directed", empty_rules_cases);
       ("index-differential", List.map (fun a -> QCheck_alcotest.to_alcotest (index_oracle a)) algorithms);
       ("tier-differential", List.map (fun a -> QCheck_alcotest.to_alcotest (tier_oracle a)) algorithms);
       ( "cached-ladder-differential",
