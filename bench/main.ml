@@ -43,11 +43,25 @@ let gate_failures : string list ref = ref []
 let record_gate_failures tag failures =
   gate_failures := List.map (fun f -> tag ^ ": " ^ f) failures @ !gate_failures
 
-(* Machine-readable snapshot of an experiment's headline numbers, for
-   CI artifacts and cross-run comparison: BENCH_<tag>.json in the
-   working directory.  Values are pre-rendered JSON literals. *)
+(* Machine-readable snapshot of an experiment's headline numbers, for CI
+   artifacts and cross-run comparison: BENCH_<tag>.json under the bench
+   history directory (bench/history/ next to the committed trajectory
+   ledger; $DACS_HISTORY overrides it — the perturbed-baseline test
+   points it at a scratch directory).  Values are pre-rendered JSON
+   literals. *)
+let history_dir () =
+  match Sys.getenv_opt "DACS_HISTORY" with Some d when d <> "" -> d | _ -> "bench/history"
+
+let rec ensure_dir d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    ensure_dir (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
 let write_bench_json tag fields =
-  let oc = open_out (Printf.sprintf "BENCH_%s.json" tag) in
+  let dir = history_dir () in
+  ensure_dir dir;
+  let oc = open_out (Filename.concat dir (Printf.sprintf "BENCH_%s.json" tag)) in
   Printf.fprintf oc "{\n%s\n}\n"
     (String.concat ",\n" (List.map (fun (k, v) -> Printf.sprintf "  %S: %s" k v) fields));
   close_out oc
@@ -1614,6 +1628,145 @@ let e19_compiled_eval () =
       ])
 
 (* ==================================================================== *)
+(* E20 — bench trajectory ledger + regression gate                      *)
+(* ==================================================================== *)
+
+(* The serving path's headline numbers as a committed trajectory rather
+   than one-off thresholds: every run appends a ledger entry (keyed by
+   $DACS_PR) to bench/history/ledger.jsonl and gates its own
+   deterministic virtual-clock metrics — steady-state p99, messages per
+   request, saturated shedding — against the previous entry with a
+   tolerance band.  Wall-clock numbers (e19 speedups, micro) are
+   recorded in the embedded snapshots but never gated: only metrics that
+   are byte-identical per seed can fail a build honestly. *)
+
+let e20_tolerance = 1.10
+
+let read_file_opt path =
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Some s
+  end
+  else None
+
+let last_line s =
+  let lines = String.split_on_char '\n' s in
+  List.fold_left (fun acc l -> if String.trim l = "" then acc else Some l) None lines
+
+(* Pull a numeric field out of a ledger line by its quoted key — the
+   entries are written by this file, so the first occurrence is the e20
+   object's own field. *)
+let find_float_field line key =
+  let needle = Printf.sprintf "%S:" key in
+  let nlen = String.length needle and llen = String.length line in
+  let rec search i =
+    if i + nlen > llen then None
+    else if String.sub line i nlen = needle then begin
+      let start = i + nlen in
+      let stop = ref start in
+      while
+        !stop < llen && (match line.[!stop] with ',' | '}' | ']' -> false | _ -> true)
+      do
+        incr stop
+      done;
+      float_of_string_opt (String.trim (String.sub line start (!stop - start)))
+    end
+    else search (i + 1)
+  in
+  search 0
+
+let e20_trajectory () =
+  header "E20  Bench trajectory ledger + regression gate"
+    "the serving path's deterministic metrics (steady p99, messages per \
+     request, saturated shedding) must not worsen beyond tolerance against \
+     the previous committed ledger entry; every run appends its own entry \
+     with the e16..e19 snapshots embedded, so the trajectory across PRs is \
+     reviewable history, not folklore";
+  let module W = Dacs_workload.Workload in
+  let steady = W.run { W.default with W.seed = 11; cache_ttl = 30.0; duration = 4.0 } in
+  let saturated =
+    W.run
+      {
+        W.default with
+        W.seed = 11;
+        shards = 1;
+        arrivals = W.Open_loop { rate = 1600.0 };
+        duration = 2.0;
+      }
+  in
+  let p99 = steady.W.latency.W.p99 in
+  let mpr = float_of_int steady.W.messages /. float_of_int steady.W.offered in
+  let shed = saturated.W.shed in
+  let pr = match Sys.getenv_opt "DACS_PR" with Some p when p <> "" -> p | _ -> "local" in
+  let dir = history_dir () in
+  let ledger = Filename.concat dir "ledger.jsonl" in
+  Printf.printf "this run (pr=%s):\n" pr;
+  Printf.printf "  %-32s %10.6f s\n" "steady-state p99 (cached, 200 req/s)" p99;
+  Printf.printf "  %-32s %10.2f\n" "messages per request (steady)" mpr;
+  Printf.printf "  %-32s %10d\n" "saturated shed (1600 req/s, 1 shard)" shed;
+  let failures = ref [] in
+  let check name ok detail =
+    Printf.printf "E20 CHECK %s: %s (%s)\n" name (if ok then "PASS" else "FAIL") detail;
+    if not ok then failures := Printf.sprintf "%s (%s)" name detail :: !failures
+  in
+  print_newline ();
+  (match Option.bind (read_file_opt ledger) last_line with
+  | None -> Printf.printf "E20 CHECK regression: PASS (first ledger entry, nothing to compare)\n"
+  | Some prev -> (
+    match
+      ( find_float_field prev "p99_s",
+        find_float_field prev "msgs_per_req",
+        find_float_field prev "shed_saturated" )
+    with
+    | Some prev_p99, Some prev_mpr, Some prev_shed ->
+      check "p99-regression"
+        (p99 <= (prev_p99 *. e20_tolerance) +. 1e-9)
+        (Printf.sprintf "%.6fs vs %.6fs last entry, tolerance %d%%" p99 prev_p99
+           (int_of_float ((e20_tolerance -. 1.0) *. 100.0)));
+      check "msgs-per-req-regression"
+        (mpr <= (prev_mpr *. e20_tolerance) +. 1e-9)
+        (Printf.sprintf "%.2f vs %.2f last entry, tolerance %d%%" mpr prev_mpr
+           (int_of_float ((e20_tolerance -. 1.0) *. 100.0)));
+      check "shed-regression"
+        (float_of_int shed <= Float.ceil (prev_shed *. e20_tolerance) +. 1e-9)
+        (Printf.sprintf "%d vs %.0f last entry, tolerance %d%%" shed prev_shed
+           (int_of_float ((e20_tolerance -. 1.0) *. 100.0)))
+    | _ ->
+      check "ledger-parseable" false
+        (Printf.sprintf "could not parse previous entry in %s" ledger)));
+  (* Append this run's entry, embedding whatever e16..e19 snapshots the
+     run produced (absent when e20 runs standalone). *)
+  let minify s = String.map (fun c -> if c = '\n' then ' ' else c) (String.trim s) in
+  let snapshots =
+    List.filter_map
+      (fun tag ->
+        Option.map
+          (fun s -> Printf.sprintf "%S:%s" tag (minify s))
+          (read_file_opt (Filename.concat dir (Printf.sprintf "BENCH_%s.json" tag))))
+      [ "e16"; "e17"; "e18"; "e19" ]
+  in
+  ensure_dir dir;
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 ledger in
+  Printf.fprintf oc
+    "{\"pr\":%S,\"e20\":{\"p99_s\":%.6f,\"msgs_per_req\":%.4f,\"shed_saturated\":%d},\"snapshots\":{%s}}\n"
+    pr p99 mpr shed (String.concat "," snapshots);
+  close_out oc;
+  Printf.printf "\nledger: appended entry for %S to %s (%d embedded snapshots)\n" pr ledger
+    (List.length snapshots);
+  List.iter (fun f -> Printf.printf "E20 FAILURE: %s\n" f) !failures;
+  record_gate_failures "e20" !failures;
+  write_bench_json "e20"
+    [
+      ("steady_p99_s", json_f p99);
+      ("steady_msgs_per_req", json_f mpr);
+      ("saturated_shed", json_i shed);
+      ("gate_failures", json_i (List.length !failures));
+    ]
+
+(* ==================================================================== *)
 (* Micro-benchmarks (Bechamel)                                          *)
 (* ==================================================================== *)
 
@@ -1691,6 +1844,7 @@ let experiments =
     ("e17", e17_cache_hierarchy);
     ("e18", e18_workload);
     ("e19", e19_compiled_eval);
+    ("e20", e20_trajectory);
     ("micro", micro);
   ]
 

@@ -611,6 +611,203 @@ let cache_cmd seed json =
   end;
   if List.for_all (fun (_, ok, _) -> ok) checks then 0 else 1
 
+(* --- explain ------------------------------------------------------------------ *)
+
+(* Walk one request population down every rung of the decision ladder —
+   cold (live), a same-instant duplicate (coalesced), a replica pass
+   (shared L2), a warm pass (L1), then crash the decision tier for a
+   bounded-stale serve and a fail-closed miss — and answer "who decided
+   this and how" from the audit log: one provenance record per decision,
+   plus the latency attribution and critical path of the run. *)
+let explain_cmd seed json =
+  let module Net = Dacs_net.Net in
+  let module Engine = Dacs_net.Engine in
+  let module Rpc = Dacs_net.Rpc in
+  let module Value = Dacs_policy.Value in
+  let net = Net.create ~seed:(Int64.of_int seed) () in
+  let rpc = Rpc.create net in
+  let services = Dacs_ws.Service.create rpc in
+  Rpc.set_tracing rpc true;
+  let add id =
+    Net.add_node net id;
+    id
+  in
+  let policy =
+    Policy.Inline_policy
+      (Policy.make ~id:"explain-policy" ~rule_combining:Combine.First_applicable
+         [
+           Dacs_policy.Rule.permit
+             ~target:
+               Dacs_policy.Target.(any |> subject_is "role" "admin" |> action_is "action-id" "read")
+             "admins-read";
+           Dacs_policy.Rule.deny "default-deny";
+         ])
+  in
+  ignore (Pdp_service.create services ~node:(add "pdp") ~name:"pdp" ~root:policy ());
+  let l2 = Cache_hierarchy.L2.create services ~node:(add "l2") ~ttl:3600.0 () in
+  let audit = Audit.create () in
+  let peps =
+    List.init 2 (fun i ->
+        let pep =
+          Pep.create services
+            ~node:(add (Printf.sprintf "pep%d" i))
+            ~domain:"demo" ~resource:"demo-resource" ~content:"42" ~audit
+            (Pep.Pull
+               {
+                 pdps = [ "pdp" ];
+                 cache = Some (Decision_cache.create ~ttl:3.0 ());
+                 call_timeout = 0.4;
+               })
+        in
+        Pep.set_l2 pep (Some (Cache_hierarchy.L2.node l2));
+        Pep.set_stale_window pep 30.0;
+        pep)
+  in
+  let pep0 = List.nth peps 0 and pep1 = List.nth peps 1 in
+  let client user node =
+    Client.create services ~node:(add node)
+      ~subject:[ ("subject-id", Value.String user); ("role", Value.String "admin") ]
+  in
+  let alice = client "alice" "cli0"
+  and alice_dup = client "alice" "cli0b"
+  and alice_replica = client "alice" "cli1"
+  and bob = client "bob" "cli2" in
+  let req client pep ~at =
+    Engine.schedule_at (Net.engine net) ~at (fun () ->
+        Client.request client ~pep:(Pep.node pep) ~action:"read" ~timeout:10.0 (fun _ -> ()))
+  in
+  (* cold + same-instant duplicate: live leader, coalesced waiter *)
+  req alice pep0 ~at:1.0;
+  req alice_dup pep0 ~at:1.0;
+  (* replica pass answered by the shared L2 *)
+  req alice_replica pep1 ~at:2.0;
+  (* warm pass answered fresh from L1 *)
+  req alice pep0 ~at:2.5;
+  (* kill the decision tier and the shared cache *)
+  Engine.schedule_at (Net.engine net) ~at:4.0 (fun () ->
+      Net.crash net "pdp";
+      Net.crash net "l2");
+  (* expired L1 entry, everything else dark: bounded-stale serve *)
+  req alice pep0 ~at:8.0;
+  (* never-cached subject, everything dark: fail closed *)
+  req bob pep0 ~at:9.0;
+  Net.run net;
+  let entries = Audit.entries audit in
+  let stages =
+    List.filter_map
+      (fun e -> Option.map (fun p -> Provenance.stage_name p.Provenance.stage) e.Audit.provenance)
+      entries
+  in
+  let has stage = List.mem stage stages in
+  let coalesced_seen =
+    List.exists
+      (fun e -> match e.Audit.provenance with Some p -> p.Provenance.coalesced | None -> false)
+      entries
+  in
+  let checks =
+    [
+      ( "every-decision-has-provenance",
+        entries <> [] && List.for_all (fun e -> e.Audit.provenance <> None) entries,
+        Printf.sprintf "%d audit entries" (List.length entries) );
+      ("stage-live", has "live", "cold descent reached a live PDP");
+      ("stage-l2", has "l2", "replica pass served by the shared cache");
+      ("stage-l1", has "l1", "warm pass served from the local cache");
+      ("stage-stale", has "stale", "degraded serve from an expired entry");
+      ("stage-fail-closed", has "fail-closed", "unservable request denied");
+      ("coalesced-flagged", coalesced_seen, "duplicate folded onto the leader's descent");
+    ]
+  in
+  if json then begin
+    let entries_json =
+      String.concat ","
+        (List.map
+           (fun e ->
+             Printf.sprintf "{\"at\":%.6f,\"subject\":%S,\"action\":%S,\"decision\":%S,\"provenance\":%s}"
+               e.Audit.at (json_escape e.Audit.subject) (json_escape e.Audit.action)
+               (json_escape (Decision.decision_to_string e.Audit.decision))
+               (match e.Audit.provenance with
+               | Some p -> Provenance.to_json p
+               | None -> "null"))
+           entries)
+    in
+    Printf.printf "{\"seed\":%d,\"decisions\":[%s]}\n" seed entries_json
+  end
+  else begin
+    Printf.printf "decision provenance (seed %d, %d decisions):\n" seed (List.length entries);
+    List.iter
+      (fun e ->
+        Printf.printf "  t=%6.3f  %-6s %-5s -> %-14s %s\n" e.Audit.at e.Audit.subject
+          e.Audit.action
+          (Decision.decision_to_string e.Audit.decision)
+          (match e.Audit.provenance with
+          | Some p -> Provenance.to_string p
+          | None -> "(no provenance)"))
+      entries;
+    print_newline ();
+    print_string (Report.attribution services);
+    print_newline ();
+    print_string (Report.critical_path services);
+    print_newline ();
+    List.iter
+      (fun (name, ok, detail) ->
+        Printf.printf "EXPLAIN CHECK %s: %s (%s)\n" name (if ok then "PASS" else "FAIL") detail)
+      checks
+  end;
+  if List.for_all (fun (_, ok, _) -> ok) checks then 0 else 1
+
+(* --- slo ---------------------------------------------------------------------- *)
+
+(* The SLO monitor over two workload runs off the same knobs: one inside
+   the serving capacity (objectives met, burn under 1) and one offered
+   far beyond it (admission control sheds, the availability budget
+   burns).  The checks prove the monitor separates the two regimes. *)
+let slo_cmd seed json =
+  let module W = Dacs_workload.Workload in
+  let module Slo = Dacs_telemetry.Slo in
+  let healthy = W.run { W.default with seed } in
+  let overloaded =
+    W.run { W.default with seed; arrivals = W.Open_loop { rate = 2000.0 }; duration = 2.0 }
+  in
+  let checks =
+    [
+      ( "healthy-objectives-met",
+        healthy.W.slo.Slo.availability_met && healthy.W.slo.Slo.latency_met,
+        Printf.sprintf "availability %.3f%%, latency compliance %.3f%%"
+          (healthy.W.slo.Slo.availability *. 100.0)
+          (healthy.W.slo.Slo.latency_compliance *. 100.0) );
+      ( "overload-violates-availability",
+        not overloaded.W.slo.Slo.availability_met,
+        Printf.sprintf "availability %.3f%% with %d shed"
+          (overloaded.W.slo.Slo.availability *. 100.0)
+          overloaded.W.shed );
+      ( "overload-burns-budget",
+        overloaded.W.slo.Slo.availability_burn > 1.0
+        && overloaded.W.slo.Slo.availability_burn > healthy.W.slo.Slo.availability_burn,
+        Printf.sprintf "burn %.1fx vs %.1fx" overloaded.W.slo.Slo.availability_burn
+          healthy.W.slo.Slo.availability_burn );
+    ]
+  in
+  if json then
+    Printf.printf "{\"seed\":%d,\"healthy\":%s,\"overloaded\":%s}\n" seed (W.render_json healthy)
+      (W.render_json overloaded)
+  else begin
+    Printf.printf "slo monitor (seed %d, objective: %.1f%% served, %.0f%% within %gs, %gs window)\n\n"
+      seed
+      (Slo.default_objective.Slo.availability_target *. 100.0)
+      (Slo.default_objective.Slo.latency_target *. 100.0)
+      Slo.default_objective.Slo.latency_threshold Slo.default_objective.Slo.window;
+    Printf.printf "within capacity (%d decisions):\n" healthy.W.slo.Slo.total;
+    print_string (W.render healthy);
+    Printf.printf "\noffered 10x capacity (%d decisions):\n" overloaded.W.slo.Slo.total;
+    print_string (W.render overloaded);
+    print_newline ();
+    List.iter
+      (fun (name, ok, detail) ->
+        Printf.printf "SLO CHECK %s: %s (%s)\n" name (if ok then "PASS" else "FAIL") detail)
+      checks
+  end;
+  if List.for_all (fun (_, ok, _) -> ok) checks then 0 else 1
+
 (* --- load -------------------------------------------------------------------- *)
 
 (* Drive the deterministic workload engine from the command line: the
@@ -871,6 +1068,23 @@ let compiled_flag =
            decisions are identical, shard occupancy scales with dispatched candidates instead of \
            the whole rule list.")
 
+let explain_t =
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Walk one request population down every rung of the decision ladder (live, coalesced, \
+          shared L2, L1, bounded-stale, fail-closed) and print each decision's provenance record \
+          from the audit log, the latency attribution, and the critical path")
+    Term.(const explain_cmd $ sim_seed_arg $ json_flag)
+
+let slo_t =
+  Cmd.v
+    (Cmd.info "slo"
+       ~doc:
+         "Run the workload engine inside and far beyond its serving capacity and report the SLO \
+          monitor's availability/latency objectives and error-budget burn rates for both regimes")
+    Term.(const slo_cmd $ sim_seed_arg $ json_flag)
+
 let load_t =
   Cmd.v
     (Cmd.info "load"
@@ -900,6 +1114,8 @@ let main =
       tier_t;
       cache_t;
       load_t;
+      explain_t;
+      slo_t;
     ]
 
 let () = exit (Cmd.eval' main)

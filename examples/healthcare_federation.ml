@@ -99,6 +99,7 @@ let () =
       resource = "acme-claims";
       action = "read";
       decision = Decision.Permit;
+      provenance = None;
     };
   (match Meta_policy.check wall ~history ~subject:"mr-banks" ~resource:"umbrella-claims" with
   | Error reason -> Printf.printf "Chinese wall works: %s\n" reason

@@ -5,6 +5,7 @@ type entry = {
   resource : string;
   action : string;
   decision : Dacs_policy.Decision.t;
+  provenance : Provenance.t option;
 }
 
 type t = { mutable entries_rev : entry list; mutable count : int }

@@ -9,6 +9,10 @@ type entry = {
   resource : string;
   action : string;
   decision : Dacs_policy.Decision.t;
+  provenance : Provenance.t option;
+      (** how the decision was served — present on every entry a PEP
+          records; [None] for history entries minted outside the serving
+          path (meta-policy bookkeeping, tests) *)
 }
 
 type t

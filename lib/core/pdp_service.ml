@@ -62,6 +62,8 @@ type t = {
   attr_cache : Cache_hierarchy.Attr_cache.t option;
   attr_batch : bool;
   h_attr_batch : Metrics.histogram;
+  h_eval : Metrics.histogram;
+  h_pip_fetch : Metrics.histogram;
   mutable busy_until : float;
   mutable inflight : int;
   mutable root : Policy.child option;
@@ -297,8 +299,21 @@ let fetch_batched t ~subject misses ctx k =
   in
   go misses ctx t.pips
 
+(* The trace id the ambient context belongs to, as the exemplar tag for
+   latency histograms — "" (no exemplar) when tracing is off. *)
+let trace_tag tr =
+  match Trace.current tr with
+  | Some ctx -> Printf.sprintf "%Lx" ctx.Trace.trace_id
+  | None -> ""
+
 let fetch_all t ~subject misses attempted ctx k =
   List.iter (fun miss -> Hashtbl.replace attempted miss ()) misses;
+  let started = now t in
+  let tag = trace_tag (tracer t) in
+  let k ctx =
+    Metrics.observe_exemplar t.h_pip_fetch (now t -. started) ~trace:tag ~at:(now t);
+    k ctx
+  in
   if t.attr_batch then fetch_batched t ~subject misses ctx k
   else fetch_sequential t ~subject misses ctx k
 
@@ -309,6 +324,10 @@ let evaluate_local t ctx k =
   let tr = tracer t in
   let span = Trace.start_span tr "pdp:evaluate" in
   Trace.annotate span "node" t.node;
+  let started = now t in
+  let tag =
+    if Trace.enabled tr then Printf.sprintf "%Lx" (Trace.context span).Trace.trace_id else ""
+  in
   let saved = Trace.current tr in
   if Trace.enabled tr then Trace.set_current tr (Some (Trace.context span));
   ensure_policy t (fun () ->
@@ -322,6 +341,7 @@ let evaluate_local t ctx k =
           Metrics.inc t.counters.c_queries;
           if Decision.is_permit result then Metrics.inc t.counters.c_permits;
           if Decision.is_deny result then Metrics.inc t.counters.c_denies;
+          Metrics.observe_exemplar t.h_eval (now t -. started) ~trace:tag ~at:(now t);
           Trace.annotate span "decision" (Decision.decision_to_string result.Decision.decision);
           Trace.finish tr span;
           k result
@@ -421,6 +441,12 @@ let create services ~node ~name:_ ?root ?pap ?refresh ?(pips = []) ?signer ?retr
         Metrics.histogram metrics ~help:"Missing attributes fetched per PIP round trip"
           ~buckets:[ 1.0; 2.0; 4.0; 8.0; 16.0 ]
           ~labels:[ ("node", node) ] "pdp_attr_batch_size";
+      h_eval =
+        Metrics.histogram metrics ~help:"Policy evaluation latency (PAP/PIP rounds included)"
+          ~labels:[ ("node", node) ] "pdp_eval_seconds";
+      h_pip_fetch =
+        Metrics.histogram metrics ~help:"PIP attribute fetch round latency"
+          ~labels:[ ("node", node) ] "pdp_pip_fetch_seconds";
       busy_until = 0.0;
       inflight = 0;
       root;
@@ -463,8 +489,10 @@ let create services ~node ~name:_ ?root ?pap ?refresh ?(pips = []) ?signer ?retr
           when_capacity_free t ~occupancy:(t.service_time +. scan_occupancy t ctx) (fun () ->
               evaluate_local t ctx (fun result ->
                   t.inflight <- t.inflight - 1;
+                  let epoch = compilation_epoch t in
                   match t.signer with
-                  | None -> reply (Wire.authz_response result)
-                  | Some (key, cert) -> reply (Wire.signed_authz_response ~key ~cert result)))
+                  | None -> reply (Wire.authz_response ~epoch result)
+                  | Some (key, cert) ->
+                    reply (Wire.signed_authz_response ~epoch ~key ~cert result)))
         end);
   t

@@ -15,13 +15,24 @@ type stats = {
   exhausted : int;
 }
 
+(* Serving metadata delivered with each answer: which shard decided,
+   how big the frame was, how many shards were skipped first, and the
+   deciding PDP's compilation epoch — the raw material of a provenance
+   record. *)
+type meta = {
+  shard : Dacs_net.Net.node_id option;
+  batch : int;
+  failovers : int;
+  epoch : int;
+}
+
 (* One queued authorisation query: its routing key survives re-routing,
    and [excluded] accumulates the shards that already failed it so a
    remap never bounces back to a dead replica. *)
 type item = {
   key : string;
   body : Xml.t;
-  deliver : (Decision.result, string) result -> unit;
+  deliver : (Decision.result, string) result -> meta -> unit;
   excluded : Dacs_net.Net.node_id list;
 }
 
@@ -122,6 +133,7 @@ let state_of t shard =
 let fail_closed t item reason =
   Metrics.inc t.c_exhausted;
   item.deliver (Error reason)
+    { shard = None; batch = 0; failovers = List.length item.excluded; epoch = 0 }
 
 let rec enqueue t shard item =
   let s = state_of t shard in
@@ -158,17 +170,24 @@ and flush t shard =
         | Ok parts ->
           List.iter2
             (fun item part ->
+              let meta ~epoch =
+                { shard = Some shard; batch = n; failovers = List.length item.excluded; epoch }
+              in
               match part with
               | Ok body -> (
                 match t.verify t body with
-                | Ok decision -> item.deliver (Ok decision)
+                | Ok decision ->
+                  item.deliver (Ok decision) (meta ~epoch:(Wire.authz_response_epoch body))
                 | Error e ->
-                  item.deliver (Ok (Decision.indeterminate ("unacceptable PDP response: " ^ e))))
+                  item.deliver
+                    (Ok (Decision.indeterminate ("unacceptable PDP response: " ^ e)))
+                    (meta ~epoch:0))
               | Error e ->
                 (* The shard answered: an application-level fault, not a
                    health failure — no remap. *)
                 item.deliver
-                  (Ok (Decision.indeterminate ("PDP fault: " ^ Service.error_to_string e))))
+                  (Ok (Decision.indeterminate ("PDP fault: " ^ Service.error_to_string e)))
+                  (meta ~epoch:0))
             items parts
         | Error _ ->
           (* The whole frame failed: the shard is unreachable (or its
@@ -186,13 +205,15 @@ and flush t shard =
             items)
   end
 
-let decide t ctx deliver =
+let decide_meta t ctx deliver =
   let key = Decision_cache.request_key ctx in
   match shard_for t key with
   | None ->
     Metrics.inc t.c_exhausted;
-    deliver (Error "pdp tier is empty")
+    deliver (Error "pdp tier is empty") { shard = None; batch = 0; failovers = 0; epoch = 0 }
   | Some shard -> enqueue t shard { key; body = Wire.authz_query ctx; deliver; excluded = [] }
+
+let decide t ctx deliver = decide_meta t ctx (fun outcome _meta -> deliver outcome)
 
 (* --- construction ------------------------------------------------------- *)
 

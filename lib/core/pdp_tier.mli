@@ -76,6 +76,21 @@ val decide :
     how to degrade — a PEP falls back to bounded-stale cache, then fails
     closed. *)
 
+type meta = {
+  shard : Dacs_net.Net.node_id option;  (** the shard that answered; [None] when none could *)
+  batch : int;  (** queries in the frame that carried this answer; 0 when no frame *)
+  failovers : int;  (** shards excluded before this answer *)
+  epoch : int;  (** deciding PDP's compilation epoch (0 = interpreted/unknown) *)
+}
+
+val decide_meta :
+  t ->
+  Dacs_policy.Context.t ->
+  ((Dacs_policy.Decision.result, string) result -> meta -> unit) ->
+  unit
+(** {!decide} plus serving metadata — what a PEP folds into the
+    decision's provenance record. *)
+
 (** {1 Statistics} *)
 
 type stats = {

@@ -46,6 +46,8 @@ type stats = {
 (* Every stat lives in the bus-wide registry, labelled by this PEP's node
    — the resilience trio on the very series the RPC layer increments
    ([rpc_*_total{src=node}]), so one reset is consistent everywhere. *)
+let shed_reason = "overload: admission queue full"
+
 type counters = {
   c_requests : Metrics.counter;
   c_granted : Metrics.counter;
@@ -59,14 +61,25 @@ type counters = {
   c_l2_hits : Metrics.counter;
   c_stale_serves : Metrics.counter;
   c_shed : Metrics.counter;
+  c_shed_reason : string -> Metrics.counter;
   c_assertion_rejections : Metrics.counter;
   c_revocation_checks : Metrics.counter;
   c_obligations_fulfilled : Metrics.counter;
+  h_decide : string -> Metrics.histogram;  (* stage-labelled ladder latency *)
+  h_queue_wait : Metrics.histogram;
+  h_l2_lookup : Metrics.histogram;
+  h_live_call : Metrics.histogram;
 }
 
 let make_counters metrics ~node =
   let own ?help name = Metrics.counter metrics ?help ~labels:[ ("node", node) ] name in
   let rpc name = Metrics.counter metrics ~labels:[ ("src", node) ] name in
+  let c_shed_reason reason =
+    Metrics.counter metrics ~help:"Shed requests by reason"
+      ~labels:[ ("node", node); ("reason", reason) ]
+      "pep_shed_reason_total"
+  in
+  ignore (c_shed_reason shed_reason);
   {
     c_requests = own "pep_requests_total" ~help:"Access requests received by the PEP";
     c_granted = own "pep_granted_total" ~help:"Requests answered with access granted";
@@ -80,10 +93,25 @@ let make_counters metrics ~node =
     c_l2_hits = own "pep_l2_hits_total" ~help:"Decisions served fresh from the shared L2 cache";
     c_stale_serves = own "pep_stale_serves_total" ~help:"Degraded answers served from expired cache";
     c_shed = own "pep_shed_total" ~help:"Requests shed by the bounded admission queue";
+    c_shed_reason;
     c_assertion_rejections =
       own "pep_assertion_rejections_total" ~help:"Capability assertions rejected";
     c_revocation_checks = own "pep_revocation_checks_total" ~help:"Revocation-status queries issued";
     c_obligations_fulfilled = own "pep_obligations_fulfilled_total" ~help:"Obligations fulfilled";
+    h_decide =
+      (fun stage ->
+        Metrics.histogram metrics ~help:"Decision-ladder latency by serving stage"
+          ~labels:[ ("node", node); ("stage", stage) ]
+          "pep_decide_seconds");
+    h_queue_wait =
+      Metrics.histogram metrics ~help:"Admission-queue wait of parked requests"
+        ~labels:[ ("node", node) ] "pep_queue_wait_seconds";
+    h_l2_lookup =
+      Metrics.histogram metrics ~help:"Shared L2 cache lookup round-trip latency"
+        ~labels:[ ("node", node) ] "pep_l2_lookup_seconds";
+    h_live_call =
+      Metrics.histogram metrics ~help:"Live decision-tier call latency (failovers included)"
+        ~labels:[ ("node", node) ] "pep_live_call_seconds";
   }
 
 type t = {
@@ -95,7 +123,7 @@ type t = {
   audit : Audit.t;
   encryption_key : string option;
   counters : counters;
-  sf : Decision.result Cache_hierarchy.Single_flight.t;
+  sf : (Decision.result * Provenance.t) Cache_hierarchy.Single_flight.t;
   mutable mode : mode;
   mutable decision_trust : Dacs_crypto.Cert.Trust_store.t option;
   mutable retry : Dacs_net.Rpc.retry_policy option;
@@ -151,6 +179,7 @@ let reset_stats t =
       Cache_hierarchy.Single_flight.counter t.sf;
       c.c_stale_serves;
       c.c_shed;
+      c.c_shed_reason shed_reason;
       c.c_assertion_rejections;
       c.c_revocation_checks;
       c.c_obligations_fulfilled;
@@ -175,8 +204,6 @@ let l2 t = t.l2
 
 let set_coalescing t on = t.coalesce <- on
 let coalescing t = t.coalesce
-
-let shed_reason = "overload: admission queue full"
 
 let set_admission t a =
   (match a with
@@ -264,10 +291,18 @@ let fulfil_obligations t (result : Decision.result) =
   in
   go t.content false 0 result.Decision.obligations
 
-let enforce t ~subject ~action (result : Decision.result) reply =
+let enforce t ~subject ~action ?provenance (result : Decision.result) reply =
   let record decision =
     Audit.record t.audit
-      { Audit.at = now t; domain = t.domain; subject; resource = t.resource; action; decision }
+      {
+        Audit.at = now t;
+        domain = t.domain;
+        subject;
+        resource = t.resource;
+        action;
+        decision;
+        provenance;
+      }
   in
   match result.Decision.decision with
   | Decision.Permit -> (
@@ -307,7 +342,15 @@ let build_context t ~subject_attrs ~action =
 
 (* Ladder plumbing shared by pull and sharded modes: L1 fresh -> L2 fresh
    -> live tier -> bounded-stale L1 -> fail closed.  Identical concurrent
-   queries (same request key) are coalesced onto one descent. *)
+   queries (same request key) are coalesced onto one descent.  Every exit
+   mints a provenance record naming the rung that answered. *)
+
+(* The ambient trace id as the exemplar tag for latency histograms — ""
+   (no exemplar) when tracing is off. *)
+let trace_tag tr =
+  match Trace.current tr with
+  | Some ctx -> Printf.sprintf "%Lx" ctx.Trace.trace_id
+  | None -> ""
 
 let l1_put t cache ~key result =
   match cache with
@@ -326,7 +369,11 @@ let consult_l2 t cache ~key ~miss k =
   match t.l2 with
   | None -> miss ()
   | Some l2 ->
+    let started = now t in
+    let tag = trace_tag (tracer t) in
     Cache_hierarchy.L2.remote_lookup t.services ~src:t.node ~l2 ~key (fun answer ->
+        Metrics.observe_exemplar t.counters.h_l2_lookup (now t -. started) ~trace:tag
+          ~at:(now t);
         match answer with
         | Some result ->
           Metrics.inc t.counters.c_l2_hits;
@@ -335,15 +382,45 @@ let consult_l2 t cache ~key ~miss k =
           k result
         | None -> miss ())
 
+(* Waiters folded onto an identical in-flight descent are served by the
+   leader's provenance, re-flagged as coalesced — theirs was not a
+   descent of its own. *)
 let join_flight t ~key k =
-  if t.coalesce then Cache_hierarchy.Single_flight.join t.sf ~key k
-  else Cache_hierarchy.Single_flight.Leader k
+  if not t.coalesce then Cache_hierarchy.Single_flight.Leader k
+  else begin
+    let is_leader = ref false in
+    let deliver ((result, prov) : Decision.result * Provenance.t) =
+      if !is_leader then k (result, prov)
+      else k (result, { prov with Provenance.coalesced = true })
+    in
+    match Cache_hierarchy.Single_flight.join t.sf ~key deliver with
+    | Cache_hierarchy.Single_flight.Leader d ->
+      is_leader := true;
+      Cache_hierarchy.Single_flight.Leader d
+    | Cache_hierarchy.Single_flight.Coalesced -> Cache_hierarchy.Single_flight.Coalesced
+  end
+
+(* A provenance minter for one descent: resilience flags are read as
+   deltas of this PEP's own rpc series between the descent's start and
+   the answer. *)
+let provenance_minter t =
+  let resilience () =
+    ( Metrics.counter_value t.counters.c_retries,
+      Metrics.counter_value t.counters.c_breaker_trips
+      + Metrics.counter_value t.counters.c_breaker_rejections )
+  in
+  let retries0, breaker0 = resilience () in
+  fun ?shard ?batch ?failovers ?stale_age ?epoch stage ->
+    let retries1, breaker1 = resilience () in
+    Provenance.make ?shard ?batch ?failovers ?stale_age ?epoch ~retried:(retries1 > retries0)
+      ~breaker_tripped:(breaker1 > breaker0) ~at:(now t) stage
 
 let pull_decide t ~pdps ~cache ~call_timeout ctx k =
   let key = Decision_cache.request_key ctx in
   match join_flight t ~key k with
   | Cache_hierarchy.Single_flight.Coalesced -> Trace.record (tracer t) "pep:coalesced"
   | Cache_hierarchy.Single_flight.Leader k -> (
+    let prov = provenance_minter t in
     let found =
       match cache with
       | None -> Decision_cache.Absent
@@ -353,22 +430,33 @@ let pull_decide t ~pdps ~cache ~call_timeout ctx k =
     | Decision_cache.Fresh result ->
       Metrics.inc t.counters.c_cache_hits;
       Trace.record (tracer t) "pep:cache-hit";
-      k result
+      k (result, prov Provenance.L1)
     | Decision_cache.Stale _ | Decision_cache.Absent ->
       (* Degraded availability (§ dependability): with every replica down, a
          decision expired by at most [stale_window] seconds is still served
          — the last answer the policy actually gave — in preference to
          denying all access.  Beyond the bound we fail closed. *)
-      let degrade () =
+      let degrade ~failovers () =
         match found with
-        | Decision_cache.Stale { result; _ } when t.stale_window > 0.0 ->
+        | Decision_cache.Stale { result; age } when t.stale_window > 0.0 ->
           Metrics.inc t.counters.c_stale_serves;
           Trace.record (tracer t) "pep:stale-serve";
-          k result
-        | _ -> k (Decision.indeterminate "no decision point reachable")
+          k (result, prov ~failovers ~stale_age:age Provenance.Stale)
+        | _ ->
+          k
+            ( Decision.indeterminate "no decision point reachable",
+              prov ~failovers Provenance.Fail_closed )
       in
-      let rec try_pdps = function
-        | [] -> degrade ()
+      let live_started = ref 0.0 in
+      let live_tag = ref "" in
+      let live_done () =
+        Metrics.observe_exemplar t.counters.h_live_call (now t -. !live_started)
+          ~trace:!live_tag ~at:(now t)
+      in
+      let rec try_pdps ~failovers = function
+        | [] ->
+          live_done ();
+          degrade ~failovers ()
         | pdp :: rest ->
           Metrics.inc t.counters.c_pdp_calls;
           Service.call_resilient t.services ~src:t.node ~dst:pdp ~service:"authz-query"
@@ -383,21 +471,33 @@ let pull_decide t ~pdps ~cache ~call_timeout ctx k =
                     (* Only authenticated decisions are enforceable. *)
                     Result.map fst (Wire.verify_signed_authz_response ~trust ~now:(now t) body)
                 in
+                live_done ();
                 match parsed with
                 | Ok result ->
                   l1_put t cache ~key result;
                   l2_put t ~key result;
-                  k result
-                | Error e -> k (Decision.indeterminate ("unacceptable PDP response: " ^ e)))
+                  k
+                    ( result,
+                      prov ~shard:pdp ~failovers ~epoch:(Wire.authz_response_epoch body)
+                        Provenance.Live )
+                | Error e ->
+                  k
+                    ( Decision.indeterminate ("unacceptable PDP response: " ^ e),
+                      prov ~shard:pdp ~failovers Provenance.Live ))
               | Error _ ->
                 (* Failover to the next replica (§ dependability). *)
                 if rest <> [] then begin
                   Metrics.inc t.counters.c_failovers;
                   Trace.record (tracer t) ("pep:failover from " ^ pdp)
                 end;
-                try_pdps rest)
+                try_pdps ~failovers:(failovers + 1) rest)
       in
-      consult_l2 t cache ~key ~miss:(fun () -> try_pdps pdps) k)
+      let live () =
+        live_started := now t;
+        live_tag := trace_tag (tracer t);
+        try_pdps ~failovers:0 pdps
+      in
+      consult_l2 t cache ~key ~miss:live (fun result -> k (result, prov Provenance.L2)))
 
 (* --- sharded mode --------------------------------------------------------- *)
 
@@ -406,6 +506,7 @@ let tier_decide t ~tier ~cache ctx k =
   match join_flight t ~key k with
   | Cache_hierarchy.Single_flight.Coalesced -> Trace.record (tracer t) "pep:coalesced"
   | Cache_hierarchy.Single_flight.Leader k -> (
+    let prov = provenance_minter t in
     let found =
       match cache with
       | None -> Decision_cache.Absent
@@ -415,28 +516,33 @@ let tier_decide t ~tier ~cache ctx k =
     | Decision_cache.Fresh result ->
       Metrics.inc t.counters.c_cache_hits;
       Trace.record (tracer t) "pep:cache-hit";
-      k result
+      k (result, prov Provenance.L1)
     | Decision_cache.Stale _ | Decision_cache.Absent ->
       let live () =
         Metrics.inc t.counters.c_pdp_calls;
-        Pdp_tier.decide tier ctx (fun outcome ->
+        let started = now t in
+        let tag = trace_tag (tracer t) in
+        Pdp_tier.decide_meta tier ctx (fun outcome meta ->
+            Metrics.observe_exemplar t.counters.h_live_call (now t -. started) ~trace:tag
+              ~at:(now t);
+            let { Pdp_tier.shard; batch; failovers; epoch } = meta in
             match outcome with
             | Ok result ->
               l1_put t cache ~key result;
               l2_put t ~key result;
-              k result
+              k (result, prov ?shard ~batch ~failovers ~epoch Provenance.Live)
             | Error reason -> (
               (* Same degradation ladder as pull mode, per shard: the tier
                  already exhausted its replicas, so serve a bounded-stale
                  decision if we hold one, else fail closed. *)
               match found with
-              | Decision_cache.Stale { result; _ } when t.stale_window > 0.0 ->
+              | Decision_cache.Stale { result; age } when t.stale_window > 0.0 ->
                 Metrics.inc t.counters.c_stale_serves;
                 Trace.record (tracer t) "pep:stale-serve";
-                k result
-              | _ -> k (Decision.indeterminate reason)))
+                k (result, prov ~failovers ~stale_age:age Provenance.Stale)
+              | _ -> k (Decision.indeterminate reason, prov ~failovers Provenance.Fail_closed)))
       in
-      consult_l2 t cache ~key ~miss:live k)
+      consult_l2 t cache ~key ~miss:live (fun result -> k (result, prov Provenance.L2)))
 
 (* --- push mode --------------------------------------------------------------- *)
 
@@ -505,8 +611,16 @@ let decide_admitted t ctx k =
   match t.mode with
   | Pull { pdps; cache; call_timeout } -> pull_decide t ~pdps ~cache ~call_timeout ctx k
   | Sharded { tier; cache } -> tier_decide t ~tier ~cache ctx k
-  | Agent pdp -> Pdp_service.evaluate_local pdp ctx k
-  | Push _ -> k (Decision.indeterminate "push-mode PEP decides from presented capabilities")
+  | Agent pdp ->
+    Pdp_service.evaluate_local pdp ctx (fun result ->
+        k
+          ( result,
+            Provenance.make ~epoch:(Pdp_service.compilation_epoch pdp) ~at:(now t)
+              Provenance.Local ))
+  | Push _ ->
+    k
+      ( Decision.indeterminate "push-mode PEP decides from presented capabilities",
+        Provenance.make ~at:(now t) Provenance.Capability )
 
 (* A finished descent frees its slot; the oldest waiter (if any) takes it
    immediately — the admission queue drains in arrival order. *)
@@ -527,21 +641,40 @@ let release_slot t =
    an Indeterminate (the enforcement layer denies it) rather than growing
    an unbounded backlog, so the latency of *admitted* requests stays
    bounded by the queue it can actually wait in. *)
-let decide t ctx k =
+let decide_explained t ctx k =
+  let started = now t in
+  let tag = trace_tag (tracer t) in
+  let finish (result, (p : Provenance.t)) =
+    Metrics.observe_exemplar
+      (t.counters.h_decide (Provenance.stage_name p.Provenance.stage))
+      (now t -. started) ~trace:tag ~at:(now t);
+    k result p
+  in
   match t.admission with
-  | None -> decide_admitted t ctx k
+  | None -> decide_admitted t ctx finish
   | Some a ->
-    let run () = decide_admitted t ctx (fun result -> release_slot t; k result) in
+    let run () = decide_admitted t ctx (fun rp -> release_slot t; finish rp) in
     if t.inflight < a.max_inflight then begin
       t.inflight <- t.inflight + 1;
       run ()
     end
-    else if Queue.length t.waiting < a.max_queue then Queue.add run t.waiting
+    else if Queue.length t.waiting < a.max_queue then begin
+      let parked_at = now t in
+      Queue.add
+        (fun () ->
+          Metrics.observe_exemplar t.counters.h_queue_wait (now t -. parked_at) ~trace:tag
+            ~at:(now t);
+          run ())
+        t.waiting
+    end
     else begin
       Metrics.inc t.counters.c_shed;
+      Metrics.inc (t.counters.c_shed_reason shed_reason);
       Trace.record (tracer t) "pep:shed";
-      k (Decision.indeterminate shed_reason)
+      finish (Decision.indeterminate shed_reason, Provenance.make ~at:(now t) Provenance.Shed)
     end
+
+let decide t ctx k = decide_explained t ctx (fun result _prov -> k result)
 
 (* --- service wiring --------------------------------------------------------------- *)
 
@@ -588,9 +721,10 @@ let create services ~node ~domain ~resource ?(content = "resource-content") ?aud
         Trace.annotate span "node" t.node;
         Trace.annotate span "subject" subject;
         Trace.annotate span "action" action;
-        let finish result =
+        let finish result (p : Provenance.t) =
           Trace.annotate span "decision" (Decision.decision_to_string result.Decision.decision);
-          enforce t ~subject ~action result (fun response ->
+          Trace.annotate span "stage" (Provenance.stage_name p.Provenance.stage);
+          enforce t ~subject ~action ~provenance:p result (fun response ->
               Trace.finish tr span;
               reply response)
         in
@@ -598,7 +732,8 @@ let create services ~node ~domain ~resource ?(content = "resource-content") ?aud
         if Trace.enabled tr then Trace.set_current tr (Some (Trace.context span));
         (match t.mode with
         | Push { trusted_issuer; check_revocation; local_pdp } ->
-          push_decide t ~trusted_issuer ~check_revocation ~local_pdp ~headers ~action ctx finish
-        | Pull _ | Sharded _ | Agent _ -> decide t ctx finish);
+          push_decide t ~trusted_issuer ~check_revocation ~local_pdp ~headers ~action ctx
+            (fun result -> finish result (Provenance.make ~at:(now t) Provenance.Capability))
+        | Pull _ | Sharded _ | Agent _ -> decide_explained t ctx finish);
         Trace.set_current tr saved);
   t

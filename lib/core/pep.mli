@@ -73,6 +73,20 @@ val decide : t -> Dacs_policy.Context.t -> (Dacs_policy.Decision.result -> unit)
     change a decision.  In push mode (capabilities live on the wire)
     answers Indeterminate. *)
 
+val decide_explained :
+  t ->
+  Dacs_policy.Context.t ->
+  (Dacs_policy.Decision.result -> Provenance.t -> unit) ->
+  unit
+(** {!decide} plus the decision's provenance record: the ladder rung that
+    answered (L1/L2/live/stale/fail-closed/shed), the serving shard,
+    batch size, failover count, resilience flags, staleness age and the
+    deciding PDP's compilation epoch.  Coalesced waiters receive the
+    leader's record with the [coalesced] flag set.  The same record is
+    attached to the audit entry by the wire handler, and the ladder
+    latency is observed into [pep_decide_seconds{node,stage}] (with trace
+    exemplars when tracing is on). *)
+
 (** {1 Hierarchical caching} *)
 
 val set_l2 : t -> Dacs_net.Net.node_id option -> unit

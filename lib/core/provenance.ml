@@ -1,0 +1,64 @@
+type stage =
+  | L1
+  | L2
+  | Live
+  | Stale
+  | Fail_closed
+  | Shed
+  | Local
+  | Capability
+
+type t = {
+  stage : stage;
+  shard : string option;
+  batch : int;
+  coalesced : bool;
+  failovers : int;
+  retried : bool;
+  breaker_tripped : bool;
+  stale_age : float;
+  epoch : int;
+  at : float;
+}
+
+let make ?shard ?(batch = 0) ?(coalesced = false) ?(failovers = 0) ?(retried = false)
+    ?(breaker_tripped = false) ?(stale_age = 0.0) ?(epoch = 0) ~at stage =
+  { stage; shard; batch; coalesced; failovers; retried; breaker_tripped; stale_age; epoch; at }
+
+let stage_name = function
+  | L1 -> "l1"
+  | L2 -> "l2"
+  | Live -> "live"
+  | Stale -> "stale"
+  | Fail_closed -> "fail-closed"
+  | Shed -> "shed"
+  | Local -> "local"
+  | Capability -> "capability"
+
+let to_string p =
+  let flags =
+    List.filter_map
+      (fun (on, name) -> if on then Some name else None)
+      [
+        (p.coalesced, "coalesced");
+        (p.retried, "retried");
+        (p.breaker_tripped, "breaker");
+      ]
+  in
+  String.concat ""
+    [
+      "stage=" ^ stage_name p.stage;
+      (match p.shard with None -> "" | Some s -> " shard=" ^ s);
+      (if p.batch > 0 then Printf.sprintf " batch=%d" p.batch else "");
+      (if p.failovers > 0 then Printf.sprintf " failovers=%d" p.failovers else "");
+      (if p.stale_age > 0.0 then Printf.sprintf " stale_age=%.3fs" p.stale_age else "");
+      (if p.epoch > 0 then Printf.sprintf " epoch=%d" p.epoch else "");
+      (match flags with [] -> "" | fs -> " [" ^ String.concat "," fs ^ "]");
+    ]
+
+let to_json p =
+  Printf.sprintf
+    "{\"stage\":%S,\"shard\":%s,\"batch\":%d,\"coalesced\":%b,\"failovers\":%d,\"retried\":%b,\"breaker_tripped\":%b,\"stale_age\":%g,\"epoch\":%d,\"at\":%g}"
+    (stage_name p.stage)
+    (match p.shard with None -> "null" | Some s -> Printf.sprintf "%S" s)
+    p.batch p.coalesced p.failovers p.retried p.breaker_tripped p.stale_age p.epoch p.at

@@ -1,0 +1,54 @@
+(** Decision provenance: which rung of the serving ladder answered a
+    request, and in what operating conditions (§3 dependability — every
+    authorization outcome must be explainable).
+
+    A provenance record is minted once per decision by {!Pep.decide} (and
+    the wire handler above it), attached to the audit entry, and carried
+    to coalesced waiters verbatim apart from their own [coalesced] flag —
+    a waiter was served by the leader's descent. *)
+
+type stage =
+  | L1  (** fresh hit in the PEP's own decision cache *)
+  | L2  (** fresh hit in the domain's shared cache *)
+  | Live  (** answered by a live PDP replica (pull failover or sharded tier) *)
+  | Stale  (** bounded-stale serve from an expired L1 entry *)
+  | Fail_closed  (** no rung could answer; Indeterminate, denied *)
+  | Shed  (** refused by the bounded admission queue before any descent *)
+  | Local  (** agent-mode PEP: embedded PDP, no network *)
+  | Capability  (** push-mode PEP: decided from a presented capability *)
+
+type t = {
+  stage : stage;
+  shard : string option;  (** serving PDP replica/shard for [Live] *)
+  batch : int;  (** queries in the tier frame that carried the answer; 0 = n/a *)
+  coalesced : bool;  (** folded onto an identical in-flight descent *)
+  failovers : int;  (** replicas/shards skipped before this answer *)
+  retried : bool;  (** resilient-call retries observed during the descent *)
+  breaker_tripped : bool;  (** circuit breaker activity observed during the descent *)
+  stale_age : float;  (** seconds past TTL for [Stale] serves; 0 otherwise *)
+  epoch : int;  (** deciding PDP's compilation epoch; 0 = interpreted/unknown *)
+  at : float;  (** virtual-clock time the decision was delivered *)
+}
+
+val make :
+  ?shard:string ->
+  ?batch:int ->
+  ?coalesced:bool ->
+  ?failovers:int ->
+  ?retried:bool ->
+  ?breaker_tripped:bool ->
+  ?stale_age:float ->
+  ?epoch:int ->
+  at:float ->
+  stage ->
+  t
+
+val stage_name : stage -> string
+(** ["l1"], ["l2"], ["live"], ["stale"], ["fail-closed"], ["shed"],
+    ["local"], ["capability"]. *)
+
+val to_string : t -> string
+(** One-line rendering, omitting zero-valued fields. *)
+
+val to_json : t -> string
+(** All fields, as one JSON object. *)

@@ -21,6 +21,79 @@ let telemetry services =
    else line "  tracing: off");
   Buffer.contents buf
 
+(* --- latency attribution ------------------------------------------------- *)
+
+(* Per-stage breakdown of the serving path's latency histograms: one line
+   per (metric, label set) with count, p50/p99 and the exemplars linking
+   buckets back to trace ids. *)
+let attribution_metrics =
+  [
+    ("pep_decide_seconds", "decision ladder");
+    ("pep_queue_wait_seconds", "admission queue wait");
+    ("pep_l2_lookup_seconds", "L2 round trip");
+    ("pep_live_call_seconds", "live tier call");
+    ("pdp_eval_seconds", "policy evaluation");
+    ("pdp_pip_fetch_seconds", "PIP batch fetch");
+  ]
+
+let attribution services =
+  let m = Dacs_ws.Service.metrics services in
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "latency attribution:";
+  let any = ref false in
+  List.iter
+    (fun sample ->
+      match List.assoc_opt sample.Metrics.name attribution_metrics with
+      | None -> ()
+      | Some what -> (
+        match sample.Metrics.value with
+        | Metrics.Histogram { count; _ } when count > 0 ->
+          any := true;
+          let h =
+            Metrics.histogram m ~labels:sample.Metrics.labels sample.Metrics.name
+          in
+          let labels =
+            String.concat ","
+              (List.map (fun (k, v) -> k ^ "=" ^ v) sample.Metrics.labels)
+          in
+          line "  %-24s {%s} %d obs, p50 %.1fms, p99 %.1fms  (%s)" sample.Metrics.name
+            labels count
+            (Metrics.quantile h 0.5 *. 1000.0)
+            (Metrics.quantile h 0.99 *. 1000.0)
+            what;
+          List.iter
+            (fun (le, e) ->
+              line "    le=%s exemplar trace=%s value=%.1fms @%.3fs"
+                (if le = infinity then "+Inf" else Printf.sprintf "%g" le)
+                e.Metrics.e_trace (e.Metrics.e_value *. 1000.0) e.Metrics.e_at)
+            (Metrics.histogram_exemplars h)
+        | _ -> ()))
+    (Metrics.snapshot m);
+  if not !any then line "  (no serving-path observations)";
+  Buffer.contents buf
+
+let critical_path ?trace_id services =
+  let tr = Dacs_ws.Service.tracer services in
+  let buf = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  match Trace.critical_path ?trace_id tr with
+  | [] -> "critical path: (no spans recorded)\n"
+  | path ->
+    let root = List.hd path in
+    let dur (s : Trace.span_view) =
+      match s.Trace.v_end with Some e -> e -. s.Trace.v_start | None -> 0.0
+    in
+    line "critical path (trace %Lx, %.1fms end to end):" root.Trace.v_trace_id
+      (dur root *. 1000.0);
+    List.iter
+      (fun (s : Trace.span_view) ->
+        line "  %-28s +%.1fms %.1fms" s.Trace.v_name
+          ((s.Trace.v_start -. root.Trace.v_start) *. 1000.0)
+          (dur s *. 1000.0))
+      path;
+    Buffer.contents buf
+
 let domain d =
   let buf = Buffer.create 512 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in

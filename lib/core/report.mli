@@ -17,3 +17,13 @@ val vo : Vo.t -> string
 val telemetry : Dacs_ws.Service.t -> string
 (** Bus-wide telemetry summary: registry series count, aggregate RPC and
     resilience counters, and tracing volume when tracing is on. *)
+
+val attribution : Dacs_ws.Service.t -> string
+(** Latency attribution across the serving path: one line per populated
+    stage histogram (ladder by stage, queue wait, L2 round trip, live
+    tier call, policy evaluation, PIP fetch) with count, interpolated
+    p50/p99, and the exemplars linking buckets back to trace ids. *)
+
+val critical_path : ?trace_id:int64 -> Dacs_ws.Service.t -> string
+(** The {!Dacs_telemetry.Trace.critical_path} of [trace_id] (default: the
+    first recorded trace) rendered with per-span offsets and durations. *)

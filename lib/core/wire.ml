@@ -57,7 +57,24 @@ let parse_authz_query node =
   | None -> Error "AuthzQuery has no Request"
   | Some r -> Context.of_xml r
 
-let authz_response result = Xml.element "AuthzResponse" ~children:[ Dacs_policy.Xacml_xml.result_to_xml result ]
+let authz_response ?(epoch = 0) result =
+  (* The deciding PDP's compilation epoch rides the response as an
+     attribute (provenance); 0 — interpreted or unknown — is the default
+     and is omitted, so pre-epoch frames stay byte-identical. *)
+  let attrs = if epoch > 0 then [ ("Epoch", string_of_int epoch) ] else [] in
+  Xml.element "AuthzResponse" ~attrs ~children:[ Dacs_policy.Xacml_xml.result_to_xml result ]
+
+let authz_response_epoch node =
+  let node =
+    (* Accept the signed envelope too: the epoch lives on the inner
+       response, covered by the signature. *)
+    if Xml.local_name (Xml.tag node) = "SignedAuthzResponse" then
+      Option.value (Xml.find_child node "AuthzResponse") ~default:node
+    else node
+  in
+  match Option.bind (Xml.attr node "Epoch") int_of_string_opt with
+  | Some e when e > 0 -> e
+  | Some _ | None -> 0
 
 let parse_authz_response node =
   let* () = expect_tag node "AuthzResponse" in
@@ -65,9 +82,9 @@ let parse_authz_response node =
   | None -> Error "AuthzResponse has no Response"
   | Some r -> Dacs_policy.Xacml_xml.result_of_xml r
 
-let signed_authz_response ~key ~cert result =
+let signed_authz_response ?epoch ~key ~cert result =
   let module Cert = Dacs_crypto.Cert in
-  let response = authz_response result in
+  let response = authz_response ?epoch result in
   let signature = Dacs_crypto.Rsa.sign key (Xml.canonical_string response) in
   Xml.element "SignedAuthzResponse"
     ~children:

@@ -21,10 +21,20 @@ val parse_access_request : Xml.t -> ((string * Dacs_policy.Value.t) list * strin
 val authz_query : Dacs_policy.Context.t -> Xml.t
 val parse_authz_query : Xml.t -> (Dacs_policy.Context.t, string) result
 
-val authz_response : Dacs_policy.Decision.result -> Xml.t
+val authz_response : ?epoch:int -> Dacs_policy.Decision.result -> Xml.t
+(** [epoch] (default 0) is the deciding PDP's compilation epoch; positive
+    epochs ride the response as provenance, 0 is omitted so frames from
+    interpreted PDPs are unchanged. *)
+
+val authz_response_epoch : Xml.t -> int
+(** The compilation epoch carried by a (possibly signed) authorisation
+    response — 0 when absent or malformed.  Tolerant by design: a
+    pre-epoch peer simply reports 0. *)
+
 val parse_authz_response : Xml.t -> (Dacs_policy.Decision.result, string) result
 
 val signed_authz_response :
+  ?epoch:int ->
   key:Dacs_crypto.Rsa.private_key ->
   cert:Dacs_crypto.Cert.t ->
   Dacs_policy.Decision.result ->

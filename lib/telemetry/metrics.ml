@@ -1,9 +1,12 @@
 type counter = { mutable c : int }
 type gauge = { mutable g : float }
 
+type exemplar = { e_value : float; e_trace : string; e_at : float }
+
 type histogram = {
   bounds : float array;  (* strictly increasing upper bounds, no +Inf *)
   counts : int array;  (* length = Array.length bounds + 1 (overflow) *)
+  exemplars : exemplar option array;  (* one per bucket: latest observation *)
   mutable sum : float;
   mutable count : int;
 }
@@ -96,16 +99,32 @@ let histogram t ?(help = "") ?(labels = []) ?(buckets = default_latency_buckets)
     ~make:(fun () ->
       let bounds = Array.of_list buckets in
       I_histogram
-        { bounds; counts = Array.make (Array.length bounds + 1) 0; sum = 0.0; count = 0 })
+        {
+          bounds;
+          counts = Array.make (Array.length bounds + 1) 0;
+          exemplars = Array.make (Array.length bounds + 1) None;
+          sum = 0.0;
+          count = 0;
+        })
     ~cast:(function I_histogram h -> h | I_counter _ | I_gauge _ -> assert false)
 
-let observe h v =
+let bucket_slot h v =
   let n = Array.length h.bounds in
   let rec slot i = if i >= n then n else if v <= h.bounds.(i) then i else slot (i + 1) in
-  let i = slot 0 in
+  slot 0
+
+let observe h v =
+  let i = bucket_slot h v in
   h.counts.(i) <- h.counts.(i) + 1;
   h.sum <- h.sum +. v;
   h.count <- h.count + 1
+
+let observe_exemplar h v ~trace ~at =
+  let i = bucket_slot h v in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.sum <- h.sum +. v;
+  h.count <- h.count + 1;
+  if trace <> "" then h.exemplars.(i) <- Some { e_value = v; e_trace = trace; e_at = at }
 
 let histogram_count h = h.count
 let histogram_sum h = h.sum
@@ -116,11 +135,48 @@ let bucket_counts h =
     (fun i ->
       ((if i < Array.length h.bounds then h.bounds.(i) else infinity), h.counts.(i)))
 
+let histogram_exemplars h =
+  List.concat
+    (List.init (Array.length h.counts) (fun i ->
+         match h.exemplars.(i) with
+         | None -> []
+         | Some e ->
+           let le = if i < Array.length h.bounds then h.bounds.(i) else infinity in
+           [ (le, e) ]))
+
+(* Prometheus histogram_quantile over the fixed buckets: find the bucket
+   holding rank [q * count], interpolate linearly inside it.  An empty
+   histogram has no quantiles (nan); a rank landing in the overflow bucket
+   clamps to the highest finite bound — the estimate cannot exceed what
+   the buckets can resolve. *)
+let quantile h q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Metrics.quantile: q must be in [0, 1]";
+  if h.count = 0 then Float.nan
+  else begin
+    let rank = q *. float_of_int h.count in
+    let n = Array.length h.bounds in
+    let rec go i cumulative =
+      if i >= n then h.bounds.(n - 1)
+      else
+        let cumulative' = cumulative + h.counts.(i) in
+        if float_of_int cumulative' >= rank then begin
+          let lo = if i = 0 then 0.0 else h.bounds.(i - 1) in
+          let hi = h.bounds.(i) in
+          let in_bucket = h.counts.(i) in
+          if in_bucket = 0 then hi
+          else lo +. ((hi -. lo) *. (rank -. float_of_int cumulative) /. float_of_int in_bucket)
+        end
+        else go (i + 1) cumulative'
+    in
+    if n = 0 then Float.nan else go 0 0
+  end
+
 let reset_counter counter = counter.c <- 0
 let reset_gauge gauge = gauge.g <- 0.0
 
 let reset_histogram h =
   Array.fill h.counts 0 (Array.length h.counts) 0;
+  Array.fill h.exemplars 0 (Array.length h.exemplars) None;
   h.sum <- 0.0;
   h.count <- 0
 
@@ -161,6 +217,22 @@ let sum_counter t name =
   Hashtbl.fold
     (fun (n, _) i acc -> match i with I_counter c when n = name -> acc + c.c | _ -> acc)
     t.series 0
+
+let sum_counter_by t name ~label =
+  let tally = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun (n, labels) i ->
+      match i with
+      | I_counter c when n = name -> (
+        match List.assoc_opt label labels with
+        | Some v ->
+          let prev = Option.value (Hashtbl.find_opt tally v) ~default:0 in
+          Hashtbl.replace tally v (prev + c.c)
+        | None -> ())
+      | _ -> ())
+    t.series;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let series_count t = Hashtbl.length t.series
 

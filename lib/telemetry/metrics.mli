@@ -56,12 +56,33 @@ val observe : histogram -> float -> unit
 (** A value lands in the first bucket whose upper bound is [>= v]
     (Prometheus [le] semantics). *)
 
+type exemplar = { e_value : float; e_trace : string; e_at : float }
+(** One concrete observation kept as the face of a bucket: the value, the
+    trace id it belongs to, and when it was observed (virtual clock). *)
+
+val observe_exemplar : histogram -> float -> trace:string -> at:float -> unit
+(** Like {!observe}, but additionally remembers this observation as the
+    bucket's exemplar (latest observation wins — retention is bounded at
+    one exemplar per bucket).  An empty [trace] records no exemplar. *)
+
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
 
 val bucket_counts : histogram -> (float * int) list
 (** Per-bucket (non-cumulative) counts, paired with each upper bound;
     the final pair is [(infinity, overflow-count)]. *)
+
+val histogram_exemplars : histogram -> (float * exemplar) list
+(** The buckets currently holding an exemplar, as (upper bound, exemplar)
+    pairs in bucket order — the links from latency buckets back to the
+    traces that landed in them. *)
+
+val quantile : histogram -> float -> float
+(** Prometheus-style [histogram_quantile]: locate the bucket holding rank
+    [q * count] in the cumulative distribution and interpolate linearly
+    inside it.  [nan] on an empty histogram; a rank falling in the
+    overflow bucket clamps to the highest finite bound.  [q] outside
+    [0, 1] raises [Invalid_argument]. *)
 
 (** {1 Reset}
 
@@ -88,6 +109,11 @@ val snapshot : t -> sample list
 val sum_counter : t -> string -> int
 (** Sum of a counter across all its label sets (0 when the name was never
     registered).  The bus-wide view over per-caller series. *)
+
+val sum_counter_by : t -> string -> label:string -> (string * int) list
+(** Sum of a counter grouped by the value of one label key, sorted by
+    label value — e.g. the per-reason breakdown of a shed counter.
+    Series lacking the label are omitted. *)
 
 val series_count : t -> int
 

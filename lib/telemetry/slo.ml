@@ -1,0 +1,131 @@
+(* Rolling-window SLO accounting.  Decisions land in fixed-width time
+   slices of the virtual clock; a status sums the slices inside the
+   window, so old traffic ages out deterministically as time advances. *)
+
+type objective = {
+  availability_target : float;
+  latency_threshold : float;
+  latency_target : float;
+  window : float;
+}
+
+let default_objective =
+  { availability_target = 0.999; latency_threshold = 0.25; latency_target = 0.99; window = 60.0 }
+
+let slices = 60
+
+type slice = { mutable id : int; mutable total : int; mutable ok : int; mutable fast : int }
+
+type t = {
+  now : unit -> float;
+  objective : objective;
+  width : float;  (* seconds of virtual time per slice *)
+  ring : slice array;
+}
+
+let create ?(objective = default_objective) ~now () =
+  if objective.window <= 0.0 then invalid_arg "Slo.create: window must be positive";
+  if objective.availability_target < 0.0 || objective.availability_target > 1.0 then
+    invalid_arg "Slo.create: availability_target must be in [0, 1]";
+  if objective.latency_target < 0.0 || objective.latency_target > 1.0 then
+    invalid_arg "Slo.create: latency_target must be in [0, 1]";
+  if objective.latency_threshold < 0.0 then
+    invalid_arg "Slo.create: latency_threshold must be non-negative";
+  {
+    now;
+    objective;
+    width = objective.window /. float_of_int slices;
+    ring = Array.init slices (fun _ -> { id = -1; total = 0; ok = 0; fast = 0 });
+  }
+
+let objective t = t.objective
+
+let slice_id t at = int_of_float (Float.floor (at /. t.width))
+
+let slice_at t at =
+  let id = slice_id t at in
+  let s = t.ring.(id mod slices) in
+  if s.id <> id then begin
+    s.id <- id;
+    s.total <- 0;
+    s.ok <- 0;
+    s.fast <- 0
+  end;
+  s
+
+let record t ~ok ~latency =
+  let s = slice_at t (t.now ()) in
+  s.total <- s.total + 1;
+  if ok then s.ok <- s.ok + 1;
+  if latency <= t.objective.latency_threshold then s.fast <- s.fast + 1
+
+type status = {
+  at : float;
+  total : int;
+  ok : int;
+  fast : int;
+  availability : float;
+  latency_compliance : float;
+  availability_burn : float;
+  latency_burn : float;
+  availability_met : bool;
+  latency_met : bool;
+}
+
+(* Burn rate: error rate as a multiple of the error budget.  1.0 means
+   errors arrive exactly as fast as the objective tolerates; above 1.0
+   the budget is being exhausted.  A zero budget burns infinitely on the
+   first error and not at all without one. *)
+let burn ~rate ~target =
+  let errors = 1.0 -. rate in
+  let budget = 1.0 -. target in
+  if budget <= 0.0 then if errors > 0.0 then infinity else 0.0 else errors /. budget
+
+let status t =
+  let at = t.now () in
+  let newest = slice_id t at in
+  let oldest = newest - slices + 1 in
+  let total = ref 0 and ok = ref 0 and fast = ref 0 in
+  Array.iter
+    (fun s ->
+      if s.id >= oldest && s.id <= newest then begin
+        total := !total + s.total;
+        ok := !ok + s.ok;
+        fast := !fast + s.fast
+      end)
+    t.ring;
+  let ratio num = if !total = 0 then 1.0 else float_of_int num /. float_of_int !total in
+  let availability = ratio !ok in
+  let latency_compliance = ratio !fast in
+  {
+    at;
+    total = !total;
+    ok = !ok;
+    fast = !fast;
+    availability;
+    latency_compliance;
+    availability_burn = burn ~rate:availability ~target:t.objective.availability_target;
+    latency_burn = burn ~rate:latency_compliance ~target:t.objective.latency_target;
+    availability_met = availability >= t.objective.availability_target;
+    latency_met = latency_compliance >= t.objective.latency_target;
+  }
+
+let pct v = Printf.sprintf "%.3f%%" (v *. 100.0)
+
+let burn_str v = if v = infinity then "inf" else Printf.sprintf "%.2fx" v
+
+let render t =
+  let s = status t in
+  let o = t.objective in
+  let buf = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun str -> Buffer.add_string buf (str ^ "\n")) fmt in
+  line "slo (window %.0fs, %d decisions):" o.window s.total;
+  line "  availability: %s served (target %s)  burn %s  %s" (pct s.availability)
+    (pct o.availability_target)
+    (burn_str s.availability_burn)
+    (if s.availability_met then "OK" else "VIOLATED");
+  line "  latency <= %gs: %s (target %s)  burn %s  %s" o.latency_threshold
+    (pct s.latency_compliance) (pct o.latency_target)
+    (burn_str s.latency_burn)
+    (if s.latency_met then "OK" else "VIOLATED");
+  Buffer.contents buf

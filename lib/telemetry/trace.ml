@@ -153,6 +153,42 @@ let trace_ids t =
 
 let global_events t = List.rev t.globals
 
+(* The critical path of a trace: from the root span, repeatedly descend
+   into the child that finished last — the chain of spans that actually
+   bounded the end-to-end latency.  Unfinished spans count as ending at
+   their start. *)
+let critical_path ?trace_id t =
+  let all = in_order t in
+  let tid =
+    match trace_id with
+    | Some id -> Some id
+    | None -> ( match all with [] -> None | s :: _ -> Some s.s_trace)
+  in
+  match tid with
+  | None -> []
+  | Some tid ->
+    let spans = List.filter (fun s -> s.s_trace = tid) all in
+    let ids = List.map (fun s -> s.s_id) spans in
+    let ends s = Option.value s.s_end ~default:s.s_start in
+    let root =
+      List.find_opt
+        (fun s -> match s.s_parent with None -> true | Some p -> not (List.mem p ids))
+        spans
+    in
+    let rec walk acc s =
+      let kids = List.filter (fun c -> c.s_parent = Some s.s_id) spans in
+      match kids with
+      | [] -> List.rev (s :: acc)
+      | _ ->
+        let last =
+          List.fold_left
+            (fun best c -> if (ends c, c.s_seq) > (ends best, best.s_seq) then c else best)
+            (List.hd kids) (List.tl kids)
+        in
+        walk (s :: acc) last
+    in
+    (match root with None -> [] | Some r -> List.map view (walk [] r))
+
 let clear t =
   t.recorded <- [];
   t.globals <- [];

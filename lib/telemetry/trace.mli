@@ -84,6 +84,12 @@ val trace_ids : t -> int64 list
 
 val global_events : t -> (float * string) list
 
+val critical_path : ?trace_id:int64 -> t -> span_view list
+(** The chain of spans that bounded a trace's end-to-end latency: from
+    the root span, repeatedly descend into the child that finished last.
+    [trace_id] defaults to the first recorded trace; [[]] when the trace
+    has no spans.  Unfinished spans count as ending at their start. *)
+
 val clear : t -> unit
 (** Drop recorded spans and events (registration state and the enabled
     flag survive). *)

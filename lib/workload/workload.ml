@@ -3,6 +3,7 @@ module Engine = Dacs_net.Engine
 module Rng = Dacs_crypto.Rng
 module Service = Dacs_ws.Service
 module Metrics = Dacs_telemetry.Metrics
+module Slo = Dacs_telemetry.Slo
 module Context = Dacs_policy.Context
 module Value = Dacs_policy.Value
 module Decision = Dacs_policy.Decision
@@ -71,6 +72,8 @@ type report = {
   mean_latency : float;
   makespan : float;
   messages : int;
+  shed_reasons : (string * int) list;
+  slo : Slo.status;
 }
 
 let validate s =
@@ -223,6 +226,10 @@ let run s =
   let c_errors =
     Metrics.counter metrics ~help:"Indeterminate answers other than shedding" "workload_error_total"
   in
+  (* SLO accounting rides the same virtual clock: availability counts
+     every non-Indeterminate answer as served (shed and fail-closed both
+     burn the budget), latency is end-to-end decision latency. *)
+  let slo = Slo.create ~now:(fun () -> Net.now net) () in
   let max_latency = ref 0.0 in
   let last_completion = ref 0.0 in
   let sample_user = zipf_sampler rng ~n:s.users ~skew:s.zipf in
@@ -245,21 +252,22 @@ let run s =
     Pep.decide pep ctx (fun result ->
         Metrics.inc c_completed;
         last_completion := Net.now net;
-        let shed =
+        let dt = Net.now net -. t0 in
+        let shed, served =
           match result.Decision.decision with
           | Decision.Permit ->
             Metrics.inc c_granted;
-            false
+            (false, true)
           | Decision.Deny | Decision.Not_applicable ->
             Metrics.inc c_denied;
-            false
-          | Decision.Indeterminate m when m = Pep.shed_reason -> true
+            (false, true)
+          | Decision.Indeterminate m when m = Pep.shed_reason -> (true, false)
           | Decision.Indeterminate _ ->
             Metrics.inc c_errors;
-            false
+            (false, false)
         in
+        Slo.record slo ~ok:served ~latency:dt;
         if not shed then begin
-          let dt = Net.now net -. t0 in
           Metrics.observe h_latency dt;
           if dt > !max_latency then max_latency := dt
         end;
@@ -311,26 +319,71 @@ let run s =
       (if total > 0 then Metrics.histogram_sum h_latency /. float_of_int total else 0.0);
     makespan;
     messages = (Net.total_sent net).Net.count;
+    shed_reasons = Metrics.sum_counter_by metrics "pep_shed_reason_total" ~label:"reason";
+    slo = Slo.status slo;
   }
 
 let conservation_ok r =
   r.completed = r.offered && r.granted + r.denied + r.errors + r.shed = r.completed
 
+let burn_str v = if v = infinity then "inf" else Printf.sprintf "%.2fx" v
+
 let render r =
+  let reasons =
+    if r.shed_reasons = [] then "none"
+    else String.concat "  " (List.map (fun (why, n) -> Printf.sprintf "%s=%d" why n) r.shed_reasons)
+  in
   String.concat "\n"
     [
       Printf.sprintf "offered %d  completed %d  shed %d  pdp-overloads %d" r.offered r.completed
         r.shed r.pdp_overloads;
       Printf.sprintf "granted %d  denied %d  errors %d" r.granted r.denied r.errors;
+      Printf.sprintf "shed reasons: %s" reasons;
       Printf.sprintf "throughput %.2f req/s over %.6f s makespan  (%d messages)" r.throughput
         r.makespan r.messages;
       Printf.sprintf "latency p50 %.6f  p95 %.6f  p99 %.6f  max %.6f  mean %.6f" r.latency.p50
         r.latency.p95 r.latency.p99 r.latency.max r.mean_latency;
+      Printf.sprintf "slo availability %.3f%% (burn %s) %s  latency %.3f%% (burn %s) %s"
+        (r.slo.Slo.availability *. 100.0)
+        (burn_str r.slo.Slo.availability_burn)
+        (if r.slo.Slo.availability_met then "OK" else "VIOLATED")
+        (r.slo.Slo.latency_compliance *. 100.0)
+        (burn_str r.slo.Slo.latency_burn)
+        (if r.slo.Slo.latency_met then "OK" else "VIOLATED");
       "";
     ]
 
+(* Burn rates can be infinite (zero error budget); keep the JSON valid by
+   quoting that case. *)
+let json_burn v = if v = infinity then "\"inf\"" else Printf.sprintf "%.4f" v
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let render_json r =
+  let shed_reasons =
+    String.concat ","
+      (List.map (fun (why, n) -> Printf.sprintf "\"%s\":%d" (json_escape why) n) r.shed_reasons)
+  in
+  let slo =
+    Printf.sprintf
+      "{\"total\":%d,\"availability\":%.6f,\"latency_compliance\":%.6f,\"availability_burn\":%s,\"latency_burn\":%s,\"availability_met\":%b,\"latency_met\":%b}"
+      r.slo.Slo.total r.slo.Slo.availability r.slo.Slo.latency_compliance
+      (json_burn r.slo.Slo.availability_burn)
+      (json_burn r.slo.Slo.latency_burn)
+      r.slo.Slo.availability_met r.slo.Slo.latency_met
+  in
   Printf.sprintf
-    "{\"offered\":%d,\"completed\":%d,\"shed\":%d,\"pdp_overloads\":%d,\"granted\":%d,\"denied\":%d,\"errors\":%d,\"throughput\":%.2f,\"makespan\":%.6f,\"messages\":%d,\"latency\":{\"p50\":%.6f,\"p95\":%.6f,\"p99\":%.6f,\"max\":%.6f,\"mean\":%.6f}}"
-    r.offered r.completed r.shed r.pdp_overloads r.granted r.denied r.errors r.throughput r.makespan
-    r.messages r.latency.p50 r.latency.p95 r.latency.p99 r.latency.max r.mean_latency
+    "{\"offered\":%d,\"completed\":%d,\"shed\":%d,\"shed_reasons\":{%s},\"pdp_overloads\":%d,\"granted\":%d,\"denied\":%d,\"errors\":%d,\"throughput\":%.2f,\"makespan\":%.6f,\"messages\":%d,\"latency\":{\"p50\":%.6f,\"p95\":%.6f,\"p99\":%.6f,\"max\":%.6f,\"mean\":%.6f},\"slo\":%s}"
+    r.offered r.completed r.shed shed_reasons r.pdp_overloads r.granted r.denied r.errors
+    r.throughput r.makespan r.messages r.latency.p50 r.latency.p95 r.latency.p99 r.latency.max
+    r.mean_latency slo

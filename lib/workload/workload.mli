@@ -76,6 +76,13 @@ type report = {
   mean_latency : float;
   makespan : float;  (** virtual time of the last completion *)
   messages : int;  (** network messages sent end-to-end *)
+  shed_reasons : (string * int) list;
+      (** per-reason breakdown of [shed], from
+          [pep_shed_reason_total{node,reason}], summed by reason *)
+  slo : Dacs_telemetry.Slo.status;
+      (** {!Dacs_telemetry.Slo.default_objective} over the run's virtual
+          clock: every non-Indeterminate answer counts as served, shed
+          and fail-closed answers burn the availability budget *)
 }
 
 val run : scenario -> report

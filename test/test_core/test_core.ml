@@ -119,7 +119,7 @@ let test_wire_outcomes () =
 (* --- audit -------------------------------------------------------------- *)
 
 let entry ?(at = 0.0) ?(domain = "d") subject resource decision =
-  { Audit.at; domain; subject; resource; action = "read"; decision }
+  { Audit.at; domain; subject; resource; action = "read"; decision; provenance = None }
 
 let test_audit_basics () =
   let log = Audit.create () in

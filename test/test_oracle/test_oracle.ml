@@ -202,12 +202,16 @@ let tier_oracle (name, alg) =
 (* One request replayed through every stage of the PEP's decision ladder
    (E17): a cold descent that fills the caches, a warm-L1 hit, an
    L2-only hit (L1 purged), a live re-evaluation that exercises the
-   PDP's warmed attribute cache (both decision caches purged), and a
-   coalesced pair (leader + single-flight waiter).  The client context
-   deliberately withholds the role attribute so the PDP must resolve it
-   from a PIP via the batched fetcher — the reference evaluation sees
-   the same attributes inline.  No stage may change the decision or the
-   obligations. *)
+   PDP's warmed attribute cache (both decision caches purged), a
+   coalesced pair (leader + single-flight waiter), and the degraded
+   rungs — a bounded-stale serve from an expired L1 entry with the whole
+   tier dark, and the fail-closed floor once even that entry is purged.
+   The client context deliberately withholds the role attribute so the
+   PDP must resolve it from a PIP via the batched fetcher — the
+   reference evaluation sees the same attributes inline.  No stage may
+   change the decision or the obligations (the fail-closed floor, which
+   answers Indeterminate by design, asserts that shape instead), and
+   every stage's provenance record must name the rung that was forced. *)
 let cached_ladder_evaluate root cspec =
   let net = Net.create ~seed:23L () in
   let services = Service.create (Dacs_net.Rpc.create net) in
@@ -238,9 +242,10 @@ let cached_ladder_evaluate root cspec =
       ~action:[ ("action-id", Value.String actions.(cspec.action_code mod Array.length actions)) ]
       ()
   in
+  Pep.set_stale_window pep 2000.0;
   let decide () =
     let answer = ref None in
-    Pep.decide pep ctx (fun r -> answer := Some r);
+    Pep.decide_explained pep ctx (fun r p -> answer := Some (r, p));
     Net.run net;
     !answer
   in
@@ -257,17 +262,73 @@ let cached_ladder_evaluate root cspec =
   let attr_cached = decide () in
   purge_decision_caches ();
   let leader = ref None and waiter = ref None in
-  Pep.decide pep ctx (fun r -> leader := Some r);
-  Pep.decide pep ctx (fun r -> waiter := Some r);
+  Pep.decide_explained pep ctx (fun r p -> leader := Some (r, p));
+  Pep.decide_explained pep ctx (fun r p -> waiter := Some (r, p));
   Net.run net;
+  (* Degraded rungs: kill the PDP and the shared L2, then advance the
+     virtual clock past the decision TTL so the leader's L1 entry is
+     expired — the ladder has to fall through to the bounded-stale
+     serve.  Purging L1 after that leaves nothing to answer from, which
+     is the fail-closed floor. *)
+  Net.crash net "pdp";
+  Net.crash net "l2";
+  Dacs_net.Engine.schedule (Net.engine net) ~delay:700.0 (fun () -> ());
+  Net.run net;
+  let stale = decide () in
+  Pep.invalidate_cache pep;
+  let fail_closed = decide () in
+  (* Indeterminate answers are deliberately never cached (a statement
+     about the machinery, not the policy), so when the corpus case
+     evaluates to an error every "cached" rung re-descends live and the
+     degraded rungs land on the fail-closed floor. *)
+  let cacheable =
+    match cold with
+    | Some ({ Decision.decision = Decision.Indeterminate _; _ }, _) -> false
+    | _ -> true
+  in
   [
-    ("cold", cold);
-    ("warm-l1", warm_l1);
-    ("l2-only", l2_only);
-    ("attr-cache", attr_cached);
-    ("coalesced-leader", !leader);
-    ("coalesced-waiter", !waiter);
+    ("cold", Provenance.Live, `Equal, cold);
+    ("warm-l1", (if cacheable then Provenance.L1 else Provenance.Live), `Equal, warm_l1);
+    ("l2-only", (if cacheable then Provenance.L2 else Provenance.Live), `Equal, l2_only);
+    ("attr-cache", Provenance.Live, `Equal, attr_cached);
+    ("coalesced-leader", Provenance.Live, `Equal, !leader);
+    ("coalesced-waiter", Provenance.Live, `Equal, !waiter);
+    (if cacheable then ("stale", Provenance.Stale, `Equal, stale)
+     else ("stale", Provenance.Fail_closed, `Indeterminate, stale));
+    ("fail-closed", Provenance.Fail_closed, `Indeterminate, fail_closed);
   ]
+
+(* Shared assertion for both cached-ladder oracles: the provenance names
+   the forced rung, the coalesced flag singles out the waiter, and the
+   answer matches the reference (or is Indeterminate on the fail-closed
+   floor, where diverging from the reference is the point). *)
+let check_ladder_stage ~alg:name ~reference
+    (stage, expected_stage, kind, answer) =
+  match answer with
+  | None ->
+    QCheck.Test.fail_reportf "[%s] stage %s never answered (%s)" name stage (seed_hint ())
+  | Some (cached, (prov : Provenance.t)) ->
+    if prov.Provenance.stage <> expected_stage then
+      QCheck.Test.fail_reportf "[%s] stage %s served from rung %s, expected %s (%s)" name stage
+        (Provenance.stage_name prov.Provenance.stage)
+        (Provenance.stage_name expected_stage)
+        (seed_hint ())
+    else if prov.Provenance.coalesced <> (stage = "coalesced-waiter") then
+      QCheck.Test.fail_reportf "[%s] stage %s coalesced flag is %b (%s)" name stage
+        prov.Provenance.coalesced (seed_hint ())
+    else
+      match kind with
+      | `Indeterminate -> (
+        match cached.Decision.decision with
+        | Decision.Indeterminate _ -> true
+        | d ->
+          QCheck.Test.fail_reportf "[%s] stage %s answered %s instead of failing closed (%s)"
+            name stage (Decision.decision_to_string d) (seed_hint ()))
+      | `Equal ->
+        if result_equal reference cached then true
+        else
+          fail_diverged ~alg:name ~expected:reference ~got:cached "reference"
+            (Printf.sprintf "cached stage %s" stage)
 
 let cached_oracle (name, alg) =
   QCheck.Test.make
@@ -282,15 +343,7 @@ let cached_oracle (name, alg) =
         fail_diverged ~alg:name ~expected:reference ~got:compiled "reference" "compiled"
       else
         List.for_all
-          (fun (stage, answer) ->
-            match answer with
-            | None ->
-              QCheck.Test.fail_reportf "[%s] stage %s never answered (%s)" name stage (seed_hint ())
-            | Some cached ->
-              if result_equal reference cached then true
-              else
-                fail_diverged ~alg:name ~expected:reference ~got:cached "reference"
-                  (Printf.sprintf "cached stage %s" stage))
+          (check_ladder_stage ~alg:name ~reference)
           (cached_ladder_evaluate (Policy.Inline_policy policy) cspec))
 
 let algorithms =
@@ -417,15 +470,7 @@ let delegation_cached_oracle (name, alg) =
       let root = delegation_filtered_root alg case in
       let reference = Policy.evaluate_child (ctx_of_spec cspec) root in
       List.for_all
-        (fun (stage, answer) ->
-          match answer with
-          | None ->
-            QCheck.Test.fail_reportf "[%s] stage %s never answered (%s)" name stage (seed_hint ())
-          | Some cached ->
-            if result_equal reference cached then true
-            else
-              fail_diverged ~alg:name ~expected:reference ~got:cached "reference"
-                (Printf.sprintf "cached stage %s" stage))
+        (check_ladder_stage ~alg:name ~reference)
         (cached_ladder_evaluate root cspec))
 
 (* --- oracle 5: negotiation-gated requests ------------------------------- *)

@@ -49,6 +49,101 @@ let test_histogram_buckets () =
   check bool_ "buckets survive reset" true
     (List.map fst (Metrics.bucket_counts h) = [ 0.1; 0.5; 1.0; infinity ])
 
+(* --- quantile edge cases ------------------------------------------------- *)
+
+let test_quantile_empty_histogram () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~buckets:[ 0.1; 1.0 ] "empty_seconds" in
+  check bool_ "empty histogram quantile is nan" true (Float.is_nan (Metrics.quantile h 0.5));
+  Alcotest.check_raises "q > 1 rejected"
+    (Invalid_argument "Metrics.quantile: q must be in [0, 1]") (fun () ->
+      ignore (Metrics.quantile h 1.5));
+  Alcotest.check_raises "q < 0 rejected"
+    (Invalid_argument "Metrics.quantile: q must be in [0, 1]") (fun () ->
+      ignore (Metrics.quantile h (-0.1)))
+
+let test_quantile_single_bucket () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~buckets:[ 1.0 ] "single_seconds" in
+  (* Everything lands in the one finite bucket: interpolation runs from
+     0 to its bound. *)
+  List.iter (Metrics.observe h) [ 0.2; 0.4; 0.6; 0.8 ];
+  check (Alcotest.float 1e-9) "p50 interpolates inside [0, 1]" 0.5 (Metrics.quantile h 0.5);
+  check (Alcotest.float 1e-9) "p100 is the bound" 1.0 (Metrics.quantile h 1.0);
+  (* An observation past every finite bound clamps the affected quantile
+     to the highest finite bound rather than inventing a value. *)
+  Metrics.observe h 5.0;
+  check (Alcotest.float 1e-9) "overflow rank clamps to the finite bound" 1.0
+    (Metrics.quantile h 0.99)
+
+(* --- exemplar retention --------------------------------------------------- *)
+
+let test_exemplar_retention () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~buckets:[ 0.1; 1.0 ] "ex_seconds" in
+  (* Retention is bounded at one exemplar per bucket; the latest wins. *)
+  Metrics.observe_exemplar h 0.05 ~trace:"aaaa" ~at:1.0;
+  Metrics.observe_exemplar h 0.07 ~trace:"bbbb" ~at:2.0;
+  Metrics.observe_exemplar h 0.5 ~trace:"cccc" ~at:3.0;
+  Metrics.observe_exemplar h 7.0 ~trace:"dddd" ~at:4.0;
+  (match Metrics.histogram_exemplars h with
+  | [ (b1, e1); (b2, e2); (binf, einf) ] ->
+    check (Alcotest.float 1e-9) "first bucket bound" 0.1 b1;
+    check string_ "latest observation wins" "bbbb" e1.Metrics.e_trace;
+    check (Alcotest.float 1e-9) "latest value kept" 0.07 e1.Metrics.e_value;
+    check (Alcotest.float 1e-9) "second bucket bound" 1.0 b2;
+    check string_ "second bucket exemplar" "cccc" e2.Metrics.e_trace;
+    check bool_ "overflow bucket keeps one too" true (binf = infinity);
+    check string_ "overflow exemplar" "dddd" einf.Metrics.e_trace;
+    check (Alcotest.float 1e-9) "timestamp kept" 4.0 einf.Metrics.e_at
+  | l -> Alcotest.failf "expected 3 exemplars, got %d" (List.length l));
+  (* An empty trace tag (tracing off) still observes but retains nothing. *)
+  let h2 = Metrics.histogram m ~buckets:[ 0.1 ] "ex2_seconds" in
+  Metrics.observe_exemplar h2 0.05 ~trace:"" ~at:1.0;
+  check int_ "observation counted" 1 (Metrics.histogram_count h2);
+  check int_ "no exemplar without a trace" 0 (List.length (Metrics.histogram_exemplars h2));
+  (* Reset clears exemplars along with the counts. *)
+  Metrics.reset_histogram h;
+  check int_ "reset clears counts" 0 (Metrics.histogram_count h);
+  check int_ "reset clears exemplars" 0 (List.length (Metrics.histogram_exemplars h))
+
+(* --- label-set identity across reset --------------------------------------- *)
+
+let test_label_identity_after_reset () =
+  let m = Metrics.create () in
+  let a = Metrics.counter m ~labels:[ ("node", "pep"); ("reason", "overload") ] "shed_total" in
+  Metrics.inc a;
+  let h = Metrics.histogram m ~labels:[ ("node", "pep") ] ~buckets:[ 1.0 ] "lat_seconds" in
+  Metrics.observe h 0.5;
+  let series_before = Metrics.series_count m in
+  Metrics.reset m;
+  (* Reset zeroes values but keeps every registered series: the same
+     (name, labels) in any order resolves to the same zeroed cell. *)
+  check int_ "series survive reset" series_before (Metrics.series_count m);
+  let a' = Metrics.counter m ~labels:[ ("reason", "overload"); ("node", "pep") ] "shed_total" in
+  check int_ "same cell, zeroed" 0 (Metrics.counter_value a');
+  Metrics.inc a';
+  check int_ "original handle sees the increment" 1 (Metrics.counter_value a);
+  check int_ "no duplicate series minted" series_before (Metrics.series_count m);
+  let h' = Metrics.histogram m ~labels:[ ("node", "pep") ] ~buckets:[ 1.0 ] "lat_seconds" in
+  Metrics.observe h' 0.25;
+  check int_ "histogram cell identity survives too" 1 (Metrics.histogram_count h)
+
+(* --- per-label counter breakdown ------------------------------------------- *)
+
+let test_sum_counter_by () =
+  let m = Metrics.create () in
+  let c node reason = Metrics.counter m ~labels:[ ("node", node); ("reason", reason) ] "shed_total" in
+  Metrics.inc ~by:3 (c "pep0" "overload");
+  Metrics.inc ~by:2 (c "pep1" "overload");
+  Metrics.inc (c "pep0" "breaker");
+  ignore (Metrics.counter m ~labels:[ ("node", "pep2") ] "shed_total");
+  check
+    (Alcotest.list (Alcotest.pair string_ int_))
+    "summed by reason, sorted, unlabelled series omitted"
+    [ ("breaker", 1); ("overload", 5) ]
+    (Metrics.sum_counter_by m "shed_total" ~label:"reason")
+
 let test_histogram_validation () =
   let m = Metrics.create () in
   Alcotest.check_raises "non-increasing buckets"
@@ -187,7 +282,7 @@ let golden_tree =
       "`- rpc:access  [+0.0ms 40.0ms]  src=cli dst=demo.pep.demo-resource";
       "   `- serve:access  [+5.0ms 30.0ms]  node=demo.pep.demo-resource caller=cli";
       "      `- pep:enforce  [+5.0ms 30.0ms]  node=demo.pep.demo-resource subject=admin1 \
-       action=read decision=Permit";
+       action=read decision=Permit stage=live";
       "         `- rpc:authz-query  [+5.0ms 30.0ms]  src=demo.pep.demo-resource dst=demo.pdp";
       "            `- serve:authz-query  [+10.0ms 20.0ms]  node=demo.pdp \
        caller=demo.pep.demo-resource";
@@ -243,6 +338,13 @@ let () =
         [
           Alcotest.test_case "histogram bucket boundaries" `Quick test_histogram_buckets;
           Alcotest.test_case "histogram validation" `Quick test_histogram_validation;
+          Alcotest.test_case "quantile on an empty histogram" `Quick test_quantile_empty_histogram;
+          Alcotest.test_case "quantile on a single-bucket histogram" `Quick
+            test_quantile_single_bucket;
+          Alcotest.test_case "exemplar retention bounds" `Quick test_exemplar_retention;
+          Alcotest.test_case "label-set identity after reset" `Quick
+            test_label_identity_after_reset;
+          Alcotest.test_case "per-label counter breakdown" `Quick test_sum_counter_by;
           Alcotest.test_case "label-set identity" `Quick test_label_identity;
           Alcotest.test_case "exposition has no duplicate headers" `Quick
             test_render_no_duplicate_names;
