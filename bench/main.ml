@@ -1746,7 +1746,7 @@ let e20_trajectory () =
         Option.map
           (fun s -> Printf.sprintf "%S:%s" tag (minify s))
           (read_file_opt (Filename.concat dir (Printf.sprintf "BENCH_%s.json" tag))))
-      [ "e16"; "e17"; "e18"; "e19" ]
+      [ "e16"; "e17"; "e18"; "e19"; "e21" ]
   in
   ensure_dir dir;
   let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 ledger in
@@ -1763,6 +1763,190 @@ let e20_trajectory () =
       ("steady_p99_s", json_f p99);
       ("steady_msgs_per_req", json_f mpr);
       ("saturated_shed", json_i shed);
+      ("gate_failures", json_i (List.length !failures));
+    ]
+
+(* ==================================================================== *)
+(* E21 — partition -> heal ablation (offline authorization)             *)
+(* ==================================================================== *)
+
+(* Two deterministic measurements of the offline mode:
+
+   - the workload ablation: the same partition-window scenario run with
+     and without offline replicas — fail-closed errors vs signed-log
+     serves;
+   - the reconciliation cost: a 4-domain mesh diverges across a
+     partition (concurrent grants, revocations and offline decisions),
+     then heals over a ring anti-entropy topology — convergence rounds,
+     replayed events, deny-wins conflicts and retroactive invalidations
+     are all virtual-clock deterministic, so they gate against the
+     previous ledger entry like the e20 trio. *)
+
+let e21_offline () =
+  header "E21  Partition -> heal ablation (offline authorization)"
+    "a partitioned domain serves from its signed event log instead of failing \
+     closed, and heal reconverges every replica by deny-wins replay in a \
+     bounded number of anti-entropy rounds — convergence rounds, replayed \
+     events and retroactive invalidations are deterministic and must not \
+     worsen against the previous ledger entry";
+  let module W = Dacs_workload.Workload in
+  let partition = Some { W.from = 1.0; until = 3.0 } in
+  let closed = W.run { W.default with W.seed = 11; partition } in
+  let served = W.run { W.default with W.seed = 11; partition; offline = true } in
+  Printf.printf "workload ablation (partition window [1s,3s) of a %.0fs run, seed 11):\n"
+    W.default.W.duration;
+  Printf.printf "  %-28s %8s %8s %8s\n" "" "errors" "offline" "granted";
+  Printf.printf "  %-28s %8d %8d %8d\n" "fail-closed (no replicas)" closed.W.errors
+    closed.W.offline_serves closed.W.granted;
+  Printf.printf "  %-28s %8d %8d %8d\n" "offline replicas" served.W.errors
+    served.W.offline_serves served.W.granted;
+  (* --- reconciliation: 4 domains, 2-2 partition, ring heal ------------- *)
+  let module O = Offline in
+  let n = 4 in
+  let now = ref 0.0 in
+  let tick () = now := !now +. 1.0 in
+  let reps =
+    Array.init n (fun i ->
+        O.create ~now:(fun () -> !now) ~key:"e21-mesh-key"
+          ~author:(Printf.sprintf "dom%d" i) ())
+  in
+  let pol =
+    Policy.make ~id:"e21" ~rule_combining:Combine.First_applicable
+      [
+        Rule.permit ~condition:(Expr.one_of (Expr.subject_attr "role") [ "doctor" ]) "doctors";
+        Rule.deny "default-deny";
+      ]
+  in
+  let user u = Printf.sprintf "user%d" u in
+  let ctx_for u =
+    Context.make
+      ~subject:[ ("subject-id", Value.String (user u)) ]
+      ~resource:[ ("resource-id", Value.String "chart") ]
+      ~action:[ ("action-id", Value.String "read") ]
+      ()
+  in
+  (* one pull round over a connectivity relation; returns events moved *)
+  let sync_round conn =
+    let moved = ref 0 in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j && conn i j then
+          match O.admit reps.(i) (O.missing_for reps.(j) ~frontier:(O.frontier reps.(i))) with
+          | Ok k -> moved := !moved + k
+          | Error e -> Printf.printf "  !! sync rejected: %s\n" (O.sync_error_to_string e)
+      done
+    done;
+    !moved
+  in
+  let full _ _ = true in
+  let intra i j = i < 2 = (j < 2) in
+  let ring i j = j = (i + 1) mod n in
+  (* shared history: policy + ten doctors, fully synced *)
+  tick ();
+  O.publish reps.(0) (Policy.Inline_policy pol);
+  for u = 0 to 9 do
+    tick ();
+    O.grant reps.(0) ~subject:(user u) ~attr:"role" ~value:"doctor"
+  done;
+  ignore (sync_round full);
+  (* partition {dom0,dom1} | {dom2,dom3}: component A grants five new
+     users and keeps deciding for the old ones; component B revokes the
+     old ones (and two of A's concurrent grants' subjects — the deny-wins
+     races).  Intra-component anti-entropy keeps each side converged. *)
+  for u = 10 to 14 do
+    tick ();
+    O.grant reps.(0) ~subject:(user u) ~attr:"role" ~value:"doctor"
+  done;
+  let offline_decides = ref 0 in
+  for u = 0 to 4 do
+    tick ();
+    (match O.decide reps.(0) (ctx_for u) with Some _ -> incr offline_decides | None -> ());
+    tick ();
+    O.revoke reps.(2) ~subject:(user u) ~attr:"role"
+  done;
+  tick ();
+  O.revoke reps.(3) ~subject:(user 10) ~attr:"role";
+  tick ();
+  O.revoke reps.(3) ~subject:(user 11) ~attr:"role";
+  ignore (sync_round intra);
+  (* heal over the ring: count rounds until every digest is identical *)
+  let converged () =
+    let d0 = O.state_digest reps.(0) in
+    Array.for_all (fun o -> O.state_digest o = d0) reps
+  in
+  let rounds = ref 0 in
+  while (not (converged ())) && !rounds < 16 do
+    incr rounds;
+    ignore (sync_round ring)
+  done;
+  let total f = Array.fold_left (fun acc o -> acc + f (O.stats o)) 0 reps in
+  let replayed = total (fun s -> s.O.replayed_events) in
+  let invalidations = total (fun s -> s.O.invalidations) in
+  let conflicts = List.length (O.conflicts reps.(0)) in
+  Printf.printf "\nreconciliation (4 domains, 2-2 partition, ring anti-entropy):\n";
+  Printf.printf "  %-32s %8d\n" "offline decisions under partition" !offline_decides;
+  Printf.printf "  %-32s %8d\n" "convergence rounds (ring)" !rounds;
+  Printf.printf "  %-32s %8d\n" "events replayed (all replicas)" replayed;
+  Printf.printf "  %-32s %8d\n" "retroactive invalidations" invalidations;
+  Printf.printf "  %-32s %8d\n" "deny-wins conflicts" conflicts;
+  print_newline ();
+  let failures = ref [] in
+  let check name ok detail =
+    Printf.printf "E21 CHECK %s: %s (%s)\n" name (if ok then "PASS" else "FAIL") detail;
+    if not ok then failures := Printf.sprintf "%s (%s)" name detail :: !failures
+  in
+  check "offline-serves-partition"
+    (closed.W.errors > 0 && served.W.offline_serves > 0 && served.W.errors < closed.W.errors)
+    (Printf.sprintf "errors %d -> %d, %d offline serves" closed.W.errors served.W.errors
+       served.W.offline_serves);
+  check "post-heal-convergence" (converged ())
+    (Printf.sprintf "all digests identical after %d ring rounds" !rounds);
+  check "deny-wins"
+    ((not (List.mem (user 10, "role", "doctor") (O.surviving_grants reps.(0))))
+    && List.mem (user 12, "role", "doctor") (O.surviving_grants reps.(0)))
+    "concurrent revoke defeats the offline grant; uncontested grants survive";
+  check "retroactive-invalidation"
+    (invalidations >= n)
+    (Printf.sprintf "%d contradicted offline decisions purged" invalidations);
+  (* regression gates against the previous ledger entry's embedded e21
+     snapshot (absent on the first run: nothing to compare) *)
+  let ledger = Filename.concat (history_dir ()) "ledger.jsonl" in
+  (match Option.bind (read_file_opt ledger) last_line with
+  | None -> Printf.printf "E21 CHECK regression: PASS (no ledger, nothing to compare)\n"
+  | Some prev -> (
+    match
+      ( find_float_field prev "convergence_rounds",
+        find_float_field prev "replayed_events",
+        find_float_field prev "retroactive_invalidations" )
+    with
+    | Some prev_rounds, Some prev_replayed, Some prev_inval ->
+      check "convergence-rounds-regression"
+        (float_of_int !rounds <= (prev_rounds *. e20_tolerance) +. 1e-9)
+        (Printf.sprintf "%d vs %.0f last entry, tolerance %d%%" !rounds prev_rounds
+           (int_of_float ((e20_tolerance -. 1.0) *. 100.0)));
+      check "replayed-events-regression"
+        (float_of_int replayed <= (prev_replayed *. e20_tolerance) +. 1e-9)
+        (Printf.sprintf "%d vs %.0f last entry, tolerance %d%%" replayed prev_replayed
+           (int_of_float ((e20_tolerance -. 1.0) *. 100.0)));
+      check "invalidations-regression"
+        (float_of_int invalidations <= (prev_inval *. e20_tolerance) +. 1e-9)
+        (Printf.sprintf "%d vs %.0f last entry, tolerance %d%%" invalidations prev_inval
+           (int_of_float ((e20_tolerance -. 1.0) *. 100.0)))
+    | _ ->
+      Printf.printf
+        "E21 CHECK regression: PASS (previous entry has no e21 snapshot, nothing to compare)\n"));
+  List.iter (fun f -> Printf.printf "E21 FAILURE: %s\n" f) !failures;
+  record_gate_failures "e21" !failures;
+  write_bench_json "e21"
+    [
+      ("fail_closed_errors", json_i closed.W.errors);
+      ("offline_serves", json_i served.W.offline_serves);
+      ("offline_errors", json_i served.W.errors);
+      ("offline_decides_partition", json_i !offline_decides);
+      ("convergence_rounds", json_i !rounds);
+      ("replayed_events", json_i replayed);
+      ("retroactive_invalidations", json_i invalidations);
+      ("conflicts", json_i conflicts);
       ("gate_failures", json_i (List.length !failures));
     ]
 
@@ -1844,6 +2028,7 @@ let experiments =
     ("e17", e17_cache_hierarchy);
     ("e18", e18_workload);
     ("e19", e19_compiled_eval);
+    ("e21", e21_offline);
     ("e20", e20_trajectory);
     ("micro", micro);
   ]

@@ -808,6 +808,119 @@ let slo_cmd seed json =
   end;
   if List.for_all (fun (_, ok, _) -> ok) checks then 0 else 1
 
+(* --- offline ------------------------------------------------------------------ *)
+
+(* The offline-mode smoke: the same partitioned workload run with and
+   without offline replicas (fail-closed vs served-from-log), then the
+   replica-level story end to end — diverge under partition, reject a
+   tampered segment, heal, deny-wins replay with conflict surfacing and
+   retroactive invalidation.  Exits non-zero when an OFFLINE CHECK
+   fails. *)
+let offline_cmd seed json =
+  let module W = Dacs_workload.Workload in
+  let module O = Offline in
+  let partition = Some { W.from = 1.0; until = 3.0 } in
+  let base = W.run { W.default with W.seed; partition } in
+  let off = W.run { W.default with W.seed; partition; offline = true } in
+  (* Replica-level: two domains, a shared history, then a partition-era
+     race — alpha grants carol and serves an offline Permit from that
+     grant while beta, unaware, revokes her. *)
+  let now = ref 0.0 in
+  let tick () = now := !now +. 1.0 in
+  let mk name = O.create ~now:(fun () -> !now) ~key:"dacs-offline-smoke-key" ~author:name () in
+  let a = mk "alpha" and b = mk "beta" in
+  let pol =
+    Policy.make ~id:"offline-demo" ~rule_combining:Combine.First_applicable
+      [
+        Dacs_policy.Rule.permit
+          ~condition:
+            (Dacs_policy.Expr.one_of (Dacs_policy.Expr.subject_attr "role") [ "doctor" ])
+          "doctors";
+        Dacs_policy.Rule.deny "default-deny";
+      ]
+  in
+  tick ();
+  O.publish a (Policy.Inline_policy pol);
+  tick ();
+  O.grant a ~subject:"alice" ~attr:"role" ~value:"doctor";
+  let shared_sync = match O.sync_pair a b with Ok _ -> true | Error _ -> false in
+  tick ();
+  O.grant a ~subject:"carol" ~attr:"role" ~value:"doctor";
+  let ctx_carol =
+    Dacs_policy.Context.make
+      ~subject:[ ("subject-id", Dacs_policy.Value.String "carol") ]
+      ~resource:[ ("resource-id", Dacs_policy.Value.String "chart") ]
+      ~action:[ ("action-id", Dacs_policy.Value.String "read") ]
+      ()
+  in
+  tick ();
+  let offline_permit =
+    match O.decide a ctx_carol with
+    | Some (r, _) -> r.Decision.decision = Decision.Permit
+    | None -> false
+  in
+  tick ();
+  O.revoke b ~subject:"carol" ~attr:"role";
+  (* A mutated copy of beta's suffix must be refused outright... *)
+  let tampered =
+    List.map (fun ev -> { ev with O.at = ev.O.at +. 0.5 }) (O.missing_for b ~frontier:(O.frontier a))
+  in
+  let known_before = (O.stats a).O.events_known in
+  let tamper_rejected, tamper_error =
+    match O.admit a tampered with
+    | Error e -> ((O.stats a).O.events_known = known_before, O.sync_error_to_string e)
+    | Ok n -> (false, Printf.sprintf "admitted %d tampered events" n)
+  in
+  (* ... while the honest exchange converges both replicas. *)
+  let healed = match O.sync_pair a b with Ok _ -> true | Error _ -> false in
+  let converged = healed && O.state_digest a = O.state_digest b in
+  let deny_wins = not (List.mem ("carol", "role", "doctor") (O.surviving_grants a)) in
+  let conflict_surfaced = List.exists (fun c -> c.O.c_subject = "carol") (O.conflicts a) in
+  let invalidated = (O.stats a).O.invalidations >= 1 in
+  let checks =
+    [
+      ( "partition-fails-closed-without-offline",
+        base.W.errors > 0 && base.W.offline_serves = 0,
+        Printf.sprintf "%d fail-closed answers during the partition window" base.W.errors );
+      ( "offline-serves-during-partition",
+        off.W.offline_serves > 0,
+        Printf.sprintf "%d decisions served from the signed log" off.W.offline_serves );
+      ( "offline-reduces-fail-closed",
+        off.W.errors < base.W.errors,
+        Printf.sprintf "errors %d -> %d" base.W.errors off.W.errors );
+      ( "conservation",
+        W.conservation_ok base && W.conservation_ok off,
+        "every offered request answered exactly once in both runs" );
+      ( "tampered-segment-rejected",
+        tamper_rejected,
+        Printf.sprintf "whole segment refused, log untouched (%s)" tamper_error );
+      ( "post-heal-convergence",
+        shared_sync && converged,
+        Printf.sprintf "state digests byte-identical (%s)"
+          (String.sub (O.state_digest a) 0 12) );
+      ( "deny-wins-retroactively",
+        offline_permit && deny_wins && conflict_surfaced && invalidated,
+        "offline grant defeated, conflict surfaced, offline Permit invalidated" );
+    ]
+  in
+  if json then
+    Printf.printf "{\"seed\":%d,\"baseline\":%s,\"offline\":%s}\n" seed (W.render_json base)
+      (W.render_json off)
+  else begin
+    Printf.printf "offline mode (seed %d): partition window [1s, 3s) of a %.0fs run\n\n" seed
+      W.default.W.duration;
+    Printf.printf "without offline replicas (fail closed):\n";
+    print_string (W.render base);
+    Printf.printf "\nwith offline replicas (served from the signed log):\n";
+    print_string (W.render off);
+    print_newline ();
+    List.iter
+      (fun (name, ok, detail) ->
+        Printf.printf "OFFLINE CHECK %s: %s (%s)\n" name (if ok then "PASS" else "FAIL") detail)
+      checks
+  end;
+  if List.for_all (fun (_, ok, _) -> ok) checks then 0 else 1
+
 (* --- load -------------------------------------------------------------------- *)
 
 (* Drive the deterministic workload engine from the command line: the
@@ -838,6 +951,8 @@ let load_cmd seed rate clients think duration peps shards users domains zipf cac
       pdp_max_inflight = (if pdp_max_inflight > 0 then Some pdp_max_inflight else None);
       rule_cost;
       compiled;
+      partition = None;
+      offline = false;
     }
   in
   match W.run scenario with
@@ -1085,6 +1200,16 @@ let slo_t =
           monitor's availability/latency objectives and error-budget burn rates for both regimes")
     Term.(const slo_cmd $ sim_seed_arg $ json_flag)
 
+let offline_t =
+  Cmd.v
+    (Cmd.info "offline"
+       ~doc:
+         "Run the partition-window workload with and without offline replicas, then the \
+          replica-level diverge/tamper/heal story: signed-log serving under partition, \
+          tampered-segment rejection, deny-wins convergence with conflict surfacing and \
+          retroactive invalidation.  Exits non-zero when an OFFLINE CHECK fails")
+    Term.(const offline_cmd $ sim_seed_arg $ json_flag)
+
 let load_t =
   Cmd.v
     (Cmd.info "load"
@@ -1116,6 +1241,7 @@ let main =
       load_t;
       explain_t;
       slo_t;
+      offline_t;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -21,6 +21,7 @@ type t = {
   mutable vo_policy : Policy.child option;
   mutable peps : Pep.t list;
   mutable l2 : Cache_hierarchy.L2.t option;
+  mutable offline : Offline.t option;
 }
 
 let name t = t.name
@@ -60,7 +61,10 @@ let republish t =
     List.iter Pep.invalidate_cache t.peps;
     (* Decisions in the shared cache were made under the old policy; the
        purge fans out to any subscribed child caches too. *)
-    Option.iter Cache_hierarchy.L2.invalidate_all t.l2
+    Option.iter Cache_hierarchy.L2.invalidate_all t.l2;
+    (* The offline replica mirrors the served root, so a partitioned PEP
+       decides under the same policy the live tier would have used. *)
+    Option.iter (fun o -> Offline.publish o root) t.offline
 
 let set_local_policy t child =
   t.local <- Some child;
@@ -129,6 +133,34 @@ let attach_l2 t ?max_entries ~ttl () =
     t.l2 <- Some l2;
     l2
 
+let offline t = t.offline
+let offline_node t = Option.map (fun _ -> t.name ^ ".offline") t.offline
+
+let attach_offline t ~key () =
+  match t.offline with
+  | Some o -> o
+  | None ->
+    let net = Service.net t.services in
+    let node = t.name ^ ".offline" in
+    Dacs_net.Net.add_node net node;
+    let o =
+      Offline.create
+        ~metrics:(Service.metrics t.services)
+        ~audit:t.audit
+        ~now:(fun () -> Dacs_net.Net.now net)
+        ~key ~author:t.name ()
+    in
+    Offline.serve o t.services ~node;
+    (* A replayed contradiction purges every cache level by request key,
+       exactly like a keyed invalidation round. *)
+    Offline.on_invalidate o (fun key ->
+        Option.iter (fun l2 -> Cache_hierarchy.L2.invalidate l2 ~key) t.l2;
+        List.iter (fun pep -> Pep.invalidate_key pep ~key) t.peps);
+    (match combined t with Some root -> Offline.publish o root | None -> ());
+    List.iter (fun pep -> Pep.set_offline_replica pep (Some o)) t.peps;
+    t.offline <- Some o;
+    o
+
 let create services ~name ?seed ?attr_cache_ttl () =
   let seed = Option.value seed ~default:(seed_of_name name) in
   let rng = Dacs_crypto.Rng.create seed in
@@ -165,6 +197,7 @@ let create services ~name ?seed ?attr_cache_ttl () =
       vo_policy = None;
       peps = [];
       l2 = None;
+      offline = None;
     }
   in
   (* Syndicated updates land as the VO component of the combined root. *)
@@ -184,6 +217,7 @@ let expose_resource t ~resource ?content ?cache ?pdps ?(call_timeout = 1.0) () =
       (Pep.Pull { pdps; cache; call_timeout })
   in
   Option.iter (fun l2 -> Pep.set_l2 pep (Some (Cache_hierarchy.L2.node l2))) t.l2;
+  Option.iter (fun o -> Pep.set_offline_replica pep (Some o)) t.offline;
   t.peps <- pep :: t.peps;
   pep
 

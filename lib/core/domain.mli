@@ -63,6 +63,23 @@ val attach_l2 : t -> ?max_entries:int -> ttl:float -> unit -> Cache_hierarchy.L2
 
 val l2 : t -> Cache_hierarchy.L2.t option
 
+(** {1 Offline mode} *)
+
+val attach_offline : t -> key:string -> unit -> Offline.t
+(** Stand up the domain's offline replica on node [<domain>.offline]:
+    every PEP of the domain (current and future) gains the [offline]
+    rung of the decision ladder, the replica serves {!Offline.service_name}
+    for log anti-entropy, the current combined policy (and every later
+    republish) is mirrored into the log, and retroactive invalidations
+    from deny-wins replay purge the domain L2 and all PEP L1s by request
+    key.  [key] is the mesh-wide HMAC key shared by replicas that sync.
+    Idempotent: a second call returns the existing replica. *)
+
+val offline : t -> Offline.t option
+
+val offline_node : t -> Dacs_net.Net.node_id option
+(** The replica's node, once {!attach_offline} has run. *)
+
 (** {1 Users and resources} *)
 
 val register_user : t -> user:string -> (string * Dacs_policy.Value.t) list -> unit

@@ -1,0 +1,657 @@
+module Xml = Dacs_xml.Xml
+module Context = Dacs_policy.Context
+module Decision = Dacs_policy.Decision
+module Policy = Dacs_policy.Policy
+module Value = Dacs_policy.Value
+module Chain = Dacs_crypto.Chain
+module Hmac = Dacs_crypto.Hmac
+module Sha256 = Dacs_crypto.Sha256
+module Metrics = Dacs_telemetry.Metrics
+module Net = Dacs_net.Net
+module Service = Dacs_ws.Service
+
+type kind =
+  | Grant of { subject : string; attr : string; value : string }
+  | Revoke of { subject : string; attr : string }
+  | Publish of { policy : string }
+  | Decide of { key : string; ctx : string; decision : string }
+
+type event = {
+  author : string;
+  seq : int;
+  at : float;
+  epoch : int;
+  frontier : (string * int) list;
+  kind : kind;
+  digest : string;
+  tag : string;
+}
+
+type sync_error =
+  | Gap of { author : string; expected : int; got : int }
+  | Chain_mismatch of { author : string; seq : int }
+  | Bad_signature of { author : string; seq : int }
+
+let sync_error_to_string = function
+  | Gap { author; expected; got } ->
+    Printf.sprintf "gap in %s's log: expected seq %d, got %d (truncated or spliced segment)"
+      author expected got
+  | Chain_mismatch { author; seq } ->
+    Printf.sprintf "chain mismatch at %s #%d (mutated or reordered segment)" author seq
+  | Bad_signature { author; seq } ->
+    Printf.sprintf "bad signature at %s #%d (forged digest or wrong mesh key)" author seq
+
+let sync_error_reason = function
+  | Gap _ -> "gap"
+  | Chain_mismatch _ -> "chain-mismatch"
+  | Bad_signature _ -> "bad-signature"
+
+type conflict = {
+  c_subject : string;
+  c_attr : string;
+  c_grant_author : string;
+  c_revoke_author : string;
+  c_at : float;
+}
+
+type stats = {
+  events_logged : int;
+  events_known : int;
+  replays : int;
+  replayed_events : int;
+  invalidations : int;
+  conflicts : int;
+  sync_rejections : int;
+  offline_decides : int;
+}
+
+(* Derived (replayed) view of the merged log. *)
+type state = {
+  s_grants : (string * string * string) list;  (* surviving, sorted *)
+  s_policy : Policy.child option;
+  s_conflicts : conflict list;
+}
+
+type counters = {
+  c_events : Metrics.counter option;
+  c_rejections : string -> unit;  (* by reason *)
+  c_replays : Metrics.counter option;
+  c_invalidations : Metrics.counter option;
+  c_conflicts : Metrics.counter option;
+  c_decides : Metrics.counter option;
+}
+
+type t = {
+  key : string;
+  t_author : string;
+  now : unit -> float;
+  audit : Audit.t option;
+  counters : counters;
+  logs : (string, event list ref) Hashtbl.t;  (* per author, newest first *)
+  heads : (string, string) Hashtbl.t;  (* per author chain head *)
+  mutable offline : bool;
+  mutable t_epoch : int;
+  mutable state : state option;  (* None = dirty, recompute on demand *)
+  mutable hooks : (string -> unit) list;
+  mutable fired : (string * int) list;  (* Decide events already invalidated *)
+  mutable known_conflicts : (string * int * string * int) list;
+  mutable n_logged : int;
+  mutable n_replays : int;
+  mutable n_replayed : int;
+  mutable n_invalidations : int;
+  mutable n_conflicts : int;
+  mutable n_rejections : int;
+  mutable n_decides : int;
+}
+
+let create ?metrics ?audit ?(now = fun () -> 0.0) ~key ~author () =
+  let counters =
+    match metrics with
+    | None ->
+      {
+        c_events = None;
+        c_rejections = (fun _ -> ());
+        c_replays = None;
+        c_invalidations = None;
+        c_conflicts = None;
+        c_decides = None;
+      }
+    | Some m ->
+      let own ?(labels = []) name help =
+        Some (Metrics.counter m ~help ~labels:(("domain", author) :: labels) name)
+      in
+      {
+        c_events = own "offline_events_total" "events appended to the local offline log";
+        c_rejections =
+          (fun reason ->
+            Metrics.inc
+              (Metrics.counter m ~help:"log-sync segments refused at verification"
+                 ~labels:[ ("domain", author); ("reason", reason) ]
+                 "offline_sync_rejections_total"));
+        c_replays = own "offline_replays_total" "full deterministic replays of the merged log";
+        c_invalidations =
+          own "offline_retroactive_invalidations_total"
+            "offline decisions contradicted by post-heal replay";
+        c_conflicts = own "offline_conflicts_total" "concurrent grant/revoke races (deny won)";
+        c_decides = own "offline_decides_total" "decisions served from the local log";
+      }
+  in
+  {
+    key;
+    t_author = author;
+    now;
+    audit;
+    counters;
+    logs = Hashtbl.create 7;
+    heads = Hashtbl.create 7;
+    offline = false;
+    t_epoch = 0;
+    state = None;
+    hooks = [];
+    fired = [];
+    known_conflicts = [];
+    n_logged = 0;
+    n_replays = 0;
+    n_replayed = 0;
+    n_invalidations = 0;
+    n_conflicts = 0;
+    n_rejections = 0;
+    n_decides = 0;
+  }
+
+let author t = t.t_author
+let epoch t = t.t_epoch
+let is_offline t = t.offline
+
+let set_offline t offline =
+  if offline && not t.offline then t.t_epoch <- t.t_epoch + 1;
+  t.offline <- offline
+
+let head_of t author =
+  match Hashtbl.find_opt t.heads author with Some h -> h | None -> Chain.genesis
+
+let head t = head_of t t.t_author
+let head_short t = Chain.short (head t)
+
+let log_of t author =
+  match Hashtbl.find_opt t.logs author with
+  | Some l -> l
+  | None ->
+    let l = ref [] in
+    Hashtbl.replace t.logs author l;
+    l
+
+let max_seq t author = match !(log_of t author) with [] -> 0 | ev :: _ -> ev.seq
+
+let frontier t =
+  Hashtbl.fold (fun author l acc -> match !l with [] -> acc | ev :: _ -> (author, ev.seq) :: acc)
+    t.logs []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let total_order a b =
+  match compare a.at b.at with
+  | 0 -> ( match String.compare a.author b.author with 0 -> compare a.seq b.seq | c -> c)
+  | c -> c
+
+let events t =
+  Hashtbl.fold (fun _ l acc -> List.rev_append !l acc) t.logs [] |> List.sort total_order
+
+let on_invalidate t hook = t.hooks <- hook :: t.hooks
+
+(* --- wire conversion and signing --------------------------------------- *)
+
+let kind_to_wire = function
+  | Grant { subject; attr; value } ->
+    ("grant", [ ("subject", subject); ("attr", attr); ("value", value) ])
+  | Revoke { subject; attr } -> ("revoke", [ ("subject", subject); ("attr", attr) ])
+  | Publish { policy } -> ("publish", [ ("policy", policy) ])
+  | Decide { key; ctx; decision } ->
+    ("decide", [ ("key", key); ("ctx", ctx); ("decision", decision) ])
+
+let kind_of_wire kind fields =
+  let field name =
+    match List.assoc_opt name fields with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "%s event is missing field %s" kind name)
+  in
+  let ( let* ) = Result.bind in
+  match kind with
+  | "grant" ->
+    let* subject = field "subject" in
+    let* attr = field "attr" in
+    let* value = field "value" in
+    Ok (Grant { subject; attr; value })
+  | "revoke" ->
+    let* subject = field "subject" in
+    let* attr = field "attr" in
+    Ok (Revoke { subject; attr })
+  | "publish" ->
+    let* policy = field "policy" in
+    Ok (Publish { policy })
+  | "decide" ->
+    let* key = field "key" in
+    let* ctx = field "ctx" in
+    let* decision = field "decision" in
+    Ok (Decide { key; ctx; decision })
+  | other -> Error (Printf.sprintf "unknown log event kind %s" other)
+
+let to_wire ev =
+  let kind, fields = kind_to_wire ev.kind in
+  {
+    Wire.le_author = ev.author;
+    le_seq = ev.seq;
+    le_at = ev.at;
+    le_epoch = ev.epoch;
+    le_frontier = ev.frontier;
+    le_kind = kind;
+    le_fields = fields;
+    le_digest = ev.digest;
+    le_tag = ev.tag;
+  }
+
+let of_wire (le : Wire.log_event) =
+  match kind_of_wire le.le_kind le.le_fields with
+  | Error _ as e -> e
+  | Ok kind ->
+    Ok
+      {
+        author = le.le_author;
+        seq = le.le_seq;
+        at = le.le_at;
+        epoch = le.le_epoch;
+        frontier = le.le_frontier;
+        kind;
+        digest = le.le_digest;
+        tag = le.le_tag;
+      }
+
+let canonical_bytes ev = Xml.to_string (Wire.log_event_unsigned (to_wire ev))
+
+let append_own t kind =
+  let seq = max_seq t t.t_author + 1 in
+  let frontier =
+    (t.t_author, seq)
+    :: List.filter (fun (a, _) -> a <> t.t_author) (frontier t)
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let unsigned =
+    {
+      author = t.t_author;
+      seq;
+      at = t.now ();
+      epoch = t.t_epoch;
+      frontier;
+      kind;
+      digest = "";
+      tag = "";
+    }
+  in
+  let digest = Chain.extend ~prev:(head t) (canonical_bytes unsigned) in
+  let tag = Hmac.sha256 ~key:t.key digest in
+  let ev = { unsigned with digest; tag } in
+  let l = log_of t t.t_author in
+  l := ev :: !l;
+  Hashtbl.replace t.heads t.t_author digest;
+  t.n_logged <- t.n_logged + 1;
+  Option.iter Metrics.inc t.counters.c_events;
+  t.state <- None;
+  ev
+
+(* --- deny-wins replay --------------------------------------------------- *)
+
+let covers frontier author seq =
+  match List.assoc_opt author frontier with Some n -> n >= seq | None -> false
+
+let grant_key = function
+  | Grant { subject; attr; _ } | Revoke { subject; attr } -> Some (subject, attr)
+  | _ -> None
+
+(* Fill only the empty subject bags: local grants are fallback knowledge,
+   never an override of attributes the request already carried. *)
+let enrich_ctx grants ctx =
+  match Context.subject_id ctx with
+  | None -> ctx
+  | Some subject ->
+    List.fold_left
+      (fun ctx (s, a, v) ->
+        if s = subject && Context.bag ctx Context.Subject a = [] then
+          Context.add ctx Context.Subject a (Value.String v)
+        else ctx)
+      ctx grants
+
+let decision_name (result : Decision.result) = Decision.decision_to_string result.decision
+
+let evaluate_logged state ctx_str =
+  match Xml.of_string_opt ctx_str with
+  | None -> None
+  | Some node -> (
+    match Context.of_xml node with
+    | Error _ -> None
+    | Ok ctx -> (
+      match state.s_policy with
+      | None -> None
+      | Some child ->
+        Some (Policy.evaluate_child (enrich_ctx state.s_grants ctx) child)))
+
+let replay t =
+  let all = events t in
+  t.n_replays <- t.n_replays + 1;
+  t.n_replayed <- t.n_replayed + List.length all;
+  Option.iter Metrics.inc t.counters.c_replays;
+  let revokes =
+    List.filter_map
+      (fun ev -> match ev.kind with Revoke _ -> Some ev | _ -> None)
+      all
+  in
+  let revokes_of key = List.filter (fun r -> grant_key r.kind = Some key) revokes in
+  (* A grant survives iff it causally follows every revocation of its key
+     — deny wins over anything concurrent or earlier. *)
+  let survives g rs = List.for_all (fun r -> covers g.frontier r.author r.seq) rs in
+  let surviving, defeated =
+    List.partition
+      (fun g ->
+        match grant_key g.kind with
+        | Some key -> survives g (revokes_of key)
+        | None -> false)
+      (List.filter (fun ev -> match ev.kind with Grant _ -> true | _ -> false) all)
+  in
+  (* Later in total order wins the value for one key; [all] is sorted. *)
+  let values = Hashtbl.create 16 in
+  List.iter
+    (fun g ->
+      match g.kind with
+      | Grant { subject; attr; value } -> Hashtbl.replace values (subject, attr) value
+      | _ -> ())
+    surviving;
+  let s_grants =
+    Hashtbl.fold (fun (s, a) v acc -> (s, a, v) :: acc) values [] |> List.sort compare
+  in
+  let s_policy =
+    List.fold_left
+      (fun acc ev ->
+        match ev.kind with
+        | Publish { policy } -> (
+          match Dacs_policy.Xacml_xml.child_of_string policy with
+          | Ok child -> Some child
+          | Error _ -> acc)
+        | _ -> acc)
+      None all
+  in
+  (* A defeated grant is a conflict only when the race was concurrent:
+     neither side causally knew the other.  A revoke that already saw the
+     grant is a plain revocation. *)
+  let s_conflicts =
+    List.concat_map
+      (fun g ->
+        match g.kind with
+        | Grant { subject; attr; _ } ->
+          List.filter_map
+            (fun r ->
+              if
+                grant_key r.kind = Some (subject, attr)
+                && (not (covers g.frontier r.author r.seq))
+                && not (covers r.frontier g.author g.seq)
+              then
+                Some
+                  ( (g.author, g.seq, r.author, r.seq),
+                    {
+                      c_subject = subject;
+                      c_attr = attr;
+                      c_grant_author = g.author;
+                      c_revoke_author = r.author;
+                      c_at = g.at;
+                    } )
+              else None)
+            revokes
+        | _ -> [])
+      defeated
+  in
+  List.iter
+    (fun (id, c) ->
+      if not (List.mem id t.known_conflicts) then begin
+        t.known_conflicts <- id :: t.known_conflicts;
+        t.n_conflicts <- t.n_conflicts + 1;
+        Option.iter Metrics.inc t.counters.c_conflicts;
+        Option.iter
+          (fun audit ->
+            Audit.record audit
+              {
+                Audit.at = t.now ();
+                domain = t.t_author;
+                subject = c.c_subject;
+                resource = c.c_attr;
+                action = "offline-conflict";
+                decision = Decision.Deny;
+                provenance = None;
+              })
+          t.audit
+      end)
+    s_conflicts;
+  let state =
+    { s_grants; s_policy; s_conflicts = List.map snd s_conflicts |> List.sort_uniq compare }
+  in
+  (* Retroactive invalidation: any logged offline decision the converged
+     state now contradicts gets its cache key purged, once. *)
+  List.iter
+    (fun ev ->
+      match ev.kind with
+      | Decide { key; ctx; decision } ->
+        if not (List.mem (ev.author, ev.seq) t.fired) then begin
+          let converged = evaluate_logged state ctx in
+          let contradicted =
+            match converged with
+            | None -> false
+            | Some result -> decision_name result <> decision
+          in
+          if contradicted then begin
+            t.fired <- (ev.author, ev.seq) :: t.fired;
+            t.n_invalidations <- t.n_invalidations + 1;
+            Option.iter Metrics.inc t.counters.c_invalidations;
+            List.iter (fun hook -> hook key) t.hooks;
+            Option.iter
+              (fun audit ->
+                Audit.record audit
+                  {
+                    Audit.at = t.now ();
+                    domain = t.t_author;
+                    subject = "";
+                    resource = key;
+                    action = "offline-invalidate";
+                    decision =
+                      (match converged with
+                      | Some r -> r.Decision.decision
+                      | None -> Decision.Indeterminate "unreplayable");
+                    provenance = None;
+                  })
+              t.audit
+          end
+        end
+      | _ -> ())
+    all;
+  t.state <- Some state;
+  state
+
+let force t = match t.state with Some s -> s | None -> replay t
+
+(* --- log writers -------------------------------------------------------- *)
+
+let grant t ~subject ~attr ~value = ignore (append_own t (Grant { subject; attr; value }))
+let revoke t ~subject ~attr = ignore (append_own t (Revoke { subject; attr }))
+
+let publish t child =
+  ignore (append_own t (Publish { policy = Dacs_policy.Xacml_xml.child_to_string child }))
+
+(* --- offline decisions -------------------------------------------------- *)
+
+let decide t ctx =
+  let state = force t in
+  match state.s_policy with
+  | None -> None
+  | Some child -> (
+    let result = Policy.evaluate_child (enrich_ctx state.s_grants ctx) child in
+    match result.Decision.decision with
+    | Decision.Indeterminate _ ->
+      (* No local basis: never logged, so an Indeterminate can never be
+         cached, replayed, or mistaken for a grant. *)
+      None
+    | _ ->
+      let key = Decision_cache.request_key ctx in
+      let ctx_str = Xml.to_string (Context.to_xml ctx) in
+      ignore
+        (append_own t (Decide { key; ctx = ctx_str; decision = decision_name result }));
+      (* The Decide append itself never changes the derived state. *)
+      t.state <- Some state;
+      t.n_decides <- t.n_decides + 1;
+      Option.iter Metrics.inc t.counters.c_decides;
+      Some (result, head_short t))
+
+(* --- derived views ------------------------------------------------------ *)
+
+let surviving_grants t = (force t).s_grants
+let policy t = (force t).s_policy
+let conflicts t = (force t).s_conflicts
+
+let state_digest t =
+  let state = force t in
+  let b = Buffer.create 256 in
+  Buffer.add_string b "grants\n";
+  List.iter
+    (fun (s, a, v) -> Buffer.add_string b (Printf.sprintf "%s|%s|%s\n" s a v))
+    state.s_grants;
+  Buffer.add_string b "policy\n";
+  Buffer.add_string b
+    (match state.s_policy with
+    | Some child -> Dacs_policy.Xacml_xml.child_to_string child
+    | None -> "-");
+  Buffer.add_string b "\nconflicts\n";
+  List.iter
+    (fun c ->
+      Buffer.add_string b
+        (Printf.sprintf "%s|%s|%s|%s|%.17g\n" c.c_subject c.c_attr c.c_grant_author
+           c.c_revoke_author c.c_at))
+    state.s_conflicts;
+  Sha256.hex_digest (Buffer.contents b)
+
+let stats t =
+  let events_known = Hashtbl.fold (fun _ l acc -> acc + List.length !l) t.logs 0 in
+  {
+    events_logged = t.n_logged;
+    events_known;
+    replays = t.n_replays;
+    replayed_events = t.n_replayed;
+    invalidations = t.n_invalidations;
+    conflicts = t.n_conflicts;
+    sync_rejections = t.n_rejections;
+    offline_decides = t.n_decides;
+  }
+
+(* --- sync --------------------------------------------------------------- *)
+
+let missing_for t ~frontier:peer =
+  let missing_author author l =
+    let known = match List.assoc_opt author peer with Some n -> n | None -> 0 in
+    List.filter (fun ev -> ev.seq > known) (List.rev !l)
+  in
+  Hashtbl.fold (fun author l acc -> missing_author author l @ acc) t.logs []
+  |> List.sort total_order
+
+let verify_segment t incoming =
+  (* Per-author, in seq order, from our locally known head: recompute the
+     chain and check every signature before admitting anything. *)
+  let by_author = Hashtbl.create 7 in
+  List.iter
+    (fun ev ->
+      let l = match Hashtbl.find_opt by_author ev.author with Some l -> l | None -> [] in
+      Hashtbl.replace by_author ev.author (ev :: l))
+    incoming;
+  let exception Reject of sync_error in
+  try
+    let verified =
+      Hashtbl.fold
+        (fun author l acc ->
+          let l = List.sort (fun a b -> compare a.seq b.seq) l in
+          let known = max_seq t author in
+          let fresh = List.filter (fun ev -> ev.seq > known) l in
+          let _ =
+            List.fold_left
+              (fun (expected, prev) ev ->
+                if ev.seq <> expected then
+                  raise (Reject (Gap { author; expected; got = ev.seq }));
+                let digest = Chain.extend ~prev (canonical_bytes { ev with digest = ""; tag = "" }) in
+                if not (String.equal digest ev.digest) then
+                  raise (Reject (Chain_mismatch { author; seq = ev.seq }));
+                if not (Hmac.verify ~key:t.key digest ~tag:ev.tag) then
+                  raise (Reject (Bad_signature { author; seq = ev.seq }));
+                (expected + 1, digest))
+              (known + 1, head_of t author)
+              fresh
+          in
+          (author, fresh) :: acc)
+        by_author []
+    in
+    Ok verified
+  with Reject e -> Error e
+
+let admit t incoming =
+  match verify_segment t incoming with
+  | Error e ->
+    t.n_rejections <- t.n_rejections + 1;
+    t.counters.c_rejections (sync_error_reason e);
+    Error e
+  | Ok verified ->
+    let admitted =
+      List.fold_left
+        (fun n (author, fresh) ->
+          match fresh with
+          | [] -> n
+          | _ ->
+            let l = log_of t author in
+            List.iter (fun ev -> l := ev :: !l) fresh;
+            Hashtbl.replace t.heads author (List.nth fresh (List.length fresh - 1)).digest;
+            n + List.length fresh)
+        0 verified
+    in
+    if admitted > 0 then ignore (replay t);
+    Ok admitted
+
+let sync_pair a b =
+  match admit b (missing_for a ~frontier:(frontier b)) with
+  | Error _ as e -> e
+  | Ok n -> (
+    match admit a (missing_for b ~frontier:(frontier a)) with
+    | Error _ as e -> e
+    | Ok m -> Ok (n + m))
+
+(* --- RPC sync ----------------------------------------------------------- *)
+
+let service_name = "log-sync"
+
+let serve t services ~node =
+  Service.serve services ~node ~service:service_name (fun ~caller:_ ~headers:_ body reply ->
+      match Wire.parse_log_sync_request body with
+      | Error reason -> reply (Dacs_ws.Soap.fault_body { Dacs_ws.Soap.code = "soap:Sender"; reason })
+      | Ok peer_frontier ->
+        let suffix = missing_for t ~frontier:peer_frontier in
+        reply (Wire.log_sync_response ~head:(head t) (List.map to_wire suffix)))
+
+let sync_rpc t services ~src ~dst k =
+  Service.call services ~src ~dst ~service:service_name
+    (Wire.log_sync_request ~frontier:(frontier t))
+    (fun response ->
+      match response with
+      | Error e -> k (Error (Service.error_to_string e))
+      | Ok body -> (
+        match Wire.parse_log_sync_response body with
+        | Error reason -> k (Error reason)
+        | Ok (_head, wire_events) -> (
+          let rec decode acc = function
+            | [] -> Ok (List.rev acc)
+            | le :: rest -> (
+              match of_wire le with Ok ev -> decode (ev :: acc) rest | Error _ as e -> e)
+          in
+          match decode [] wire_events with
+          | Error reason -> k (Error reason)
+          | Ok evs -> (
+            match admit t evs with
+            | Ok n -> k (Ok n)
+            | Error e -> k (Error (sync_error_to_string e))))))

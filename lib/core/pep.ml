@@ -37,6 +37,7 @@ type stats = {
   l2_hits : int;
   coalesced : int;
   stale_serves : int;
+  offline_serves : int;
   shed : int;
   assertion_rejections : int;
   revocation_checks : int;
@@ -60,6 +61,7 @@ type counters = {
   c_cache_hits : Metrics.counter;
   c_l2_hits : Metrics.counter;
   c_stale_serves : Metrics.counter;
+  c_offline_serves : Metrics.counter;
   c_shed : Metrics.counter;
   c_shed_reason : string -> Metrics.counter;
   c_assertion_rejections : Metrics.counter;
@@ -92,6 +94,8 @@ let make_counters metrics ~node =
     c_cache_hits = own "pep_cache_hits_total" ~help:"Decisions served fresh from cache";
     c_l2_hits = own "pep_l2_hits_total" ~help:"Decisions served fresh from the shared L2 cache";
     c_stale_serves = own "pep_stale_serves_total" ~help:"Degraded answers served from expired cache";
+    c_offline_serves =
+      own "pep_offline_serves_total" ~help:"Decisions served from the domain's offline event log";
     c_shed = own "pep_shed_total" ~help:"Requests shed by the bounded admission queue";
     c_shed_reason;
     c_assertion_rejections =
@@ -128,6 +132,7 @@ type t = {
   mutable decision_trust : Dacs_crypto.Cert.Trust_store.t option;
   mutable retry : Dacs_net.Rpc.retry_policy option;
   mutable stale_window : float;
+  mutable offline : Offline.t option;
   mutable l2 : Dacs_net.Net.node_id option;
   mutable coalesce : bool;
   mutable admission : admission option;
@@ -156,6 +161,7 @@ let stats t =
     l2_hits = v c.c_l2_hits;
     coalesced = Cache_hierarchy.Single_flight.coalesced t.sf;
     stale_serves = v c.c_stale_serves;
+    offline_serves = v c.c_offline_serves;
     shed = v c.c_shed;
     assertion_rejections = v c.c_assertion_rejections;
     revocation_checks = v c.c_revocation_checks;
@@ -178,6 +184,7 @@ let reset_stats t =
       c.c_l2_hits;
       Cache_hierarchy.Single_flight.counter t.sf;
       c.c_stale_serves;
+      c.c_offline_serves;
       c.c_shed;
       c.c_shed_reason shed_reason;
       c.c_assertion_rejections;
@@ -237,6 +244,9 @@ let set_stale_window t window =
   t.stale_window <- window
 
 let stale_window t = t.stale_window
+
+let set_offline_replica t o = t.offline <- o
+let offline_replica t = t.offline
 
 let set_pull_pdps t pdps =
   match t.mode with
@@ -341,7 +351,8 @@ let build_context t ~subject_attrs ~action =
     ()
 
 (* Ladder plumbing shared by pull and sharded modes: L1 fresh -> L2 fresh
-   -> live tier -> bounded-stale L1 -> fail closed.  Identical concurrent
+   -> live tier -> bounded-stale L1 -> offline log -> fail closed.
+   Identical concurrent
    queries (same request key) are coalesced onto one descent.  Every exit
    mints a provenance record naming the rung that answered. *)
 
@@ -384,14 +395,18 @@ let consult_l2 t cache ~key ~miss k =
 
 (* Waiters folded onto an identical in-flight descent are served by the
    leader's provenance, re-flagged as coalesced — theirs was not a
-   descent of its own. *)
+   descent of its own.  The leader mints its record at *completion*, so a
+   waiter that parked before a partition transition still observes the
+   rung that actually answered (e.g. [Offline] when the tier vanished
+   mid-flight), never the rung the ladder would have chosen at join
+   time; only [at] is re-stamped to the waiter's own delivery instant. *)
 let join_flight t ~key k =
   if not t.coalesce then Cache_hierarchy.Single_flight.Leader k
   else begin
     let is_leader = ref false in
     let deliver ((result, prov) : Decision.result * Provenance.t) =
       if !is_leader then k (result, prov)
-      else k (result, { prov with Provenance.coalesced = true })
+      else k (result, { prov with Provenance.coalesced = true; at = now t })
     in
     match Cache_hierarchy.Single_flight.join t.sf ~key deliver with
     | Cache_hierarchy.Single_flight.Leader d ->
@@ -410,10 +425,32 @@ let provenance_minter t =
       + Metrics.counter_value t.counters.c_breaker_rejections )
   in
   let retries0, breaker0 = resilience () in
-  fun ?shard ?batch ?failovers ?stale_age ?epoch stage ->
+  fun ?shard ?batch ?failovers ?stale_age ?epoch ?log_head stage ->
     let retries1, breaker1 = resilience () in
-    Provenance.make ?shard ?batch ?failovers ?stale_age ?epoch ~retried:(retries1 > retries0)
-      ~breaker_tripped:(breaker1 > breaker0) ~at:(now t) stage
+    Provenance.make ?shard ?batch ?failovers ?stale_age ?epoch ?log_head
+      ~retried:(retries1 > retries0) ~breaker_tripped:(breaker1 > breaker0) ~at:(now t) stage
+
+(* The offline rung: below bounded-stale, above fail-closed.  With every
+   live authority unreachable and no servable stale entry, a PEP holding
+   an offline replica decides from the signed local event log.  The
+   answer is deliberately NOT written to L1/L2 — it reflects partition-
+   local knowledge and must not outlive the partition in caches that
+   reconciliation would then have to chase; contradicted decisions are
+   instead invalidated by deny-wins replay on heal. *)
+let offline_serve t ctx ~mk k =
+  match t.offline with
+  | None -> None
+  | Some o -> (
+    (* Reaching the degrade path means the live tier is unreachable: this
+       starts (or continues) an offline episode, so the epoch stamped on
+       events and provenance is consistent across the whole episode. *)
+    Offline.set_offline o true;
+    match Offline.decide o ctx with
+    | None -> None
+    | Some (result, head) ->
+      Metrics.inc t.counters.c_offline_serves;
+      Trace.record (tracer t) "pep:offline-serve";
+      Some (k (result, mk ~epoch:(Offline.epoch o) ~log_head:head)))
 
 let pull_decide t ~pdps ~cache ~call_timeout ctx k =
   let key = Decision_cache.request_key ctx in
@@ -442,10 +479,14 @@ let pull_decide t ~pdps ~cache ~call_timeout ctx k =
           Metrics.inc t.counters.c_stale_serves;
           Trace.record (tracer t) "pep:stale-serve";
           k (result, prov ~failovers ~stale_age:age Provenance.Stale)
-        | _ ->
-          k
-            ( Decision.indeterminate "no decision point reachable",
-              prov ~failovers Provenance.Fail_closed )
+        | _ -> (
+          let mk ~epoch ~log_head = prov ~failovers ~epoch ~log_head Provenance.Offline in
+          match offline_serve t ctx ~mk k with
+          | Some () -> ()
+          | None ->
+            k
+              ( Decision.indeterminate "no decision point reachable",
+                prov ~failovers Provenance.Fail_closed ))
       in
       let live_started = ref 0.0 in
       let live_tag = ref "" in
@@ -540,7 +581,14 @@ let tier_decide t ~tier ~cache ctx k =
                 Metrics.inc t.counters.c_stale_serves;
                 Trace.record (tracer t) "pep:stale-serve";
                 k (result, prov ~failovers ~stale_age:age Provenance.Stale)
-              | _ -> k (Decision.indeterminate reason, prov ~failovers Provenance.Fail_closed)))
+              | _ -> (
+                let mk ~epoch ~log_head =
+                  prov ~failovers ~epoch ~log_head Provenance.Offline
+                in
+                match offline_serve t ctx ~mk k with
+                | Some () -> ()
+                | None ->
+                  k (Decision.indeterminate reason, prov ~failovers Provenance.Fail_closed))))
       in
       consult_l2 t cache ~key ~miss:live (fun result -> k (result, prov Provenance.L2)))
 
@@ -695,6 +743,7 @@ let create services ~node ~domain ~resource ?(content = "resource-content") ?aud
       decision_trust = None;
       retry = None;
       stale_window = 0.0;
+      offline = None;
       l2 = None;
       coalesce = true;
       admission = None;

@@ -68,7 +68,8 @@ val invalidate_key : t -> key:string -> unit
 val decide : t -> Dacs_policy.Context.t -> (Dacs_policy.Decision.result -> unit) -> unit
 (** The decision ladder for a context without the inbound access RPC or
     enforcement: L1 fresh -> L2 fresh -> live tier -> bounded-stale L1 ->
-    fail closed, with identical concurrent queries coalesced.  This is
+    offline log -> fail closed, with identical concurrent queries
+    coalesced.  This is
     what the differential oracle drives to prove that no cache level can
     change a decision.  In push mode (capabilities live on the wire)
     answers Indeterminate. *)
@@ -79,10 +80,14 @@ val decide_explained :
   (Dacs_policy.Decision.result -> Provenance.t -> unit) ->
   unit
 (** {!decide} plus the decision's provenance record: the ladder rung that
-    answered (L1/L2/live/stale/fail-closed/shed), the serving shard,
-    batch size, failover count, resilience flags, staleness age and the
-    deciding PDP's compilation epoch.  Coalesced waiters receive the
-    leader's record with the [coalesced] flag set.  The same record is
+    answered (L1/L2/live/stale/offline/fail-closed/shed), the serving
+    shard, batch size, failover count, resilience flags, staleness age,
+    the deciding PDP's compilation epoch (or offline epoch) and, for
+    offline serves, the log head.  Coalesced waiters receive the
+    leader's record with the [coalesced] flag set and [at] re-stamped to
+    their own delivery instant; since the leader mints at completion, a
+    waiter parked across a partition transition observes the rung that
+    actually answered.  The same record is
     attached to the audit entry by the wire handler, and the ladder
     latency is observed into [pep_decide_seconds{node,stage}] (with trace
     exemplars when tracing is on). *)
@@ -168,6 +173,20 @@ val set_stale_window : t -> float -> unit
 
 val stale_window : t -> float
 
+val set_offline_replica : t -> Offline.t option -> unit
+(** Attach the domain's offline replica: a new rung of the decision
+    ladder, {e below} bounded-stale and {e above} fail-closed.  When the
+    live tier is unreachable and no stale entry is servable, the PEP
+    decides from the replica's signed event log ({!Offline.decide}),
+    marks the replica offline (starting an offline epoch), and stamps
+    the decision with [offline] provenance carrying the epoch and log
+    head.  Offline answers are never written to L1/L2 — deny-wins replay
+    on heal retroactively invalidates any the converged state
+    contradicts.  An offline Indeterminate falls through to fail-closed
+    and is never logged.  [None] (the default) removes the rung. *)
+
+val offline_replica : t -> Offline.t option
+
 (** {1 Statistics} *)
 
 type stats = {
@@ -183,6 +202,7 @@ type stats = {
   l2_hits : int;  (** decisions served fresh from the shared L2 cache *)
   coalesced : int;  (** queries folded onto an identical in-flight one *)
   stale_serves : int;  (** degraded answers served from expired cache *)
+  offline_serves : int;  (** decisions served from the offline event log *)
   shed : int;  (** requests refused by the bounded admission queue *)
   assertion_rejections : int;
   revocation_checks : int;

@@ -3,6 +3,7 @@ type stage =
   | L2
   | Live
   | Stale
+  | Offline
   | Fail_closed
   | Shed
   | Local
@@ -19,17 +20,31 @@ type t = {
   stale_age : float;
   epoch : int;
   at : float;
+  log_head : string option;
 }
 
 let make ?shard ?(batch = 0) ?(coalesced = false) ?(failovers = 0) ?(retried = false)
-    ?(breaker_tripped = false) ?(stale_age = 0.0) ?(epoch = 0) ~at stage =
-  { stage; shard; batch; coalesced; failovers; retried; breaker_tripped; stale_age; epoch; at }
+    ?(breaker_tripped = false) ?(stale_age = 0.0) ?(epoch = 0) ?log_head ~at stage =
+  {
+    stage;
+    shard;
+    batch;
+    coalesced;
+    failovers;
+    retried;
+    breaker_tripped;
+    stale_age;
+    epoch;
+    at;
+    log_head;
+  }
 
 let stage_name = function
   | L1 -> "l1"
   | L2 -> "l2"
   | Live -> "live"
   | Stale -> "stale"
+  | Offline -> "offline"
   | Fail_closed -> "fail-closed"
   | Shed -> "shed"
   | Local -> "local"
@@ -53,12 +68,14 @@ let to_string p =
       (if p.failovers > 0 then Printf.sprintf " failovers=%d" p.failovers else "");
       (if p.stale_age > 0.0 then Printf.sprintf " stale_age=%.3fs" p.stale_age else "");
       (if p.epoch > 0 then Printf.sprintf " epoch=%d" p.epoch else "");
+      (match p.log_head with None -> "" | Some h -> " log_head=" ^ h);
       (match flags with [] -> "" | fs -> " [" ^ String.concat "," fs ^ "]");
     ]
 
 let to_json p =
   Printf.sprintf
-    "{\"stage\":%S,\"shard\":%s,\"batch\":%d,\"coalesced\":%b,\"failovers\":%d,\"retried\":%b,\"breaker_tripped\":%b,\"stale_age\":%g,\"epoch\":%d,\"at\":%g}"
+    "{\"stage\":%S,\"shard\":%s,\"batch\":%d,\"coalesced\":%b,\"failovers\":%d,\"retried\":%b,\"breaker_tripped\":%b,\"stale_age\":%g,\"epoch\":%d,\"at\":%g,\"log_head\":%s}"
     (stage_name p.stage)
     (match p.shard with None -> "null" | Some s -> Printf.sprintf "%S" s)
     p.batch p.coalesced p.failovers p.retried p.breaker_tripped p.stale_age p.epoch p.at
+    (match p.log_head with None -> "null" | Some h -> Printf.sprintf "%S" h)

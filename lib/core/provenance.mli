@@ -12,6 +12,9 @@ type stage =
   | L2  (** fresh hit in the domain's shared cache *)
   | Live  (** answered by a live PDP replica (pull failover or sharded tier) *)
   | Stale  (** bounded-stale serve from an expired L1 entry *)
+  | Offline
+      (** partitioned: decided from the domain's signed offline event log
+          (below bounded-stale, above fail-closed) *)
   | Fail_closed  (** no rung could answer; Indeterminate, denied *)
   | Shed  (** refused by the bounded admission queue before any descent *)
   | Local  (** agent-mode PEP: embedded PDP, no network *)
@@ -26,8 +29,13 @@ type t = {
   retried : bool;  (** resilient-call retries observed during the descent *)
   breaker_tripped : bool;  (** circuit breaker activity observed during the descent *)
   stale_age : float;  (** seconds past TTL for [Stale] serves; 0 otherwise *)
-  epoch : int;  (** deciding PDP's compilation epoch; 0 = interpreted/unknown *)
+  epoch : int;
+      (** deciding PDP's compilation epoch — or, for [Offline] serves,
+          the replica's offline epoch; 0 = interpreted/unknown *)
   at : float;  (** virtual-clock time the decision was delivered *)
+  log_head : string option;
+      (** offline log head (short digest) the decision was served from;
+          [Offline] serves only *)
 }
 
 val make :
@@ -39,13 +47,14 @@ val make :
   ?breaker_tripped:bool ->
   ?stale_age:float ->
   ?epoch:int ->
+  ?log_head:string ->
   at:float ->
   stage ->
   t
 
 val stage_name : stage -> string
-(** ["l1"], ["l2"], ["live"], ["stale"], ["fail-closed"], ["shed"],
-    ["local"], ["capability"]. *)
+(** ["l1"], ["l2"], ["live"], ["stale"], ["offline"], ["fail-closed"],
+    ["shed"], ["local"], ["capability"]. *)
 
 val to_string : t -> string
 (** One-line rendering, omitting zero-valued fields. *)

@@ -1,6 +1,7 @@
 module Service = Dacs_ws.Service
 module Rsa = Dacs_crypto.Rsa
 module Value = Dacs_policy.Value
+module Engine = Dacs_net.Engine
 
 type t = {
   name : string;
@@ -9,6 +10,7 @@ type t = {
   vo_pap : Pap.t;
   cas : Capability_service.t;
   mutable l2_root : Cache_hierarchy.L2.t option;
+  mutable offline : Offline.t list;
 }
 
 let name t = t.name
@@ -36,7 +38,7 @@ let form services ~name domains =
       Pap.subscribe_local vo_pap ~child:(Domain.pap_node domain);
       Domain.allow_policy_updates_from domain [ Pap.node vo_pap ])
     domains;
-  { name; services; domains; vo_pap; cas; l2_root = None }
+  { name; services; domains; vo_pap; cas; l2_root = None; offline = [] }
 
 let publish_policy t child =
   Capability_service.set_policy t.cas child;
@@ -96,6 +98,50 @@ let cache_hierarchy t ?max_entries ~ttl ?(anti_entropy_period = 5.0) () =
     root
 
 let l2_root t = t.l2_root
+
+(* The offline mirror of the cache hierarchy: one signed-log replica per
+   member domain, kept convergent by the same schedule-driven anti-
+   entropy pattern the L2 hierarchy uses — each replica periodically
+   pulls every peer's suffix over the log-sync service.  Rounds that hit
+   a partition simply fail and reschedule; the first round after heal
+   exchanges the diverged suffixes and deny-wins replay reconverges. *)
+let offline_mesh t ?key ?(anti_entropy_period = 5.0) () =
+  match t.offline with
+  | _ :: _ -> t.offline
+  | [] ->
+    if anti_entropy_period <= 0.0 then
+      invalid_arg "Vo.offline_mesh: anti_entropy_period must be positive";
+    let key =
+      match key with
+      | Some k -> k
+      | None -> Dacs_crypto.Sha256.digest (t.name ^ ":offline-mesh-key")
+    in
+    let replicas = List.map (fun d -> Domain.attach_offline d ~key ()) t.domains in
+    let engine = Dacs_net.Net.engine (Service.net t.services) in
+    List.iter
+      (fun d ->
+        let o =
+          match Domain.offline d with Some o -> o | None -> assert false
+        in
+        let src =
+          match Domain.offline_node d with Some n -> n | None -> assert false
+        in
+        List.iter
+          (fun peer ->
+            match Domain.offline_node peer with
+            | Some dst when dst <> src ->
+              let rec round () =
+                Offline.sync_rpc o t.services ~src ~dst (fun _ ->
+                    Engine.schedule engine ~delay:anti_entropy_period round)
+              in
+              round ()
+            | Some _ | None -> ())
+          t.domains)
+      t.domains;
+    t.offline <- replicas;
+    replicas
+
+let offline_replicas t = t.offline
 
 let revoke_capability t ~assertion_id =
   Capability_service.revoke t.cas ~assertion_id;

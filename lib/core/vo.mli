@@ -71,6 +71,23 @@ val cache_hierarchy :
 
 val l2_root : t -> Cache_hierarchy.L2.t option
 
+(** {1 Offline mode} *)
+
+val offline_mesh : t -> ?key:string -> ?anti_entropy_period:float -> unit -> Offline.t list
+(** The offline mirror of {!cache_hierarchy}: attaches an offline replica
+    to every member domain (see {!Domain.attach_offline}) under one
+    mesh-wide HMAC key (default: derived from the VO name) and schedules
+    a full-mesh log anti-entropy — each replica pulls every peer's
+    suffix over the {!Offline.service_name} service every
+    [anti_entropy_period] (default 5) virtual seconds.  Rounds blocked
+    by a partition fail harmlessly and reschedule; the first round after
+    heal exchanges the diverged logs and deny-wins replay reconverges
+    every replica (byte-identical {!Offline.state_digest}).  Idempotent;
+    returns the replicas in member order. *)
+
+val offline_replicas : t -> Offline.t list
+(** Empty until {!offline_mesh} has run. *)
+
 val revoke_capability : t -> assertion_id:string -> unit
 (** Revoke at the capability service {e and} run one invalidation round
     from the cache-hierarchy root (when one exists), so no cache level in

@@ -295,6 +295,143 @@ let parse_policy_update node =
 
 (* --- capabilities ----------------------------------------------------------------- *)
 
+(* --- offline event logs ------------------------------------------------ *)
+
+type log_event = {
+  le_author : string;
+  le_seq : int;
+  le_at : float;
+  le_epoch : int;
+  le_frontier : (string * int) list;
+  le_kind : string;
+  le_fields : (string * string) list;
+  le_digest : string;
+  le_tag : string;
+}
+
+(* Timestamps must round-trip exactly: replicas sort the merged log on
+   the [at] each one holds, so a lossy rendering would let two replicas
+   disagree on the total order.  %.17g is lossless for doubles. *)
+let float_attr f = Printf.sprintf "%.17g" f
+
+let parse_float_attr node name =
+  let* s = attr_or_error node name in
+  match float_of_string_opt s with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "<%s> %s is not a float: %s" (Xml.tag node) name s)
+
+let parse_int_attr node name =
+  let* s = attr_or_error node name in
+  match int_of_string_opt s with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "<%s> %s is not an integer: %s" (Xml.tag node) name s)
+
+let frontier_element frontier =
+  Xml.element "Frontier"
+    ~children:
+      (List.map
+         (fun (author, seq) ->
+           Xml.element "Entry" ~attrs:[ ("Author", author); ("Seq", string_of_int seq) ])
+         (List.sort (fun (a, _) (b, _) -> String.compare a b) frontier))
+
+let parse_frontier_element node =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | e :: rest ->
+      let* author = attr_or_error e "Author" in
+      let* seq = parse_int_attr e "Seq" in
+      go ((author, seq) :: acc) rest
+  in
+  go [] (Xml.find_children node "Entry")
+
+let log_event_unsigned ev =
+  Xml.element "LogEvent"
+    ~attrs:
+      [
+        ("Author", ev.le_author);
+        ("Seq", string_of_int ev.le_seq);
+        ("At", float_attr ev.le_at);
+        ("Epoch", string_of_int ev.le_epoch);
+        ("Kind", ev.le_kind);
+      ]
+    ~children:
+      (frontier_element ev.le_frontier
+      :: List.map
+           (fun (name, value) ->
+             Xml.element "Field" ~attrs:[ ("Name", name) ] ~children:[ Xml.text value ])
+           ev.le_fields)
+
+let log_event ev =
+  match log_event_unsigned ev with
+  | Xml.Text _ -> assert false
+  | Xml.Element e ->
+    Xml.element e.tag
+      ~attrs:
+        (e.attrs
+        @ [
+            ("Digest", Dacs_crypto.Encoding.hex_encode ev.le_digest);
+            ("Tag", Dacs_crypto.Encoding.hex_encode ev.le_tag);
+          ])
+      ~children:e.children
+
+let parse_log_event node =
+  let* () = expect_tag node "LogEvent" in
+  let* le_author = attr_or_error node "Author" in
+  let* le_seq = parse_int_attr node "Seq" in
+  let* le_at = parse_float_attr node "At" in
+  let* le_epoch = parse_int_attr node "Epoch" in
+  let* le_kind = attr_or_error node "Kind" in
+  let* digest_hex = attr_or_error node "Digest" in
+  let* tag_hex = attr_or_error node "Tag" in
+  let* le_frontier =
+    match Xml.find_child node "Frontier" with
+    | None -> Error "LogEvent has no Frontier"
+    | Some f -> parse_frontier_element f
+  in
+  let rec fields acc = function
+    | [] -> Ok (List.rev acc)
+    | f :: rest ->
+      let* name = attr_or_error f "Name" in
+      fields ((name, Xml.text_content f) :: acc) rest
+  in
+  let* le_fields = fields [] (Xml.find_children node "Field") in
+  let hex what s =
+    match Dacs_crypto.Encoding.hex_decode s with
+    | bytes -> Ok bytes
+    | exception Invalid_argument _ -> Error (Printf.sprintf "LogEvent %s is not hex" what)
+  in
+  let* le_digest = hex "Digest" digest_hex in
+  let* le_tag = hex "Tag" tag_hex in
+  Ok { le_author; le_seq; le_at; le_epoch; le_frontier; le_kind; le_fields; le_digest; le_tag }
+
+let log_sync_request ~frontier =
+  Xml.element "LogSyncRequest" ~children:[ frontier_element frontier ]
+
+let parse_log_sync_request node =
+  let* () = expect_tag node "LogSyncRequest" in
+  match Xml.find_child node "Frontier" with
+  | None -> Error "LogSyncRequest has no Frontier"
+  | Some f -> parse_frontier_element f
+
+let log_sync_response ~head events =
+  Xml.element "LogSyncResponse"
+    ~attrs:[ ("Head", Dacs_crypto.Encoding.hex_encode head) ]
+    ~children:(List.map log_event events)
+
+let parse_log_sync_response node =
+  let* () = expect_tag node "LogSyncResponse" in
+  let* head_hex = attr_or_error node "Head" in
+  match Dacs_crypto.Encoding.hex_decode head_hex with
+  | exception Invalid_argument _ -> Error "LogSyncResponse Head is not hex"
+  | head ->
+    let rec go acc = function
+      | [] -> Ok (head, List.rev acc)
+      | e :: rest ->
+        let* ev = parse_log_event e in
+        go (ev :: acc) rest
+    in
+    go [] (Xml.find_children node "LogEvent")
+
 let capability_request ~subject ~pairs =
   Xml.element "CapabilityRequest"
     ~children:

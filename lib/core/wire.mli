@@ -119,6 +119,48 @@ val parse_policy_response : Xml.t -> (int * Dacs_policy.Policy.child option, str
 val policy_update : version:int -> Dacs_policy.Policy.child -> Xml.t
 val parse_policy_update : Xml.t -> (int * Dacs_policy.Policy.child, string) result
 
+(** {1 Offline event logs (domain ↔ domain log anti-entropy)}
+
+    Frames for the eventually consistent offline mode: each domain keeps
+    a hash-linked, HMAC-signed event log, and on heal exchanges log
+    suffixes keyed by vector-clock frontiers.  The wire layer is
+    deliberately agnostic about event semantics — the kind is a string
+    and the payload a (name, value) field list — so the vocabulary does
+    not depend on the offline engine (which owns the typed view and the
+    chain/signature checks). *)
+
+type log_event = {
+  le_author : string;  (** originating domain *)
+  le_seq : int;  (** 1-based position in the author's chain *)
+  le_at : float;  (** author's virtual-clock timestamp *)
+  le_epoch : int;  (** author's offline epoch when appended *)
+  le_frontier : (string * int) list;  (** author's vector clock, self included *)
+  le_kind : string;
+  le_fields : (string * string) list;
+  le_digest : string;  (** chain digest, raw bytes *)
+  le_tag : string;  (** HMAC-SHA256 over the digest, raw bytes *)
+}
+
+val log_event : log_event -> Xml.t
+val parse_log_event : Xml.t -> (log_event, string) result
+
+val log_event_unsigned : log_event -> Xml.t
+(** The event element {e without} its digest and tag — the canonical
+    byte string ([Xml.to_string] of this element) that the hash chain
+    links and the HMAC authenticates.  Both sides must derive it the
+    same way, which is why it lives here next to the encoding. *)
+
+val log_sync_request : frontier:(string * int) list -> Xml.t
+(** Anti-entropy poll: "this is my frontier — send what I lack." *)
+
+val parse_log_sync_request : Xml.t -> ((string * int) list, string) result
+
+val log_sync_response : head:string -> log_event list -> Xml.t
+(** [head] is the responder's own chain head (raw bytes), an integrity
+    cross-check for the requester. *)
+
+val parse_log_sync_response : Xml.t -> (string * log_event list, string) result
+
 (** {1 Capabilities (client → capability service, push model)} *)
 
 val capability_request :

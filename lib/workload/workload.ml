@@ -16,6 +16,8 @@ type arrivals =
   | Open_loop of { rate : float }
   | Closed_loop of { clients : int; think_time : float }
 
+type partition = { from : float; until : float }
+
 type scenario = {
   seed : int;
   domains : int;
@@ -32,6 +34,8 @@ type scenario = {
   pdp_max_inflight : int option;
   rule_cost : float;
   compiled : bool;
+  partition : partition option;
+  offline : bool;
 }
 
 let default =
@@ -51,6 +55,8 @@ let default =
     pdp_max_inflight = Some 64;
     rule_cost = 0.0;
     compiled = false;
+    partition = None;
+    offline = false;
   }
 
 (* Powers of two from 0.5 ms to ~4 min: wide enough that a saturated
@@ -65,6 +71,7 @@ type report = {
   granted : int;
   denied : int;
   errors : int;
+  offline_serves : int;
   shed : int;
   pdp_overloads : int;
   throughput : float;
@@ -86,6 +93,10 @@ let validate s =
   if s.duration <= 0.0 then bad "duration must be positive";
   if s.batch < 1 then bad "batch must be >= 1";
   if s.rule_cost < 0.0 then bad "rule_cost must be non-negative";
+  (match s.partition with
+  | Some { from; until } ->
+    if from < 0.0 || until <= from then bad "partition window must satisfy 0 <= from < until"
+  | None -> ());
   match s.arrivals with
   | Open_loop { rate } -> if rate <= 0.0 then bad "open-loop rate must be positive"
   | Closed_loop { clients; think_time } ->
@@ -213,6 +224,36 @@ let run s =
         Pep.set_admission pep s.admission;
         pep)
   in
+  (* Offline mode: one shared replica holding the serving policy, wired
+     to every PEP — partitioned enforcement points descend to the
+     [offline] rung instead of failing closed.  The replica decides from
+     the context's own attributes (the request carries its role), so its
+     answers match what the live tier would have said. *)
+  let offline_replica =
+    if not s.offline then None
+    else begin
+      let o =
+        Offline.create ~metrics
+          ~now:(fun () -> Net.now net)
+          ~key:(Dacs_crypto.Sha256.digest "workload-offline-mesh")
+          ~author:"workload" ()
+      in
+      Offline.publish o (Policy.Inline_policy (serving_policy ~resources:s.peps));
+      Array.iter (fun pep -> Pep.set_offline_replica pep (Some o)) peps;
+      Some o
+    end
+  in
+  (* Partition schedule: cut every PEP node off from every shard at
+     [from], reconnect at [until].  Reconnection also ends the offline
+     episode, so later windows get their own epoch. *)
+  (match s.partition with
+  | None -> ()
+  | Some { from; until } ->
+    let pep_nodes = Array.to_list (Array.map Pep.node peps) in
+    Engine.schedule_at engine ~at:from (fun () -> Net.partition net pep_nodes shard_nodes);
+    Engine.schedule_at engine ~at:until (fun () ->
+        Net.unpartition net pep_nodes shard_nodes;
+        Option.iter (fun o -> Offline.set_offline o false) offline_replica));
   (* Instruments: the telemetry registry is the single source of truth the
      report reads back, all off the virtual clock. *)
   let h_latency =
@@ -311,6 +352,7 @@ let run s =
     granted = Metrics.counter_value c_granted;
     denied = Metrics.counter_value c_denied;
     errors = Metrics.counter_value c_errors;
+    offline_serves = Metrics.sum_counter metrics "pep_offline_serves_total";
     shed;
     pdp_overloads = Metrics.sum_counter metrics "pdp_overload_total";
     throughput = (if makespan > 0.0 then float_of_int answered /. makespan else 0.0);
@@ -337,7 +379,8 @@ let render r =
     [
       Printf.sprintf "offered %d  completed %d  shed %d  pdp-overloads %d" r.offered r.completed
         r.shed r.pdp_overloads;
-      Printf.sprintf "granted %d  denied %d  errors %d" r.granted r.denied r.errors;
+      Printf.sprintf "granted %d  denied %d  errors %d  offline-serves %d" r.granted r.denied
+        r.errors r.offline_serves;
       Printf.sprintf "shed reasons: %s" reasons;
       Printf.sprintf "throughput %.2f req/s over %.6f s makespan  (%d messages)" r.throughput
         r.makespan r.messages;
@@ -383,7 +426,7 @@ let render_json r =
       r.slo.Slo.availability_met r.slo.Slo.latency_met
   in
   Printf.sprintf
-    "{\"offered\":%d,\"completed\":%d,\"shed\":%d,\"shed_reasons\":{%s},\"pdp_overloads\":%d,\"granted\":%d,\"denied\":%d,\"errors\":%d,\"throughput\":%.2f,\"makespan\":%.6f,\"messages\":%d,\"latency\":{\"p50\":%.6f,\"p95\":%.6f,\"p99\":%.6f,\"max\":%.6f,\"mean\":%.6f},\"slo\":%s}"
+    "{\"offered\":%d,\"completed\":%d,\"shed\":%d,\"shed_reasons\":{%s},\"pdp_overloads\":%d,\"granted\":%d,\"denied\":%d,\"errors\":%d,\"offline_serves\":%d,\"throughput\":%.2f,\"makespan\":%.6f,\"messages\":%d,\"latency\":{\"p50\":%.6f,\"p95\":%.6f,\"p99\":%.6f,\"max\":%.6f,\"mean\":%.6f},\"slo\":%s}"
     r.offered r.completed r.shed shed_reasons r.pdp_overloads r.granted r.denied r.errors
-    r.throughput r.makespan r.messages r.latency.p50 r.latency.p95 r.latency.p99 r.latency.max
-    r.mean_latency slo
+    r.offline_serves r.throughput r.makespan r.messages r.latency.p50 r.latency.p95 r.latency.p99
+    r.latency.max r.mean_latency slo

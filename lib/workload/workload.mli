@@ -23,6 +23,11 @@ type arrivals =
       (** [clients] loops, each issuing its next request [think_time]
           virtual seconds after its previous answer. *)
 
+type partition = { from : float; until : float }
+(** Virtual-second window during which every PEP node is cut off from
+    every PDP shard ([Dacs_net.Net.partition] at [from], reconnect at
+    [until]). *)
+
 type scenario = {
   seed : int;
   domains : int;  (** domains the PEPs are spread across (naming only) *)
@@ -41,12 +46,18 @@ type scenario = {
       (** extra per-rule-scanned PDP occupancy (seconds); 0 keeps the
           flat [service_time] model *)
   compiled : bool;  (** evaluate shards through the compiled policy form *)
+  partition : partition option;  (** cut PEPs off from the decision tier *)
+  offline : bool;
+      (** give every PEP an offline replica holding the serving policy,
+          so partitioned requests are answered from the signed local log
+          ([offline] provenance) instead of failing closed *)
 }
 
 val default : scenario
 (** 1 domain, 4 PEPs, 2 shards, 200 users, zipf 1.1, open-loop 200 req/s
     for 5 s, cache off, 4 ms service time, admission (32, 32), per-shard
-    bound 64, seed 42, no rule cost, interpreted evaluation.
+    bound 64, seed 42, no rule cost, interpreted evaluation, no
+    partition, offline mode off.
 
     The serving policy guards each PEP's resource with its own
     doctor/nurse rule pair (all pinned by resource-id) over a final
@@ -69,6 +80,8 @@ type report = {
   granted : int;
   denied : int;
   errors : int;  (** Indeterminate answers other than shedding *)
+  offline_serves : int;
+      (** decisions served from the offline log, [pep_offline_serves_total] *)
   shed : int;  (** refused by PEP admission queues, [pep_shed_total] *)
   pdp_overloads : int;  (** shard-level rejections, [pdp_overload_total] *)
   throughput : float;  (** admitted answers per second of makespan *)

@@ -267,7 +267,41 @@ let test_breaker_recovery () =
   check int_ "exactly the shed call rejected" 1 s.Pep.breaker_rejections;
   check int_ "every request consulted its PDP (or its breaker)" 6 s.Pep.pdp_calls
 
-(* --- scenario 8: random schedules (property) --------------------------------- *)
+(* --- scenario 8: total outage, offline event-log serving ---------------------- *)
+
+let test_offline_log_serving () =
+  let fx = setup () in
+  let offline =
+    Offline.create
+      ~now:(fun () -> Engine.now (Net.engine fx.net))
+      ~key:"chaos-mesh-key" ~author:"a" ()
+  in
+  Offline.publish offline (doctor_policy "r");
+  Pep.set_offline_replica fx.pep (Some offline);
+  (* The only PDP dies at 1 s and is restored at 6 s. *)
+  Faults.apply fx.net [ Faults.Crash_restart { node = "pdp0"; at = 1.0; restart = Some 6.0 } ];
+  let warm = ref [] and a = ref [] and m = ref [] and late = ref [] in
+  request_at fx fx.alice ~at:0.2 ~action:"read" warm;
+  (* During the outage the signed local log answers instead of failing closed. *)
+  request_at fx fx.alice ~at:3.0 ~action:"read" a;
+  request_at fx fx.mallory ~at:3.2 ~action:"read" m;
+  (* After the restart the live tier takes over again. *)
+  request_at fx fx.alice ~at:8.0 ~action:"read" late;
+  Net.run fx.net;
+  check bool_ "warm grant served live" true (granted (outcome_at warm 0.2));
+  check bool_ "granted from the offline log during the outage" true (granted (outcome_at a 3.0));
+  (match outcome_at m 3.2 with
+  | Ok (Wire.Denied _) -> ()
+  | _ -> Alcotest.fail "the offline rung must still deny the intern");
+  assert_never_granted "offline log" m;
+  check bool_ "healed: served live again after the restart" true (granted (outcome_at late 8.0));
+  let s = Pep.stats fx.pep in
+  check int_ "exactly the outage requests were served offline" 2 s.Pep.offline_serves;
+  check bool_ "an offline episode was recorded" true (Offline.epoch offline >= 1);
+  check bool_ "offline decisions entered the signed log" true
+    ((Offline.stats offline).Offline.offline_decides >= 2)
+
+(* --- scenario 9: random schedules (property) --------------------------------- *)
 
 let random_schedule_safety =
   QCheck.Test.make ~name:"chaos: random schedules keep enforcement safe and live" ~count:25
@@ -367,6 +401,7 @@ let () =
           Alcotest.test_case "total outage, stale-cache degradation" `Quick
             test_stale_cache_degradation;
           Alcotest.test_case "breaker open/half-open/recovery" `Quick test_breaker_recovery;
+          Alcotest.test_case "total outage, offline-log serving" `Quick test_offline_log_serving;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest random_schedule_safety ]);
       ( "determinism",

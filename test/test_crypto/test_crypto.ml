@@ -521,6 +521,81 @@ let test_trust_store_dedup () =
   check int_ "deduplicated" 1 (List.length (Cert.Trust_store.roots store));
   check bool_ "membership" true (Cert.Trust_store.mem store ca)
 
+(* --- hash chain ----------------------------------------------------------- *)
+
+let payloads = [ "grant:alice:doctor"; "revoke:bob"; "publish:p2"; "decide:chart" ]
+
+let test_hashchain_deterministic () =
+  let a = Chain.chain ~prev:Chain.genesis payloads in
+  let b = Chain.chain ~prev:Chain.genesis payloads in
+  check bool_ "same digests" true (a = b);
+  check int_ "one digest per payload" (List.length payloads) (List.length a);
+  (* chain = repeated extend *)
+  let folded =
+    List.rev
+      (snd
+         (List.fold_left
+            (fun (prev, acc) p ->
+              let d = Chain.extend ~prev p in
+              (d, d :: acc))
+            (Chain.genesis, []) payloads))
+  in
+  check bool_ "chain == iterated extend" true (a = folded)
+
+let segment () = List.combine payloads (Chain.chain ~prev:Chain.genesis payloads)
+
+let test_hashchain_verify_honest () =
+  match Chain.verify ~prev:Chain.genesis (segment ()) with
+  | Ok head ->
+    check string_ "head is last digest" (List.nth (Chain.chain ~prev:Chain.genesis payloads) 3) head
+  | Error i -> Alcotest.failf "honest segment rejected at %d" i
+
+let test_hashchain_verify_empty () =
+  match Chain.verify ~prev:Chain.genesis [] with
+  | Ok head -> check string_ "empty verifies to prev" Chain.genesis head
+  | Error i -> Alcotest.failf "empty segment rejected at %d" i
+
+let test_hashchain_mutation_detected () =
+  (* Flipping any payload is caught exactly at its index: the digest
+     commits to the whole prefix. *)
+  List.iteri
+    (fun k _ ->
+      let tampered =
+        List.mapi (fun i (p, d) -> if i = k then (p ^ "!", d) else (p, d)) (segment ())
+      in
+      match Chain.verify ~prev:Chain.genesis tampered with
+      | Error i -> check int_ "first bad link" k i
+      | Ok _ -> Alcotest.failf "mutation at %d not detected" k)
+    payloads
+
+let test_hashchain_reorder_detected () =
+  let seg = segment () in
+  let swapped = [ List.nth seg 1; List.nth seg 0; List.nth seg 2; List.nth seg 3 ] in
+  match Chain.verify ~prev:Chain.genesis swapped with
+  | Error 0 -> ()
+  | Error i -> Alcotest.failf "reorder detected at %d, expected 0" i
+  | Ok _ -> Alcotest.fail "reordered segment verified"
+
+let test_hashchain_splice_detected () =
+  (* A truncated prefix (wrong prev) cannot be spliced onto: the first
+     retained link no longer verifies. *)
+  let seg = segment () in
+  let tail = [ List.nth seg 2; List.nth seg 3 ] in
+  (match Chain.verify ~prev:Chain.genesis tail with
+  | Error 0 -> ()
+  | Error i -> Alcotest.failf "splice detected at %d, expected 0" i
+  | Ok _ -> Alcotest.fail "spliced tail verified");
+  (* ... but verifies from its true predecessor. *)
+  match Chain.verify ~prev:(snd (List.nth seg 1)) tail with
+  | Ok _ -> ()
+  | Error i -> Alcotest.failf "honest tail rejected at %d" i
+
+let test_hashchain_short () =
+  let d = Chain.extend ~prev:Chain.genesis "x" in
+  check int_ "6 bytes hex" 12 (String.length (Chain.short d));
+  check bool_ "hex alphabet" true
+    (String.for_all (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) (Chain.short d))
+
 (* --- suites -------------------------------------------------------------------- *)
 
 let props =
@@ -617,5 +692,15 @@ let () =
           Alcotest.test_case "chain verification" `Quick test_chain_verification;
           Alcotest.test_case "tampered certificate" `Quick test_chain_tampered_signature;
           Alcotest.test_case "trust store dedup" `Quick test_trust_store_dedup;
+        ] );
+      ( "hash_chain",
+        [
+          Alcotest.test_case "deterministic" `Quick test_hashchain_deterministic;
+          Alcotest.test_case "honest segment verifies" `Quick test_hashchain_verify_honest;
+          Alcotest.test_case "empty segment" `Quick test_hashchain_verify_empty;
+          Alcotest.test_case "mutation detected at its index" `Quick test_hashchain_mutation_detected;
+          Alcotest.test_case "reorder detected" `Quick test_hashchain_reorder_detected;
+          Alcotest.test_case "splice/truncation detected" `Quick test_hashchain_splice_detected;
+          Alcotest.test_case "short head rendering" `Quick test_hashchain_short;
         ] );
     ]

@@ -305,6 +305,310 @@ let model_test =
    immune to generator drift. *)
 let directed name ops = Alcotest.test_case name `Quick (fun () -> ignore (run_case ops))
 
+(* --- partition -> diverge -> heal -> converge ---------------------------- *)
+
+(* Stateful model test of the offline replication layer (Offline).  The
+   SUT is a mesh of three signed-log replicas; the reference is a flat
+   record of every event ever appended anywhere, plus a per-replica
+   knowledge matrix (highest seq known per author) maintained
+   independently of the SUT's frontiers.
+
+   QCheck generates random partition schedules interleaved with
+   grants/revokes/publishes/offline decisions.  Two properties are
+   asserted continuously:
+
+   - every offline decision a replica serves mid-partition equals the
+     deny-wins evaluation over exactly the events that replica knows;
+   - after every heal (full-mesh anti-entropy round), all replicas reach
+     byte-identical state digests and their post-replay decisions equal
+     the deny-wins flat reference over the global event set.
+
+   Deny-wins: a grant survives only if its frontier covers every known
+   revocation of the same (subject, attr); the reference recomputes this
+   from its own frontiers, so a SUT replay bug cannot hide. *)
+
+module O = Offline
+
+let rnames = [| "alpha"; "beta"; "gamma" |]
+let nrep = Array.length rnames
+
+type ref_kind = G of int * int (* user, role *) | R of int | P of int | D
+
+type ref_event = {
+  e_author : int;
+  e_seq : int;
+  e_at : float;
+  e_frontier : (int * int) list;
+  e_kind : ref_kind;
+}
+
+type osut = {
+  reps : O.t array;
+  clock : float ref;
+  mutable step : int;
+  known : int array array;  (* known.(i).(j) = highest seq of author j at replica i *)
+  mutable evs : ref_event list;  (* every event appended anywhere, newest first *)
+  groups : int array;  (* partition component per replica; equal = connected *)
+}
+
+let make_osut () =
+  let clock = ref 0.0 in
+  let key = Dacs_crypto.Sha256.digest "model-mesh-key" in
+  {
+    reps = Array.init nrep (fun i -> O.create ~now:(fun () -> !clock) ~key ~author:rnames.(i) ());
+    clock;
+    step = 0;
+    known = Array.make_matrix nrep nrep 0;
+    evs = [];
+    groups = Array.make nrep 0;
+  }
+
+(* Two consecutive steps share a timestamp, so the (author, seq)
+   tie-break of the total order is exercised, not just [at]. *)
+let tick s =
+  s.step <- s.step + 1;
+  s.clock := float_of_int (s.step / 2)
+
+let ref_append s i kind =
+  s.known.(i).(i) <- s.known.(i).(i) + 1;
+  let frontier =
+    Array.to_list (Array.mapi (fun j n -> (j, n)) s.known.(i))
+    |> List.filter (fun (_, n) -> n > 0)
+  in
+  s.evs <-
+    { e_author = i; e_seq = s.known.(i).(i); e_at = !(s.clock); e_frontier = frontier; e_kind = kind }
+    :: s.evs
+
+let ref_covers frontier author seq = List.exists (fun (a, n) -> a = author && n >= seq) frontier
+
+(* Deny-wins evaluation over the events replica [i] knows: role per user
+   from the latest surviving grant, policy from the latest publish, both
+   in the total order (at, author, seq). *)
+let ref_state s i =
+  let known =
+    List.filter (fun e -> s.known.(i).(e.e_author) >= e.e_seq) s.evs
+    |> List.sort (fun a b -> compare (a.e_at, a.e_author, a.e_seq) (b.e_at, b.e_author, b.e_seq))
+  in
+  let role_of u =
+    let revokes = List.filter (fun e -> e.e_kind = R u) known in
+    let survivors =
+      List.filter
+        (fun e ->
+          match e.e_kind with
+          | G (u', _) ->
+            u' = u && List.for_all (fun r -> ref_covers e.e_frontier r.e_author r.e_seq) revokes
+          | _ -> false)
+        known
+    in
+    match List.rev survivors with
+    | { e_kind = G (_, r); _ } :: _ -> Some (r mod Array.length roles)
+    | _ -> None
+  in
+  let policy = List.fold_left (fun acc e -> match e.e_kind with P p -> Some p | _ -> acc) None known in
+  (role_of, policy)
+
+let off_ctx u a =
+  Context.make
+    ~subject:[ ("subject-id", Value.String (user_name u)) ]
+    ~resource:[ ("resource-id", Value.String "chart") ]
+    ~action:[ ("action-id", Value.String actions.(a mod Array.length actions)) ]
+    ()
+
+let ref_decide s i u a =
+  let role_of, policy = ref_state s i in
+  match policy with
+  | None -> None
+  | Some p ->
+    let subject =
+      ("subject-id", Value.String (user_name u))
+      :: (match role_of (u mod users) with None -> [] | Some r -> [ ("role", Value.String roles.(r)) ])
+    in
+    let ctx =
+      Context.make ~subject
+        ~resource:[ ("resource-id", Value.String "chart") ]
+        ~action:[ ("action-id", Value.String actions.(a mod Array.length actions)) ]
+        ()
+    in
+    Some (Policy.evaluate ctx (policy_family p)).Decision.decision
+
+let check_offline_decision s trace ~stage i u a =
+  let expected = ref_decide s i u a in
+  let got = O.decide s.reps.(i) (off_ctx u a) in
+  (match got with Some _ -> ref_append s i D | None -> ());
+  match (got, expected) with
+  | None, None -> ()
+  | Some (r, _), Some d when Decision.equal_decision r.Decision.decision d -> ()
+  | _ ->
+    QCheck.Test.fail_reportf "[%s] %s: %s/%s got %s, deny-wins reference says %s\ntrace: %s" stage
+      rnames.(i) (user_name u)
+      actions.(a mod Array.length actions)
+      (match got with None -> "none" | Some (r, _) -> show r.Decision.decision)
+      (match expected with None -> "none" | Some d -> show d)
+      trace
+
+(* One anti-entropy round: every replica pulls the suffix it lacks from
+   every connected peer.  The reference knowledge matrix is updated per
+   pair in the same order, so mid-round cascades match exactly. *)
+let sync_round s trace =
+  for i = 0 to nrep - 1 do
+    for j = 0 to nrep - 1 do
+      if i <> j && s.groups.(i) = s.groups.(j) then begin
+        (match O.admit s.reps.(i) (O.missing_for s.reps.(j) ~frontier:(O.frontier s.reps.(i))) with
+        | Ok _ -> ()
+        | Error e ->
+          QCheck.Test.fail_reportf "sync %s<-%s rejected honest segment: %s\ntrace: %s" rnames.(i)
+            rnames.(j) (O.sync_error_to_string e) trace);
+        for a = 0 to nrep - 1 do
+          if s.known.(j).(a) > s.known.(i).(a) then s.known.(i).(a) <- s.known.(j).(a)
+        done
+      end
+    done
+  done
+
+let heal s trace =
+  Array.fill s.groups 0 nrep 0;
+  sync_round s trace;
+  let d0 = O.state_digest s.reps.(0) in
+  Array.iteri
+    (fun i o ->
+      if O.state_digest o <> d0 then
+        QCheck.Test.fail_reportf "post-heal digest divergence: %s != alpha\ntrace: %s" rnames.(i)
+          trace)
+    s.reps
+
+type oop =
+  | OGrant of int * int * int  (* replica, user, role *)
+  | ORevoke of int * int
+  | OPublish of int * int
+  | ODecide of int * int * int  (* replica, user, action *)
+  | OPartition of int  (* 3-bit mask: bit i picks replica i's side *)
+  | OSync
+  | OHeal
+
+let oop_of_code (code, u, x) =
+  match code mod 10 with
+  | 0 | 1 | 2 -> ODecide (x mod nrep, u, x)
+  | 3 | 4 -> OGrant (x mod nrep, u, x)
+  | 5 -> ORevoke (x mod nrep, u)
+  | 6 -> OPublish (x mod nrep, x)
+  | 7 -> OPartition x
+  | 8 -> OSync
+  | _ -> OHeal
+
+let show_oop = function
+  | OGrant (i, u, r) ->
+    Printf.sprintf "grant@%s(%s,%s)" rnames.(i) (user_name u) roles.(r mod Array.length roles)
+  | ORevoke (i, u) -> Printf.sprintf "revoke@%s(%s)" rnames.(i) (user_name u)
+  | OPublish (i, p) -> Printf.sprintf "publish@%s(p%d)" rnames.(i) (abs p mod 4)
+  | ODecide (i, u, a) ->
+    Printf.sprintf "decide@%s(%s,%s)" rnames.(i) (user_name u) actions.(a mod 2)
+  | OPartition m -> Printf.sprintf "partition(%d%d%d)" (m land 1) ((m lsr 1) land 1) ((m lsr 2) land 1)
+  | OSync -> "sync"
+  | OHeal -> "heal"
+
+let run_oop s trace op =
+  tick s;
+  match op with
+  | OGrant (i, u, r) ->
+    O.grant s.reps.(i) ~subject:(user_name u) ~attr:"role" ~value:roles.(r mod Array.length roles);
+    ref_append s i (G (u mod users, r mod Array.length roles))
+  | ORevoke (i, u) ->
+    O.revoke s.reps.(i) ~subject:(user_name u) ~attr:"role";
+    ref_append s i (R (u mod users))
+  | OPublish (i, p) ->
+    let p = abs p mod 4 in
+    O.publish s.reps.(i) (Policy.Inline_policy (policy_family p));
+    ref_append s i (P p)
+  | ODecide (i, u, a) -> check_offline_decision s trace ~stage:"offline-decide" i u a
+  | OPartition m ->
+    for i = 0 to nrep - 1 do
+      s.groups.(i) <- (m lsr i) land 1
+    done
+  | OSync -> sync_round s trace
+  | OHeal -> heal s trace
+
+(* Seed every case with a policy and a role per user (all via alpha),
+   fully synced, so partitions diverge from a meaningful baseline. *)
+let seed_osut s trace =
+  tick s;
+  O.publish s.reps.(0) (Policy.Inline_policy (policy_family 0));
+  ref_append s 0 (P 0);
+  for u = 0 to users - 1 do
+    tick s;
+    O.grant s.reps.(0) ~subject:(user_name u) ~attr:"role"
+      ~value:roles.(u mod Array.length roles);
+    ref_append s 0 (G (u, u mod Array.length roles))
+  done;
+  heal s trace
+
+let run_ocase ops =
+  let s = make_osut () in
+  let trace = String.concat "; " (List.map show_oop ops) in
+  seed_osut s trace;
+  List.iter (run_oop s trace) ops;
+  (* Final heal: byte-identical digests, then every replica's post-replay
+     decisions must equal the deny-wins flat reference. *)
+  run_oop s trace OHeal;
+  for i = 0 to nrep - 1 do
+    for u = 0 to users - 1 do
+      for a = 0 to Array.length actions - 1 do
+        tick s;
+        check_offline_decision s trace ~stage:"converged" i u a
+      done
+    done
+  done;
+  true
+
+let arb_oops =
+  let open QCheck in
+  list_of_size (Gen.int_bound 16) (triple (int_bound 9) (int_bound (users - 1)) (int_bound 7))
+
+let convergence_test =
+  QCheck.Test.make ~name:"offline replicas converge to deny-wins flat reference" ~count:500
+    arb_oops
+    (fun coded -> run_ocase (List.map oop_of_code coded))
+
+let directed_offline name ops = Alcotest.test_case name `Quick (fun () -> ignore (run_ocase ops))
+
+(* The canonical deny-wins race, checked down to the artifacts: a grant
+   made offline concurrently with a revocation elsewhere is defeated on
+   heal, the race is surfaced as a conflict record, and the offline
+   Permit decided from the doomed grant is retroactively invalidated
+   (hook fired exactly once per decide, even across a second heal). *)
+let offline_conflict_artifacts () =
+  let s = make_osut () in
+  let trace = "conflict-artifacts" in
+  seed_osut s trace;
+  let fired = ref [] in
+  O.on_invalidate s.reps.(0) (fun k -> fired := k :: !fired);
+  List.iter (run_oop s trace)
+    [
+      OPartition 1;
+      (* alpha alone *)
+      ORevoke (1, 0);
+      (* beta revokes user0 (doctor) *)
+      ODecide (0, 0, 0);
+      (* alpha, unaware, still permits user0: logged offline *)
+      OGrant (0, 2, 0);
+      (* alpha grants user2 doctor ... *)
+      ORevoke (1, 2);
+      (* ... concurrently with beta's revoke: the deny-wins race *)
+      OHeal;
+    ];
+  let stats = O.stats s.reps.(0) in
+  Alcotest.(check bool) "offline permit retroactively invalidated" true (stats.O.invalidations >= 1);
+  Alcotest.(check bool) "invalidation hook fired" true (!fired <> []);
+  let conflicts = O.conflicts s.reps.(0) in
+  Alcotest.(check bool) "concurrent grant||revoke surfaced as conflict" true
+    (List.exists (fun c -> c.O.c_subject = user_name 2) conflicts);
+  Array.iter
+    (fun o -> Alcotest.(check int) "same conflicts everywhere" (List.length conflicts) (List.length (O.conflicts o)))
+    s.reps;
+  let fired_before = List.length !fired in
+  run_oop s trace OHeal;
+  Alcotest.(check int) "second heal does not refire invalidations" fired_before
+    (List.length !fired)
+
 let () =
   Alcotest.run "dacs_model"
     [
@@ -325,5 +629,37 @@ let () =
             [ Decide_pair (1, 0); Publish 3; Decide_pair (1, 0) ];
           directed "decide racing a publish"
             [ Decide (0, 1); Decide_during_publish (0, 1, 1); Decide (0, 1) ];
+        ] );
+      ( "offline-convergence",
+        [
+          QCheck_alcotest.to_alcotest convergence_test;
+          directed_offline "revoke during partition defeats offline grant"
+            [
+              OPartition 1;
+              OGrant (0, 0, 2);
+              ORevoke (1, 0);
+              ODecide (0, 0, 0);
+              ODecide (1, 0, 0);
+              OHeal;
+              ODecide (0, 0, 0);
+            ];
+          directed_offline "double heal is idempotent"
+            [ OPartition 1; OGrant (0, 1, 0); ORevoke (2, 1); OHeal; OHeal; ODecide (2, 1, 0) ];
+          directed_offline "grant then offline revoke race"
+            [
+              OPartition 1;
+              ORevoke (0, 1);
+              OGrant (1, 1, 0);
+              ODecide (1, 1, 0);
+              OHeal;
+              ODecide (0, 1, 0);
+              ODecide (1, 1, 0);
+            ];
+          directed_offline "publish races across partition: last in total order wins"
+            [ OPartition 1; OPublish (0, 1); OPublish (1, 2); OHeal; ODecide (2, 0, 0) ];
+          directed_offline "sync inside a component does not leak across the cut"
+            [ OPartition 1; OGrant (1, 3, 1); OSync; ODecide (0, 3, 0); OHeal ];
+          Alcotest.test_case "conflict + retroactive invalidation artifacts" `Quick
+            offline_conflict_artifacts;
         ] );
     ]

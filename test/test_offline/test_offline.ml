@@ -1,0 +1,388 @@
+(* The offline authorization replica: signed-log integrity at sync time,
+   the offline rung of the PEP ladder, and the coalesced-waiter
+   provenance regression.
+
+   The convergence story (partition -> diverge -> heal -> deny-wins
+   replay equals a flat reference) lives in test_model; this suite goes
+   after the adversarial and integration edges:
+
+   - a mutated, reordered, truncated or forged log segment is rejected
+     at sync with the distinct error for its tamper class, the whole
+     segment is refused (never partially or silently replayed), and the
+     rejection metric increments under the matching reason label;
+   - a partitioned PEP descends to the offline rung: decisions carry
+     [offline] provenance with the replica's epoch and log head, are
+     never written back to L1, and an offline Indeterminate falls
+     through to fail-closed without ever being logged;
+   - a coalesced waiter parked across the partition transition observes
+     the rung that actually answered (offline), not the leader's
+     pre-partition rung. *)
+
+module Policy = Dacs_policy.Policy
+module Rule = Dacs_policy.Rule
+module Expr = Dacs_policy.Expr
+module Combine = Dacs_policy.Combine
+module Context = Dacs_policy.Context
+module Decision = Dacs_policy.Decision
+module Value = Dacs_policy.Value
+module Net = Dacs_net.Net
+module Service = Dacs_ws.Service
+module Metrics = Dacs_telemetry.Metrics
+module Chain = Dacs_crypto.Chain
+open Dacs_core
+module O = Offline
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+let string_ = Alcotest.string
+let mesh_key = Dacs_crypto.Sha256.digest "test-offline-mesh"
+
+let pol =
+  Policy.make ~id:"offline-p" ~rule_combining:Combine.First_applicable
+    [
+      Rule.permit ~condition:(Expr.one_of (Expr.subject_attr "role") [ "doctor" ]) "doctors";
+      Rule.deny "default-deny";
+    ]
+
+let ctx ?(subject = "alice") () =
+  Context.make
+    ~subject:[ ("subject-id", Value.String subject) ]
+    ~resource:[ ("resource-id", Value.String "chart") ]
+    ~action:[ ("action-id", Value.String "read") ]
+    ()
+
+let replica ?metrics name =
+  O.create ?metrics ~now:(fun () -> 0.0) ~key:mesh_key ~author:name ()
+
+(* A replica with a few events to sync: policy, a grant, a revoke. *)
+let populated ?metrics name =
+  let o = replica ?metrics name in
+  O.publish o (Policy.Inline_policy pol);
+  O.grant o ~subject:"alice" ~attr:"role" ~value:"doctor";
+  O.revoke o ~subject:"bob" ~attr:"role";
+  o
+
+(* --- log basics ----------------------------------------------------------- *)
+
+let test_log_basics () =
+  let o = populated "alpha" in
+  check int_ "three events logged" 3 (O.stats o).O.events_logged;
+  check bool_ "head advanced" true (O.head o <> Chain.genesis);
+  check string_ "head_short matches" (Chain.short (O.head o)) (O.head_short o);
+  (match O.frontier o with
+  | [ ("alpha", 3) ] -> ()
+  | _ -> Alcotest.fail "frontier should be [alpha -> 3]");
+  let seqs = List.map (fun e -> e.O.seq) (O.events o) in
+  check bool_ "events in order" true (seqs = [ 1; 2; 3 ]);
+  (* own chain verifies link by link *)
+  match O.decide o (ctx ()) with
+  | Some (r, head) ->
+    check bool_ "granted from log" true (r.Decision.decision = Decision.Permit);
+    check string_ "decision stamped with head" (O.head_short o) head;
+    check int_ "decide logged" 4 (O.stats o).O.events_logged
+  | None -> Alcotest.fail "no offline decision"
+
+let test_sync_pair_converges () =
+  let a = populated "alpha" and b = replica "beta" in
+  O.grant b ~subject:"carol" ~attr:"role" ~value:"nurse";
+  (match O.sync_pair a b with
+  | Ok n -> check int_ "all events moved" 4 n
+  | Error e -> Alcotest.failf "honest sync rejected: %s" (O.sync_error_to_string e));
+  check string_ "digests converge" (O.state_digest a) (O.state_digest b);
+  check bool_ "grants merged" true
+    (List.mem ("carol", "role", "nurse") (O.surviving_grants a))
+
+(* --- tamper rejection ------------------------------------------------------ *)
+
+let reasons metrics =
+  Metrics.sum_counter_by metrics "offline_sync_rejections_total" ~label:"reason"
+
+let segment_for dst src = O.missing_for src ~frontier:(O.frontier dst)
+
+(* Every tamper test asserts the same containment: admit returns the
+   distinct error, and nothing of the segment — not even its honest
+   prefix — reaches the local log. *)
+let assert_rejected ~what ~reason metrics a seg expect =
+  let before = (O.stats a).O.events_known in
+  let digest = O.state_digest a in
+  (match O.admit a seg with
+  | Error e -> expect e
+  | Ok n -> Alcotest.failf "%s admitted (%d events)" what n);
+  check int_ (what ^ ": nothing admitted") before (O.stats a).O.events_known;
+  check string_ (what ^ ": state untouched") digest (O.state_digest a);
+  check bool_ (what ^ ": rejection metric") true
+    (match List.assoc_opt reason (reasons metrics) with Some n -> n >= 1 | None -> false)
+
+let test_mutated_segment_rejected () =
+  let metrics = Metrics.create () in
+  let a = replica ~metrics "alpha" and b = populated "beta" in
+  let seg =
+    List.map
+      (fun ev ->
+        if ev.O.seq = 2 then
+          { ev with O.kind = O.Grant { subject = "mallory"; attr = "role"; value = "doctor" } }
+        else ev)
+      (segment_for a b)
+  in
+  assert_rejected ~what:"mutated event" ~reason:"chain-mismatch" metrics a seg (function
+    | O.Chain_mismatch { author = "beta"; seq = 2 } -> ()
+    | e -> Alcotest.failf "expected Chain_mismatch beta/2, got %s" (O.sync_error_to_string e));
+  (* the honest segment still goes through afterwards *)
+  match O.admit a (segment_for a b) with
+  | Ok 3 -> check string_ "converged after honest resend" (O.state_digest b) (O.state_digest a)
+  | Ok n -> Alcotest.failf "expected 3 events, got %d" n
+  | Error e -> Alcotest.failf "honest resend rejected: %s" (O.sync_error_to_string e)
+
+let test_reordered_segment_rejected () =
+  (* Swap the payloads of two links but keep their claimed digests: the
+     recomputation diverges at the first swapped link. *)
+  let metrics = Metrics.create () in
+  let a = replica ~metrics "alpha" and b = populated "beta" in
+  let seg =
+    match segment_for a b with
+    | [ e1; e2; e3 ] ->
+      [ { e1 with O.kind = e2.O.kind }; { e2 with O.kind = e1.O.kind }; e3 ]
+    | _ -> Alcotest.fail "expected 3 events"
+  in
+  assert_rejected ~what:"reordered payloads" ~reason:"chain-mismatch" metrics a seg (function
+    | O.Chain_mismatch { author = "beta"; seq = 1 } -> ()
+    | e -> Alcotest.failf "expected Chain_mismatch beta/1, got %s" (O.sync_error_to_string e))
+
+let test_truncated_segment_rejected () =
+  (* Drop the head of the suffix: the remainder is non-contiguous with
+     what we know. *)
+  let metrics = Metrics.create () in
+  let a = replica ~metrics "alpha" and b = populated "beta" in
+  let seg = List.filter (fun ev -> ev.O.seq <> 1) (segment_for a b) in
+  assert_rejected ~what:"truncated segment" ~reason:"gap" metrics a seg (function
+    | O.Gap { author = "beta"; expected = 1; got = 2 } -> ()
+    | e -> Alcotest.failf "expected Gap beta 1/2, got %s" (O.sync_error_to_string e))
+
+let test_forged_tag_rejected () =
+  let metrics = Metrics.create () in
+  let a = replica ~metrics "alpha" and b = populated "beta" in
+  let seg =
+    List.map
+      (fun ev -> if ev.O.seq = 3 then { ev with O.tag = String.make 32 '\000' } else ev)
+      (segment_for a b)
+  in
+  assert_rejected ~what:"forged tag" ~reason:"bad-signature" metrics a seg (function
+    | O.Bad_signature { author = "beta"; seq = 3 } -> ()
+    | e -> Alcotest.failf "expected Bad_signature beta/3, got %s" (O.sync_error_to_string e))
+
+let test_wrong_mesh_key_rejected () =
+  (* A consistently re-chained forgery under the wrong key: the chain
+     recomputes, but no valid HMAC can be produced without the mesh
+     key. *)
+  let metrics = Metrics.create () in
+  let a = replica ~metrics "alpha" in
+  let outsider =
+    O.create ~now:(fun () -> 0.0) ~key:(Dacs_crypto.Sha256.digest "other-mesh") ~author:"beta" ()
+  in
+  O.publish outsider (Policy.Inline_policy pol);
+  let seg = segment_for a outsider in
+  assert_rejected ~what:"wrong mesh key" ~reason:"bad-signature" metrics a seg (function
+    | O.Bad_signature { author = "beta"; seq = 1 } -> ()
+    | e -> Alcotest.failf "expected Bad_signature beta/1, got %s" (O.sync_error_to_string e))
+
+let test_partial_tamper_rejects_whole_segment () =
+  (* First two links honest, third mutated: verify-then-commit means the
+     honest prefix is not admitted either. *)
+  let metrics = Metrics.create () in
+  let a = replica ~metrics "alpha" and b = populated "beta" in
+  let seg =
+    List.map
+      (fun ev ->
+        if ev.O.seq = 3 then { ev with O.kind = O.Revoke { subject = "alice"; attr = "role" } }
+        else ev)
+      (segment_for a b)
+  in
+  assert_rejected ~what:"tampered tail" ~reason:"chain-mismatch" metrics a seg (function
+    | O.Chain_mismatch { author = "beta"; seq = 3 } -> ()
+    | e -> Alcotest.failf "expected Chain_mismatch beta/3, got %s" (O.sync_error_to_string e))
+
+(* --- RPC sync over the simulated network ---------------------------------- *)
+
+let test_sync_rpc_partition_heal () =
+  let net = Net.create ~seed:5L () in
+  let services = Service.create (Dacs_net.Rpc.create net) in
+  let add id =
+    Net.add_node net id;
+    id
+  in
+  let an = add "a.offline" and bn = add "b.offline" in
+  let a = replica "alpha" and b = populated "beta" in
+  O.serve a services ~node:an;
+  O.serve b services ~node:bn;
+  (* partitioned: the round surfaces an error, admits nothing *)
+  Net.partition net [ an ] [ bn ];
+  let got = ref None in
+  O.sync_rpc a services ~src:an ~dst:bn (fun r -> got := Some r);
+  Net.run net;
+  (match !got with
+  | Some (Error _) -> ()
+  | Some (Ok n) -> Alcotest.failf "partitioned sync admitted %d events" n
+  | None -> Alcotest.fail "no sync outcome");
+  check int_ "nothing crossed the cut" 0 (O.stats a).O.events_known;
+  (* healed: the next round exchanges the suffix *)
+  Net.unpartition net [ an ] [ bn ];
+  got := None;
+  O.sync_rpc a services ~src:an ~dst:bn (fun r -> got := Some r);
+  Net.run net;
+  (match !got with
+  | Some (Ok 3) -> ()
+  | Some (Ok n) -> Alcotest.failf "expected 3 events after heal, got %d" n
+  | Some (Error e) -> Alcotest.failf "post-heal sync failed: %s" e
+  | None -> Alcotest.fail "no sync outcome");
+  check string_ "digests converge over RPC" (O.state_digest b) (O.state_digest a)
+
+(* --- the PEP's offline rung ------------------------------------------------ *)
+
+type stack = { net : Net.t; pep : Pep.t; offline : O.t }
+
+let make_stack ?(attach = true) ?(with_policy = true) () =
+  let net = Net.create ~seed:11L () in
+  let services = Service.create (Dacs_net.Rpc.create net) in
+  let add id =
+    Net.add_node net id;
+    id
+  in
+  let shards =
+    List.init 2 (fun i ->
+        let node = add (Printf.sprintf "pdp%d" i) in
+        ignore
+          (Pdp_service.create services ~node ~name:node ~root:(Policy.Inline_policy pol) ());
+        node)
+  in
+  let tier = Pdp_tier.create services ~node:(add "pep") ~shards () in
+  let pep =
+    Pep.create services ~node:"pep" ~domain:"d" ~resource:"chart"
+      (Pep.Sharded { tier; cache = Some (Decision_cache.create ~ttl:600.0 ()) })
+  in
+  let offline = replica ~metrics:(Service.metrics services) "d" in
+  if with_policy then O.publish offline (Policy.Inline_policy pol);
+  O.grant offline ~subject:"alice" ~attr:"role" ~value:"doctor";
+  if attach then Pep.set_offline_replica pep (Some offline);
+  Net.run net;
+  { net; pep; offline }
+
+let crash_tier s =
+  Net.crash s.net "pdp0";
+  Net.crash s.net "pdp1"
+
+let decide_explained s c =
+  let answer = ref None in
+  Pep.decide_explained s.pep c (fun r p -> answer := Some (r, p));
+  Net.run s.net;
+  match !answer with None -> Alcotest.fail "no answer" | Some rp -> rp
+
+let test_pep_offline_rung () =
+  let s = make_stack () in
+  crash_tier s;
+  let r, p = decide_explained s (ctx ()) in
+  check bool_ "permit from the log" true (r.Decision.decision = Decision.Permit);
+  check string_ "offline stage" "offline" (Provenance.stage_name p.Provenance.stage);
+  check int_ "offline epoch stamped" (O.epoch s.offline) p.Provenance.epoch;
+  check bool_ "epoch started" true (O.epoch s.offline >= 1);
+  (match p.Provenance.log_head with
+  | Some h -> check bool_ "log head stamped" true (String.length h = 12)
+  | None -> Alcotest.fail "offline provenance must carry the log head");
+  check bool_ "replica marked offline" true (O.is_offline s.offline);
+  (* offline answers are never cached: the identical repeat descends the
+     ladder again and is served offline again *)
+  let _, p2 = decide_explained s (ctx ()) in
+  check string_ "second serve also offline" "offline" (Provenance.stage_name p2.Provenance.stage);
+  let st = Pep.stats s.pep in
+  check int_ "offline_serves counted" 2 st.Pep.offline_serves;
+  check int_ "no cache hits" 0 st.Pep.cache_hits;
+  check int_ "decides logged" 2 (O.stats s.offline).O.offline_decides
+
+let test_pep_offline_deny () =
+  let s = make_stack () in
+  crash_tier s;
+  let r, p = decide_explained s (ctx ~subject:"bob" ()) in
+  check bool_ "deny from the log" true (r.Decision.decision = Decision.Deny);
+  check string_ "offline stage" "offline" (Provenance.stage_name p.Provenance.stage)
+
+let test_pep_offline_indeterminate_falls_through () =
+  (* No policy in the log: Offline.decide has no basis, the ladder falls
+     to fail-closed, and nothing is logged (an Indeterminate can never
+     replay into a grant). *)
+  let s = make_stack ~with_policy:false () in
+  crash_tier s;
+  let logged = (O.stats s.offline).O.events_logged in
+  let r, p = decide_explained s (ctx ()) in
+  (match r.Decision.decision with
+  | Decision.Indeterminate _ -> ()
+  | d -> Alcotest.failf "expected Indeterminate, got %s" (Decision.decision_to_string d));
+  check string_ "fail-closed stage" "fail-closed" (Provenance.stage_name p.Provenance.stage);
+  check int_ "nothing logged" logged (O.stats s.offline).O.events_logged;
+  check int_ "no offline serve counted" 0 (Pep.stats s.pep).Pep.offline_serves
+
+let test_pep_without_replica_fails_closed () =
+  let s = make_stack ~attach:false () in
+  crash_tier s;
+  let r, p = decide_explained s (ctx ()) in
+  (match r.Decision.decision with
+  | Decision.Indeterminate _ -> ()
+  | d -> Alcotest.failf "expected Indeterminate, got %s" (Decision.decision_to_string d));
+  check string_ "fail-closed stage" "fail-closed" (Provenance.stage_name p.Provenance.stage)
+
+(* The satellite regression: a waiter coalesced onto a leader whose
+   descent was cut off mid-flight must observe the rung that actually
+   answered (offline), with its own coalesced flag — not the leader's
+   pre-partition rung. *)
+let test_coalesced_waiter_across_partition () =
+  let s = make_stack () in
+  let leader = ref None and waiter = ref None in
+  Pep.decide_explained s.pep (ctx ()) (fun r p -> leader := Some (r, p));
+  Pep.decide_explained s.pep (ctx ()) (fun r p -> waiter := Some (r, p));
+  (* the tier call is now in flight; the partition lands before it
+     completes *)
+  crash_tier s;
+  Net.run s.net;
+  match (!leader, !waiter) with
+  | Some (lr, lp), Some (wr, wp) ->
+    check string_ "leader answered offline" "offline" (Provenance.stage_name lp.Provenance.stage);
+    check string_ "waiter observes the completion rung" "offline"
+      (Provenance.stage_name wp.Provenance.stage);
+    check bool_ "waiter flagged coalesced" true wp.Provenance.coalesced;
+    check bool_ "leader not flagged" false lp.Provenance.coalesced;
+    check bool_ "same decision" true (lr.Decision.decision = wr.Decision.decision);
+    check int_ "one descent, one offline serve" 1 (Pep.stats s.pep).Pep.offline_serves;
+    check int_ "waiter counted as coalesced" 1 (Pep.stats s.pep).Pep.coalesced
+  | _ -> Alcotest.fail "both callbacks must fire"
+
+let () =
+  Alcotest.run "dacs_offline"
+    [
+      ( "log",
+        [
+          Alcotest.test_case "append, head, frontier, decide" `Quick test_log_basics;
+          Alcotest.test_case "sync_pair converges" `Quick test_sync_pair_converges;
+        ] );
+      ( "tamper",
+        [
+          Alcotest.test_case "mutated event -> Chain_mismatch" `Quick test_mutated_segment_rejected;
+          Alcotest.test_case "reordered payloads -> Chain_mismatch" `Quick
+            test_reordered_segment_rejected;
+          Alcotest.test_case "truncated segment -> Gap" `Quick test_truncated_segment_rejected;
+          Alcotest.test_case "forged tag -> Bad_signature" `Quick test_forged_tag_rejected;
+          Alcotest.test_case "wrong mesh key -> Bad_signature" `Quick test_wrong_mesh_key_rejected;
+          Alcotest.test_case "tampered tail rejects honest prefix" `Quick
+            test_partial_tamper_rejects_whole_segment;
+        ] );
+      ( "rpc",
+        [ Alcotest.test_case "partition blocks, heal syncs" `Quick test_sync_rpc_partition_heal ] );
+      ( "pep",
+        [
+          Alcotest.test_case "offline rung serves with provenance" `Quick test_pep_offline_rung;
+          Alcotest.test_case "offline deny" `Quick test_pep_offline_deny;
+          Alcotest.test_case "indeterminate falls through, never logged" `Quick
+            test_pep_offline_indeterminate_falls_through;
+          Alcotest.test_case "no replica -> fail-closed" `Quick test_pep_without_replica_fails_closed;
+          Alcotest.test_case "coalesced waiter across partition transition" `Quick
+            test_coalesced_waiter_across_partition;
+        ] );
+    ]

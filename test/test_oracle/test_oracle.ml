@@ -275,7 +275,28 @@ let cached_ladder_evaluate root cspec =
   Dacs_net.Engine.schedule (Net.engine net) ~delay:700.0 (fun () -> ());
   Net.run net;
   let stale = decide () in
+  (* Offline rung: purge the expired L1 entry, attach an offline replica
+     holding the same policy (and the subject's role as a signed grant)
+     — with the tier dark and nothing stale to serve, the ladder must
+     descend to the signed log.  The offline evaluation sees exactly the
+     reference's attributes, so the decision must still match; an
+     Indeterminate has no offline basis and falls through to the
+     fail-closed floor without ever being logged. *)
   Pep.invalidate_cache pep;
+  let offline_replica =
+    Offline.create ~now:(fun () -> Dacs_net.Engine.now (Net.engine net))
+      ~key:(Dacs_crypto.Sha256.digest "oracle-mesh") ~author:"d" ()
+  in
+  Offline.publish offline_replica root;
+  if cspec.role_code <> 0 then
+    Offline.grant offline_replica ~subject:"alice" ~attr:"role"
+      ~value:roles.((cspec.role_code - 1) mod Array.length roles);
+  Pep.set_offline_replica pep (Some offline_replica);
+  let offline = decide () in
+  (* Detaching the replica (without touching L1) exposes the fail-closed
+     floor — and proves offline answers were never written to L1, which
+     would otherwise answer here. *)
+  Pep.set_offline_replica pep None;
   let fail_closed = decide () in
   (* Indeterminate answers are deliberately never cached (a statement
      about the machinery, not the policy), so when the corpus case
@@ -286,6 +307,12 @@ let cached_ladder_evaluate root cspec =
     | Some ({ Decision.decision = Decision.Indeterminate _; _ }, _) -> false
     | _ -> true
   in
+  (match offline with
+  | Some (_, { Provenance.stage = Provenance.Offline; log_head = None; _ }) ->
+    QCheck.Test.fail_reportf "offline serve without a log head (%s)" (seed_hint ())
+  | _ -> ());
+  if (not cacheable) && (Offline.stats offline_replica).Offline.offline_decides > 0 then
+    QCheck.Test.fail_reportf "indeterminate was logged as an offline decision (%s)" (seed_hint ());
   [
     ("cold", Provenance.Live, `Equal, cold);
     ("warm-l1", (if cacheable then Provenance.L1 else Provenance.Live), `Equal, warm_l1);
@@ -295,6 +322,8 @@ let cached_ladder_evaluate root cspec =
     ("coalesced-waiter", Provenance.Live, `Equal, !waiter);
     (if cacheable then ("stale", Provenance.Stale, `Equal, stale)
      else ("stale", Provenance.Fail_closed, `Indeterminate, stale));
+    (if cacheable then ("offline", Provenance.Offline, `Equal, offline)
+     else ("offline", Provenance.Fail_closed, `Indeterminate, offline));
     ("fail-closed", Provenance.Fail_closed, `Indeterminate, fail_closed);
   ]
 
