@@ -1746,7 +1746,7 @@ let e20_trajectory () =
         Option.map
           (fun s -> Printf.sprintf "%S:%s" tag (minify s))
           (read_file_opt (Filename.concat dir (Printf.sprintf "BENCH_%s.json" tag))))
-      [ "e16"; "e17"; "e18"; "e19"; "e21" ]
+      [ "e16"; "e17"; "e18"; "e19"; "e21"; "e22" ]
   in
   ensure_dir dir;
   let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 ledger in
@@ -1951,6 +1951,227 @@ let e21_offline () =
     ]
 
 (* ==================================================================== *)
+(* E22 — million-user scale: key scheme x cache tier                    *)
+(* ==================================================================== *)
+
+(* The serving-path scale ablation behind the interned-identity rework:
+   packed integer request keys against the legacy sorted-string +
+   SHA-256 scheme, measured three ways —
+
+   - key construction alone (the per-request cost the swap removes);
+   - warm-L1 decide throughput under a 1M-user Zipf draw (wall-clock,
+     so reported and gated only as a within-run ratio);
+   - a full engine run at 1M users under both schemes: decisions must
+     be identical, reports byte-identical per seed, and the lazy
+     workload state must stay O(active).
+
+   Resident key bytes come from {!Decision_cache.key_bytes}: the packed
+   scheme must at least halve what the cache pins per entry. *)
+
+let e22_scale () =
+  header "E22  Million-user serving path (key scheme x cache tier)"
+    "interning identities and packing cache keys as integer tuples makes the \
+     warm decide path >= 2x faster than the sorted-string + SHA-256 scheme at \
+     a 1M-user Zipf working set, at least halves resident key bytes, and \
+     changes no decision; the workload engine completes 1M-user runs \
+     materialising state only for active users";
+  let module W = Dacs_workload.Workload in
+  let with_scheme scheme f =
+    let saved = Decision_cache.key_scheme () in
+    Decision_cache.set_key_scheme scheme;
+    Fun.protect ~finally:(fun () -> Decision_cache.set_key_scheme saved) f
+  in
+  let failures = ref [] in
+  let check name ok detail =
+    Printf.printf "E22 CHECK %s: %s (%s)\n" name (if ok then "PASS" else "FAIL") detail;
+    if not ok then failures := Printf.sprintf "%s (%s)" name detail :: !failures
+  in
+  (* -- part 1: key construction ------------------------------------- *)
+  (* The e17 attribute shape: identity plus the role/clearance/department
+     triple a PIP would have resolved, over a 16-resource estate. *)
+  let ctx_for u =
+    Context.make
+      ~subject:
+        [
+          ("subject-id", Value.String (Printf.sprintf "user%d" u));
+          ("role", Value.String "doctor");
+          ("clearance", Value.String "secret");
+          ("department", Value.String (Printf.sprintf "dept%d" (u mod 8)));
+        ]
+      ~resource:
+        [
+          ("resource-id", Value.String (Printf.sprintf "res%d" (u mod 16)));
+          ("owner", Value.String (Printf.sprintf "dept%d" (u mod 8)));
+        ]
+      ~action:[ ("action-id", Value.String "read") ]
+      ()
+  in
+  let key_ctxs = Array.init 256 ctx_for in
+  let spin = ref 0 in
+  let cycle f () =
+    f key_ctxs.(!spin land 255) |> ignore;
+    incr spin
+  in
+  let sha_us = time_us (cycle Decision_cache.sha_request_key) in
+  let packed_us = time_us (cycle Intern.request_key) in
+  let key_speedup = sha_us /. packed_us in
+  Printf.printf "key construction (256-context cycle):\n";
+  Printf.printf "  %-32s %10.3f us\n" "sha-hex (sort + format + SHA-256)" sha_us;
+  Printf.printf "  %-32s %10.3f us\n" "packed (interned atom tuple)" packed_us;
+  (* -- part 2: warm-L1 decide throughput, 1M-user Zipf --------------- *)
+  let population = 1_000_000 and draws = 120_000 and skew = 1.1 in
+  (* Walker alias sampler, same construction as the workload engine's:
+     O(n) setup, one uniform draw per sample. *)
+  let sample_users () =
+    let rng = Rng.create 0xe22L in
+    let scaled = Array.init population (fun i -> 1.0 /. (float_of_int (i + 1) ** skew)) in
+    let total = Array.fold_left ( +. ) 0.0 scaled in
+    let norm = float_of_int population /. total in
+    Array.iteri (fun i w -> scaled.(i) <- w *. norm) scaled;
+    let prob = Array.make population 1.0 in
+    let alias = Array.init population Fun.id in
+    let small = ref [] and large = ref [] in
+    for i = population - 1 downto 0 do
+      if scaled.(i) < 1.0 then small := i :: !small else large := i :: !large
+    done;
+    let rec pair () =
+      match (!small, !large) with
+      | s :: ss, l :: ls ->
+        prob.(s) <- scaled.(s);
+        alias.(s) <- l;
+        scaled.(l) <- scaled.(l) -. (1.0 -. scaled.(s));
+        small := ss;
+        large := ls;
+        if scaled.(l) < 1.0 then small := l :: !small else large := l :: !large;
+        pair ()
+      | _, _ -> ()
+    in
+    pair ();
+    Array.init draws (fun _ ->
+        let u = Rng.float rng (float_of_int population) in
+        let i = min (int_of_float u) (population - 1) in
+        if u -. float_of_int i < prob.(i) then i else alias.(i))
+  in
+  let users = sample_users () in
+  let distinct = Hashtbl.create 65536 in
+  Array.iter (fun u -> Hashtbl.replace distinct u ()) users;
+  let working_set = Hashtbl.length distinct in
+  let ctxs = Array.map ctx_for users in
+  let warm_stack () =
+    let net, services = fresh () in
+    let add id = Net.add_node net id; id in
+    ignore
+      (Pdp_service.create services ~node:(add "pdp") ~name:"pdp"
+         ~root:
+           (Policy.Inline_policy
+              (Policy.make ~id:"e22" ~rule_combining:Combine.First_applicable
+                 [ Rule.permit ~target:Target.(any |> subject_is "role" "doctor") "permit-doctor";
+                   Rule.deny "default-deny" ]))
+         ());
+    let cache = Decision_cache.create ~max_entries:(1 lsl 18) ~ttl:3600.0 () in
+    let pep =
+      Pep.create services ~node:(add "pep") ~domain:"d" ~resource:"r" ~content:"c"
+        (Pep.Pull { pdps = [ "pdp" ]; cache = Some cache; call_timeout = 5.0 })
+    in
+    (* Warm: every draw descends once; single-flight coalesces the
+       duplicates, Net.run settles the misses, and from then on every
+       lookup is a synchronous L1 hit. *)
+    Array.iter (fun ctx -> Pep.decide pep ctx (fun _ -> ())) ctxs;
+    Net.run net;
+    (pep, cache)
+  in
+  let measure scheme =
+    with_scheme scheme (fun () ->
+        let pep, cache = warm_stack () in
+        let answered = ref 0 in
+        let t0 = Sys.time () in
+        Array.iter (fun ctx -> Pep.decide pep ctx (fun _ -> incr answered)) ctxs;
+        let dt = Sys.time () -. t0 in
+        if !answered <> draws then
+          failures := Printf.sprintf "%d of %d warm decides answered synchronously" !answered draws :: !failures;
+        (float_of_int draws /. dt, Decision_cache.key_bytes cache, Decision_cache.size cache))
+  in
+  let sha_thr, sha_bytes, sha_entries = measure Decision_cache.Sha_hex in
+  let packed_thr, packed_bytes, packed_entries = measure Decision_cache.Packed in
+  let decide_speedup = packed_thr /. sha_thr in
+  let st = Intern.stats Intern.global in
+  Printf.printf "\nwarm-L1 decide, %d draws over %d-user Zipf(%.1f) (%d distinct):\n" draws
+    population skew working_set;
+  Printf.printf "  %-14s %14s %14s %12s\n" "scheme" "decides/s" "resident keys" "key bytes";
+  Printf.printf "  %-14s %14.0f %14d %12d\n" "sha-hex" sha_thr sha_entries sha_bytes;
+  Printf.printf "  %-14s %14.0f %14d %12d\n" "packed" packed_thr packed_entries packed_bytes;
+  Printf.printf "  intern table: %d strings, %d pairs, %d values, %d atoms\n" st.Intern.strings
+    st.Intern.pairs st.Intern.values st.Intern.atoms;
+  (* -- part 3: engine-level 1M-user runs, both schemes --------------- *)
+  let scenario =
+    {
+      W.default with
+      W.seed = 7;
+      users = 1_000_000;
+      shards = 2;
+      cache_ttl = 30.0;
+      cache_capacity = 65_536;
+      arrivals = W.Open_loop { rate = 400.0 };
+      duration = 2.0;
+    }
+  in
+  let packed_run = with_scheme Decision_cache.Packed (fun () -> W.run scenario) in
+  let packed_rerun = with_scheme Decision_cache.Packed (fun () -> W.run scenario) in
+  let sha_run = with_scheme Decision_cache.Sha_hex (fun () -> W.run scenario) in
+  let mpr (r : W.report) = float_of_int r.W.messages /. float_of_int r.W.offered in
+  Printf.printf "\n1M-user engine run (seed 7, 400 req/s, 2 shards, cached):\n";
+  Printf.printf "  %-14s %8s %8s %8s %8s %9s %12s\n" "scheme" "offered" "granted" "denied"
+    "errors" "msgs/req" "active users";
+  List.iter
+    (fun (label, (r : W.report)) ->
+      Printf.printf "  %-14s %8d %8d %8d %8d %9.2f %12d\n" label r.W.offered r.W.granted
+        r.W.denied r.W.errors (mpr r) r.W.active_users)
+    [ ("sha-hex", sha_run); ("packed", packed_run) ];
+  print_newline ();
+  check "key-build-speedup" (key_speedup >= 2.0)
+    (Printf.sprintf "packed %.3f us vs sha %.3f us, %.1fx >= 2x" packed_us sha_us key_speedup);
+  check "warm-decide-speedup" (decide_speedup >= 2.0)
+    (Printf.sprintf "%.0f vs %.0f decides/s, %.1fx >= 2x" packed_thr sha_thr decide_speedup);
+  check "resident-key-bytes"
+    (packed_entries = sha_entries && packed_bytes * 2 <= sha_bytes)
+    (Printf.sprintf "%d bytes packed vs %d sha over %d entries (<= half)" packed_bytes sha_bytes
+       sha_entries);
+  check "decisions-unchanged"
+    (packed_run.W.granted = sha_run.W.granted
+    && packed_run.W.denied = sha_run.W.denied
+    && packed_run.W.errors = sha_run.W.errors
+    && packed_run.W.shed = sha_run.W.shed)
+    (Printf.sprintf "granted/denied/errors/shed %d/%d/%d/%d under both key schemes"
+       packed_run.W.granted packed_run.W.denied packed_run.W.errors packed_run.W.shed);
+  check "msgs-per-req-unchanged"
+    (packed_run.W.messages = sha_run.W.messages)
+    (Printf.sprintf "%.2f msgs/req packed vs %.2f sha" (mpr packed_run) (mpr sha_run));
+  check "o-active-state"
+    (packed_run.W.active_users < 100_000 && packed_run.W.active_users <= packed_run.W.offered)
+    (Printf.sprintf "%d of %d users materialised" packed_run.W.active_users scenario.W.users);
+  check "determinism"
+    (W.render packed_run = W.render packed_rerun)
+    "same-seed 1M-user report renders byte-identical";
+  check "conservation"
+    (W.conservation_ok packed_run && W.conservation_ok sha_run)
+    "completed = offered and answers sum up under both schemes";
+  List.iter (fun f -> Printf.printf "E22 FAILURE: %s\n" f) !failures;
+  record_gate_failures "e22" !failures;
+  write_bench_json "e22"
+    [
+      ("key_build_speedup", json_f key_speedup);
+      ("warm_decide_speedup", json_f decide_speedup);
+      ("packed_decides_per_s", json_f packed_thr);
+      ("sha_decides_per_s", json_f sha_thr);
+      ("packed_key_bytes", json_i packed_bytes);
+      ("sha_key_bytes", json_i sha_bytes);
+      ("working_set", json_i working_set);
+      ("active_users_1m", json_i packed_run.W.active_users);
+      ("msgs_per_req_1m", json_f (mpr packed_run));
+      ("gate_failures", json_i (List.length !failures));
+    ]
+
+(* ==================================================================== *)
 (* Micro-benchmarks (Bechamel)                                          *)
 (* ==================================================================== *)
 
@@ -2029,6 +2250,7 @@ let experiments =
     ("e18", e18_workload);
     ("e19", e19_compiled_eval);
     ("e21", e21_offline);
+    ("e22", e22_scale);
     ("e20", e20_trajectory);
     ("micro", micro);
   ]

@@ -927,8 +927,8 @@ let offline_cmd seed json =
    same scenario (same seed) always prints a byte-identical report, so
    two invocations can be compared with cmp(1) — the determinism gate CI
    relies on.  Exits non-zero when a LOAD CHECK fails. *)
-let load_cmd seed rate clients think duration peps shards users domains zipf cache_ttl service_time
-    batch max_inflight queue pdp_max_inflight rule_cost compiled json =
+let load_cmd seed rate clients think duration peps shards users domains zipf cache_ttl
+    cache_entries service_time batch max_inflight queue pdp_max_inflight rule_cost compiled json =
   let module W = Dacs_workload.Workload in
   let arrivals =
     if clients > 0 then W.Closed_loop { clients; think_time = think } else W.Open_loop { rate }
@@ -944,6 +944,7 @@ let load_cmd seed rate clients think duration peps shards users domains zipf cac
       arrivals;
       duration;
       cache_ttl;
+      cache_capacity = cache_entries;
       service_time;
       batch;
       admission =
@@ -1138,6 +1139,13 @@ let cache_ttl_arg =
     & opt float 0.0
     & info [ "cache-ttl" ] ~docv:"S" ~doc:"L1 decision-cache TTL in seconds (0 disables caching).")
 
+let cache_entries_arg =
+  Arg.(
+    value
+    & opt int 1024
+    & info [ "cache-entries" ] ~docv:"N"
+        ~doc:"L1 decision-cache capacity in entries (the warm working-set bound).")
+
 let service_time_arg =
   Arg.(
     value
@@ -1219,9 +1227,9 @@ let load_t =
           report.  Exits non-zero when a LOAD CHECK fails")
     Term.(
       const load_cmd $ sim_seed_arg $ rate_arg $ clients_arg $ think_arg $ duration_arg $ peps_arg
-      $ shards_arg $ users_arg $ domains_arg $ zipf_arg $ cache_ttl_arg $ service_time_arg
-      $ batch_arg $ max_inflight_arg $ queue_arg $ pdp_inflight_arg $ rule_cost_arg
-      $ compiled_flag $ json_flag)
+      $ shards_arg $ users_arg $ domains_arg $ zipf_arg $ cache_ttl_arg $ cache_entries_arg
+      $ service_time_arg $ batch_arg $ max_inflight_arg $ queue_arg $ pdp_inflight_arg
+      $ rule_cost_arg $ compiled_flag $ json_flag)
 
 let main =
   Cmd.group

@@ -15,18 +15,21 @@ module Attr_cache = struct
 
   type t = {
     ttl : float;
-    table : (string * string * string, entry) Hashtbl.t;  (* category, id, subject *)
+    (* Packed (pair sym, subject sym) word — see Intern.pack2.  An
+       int-keyed table hashes one machine word per probe instead of a
+       three-string tuple. *)
+    table : (int, entry) Hashtbl.t;
     c_hits : Metrics.counter;
     c_misses : Metrics.counter;
     c_invalidations : Metrics.counter;
   }
 
-  let create metrics ~node ~ttl =
+  let create metrics ~node ?(expected = 1024) ~ttl () =
     if ttl <= 0.0 then invalid_arg "Attr_cache.create: ttl must be positive";
     let own ?help name = Metrics.counter metrics ?help ~labels:[ ("node", node) ] name in
     {
       ttl;
-      table = Hashtbl.create 64;
+      table = Hashtbl.create (max 64 (min expected (1 lsl 18)));
       c_hits = own "pdp_attr_cache_hits_total" ~help:"Attribute bags served from the PDP cache";
       c_misses = own "pdp_attr_cache_misses_total" ~help:"Attribute-cache lookups that missed";
       c_invalidations =
@@ -34,26 +37,36 @@ module Attr_cache = struct
           ~help:"Cached attribute bags dropped on PIP invalidation";
     }
 
-  let key category id subject = (Context.category_name category, id, subject)
+  let pair_sym category id = Intern.pair Intern.global category id
+  let subject_sym subject = Intern.string Intern.global subject
+  let key ~pair ~subject_sym = Intern.pack2 pair subject_sym
 
-  let find t ~now ~category ~id ~subject =
-    match Hashtbl.find_opt t.table (key category id subject) with
+  let find_key t ~now k =
+    match Hashtbl.find_opt t.table k with
     | Some e when now < e.expires ->
       Metrics.inc t.c_hits;
       Some e.bag
     | Some _ ->
-      Hashtbl.remove t.table (key category id subject);
+      Hashtbl.remove t.table k;
       Metrics.inc t.c_misses;
       None
     | None ->
       Metrics.inc t.c_misses;
       None
 
+  let find_sym t ~now ~pair ~subject_sym = find_key t ~now (key ~pair ~subject_sym)
+
+  let find t ~now ~category ~id ~subject =
+    find_sym t ~now ~pair:(pair_sym category id) ~subject_sym:(subject_sym subject)
+
+  let store_sym t ~now ~pair ~subject_sym bag =
+    Hashtbl.replace t.table (key ~pair ~subject_sym) { bag; expires = now +. t.ttl }
+
   let store t ~now ~category ~id ~subject bag =
-    Hashtbl.replace t.table (key category id subject) { bag; expires = now +. t.ttl }
+    store_sym t ~now ~pair:(pair_sym category id) ~subject_sym:(subject_sym subject) bag
 
   let invalidate_subject t ~subject ~id =
-    let k = key Context.Subject id subject in
+    let k = key ~pair:(pair_sym Context.Subject id) ~subject_sym:(subject_sym subject) in
     if Hashtbl.mem t.table k then begin
       Hashtbl.remove t.table k;
       Metrics.inc t.c_invalidations

@@ -24,10 +24,24 @@
 module Attr_cache : sig
   type t
 
-  val create : Dacs_telemetry.Metrics.t -> node:string -> ttl:float -> t
+  val create :
+    Dacs_telemetry.Metrics.t -> node:string -> ?expected:int -> ttl:float -> unit -> t
   (** Mirrors hits/misses/invalidations into
-      [pdp_attr_cache_*_total{node}].  Raises [Invalid_argument] on a
+      [pdp_attr_cache_*_total{node}].  The table is pre-sized for
+      [expected] entries (default 1024).  Raises [Invalid_argument] on a
       non-positive TTL. *)
+
+  val pair_sym : Dacs_policy.Context.category -> string -> int
+  (** Intern an attribute position once (e.g. at resolver setup) and use
+      the sym-based lookups below on the hot path. *)
+
+  val subject_sym : string -> int
+
+  val find_sym : t -> now:float -> pair:int -> subject_sym:int -> Dacs_policy.Value.bag option
+  (** {!find} with pre-interned ids: one packed-word table probe, no
+      string hashing.  What {!Pdp_service} uses per evaluation. *)
+
+  val store_sym : t -> now:float -> pair:int -> subject_sym:int -> Dacs_policy.Value.bag -> unit
 
   val find :
     t ->

@@ -44,7 +44,9 @@ let create ?metrics ?(owner = "default") ?(max_entries = 1024) ~ttl () =
   {
     ttl;
     max_entries;
-    table = Hashtbl.create 64;
+    (* Pre-size from capacity so a cache filled to max_entries never
+       rehashes; capped so absurd limits don't allocate absurd tables. *)
+    table = Hashtbl.create (max 64 (min max_entries (1 lsl 18)));
     order = Queue.create ();
     mirror;
     next_stamp = 0;
@@ -138,13 +140,14 @@ let invalidate_all t =
 
 let size t = Hashtbl.length t.table
 
+let key_bytes t = Hashtbl.fold (fun key _ acc -> acc + String.length key) t.table 0
+
 let stats t = t.stats
 
-let request_key ctx =
-  (* Environment attributes (notably the current time) are excluded: a
-     key that changes every request would never hit.  The price is that a
-     cached decision ignores environment-sensitive conditions for one TTL
-     — part of the staleness trade the experiments measure. *)
+let sha_request_key ctx =
+  (* The original scheme: every attribute formatted, sorted, joined and
+     SHA-256-hashed per request.  Kept as the baseline arm of the E22
+     key-scheme ablation. *)
   let module Context = Dacs_policy.Context in
   let module Value = Dacs_policy.Value in
   let section category =
@@ -155,3 +158,20 @@ let request_key ctx =
   in
   let parts = section Context.Subject @ section Context.Resource @ section Context.Action in
   Dacs_crypto.Sha256.hex_digest (String.concat "|" (List.sort compare parts))
+
+type key_scheme = Packed | Sha_hex
+
+let scheme = ref Packed
+
+let key_scheme () = !scheme
+let set_key_scheme s = scheme := s
+
+let request_key ctx =
+  (* Environment attributes (notably the current time) are excluded under
+     both schemes: a key that changes every request would never hit.  The
+     price is that a cached decision ignores environment-sensitive
+     conditions for one TTL — part of the staleness trade the experiments
+     measure. *)
+  match !scheme with
+  | Packed -> Intern.request_key ctx
+  | Sha_hex -> sha_request_key ctx

@@ -53,6 +53,11 @@ val invalidate_all : t -> unit
 
 val size : t -> int
 
+val key_bytes : t -> int
+(** Total bytes of resident keys (live entries only) — the footprint the
+    E22 scale ablation gates: packed integer-tuple keys must stay well
+    under the 64-byte-per-entry hex digests they replaced. *)
+
 type stats = {
   hits : int;
   misses : int;
@@ -63,8 +68,26 @@ type stats = {
 
 val stats : t -> stats
 
-val request_key : Dacs_policy.Context.t -> string
-(** Canonical cache key over the subject, resource and action attributes.
-    Environment attributes (e.g. the request time) are deliberately
-    excluded — they change on every request, and a cached decision is
+(** {1 Request keys}
+
+    Two interchangeable key schemes over the same canonical content (the
+    subject, resource and action attribute multisets).  Environment
+    attributes (e.g. the request time) are deliberately excluded under
+    both — they change on every request, and a cached decision is
     precisely one that skips re-evaluating them until the TTL lapses. *)
+
+type key_scheme =
+  | Packed  (** sorted interned atom ids, dot-separated (see {!Intern}) *)
+  | Sha_hex  (** legacy sorted-string SHA-256 hex digest *)
+
+val key_scheme : unit -> key_scheme
+val set_key_scheme : key_scheme -> unit
+(** Process-wide toggle, [Packed] by default.  Flipping it mid-run only
+    costs cache misses (old-scheme entries stop being found); the E22
+    ablation and the oracle equivalence suite switch it per arm. *)
+
+val request_key : Dacs_policy.Context.t -> string
+(** Canonical cache key under the current {!key_scheme}. *)
+
+val sha_request_key : Dacs_policy.Context.t -> string
+(** The legacy scheme, directly — the baseline arm of the E22 bench. *)

@@ -1,0 +1,148 @@
+module Context = Dacs_policy.Context
+module Value = Dacs_policy.Value
+
+type sym = int
+
+type t = {
+  strings : (string, int) Hashtbl.t;
+  mutable names : string array;
+  mutable n_strings : int;
+  (* One string-keyed table per category: an attribute position resolves
+     in a single probe, and the hit path allocates nothing (lookups go
+     through Hashtbl.find, not find_opt). *)
+  pairs_by_category : (string, int) Hashtbl.t array;
+  mutable n_pairs : int;
+  (* structural value -> dense value sym *)
+  values : (Value.t, int) Hashtbl.t;
+  mutable n_values : int;
+  (* (pair sym | value sym) -> dense atom sym *)
+  atoms : (int, int) Hashtbl.t;
+  mutable n_atoms : int;
+  (* reusable scratch for key building: atom syms of the request in hand *)
+  mutable scratch : int array;
+  buf : Buffer.t;
+}
+
+let create ?(expected = 1024) () =
+  let expected = max 16 (min expected (1 lsl 20)) in
+  {
+    strings = Hashtbl.create expected;
+    names = Array.make (max 16 (min expected 4096)) "";
+    n_strings = 0;
+    pairs_by_category = Array.init 4 (fun _ -> Hashtbl.create (max 16 (expected / 16)));
+    n_pairs = 0;
+    values = Hashtbl.create expected;
+    n_values = 0;
+    atoms = Hashtbl.create expected;
+    n_atoms = 0;
+    scratch = Array.make 16 0;
+    buf = Buffer.create 64;
+  }
+
+(* Sized for a million-user vocabulary's early doublings: large enough
+   that the first ~64k symbols never rehash, small enough to allocate in
+   every process (tests included) without ceremony. *)
+let global = create ~expected:(1 lsl 16) ()
+
+let string t s =
+  match Hashtbl.find t.strings s with
+  | sym -> sym
+  | exception Not_found ->
+    let sym = t.n_strings in
+    Hashtbl.add t.strings s sym;
+    if sym >= Array.length t.names then begin
+      let bigger = Array.make (2 * Array.length t.names) "" in
+      Array.blit t.names 0 bigger 0 sym;
+      t.names <- bigger
+    end;
+    t.names.(sym) <- s;
+    t.n_strings <- sym + 1;
+    sym
+
+let name t sym =
+  if sym < 0 || sym >= t.n_strings then invalid_arg "Intern.name: unknown sym"
+  else t.names.(sym)
+
+let value t v =
+  match Hashtbl.find t.values v with
+  | sym -> sym
+  | exception Not_found ->
+    let sym = t.n_values in
+    Hashtbl.add t.values v sym;
+    t.n_values <- sym + 1;
+    sym
+
+let category_code = function
+  | Context.Subject -> 0
+  | Context.Resource -> 1
+  | Context.Action -> 2
+  | Context.Environment -> 3
+
+let pair t category id =
+  let table = t.pairs_by_category.(category_code category) in
+  match Hashtbl.find table id with
+  | sym -> sym
+  | exception Not_found ->
+    let sym = t.n_pairs in
+    Hashtbl.add table id sym;
+    t.n_pairs <- sym + 1;
+    sym
+
+let pack2 a b = (a lsl 31) lor b
+
+let atom t ~pair ~value =
+  let key = pack2 pair value in
+  match Hashtbl.find t.atoms key with
+  | sym -> sym
+  | exception Not_found ->
+    let sym = t.n_atoms in
+    Hashtbl.add t.atoms key sym;
+    t.n_atoms <- sym + 1;
+    sym
+
+(* Decimal writer without the intermediate string_of_int allocation. *)
+let rec add_decimal buf x =
+  if x >= 10 then add_decimal buf (x / 10);
+  Buffer.add_char buf (Char.chr (Char.code '0' + (x mod 10)))
+
+let request_key ?(table = global) ctx =
+  let t = table in
+  let n = ref 0 in
+  Context.iter ctx (fun category id bag ->
+      match category with
+      | Context.Environment -> ()
+      | Context.Subject | Context.Resource | Context.Action ->
+        let p = pair t category id in
+        List.iter
+          (fun v ->
+            if !n >= Array.length t.scratch then begin
+              let bigger = Array.make (2 * Array.length t.scratch) 0 in
+              Array.blit t.scratch 0 bigger 0 !n;
+              t.scratch <- bigger
+            end;
+            t.scratch.(!n) <- atom t ~pair:p ~value:(value t v);
+            incr n)
+          bag);
+  (* Insertion sort: the canonical form must not depend on bag order, and
+     requests carry a handful of atoms, where this beats Array.sort. *)
+  let a = t.scratch in
+  for i = 1 to !n - 1 do
+    let x = a.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && a.(!j) > x do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- x
+  done;
+  Buffer.clear t.buf;
+  for i = 0 to !n - 1 do
+    if i > 0 then Buffer.add_char t.buf '.';
+    add_decimal t.buf a.(i)
+  done;
+  Buffer.contents t.buf
+
+type stats = { strings : int; pairs : int; values : int; atoms : int }
+
+let stats t =
+  { strings = t.n_strings; pairs = t.n_pairs; values = t.n_values; atoms = t.n_atoms }

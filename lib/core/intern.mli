@@ -1,0 +1,76 @@
+(** Symbol interning for the serving path.
+
+    At millions of users the per-request cost of building cache keys —
+    formatting every attribute into a sorted string and hashing it with
+    SHA-256 (the original {!Decision_cache.sha_request_key}) — dominates
+    the warm path.  Crampton & Morisset's formal framing (PAPERS.md)
+    licenses the fix: policy evaluation is independent of identifier
+    representation, so subjects, resources, actions, attribute
+    (category, id) pairs and attribute values can all be interned to
+    dense integer ids once and compared/packed as machine words ever
+    after.  The oracle suite proves the swap changes no decision.
+
+    Three nested namespaces, all backed by pre-sized hash tables:
+
+    - {b strings} — raw identifier text (subject ids, attribute ids, …);
+    - {b pairs} — an attribute position [(category, id)];
+    - {b atoms} — one attribute binding [(pair, value)].
+
+    A request key is the sorted atom multiset of the Subject, Resource
+    and Action sections, encoded as dot-separated decimal atom ids — a
+    short ASCII string (XML-safe, so L2 wire sync keeps working) instead
+    of a 64-byte hex digest.  Ids are dense and deterministic within a
+    process: the same first-encounter order yields the same ids, and the
+    whole simulation shares one process, so keys are comparable across
+    every simulated node via {!global}. *)
+
+type t
+(** One interning universe (string, pair and atom tables). *)
+
+type sym = int
+(** A dense id, unique within its namespace of one {!t}. *)
+
+val create : ?expected:int -> unit -> t
+(** Fresh universe; tables are pre-sized for [expected] distinct strings
+    (default 1024) to avoid rehash churn while the vocabulary grows. *)
+
+val global : t
+(** The process-wide universe used by the serving path.  Pre-sized for a
+    million-user vocabulary's first growth doublings. *)
+
+val string : t -> string -> sym
+(** Intern raw identifier text. *)
+
+val name : t -> sym -> string
+(** Reverse lookup; raises [Invalid_argument] on an unknown sym. *)
+
+val value : t -> Dacs_policy.Value.t -> sym
+(** Intern a typed attribute value.  Distinct types never share a sym
+    (structural interning), mirroring the type-annotated
+    [Value.describe] used by the legacy string keys.  Caveat: a NaN
+    [Double] never equals itself and so never re-interns to the same
+    sym — callers must not feed NaN attribute values. *)
+
+val pair : t -> Dacs_policy.Context.category -> string -> sym
+(** Intern an attribute position [(category, id)]. *)
+
+val atom : t -> pair:sym -> value:sym -> sym
+(** Intern one attribute binding.  Equal bindings get equal syms, so a
+    sorted atom sequence is a canonical form of an attribute multiset. *)
+
+val pack2 : int -> int -> int
+(** [pack2 a b] packs two dense syms into one word ([a lsl 31 lor b]) —
+    the int-keyed form used by the attribute cache.  Both arguments must
+    be dense table syms (far below [2^31]). *)
+
+val request_key : ?table:t -> Dacs_policy.Context.t -> string
+(** Packed request key over the Subject, Resource and Action sections —
+    Environment is excluded exactly as in the legacy scheme (a key that
+    changes every request would never hit).  Two contexts produce the
+    same key iff their (category, id, value) multisets over those three
+    sections are equal; bag and insertion order never matter. *)
+
+type stats = { strings : int; pairs : int; values : int; atoms : int }
+
+val stats : t -> stats
+(** Table populations, for capacity reporting in benches. *)

@@ -192,13 +192,19 @@ let store_attr t ~subject (category, id) bag =
    neither resolved nor refetched.  [attempted] prevents refetching
    attributes a PIP already said it does not have within this
    evaluation. *)
-let evaluate_pass t ~subject ctx attempted =
+let evaluate_pass t ~subject_sym ctx attempted =
   let misses = ref [] in
   let resolve category id =
     let cached =
       match t.attr_cache with
       | None -> None
-      | Some ac -> Cache_hierarchy.Attr_cache.find ac ~now:(now t) ~category ~id ~subject
+      | Some ac ->
+        (* The subject was interned once per evaluation; the (category,
+           id) position interns to a dense pair sym (a string-table hit),
+           so the probe hashes one packed word. *)
+        Cache_hierarchy.Attr_cache.find_sym ac ~now:(now t)
+          ~pair:(Cache_hierarchy.Attr_cache.pair_sym category id)
+          ~subject_sym
     in
     match cached with
     | Some [] -> None
@@ -332,11 +338,12 @@ let evaluate_local t ctx k =
   if Trace.enabled tr then Trace.set_current tr (Some (Trace.context span));
   ensure_policy t (fun () ->
       let subject = Option.value (Context.subject_id ctx) ~default:"" in
+      let subject_sym = Cache_hierarchy.Attr_cache.subject_sym subject in
       let attempted = Hashtbl.create 8 in
       (* The context-handler loop: evaluate, fetch what was missing,
          re-evaluate; bounded to keep pathological policies finite. *)
       let rec loop ctx rounds =
-        let result, misses = evaluate_pass t ~subject ctx attempted in
+        let result, misses = evaluate_pass t ~subject_sym ctx attempted in
         if misses = [] || t.pips = [] || rounds >= 4 then begin
           Metrics.inc t.counters.c_queries;
           if Decision.is_permit result then Metrics.inc t.counters.c_permits;
@@ -420,7 +427,7 @@ let create services ~node ~name:_ ?root ?pap ?refresh ?(pips = []) ?signer ?retr
   in
   let metrics = Service.metrics services in
   let attr_cache =
-    Option.map (fun ttl -> Cache_hierarchy.Attr_cache.create metrics ~node ~ttl) attr_cache_ttl
+    Option.map (fun ttl -> Cache_hierarchy.Attr_cache.create metrics ~node ~ttl ()) attr_cache_ttl
   in
   let t =
     {

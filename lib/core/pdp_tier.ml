@@ -40,6 +40,10 @@ type shard_state = {
   mutable queue : item list;  (** newest first *)
   mutable queued : int;
   mutable flush_pending : bool;
+  (* Per-shard counter handles, resolved once per shard instead of
+     re-registering (label sort + table lookup) on every dispatch. *)
+  sc_batches : Metrics.counter;
+  sc_dispatch : Metrics.counter;
 }
 
 type t = {
@@ -126,7 +130,15 @@ let state_of t shard =
   match Hashtbl.find_opt t.states shard with
   | Some s -> s
   | None ->
-    let s = { queue = []; queued = 0; flush_pending = false } in
+    let s =
+      {
+        queue = [];
+        queued = 0;
+        flush_pending = false;
+        sc_batches = t.c_batches shard;
+        sc_dispatch = t.c_dispatch shard;
+      }
+    in
     Hashtbl.replace t.states shard s;
     s
 
@@ -139,7 +151,7 @@ let rec enqueue t shard item =
   let s = state_of t shard in
   s.queue <- item :: s.queue;
   s.queued <- s.queued + 1;
-  Metrics.inc (t.c_dispatch shard);
+  Metrics.inc s.sc_dispatch;
   if s.queued >= t.batch then flush t shard
   else if not s.flush_pending then begin
     (* Even a 0-second linger coalesces: the flush runs after the current
@@ -160,7 +172,7 @@ and flush t shard =
     s.queue <- [];
     s.queued <- 0;
     let n = List.length items in
-    Metrics.inc (t.c_batches shard);
+    Metrics.inc s.sc_batches;
     Metrics.observe t.h_batch_size (float_of_int n);
     Service.call_batch_resilient t.services ~src:t.node ~dst:shard ~service:"authz-query"
       ~timeout:t.call_timeout ?retry:t.retry
@@ -205,8 +217,10 @@ and flush t shard =
             items)
   end
 
-let decide_meta t ctx deliver =
-  let key = Decision_cache.request_key ctx in
+let decide_meta ?key t ctx deliver =
+  (* A PEP that already built the request key for its own caches passes
+     it down; only key-less callers pay the build here. *)
+  let key = match key with Some k -> k | None -> Decision_cache.request_key ctx in
   match shard_for t key with
   | None ->
     Metrics.inc t.c_exhausted;

@@ -84,12 +84,16 @@ type meta = {
 }
 
 val decide_meta :
+  ?key:string ->
   t ->
   Dacs_policy.Context.t ->
   ((Dacs_policy.Decision.result, string) result -> meta -> unit) ->
   unit
 (** {!decide} plus serving metadata — what a PEP folds into the
-    decision's provenance record. *)
+    decision's provenance record.  [key] is the request's routing key
+    when the caller already built it ({!Decision_cache.request_key} is
+    computed otherwise) — the PEP passes its own cache key down so the
+    hot path builds each key exactly once. *)
 
 (** {1 Statistics} *)
 

@@ -63,11 +63,15 @@ type counters = {
   c_stale_serves : Metrics.counter;
   c_offline_serves : Metrics.counter;
   c_shed : Metrics.counter;
-  c_shed_reason : string -> Metrics.counter;
+  (* The admission-shed cell, resolved once: the shed path must not pay a
+     label-set registration per rejected request. *)
+  c_shed_admission : Metrics.counter;
   c_assertion_rejections : Metrics.counter;
   c_revocation_checks : Metrics.counter;
   c_obligations_fulfilled : Metrics.counter;
-  h_decide : string -> Metrics.histogram;  (* stage-labelled ladder latency *)
+  h_decide : Provenance.stage -> Metrics.histogram;
+      (* stage-labelled ladder latency; handles memoised per stage so an
+         observation is one array read, not a registry lookup *)
   h_queue_wait : Metrics.histogram;
   h_l2_lookup : Metrics.histogram;
   h_live_call : Metrics.histogram;
@@ -76,12 +80,29 @@ type counters = {
 let make_counters metrics ~node =
   let own ?help name = Metrics.counter metrics ?help ~labels:[ ("node", node) ] name in
   let rpc name = Metrics.counter metrics ~labels:[ ("src", node) ] name in
-  let c_shed_reason reason =
+  let c_shed_admission =
     Metrics.counter metrics ~help:"Shed requests by reason"
-      ~labels:[ ("node", node); ("reason", reason) ]
+      ~labels:[ ("node", node); ("reason", shed_reason) ]
       "pep_shed_reason_total"
   in
-  ignore (c_shed_reason shed_reason);
+  let h_decide =
+    (* One histogram handle per ladder stage, resolved on first use so
+       the exposed series set is unchanged (a stage never served never
+       registers), then cached — no per-observe label-list rebuild. *)
+    let memo = Array.make Provenance.stage_count None in
+    fun stage ->
+      let i = Provenance.stage_index stage in
+      match memo.(i) with
+      | Some h -> h
+      | None ->
+        let h =
+          Metrics.histogram metrics ~help:"Decision-ladder latency by serving stage"
+            ~labels:[ ("node", node); ("stage", Provenance.stage_name stage) ]
+            "pep_decide_seconds"
+        in
+        memo.(i) <- Some h;
+        h
+  in
   {
     c_requests = own "pep_requests_total" ~help:"Access requests received by the PEP";
     c_granted = own "pep_granted_total" ~help:"Requests answered with access granted";
@@ -97,16 +118,12 @@ let make_counters metrics ~node =
     c_offline_serves =
       own "pep_offline_serves_total" ~help:"Decisions served from the domain's offline event log";
     c_shed = own "pep_shed_total" ~help:"Requests shed by the bounded admission queue";
-    c_shed_reason;
+    c_shed_admission;
     c_assertion_rejections =
       own "pep_assertion_rejections_total" ~help:"Capability assertions rejected";
     c_revocation_checks = own "pep_revocation_checks_total" ~help:"Revocation-status queries issued";
     c_obligations_fulfilled = own "pep_obligations_fulfilled_total" ~help:"Obligations fulfilled";
-    h_decide =
-      (fun stage ->
-        Metrics.histogram metrics ~help:"Decision-ladder latency by serving stage"
-          ~labels:[ ("node", node); ("stage", stage) ]
-          "pep_decide_seconds");
+    h_decide;
     h_queue_wait =
       Metrics.histogram metrics ~help:"Admission-queue wait of parked requests"
         ~labels:[ ("node", node) ] "pep_queue_wait_seconds";
@@ -186,7 +203,7 @@ let reset_stats t =
       c.c_stale_serves;
       c.c_offline_serves;
       c.c_shed;
-      c.c_shed_reason shed_reason;
+      c.c_shed_admission;
       c.c_assertion_rejections;
       c.c_revocation_checks;
       c.c_obligations_fulfilled;
@@ -563,7 +580,7 @@ let tier_decide t ~tier ~cache ctx k =
         Metrics.inc t.counters.c_pdp_calls;
         let started = now t in
         let tag = trace_tag (tracer t) in
-        Pdp_tier.decide_meta tier ctx (fun outcome meta ->
+        Pdp_tier.decide_meta ~key tier ctx (fun outcome meta ->
             Metrics.observe_exemplar t.counters.h_live_call (now t -. started) ~trace:tag
               ~at:(now t);
             let { Pdp_tier.shard; batch; failovers; epoch } = meta in
@@ -694,7 +711,7 @@ let decide_explained t ctx k =
   let tag = trace_tag (tracer t) in
   let finish (result, (p : Provenance.t)) =
     Metrics.observe_exemplar
-      (t.counters.h_decide (Provenance.stage_name p.Provenance.stage))
+      (t.counters.h_decide p.Provenance.stage)
       (now t -. started) ~trace:tag ~at:(now t);
     k result p
   in
@@ -717,7 +734,7 @@ let decide_explained t ctx k =
     end
     else begin
       Metrics.inc t.counters.c_shed;
-      Metrics.inc (t.counters.c_shed_reason shed_reason);
+      Metrics.inc t.counters.c_shed_admission;
       Trace.record (tracer t) "pep:shed";
       finish (Decision.indeterminate shed_reason, Provenance.make ~at:(now t) Provenance.Shed)
     end

@@ -39,6 +39,19 @@ let make ?shard ?(batch = 0) ?(coalesced = false) ?(failovers = 0) ?(retried = f
     log_head;
   }
 
+let stage_count = 9
+
+let stage_index = function
+  | L1 -> 0
+  | L2 -> 1
+  | Live -> 2
+  | Stale -> 3
+  | Offline -> 4
+  | Fail_closed -> 5
+  | Shed -> 6
+  | Local -> 7
+  | Capability -> 8
+
 let stage_name = function
   | L1 -> "l1"
   | L2 -> "l2"

@@ -56,6 +56,12 @@ val stage_name : stage -> string
 (** ["l1"], ["l2"], ["live"], ["stale"], ["offline"], ["fail-closed"],
     ["shed"], ["local"], ["capability"]. *)
 
+val stage_index : stage -> int
+(** Dense index in [0, stage_count) — what per-stage handle caches (e.g.
+    the PEP's ladder-latency histograms) key their memo arrays by. *)
+
+val stage_count : int
+
 val to_string : t -> string
 (** One-line rendering, omitting zero-valued fields. *)
 

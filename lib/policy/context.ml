@@ -43,6 +43,8 @@ let attributes t category =
     t []
   |> List.sort compare
 
+let iter t f = Attr_map.iter (fun (cat, id) values -> f cat id values) t
+
 let merge a b = Attr_map.fold (fun (cat, id) values acc -> add_bag acc cat id values) b a
 
 let make ?(subject = []) ?(resource = []) ?(action = []) ?(environment = []) () =

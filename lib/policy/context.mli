@@ -25,6 +25,11 @@ val bag : t -> category -> string -> Value.bag
 val attributes : t -> category -> (string * Value.bag) list
 (** All attributes of a category, sorted by id. *)
 
+val iter : t -> (category -> string -> Value.bag -> unit) -> unit
+(** Visit every attribute bag in canonical (category, id) order without
+    building the intermediate lists of {!attributes} — the traversal the
+    hot request-key builder uses. *)
+
 val merge : t -> t -> t
 (** Union of attribute bags (right side appended). *)
 

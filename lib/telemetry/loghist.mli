@@ -1,0 +1,44 @@
+(** Streaming, mergeable log-bucket latency histograms.
+
+    The workload engine's per-PEP latency accounting at millions of
+    requests: O(1) per observation (a [frexp], no allocation), constant
+    memory (one int array of log2 buckets), and mergeable — per-PEP
+    instances combine into one population histogram at report time, so
+    recording never contends on a shared structure and scenario memory
+    stays O(PEPs), not O(observations).
+
+    Buckets are powers of two over a base width: bucket [i] counts
+    observations [v <= lo *. 2^i], with one overflow bucket past the
+    last bound — the same upper-bound convention as the Prometheus-style
+    {!Metrics} histograms, so quantile estimates agree with the
+    [workload_latency_seconds] series they replaced. *)
+
+type t
+
+val create : ?lo:float -> ?buckets:int -> unit -> t
+(** [lo] (default 0.0005, i.e. 0.5 ms) is the first bucket's upper
+    bound; [buckets] (default 20) the number of finite buckets, giving a
+    top bound of [lo *. 2^(buckets-1)]. *)
+
+val observe : t -> float -> unit
+(** O(1): exponent extraction, no search, no allocation.  Non-positive
+    values land in the first bucket. *)
+
+val count : t -> int
+val sum : t -> float
+val max_seen : t -> float
+(** 0 when empty. *)
+
+val merge : t -> t -> t
+(** Fresh histogram holding both populations.  Raises [Invalid_argument]
+    if the shapes (lo, buckets) differ. *)
+
+val quantile : t -> float -> float
+(** Upper-bound estimate of the [q]-quantile (0 on an empty histogram):
+    the bound of the bucket holding the [ceil (q * count)]-th
+    observation, clamped to {!max_seen} — so the overflow bucket reports
+    the exact maximum, and estimates never exceed the observed range. *)
+
+val bucket_counts : t -> (float * int) array
+(** (upper bound, count) per finite bucket plus [(infinity, overflow)] —
+    for tests and renderers. *)

@@ -28,6 +28,7 @@ type scenario = {
   arrivals : arrivals;
   duration : float;
   cache_ttl : float;
+  cache_capacity : int;
   service_time : float;
   batch : int;
   admission : Pep.admission option;
@@ -49,6 +50,7 @@ let default =
     arrivals = Open_loop { rate = 200.0 };
     duration = 5.0;
     cache_ttl = 0.0;
+    cache_capacity = 1024;
     service_time = 0.004;
     batch = 8;
     admission = Some { Pep.max_inflight = 32; max_queue = 32 };
@@ -79,6 +81,7 @@ type report = {
   mean_latency : float;
   makespan : float;
   messages : int;
+  active_users : int;
   shed_reasons : (string * int) list;
   slo : Slo.status;
 }
@@ -91,6 +94,7 @@ let validate s =
   if s.users < 1 then bad "users must be >= 1";
   if s.zipf < 0.0 then bad "zipf skew must be non-negative";
   if s.duration <= 0.0 then bad "duration must be positive";
+  if s.cache_capacity < 1 then bad "cache_capacity must be >= 1";
   if s.batch < 1 then bad "batch must be >= 1";
   if s.rule_cost < 0.0 then bad "rule_cost must be non-negative";
   (match s.partition with
@@ -105,26 +109,47 @@ let validate s =
 
 (* --- population sampling ------------------------------------------------ *)
 
-(* Zipf(skew) over [0, n): weight 1/(i+1)^skew, inverted by binary search
-   over the cumulative weights.  skew 0 degenerates to uniform. *)
+(* Zipf(skew) over [0, n): weight 1/(i+1)^skew, sampled by Walker's
+   alias method — an O(n) one-time setup (two arrays of n words) and
+   O(1) per sample (one uniform draw, one table probe), replacing the
+   old O(n)-float cumulative table with its O(log n) binary search per
+   draw.  At n = 10^6 that is the difference between sampling being free
+   and sampling being the workload.  skew 0 degenerates to uniform. *)
 let zipf_sampler rng ~n ~skew =
   if skew <= 0.0 then fun () -> Rng.int rng n
   else begin
-    let cum = Array.make n 0.0 in
-    let total = ref 0.0 in
+    let scaled = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** skew)) in
+    let total = Array.fold_left ( +. ) 0.0 scaled in
+    let norm = float_of_int n /. total in
     for i = 0 to n - 1 do
-      total := !total +. (1.0 /. (float_of_int (i + 1) ** skew));
-      cum.(i) <- !total
+      scaled.(i) <- scaled.(i) *. norm
     done;
-    let total = !total in
+    let prob = Array.make n 1.0 in
+    let alias = Array.init n Fun.id in
+    (* Pair each under-full column with an over-full donor; the leftover
+       mass of the donor re-enters whichever worklist it now belongs to.
+       Every column ends holding its own probability plus one alias. *)
+    let small = ref [] and large = ref [] in
+    for i = n - 1 downto 0 do
+      if scaled.(i) < 1.0 then small := i :: !small else large := i :: !large
+    done;
+    let rec pair () =
+      match (!small, !large) with
+      | s :: ss, l :: ls ->
+        prob.(s) <- scaled.(s);
+        alias.(s) <- l;
+        scaled.(l) <- scaled.(l) -. (1.0 -. scaled.(s));
+        small := ss;
+        large := ls;
+        if scaled.(l) < 1.0 then small := l :: !small else large := l :: !large;
+        pair ()
+      | _, _ -> ()
+    in
+    pair ();
     fun () ->
-      let u = Rng.float rng total in
-      let lo = ref 0 and hi = ref (n - 1) in
-      while !lo < !hi do
-        let mid = (!lo + !hi) / 2 in
-        if cum.(mid) > u then hi := mid else lo := mid + 1
-      done;
-      !lo
+      let u = Rng.float rng (float_of_int n) in
+      let i = min (int_of_float u) (n - 1) in
+      if u -. float_of_int i < prob.(i) then i else alias.(i)
   end
 
 let roles = [| "doctor"; "nurse"; "admin" |]
@@ -163,26 +188,6 @@ let serving_policy ~resources =
     (List.concat_map per_resource (List.init resources Fun.id)
     @ [ Rule.make Rule.Deny "default-deny" ])
 
-(* --- percentile extraction ---------------------------------------------- *)
-
-(* Prometheus-style: the quantile is the upper bound of the first bucket
-   whose cumulative count reaches q * total; observations in the overflow
-   bucket report the exact maximum. *)
-let quantile buckets ~total ~max_seen q =
-  if total = 0 then 0.0
-  else begin
-    let target = int_of_float (ceil (q *. float_of_int total)) in
-    let target = if target < 1 then 1 else target in
-    let rec go cum = function
-      | [] -> max_seen
-      | (bound, count) :: rest ->
-        let cum = cum + count in
-        if cum >= target then (if bound = infinity then max_seen else Float.min bound max_seen)
-        else go cum rest
-    in
-    go 0 buckets
-  end
-
 (* --- the engine --------------------------------------------------------- *)
 
 let run s =
@@ -191,7 +196,13 @@ let run s =
   let engine = Net.engine net in
   let services = Service.create (Dacs_net.Rpc.create net) in
   let metrics = Service.metrics services in
+  (* Two independent seeded streams: one for the arrival process, one for
+     request content (user/PEP/action draws).  Arrivals are scheduled
+     lazily — each event draws its successor's gap — so without the split
+     the draw order would depend on event interleaving; with it, both
+     streams are deterministic however the engine orders work. *)
   let rng = Rng.create (Int64.of_int (s.seed + 0x5eed)) in
+  let rng_req = Rng.create (Int64.of_int (s.seed + 0xca11)) in
   (* Decision tier: [shards] replicas sharing the FIFO capacity model. *)
   let shard_nodes =
     List.init s.shards (fun i ->
@@ -213,7 +224,9 @@ let run s =
         let tier = Pdp_tier.create services ~node ~shards:shard_nodes ~batch:s.batch () in
         let cache =
           if s.cache_ttl > 0.0 then
-            Some (Decision_cache.create ~metrics ~owner:node ~ttl:s.cache_ttl ())
+            Some
+              (Decision_cache.create ~metrics ~owner:node ~max_entries:s.cache_capacity
+                 ~ttl:s.cache_ttl ())
           else None
         in
         let pep =
@@ -254,12 +267,10 @@ let run s =
     Engine.schedule_at engine ~at:until (fun () ->
         Net.unpartition net pep_nodes shard_nodes;
         Option.iter (fun o -> Offline.set_offline o false) offline_replica));
-  (* Instruments: the telemetry registry is the single source of truth the
-     report reads back, all off the virtual clock. *)
-  let h_latency =
-    Metrics.histogram metrics ~help:"Decision latency of admitted requests" ~buckets:latency_buckets
-      "workload_latency_seconds"
-  in
+  (* Latency accounting: one streaming log-bucket histogram per PEP
+     (same bounds as [latency_buckets]), merged at report time — O(1)
+     per observation and O(PEPs) memory however many requests run. *)
+  let lhists = Array.init s.peps (fun _ -> Dacs_telemetry.Loghist.create ()) in
   let c_offered = Metrics.counter metrics ~help:"Requests issued by the generator" "workload_offered_total" in
   let c_completed = Metrics.counter metrics ~help:"Continuations fired" "workload_completed_total" in
   let c_granted = Metrics.counter metrics ~help:"Permit answers" "workload_granted_total" in
@@ -271,22 +282,40 @@ let run s =
      every non-Indeterminate answer as served (shed and fail-closed both
      burn the budget), latency is end-to-end decision latency. *)
   let slo = Slo.create ~now:(fun () -> Net.now net) () in
-  let max_latency = ref 0.0 in
   let last_completion = ref 0.0 in
-  let sample_user = zipf_sampler rng ~n:s.users ~skew:s.zipf in
-  let sample_pep = zipf_sampler rng ~n:s.peps ~skew:s.zipf in
+  let sample_user = zipf_sampler rng_req ~n:s.users ~skew:s.zipf in
+  let sample_pep = zipf_sampler rng_req ~n:s.peps ~skew:s.zipf in
+  (* Per-user state is materialised lazily, on a user's first request:
+     with a Zipf population most of a million users never arrive, and the
+     engine must not pay memory for the ones that don't.  The state is
+     just the subject attribute list (built once, reused every request),
+     and the table's population is the report's [active_users]. *)
+  let user_states = Hashtbl.create (max 64 (min s.users 65536)) in
+  let subject_of u =
+    match Hashtbl.find_opt user_states u with
+    | Some attrs -> attrs
+    | None ->
+      let attrs =
+        [
+          ("subject-id", Value.String (Printf.sprintf "user%d" u));
+          ("role", Value.String (role_of u));
+        ]
+      in
+      Hashtbl.add user_states u attrs;
+      attrs
+  in
+  let resource_attrs =
+    Array.map (fun pep -> [ ("resource-id", Value.String (Pep.resource pep)) ]) peps
+  in
+  let action_attrs = Array.map (fun a -> [ ("action-id", Value.String a) ]) actions in
   let issue on_done =
     let u = sample_user () in
     let p = sample_pep () in
-    let a = actions.(Rng.int rng (Array.length actions)) in
+    let a = Rng.int rng_req (Array.length actions) in
     let pep = peps.(p) in
     let ctx =
-      Context.make
-        ~subject:
-          [ ("subject-id", Value.String (Printf.sprintf "user%d" u)); ("role", Value.String (role_of u)) ]
-        ~resource:[ ("resource-id", Value.String (Pep.resource pep)) ]
-        ~action:[ ("action-id", Value.String a) ]
-        ()
+      Context.make ~subject:(subject_of u) ~resource:resource_attrs.(p)
+        ~action:action_attrs.(a) ()
     in
     let t0 = Net.now net in
     Metrics.inc c_offered;
@@ -308,24 +337,25 @@ let run s =
             (false, false)
         in
         Slo.record slo ~ok:served ~latency:dt;
-        if not shed then begin
-          Metrics.observe h_latency dt;
-          if dt > !max_latency then max_latency := dt
-        end;
+        if not shed then Dacs_telemetry.Loghist.observe lhists.(p) dt;
         on_done ())
   in
   (match s.arrivals with
   | Open_loop { rate } ->
-    (* The whole Poisson arrival process is drawn up front, in time
-       order, so generator draws never interleave with completion-side
-       sampling. *)
-    let rec arrivals_from at =
-      if at <= s.duration then begin
-        Engine.schedule_at engine ~at (fun () -> issue (fun () -> ()));
-        arrivals_from (at +. (-.log (1.0 -. Rng.float rng 1.0) /. rate))
-      end
+    (* Streaming Poisson arrivals: each arrival event draws and schedules
+       its own successor, so the engine holds one pending arrival at a
+       time instead of the whole schedule — multi-million-request runs
+       keep O(inflight) event-queue memory.  The gap draws come from the
+       arrival stream [rng], the per-request draws inside [issue] from
+       [rng_req], so laziness changes no sample. *)
+    let next_gap () = -.log (1.0 -. Rng.float rng 1.0) /. rate in
+    let rec arrive at =
+      if at <= s.duration then
+        Engine.schedule_at engine ~at (fun () ->
+            issue (fun () -> ());
+            arrive (at +. next_gap ()))
     in
-    arrivals_from (-.log (1.0 -. Rng.float rng 1.0) /. rate)
+    arrive (next_gap ())
   | Closed_loop { clients; think_time } ->
     for c = 0 to clients - 1 do
       let rec loop () =
@@ -342,9 +372,11 @@ let run s =
   let completed = Metrics.counter_value c_completed in
   let shed = Metrics.sum_counter metrics "pep_shed_total" in
   let answered = completed - shed in
-  let total = Metrics.histogram_count h_latency in
-  let buckets = Metrics.bucket_counts h_latency in
-  let q = quantile buckets ~total ~max_seen:!max_latency in
+  let merged =
+    Array.fold_left Dacs_telemetry.Loghist.merge (Dacs_telemetry.Loghist.create ()) lhists
+  in
+  let total = Dacs_telemetry.Loghist.count merged in
+  let q = Dacs_telemetry.Loghist.quantile merged in
   let makespan = !last_completion in
   {
     offered;
@@ -356,11 +388,18 @@ let run s =
     shed;
     pdp_overloads = Metrics.sum_counter metrics "pdp_overload_total";
     throughput = (if makespan > 0.0 then float_of_int answered /. makespan else 0.0);
-    latency = { p50 = q 0.50; p95 = q 0.95; p99 = q 0.99; max = !max_latency };
+    latency =
+      {
+        p50 = q 0.50;
+        p95 = q 0.95;
+        p99 = q 0.99;
+        max = Dacs_telemetry.Loghist.max_seen merged;
+      };
     mean_latency =
-      (if total > 0 then Metrics.histogram_sum h_latency /. float_of_int total else 0.0);
+      (if total > 0 then Dacs_telemetry.Loghist.sum merged /. float_of_int total else 0.0);
     makespan;
     messages = (Net.total_sent net).Net.count;
+    active_users = Hashtbl.length user_states;
     shed_reasons = Metrics.sum_counter_by metrics "pep_shed_reason_total" ~label:"reason";
     slo = Slo.status slo;
   }
@@ -379,8 +418,8 @@ let render r =
     [
       Printf.sprintf "offered %d  completed %d  shed %d  pdp-overloads %d" r.offered r.completed
         r.shed r.pdp_overloads;
-      Printf.sprintf "granted %d  denied %d  errors %d  offline-serves %d" r.granted r.denied
-        r.errors r.offline_serves;
+      Printf.sprintf "granted %d  denied %d  errors %d  offline-serves %d  active-users %d"
+        r.granted r.denied r.errors r.offline_serves r.active_users;
       Printf.sprintf "shed reasons: %s" reasons;
       Printf.sprintf "throughput %.2f req/s over %.6f s makespan  (%d messages)" r.throughput
         r.makespan r.messages;
@@ -426,7 +465,7 @@ let render_json r =
       r.slo.Slo.availability_met r.slo.Slo.latency_met
   in
   Printf.sprintf
-    "{\"offered\":%d,\"completed\":%d,\"shed\":%d,\"shed_reasons\":{%s},\"pdp_overloads\":%d,\"granted\":%d,\"denied\":%d,\"errors\":%d,\"offline_serves\":%d,\"throughput\":%.2f,\"makespan\":%.6f,\"messages\":%d,\"latency\":{\"p50\":%.6f,\"p95\":%.6f,\"p99\":%.6f,\"max\":%.6f,\"mean\":%.6f},\"slo\":%s}"
+    "{\"offered\":%d,\"completed\":%d,\"shed\":%d,\"shed_reasons\":{%s},\"pdp_overloads\":%d,\"granted\":%d,\"denied\":%d,\"errors\":%d,\"offline_serves\":%d,\"active_users\":%d,\"throughput\":%.2f,\"makespan\":%.6f,\"messages\":%d,\"latency\":{\"p50\":%.6f,\"p95\":%.6f,\"p99\":%.6f,\"max\":%.6f,\"mean\":%.6f},\"slo\":%s}"
     r.offered r.completed r.shed shed_reasons r.pdp_overloads r.granted r.denied r.errors
-    r.offline_serves r.throughput r.makespan r.messages r.latency.p50 r.latency.p95 r.latency.p99
-    r.latency.max r.mean_latency slo
+    r.offline_serves r.active_users r.throughput r.makespan r.messages r.latency.p50 r.latency.p95
+    r.latency.p99 r.latency.max r.mean_latency slo

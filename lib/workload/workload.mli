@@ -38,6 +38,7 @@ type scenario = {
   arrivals : arrivals;
   duration : float;  (** virtual seconds during which traffic is offered *)
   cache_ttl : float;  (** L1 decision-cache TTL; <= 0 disables the cache *)
+  cache_capacity : int;  (** L1 max entries (the E22 warm-working-set knob) *)
   service_time : float;  (** per-query PDP occupancy (the FIFO model) *)
   batch : int;  (** tier batch limit *)
   admission : Dacs_core.Pep.admission option;  (** per-PEP bound *)
@@ -55,9 +56,9 @@ type scenario = {
 
 val default : scenario
 (** 1 domain, 4 PEPs, 2 shards, 200 users, zipf 1.1, open-loop 200 req/s
-    for 5 s, cache off, 4 ms service time, admission (32, 32), per-shard
-    bound 64, seed 42, no rule cost, interpreted evaluation, no
-    partition, offline mode off.
+    for 5 s, cache off (capacity 1024 when enabled), 4 ms service time,
+    admission (32, 32), per-shard bound 64, seed 42, no rule cost,
+    interpreted evaluation, no partition, offline mode off.
 
     The serving policy guards each PEP's resource with its own
     doctor/nurse rule pair (all pinned by resource-id) over a final
@@ -67,8 +68,9 @@ val default : scenario
     capacity ablation. *)
 
 val latency_buckets : float list
-(** Log-spaced (powers of two from 0.5 ms) upper bounds used for the
-    [workload_latency_seconds] histogram. *)
+(** Log-spaced (powers of two from 0.5 ms) upper bounds of the latency
+    accounting — the shape of the per-PEP streaming
+    {!Dacs_telemetry.Loghist} histograms the report merges. *)
 
 type percentiles = { p50 : float; p95 : float; p99 : float; max : float }
 (** p50/p95/p99 are bucket upper bounds (Prometheus-style estimates from
@@ -89,6 +91,10 @@ type report = {
   mean_latency : float;
   makespan : float;  (** virtual time of the last completion *)
   messages : int;  (** network messages sent end-to-end *)
+  active_users : int;
+      (** distinct users that actually issued a request — the only users
+          the engine materialises state for, so at 1M+ Zipf populations
+          this stays far below [users] and so does scenario memory *)
   shed_reasons : (string * int) list;
       (** per-reason breakdown of [shed], from
           [pep_shed_reason_total{node,reason}], summed by reason *)

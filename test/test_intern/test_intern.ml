@@ -1,0 +1,278 @@
+(* The interned serving path: symbol tables, packed request keys and the
+   key-scheme toggle.  The load-bearing claims are the QCheck properties —
+   interning is injective (equal syms iff equal inputs) and packed request
+   keys collide exactly when the legacy canonical attribute multisets are
+   equal — plus unit pins for order-insensitivity, Environment exclusion
+   and the Decision_cache scheme dispatch. *)
+
+module Value = Dacs_policy.Value
+module Context = Dacs_policy.Context
+open Dacs_core
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+let string_ = Alcotest.string
+
+(* --- generators --------------------------------------------------------- *)
+
+(* A small vocabulary so collisions actually happen: QCheck only exercises
+   the "collide iff equal" property if both sides of the iff come up. *)
+let gen_word = QCheck.Gen.(oneofl [ "alice"; "bob"; "carol"; "read"; "write"; "file"; "db" ])
+
+let gen_value =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun s -> Value.String s) gen_word);
+        (2, map (fun i -> Value.Int i) (0 -- 4));
+        (1, map (fun b -> Value.Bool b) bool);
+        (1, map (fun s -> Value.Uri ("urn:" ^ s)) gen_word);
+      ])
+
+let gen_category =
+  QCheck.Gen.oneofl [ Context.Subject; Context.Resource; Context.Action; Context.Environment ]
+
+let gen_attr = QCheck.Gen.(triple gen_category (oneofl [ "id"; "role"; "dept" ]) gen_value)
+
+let gen_context =
+  QCheck.Gen.(
+    map
+      (List.fold_left (fun ctx (cat, id, v) -> Context.add ctx cat id v) Context.empty)
+      (list_size (0 -- 8) gen_attr))
+
+let print_context attrs_ctx = Format.asprintf "%a" Context.pp attrs_ctx
+let arb_context = QCheck.make ~print:print_context gen_context
+let arb_context_pair = QCheck.(pair arb_context arb_context)
+
+(* Ground truth for key equality: the sorted (category, id, value) multiset
+   over the Subject/Resource/Action sections — the same canonical form the
+   legacy sha scheme serialises before hashing. *)
+let canonical ctx =
+  let parts = ref [] in
+  Context.iter ctx (fun cat id bag ->
+      if cat <> Context.Environment then
+        List.iter (fun v -> parts := (cat, id, v) :: !parts) bag);
+  List.sort compare !parts
+
+(* --- interning injectivity ---------------------------------------------- *)
+
+let prop_string_injective =
+  QCheck.Test.make ~name:"intern: equal string syms iff equal strings" ~count:200
+    QCheck.(list_of_size Gen.(2 -- 12) (make ~print:Fun.id gen_word))
+    (fun words ->
+      let t = Intern.create ~expected:16 () in
+      let syms = List.map (fun w -> (w, Intern.string t w)) words in
+      List.for_all
+        (fun (w1, s1) ->
+          List.for_all (fun (w2, s2) -> s1 = s2 = (String.equal w1 w2)) syms
+          && String.equal (Intern.name t s1) w1)
+        syms)
+
+let prop_value_injective =
+  QCheck.Test.make ~name:"intern: equal value syms iff equal values" ~count:200
+    QCheck.(list_of_size Gen.(2 -- 12) (make ~print:Value.describe gen_value))
+    (fun values ->
+      let t = Intern.create ~expected:16 () in
+      let syms = List.map (fun v -> (v, Intern.value t v)) values in
+      List.for_all
+        (fun (v1, s1) -> List.for_all (fun (v2, s2) -> s1 = s2 = Value.equal v1 v2) syms)
+        syms)
+
+let prop_pair_injective =
+  QCheck.Test.make ~name:"intern: equal pair syms iff equal (category, id)" ~count:200
+    QCheck.(
+      list_of_size
+        Gen.(2 -- 12)
+        (make
+           ~print:(fun (c, id) -> Context.category_name c ^ "/" ^ id)
+           Gen.(pair gen_category (oneofl [ "id"; "role"; "dept" ]))))
+    (fun pairs ->
+      let t = Intern.create ~expected:16 () in
+      let syms = List.map (fun (c, id) -> ((c, id), Intern.pair t c id)) pairs in
+      List.for_all
+        (fun (p1, s1) -> List.for_all (fun (p2, s2) -> s1 = s2 = (compare p1 p2 = 0)) syms)
+        syms)
+
+(* --- packed keys collide iff canonical multisets are equal --------------- *)
+
+let prop_key_collision_iff_equal =
+  QCheck.Test.make ~name:"intern: packed keys collide iff request multisets equal" ~count:500
+    arb_context_pair
+    (fun (c1, c2) ->
+      let t = Intern.create ~expected:64 () in
+      let k1 = Intern.request_key ~table:t c1 and k2 = Intern.request_key ~table:t c2 in
+      String.equal k1 k2 = (canonical c1 = canonical c2))
+
+(* The two schemes agree on the equivalence relation they induce: packed
+   keys collide exactly when the sha keys do (on NaN-free contexts). *)
+let prop_key_schemes_agree =
+  QCheck.Test.make ~name:"intern: packed and sha keys induce the same partition" ~count:500
+    arb_context_pair
+    (fun (c1, c2) ->
+      let t = Intern.create ~expected:64 () in
+      String.equal (Intern.request_key ~table:t c1) (Intern.request_key ~table:t c2)
+      = String.equal (Decision_cache.sha_request_key c1) (Decision_cache.sha_request_key c2))
+
+(* --- unit pins ----------------------------------------------------------- *)
+
+let ctx_alice =
+  Context.make
+    ~subject:[ ("subject-id", Value.String "alice"); ("role", Value.String "doctor") ]
+    ~resource:[ ("resource-id", Value.String "record-7") ]
+    ~action:[ ("action-id", Value.String "read") ]
+    ()
+
+let test_order_insensitive () =
+  let t = Intern.create () in
+  let forward =
+    Context.empty |> fun c ->
+    Context.add c Context.Subject "role" (Value.String "doctor") |> fun c ->
+    Context.add c Context.Subject "subject-id" (Value.String "alice") |> fun c ->
+    Context.add c Context.Action "action-id" (Value.String "read") |> fun c ->
+    Context.add c Context.Resource "resource-id" (Value.String "record-7")
+  in
+  check string_ "insertion order is canonicalised away"
+    (Intern.request_key ~table:t ctx_alice)
+    (Intern.request_key ~table:t forward);
+  (* Bag order too: the same multiset in two append orders. *)
+  let bag1 =
+    Context.make ~subject:[ ("role", Value.String "a"); ("role", Value.String "b") ] ()
+  in
+  let bag2 =
+    Context.make ~subject:[ ("role", Value.String "b"); ("role", Value.String "a") ] ()
+  in
+  check string_ "bag order is canonicalised away"
+    (Intern.request_key ~table:t bag1)
+    (Intern.request_key ~table:t bag2)
+
+let test_environment_excluded () =
+  let t = Intern.create () in
+  let with_env = Context.add ctx_alice Context.Environment "current-time" (Value.Time 12.5) in
+  check string_ "environment attributes never enter the key"
+    (Intern.request_key ~table:t ctx_alice)
+    (Intern.request_key ~table:t with_env);
+  (* ...but the same attribute in a keyed category does change it. *)
+  let with_subject_time = Context.add ctx_alice Context.Subject "current-time" (Value.Time 12.5) in
+  check bool_ "subject attributes do enter the key" false
+    (String.equal
+       (Intern.request_key ~table:t ctx_alice)
+       (Intern.request_key ~table:t with_subject_time))
+
+let test_duplicate_values_distinct () =
+  (* A multiset, not a set: {a} and {a, a} must key differently. *)
+  let t = Intern.create () in
+  let once = Context.make ~subject:[ ("role", Value.String "a") ] () in
+  let twice =
+    Context.make ~subject:[ ("role", Value.String "a"); ("role", Value.String "a") ] ()
+  in
+  check bool_ "duplicate atoms are kept" false
+    (String.equal (Intern.request_key ~table:t once) (Intern.request_key ~table:t twice))
+
+let test_value_types_distinct () =
+  let t = Intern.create () in
+  let s42 = Intern.value t (Value.String "42")
+  and i42 = Intern.value t (Value.Int 42)
+  and u42 = Intern.value t (Value.Uri "42") in
+  check bool_ "string/int never share a sym" true (s42 <> i42);
+  check bool_ "string/uri never share a sym" true (s42 <> u42)
+
+let test_pack2_injective () =
+  let seen = Hashtbl.create 64 in
+  for a = 0 to 40 do
+    for b = 0 to 40 do
+      let k = Intern.pack2 a b in
+      (match Hashtbl.find_opt seen k with
+      | Some (a', b') ->
+        Alcotest.failf "pack2 collision: (%d,%d) and (%d,%d) -> %d" a b a' b' k
+      | None -> ());
+      Hashtbl.replace seen k (a, b)
+    done
+  done;
+  check int_ "all packs distinct" (41 * 41) (Hashtbl.length seen)
+
+let test_stats_count_tables () =
+  let t = Intern.create () in
+  ignore (Intern.request_key ~table:t ctx_alice);
+  let s = Intern.stats t in
+  (* Key building touches only the pair/value/atom namespaces; the raw
+     string table serves explicit callers (e.g. the attribute cache). *)
+  check int_ "strings untouched by keying" 0 s.Intern.strings;
+  check int_ "explicit string interning counts" 0 (Intern.string t "alice");
+  check int_ "one pair per (category, id)" 4 s.Intern.pairs;
+  check int_ "one value per distinct constant" 4 s.Intern.values;
+  check int_ "one atom per binding" 4 s.Intern.atoms;
+  ignore (Intern.request_key ~table:t ctx_alice);
+  let s' = Intern.stats t in
+  check int_ "re-keying interns nothing new" s.Intern.atoms s'.Intern.atoms
+
+let with_scheme scheme f =
+  let saved = Decision_cache.key_scheme () in
+  Decision_cache.set_key_scheme scheme;
+  Fun.protect ~finally:(fun () -> Decision_cache.set_key_scheme saved) f
+
+let test_scheme_toggle () =
+  check bool_ "packed is the default scheme" true (Decision_cache.key_scheme () = Packed);
+  with_scheme Decision_cache.Sha_hex (fun () ->
+      check string_ "Sha_hex dispatches to the legacy digest"
+        (Decision_cache.sha_request_key ctx_alice)
+        (Decision_cache.request_key ctx_alice));
+  check string_ "Packed dispatches to the interned key"
+    (Intern.request_key ctx_alice)
+    (Decision_cache.request_key ctx_alice);
+  check bool_ "toggle restored" true (Decision_cache.key_scheme () = Packed)
+
+let test_key_bytes_accounting () =
+  let cache = Decision_cache.create ~max_entries:16 ~ttl:60.0 () in
+  check int_ "empty cache holds no key bytes" 0 (Decision_cache.key_bytes cache);
+  let keys = [ "1.2.3"; "4.5"; "6" ] in
+  List.iter
+    (fun key -> Decision_cache.put cache ~now:0.0 ~key Dacs_policy.Decision.permit)
+    keys;
+  check int_ "key_bytes sums resident key lengths"
+    (List.fold_left (fun acc k -> acc + String.length k) 0 keys)
+    (Decision_cache.key_bytes cache)
+
+let test_packed_keys_are_short () =
+  (* The point of the scheme: a packed key is far below the 64-hex digest
+     for realistic attribute counts, and stays XML-safe ASCII. *)
+  let t = Intern.create () in
+  let key = Intern.request_key ~table:t ctx_alice in
+  check bool_ "shorter than the sha digest" true
+    (String.length key < String.length (Decision_cache.sha_request_key ctx_alice));
+  String.iter
+    (fun ch ->
+      check bool_ "digits and dots only" true (ch = '.' || (ch >= '0' && ch <= '9')))
+    key
+
+let () =
+  Alcotest.run "dacs_intern"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_string_injective;
+            prop_value_injective;
+            prop_pair_injective;
+            prop_key_collision_iff_equal;
+            prop_key_schemes_agree;
+          ] );
+      ( "request keys",
+        [
+          Alcotest.test_case "insertion and bag order insensitivity" `Quick
+            test_order_insensitive;
+          Alcotest.test_case "environment exclusion" `Quick test_environment_excluded;
+          Alcotest.test_case "duplicate atoms kept (multiset)" `Quick
+            test_duplicate_values_distinct;
+          Alcotest.test_case "typed values never alias" `Quick test_value_types_distinct;
+          Alcotest.test_case "pack2 injective on dense syms" `Quick test_pack2_injective;
+          Alcotest.test_case "stats count table populations" `Quick test_stats_count_tables;
+          Alcotest.test_case "packed keys short and XML-safe" `Quick
+            test_packed_keys_are_short;
+        ] );
+      ( "decision cache",
+        [
+          Alcotest.test_case "key-scheme toggle dispatch" `Quick test_scheme_toggle;
+          Alcotest.test_case "resident key byte accounting" `Quick test_key_bytes_accounting;
+        ] );
+    ]

@@ -591,6 +591,78 @@ let negotiation_oracle (name, alg) =
           if result_equal reference tiered then true
           else fail_diverged ~alg:name ~expected:reference ~got:tiered "reference" "compiled tier")
 
+(* --- oracle 6: key-scheme differential --------------------------------- *)
+
+(* The interned serving path (packed integer request keys) against the
+   legacy sorted-string + SHA-256 scheme it replaced: the whole cached
+   ladder replayed under both key schemes must serve every stage from
+   the same rung with the same decision and obligations, and the packed
+   run must still match the reference evaluation.  This is the proof
+   obligation of the key swap — a key scheme can only change *which*
+   entry a cache lookup finds, so any divergence here is a collision or
+   a canonicalisation bug, not a policy question. *)
+
+let with_scheme scheme f =
+  let saved = Decision_cache.key_scheme () in
+  Decision_cache.set_key_scheme scheme;
+  Fun.protect ~finally:(fun () -> Decision_cache.set_key_scheme saved) f
+
+let schemes_agree ~alg:name packed sha =
+  List.for_all2
+    (fun (stage, _, _, p_ans) (_, _, _, s_ans) ->
+      match (p_ans, s_ans) with
+      | None, None -> true
+      | Some (pr, (pp : Provenance.t)), Some (sr, (sp : Provenance.t)) ->
+        if pp.Provenance.stage <> sp.Provenance.stage then
+          QCheck.Test.fail_reportf "[%s] stage %s rung differs across key schemes: %s vs %s (%s)"
+            name stage
+            (Provenance.stage_name pp.Provenance.stage)
+            (Provenance.stage_name sp.Provenance.stage)
+            (seed_hint ())
+        else if not (result_equal pr sr) then
+          fail_diverged ~alg:name ~expected:sr ~got:pr
+            (Printf.sprintf "sha stage %s" stage)
+            (Printf.sprintf "packed stage %s" stage)
+        else true
+      | _ ->
+        QCheck.Test.fail_reportf "[%s] stage %s answered under one key scheme only (%s)" name
+          stage (seed_hint ()))
+    packed sha
+
+let scheme_oracle (name, alg) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "packed keys: ladder == sha ladder == reference (%s)" name)
+    ~count:100 arb_case
+    (fun (pspec, cspec) ->
+      let policy = policy_of_spec alg pspec in
+      let reference = Policy.evaluate (ctx_of_spec cspec) policy in
+      let root = Policy.Inline_policy policy in
+      let packed =
+        with_scheme Decision_cache.Packed (fun () -> cached_ladder_evaluate root cspec)
+      in
+      let sha =
+        with_scheme Decision_cache.Sha_hex (fun () -> cached_ladder_evaluate root cspec)
+      in
+      List.for_all (check_ladder_stage ~alg:name ~reference) packed
+      && schemes_agree ~alg:name packed sha)
+
+let delegation_scheme_oracle (name, alg) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "packed keys: delegation ladder == sha ladder (%s)" name)
+    ~count:60 arb_delegation_case
+    (fun case ->
+      let _, _, cspec = case in
+      let root = delegation_filtered_root alg case in
+      let reference = Policy.evaluate_child (ctx_of_spec cspec) root in
+      let packed =
+        with_scheme Decision_cache.Packed (fun () -> cached_ladder_evaluate root cspec)
+      in
+      let sha =
+        with_scheme Decision_cache.Sha_hex (fun () -> cached_ladder_evaluate root cspec)
+      in
+      List.for_all (check_ladder_stage ~alg:name ~reference) packed
+      && schemes_agree ~alg:name packed sha)
+
 (* --- directed regressions: empty rule lists ----------------------------- *)
 
 (* Every combining algorithm folded over zero children must agree across
@@ -640,4 +712,8 @@ let () =
         @ List.map (fun a -> QCheck_alcotest.to_alcotest (delegation_cached_oracle a)) algorithms );
       ( "negotiation-differential",
         List.map (fun a -> QCheck_alcotest.to_alcotest (negotiation_oracle a)) algorithms );
+      ( "key-scheme-differential",
+        List.map (fun a -> QCheck_alcotest.to_alcotest (scheme_oracle a)) algorithms
+        @ List.map (fun a -> QCheck_alcotest.to_alcotest (delegation_scheme_oracle a)) algorithms
+      );
     ]

@@ -329,6 +329,86 @@ let test_tracing_off_is_free () =
   check bool_ "rng stream unperturbed" true
     (Dacs_crypto.Rng.next_int64 rng2 = before)
 
+(* --- streaming log-bucket histograms ----------------------------------------- *)
+
+module Loghist = Dacs_telemetry.Loghist
+
+(* The frexp bucket index against the definitionally-correct linear scan:
+   the first bucket whose upper bound [lo * 2^i] is >= the observation. *)
+let prop_loghist_index_matches_linear_scan =
+  let open QCheck in
+  Test.make ~name:"loghist: frexp index == linear-scan index" ~count:1000
+    (pair (float_range 0.000001 50.0) (int_range 1 24))
+    (fun (v, buckets) ->
+      let lo = 0.0005 in
+      let h = Loghist.create ~lo ~buckets () in
+      Loghist.observe h v;
+      let expected =
+        let rec scan i = if i >= buckets || v <= lo *. (2.0 ** float_of_int i) then i else scan (i + 1) in
+        scan 0
+      in
+      let placed = ref (-1) in
+      Array.iteri (fun i (_, c) -> if c = 1 then placed := i) (Loghist.bucket_counts h);
+      !placed = expected)
+
+(* Merging two histograms is indistinguishable from one histogram that
+   saw both streams: same buckets, count, sum, max and quantiles. *)
+let prop_loghist_merge_is_union =
+  let open QCheck in
+  Test.make ~name:"loghist: merge == combined stream" ~count:300
+    (pair (list_of_size Gen.(0 -- 40) (float_range 0.0001 10.0))
+       (list_of_size Gen.(0 -- 40) (float_range 0.0001 10.0)))
+    (fun (xs, ys) ->
+      let a = Loghist.create () and b = Loghist.create () and u = Loghist.create () in
+      List.iter (fun v -> Loghist.observe a v; Loghist.observe u v) xs;
+      List.iter (fun v -> Loghist.observe b v; Loghist.observe u v) ys;
+      let m = Loghist.merge a b in
+      Loghist.count m = Loghist.count u
+      && Loghist.max_seen m = Loghist.max_seen u
+      && Float.abs (Loghist.sum m -. Loghist.sum u) < 1e-9
+      && Loghist.bucket_counts m = Loghist.bucket_counts u
+      && List.for_all
+           (fun q -> Loghist.quantile m q = Loghist.quantile u q)
+           [ 0.5; 0.95; 0.99; 1.0 ])
+
+let prop_loghist_quantile_monotone =
+  let open QCheck in
+  Test.make ~name:"loghist: quantiles monotone and bounded by max" ~count:300
+    (list_of_size Gen.(1 -- 60) (float_range 0.0001 30.0))
+    (fun xs ->
+      let h = Loghist.create () in
+      List.iter (Loghist.observe h) xs;
+      let q50 = Loghist.quantile h 0.5
+      and q95 = Loghist.quantile h 0.95
+      and q99 = Loghist.quantile h 0.99 in
+      q50 <= q95 && q95 <= q99 && q99 <= Loghist.max_seen h)
+
+let test_loghist_edges () =
+  let h = Loghist.create ~lo:0.001 ~buckets:4 () in
+  check (Alcotest.float 0.0) "empty quantile" 0.0 (Loghist.quantile h 0.99);
+  check (Alcotest.float 0.0) "empty max" 0.0 (Loghist.max_seen h);
+  (* Non-positive and tiny values land in the first bucket. *)
+  Loghist.observe h 0.0;
+  Loghist.observe h (-1.0);
+  Loghist.observe h 0.0005;
+  check int_ "first bucket holds them" 3 (snd (Loghist.bucket_counts h).(0));
+  (* Exact power-of-two bounds are inclusive upper bounds. *)
+  let g = Loghist.create ~lo:0.001 ~buckets:4 () in
+  Loghist.observe g 0.002;
+  check int_ "2*lo sits in bucket 1" 1 (snd (Loghist.bucket_counts g).(1));
+  (* Past the top bound: overflow bucket, quantile reports exact max. *)
+  let o = Loghist.create ~lo:0.001 ~buckets:4 () in
+  Loghist.observe o 1.0;
+  check int_ "overflow bucket" 1 (snd (Loghist.bucket_counts o).(4));
+  check (Alcotest.float 0.0) "overflow quantile is exact max" 1.0 (Loghist.quantile o 0.99);
+  (* Shape mismatches refuse to merge. *)
+  let mismatch () = ignore (Loghist.merge h (Loghist.create ~lo:0.001 ~buckets:5 ())) in
+  Alcotest.check_raises "bucket-count mismatch"
+    (Invalid_argument "Loghist.merge: shape mismatch") mismatch;
+  let mismatch_lo () = ignore (Loghist.merge h (Loghist.create ~lo:0.002 ~buckets:4 ())) in
+  Alcotest.check_raises "lo mismatch" (Invalid_argument "Loghist.merge: shape mismatch")
+    mismatch_lo
+
 (* --- suite ------------------------------------------------------------------- *)
 
 let () =
@@ -349,6 +429,13 @@ let () =
           Alcotest.test_case "exposition has no duplicate headers" `Quick
             test_render_no_duplicate_names;
           Alcotest.test_case "reset is consistent across the bus" `Quick test_reset_consistency;
+        ] );
+      ( "loghist",
+        [
+          QCheck_alcotest.to_alcotest prop_loghist_index_matches_linear_scan;
+          QCheck_alcotest.to_alcotest prop_loghist_merge_is_union;
+          QCheck_alcotest.to_alcotest prop_loghist_quantile_monotone;
+          Alcotest.test_case "edge cases and shape guards" `Quick test_loghist_edges;
         ] );
       ( "tracing",
         [

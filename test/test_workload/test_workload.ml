@@ -35,6 +35,32 @@ let test_determinism () =
   Alcotest.(check string) "same seed renders byte-identical" (W.render a) (W.render b);
   Alcotest.(check string) "json render too" (W.render_json a) (W.render_json b)
 
+(* The O(active) scale contract (E22's unit-level counterpart): a
+   100k-user Zipf population runs to completion materialising state only
+   for users that actually issued a request, same-seed reports stay
+   byte-identical at that scale, and a million-user population is
+   admissible without a million-entry table. *)
+let test_scale_lazy_users () =
+  let s =
+    {
+      (open_loop ~shards:2 ~cache_ttl:30.0 ~duration:1.5 600.0) with
+      W.users = 100_000;
+      cache_capacity = 4096;
+    }
+  in
+  let a = W.run s and b = W.run s in
+  Alcotest.(check string) "100k-user same-seed render byte-identical" (W.render a) (W.render b);
+  Alcotest.(check string) "100k-user json render too" (W.render_json a) (W.render_json b);
+  check_conserved a;
+  Alcotest.(check bool) "only active users materialised" true (a.W.active_users < s.W.users);
+  Alcotest.(check bool) "active bounded by offered" true (a.W.active_users <= a.W.offered);
+  Alcotest.(check bool) "someone was active" true (a.W.active_users > 0);
+  (* A 1M-user population must be admissible — lazy state means the user
+     count prices the sampler, not the table. *)
+  let big = W.run { s with W.users = 1_000_000; duration = 0.5 } in
+  check_conserved big;
+  Alcotest.(check bool) "1M users stay O(active)" true (big.W.active_users < 10_000)
+
 let test_seed_sensitivity () =
   let a = W.run (open_loop ~seed:7 400.0) and b = W.run (open_loop ~seed:8 400.0) in
   Alcotest.(check bool) "different seeds differ" false (W.render a = W.render b)
@@ -241,6 +267,8 @@ let () =
       ( "engine",
         [
           Alcotest.test_case "same-seed determinism" `Quick test_determinism;
+          Alcotest.test_case "100k users: byte-identical and O(active)" `Quick
+            test_scale_lazy_users;
           Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
           Alcotest.test_case "conservation" `Quick test_conservation;
           Alcotest.test_case "no shed below saturation" `Quick test_no_shed_below_saturation;
