@@ -1746,7 +1746,7 @@ let e20_trajectory () =
         Option.map
           (fun s -> Printf.sprintf "%S:%s" tag (minify s))
           (read_file_opt (Filename.concat dir (Printf.sprintf "BENCH_%s.json" tag))))
-      [ "e16"; "e17"; "e18"; "e19"; "e21"; "e22" ]
+      [ "e16"; "e17"; "e18"; "e19"; "e21"; "e22"; "e23" ]
   in
   ensure_dir dir;
   let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 ledger in
@@ -2172,6 +2172,218 @@ let e22_scale () =
     ]
 
 (* ==================================================================== *)
+(* E23 — policy churn: targeted region invalidation vs full flush       *)
+(* ==================================================================== *)
+
+(* Two deterministic measurements of the change-impact engine:
+
+   - a sequential churn corpus: G policy generations over a fixed
+     request population, decided through an L1 decision cache under
+     three arms — targeted region invalidation (Delta.between), full
+     flush, and an uncached Policy.evaluate reference.  No request is
+     ever in flight across a publish, so the three decision streams
+     must be byte-identical under both key schemes; under the packed
+     scheme the targeted arm must also retain strictly more warm
+     entries (Sha_hex keys are undecodable, so targeted degrades to
+     the flush there — soundness preserved, savings forfeited);
+   - the workload ablation: the same churn schedule through the engine
+     with [churn_targeted] on and off — retained cache hits and
+     messages per request, gated against the previous ledger entry
+     with the e20 tolerance band. *)
+
+let e23_churn () =
+  header "E23  Policy churn: targeted region invalidation vs full flush"
+    "a publish's change-impact region purges only the affected cached \
+     decisions: decision streams stay byte-identical to a full flush and an \
+     uncached reference, while the targeted arm retains strictly more warm \
+     entries and spends fewer messages per request under churn";
+  let module W = Dacs_workload.Workload in
+  let module D = Dacs_policy.Delta in
+  let failures = ref [] in
+  let check name ok detail =
+    Printf.printf "E23 CHECK %s: %s (%s)\n" name (if ok then "PASS" else "FAIL") detail;
+    if not ok then failures := Printf.sprintf "%s (%s)" name detail :: !failures
+  in
+  let with_scheme scheme f =
+    let saved = Decision_cache.key_scheme () in
+    Decision_cache.set_key_scheme scheme;
+    Fun.protect ~finally:(fun () -> Decision_cache.set_key_scheme saved) f
+  in
+  (* -- part 1: sequential churn corpus ------------------------------- *)
+  let resources = 8 and generations = 12 in
+  let root gen = Policy.Inline_policy (W.churned_policy ~resources ~gen) in
+  let ctxs =
+    List.concat_map
+      (fun role ->
+        List.concat_map
+          (fun r ->
+            List.map
+              (fun act ->
+                Context.make
+                  ~subject:
+                    [ ("subject-id", Value.String ("u-" ^ role)); ("role", Value.String role) ]
+                  ~resource:[ ("resource-id", Value.String (Printf.sprintf "res%d" r)) ]
+                  ~action:[ ("action-id", Value.String act) ]
+                  ())
+              [ "read"; "write" ])
+          (List.init resources Fun.id))
+      [ "doctor"; "nurse"; "admin" ]
+  in
+  let decide_cached cache child ctx =
+    let key = Decision_cache.request_key ctx in
+    match Decision_cache.get cache ~now:0.0 ~key with
+    | Some r -> r
+    | None ->
+      let r = Policy.evaluate_child ctx child in
+      Decision_cache.put cache ~now:0.0 ~key r;
+      r
+  in
+  let max_zones = ref 0 and region_unbounded = ref false in
+  (* Runs the whole corpus under the current key scheme; returns the
+     three decision streams plus cache stats. *)
+  let corpus () =
+    let targeted = Decision_cache.create ~max_entries:4096 ~ttl:3600.0 () in
+    let full = Decision_cache.create ~max_entries:4096 ~ttl:3600.0 () in
+    let bufs = (Buffer.create 1024, Buffer.create 1024, Buffer.create 1024) in
+    let t_dropped = ref 0 and f_dropped = ref 0 in
+    for gen = 0 to generations do
+      if gen > 0 then begin
+        let region = D.between (Some (root (gen - 1))) (Some (root gen)) in
+        max_zones := max !max_zones (D.zone_count region);
+        if D.is_unbounded region then region_unbounded := true;
+        t_dropped := !t_dropped + Decision_cache.invalidate_region targeted region;
+        f_dropped := !f_dropped + Decision_cache.size full;
+        Decision_cache.invalidate_all full
+      end;
+      List.iter
+        (fun ctx ->
+          let bt, bf, br = bufs in
+          let record buf (r : Decision.result) =
+            Buffer.add_string buf (Decision.decision_to_string r.Decision.decision);
+            Buffer.add_char buf ';'
+          in
+          record bt (decide_cached targeted (root gen) ctx);
+          record bf (decide_cached full (root gen) ctx);
+          record br (Policy.evaluate_child ctx (root gen)))
+        ctxs
+    done;
+    let bt, bf, br = bufs in
+    ( Buffer.contents bt,
+      Buffer.contents bf,
+      Buffer.contents br,
+      (Decision_cache.stats targeted).Decision_cache.hits,
+      (Decision_cache.stats full).Decision_cache.hits,
+      !t_dropped,
+      !f_dropped )
+  in
+  let p_t, p_f, p_r, p_thits, p_fhits, p_tdrop, p_fdrop =
+    with_scheme Decision_cache.Packed corpus
+  in
+  let s_t, s_f, s_r, s_thits, s_fhits, _, _ = with_scheme Decision_cache.Sha_hex corpus in
+  Printf.printf "sequential corpus (%d resources, %d publishes, %d requests/generation):\n"
+    resources generations (List.length ctxs);
+  Printf.printf "  %-10s %14s %14s %14s %14s\n" "scheme" "targeted hits" "flush hits"
+    "targeted drops" "flush drops";
+  Printf.printf "  %-10s %14d %14d %14d %14d\n" "packed" p_thits p_fhits p_tdrop p_fdrop;
+  Printf.printf "  %-10s %14d %14d %14s %14s\n" "sha-hex" s_thits s_fhits "(degrades)" "";
+  print_newline ();
+  check "corpus-decisions-identical"
+    (p_t = p_f && p_f = p_r)
+    "targeted = full-flush = uncached reference, byte-identical streams (packed)";
+  check "corpus-decisions-identical-sha"
+    (s_t = s_f && s_f = s_r)
+    "the same three streams under the legacy Sha_hex key scheme";
+  check "corpus-hit-retention" (p_thits > p_fhits)
+    (Printf.sprintf "%d targeted hits > %d flush hits (packed)" p_thits p_fhits);
+  check "corpus-targeted-drops-fewer" (p_tdrop < p_fdrop)
+    (Printf.sprintf "%d targeted drops < %d flush drops" p_tdrop p_fdrop);
+  check "sha-degrades-soundly" (s_thits >= s_fhits)
+    (Printf.sprintf "%d vs %d hits: undecodable keys drop conservatively" s_thits s_fhits);
+  check "regions-bounded"
+    ((not !region_unbounded) && !max_zones <= 4)
+    (Printf.sprintf "every consecutive-generation region bounded, max %d zones" !max_zones);
+  (* -- part 2: workload ablation -------------------------------------- *)
+  let scenario targeted =
+    {
+      W.default with
+      W.seed = 11;
+      cache_ttl = 30.0;
+      duration = 4.0;
+      churn = Some { W.churn_period = 0.5; churn_targeted = targeted };
+    }
+  in
+  let targeted_run = W.run (scenario true) in
+  let targeted_rerun = W.run (scenario true) in
+  let full_run = W.run (scenario false) in
+  let mpr (r : W.report) = float_of_int r.W.messages /. float_of_int r.W.offered in
+  Printf.printf "\nworkload ablation (seed 11, publish every 0.5s of a 4s cached run):\n";
+  Printf.printf "  %-14s %10s %10s %9s %9s %8s\n" "arm" "cache hits" "publishes" "granted"
+    "denied" "msgs/req";
+  List.iter
+    (fun (label, (r : W.report)) ->
+      Printf.printf "  %-14s %10d %10d %9d %9d %8.2f\n" label r.W.cache_hits r.W.publishes
+        r.W.granted r.W.denied (mpr r))
+    [ ("full-flush", full_run); ("targeted", targeted_run) ];
+  print_newline ();
+  check "workload-conservation"
+    (W.conservation_ok targeted_run && W.conservation_ok full_run)
+    "completed = offered and answers sum up under both arms";
+  check "workload-publishes"
+    (targeted_run.W.publishes = full_run.W.publishes && targeted_run.W.publishes > 0)
+    (Printf.sprintf "%d generations installed in both arms" targeted_run.W.publishes);
+  check "workload-hit-retention"
+    (targeted_run.W.cache_hits > full_run.W.cache_hits)
+    (Printf.sprintf "%d targeted hits > %d full-flush hits" targeted_run.W.cache_hits
+       full_run.W.cache_hits);
+  check "workload-msgs-per-req"
+    (mpr targeted_run < mpr full_run)
+    (Printf.sprintf "%.2f targeted < %.2f full-flush" (mpr targeted_run) (mpr full_run));
+  check "workload-determinism"
+    (W.render targeted_run = W.render targeted_rerun)
+    "same-seed churn report renders byte-identical";
+  (* regression gates against the previous ledger entry's embedded e23
+     snapshot (absent on the first run: nothing to compare) *)
+  let hit_ratio =
+    float_of_int targeted_run.W.cache_hits /. float_of_int (max 1 full_run.W.cache_hits)
+  in
+  let ledger = Filename.concat (history_dir ()) "ledger.jsonl" in
+  (match Option.bind (read_file_opt ledger) last_line with
+  | None -> Printf.printf "E23 CHECK regression: PASS (no ledger, nothing to compare)\n"
+  | Some prev -> (
+    match
+      (find_float_field prev "churn_hit_ratio", find_float_field prev "churn_msgs_per_req")
+    with
+    | Some prev_ratio, Some prev_mpr ->
+      check "hit-ratio-regression"
+        (hit_ratio >= (prev_ratio /. e20_tolerance) -. 1e-9)
+        (Printf.sprintf "%.2fx vs %.2fx last entry, tolerance %d%%" hit_ratio prev_ratio
+           (int_of_float ((e20_tolerance -. 1.0) *. 100.0)));
+      check "churn-msgs-per-req-regression"
+        (mpr targeted_run <= (prev_mpr *. e20_tolerance) +. 1e-9)
+        (Printf.sprintf "%.2f vs %.2f last entry, tolerance %d%%" (mpr targeted_run) prev_mpr
+           (int_of_float ((e20_tolerance -. 1.0) *. 100.0)))
+    | _ ->
+      Printf.printf
+        "E23 CHECK regression: PASS (previous entry has no e23 snapshot, nothing to compare)\n"));
+  List.iter (fun f -> Printf.printf "E23 FAILURE: %s\n" f) !failures;
+  record_gate_failures "e23" !failures;
+  write_bench_json "e23"
+    [
+      ("seq_targeted_hits", json_i p_thits);
+      ("seq_full_hits", json_i p_fhits);
+      ("seq_targeted_drops", json_i p_tdrop);
+      ("seq_full_drops", json_i p_fdrop);
+      ("max_region_zones", json_i !max_zones);
+      ("targeted_cache_hits", json_i targeted_run.W.cache_hits);
+      ("full_cache_hits", json_i full_run.W.cache_hits);
+      ("churn_hit_ratio", json_f hit_ratio);
+      ("churn_msgs_per_req", json_f (mpr targeted_run));
+      ("full_msgs_per_req", json_f (mpr full_run));
+      ("publishes", json_i targeted_run.W.publishes);
+      ("gate_failures", json_i (List.length !failures));
+    ]
+
+(* ==================================================================== *)
 (* Micro-benchmarks (Bechamel)                                          *)
 (* ==================================================================== *)
 
@@ -2251,6 +2463,7 @@ let experiments =
     ("e19", e19_compiled_eval);
     ("e21", e21_offline);
     ("e22", e22_scale);
+    ("e23", e23_churn);
     ("e20", e20_trajectory);
     ("micro", micro);
   ]

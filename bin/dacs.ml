@@ -928,7 +928,8 @@ let offline_cmd seed json =
    two invocations can be compared with cmp(1) — the determinism gate CI
    relies on.  Exits non-zero when a LOAD CHECK fails. *)
 let load_cmd seed rate clients think duration peps shards users domains zipf cache_ttl
-    cache_entries service_time batch max_inflight queue pdp_max_inflight rule_cost compiled json =
+    cache_entries service_time batch max_inflight queue pdp_max_inflight rule_cost compiled
+    churn_period churn_flush json =
   let module W = Dacs_workload.Workload in
   let arrivals =
     if clients > 0 then W.Closed_loop { clients; think_time = think } else W.Open_loop { rate }
@@ -954,6 +955,10 @@ let load_cmd seed rate clients think duration peps shards users domains zipf cac
       compiled;
       partition = None;
       offline = false;
+      churn =
+        (if churn_period > 0.0 then
+           Some { W.churn_period; churn_targeted = not churn_flush }
+         else None);
     }
   in
   match W.run scenario with
@@ -991,6 +996,100 @@ let load_cmd seed rate clients think duration peps shards users domains zipf cac
         checks
     end;
     if List.for_all (fun (_, ok, _) -> ok) checks then 0 else 1
+
+(* --- delta ------------------------------------------------------------------- *)
+
+(* Walk the change-impact analysis over the workload churn family: print
+   each publish's region, spot-check its soundness against direct
+   evaluation, and show what a targeted invalidation saves an L1 cache
+   over the classic full flush.  Exits non-zero when a DELTA CHECK
+   fails. *)
+let delta_cmd json =
+  let module W = Dacs_workload.Workload in
+  let module Delta = Dacs_policy.Delta in
+  let module Context = Dacs_policy.Context in
+  let module Value = Dacs_policy.Value in
+  let resources = 4 in
+  let root gen = Policy.Inline_policy (W.churned_policy ~resources ~gen) in
+  let ctx ~role ~res ~act =
+    Context.make
+      ~subject:[ ("subject-id", Value.String ("u-" ^ role)); ("role", Value.String role) ]
+      ~resource:[ ("resource-id", Value.String res) ]
+      ~action:[ ("action-id", Value.String act) ]
+      ()
+  in
+  let ctxs =
+    List.concat_map
+      (fun role ->
+        List.concat_map
+          (fun r ->
+            List.map (fun act -> ctx ~role ~res:(Printf.sprintf "res%d" r) ~act) [ "read"; "write" ])
+          (List.init resources Fun.id))
+      [ "doctor"; "nurse"; "admin" ]
+  in
+  let region01 = Delta.between (Some (root 0)) (Some (root 1)) in
+  let region12 = Delta.between (Some (root 1)) (Some (root 2)) in
+  (* Soundness spot-check: every context the region does not cover must
+     decide identically under both generations. *)
+  let sound region old_root new_root =
+    List.for_all
+      (fun c ->
+        Delta.covers region c
+        || Policy.evaluate_child c old_root = Policy.evaluate_child c new_root)
+      ctxs
+  in
+  (* Cache demo: warm an L1 over the population, then invalidate with
+     the publish's region vs a full flush. *)
+  let cache = Decision_cache.create ~max_entries:1024 ~ttl:3600.0 () in
+  List.iter
+    (fun c ->
+      Decision_cache.put cache ~now:0.0 ~key:(Decision_cache.request_key c)
+        (Policy.evaluate_child c (root 1)))
+    ctxs;
+  let warm = Decision_cache.size cache in
+  let dropped = Decision_cache.invalidate_region cache region12 in
+  let checks =
+    [
+      ("no-op-publish-empty", Delta.is_empty (Delta.between (Some (root 1)) (Some (root 1))),
+        "publishing an identical policy yields the empty region");
+      ( "first-publish-unbounded",
+        Delta.is_unbounded (Delta.between None (Some (root 0))),
+        "publishing over no previous policy degrades to the full flush" );
+      ( "rule-add-covered",
+        Delta.covers region01 (ctx ~role:"admin" ~res:"res1" ~act:"read"),
+        "the added admins-read rule's requests fall inside the region" );
+      ( "soundness-sample",
+        sound region01 (root 0) (root 1) && sound region12 (root 1) (root 2),
+        "every context outside the region decides identically pre/post publish" );
+      ( "targeted-drops-fewer",
+        dropped > 0 && dropped < warm,
+        Printf.sprintf "region dropped %d of %d warm entries (full flush drops all)" dropped warm
+      );
+    ]
+  in
+  if json then begin
+    let fields =
+      List.map (fun (name, ok, _) -> Printf.sprintf "\"%s\":%b" (json_escape name) ok) checks
+    in
+    Printf.printf
+      "{\"region_0_1\":\"%s\",\"region_1_2\":\"%s\",\"zones_1_2\":%d,\"warm\":%d,\"dropped\":%d,%s}\n"
+      (json_escape (Delta.to_string region01))
+      (json_escape (Delta.to_string region12))
+      (Delta.zone_count region12) warm dropped (String.concat "," fields)
+  end
+  else begin
+    Printf.printf "change-impact regions over the churn family (%d resources):\n\n" resources;
+    Printf.printf "publish gen0 -> gen1 (adds admins-read-churn on res1):\n  %s\n\n"
+      (Delta.to_string region01);
+    Printf.printf "publish gen1 -> gen2 (retargets it to res2):\n  %s\n\n"
+      (Delta.to_string region12);
+    Printf.printf "targeted invalidation: dropped %d of %d warm L1 entries\n\n" dropped warm;
+    List.iter
+      (fun (name, ok, detail) ->
+        Printf.printf "DELTA CHECK %s: %s (%s)\n" name (if ok then "PASS" else "FAIL") detail)
+      checks
+  end;
+  if List.for_all (fun (_, ok, _) -> ok) checks then 0 else 1
 
 (* --- cmdliner wiring ------------------------------------------------------------ *)
 
@@ -1191,6 +1290,24 @@ let compiled_flag =
            decisions are identical, shard occupancy scales with dispatched candidates instead of \
            the whole rule list.")
 
+let churn_period_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "churn-period" ] ~docv:"S"
+        ~doc:
+          "Publish a new policy generation every S virtual seconds (0 = static policy); each \
+           publish runs a targeted invalidation round from its change-impact region.")
+
+let churn_flush_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "churn-flush" ]
+        ~doc:
+          "Ablation arm for --churn-period: invalidate with the unbounded region (the legacy \
+           VO-wide full flush) instead of the computed change-impact region.")
+
 let explain_t =
   Cmd.v
     (Cmd.info "explain"
@@ -1229,7 +1346,17 @@ let load_t =
       const load_cmd $ sim_seed_arg $ rate_arg $ clients_arg $ think_arg $ duration_arg $ peps_arg
       $ shards_arg $ users_arg $ domains_arg $ zipf_arg $ cache_ttl_arg $ cache_entries_arg
       $ service_time_arg $ batch_arg $ max_inflight_arg $ queue_arg $ pdp_inflight_arg
-      $ rule_cost_arg $ compiled_flag $ json_flag)
+      $ rule_cost_arg $ compiled_flag $ churn_period_arg $ churn_flush_flag $ json_flag)
+
+let delta_t =
+  Cmd.v
+    (Cmd.info "delta"
+       ~doc:
+         "Analyse policy change impact: compute the region of decisions a publish can affect \
+          (Delta.between over consecutive churn generations), spot-check its soundness against \
+          direct evaluation, and show what targeted cache invalidation saves over a full flush. \
+          Exits non-zero when a DELTA CHECK fails")
+    Term.(const delta_cmd $ json_flag)
 
 let main =
   Cmd.group
@@ -1247,6 +1374,7 @@ let main =
       tier_t;
       cache_t;
       load_t;
+      delta_t;
       explain_t;
       slo_t;
       offline_t;

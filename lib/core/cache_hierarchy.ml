@@ -76,6 +76,37 @@ module Attr_cache = struct
   let size t = Hashtbl.length t.table
   let hits t = Metrics.counter_value t.c_hits
   let misses t = Metrics.counter_value t.c_misses
+
+  (* Drop the bags a change-impact region's pins and guards read: the
+     attribute data itself is still valid (policy churn does not change
+     PIP facts), but dropping forces a refetch on the next decision
+     inside the region, which keeps the attribute tier's behaviour
+     aligned with the decision caches it feeds.  Entries whose pair sym
+     cannot be decoded drop conservatively. *)
+  let invalidate_region t region =
+    match region with
+    | Dacs_policy.Delta.Empty -> 0
+    | Dacs_policy.Delta.Unbounded ->
+      let n = size t in
+      clear t;
+      n
+    | Dacs_policy.Delta.Zones _ ->
+      let positions = Dacs_policy.Delta.attributes region in
+      let doomed =
+        Hashtbl.fold
+          (fun k _ acc ->
+            let pair = k lsr 31 in
+            match Intern.pair_info Intern.global pair with
+            | info -> if List.mem info positions then k :: acc else acc
+            | exception Invalid_argument _ -> k :: acc)
+          t.table []
+      in
+      List.iter
+        (fun k ->
+          Hashtbl.remove t.table k;
+          Metrics.inc t.c_invalidations)
+        doomed;
+      List.length doomed
 end
 
 (* ===================================================================== *)
@@ -132,13 +163,18 @@ module L2 = struct
     node : Dacs_net.Net.node_id;
     cache : Decision_cache.t;
     mutable children : Dacs_net.Net.node_id list;
-    mutable epoch : int;  (** full purges applied here *)
+    mutable epoch : int;  (** full and region purges applied here *)
     mutable parent_epoch : int;  (** parent's epoch as last pushed/polled *)
+    mutable purged_at : float;
+        (** when the last full/region purge was applied — puts sent
+            before it are rejected rather than resurrected *)
     mutable on_invalidate : string option -> unit;
+    mutable on_region : Dacs_policy.Delta.t -> unit;
     c_lookups : Metrics.counter;
     c_hits : Metrics.counter;
     c_puts : Metrics.counter;
     c_invalidations : Metrics.counter;
+    c_rejected_puts : Metrics.counter;
     h_latency : Metrics.histogram;
   }
 
@@ -148,6 +184,8 @@ module L2 = struct
   let epoch (t : t) = t.epoch
   let size t = Decision_cache.size t.cache
   let set_on_invalidate t f = t.on_invalidate <- f
+  let set_on_region t f = t.on_region <- f
+  let rejected_puts t = Metrics.counter_value t.c_rejected_puts
   let now t = Dacs_net.Net.now (Service.net t.services)
   let tracer t = Service.tracer t.services
 
@@ -180,21 +218,54 @@ module L2 = struct
             | Error _ -> ()))
       t.children
 
+  (* Region purges fan down their own service so a receiver can apply
+     the same targeted drop; the frame carries the sender's post-purge
+     epoch, so a delivered push satisfies the next anti-entropy poll and
+     a lost one is repaired by it (as a conservative full purge). *)
+  let fan_out_region t region =
+    let started = now t in
+    List.iter
+      (fun child ->
+        Service.call t.services ~src:t.node ~dst:child ~service:"cache-region"
+          (Wire.cache_region ~epoch:t.epoch region)
+          (fun reply ->
+            match reply with
+            | Ok _ -> Metrics.observe t.h_latency (now t -. started)
+            | Error _ -> ()))
+      t.children
+
   let apply_invalidation t key =
     (match key with
     | None ->
       Decision_cache.invalidate_all t.cache;
+      t.purged_at <- now t;
       t.epoch <- t.epoch + 1
     | Some k -> Decision_cache.invalidate t.cache ~key:k);
     Metrics.inc t.c_invalidations;
     t.on_invalidate key;
     fan_out t key
 
+  let apply_region t region =
+    ignore (Decision_cache.invalidate_region t.cache region);
+    t.purged_at <- now t;
+    t.epoch <- t.epoch + 1;
+    Metrics.inc t.c_invalidations;
+    t.on_region region;
+    fan_out_region t region
+
   let invalidate_all t =
     Trace.record (tracer t) ("l2:invalidate-all " ^ t.node);
     apply_invalidation t None
 
   let invalidate t ~key = apply_invalidation t (Some key)
+
+  let invalidate_region t region =
+    match region with
+    | Dacs_policy.Delta.Empty -> ()
+    | Dacs_policy.Delta.Unbounded -> invalidate_all t
+    | Dacs_policy.Delta.Zones _ ->
+      Trace.record (tracer t) ("l2:invalidate-region " ^ t.node);
+      apply_region t region
 
   (* Anti-entropy backstop: poll the parent's epoch; any full purge we
      missed (down at push time, partitioned, ...) is applied within one
@@ -230,11 +301,16 @@ module L2 = struct
         children = [];
         epoch = 0;
         parent_epoch = 0;
+        purged_at = neg_infinity;
         on_invalidate = (fun _ -> ());
+        on_region = (fun _ -> ());
         c_lookups = own "l2_lookups_total" ~help:"Shared-cache lookups served";
         c_hits = own "l2_hits_total" ~help:"Shared-cache lookups answered with a fresh decision";
         c_puts = own "l2_puts_total" ~help:"Decisions stored into the shared cache";
         c_invalidations = own "l2_invalidations_total" ~help:"Invalidation rounds applied";
+        c_rejected_puts =
+          own "l2_rejected_puts_total"
+            ~help:"Puts sent before the last purge, dropped instead of resurrected";
         h_latency =
           Metrics.histogram registry
             ~help:"Virtual seconds from an invalidation to each child's ack"
@@ -254,16 +330,33 @@ module L2 = struct
     Service.serve services ~node ~service:"cache-put" (fun ~caller:_ ~headers:_ body reply ->
         match Wire.parse_cache_put body with
         | Error e -> reply (fault e)
-        | Ok (key, result) ->
-          Metrics.inc t.c_puts;
-          Decision_cache.put t.cache ~now:(now t) ~key result;
-          reply (Dacs_xml.Xml.element "CachePutAck"));
+        | Ok (key, result, sent_at) -> (
+          (* The put/invalidate race: a fire-and-forget put composed
+             before a purge must not land after it and resurrect the
+             entry it carried.  Unstamped puts are accepted (legacy
+             frames cannot be ordered against purges). *)
+          match sent_at with
+          | Some s when s < t.purged_at -> Metrics.inc t.c_rejected_puts; reply (Dacs_xml.Xml.element "CachePutAck")
+          | Some _ | None ->
+            Metrics.inc t.c_puts;
+            Decision_cache.put t.cache ~now:(now t) ~key result;
+            reply (Dacs_xml.Xml.element "CachePutAck")));
     Service.serve services ~node ~service:"cache-invalidate" (fun ~caller:_ ~headers:_ body reply ->
         match Wire.parse_cache_invalidate body with
         | Error e -> reply (fault e)
         | Ok (sender_epoch, key) ->
           if key = None then t.parent_epoch <- max t.parent_epoch sender_epoch;
           apply_invalidation t key;
+          reply (Wire.cache_epoch ~epoch:t.epoch));
+    Service.serve services ~node ~service:"cache-region" (fun ~caller:_ ~headers:_ body reply ->
+        match Wire.parse_cache_region body with
+        | Error e -> reply (fault e)
+        | Ok (sender_epoch, region) ->
+          t.parent_epoch <- max t.parent_epoch sender_epoch;
+          (match region with
+          | Dacs_policy.Delta.Empty -> ()
+          | Dacs_policy.Delta.Unbounded -> apply_invalidation t None
+          | Dacs_policy.Delta.Zones _ -> apply_region t region);
           reply (Wire.cache_epoch ~epoch:t.epoch));
     Service.serve services ~node ~service:"cache-sync" (fun ~caller:_ ~headers:_ body reply ->
         match Wire.parse_cache_sync body with
@@ -287,7 +380,9 @@ module L2 = struct
           k None)
 
   let remote_put services ~src ~l2 ~key result =
-    Service.call services ~src ~dst:l2 ~service:"cache-put" (Wire.cache_put ~key result)
+    let sent_at = Dacs_net.Net.now (Service.net services) in
+    Service.call services ~src ~dst:l2 ~service:"cache-put"
+      (Wire.cache_put ~sent_at ~key result)
       (fun _ -> ())
 
   let remote_invalidate services ~src ~l2 ?key ?(k = fun () -> ()) () =

@@ -67,6 +67,12 @@ module Attr_cache : sig
   (** What a PIP's [attribute-invalidate] push triggers: drop the cached
       subject-category bag for (subject, id). *)
 
+  val invalidate_region : t -> Dacs_policy.Delta.t -> int
+  (** Drop the bags at every attribute position the region's pins and
+      guards mention (undecodable pair syms drop conservatively);
+      returns the number dropped.  [Unbounded] clears the cache, [Empty]
+      drops nothing. *)
+
   val clear : t -> unit
   val size : t -> int
   val hits : t -> int
@@ -133,13 +139,31 @@ module L2 : sig
       purge); domains use it to purge their PEPs' L1 caches in the same
       round. *)
 
+  val set_on_region : t -> (Dacs_policy.Delta.t -> unit) -> unit
+  (** Like {!set_on_invalidate} for targeted purges: domains use it to
+      region-invalidate their PEPs' L1 caches in the same round. *)
+
   val invalidate_all : t -> unit
   (** Revocation entry point: purge here, bump the epoch, fan out. *)
 
   val invalidate : t -> key:string -> unit
 
+  val invalidate_region : t -> Dacs_policy.Delta.t -> unit
+  (** Targeted purge from a policy publish: drop only matching entries
+      (see {!Decision_cache.invalidate_region}), bump the epoch, fan a
+      [cache-region] frame to subscribed children.  [Unbounded] falls
+      back to {!invalidate_all}; [Empty] is a no-op (no epoch bump, no
+      fan-out).  The epoch bump means a child that misses the push
+      repairs itself at its next anti-entropy poll (as a conservative
+      full purge); a child that receives it advances its parent-epoch
+      view and does not re-purge. *)
+
   val epoch : t -> int
   val size : t -> int
+
+  val rejected_puts : t -> int
+  (** Puts stamped before the last full/region purge, dropped instead of
+      resurrecting the entry they carried. *)
 
   type stats = { lookups : int; hits : int; puts : int; invalidations : int; size : int; epoch : int }
 

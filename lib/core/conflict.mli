@@ -34,3 +34,18 @@ val resolution : Dacs_policy.Combine.algorithm -> conflict -> Dacs_policy.Decisi
 (** Which way the combining algorithm settles this conflict: deny- and
     permit-overrides pick their namesake, first-applicable follows document
     order, only-one-applicable reports the conflict as Indeterminate. *)
+
+(** {1 Change-impact region overlap}
+
+    The same satisfiability machinery applied to {!Delta} regions: can
+    one and the same request lie in both regions' pinned cores?  Used to
+    reason about publishes whose purges are provably independent. *)
+
+val zones_overlap : Dacs_policy.Delta.zone -> Dacs_policy.Delta.zone -> bool
+(** Conservative: [false] only when the two zones pin the same
+    (category, attribute) position to disjoint value sets, under the
+    single-valued-attribute assumption above. *)
+
+val regions_overlap : Dacs_policy.Delta.t -> Dacs_policy.Delta.t -> bool
+(** {!Delta.Empty} overlaps nothing; {!Delta.Unbounded} overlaps every
+    non-empty region; zone unions overlap when any zone pair does. *)

@@ -138,6 +138,31 @@ let invalidate_all t =
   Hashtbl.reset t.table;
   Queue.clear t.order
 
+(* A key is droppable for a region when the context it decodes to lies
+   inside it.  Undecodable keys (Sha_hex digests, vocabulary from
+   another process) drop too: the region test needs the key's atoms, and
+   a key we cannot read might belong to an affected request.  The
+   decoded context carries no Environment bags, so environment-guarded
+   pins can never exclude a key — also conservative. *)
+let key_in_region region key =
+  match Intern.decode_key key with
+  | None -> true
+  | Some ctx -> Dacs_policy.Delta.covers region ctx
+
+let invalidate_region t region =
+  match region with
+  | Dacs_policy.Delta.Empty -> 0
+  | Dacs_policy.Delta.Unbounded ->
+    let n = Hashtbl.length t.table in
+    invalidate_all t;
+    n
+  | Dacs_policy.Delta.Zones _ ->
+    let doomed =
+      Hashtbl.fold (fun key _ acc -> if key_in_region region key then key :: acc else acc) t.table []
+    in
+    List.iter (fun key -> Hashtbl.remove t.table key) doomed;
+    List.length doomed
+
 let size t = Hashtbl.length t.table
 
 let key_bytes t = Hashtbl.fold (fun key _ acc -> acc + String.length key) t.table 0

@@ -49,7 +49,17 @@ val put : t -> now:float -> key:string -> Dacs_policy.Decision.result -> unit
 
 val invalidate : t -> key:string -> unit
 val invalidate_all : t -> unit
-(** What a PEP does when told the policy changed. *)
+(** What a PEP does when told the policy changed and no change-impact
+    region is available (or the region is unbounded). *)
+
+val invalidate_region : t -> Dacs_policy.Delta.t -> int
+(** Targeted invalidation: drop only the entries whose keys decode (via
+    {!Intern} reverse lookup) to a context the region {!Delta.covers};
+    returns the number dropped.  Conservative on both unreadable keys
+    (Sha_hex digests drop — degrading to a per-entry full flush under
+    the legacy scheme) and environment-guarded pins (keys carry no
+    Environment atoms, so such pins never exclude).  [Unbounded] falls
+    back to {!invalidate_all}; [Empty] drops nothing. *)
 
 val size : t -> int
 

@@ -58,10 +58,15 @@ let republish t =
   | None -> ()
   | Some root ->
     Pap.publish t.pap root;
-    List.iter Pep.invalidate_cache t.peps;
-    (* Decisions in the shared cache were made under the old policy; the
-       purge fans out to any subscribed child caches too. *)
-    Option.iter Cache_hierarchy.L2.invalidate_all t.l2;
+    (* Decisions cached under the old policy are purged by change-impact
+       region: only entries the publish can affect drop (the region of a
+       first publish is Unbounded, which is the old full flush).  The L2
+       purge fans out to any subscribed child caches and — via the
+       region hook below — to the PEPs' L1s in the same round. *)
+    let region = Pap.last_region t.pap in
+    (match t.l2 with
+    | Some l2 -> Cache_hierarchy.L2.invalidate_region l2 region
+    | None -> List.iter (fun pep -> ignore (Pep.invalidate_region pep region)) t.peps);
     (* The offline replica mirrors the served root, so a partitioned PEP
        decides under the same policy the live tier would have used. *)
     Option.iter (fun o -> Offline.publish o root) t.offline
@@ -129,6 +134,8 @@ let attach_l2 t ?max_entries ~ttl () =
         match key with
         | None -> List.iter Pep.invalidate_cache t.peps
         | Some key -> List.iter (fun pep -> Pep.invalidate_key pep ~key) t.peps);
+    Cache_hierarchy.L2.set_on_region l2 (fun region ->
+        List.iter (fun pep -> ignore (Pep.invalidate_region pep region)) t.peps);
     List.iter (fun pep -> Pep.set_l2 pep (Some node)) t.peps;
     t.l2 <- Some l2;
     l2

@@ -18,6 +18,13 @@ type t = {
   (* (pair sym | value sym) -> dense atom sym *)
   atoms : (int, int) Hashtbl.t;
   mutable n_atoms : int;
+  (* Reverse tables, one slot per dense sym, so packed cache keys can be
+     decoded back into attribute bags for region-targeted invalidation:
+     pair sym -> (category code, attribute id); value sym -> the typed
+     value; atom sym -> the packed (pair | value) word. *)
+  mutable pair_infos : (int * string) array;
+  mutable value_of : Value.t array;
+  mutable atom_packs : int array;
   (* reusable scratch for key building: atom syms of the request in hand *)
   mutable scratch : int array;
   buf : Buffer.t;
@@ -35,9 +42,22 @@ let create ?(expected = 1024) () =
     n_values = 0;
     atoms = Hashtbl.create expected;
     n_atoms = 0;
+    pair_infos = Array.make 16 (0, "");
+    value_of = Array.make 16 (Value.String "");
+    atom_packs = Array.make 16 0;
     scratch = Array.make 16 0;
     buf = Buffer.create 64;
   }
+
+(* Append [x] at [sym] in a growable dense array. *)
+let slot_set get set t sym x =
+  let a = get t in
+  if sym >= Array.length a then begin
+    let bigger = Array.make (2 * Array.length a) a.(0) in
+    Array.blit a 0 bigger 0 sym;
+    set t bigger
+  end;
+  (get t).(sym) <- x
 
 (* Sized for a million-user vocabulary's early doublings: large enough
    that the first ~64k symbols never rehash, small enough to allocate in
@@ -69,6 +89,7 @@ let value t v =
   | exception Not_found ->
     let sym = t.n_values in
     Hashtbl.add t.values v sym;
+    slot_set (fun t -> t.value_of) (fun t a -> t.value_of <- a) t sym v;
     t.n_values <- sym + 1;
     sym
 
@@ -85,6 +106,11 @@ let pair t category id =
   | exception Not_found ->
     let sym = t.n_pairs in
     Hashtbl.add table id sym;
+    slot_set
+      (fun t -> t.pair_infos)
+      (fun t a -> t.pair_infos <- a)
+      t sym
+      (category_code category, id);
     t.n_pairs <- sym + 1;
     sym
 
@@ -97,6 +123,7 @@ let atom t ~pair ~value =
   | exception Not_found ->
     let sym = t.n_atoms in
     Hashtbl.add t.atoms key sym;
+    slot_set (fun t -> t.atom_packs) (fun t a -> t.atom_packs <- a) t sym key;
     t.n_atoms <- sym + 1;
     sym
 
@@ -141,6 +168,55 @@ let request_key ?(table = global) ctx =
     add_decimal t.buf a.(i)
   done;
   Buffer.contents t.buf
+
+(* --- reverse lookups ----------------------------------------------------- *)
+
+let category_of_code = function
+  | 0 -> Context.Subject
+  | 1 -> Context.Resource
+  | 2 -> Context.Action
+  | 3 -> Context.Environment
+  | c -> invalid_arg (Printf.sprintf "Intern.category_of_code: %d" c)
+
+let pair_info t sym =
+  if sym < 0 || sym >= t.n_pairs then invalid_arg "Intern.pair_info: unknown sym"
+  else
+    let code, id = t.pair_infos.(sym) in
+    (category_of_code code, id)
+
+let value_of t sym =
+  if sym < 0 || sym >= t.n_values then invalid_arg "Intern.value_of: unknown sym"
+  else t.value_of.(sym)
+
+let atom_info t sym =
+  if sym < 0 || sym >= t.n_atoms then invalid_arg "Intern.atom_info: unknown sym"
+  else
+    let key = t.atom_packs.(sym) in
+    (key lsr 31, key land ((1 lsl 31) - 1))
+
+(* Parse one dot-separated decimal segment; None on anything that is not
+   a short plain decimal (so 64-hex digests and corrupted keys are
+   rejected rather than misread). *)
+let decode_key ?(table = global) key =
+  let t = table in
+  let n = String.length key in
+  let ctx = ref Context.empty in
+  let rec atom_at start i acc =
+    if i = n || key.[i] = '.' then
+      if i = start || acc < 0 || acc >= t.n_atoms then None
+      else begin
+        let pair_sym, value_sym = atom_info t acc in
+        let category, id = pair_info t pair_sym in
+        ctx := Context.add !ctx category id (value_of t value_sym);
+        if i = n then Some !ctx else atom_at (i + 1) (i + 1) 0
+      end
+    else
+      match key.[i] with
+      | '0' .. '9' when i - start < 10 ->
+        atom_at start (i + 1) ((acc * 10) + (Char.code key.[i] - Char.code '0'))
+      | _ -> None
+  in
+  if n = 0 then Some Context.empty else atom_at 0 0 0
 
 type stats = { strings : int; pairs : int; values : int; atoms : int }
 

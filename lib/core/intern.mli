@@ -70,6 +70,33 @@ val request_key : ?table:t -> Dacs_policy.Context.t -> string
     same key iff their (category, id, value) multisets over those three
     sections are equal; bag and insertion order never matter. *)
 
+(** {1 Reverse lookups}
+
+    Dense per-sym reverse tables, populated as syms are minted, so the
+    invalidation plane can decode a packed cache key back into the
+    attribute bags it was built from and test it against a {!Delta}
+    region. *)
+
+val pair_info : t -> sym -> Dacs_policy.Context.category * string
+(** The attribute position a pair sym was minted for; raises
+    [Invalid_argument] on an unknown sym. *)
+
+val value_of : t -> sym -> Dacs_policy.Value.t
+(** The typed value a value sym was minted for; raises
+    [Invalid_argument] on an unknown sym. *)
+
+val atom_info : t -> sym -> sym * sym
+(** [(pair, value)] syms of one atom; raises [Invalid_argument] on an
+    unknown sym. *)
+
+val decode_key : ?table:t -> string -> Dacs_policy.Context.t option
+(** Decode a {!request_key} back into a context carrying the Subject,
+    Resource and Action bags the key canonicalised (Environment is
+    never in a key, so the result carries none).  [None] on anything
+    that is not a dot-separated sequence of known atom syms — notably
+    SHA-256 hex digests from the legacy scheme, which region
+    invalidation must treat as matching (drop) to stay conservative. *)
+
 type stats = { strings : int; pairs : int; values : int; atoms : int }
 
 val stats : t -> stats

@@ -22,6 +22,8 @@ type t = {
   mutable subscribers : Dacs_net.Net.node_id list;
   mutable update_filter : Policy.child -> bool;
   mutable update_transform : Policy.child -> Policy.child;
+  mutable last_region : Dacs_policy.Delta.t;
+  mutable on_region : Dacs_policy.Delta.t -> unit;
 }
 
 let node t = t.node
@@ -35,6 +37,8 @@ let subscribers t = t.subscribers
 let set_admin_policy t p = t.admin_policy <- Some p
 let set_update_filter t f = t.update_filter <- f
 let set_update_transform t f = t.update_transform <- f
+let last_region t = t.last_region
+let on_publish_region t f = t.on_region <- f
 
 let queries_served t = Metrics.counter_value t.c_queries
 let updates_accepted t = Metrics.counter_value t.c_accepted
@@ -65,6 +69,7 @@ let push_to_subscribers t =
       t.subscribers
 
 let accept_update t child =
+  let before = t.root in
   t.root <- Some child;
   (* Incremental recompilation: unchanged leaf policies keep their
      compiled form; the epoch moves only when the tree actually changed,
@@ -76,6 +81,12 @@ let accept_update t child =
       | Some prev -> Compiled.recompile prev child);
   t.version <- t.version + 1;
   Metrics.inc t.c_accepted;
+  (* Change-impact analysis over the same structural diff recompilation
+     reuses: a no-op publish yields an Empty region (and a preserved
+     compilation epoch), a bounded edit yields the zones the
+     invalidation plane purges instead of flushing VO-wide. *)
+  t.last_region <- Dacs_policy.Delta.between before (Some child);
+  t.on_region t.last_region;
   push_to_subscribers t
 
 let publish t child = accept_update t child
@@ -110,6 +121,8 @@ let create services ~node ~name ?admin_policy ?root () =
       subscribers = [];
       update_filter = (fun _ -> true);
       update_transform = (fun c -> c);
+      last_region = Dacs_policy.Delta.empty;
+      on_region = (fun _ -> ());
     }
   in
   Service.serve services ~node ~service:"policy-query" (fun ~caller:_ ~headers:_ body reply ->

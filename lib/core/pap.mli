@@ -43,7 +43,20 @@ val compilation_epoch : t -> int
 
 val publish : t -> Dacs_policy.Policy.child -> unit
 (** Local administrative action: replace the policy, bump the version,
-    push to subscribers. *)
+    push to subscribers.  Also computes the change-impact region of the
+    publish (see {!Delta.between}) — available as {!last_region} and
+    delivered to the {!on_publish_region} hook — so the invalidation
+    plane can purge only affected cache entries. *)
+
+val last_region : t -> Dacs_policy.Delta.t
+(** The change-impact region of the most recent accepted update
+    (local {!publish}, remote [policy-update], or anti-entropy pull);
+    {!Delta.empty} before the first one. *)
+
+val on_publish_region : t -> (Dacs_policy.Delta.t -> unit) -> unit
+(** Hook run after every accepted update with its change-impact region —
+    where a VO or domain wires region syndication into its cache
+    hierarchy. *)
 
 val lookup : t -> string -> Dacs_policy.Policy.child option
 (** Resolve a policy id inside the stored tree (for policy references):

@@ -223,6 +223,12 @@ let invalidate_key t ~key =
     Decision_cache.invalidate cache ~key
   | Pull _ | Sharded _ | Push _ | Agent _ -> ()
 
+let invalidate_region t region =
+  match t.mode with
+  | Pull { cache = Some cache; _ } | Sharded { cache = Some cache; _ } ->
+    Decision_cache.invalidate_region cache region
+  | Pull _ | Sharded _ | Push _ | Agent _ -> 0
+
 let set_l2 t l2 = t.l2 <- l2
 let l2 t = t.l2
 

@@ -65,6 +65,10 @@ val invalidate_key : t -> key:string -> unit
 (** Drop one L1 entry by request key — what a keyed L2 invalidation round
     applies at the leaves of the hierarchy. *)
 
+val invalidate_region : t -> Dacs_policy.Delta.t -> int
+(** Targeted L1 purge from a policy publish's change-impact region (see
+    {!Decision_cache.invalidate_region}); returns the entries dropped. *)
+
 val decide : t -> Dacs_policy.Context.t -> (Dacs_policy.Decision.result -> unit) -> unit
 (** The decision ladder for a context without the inbound access RPC or
     enforcement: L1 fresh -> L2 fresh -> live tier -> bounded-stale L1 ->

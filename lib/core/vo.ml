@@ -42,7 +42,16 @@ let form services ~name domains =
 
 let publish_policy t child =
   Capability_service.set_policy t.cas child;
-  Pap.publish t.vo_pap child
+  Pap.publish t.vo_pap child;
+  (* Syndicate the publish's change-impact region down the Fig. 5 cache
+     hierarchy: the root L2 purges only matching entries and fans the
+     region to every domain L2 (and from there to PEP L1s).  The
+     anti-entropy epoch poll is unchanged — a domain that misses the
+     push repairs itself with a conservative full purge one round
+     later. *)
+  Option.iter
+    (fun root -> Cache_hierarchy.L2.invalidate_region root (Pap.last_region t.vo_pap))
+    t.l2_root
 
 let issuer_key t issuer =
   if issuer = Capability_service.issuer t.cas then Some (Capability_service.public_key t.cas)

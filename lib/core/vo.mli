@@ -24,7 +24,11 @@ val capability_service : t -> Capability_service.t
 val publish_policy : t -> Dacs_policy.Policy.child -> unit
 (** Publish at the VO PAP; syndication pushes it to every member, where it
     is combined with the member's local policy.  Also installs it as the
-    capability service's decision basis. *)
+    capability service's decision basis, and — when {!cache_hierarchy}
+    is attached — syndicates the publish's change-impact region down the
+    L2 tree so only affected cached decisions are purged (an unbounded
+    region degrades to the old VO-wide flush; the anti-entropy epoch
+    poll backstops lost region pushes). *)
 
 val issuer_key : t -> string -> Dacs_crypto.Rsa.public_key option
 (** Trust lookup across the VO: IdP issuers of every member plus the VO

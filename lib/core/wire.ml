@@ -200,18 +200,22 @@ let parse_cache_answer node =
       Ok (Some result))
   | other -> Error (Printf.sprintf "unexpected cache answer <%s>" other)
 
-let cache_put ~key result =
-  Xml.element "CachePut" ~attrs:[ ("Key", key) ]
+let cache_put ?sent_at ~key result =
+  Xml.element "CachePut"
+    ~attrs:
+      (("Key", key)
+      :: (match sent_at with None -> [] | Some t -> [ ("SentAt", Printf.sprintf "%.6f" t) ]))
     ~children:[ Dacs_policy.Xacml_xml.result_to_xml result ]
 
 let parse_cache_put node =
   let* () = expect_tag node "CachePut" in
   let* key = attr_or_error node "Key" in
+  let sent_at = Option.bind (Xml.attr node "SentAt") float_of_string_opt in
   match Xml.find_child node "Response" with
   | None -> Error "CachePut has no Response"
   | Some r ->
     let* result = Dacs_policy.Xacml_xml.result_of_xml r in
-    Ok (key, result)
+    Ok (key, result, sent_at)
 
 let cache_invalidate ~epoch key =
   Xml.element "CacheInvalidate"
@@ -235,6 +239,110 @@ let parse_cache_sync node =
   match int_of_string_opt s with
   | Some e -> Ok e
   | None -> Error "KnownEpoch is not an integer"
+
+(* Change-impact regions travel as structured frames so an L2 can apply
+   a targeted purge pushed by its parent without seeing the policies the
+   delta came from. *)
+
+let pin_to_xml (p : Dacs_policy.Delta.pin) =
+  Xml.element "Pin"
+    ~attrs:
+      [
+        ("Category", Context.category_name p.Dacs_policy.Delta.pin_category);
+        ("Attribute", p.Dacs_policy.Delta.pin_attribute);
+      ]
+    ~children:
+      (List.map
+         (fun v -> Xml.element "V" ~attrs:[ ("Value", v) ])
+         p.Dacs_policy.Delta.pin_values
+      @ List.map
+          (fun (c, a) ->
+            Xml.element "Guard"
+              ~attrs:[ ("Category", Context.category_name c); ("Attribute", a) ])
+          p.Dacs_policy.Delta.pin_guards)
+
+let cache_region ~epoch region =
+  let kind, children =
+    match region with
+    | Dacs_policy.Delta.Empty -> ("empty", [])
+    | Dacs_policy.Delta.Unbounded -> ("unbounded", [])
+    | Dacs_policy.Delta.Zones zs ->
+      ( "zones",
+        List.map (fun z -> Xml.element "Zone" ~children:(List.map pin_to_xml z)) zs )
+  in
+  Xml.element "CacheRegion"
+    ~attrs:[ ("Epoch", string_of_int epoch); ("Kind", kind) ]
+    ~children
+
+let parse_category node name =
+  let* s = attr_or_error node name in
+  match Context.category_of_name s with
+  | None -> Error (Printf.sprintf "unknown category %s" s)
+  | Some c -> Ok c
+
+let parse_pin node =
+  let* () = expect_tag node "Pin" in
+  let* category = parse_category node "Category" in
+  let* attribute = attr_or_error node "Attribute" in
+  let* values =
+    List.fold_left
+      (fun acc v ->
+        let* acc = acc in
+        let* value = attr_or_error v "Value" in
+        Ok (value :: acc))
+      (Ok [])
+      (Xml.find_children node "V")
+  in
+  let* guards =
+    List.fold_left
+      (fun acc g ->
+        let* acc = acc in
+        let* c = parse_category g "Category" in
+        let* a = attr_or_error g "Attribute" in
+        Ok ((c, a) :: acc))
+      (Ok [])
+      (Xml.find_children node "Guard")
+  in
+  Ok
+    {
+      Dacs_policy.Delta.pin_category = category;
+      pin_attribute = attribute;
+      pin_values = List.rev values;
+      pin_guards = List.rev guards;
+    }
+
+let parse_cache_region node =
+  let* () = expect_tag node "CacheRegion" in
+  let* epoch_s = attr_or_error node "Epoch" in
+  let* epoch =
+    match int_of_string_opt epoch_s with
+    | None -> Error "Epoch is not an integer"
+    | Some e -> Ok e
+  in
+  let* kind = attr_or_error node "Kind" in
+  match kind with
+  | "empty" -> Ok (epoch, Dacs_policy.Delta.Empty)
+  | "unbounded" -> Ok (epoch, Dacs_policy.Delta.Unbounded)
+  | "zones" ->
+    let* zones =
+      List.fold_left
+        (fun acc z ->
+          let* acc = acc in
+          let* pins =
+            List.fold_left
+              (fun acc p ->
+                let* acc = acc in
+                let* pin = parse_pin p in
+                Ok (pin :: acc))
+              (Ok [])
+              (Xml.find_children z "Pin")
+          in
+          Ok (List.rev pins :: acc))
+        (Ok [])
+        (Xml.find_children node "Zone")
+    in
+    Ok (epoch, Dacs_policy.Delta.Zones (List.rev zones))
+  | other -> Error (Printf.sprintf "unknown region kind %s" other)
 
 let cache_epoch ~epoch = Xml.element "CacheEpoch" ~attrs:[ ("Epoch", string_of_int epoch) ]
 

@@ -88,8 +88,12 @@ val cache_answer : Dacs_policy.Decision.result option -> Xml.t
 
 val parse_cache_answer : Xml.t -> (Dacs_policy.Decision.result option, string) result
 
-val cache_put : key:string -> Dacs_policy.Decision.result -> Xml.t
-val parse_cache_put : Xml.t -> (string * Dacs_policy.Decision.result, string) result
+val cache_put : ?sent_at:float -> key:string -> Dacs_policy.Decision.result -> Xml.t
+(** [sent_at] stamps the frame with the sender's clock so a receiver
+    that purged after this put left the sender can reject it instead of
+    resurrecting a stale entry (the put/invalidate race). *)
+
+val parse_cache_put : Xml.t -> (string * Dacs_policy.Decision.result * float option, string) result
 
 val cache_invalidate : epoch:int -> string option -> Xml.t
 (** Full purge when the key is [None], single-entry drop otherwise.
@@ -97,6 +101,15 @@ val cache_invalidate : epoch:int -> string option -> Xml.t
     purge, letting receivers deduplicate against anti-entropy polls. *)
 
 val parse_cache_invalidate : Xml.t -> (int * string option, string) result
+
+val cache_region : epoch:int -> Dacs_policy.Delta.t -> Xml.t
+(** Targeted purge: the change-impact region of a policy publish, pushed
+    down the syndication tree.  [epoch] is the sender's invalidation
+    epoch after applying the purge locally, so receivers that get the
+    push do not re-purge on their next anti-entropy poll — and receivers
+    that miss it do. *)
+
+val parse_cache_region : Xml.t -> (int * Dacs_policy.Delta.t, string) result
 
 val cache_sync : known_epoch:int -> Xml.t
 (** Anti-entropy poll: "my view of your invalidation epoch is N". *)

@@ -77,3 +77,31 @@ val pruned_rules : t -> Context.t -> Rule.t list
 (** The rules dispatch skips for this request (the complement of the
     candidate set).  Every pruned rule's target is [No_match] for the
     request — the property the equivalence suite checks directly. *)
+
+(** {1 Guard discipline}
+
+    The primitives the soundness argument above is built from, exported
+    for {!Delta}'s change-impact analysis, which must exclude requests
+    from an affected region under exactly the same conditions dispatch
+    prunes rules. *)
+
+val section_axis_values : string -> Target.section -> string list option
+(** The values a target section accepts for an attribute, when every
+    clause pins it with [string-equal] on a string literal; [None] when
+    some clause leaves it free (or the section is empty). *)
+
+val section_guards : Target.section -> (Context.category * string) list option
+(** The (category, attribute) positions a section reads, when every
+    match is a [string-equal] against a string literal (and so can never
+    error on an all-string bag); [None] otherwise. *)
+
+val guards_clean : Context.t -> (Context.category * string) list -> bool
+(** Every guard position carries a non-empty all-string bag, so the
+    guarded sections evaluate to Match or No_match — never
+    Indeterminate. *)
+
+val clean_ids : Context.t -> Context.category -> string -> string list option
+(** The request's bag at one position when pruning on it is sound: a
+    non-empty bag of strings and nothing else.  An empty bag may be
+    filled by a resolver later; a non-string value makes [string-equal]
+    error instead of mismatch. *)

@@ -18,6 +18,8 @@ type arrivals =
 
 type partition = { from : float; until : float }
 
+type churn = { churn_period : float; churn_targeted : bool }
+
 type scenario = {
   seed : int;
   domains : int;
@@ -37,6 +39,7 @@ type scenario = {
   compiled : bool;
   partition : partition option;
   offline : bool;
+  churn : churn option;
 }
 
 let default =
@@ -59,6 +62,7 @@ let default =
     compiled = false;
     partition = None;
     offline = false;
+    churn = None;
   }
 
 (* Powers of two from 0.5 ms to ~4 min: wide enough that a saturated
@@ -82,6 +86,8 @@ type report = {
   makespan : float;
   messages : int;
   active_users : int;
+  cache_hits : int;
+  publishes : int;
   shed_reasons : (string * int) list;
   slo : Slo.status;
 }
@@ -100,6 +106,10 @@ let validate s =
   (match s.partition with
   | Some { from; until } ->
     if from < 0.0 || until <= from then bad "partition window must satisfy 0 <= from < until"
+  | None -> ());
+  (match s.churn with
+  | Some { churn_period; _ } ->
+    if churn_period <= 0.0 then bad "churn period must be positive"
   | None -> ());
   match s.arrivals with
   | Open_loop { rate } -> if rate <= 0.0 then bad "open-loop rate must be positive"
@@ -188,6 +198,37 @@ let serving_policy ~resources =
     (List.concat_map per_resource (List.init resources Fun.id)
     @ [ Rule.make Rule.Deny "default-deny" ])
 
+(* The policy-churn lever: generation [gen] grants admins read access to
+   one rotating resource (res[gen mod resources]) via a single rule
+   spliced in front of the default-deny.  Generation 0 is exactly
+   {!serving_policy}, so churn-free scenarios are byte-compatible with
+   the pre-churn engine.  Consecutive generations differ in one fully
+   pinned rule, so {!Dacs_policy.Delta.between} yields a tight region
+   (admin ∧ read ∧ the two rotating resources) — the targeted-
+   invalidation arm keeps every other cached decision warm. *)
+let churned_policy ~resources ~gen =
+  let base = serving_policy ~resources in
+  if gen <= 0 then base
+  else begin
+    let res = Printf.sprintf "res%d" (gen mod resources) in
+    let extra =
+      Rule.make
+        ~target:
+          Target.(
+            any
+            |> subject_is "role" "admin"
+            |> resource_is "resource-id" res
+            |> action_is "action-id" "read")
+        Rule.Permit "admins-read-churn"
+    in
+    let rec splice = function
+      | [ deny ] -> [ extra; deny ]
+      | r :: rest -> r :: splice rest
+      | [] -> [ extra ]
+    in
+    { base with Policy.rules = splice base.Policy.rules }
+  end
+
 (* --- the engine --------------------------------------------------------- *)
 
 let run s =
@@ -204,17 +245,16 @@ let run s =
   let rng = Rng.create (Int64.of_int (s.seed + 0x5eed)) in
   let rng_req = Rng.create (Int64.of_int (s.seed + 0xca11)) in
   (* Decision tier: [shards] replicas sharing the FIFO capacity model. *)
-  let shard_nodes =
+  let shards =
     List.init s.shards (fun i ->
         let node = Printf.sprintf "pdp.%d" i in
         Net.add_node net node;
-        ignore
-          (Pdp_service.create services ~node ~name:node
-             ~root:(Policy.Inline_policy (serving_policy ~resources:s.peps))
-             ~service_time:s.service_time ~rule_cost:s.rule_cost ~compiled:s.compiled
-             ?max_inflight:s.pdp_max_inflight ());
-        node)
+        Pdp_service.create services ~node ~name:node
+          ~root:(Policy.Inline_policy (serving_policy ~resources:s.peps))
+          ~service_time:s.service_time ~rule_cost:s.rule_cost ~compiled:s.compiled
+          ?max_inflight:s.pdp_max_inflight ())
   in
+  let shard_nodes = List.map Pdp_service.node shards in
   (* Enforcement points: one resource each, spread across the domains,
      each dispatching through its own tier client over the same shards. *)
   let peps =
@@ -267,6 +307,38 @@ let run s =
     Engine.schedule_at engine ~at:until (fun () ->
         Net.unpartition net pep_nodes shard_nodes;
         Option.iter (fun o -> Offline.set_offline o false) offline_replica));
+  (* Policy churn: every period, install the next generation on every
+     shard and invalidate PEP L1s — either with the publish's
+     change-impact region ([Delta.between] over the two roots; targeted
+     arm) or with the unbounded region, which degrades to the classic
+     full flush (ablation baseline).  Both arms see identical policy
+     sequences, so any decision divergence is an invalidation bug. *)
+  let c_publishes =
+    Metrics.counter metrics ~help:"Policy generations installed by the churn schedule"
+      "workload_publishes_total"
+  in
+  (match s.churn with
+  | None -> ()
+  | Some { churn_period; churn_targeted } ->
+    let gen = ref 0 in
+    let current = ref (Policy.Inline_policy (serving_policy ~resources:s.peps)) in
+    let rec tick at =
+      if at <= s.duration then
+        Engine.schedule_at engine ~at (fun () ->
+            incr gen;
+            let root = Policy.Inline_policy (churned_policy ~resources:s.peps ~gen:!gen) in
+            let region =
+              if churn_targeted then Dacs_policy.Delta.between (Some !current) (Some root)
+              else Dacs_policy.Delta.unbounded
+            in
+            current := root;
+            List.iter (fun svc -> Pdp_service.install_policy svc root) shards;
+            Array.iter (fun pep -> ignore (Pep.invalidate_region pep region)) peps;
+            Option.iter (fun o -> Offline.publish o root) offline_replica;
+            Metrics.inc c_publishes;
+            tick (at +. churn_period))
+    in
+    tick churn_period);
   (* Latency accounting: one streaming log-bucket histogram per PEP
      (same bounds as [latency_buckets]), merged at report time — O(1)
      per observation and O(PEPs) memory however many requests run. *)
@@ -400,6 +472,8 @@ let run s =
     makespan;
     messages = (Net.total_sent net).Net.count;
     active_users = Hashtbl.length user_states;
+    cache_hits = Metrics.sum_counter metrics "decision_cache_hits_total";
+    publishes = Metrics.counter_value c_publishes;
     shed_reasons = Metrics.sum_counter_by metrics "pep_shed_reason_total" ~label:"reason";
     slo = Slo.status slo;
   }
@@ -420,6 +494,7 @@ let render r =
         r.shed r.pdp_overloads;
       Printf.sprintf "granted %d  denied %d  errors %d  offline-serves %d  active-users %d"
         r.granted r.denied r.errors r.offline_serves r.active_users;
+      Printf.sprintf "cache-hits %d  publishes %d" r.cache_hits r.publishes;
       Printf.sprintf "shed reasons: %s" reasons;
       Printf.sprintf "throughput %.2f req/s over %.6f s makespan  (%d messages)" r.throughput
         r.makespan r.messages;
@@ -465,7 +540,7 @@ let render_json r =
       r.slo.Slo.availability_met r.slo.Slo.latency_met
   in
   Printf.sprintf
-    "{\"offered\":%d,\"completed\":%d,\"shed\":%d,\"shed_reasons\":{%s},\"pdp_overloads\":%d,\"granted\":%d,\"denied\":%d,\"errors\":%d,\"offline_serves\":%d,\"active_users\":%d,\"throughput\":%.2f,\"makespan\":%.6f,\"messages\":%d,\"latency\":{\"p50\":%.6f,\"p95\":%.6f,\"p99\":%.6f,\"max\":%.6f,\"mean\":%.6f},\"slo\":%s}"
+    "{\"offered\":%d,\"completed\":%d,\"shed\":%d,\"shed_reasons\":{%s},\"pdp_overloads\":%d,\"granted\":%d,\"denied\":%d,\"errors\":%d,\"offline_serves\":%d,\"active_users\":%d,\"cache_hits\":%d,\"publishes\":%d,\"throughput\":%.2f,\"makespan\":%.6f,\"messages\":%d,\"latency\":{\"p50\":%.6f,\"p95\":%.6f,\"p99\":%.6f,\"max\":%.6f,\"mean\":%.6f},\"slo\":%s}"
     r.offered r.completed r.shed shed_reasons r.pdp_overloads r.granted r.denied r.errors
-    r.offline_serves r.active_users r.throughput r.makespan r.messages r.latency.p50 r.latency.p95
-    r.latency.p99 r.latency.max r.mean_latency slo
+    r.offline_serves r.active_users r.cache_hits r.publishes r.throughput r.makespan r.messages
+    r.latency.p50 r.latency.p95 r.latency.p99 r.latency.max r.mean_latency slo

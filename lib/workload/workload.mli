@@ -28,6 +28,16 @@ type partition = { from : float; until : float }
     every PDP shard ([Dacs_net.Net.partition] at [from], reconnect at
     [until]). *)
 
+type churn = { churn_period : float; churn_targeted : bool }
+(** Policy-churn schedule: every [churn_period] virtual seconds install
+    the next policy generation on every shard (a single rotating
+    admins-read rule spliced over the base serving policy) and
+    invalidate PEP L1 caches — with the publish's
+    {!Dacs_policy.Delta.between} change-impact region when
+    [churn_targeted], or with {!Dacs_policy.Delta.unbounded} (the
+    classic full flush) as the ablation baseline.  Both arms install
+    identical policy sequences, so their decisions must agree. *)
+
 type scenario = {
   seed : int;
   domains : int;  (** domains the PEPs are spread across (naming only) *)
@@ -52,6 +62,7 @@ type scenario = {
       (** give every PEP an offline replica holding the serving policy,
           so partitioned requests are answered from the signed local log
           ([offline] provenance) instead of failing closed *)
+  churn : churn option;  (** the E23 policy-churn schedule; [None] = static policy *)
 }
 
 val default : scenario
@@ -95,6 +106,12 @@ type report = {
       (** distinct users that actually issued a request — the only users
           the engine materialises state for, so at 1M+ Zipf populations
           this stays far below [users] and so does scenario memory *)
+  cache_hits : int;
+      (** L1 decision-cache hits across all PEPs,
+          [decision_cache_hits_total] — the E23 churn ablation's figure
+          of merit: targeted invalidation retains warm entries a full
+          flush discards *)
+  publishes : int;  (** policy generations the churn schedule installed *)
   shed_reasons : (string * int) list;
       (** per-reason breakdown of [shed], from
           [pep_shed_reason_total{node,reason}], summed by reason *)
@@ -103,6 +120,16 @@ type report = {
           clock: every non-Indeterminate answer counts as served, shed
           and fail-closed answers burn the availability budget *)
 }
+
+val churned_policy : resources:int -> gen:int -> Dacs_policy.Policy.t
+(** The churn schedule's generation [gen] policy over [resources]
+    guarded resources: generation 0 is exactly the base serving policy;
+    generation [g > 0] splices one fully pinned rule
+    ([admins-read-churn], granting admins read on res[g mod resources])
+    in front of the default-deny.  Consecutive generations therefore
+    differ in one rule and {!Dacs_policy.Delta.between} yields a small
+    bounded region — the corpus E23 and the delta test-suites churn
+    over. *)
 
 val run : scenario -> report
 (** Stand the scenario up on a fresh seeded network, offer the traffic,

@@ -421,6 +421,138 @@ let test_anti_entropy_backstop () =
   check int_ "the poll applied the missed purge" 0 (Cache_hierarchy.L2.size child);
   check bool_ "child epoch caught up" true (Cache_hierarchy.L2.epoch child >= 1)
 
+(* --- targeted invalidation from change-impact regions ------------------- *)
+
+module Delta = Dacs_policy.Delta
+module Context = Dacs_policy.Context
+
+(* A publish appending one rule confined to resource "lab": its
+   change-impact region pins resource-id to {lab}, so entries for other
+   resources are provably outside it and must survive a targeted round. *)
+let region_rules extra =
+  [ Rule.permit ~target:Target.(any |> subject_is "role" "doctor") "permit-doctor" ]
+  @ extra
+  @ [ Rule.deny "default-deny" ]
+
+let lab_region =
+  let mk rules = Policy.make ~id:"region-base" ~rule_combining:Combine.First_applicable rules in
+  let base = mk (region_rules []) in
+  let widened =
+    mk (region_rules [ Rule.permit ~target:Target.(any |> resource_is "resource-id" "lab") "lab-bonus" ])
+  in
+  Delta.between (Some (Policy.Inline_policy base)) (Some (Policy.Inline_policy widened))
+
+let rctx resource =
+  Context.make
+    ~subject:[ ("subject-id", Value.String "alice"); ("role", Value.String "doctor") ]
+    ~resource:[ ("resource-id", Value.String resource) ]
+    ~action:[ ("action-id", Value.String "read") ]
+    ()
+
+let rkey resource = Decision_cache.request_key (rctx resource)
+
+let test_region_targeted_drops () =
+  check bool_ "the rule-append region is bounded" true
+    (not (Delta.is_unbounded lab_region) && not (Delta.is_empty lab_region));
+  (* L1: only the key decoding into the region is dropped. *)
+  let c = Decision_cache.create ~ttl:60.0 () in
+  List.iter
+    (fun r -> Decision_cache.put c ~now:0.0 ~key:(rkey r) Decision.permit)
+    [ "chart"; "lab"; "note" ];
+  check int_ "only the lab entry dropped" 1 (Decision_cache.invalidate_region c lab_region);
+  check int_ "two entries retained" 2 (Decision_cache.size c);
+  check bool_ "chart decision survives" true (Decision_cache.get c ~now:1.0 ~key:(rkey "chart") <> None);
+  check bool_ "lab decision gone" true (Decision_cache.get c ~now:1.0 ~key:(rkey "lab") = None);
+  check int_ "an empty region drops nothing" 0 (Decision_cache.invalidate_region c Delta.empty);
+  (* Attribute cache: only the pinned position's bags drop. *)
+  let m = Dacs_telemetry.Metrics.create () in
+  let ac = Cache_hierarchy.Attr_cache.create m ~node:"pdp" ~ttl:60.0 () in
+  Cache_hierarchy.Attr_cache.store ac ~now:0.0 ~category:Context.Resource ~id:"resource-id"
+    ~subject:"alice" [ Value.String "lab" ];
+  Cache_hierarchy.Attr_cache.store ac ~now:0.0 ~category:Context.Subject ~id:"role" ~subject:"alice"
+    [ Value.String "doctor" ];
+  check int_ "the pinned position's bag dropped" 1
+    (Cache_hierarchy.Attr_cache.invalidate_region ac lab_region);
+  check int_ "the role bag survives" 1 (Cache_hierarchy.Attr_cache.size ac)
+
+let test_region_unbounded_flush () =
+  (* A first publish (no previous tree) has no bound at all. *)
+  let root = Policy.Inline_policy (Policy.make ~id:"p" (region_rules [])) in
+  check bool_ "appearance of a policy is unbounded" true (Delta.is_unbounded (Delta.between None (Some root)));
+  let c = Decision_cache.create ~ttl:60.0 () in
+  List.iter
+    (fun r -> Decision_cache.put c ~now:0.0 ~key:(rkey r) Decision.permit)
+    [ "chart"; "lab" ];
+  check int_ "unbounded drops everything" 2 (Decision_cache.invalidate_region c Delta.unbounded);
+  check int_ "L1 emptied" 0 (Decision_cache.size c);
+  let m = Dacs_telemetry.Metrics.create () in
+  let ac = Cache_hierarchy.Attr_cache.create m ~node:"pdp" ~ttl:60.0 () in
+  Cache_hierarchy.Attr_cache.store ac ~now:0.0 ~category:Context.Subject ~id:"role" ~subject:"alice"
+    [ Value.String "doctor" ];
+  check int_ "attribute cache flushed too" 1
+    (Cache_hierarchy.Attr_cache.invalidate_region ac Delta.unbounded);
+  check int_ "no bags left" 0 (Cache_hierarchy.Attr_cache.size ac)
+
+(* A region push the child never hears (not subscribed) still bumps the
+   root epoch, so the child's next anti-entropy poll repairs the loss —
+   as a conservative full purge. *)
+let test_region_anti_entropy_repair () =
+  let net = Net.create ~seed:23L () in
+  let services = Service.create (Rpc.create net) in
+  let add id =
+    Net.add_node net id;
+    id
+  in
+  let root = Cache_hierarchy.L2.create services ~node:(add "root") ~ttl:60.0 () in
+  let child = Cache_hierarchy.L2.create services ~node:(add "child") ~ttl:60.0 () in
+  Cache_hierarchy.L2.enable_anti_entropy child ~parent:"root" ~period:2.0;
+  let seeder = add "seeder" in
+  Engine.schedule_at (Net.engine net) ~at:0.5 (fun () ->
+      List.iter
+        (fun r ->
+          Cache_hierarchy.L2.remote_put services ~src:seeder ~l2:"child" ~key:(rkey r)
+            Decision.permit)
+        [ "chart"; "lab" ]);
+  Engine.schedule_at (Net.engine net) ~at:1.0 (fun () ->
+      Cache_hierarchy.L2.invalidate_region root lab_region);
+  Engine.run (Net.engine net) ~until:10.0;
+  check int_ "region purge bumped the root epoch" 1 (Cache_hierarchy.L2.epoch root);
+  check int_ "the poll repaired the lost region push" 0 (Cache_hierarchy.L2.size child);
+  check bool_ "child epoch caught up" true (Cache_hierarchy.L2.epoch child >= 1);
+  (* An Empty region must NOT bump the epoch: no purge happened anywhere,
+     so no poll-driven flush may be triggered. *)
+  Cache_hierarchy.L2.invalidate_region root Delta.empty;
+  check int_ "empty regions leave the epoch alone" 1 (Cache_hierarchy.L2.epoch root)
+
+(* The put/region race: a fire-and-forget put composed before a targeted
+   purge but delivered after it must not resurrect the entry the purge
+   killed.  The put is stamped at send time; the L2 rejects any put
+   stamped before its last purge. *)
+let test_region_put_race () =
+  let net = Net.create ~seed:27L () in
+  let services = Service.create (Rpc.create net) in
+  let add id =
+    Net.add_node net id;
+    id
+  in
+  let l2 = Cache_hierarchy.L2.create services ~node:(add "l2") ~ttl:60.0 () in
+  let seeder = add "seeder" in
+  (* A slow link: the put sent at t=1 lands at t=2, after the purge. *)
+  Net.set_latency net "seeder" "l2" 1.0;
+  Engine.schedule_at (Net.engine net) ~at:1.0 (fun () ->
+      Cache_hierarchy.L2.remote_put services ~src:seeder ~l2:"l2" ~key:(rkey "lab") Decision.permit);
+  Engine.schedule_at (Net.engine net) ~at:1.5 (fun () ->
+      Cache_hierarchy.L2.invalidate_region l2 lab_region);
+  Engine.run (Net.engine net) ~until:5.0;
+  check int_ "the in-flight put was rejected" 1 (Cache_hierarchy.L2.rejected_puts l2);
+  check int_ "the purged entry was not resurrected" 0 (Cache_hierarchy.L2.size l2);
+  (* A put composed after the purge is accepted as usual. *)
+  Engine.schedule_at (Net.engine net) ~at:6.0 (fun () ->
+      Cache_hierarchy.L2.remote_put services ~src:seeder ~l2:"l2" ~key:(rkey "lab") Decision.permit);
+  Engine.run (Net.engine net) ~until:10.0;
+  check int_ "no further rejections" 1 (Cache_hierarchy.L2.rejected_puts l2);
+  check int_ "post-purge put stored" 1 (Cache_hierarchy.L2.size l2)
+
 (* --- the whole hierarchy under revocation ------------------------------- *)
 
 let test_vo_revocation_round () =
@@ -525,6 +657,17 @@ let () =
             test_invalidation_fanout;
           Alcotest.test_case "anti-entropy applies a lost purge within one round" `Quick
             test_anti_entropy_backstop;
+        ] );
+      ( "region-invalidation",
+        [
+          Alcotest.test_case "a bounded region drops only matching entries" `Quick
+            test_region_targeted_drops;
+          Alcotest.test_case "an unbounded region degrades to the full flush" `Quick
+            test_region_unbounded_flush;
+          Alcotest.test_case "anti-entropy repairs a lost region push" `Quick
+            test_region_anti_entropy_repair;
+          Alcotest.test_case "an in-flight put cannot outlive a region purge" `Quick
+            test_region_put_race;
         ] );
       ( "revocation",
         [

@@ -206,6 +206,51 @@ let test_stats_count_tables () =
   let s' = Intern.stats t in
   check int_ "re-keying interns nothing new" s.Intern.atoms s'.Intern.atoms
 
+(* --- reverse lookups (the invalidation plane's decoder) ------------------ *)
+
+let prop_decode_roundtrip =
+  QCheck.Test.make ~name:"intern: decode_key inverts request_key up to canonicalisation"
+    ~count:500 arb_context
+    (fun ctx ->
+      let t = Intern.create ~expected:64 () in
+      match Intern.decode_key ~table:t (Intern.request_key ~table:t ctx) with
+      | None -> false
+      | Some decoded -> canonical decoded = canonical ctx)
+
+let test_reverse_lookups () =
+  let t = Intern.create () in
+  let pair = Intern.pair t Context.Resource "resource-id" in
+  check bool_ "pair_info returns the minted position" true
+    (Intern.pair_info t pair = (Context.Resource, "resource-id"));
+  let v = Intern.value t (Value.Int 7) in
+  check bool_ "value_of returns the minted value" true
+    (Value.equal (Intern.value_of t v) (Value.Int 7));
+  let a = Intern.atom t ~pair ~value:v in
+  check bool_ "atom_info returns the (pair, value) syms" true (Intern.atom_info t a = (pair, v));
+  match Intern.pair_info t 9999 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown pair sym must raise"
+
+let test_decode_key_roundtrip () =
+  let t = Intern.create () in
+  let key = Intern.request_key ~table:t ctx_alice in
+  match Intern.decode_key ~table:t key with
+  | None -> Alcotest.fail "packed key must decode"
+  | Some ctx ->
+    check bool_ "decoded context carries the same S/R/A multisets" true
+      (canonical ctx = canonical ctx_alice);
+    check string_ "re-keying the decoded context is stable" key (Intern.request_key ~table:t ctx)
+
+let test_decode_garbage () =
+  let t = Intern.create () in
+  ignore (Intern.request_key ~table:t ctx_alice);
+  (* Anything that is not a dot-separated sequence of known atom syms must
+     decode to None — the conservative "drop it" signal for region
+     invalidation, notably legacy sha digests. *)
+  List.iter
+    (fun s -> check bool_ ("undecodable: " ^ s) true (Intern.decode_key ~table:t s = None))
+    [ "not-a-key"; "1.2.99999"; Decision_cache.sha_request_key ctx_alice; ".."; "1..2" ]
+
 let with_scheme scheme f =
   let saved = Decision_cache.key_scheme () in
   Decision_cache.set_key_scheme scheme;
@@ -256,7 +301,17 @@ let () =
             prop_pair_injective;
             prop_key_collision_iff_equal;
             prop_key_schemes_agree;
+            prop_decode_roundtrip;
           ] );
+      ( "reverse lookups",
+        [
+          Alcotest.test_case "pair/value/atom reverse tables roundtrip" `Quick
+            test_reverse_lookups;
+          Alcotest.test_case "decode_key rebuilds the keyed multisets" `Quick
+            test_decode_key_roundtrip;
+          Alcotest.test_case "garbage and sha digests decode to None" `Quick
+            test_decode_garbage;
+        ] );
       ( "request keys",
         [
           Alcotest.test_case "insertion and bag order insensitivity" `Quick

@@ -32,6 +32,7 @@ module Combine = Dacs_policy.Combine
 module Context = Dacs_policy.Context
 module Decision = Dacs_policy.Decision
 module Value = Dacs_policy.Value
+module Delta = Dacs_policy.Delta
 module Net = Dacs_net.Net
 module Service = Dacs_ws.Service
 open Dacs_core
@@ -57,6 +58,25 @@ let policy_family k =
         "read-only";
       Rule.deny "default-deny";
     ]
+
+(* Extended family for targeted publishes: bit 2 appends a rule confined
+   to resource "lab", which no model request ever names.  The delta
+   region of a publish toggling only that rule must exclude every chart
+   context, so a targeted invalidation round drops nothing — and the
+   retained cached decisions must still match the model. *)
+let policy_family_ext k =
+  let k = abs k in
+  let base = policy_family k in
+  if k land 4 = 0 then base
+  else begin
+    let lab = Rule.permit ~target:Target.(any |> resource_is "resource-id" "lab") "lab-bonus" in
+    let rec splice = function
+      | [ deny ] -> [ lab; deny ]
+      | r :: rest -> r :: splice rest
+      | [] -> [ lab ]
+    in
+    { base with Policy.rules = splice base.Policy.rules }
+  end
 
 (* --- the reference model ------------------------------------------------ *)
 
@@ -146,6 +166,7 @@ type op =
   | Decide of int * int
   | Decide_pair of int * int  (* two identical queries: the coalescing path *)
   | Publish of int
+  | Publish_delta of int  (* targeted invalidation from the change-impact region *)
   | Spurious_invalidate
   | Revoke of int
   | Grant of int * int
@@ -154,7 +175,7 @@ type op =
   | Decide_during_publish of int * int * int
 
 let op_of_code (code, u, x) =
-  match code mod 9 with
+  match code mod 10 with
   | 0 -> Decide (u, x)
   | 1 -> Decide_pair (u, x)
   | 2 -> Publish x
@@ -163,12 +184,14 @@ let op_of_code (code, u, x) =
   | 5 -> Grant (u, x)
   | 6 -> Crash (x mod 2)
   | 7 -> Recover (x mod 2)
+  | 8 -> Publish_delta (u + x)
   | _ -> Decide_during_publish (u, x, u + x)
 
 let show_op = function
   | Decide (u, a) -> Printf.sprintf "decide(%s,%s)" (user_name u) actions.(a mod 2)
   | Decide_pair (u, a) -> Printf.sprintf "decide-pair(%s,%s)" (user_name u) actions.(a mod 2)
   | Publish p -> Printf.sprintf "publish(p%d)" (abs p mod 4)
+  | Publish_delta p -> Printf.sprintf "publish-delta(p%d)" (abs p mod 8)
   | Spurious_invalidate -> "invalidate"
   | Revoke u -> Printf.sprintf "revoke(%s)" (user_name u)
   | Grant (u, r) -> Printf.sprintf "grant(%s,%s)" (user_name u) roles.(r mod 3)
@@ -184,6 +207,21 @@ let publish sut m p =
   Array.iter (fun shard -> Pdp_service.install_policy shard (Policy.Inline_policy (policy_family p))) sut.shards;
   m.policy <- p;
   invalidation_round sut
+
+(* The targeted round: instead of flushing L2 and the PEP's L1, drop
+   only the entries inside the publish's change-impact region.  The
+   model is updated exactly as for [publish] — soundness of the region
+   is precisely the claim that retained entries still match it. *)
+let publish_delta sut m p =
+  let p = abs p mod 8 in
+  let before = Policy.Inline_policy (policy_family_ext m.policy) in
+  let after = Policy.Inline_policy (policy_family_ext p) in
+  let region = Delta.between (Some before) (Some after) in
+  Array.iter (fun shard -> Pdp_service.install_policy shard after) sut.shards;
+  m.policy <- p;
+  Cache_hierarchy.L2.invalidate_region sut.l2 region;
+  ignore (Pep.invalidate_region sut.pep region);
+  Net.run sut.net
 
 let clear_attr_cache shard =
   match Pdp_service.attr_cache shard with
@@ -222,6 +260,7 @@ let run_op sut m trace op =
     check_decision m trace ~stage:"pair-leader" u a !first;
     check_decision m trace ~stage:"pair-waiter" u a !second
   | Publish p -> publish sut m p
+  | Publish_delta p -> publish_delta sut m p
   | Spurious_invalidate -> invalidation_round sut
   | Revoke u ->
     Pip.remove_subject_attribute sut.pip ~subject:(user_name u) ~id:"role";
@@ -294,7 +333,7 @@ let run_case ops =
 let arb_ops =
   let open QCheck in
   list_of_size (Gen.int_bound 14)
-    (triple (int_bound 8) (int_bound (users - 1)) (int_bound 5))
+    (triple (int_bound 9) (int_bound (users - 1)) (int_bound 5))
 
 let model_test =
   QCheck.Test.make ~name:"cache hierarchy == flat model under random interleavings" ~count:150
@@ -304,6 +343,30 @@ let model_test =
 (* A few directed interleavings for the regressions we most care about,
    immune to generator drift. *)
 let directed name ops = Alcotest.test_case name `Quick (fun () -> ignore (run_case ops))
+
+(* The two faces of targeted invalidation, checked down to the cache
+   counters: a publish whose region excludes every chart request leaves
+   the L1 entry standing (and still correct), then a publish that really
+   changes the rule family kills the now-stale entry through the same
+   targeted path. *)
+let publish_delta_retention () =
+  let sut = make_sut () in
+  let m =
+    { policy = 0; role_of = Array.init users (fun u -> Some roles.(u mod 3)); crashed = [| false; false |] }
+  in
+  let trace = "publish-delta-retention" in
+  run_op sut m trace (Decide (0, 0));
+  let hits_before = (Pep.stats sut.pep).Pep.cache_hits in
+  (* p0 -> p4: same rule family plus the lab-only rule; the region pins
+     resource-id to "lab", so the cached chart decision survives. *)
+  run_op sut m trace (Publish_delta 4);
+  run_op sut m trace (Decide (0, 0));
+  Alcotest.(check bool) "chart entry survives an out-of-region publish" true
+    ((Pep.stats sut.pep).Pep.cache_hits > hits_before);
+  (* p4 -> p1: the rule family flips (doctor loses access); the region
+     covers chart and the stale Permit must not outlive the round. *)
+  run_op sut m trace (Publish_delta 1);
+  run_op sut m trace (Decide (0, 0))
 
 (* --- partition -> diverge -> heal -> converge ---------------------------- *)
 
@@ -629,6 +692,15 @@ let () =
             [ Decide_pair (1, 0); Publish 3; Decide_pair (1, 0) ];
           directed "decide racing a publish"
             [ Decide (0, 1); Decide_during_publish (0, 1, 1); Decide (0, 1) ];
+          directed "targeted publish flips cached decision"
+            [ Decide (1, 0); Publish_delta 1; Decide (1, 0); Publish_delta 2; Decide (1, 0) ];
+          directed "targeted publish interleaved with crash and revocation"
+            [
+              Decide (0, 0); Crash 1; Publish_delta 3; Decide (0, 0); Revoke 0;
+              Decide (0, 0); Recover 1; Publish_delta 4; Decide (0, 0);
+            ];
+          Alcotest.test_case "out-of-region publish retains the cache" `Quick
+            publish_delta_retention;
         ] );
       ( "offline-convergence",
         [

@@ -663,6 +663,86 @@ let delegation_scheme_oracle (name, alg) =
       List.for_all (check_ladder_stage ~alg:name ~reference) packed
       && schemes_agree ~alg:name packed sha)
 
+(* --- oracle 7: churn corpus (targeted cache invalidation) ---------------- *)
+
+(* Interleaved publish/decide: a random sequence of policy generations
+   decided through an L1 decision cache under targeted region
+   invalidation (Delta.between over consecutive roots), against a
+   full-flush arm and the uncached reference evaluation.  No request is
+   in flight across a publish, so all three must agree at every step —
+   any divergence means the region under-approximated the publish's
+   impact and a stale entry survived.  The corpus runs under both key
+   schemes: Sha_hex keys are undecodable, so targeted invalidation
+   degrades to per-entry flushes there and soundness must survive the
+   degradation. *)
+
+module Delta = Dacs_policy.Delta
+
+(* The full enumerable request population of the spec vocabulary
+   (including the role-absent contexts) — decided after every publish,
+   so every cached entry is re-audited against the new policy. *)
+let churn_ctxs =
+  List.init 24 (fun i ->
+      ctx_of_spec { role_code = i / 6; resource_code = i / 2 mod 3; action_code = i mod 2 })
+
+let churn_corpus ~alg ~name gens =
+  let roots = List.map (fun pspec -> Policy.Inline_policy (policy_of_spec alg pspec)) gens in
+  let targeted = Decision_cache.create ~ttl:3600.0 () in
+  let full = Decision_cache.create ~ttl:3600.0 () in
+  let decide_cached cache root ctx =
+    let key = Decision_cache.request_key ctx in
+    match Decision_cache.get cache ~now:0.0 ~key with
+    | Some r -> r
+    | None ->
+      let r = Policy.evaluate_child ctx root in
+      Decision_cache.put cache ~now:0.0 ~key r;
+      r
+  in
+  let prev = ref None in
+  List.iteri
+    (fun gen root ->
+      let region = Delta.between !prev (Some root) in
+      ignore (Decision_cache.invalidate_region targeted region);
+      Decision_cache.invalidate_all full;
+      prev := Some root;
+      List.iter
+        (fun ctx ->
+          let reference = Policy.evaluate_child ctx root in
+          let t = decide_cached targeted root ctx in
+          let f = decide_cached full root ctx in
+          if not (result_equal reference t) then
+            QCheck.Test.fail_reportf
+              "[%s] generation %d: targeted-invalidation cache served %s, reference %s — region \
+               %s under-approximated (%s)"
+              name gen (show_result t) (show_result reference) (Delta.to_string region)
+              (seed_hint ())
+          else if not (result_equal reference f) then
+            fail_diverged ~alg:name ~expected:reference ~got:f "reference" "full-flush cache")
+        churn_ctxs)
+    roots;
+  true
+
+let arb_churn =
+  let open QCheck in
+  let arb_rule =
+    map
+      ~rev:(fun s -> (s.effect_code, s.target_code, s.condition_code, s.obligation_code))
+      (fun (e, t, c, o) ->
+        { effect_code = e; target_code = t; condition_code = c; obligation_code = o })
+      (quad (int_bound 1) (int_bound target_code_max) (int_bound condition_code_max) (int_bound 2))
+  in
+  list_of_size
+    (Gen.int_bound 4)
+    (pair (list_of_size (Gen.int_bound 6) arb_rule) (int_bound 1))
+
+let churn_oracle (name, alg) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "churn corpus: targeted == full-flush == reference (%s)" name)
+    ~count:150 arb_churn
+    (fun gens ->
+      with_scheme Decision_cache.Packed (fun () -> churn_corpus ~alg ~name gens)
+      && with_scheme Decision_cache.Sha_hex (fun () -> churn_corpus ~alg ~name gens))
+
 (* --- directed regressions: empty rule lists ----------------------------- *)
 
 (* Every combining algorithm folded over zero children must agree across
@@ -716,4 +796,6 @@ let () =
         List.map (fun a -> QCheck_alcotest.to_alcotest (scheme_oracle a)) algorithms
         @ List.map (fun a -> QCheck_alcotest.to_alcotest (delegation_scheme_oracle a)) algorithms
       );
+      ( "churn-differential",
+        List.map (fun a -> QCheck_alcotest.to_alcotest (churn_oracle a)) algorithms );
     ]
